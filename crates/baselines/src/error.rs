@@ -1,0 +1,57 @@
+//! Error type shared by the distributed baselines.
+
+use std::fmt;
+
+use dbscout_dataflow::EngineError;
+use dbscout_spatial::SpatialError;
+
+/// Errors from running a distributed baseline detector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// Invalid spatial input (bad ε, dimensionality, …).
+    Spatial(SpatialError),
+    /// The dataflow substrate failed.
+    Engine(EngineError),
+    /// An invalid algorithm parameter.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Spatial(e) => write!(f, "spatial error: {e}"),
+            BaselineError::Engine(e) => write!(f, "dataflow error: {e}"),
+            BaselineError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<SpatialError> for BaselineError {
+    fn from(e: SpatialError) -> Self {
+        BaselineError::Spatial(e)
+    }
+}
+
+impl From<EngineError> for BaselineError {
+    fn from(e: EngineError) -> Self {
+        BaselineError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: BaselineError = SpatialError::ZeroDims.into();
+        assert!(e.to_string().contains("spatial"));
+        let e: BaselineError = EngineError::ContextMismatch.into();
+        assert!(e.to_string().contains("dataflow"));
+        assert!(BaselineError::InvalidParameter("rho")
+            .to_string()
+            .contains("rho"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Isolation Forest (Liu, Ting, Zhou — ICDM 2008), a Table III
+//! competitor.
+//!
+//! Outliers are "few and different", so random axis-aligned splits
+//! isolate them in short paths. The anomaly score is
+//! `s(x) = 2^(−E[h(x)] / c(ψ))` where `h` is the path length over the
+//! ensemble and `c(ψ)` the average unsuccessful-search length of a BST of
+//! the subsample size ψ.
+
+use dbscout_spatial::points::PointId;
+use dbscout_spatial::PointStore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::lof::threshold_top_fraction;
+
+/// Isolation Forest parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct IsolationForest {
+    /// Number of trees (paper default 100).
+    pub n_trees: usize,
+    /// Subsample size ψ per tree (paper default 256).
+    pub sample_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IsolationForest {
+    fn default() -> Self {
+        Self {
+            n_trees: 100,
+            sample_size: 256,
+            seed: 0,
+        }
+    }
+}
+
+enum Node {
+    Leaf {
+        size: usize,
+    },
+    Split {
+        dim: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl IsolationForest {
+    /// A forest with the standard (100 trees, ψ = 256) configuration.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Anomaly scores in (0, 1); higher = more anomalous.
+    pub fn score(&self, store: &PointStore) -> Vec<f64> {
+        let n = store.len() as usize;
+        if n == 0 {
+            return Vec::new();
+        }
+        let psi = self.sample_size.min(n).max(2);
+        let height_limit = (psi as f64).log2().ceil() as usize;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let mut path_sums = vec![0.0f64; n];
+        for _ in 0..self.n_trees {
+            // Subsample without replacement (partial Fisher–Yates).
+            let mut ids: Vec<PointId> = (0..store.len()).collect();
+            for i in 0..psi {
+                let j = rng.gen_range(i..n);
+                ids.swap(i, j);
+            }
+            let tree = build_tree(store, &ids[..psi], 0, height_limit, &mut rng);
+            for (id, p) in store.iter() {
+                path_sums[id as usize] += path_length(&tree, p, 0.0);
+            }
+        }
+        let c = average_path_length(psi);
+        path_sums
+            .iter()
+            .map(|&s| {
+                let mean = s / self.n_trees as f64;
+                2f64.powf(-mean / c)
+            })
+            .collect()
+    }
+
+    /// Binary decision: the `contamination` fraction with the highest
+    /// anomaly scores.
+    pub fn detect(&self, store: &PointStore, contamination: f64) -> Vec<bool> {
+        assert!(
+            (0.0..=1.0).contains(&contamination),
+            "contamination must be in [0, 1]"
+        );
+        threshold_top_fraction(&self.score(store), contamination)
+    }
+}
+
+/// `c(n)`: average path length of an unsuccessful BST search — the
+/// normalizer from the Isolation Forest paper.
+fn average_path_length(n: usize) -> f64 {
+    if n <= 1 {
+        return 1.0;
+    }
+    let n = n as f64;
+    let harmonic = (n - 1.0).ln() + 0.577_215_664_901_532_9;
+    2.0 * harmonic - 2.0 * (n - 1.0) / n
+}
+
+fn build_tree(
+    store: &PointStore,
+    ids: &[PointId],
+    depth: usize,
+    height_limit: usize,
+    rng: &mut StdRng,
+) -> Node {
+    if ids.len() <= 1 || depth >= height_limit {
+        return Node::Leaf { size: ids.len() };
+    }
+    // Pick a random dimension with spread; bail out if all coincident.
+    let dims = store.dims();
+    let start = rng.gen_range(0..dims);
+    let mut split = None;
+    for k in 0..dims {
+        let dim = (start + k) % dims;
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &id in ids.iter() {
+            let v = store.point(id)[dim];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if hi > lo {
+            split = Some((dim, rng.gen_range(lo..hi)));
+            break;
+        }
+    }
+    let Some((dim, threshold)) = split else {
+        return Node::Leaf { size: ids.len() };
+    };
+    let (mut left, mut right) = (Vec::new(), Vec::new());
+    for &id in ids.iter() {
+        if store.point(id)[dim] < threshold {
+            left.push(id);
+        } else {
+            right.push(id);
+        }
+    }
+    Node::Split {
+        dim,
+        threshold,
+        left: Box::new(build_tree(store, &left, depth + 1, height_limit, rng)),
+        right: Box::new(build_tree(store, &right, depth + 1, height_limit, rng)),
+    }
+}
+
+fn path_length(node: &Node, p: &[f64], depth: f64) -> f64 {
+    match node {
+        Node::Leaf { size } => depth + average_path_length(*size),
+        Node::Split {
+            dim,
+            threshold,
+            left,
+            right,
+        } => {
+            if p[*dim] < *threshold {
+                path_length(left, p, depth + 1.0)
+            } else {
+                path_length(right, p, depth + 1.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_plus_outlier() -> PointStore {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..400 {
+            rows.push(vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
+        }
+        rows.push(vec![15.0, -12.0]);
+        PointStore::from_rows(2, rows).unwrap()
+    }
+
+    #[test]
+    fn isolated_point_scores_highest() {
+        let store = blob_plus_outlier();
+        let scores = IsolationForest::new(1).score(&store);
+        let (argmax, _) = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        assert_eq!(argmax, 400);
+        assert!(scores[400] > 0.6, "score {}", scores[400]);
+    }
+
+    #[test]
+    fn scores_in_unit_interval() {
+        let store = blob_plus_outlier();
+        for s in IsolationForest::new(2).score(&store) {
+            assert!((0.0..=1.0).contains(&s), "score {s}");
+        }
+    }
+
+    #[test]
+    fn detect_flags_the_outlier() {
+        let store = blob_plus_outlier();
+        let mask = IsolationForest::new(3).detect(&store, 1.0 / 401.0);
+        assert!(mask[400]);
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let store = blob_plus_outlier();
+        let a = IsolationForest::new(7).score(&store);
+        let b = IsolationForest::new(7).score(&store);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_points_are_leaves_not_loops() {
+        let store = PointStore::from_rows(2, vec![vec![1.0, 1.0]; 50]).unwrap();
+        let scores = IsolationForest::new(4).score(&store);
+        assert_eq!(scores.len(), 50);
+        for s in &scores {
+            assert!(s.is_finite());
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let store = PointStore::new(2).unwrap();
+        assert!(IsolationForest::new(0).score(&store).is_empty());
+    }
+
+    #[test]
+    fn average_path_length_known_values() {
+        assert_eq!(average_path_length(1), 1.0);
+        // c(2) = 2·H(1) − 2·(1/2) = 2·0.5772… − 1 ≈ 0.1544.
+        assert!((average_path_length(2) - 0.1544).abs() < 0.01);
+        assert!(average_path_length(256) > 9.0);
+    }
+}

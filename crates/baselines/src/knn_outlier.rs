@@ -1,0 +1,113 @@
+//! k-NN distance outlier detection (Ramaswamy, Rastogi, Shim — SIGMOD
+//! 2000), reference 12 of the paper: score every point by the distance
+//! to its k-th nearest neighbor and flag the top fraction. A simple
+//! global-density baseline that complements the local-density (LOF) and
+//! isolation families in the quality experiments.
+
+use dbscout_spatial::{KdTree, PointStore};
+
+use crate::lof::threshold_top_fraction;
+
+/// The k-NN distance detector.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnOutlier {
+    /// Neighborhood size k.
+    pub k: usize,
+}
+
+impl KnnOutlier {
+    /// A detector with neighborhood size `k` (≥ 1).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be >= 1");
+        Self { k }
+    }
+
+    /// The distance of every point to its k-th nearest *other* point.
+    pub fn score(&self, store: &PointStore) -> Vec<f64> {
+        let n = store.len() as usize;
+        if n == 0 {
+            return Vec::new();
+        }
+        let k = self.k.min(n.saturating_sub(1)).max(1);
+        let tree = KdTree::build(store);
+        store
+            .iter()
+            .map(|(id, p)| {
+                let nn = tree.knn(p, k + 1);
+                nn.iter()
+                    .filter(|m| m.id != id)
+                    .take(k)
+                    .last()
+                    .map(|m| m.sq_dist.sqrt())
+                    .unwrap_or(0.0)
+            })
+            .collect()
+    }
+
+    /// Binary decision: the `contamination` fraction of points with the
+    /// largest k-NN distances.
+    pub fn detect(&self, store: &PointStore, contamination: f64) -> Vec<bool> {
+        assert!(
+            (0.0..=1.0).contains(&contamination),
+            "contamination must be in [0, 1]"
+        );
+        threshold_top_fraction(&self.score(store), contamination)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_plus_outlier() -> PointStore {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                rows.push(vec![i as f64, j as f64]);
+            }
+        }
+        rows.push(vec![40.0, 40.0]);
+        PointStore::from_rows(2, rows).unwrap()
+    }
+
+    #[test]
+    fn outlier_has_largest_kdist() {
+        let store = grid_plus_outlier();
+        let scores = KnnOutlier::new(4).score(&store);
+        let (argmax, _) = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        assert_eq!(argmax, 100);
+    }
+
+    #[test]
+    fn interior_kdist_is_one_on_unit_grid() {
+        let store = grid_plus_outlier();
+        let scores = KnnOutlier::new(4).score(&store);
+        // Interior grid points have 4 axis neighbors at distance 1.
+        assert!((scores[5 * 10 + 5] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detect_flags_the_outlier() {
+        let store = grid_plus_outlier();
+        let mask = KnnOutlier::new(4).detect(&store, 1.0 / 101.0);
+        assert!(mask[100]);
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(KnnOutlier::new(3).score(&PointStore::new(2).unwrap()).is_empty());
+        let one = PointStore::from_rows(2, vec![vec![1.0, 1.0]]).unwrap();
+        assert_eq!(KnnOutlier::new(3).score(&one), vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_k_panics() {
+        KnnOutlier::new(0);
+    }
+}

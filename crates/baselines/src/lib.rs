@@ -1,0 +1,37 @@
+//! Baseline outlier detectors the paper compares DBSCOUT against.
+//!
+//! * [`dbscan`] — exact DBSCAN (naive and grid-accelerated): the
+//!   reference semantics DBSCOUT's outliers must coincide with, and the
+//!   "naïve approach" of §I (cluster first, read outliers off the noise).
+//! * [`rp_dbscan`] — an RP-DBSCAN-like **approximated** parallel DBSCAN
+//!   with approximation parameter ρ, standing in for the closed-source
+//!   competitor of §IV (see `DESIGN.md` for the substitution argument).
+//! * [`lof`] — exact Local Outlier Factor (Breunig et al. 2000), the
+//!   quality baseline of Table III.
+//! * [`ddlof`] — a distributed LOF in the style of DDLOF (Yan et al.
+//!   2017) over the dataflow substrate, the efficiency competitor of
+//!   Table II.
+//! * [`isolation_forest`] — Isolation Forest (Liu et al. 2008).
+//! * [`ocsvm`] — One-Class SVM on random Fourier features (RBF kernel
+//!   approximation), trained with SGD.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dbscan;
+pub mod error;
+pub mod ddlof;
+pub mod knn_outlier;
+pub mod isolation_forest;
+pub mod lof;
+pub mod ocsvm;
+pub mod rp_dbscan;
+
+pub use dbscan::{Dbscan, DbscanResult, NOISE};
+pub use error::BaselineError;
+pub use knn_outlier::KnnOutlier;
+pub use ddlof::Ddlof;
+pub use isolation_forest::IsolationForest;
+pub use lof::Lof;
+pub use ocsvm::OneClassSvm;
+pub use rp_dbscan::RpDbscan;

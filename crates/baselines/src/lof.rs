@@ -1,0 +1,235 @@
+//! Exact Local Outlier Factor (Breunig et al., SIGMOD 2000) — the main
+//! quality competitor of paper Table III, and the sequential algorithm
+//! DDLOF distributes.
+//!
+//! For each point `p` with k-nearest (other) neighbors `N_k(p)`:
+//!
+//! * `k-distance(p)` — distance to the k-th nearest other point;
+//! * `reach-dist_k(p, o) = max(k-distance(o), dist(p, o))`;
+//! * `lrd(p) = 1 / mean_{o ∈ N_k(p)} reach-dist_k(p, o)`;
+//! * `LOF(p) = mean_{o ∈ N_k(p)} lrd(o) / lrd(p)`.
+//!
+//! Scores ≈ 1 for points inside uniform-density regions, ≫ 1 for
+//! outliers. As in scikit-learn, the binary decision takes the
+//! `contamination` fraction with the highest scores.
+
+use dbscout_spatial::points::PointId;
+use dbscout_spatial::{KdTree, PointStore};
+
+/// Cap on local reachability density so that duplicate clusters
+/// ("infinite" density) keep every sum and ratio finite.
+pub(crate) const LRD_CAP: f64 = 1e12;
+
+/// LOF parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Lof {
+    /// Neighborhood size `k` (`MinPts` in the original paper).
+    pub k: usize,
+}
+
+/// Scores plus the neighbor structure they were computed from.
+#[derive(Debug, Clone)]
+pub struct LofResult {
+    /// LOF score per point (≈1 = inlier-like; larger = more outlying).
+    pub scores: Vec<f64>,
+    /// k-distance per point.
+    pub k_distance: Vec<f64>,
+    /// Local reachability density per point.
+    pub lrd: Vec<f64>,
+}
+
+impl Lof {
+    /// Creates an LOF detector with neighborhood size `k` (≥ 1).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be >= 1");
+        Self { k }
+    }
+
+    /// Computes LOF scores for every point of `store`.
+    pub fn score(&self, store: &PointStore) -> LofResult {
+        let n = store.len() as usize;
+        if n == 0 {
+            return LofResult {
+                scores: Vec::new(),
+                k_distance: Vec::new(),
+                lrd: Vec::new(),
+            };
+        }
+        let k = self.k.min(n.saturating_sub(1)).max(1);
+        let tree = KdTree::build(store);
+
+        // k-NN per point, excluding the query point itself. Duplicate
+        // coordinates are distinct objects, as in the original definition.
+        let mut neighbors: Vec<Vec<(PointId, f64)>> = Vec::with_capacity(n);
+        for (id, p) in store.iter() {
+            let mut nn: Vec<(PointId, f64)> = tree
+                .knn(p, k + 1)
+                .into_iter()
+                .filter(|m| m.id != id)
+                .map(|m| (m.id, m.sq_dist.sqrt()))
+                .collect();
+            nn.truncate(k);
+            neighbors.push(nn);
+        }
+        let k_distance: Vec<f64> = neighbors
+            .iter()
+            .map(|nn| nn.last().map(|&(_, d)| d).unwrap_or(0.0))
+            .collect();
+
+        // Local reachability density.
+        let lrd: Vec<f64> = neighbors
+            .iter()
+            .map(|nn| {
+                if nn.is_empty() {
+                    return 0.0;
+                }
+                let mean_reach: f64 = nn
+                    .iter()
+                    .map(|&(o, d)| d.max(k_distance[o as usize]))
+                    .sum::<f64>()
+                    / nn.len() as f64;
+                if mean_reach == 0.0 {
+                    // All reach distances zero (duplicate cluster):
+                    // density is "infinite"; cap it so sums and ratios
+                    // stay finite and LOF ≈ 1 among duplicates.
+                    LRD_CAP
+                } else {
+                    (1.0 / mean_reach).min(LRD_CAP)
+                }
+            })
+            .collect();
+
+        // LOF ratio.
+        let scores: Vec<f64> = neighbors
+            .iter()
+            .enumerate()
+            .map(|(i, nn)| {
+                if nn.is_empty() || lrd[i] == 0.0 {
+                    return 1.0;
+                }
+                let mean_lrd: f64 =
+                    nn.iter().map(|&(o, _)| lrd[o as usize]).sum::<f64>() / nn.len() as f64;
+                mean_lrd / lrd[i]
+            })
+            .collect();
+
+        LofResult {
+            scores,
+            k_distance,
+            lrd,
+        }
+    }
+
+    /// Binary outlier decision: the `contamination` fraction of points
+    /// with the highest LOF scores (scikit-learn's thresholding).
+    pub fn detect(&self, store: &PointStore, contamination: f64) -> Vec<bool> {
+        assert!(
+            (0.0..=1.0).contains(&contamination),
+            "contamination must be in [0, 1]"
+        );
+        let scores = self.score(store).scores;
+        threshold_top_fraction(&scores, contamination)
+    }
+}
+
+/// Marks the `fraction` of points with the largest scores as outliers
+/// (ties broken by index for determinism).
+pub(crate) fn threshold_top_fraction(scores: &[f64], fraction: f64) -> Vec<bool> {
+    let n = scores.len();
+    let k = ((n as f64) * fraction).round() as usize;
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    let mut mask = vec![false; n];
+    for &i in idx.iter().take(k) {
+        mask[i] = true;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_2d(points: &[[f64; 2]]) -> PointStore {
+        PointStore::from_rows(2, points.iter().map(|p| p.to_vec())).unwrap()
+    }
+
+    fn grid_plus_outlier() -> PointStore {
+        let mut pts: Vec<[f64; 2]> = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                pts.push([i as f64, j as f64]);
+            }
+        }
+        pts.push([30.0, 30.0]);
+        store_2d(&pts)
+    }
+
+    #[test]
+    fn outlier_has_highest_score() {
+        let store = grid_plus_outlier();
+        let r = Lof::new(5).score(&store);
+        let (argmax, _) = r
+            .scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        assert_eq!(argmax, 100);
+        assert!(r.scores[100] > 2.0, "score {}", r.scores[100]);
+    }
+
+    #[test]
+    fn uniform_region_scores_near_one() {
+        let store = grid_plus_outlier();
+        let r = Lof::new(5).score(&store);
+        // Interior grid points sit in uniform density: LOF ≈ 1.
+        let interior = 5 * 10 + 5;
+        assert!((r.scores[interior] - 1.0).abs() < 0.2, "{}", r.scores[interior]);
+    }
+
+    #[test]
+    fn detect_flags_top_fraction() {
+        let store = grid_plus_outlier();
+        let mask = Lof::new(5).detect(&store, 1.0 / 101.0);
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 1);
+        assert!(mask[100]);
+    }
+
+    #[test]
+    fn duplicates_do_not_produce_nan() {
+        let store = store_2d(&[[0.0, 0.0]; 10]);
+        let r = Lof::new(3).score(&store);
+        for s in &r.scores {
+            assert!(s.is_finite(), "score {s}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty = PointStore::new(2).unwrap();
+        assert!(Lof::new(3).score(&empty).scores.is_empty());
+        let one = store_2d(&[[1.0, 1.0]]);
+        let r = Lof::new(3).score(&one);
+        assert_eq!(r.scores.len(), 1);
+        assert!(r.scores[0].is_finite());
+    }
+
+    #[test]
+    fn threshold_rounds_and_breaks_ties() {
+        let mask = threshold_top_fraction(&[1.0, 3.0, 3.0, 0.0], 0.5);
+        assert_eq!(mask, vec![false, true, true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_k_panics() {
+        Lof::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "contamination")]
+    fn bad_contamination_panics() {
+        Lof::new(2).detect(&store_2d(&[[0.0, 0.0]]), 1.5);
+    }
+}

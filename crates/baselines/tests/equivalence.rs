@@ -1,0 +1,82 @@
+//! Cross-algorithm semantic checks:
+//!
+//! * DBSCOUT's outliers coincide with DBSCAN's noise points — the very
+//!   definition the paper builds on (§II, Definitions 1–3);
+//! * RP-DBSCAN-like approximation emits a superset of the exact outliers
+//!   (the error direction measured in Tables IV–V);
+//! * DDLOF equals sequential LOF.
+
+use dbscout_baselines::{Dbscan, Ddlof, Lof, RpDbscan};
+use dbscout_core::{detect_outliers, DbscoutParams};
+use dbscout_data::generators::{blobs, moons};
+use dbscout_dataflow::ExecutionContext;
+use dbscout_spatial::PointStore;
+use proptest::prelude::*;
+
+fn clustered(seed: u64, n: usize) -> PointStore {
+    blobs(n, n / 20 + 1, 3, 0.5, seed).points
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn dbscout_outliers_equal_dbscan_noise(
+        seed in 0u64..1000,
+        eps in 0.3f64..4.0,
+        min_pts in 2usize..10,
+    ) {
+        let store = clustered(seed, 150);
+        let params = DbscoutParams::new(eps, min_pts).unwrap();
+        let scout = detect_outliers(&store, params).unwrap();
+        let dbscan = Dbscan::new(eps, min_pts).fit(&store).unwrap();
+        prop_assert_eq!(scout.outlier_mask(), dbscan.noise_mask());
+    }
+
+    #[test]
+    fn rp_dbscan_is_outlier_superset(
+        seed in 0u64..1000,
+        eps in 0.5f64..3.0,
+        min_pts in 2usize..8,
+        rho in prop::sample::select(vec![0.01f64, 0.05, 0.2]),
+    ) {
+        let store = clustered(seed, 120);
+        let params = DbscoutParams::new(eps, min_pts).unwrap();
+        let exact = detect_outliers(&store, params).unwrap().outlier_mask();
+        let ctx = ExecutionContext::builder().workers(3).build();
+        let approx = RpDbscan::new(ctx, eps, min_pts)
+            .with_rho(rho)
+            .detect(&store)
+            .unwrap()
+            .outlier_mask;
+        for (i, (&e, &a)) in exact.iter().zip(&approx).enumerate() {
+            if e {
+                prop_assert!(a, "false negative at {i} (rho {rho})");
+            }
+        }
+    }
+
+    #[test]
+    fn ddlof_equals_sequential_lof(
+        seed in 0u64..1000,
+        k in 2usize..8,
+    ) {
+        let store = clustered(seed, 100);
+        let ctx = ExecutionContext::builder().workers(3).build();
+        let dd = Ddlof::new(ctx, k).score(&store).unwrap();
+        let seq = Lof::new(k).score(&store);
+        for (a, b) in dd.scores.iter().zip(&seq.scores) {
+            prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn dbscan_noise_equals_dbscout_on_moons() {
+    let ds = moons(800, 40, 0.05, 3);
+    let eps = dbscout_data::kdist::suggest_eps(&ds.points, 5).unwrap();
+    let params = DbscoutParams::new(eps, 5).unwrap();
+    let scout = detect_outliers(&ds.points, params).unwrap();
+    let noise = Dbscan::new(eps, 5).fit(&ds.points).unwrap().noise_mask();
+    assert_eq!(scout.outlier_mask(), noise);
+}

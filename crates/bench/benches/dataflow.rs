@@ -1,0 +1,70 @@
+//! Criterion microbenchmarks of the dataflow substrate itself: the
+//! shuffle, join and broadcast primitives every DBSCOUT phase is built
+//! from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbscout_dataflow::ExecutionContext;
+
+fn bench_dataflow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataflow");
+    g.sample_size(10);
+
+    g.bench_function("reduce_by_key_1m_records_1k_keys", |b| {
+        b.iter(|| {
+            let ctx = ExecutionContext::builder().default_partitions(8).build();
+            let ds = ctx.parallelize(
+                (0..1_000_000u64).map(|i| (i % 1000, 1u64)).collect::<Vec<_>>(),
+                8,
+            );
+            ds.reduce_by_key(|a, b| a + b).expect("run").count()
+        })
+    });
+
+    g.bench_function("join_100k_x_100k", |b| {
+        b.iter(|| {
+            let ctx = ExecutionContext::builder().default_partitions(8).build();
+            let left = ctx.parallelize(
+                (0..100_000u64).map(|i| (i % 10_000, i)).collect::<Vec<_>>(),
+                8,
+            );
+            let right = ctx.parallelize(
+                (0..100_000u64).map(|i| (i % 10_000, i * 2)).collect::<Vec<_>>(),
+                8,
+            );
+            left.join(&right).expect("run").count()
+        })
+    });
+
+    g.bench_function("group_by_key_500k", |b| {
+        b.iter(|| {
+            let ctx = ExecutionContext::builder().default_partitions(8).build();
+            let ds = ctx.parallelize(
+                (0..500_000u64).map(|i| (i % 5_000, i)).collect::<Vec<_>>(),
+                8,
+            );
+            ds.group_by_key().expect("run").count()
+        })
+    });
+
+    for parts in [2usize, 8, 32] {
+        g.bench_with_input(
+            BenchmarkId::new("map_filter_pipeline_500k", parts),
+            &parts,
+            |b, &parts| {
+                b.iter(|| {
+                    let ctx = ExecutionContext::builder().build();
+                    let ds = ctx.parallelize((0..500_000u64).collect::<Vec<_>>(), parts);
+                    ds.map(|&x| x.wrapping_mul(2654435761))
+                        .expect("run")
+                        .filter(|&x| x % 3 == 0)
+                        .expect("run")
+                        .count()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dataflow);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion head-to-head of all detectors at equal input — the
+//! micro-scale echo of Table II.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbscout_baselines::{Dbscan, Ddlof, IsolationForest, Lof, RpDbscan};
+use dbscout_bench::workloads;
+use dbscout_core::{Dbscout, DbscoutParams, DistributedDbscout};
+use dbscout_dataflow::ExecutionContext;
+
+fn bench_detectors(c: &mut Criterion) {
+    let store = workloads::osm(20_000);
+    let eps = workloads::OSM_EPS_CENTRAL;
+    let min_pts = workloads::MIN_PTS;
+    let params = DbscoutParams::new(eps, min_pts).expect("valid params");
+
+    let mut g = c.benchmark_group("detectors_20k");
+    g.sample_size(10);
+
+    g.bench_function("dbscout_native", |b| {
+        b.iter(|| Dbscout::new(params).detect(&store).expect("run"))
+    });
+    g.bench_function("dbscout_distributed", |b| {
+        b.iter(|| {
+            let ctx = ExecutionContext::builder().build();
+            DistributedDbscout::new(ctx, params).detect(&store).expect("run")
+        })
+    });
+    g.bench_function("dbscan_grid", |b| {
+        b.iter(|| Dbscan::new(eps, min_pts).fit(&store).expect("run"))
+    });
+    g.bench_function("rp_dbscan", |b| {
+        b.iter(|| {
+            let ctx = ExecutionContext::builder().build();
+            RpDbscan::new(ctx, eps, min_pts).detect(&store).expect("run")
+        })
+    });
+    g.bench_function("ddlof_k6", |b| {
+        b.iter(|| {
+            let ctx = ExecutionContext::builder().build();
+            Ddlof::new(ctx, 6).score(&store).expect("run")
+        })
+    });
+    g.bench_function("lof_k6", |b| {
+        b.iter(|| Lof::new(6).score(&store))
+    });
+    g.bench_function("isolation_forest", |b| {
+        b.iter(|| IsolationForest::new(0).score(&store))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion microbenchmarks of the spatial substrate: grid construction,
+//! neighbor-offset enumeration (k_d), and KD-tree queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbscout_bench::workloads;
+use dbscout_spatial::neighbors::count_k_d;
+use dbscout_spatial::{Grid, KdTree, NeighborOffsets};
+
+fn bench_spatial(c: &mut Criterion) {
+    let store = workloads::osm(50_000);
+
+    let mut g = c.benchmark_group("spatial");
+    g.sample_size(10);
+
+    g.bench_function("grid_build_50k", |b| {
+        b.iter(|| Grid::build(&store, workloads::OSM_EPS_CENTRAL).expect("valid eps"))
+    });
+
+    g.bench_function("kdtree_build_50k", |b| b.iter(|| KdTree::build(&store)));
+
+    let tree = KdTree::build(&store);
+    g.bench_function("kdtree_knn100_50k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in (0..store.len()).step_by(5000) {
+                acc += tree.knn(store.point(i), 100).len();
+            }
+            acc
+        })
+    });
+
+    for d in [2usize, 3, 4, 5] {
+        g.bench_with_input(BenchmarkId::new("neighbor_offsets", d), &d, |b, &d| {
+            b.iter(|| NeighborOffsets::new(d).expect("valid dims"))
+        });
+    }
+    g.bench_function("count_kd_d6", |b| b.iter(|| count_k_d(6).expect("valid")));
+    g.finish();
+}
+
+criterion_group!(benches, bench_spatial);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion ablation of the §III-G join strategies: plain shuffle join
+//! vs grouping-before-joining vs broadcast join, on the distributed
+//! engine. The paper reports up to 5× speedups from grouping at low ε.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbscout_bench::workloads;
+use dbscout_core::{DbscoutParams, DistributedDbscout, JoinStrategy};
+use dbscout_dataflow::ExecutionContext;
+
+fn bench_strategies(c: &mut Criterion) {
+    let store = workloads::osm(20_000);
+    let mut g = c.benchmark_group("join_strategies");
+    g.sample_size(10);
+
+    for (label, eps) in [("low_eps", 250_000.0), ("high_eps", 2_000_000.0)] {
+        let params = DbscoutParams::new(eps, workloads::MIN_PTS).expect("valid params");
+        for strategy in [
+            JoinStrategy::Shuffle,
+            JoinStrategy::GroupedShuffle,
+            JoinStrategy::Broadcast,
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{strategy:?}"), label),
+                &params,
+                |b, p| {
+                    b.iter(|| {
+                        let ctx = ExecutionContext::builder().build();
+                        DistributedDbscout::new(ctx, *p)
+                            .with_strategy(strategy)
+                            .detect(&store)
+                            .expect("run")
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! A tiny `--key value` argument parser for the experiment binaries (no
+//! external CLI crate is available offline).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` pairs from `std::env::args`.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process arguments. Flags must come in `--key value`
+    /// pairs; anything else is ignored.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (testable entry point).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut values = HashMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if let Some(v) = iter.peek() {
+                    if !v.starts_with("--") {
+                        values.insert(key.to_string(), iter.next().expect("peeked"));
+                        continue;
+                    }
+                }
+                values.insert(key.to_string(), String::from("true"));
+            }
+        }
+        Self { values }
+    }
+
+    /// A typed value, or `default` when absent/unparsable.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::from_args(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let a = args(&["--n", "5000", "--reps", "3"]);
+        assert_eq!(a.get("n", 0usize), 5000);
+        assert_eq!(a.get("reps", 0usize), 3);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = args(&[]);
+        assert_eq!(a.get("n", 42usize), 42);
+        assert_eq!(a.get("eps", 1.5f64), 1.5);
+    }
+
+    #[test]
+    fn bare_flags_become_true() {
+        let a = args(&["--verbose", "--n", "10"]);
+        assert!(a.get("verbose", false));
+        assert_eq!(a.get("n", 0usize), 10);
+    }
+
+    #[test]
+    fn unparsable_values_fall_back() {
+        let a = args(&["--n", "abc"]);
+        assert_eq!(a.get("n", 7usize), 7);
+    }
+}

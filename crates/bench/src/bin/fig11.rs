@@ -1,0 +1,68 @@
+//! Fig. 11: runtime vs ε on the Geolife-like dataset (minPts = 100).
+//!
+//! Paper finding: on this heavily skewed dataset neither algorithm
+//! dominates — depending on ε either DBSCOUT or RP-DBSCAN is slightly
+//! faster, because nearly all points fall into a handful of cells (at
+//! ε = 200, 40% in the most populous one), which suits RP-DBSCAN's
+//! cell-level summarisation and hurts DBSCOUT's joins.
+//!
+//! Run: `cargo run --release -p dbscout-bench --bin fig11
+//!       [--n 200000] [--reps 3]`
+
+use dbscout_baselines::RpDbscan;
+use dbscout_bench::args::Args;
+use dbscout_bench::workloads::{self, GEOLIFE_EPS_SWEEP, MIN_PTS};
+use dbscout_core::{DbscoutParams, DistributedDbscout};
+use dbscout_dataflow::ExecutionContext;
+use dbscout_metrics::plot::{LineChart, Series};
+use dbscout_metrics::table::Table;
+use dbscout_metrics::time_runs;
+use dbscout_spatial::Grid;
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("n", workloads::GEOLIFE_DEFAULT_N);
+    let reps: usize = args.get("reps", 3);
+    let svg: String = args.get("svg", "results/fig11.svg".to_string());
+    let store = workloads::geolife(n);
+
+    println!("Fig. 11 — Geolife-like: runtime vs eps (n = {n}, minPts = {MIN_PTS}, reps = {reps})\n");
+    let mut t = Table::new(&["eps", "DBSCOUT (s)", "RP-DBSCAN-A (s)", "top-cell share"]);
+    let mut scout_series = Vec::new();
+    let mut rp_series = Vec::new();
+    for eps in GEOLIFE_EPS_SWEEP {
+        let params = DbscoutParams::new(eps, MIN_PTS).expect("valid params");
+        let scout = time_runs(reps, || {
+            let ctx = ExecutionContext::builder().build();
+            DistributedDbscout::new(ctx, params)
+                .detect(&store)
+                .expect("dbscout run")
+        });
+        let rp = time_runs(reps, || {
+            let ctx = ExecutionContext::builder().build();
+            RpDbscan::new(ctx, eps, MIN_PTS)
+                .detect(&store)
+                .expect("rp-dbscan run")
+        });
+        let skew = Grid::build(&store, eps).expect("valid eps").skew();
+        scout_series.push((eps, scout.mean_secs()));
+        rp_series.push((eps, rp.mean_secs()));
+        t.row(&[
+            format!("{eps}"),
+            format!("{:.1} ± {:.1}", scout.mean_secs(), scout.std_dev_secs()),
+            format!("{:.1} ± {:.1}", rp.mean_secs(), rp.std_dev_secs()),
+            format!("{:.0}%", skew * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let chart = LineChart::new(
+        format!("Fig. 11 — Geolife-like: runtime vs eps (n = {n})"),
+        "eps",
+        "seconds",
+    )
+    .log_x()
+    .series(Series::new("DBSCOUT", scout_series))
+    .series(Series::new("RP-DBSCAN-A", rp_series));
+    dbscout_bench::figures::write_svg(&svg, &chart);
+}

@@ -1,0 +1,64 @@
+//! Fig. 12: runtime vs ε on the OSM-like dataset (minPts = 100).
+//!
+//! Paper finding: both algorithms get faster as ε grows (fewer cells);
+//! DBSCOUT wins almost everywhere, with the largest gap at the smallest ε
+//! (4.5× at the lowest value).
+//!
+//! Run: `cargo run --release -p dbscout-bench --bin fig12
+//!       [--n 400000] [--reps 3]`
+
+use dbscout_baselines::RpDbscan;
+use dbscout_bench::args::Args;
+use dbscout_bench::workloads::{self, MIN_PTS, OSM_EPS_SWEEP};
+use dbscout_core::{DbscoutParams, DistributedDbscout};
+use dbscout_dataflow::ExecutionContext;
+use dbscout_metrics::plot::{LineChart, Series};
+use dbscout_metrics::table::Table;
+use dbscout_metrics::time_runs;
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("n", workloads::OSM_DEFAULT_N);
+    let reps: usize = args.get("reps", 3);
+    let svg: String = args.get("svg", "results/fig12.svg".to_string());
+    let store = workloads::osm(n);
+
+    println!("Fig. 12 — OSM-like: runtime vs eps (n = {n}, minPts = {MIN_PTS}, reps = {reps})\n");
+    let mut t = Table::new(&["eps", "DBSCOUT (s)", "RP-DBSCAN-A (s)", "ratio"]);
+    let mut scout_series = Vec::new();
+    let mut rp_series = Vec::new();
+    for eps in OSM_EPS_SWEEP {
+        let params = DbscoutParams::new(eps, MIN_PTS).expect("valid params");
+        let scout = time_runs(reps, || {
+            let ctx = ExecutionContext::builder().build();
+            DistributedDbscout::new(ctx, params)
+                .detect(&store)
+                .expect("dbscout run")
+        });
+        let rp = time_runs(reps, || {
+            let ctx = ExecutionContext::builder().build();
+            RpDbscan::new(ctx, eps, MIN_PTS)
+                .detect(&store)
+                .expect("rp-dbscan run")
+        });
+        scout_series.push((eps, scout.mean_secs()));
+        rp_series.push((eps, rp.mean_secs()));
+        t.row(&[
+            format!("{eps:e}"),
+            format!("{:.1} ± {:.1}", scout.mean_secs(), scout.std_dev_secs()),
+            format!("{:.1} ± {:.1}", rp.mean_secs(), rp.std_dev_secs()),
+            format!("{:.1}x", rp.mean_secs() / scout.mean_secs().max(1e-9)),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let chart = LineChart::new(
+        format!("Fig. 12 — OSM-like: runtime vs eps (n = {n})"),
+        "eps",
+        "seconds",
+    )
+    .log_x()
+    .series(Series::new("DBSCOUT", scout_series))
+    .series(Series::new("RP-DBSCAN-A", rp_series));
+    dbscout_bench::figures::write_svg(&svg, &chart);
+}

@@ -1,0 +1,70 @@
+//! Fig. 13: runtime vs the number of data partitions on the OSM-like
+//! dataset (ε = 10⁶, minPts = 100).
+//!
+//! Paper finding: DBSCOUT's time first drops as partitions increase, then
+//! plateaus; RP-DBSCAN's time *grows* almost linearly with the partition
+//! count (per-partition cell dictionaries get duplicated and re-merged),
+//! so DBSCOUT suits horizontal scaling better.
+//!
+//! Run: `cargo run --release -p dbscout-bench --bin fig13
+//!       [--n 400000] [--reps 3]`
+
+use dbscout_baselines::RpDbscan;
+use dbscout_bench::args::Args;
+use dbscout_bench::workloads::{self, MIN_PTS, OSM_EPS_CENTRAL};
+use dbscout_core::{DbscoutParams, DistributedDbscout};
+use dbscout_dataflow::ExecutionContext;
+use dbscout_metrics::plot::{LineChart, Series};
+use dbscout_metrics::table::Table;
+use dbscout_metrics::time_runs;
+
+const PARTITION_SWEEP: [usize; 5] = [4, 8, 16, 32, 64];
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("n", workloads::OSM_DEFAULT_N);
+    let reps: usize = args.get("reps", 3);
+    let svg: String = args.get("svg", "results/fig13.svg".to_string());
+    let store = workloads::osm(n);
+    let params = DbscoutParams::new(OSM_EPS_CENTRAL, MIN_PTS).expect("valid params");
+
+    println!(
+        "Fig. 13 — OSM-like: runtime vs #partitions (n = {n}, eps = {OSM_EPS_CENTRAL:e}, minPts = {MIN_PTS}, reps = {reps})\n"
+    );
+    let mut t = Table::new(&["partitions", "DBSCOUT (s)", "RP-DBSCAN-A (s)"]);
+    let mut scout_series = Vec::new();
+    let mut rp_series = Vec::new();
+    for parts in PARTITION_SWEEP {
+        let scout = time_runs(reps, || {
+            let ctx = ExecutionContext::builder().build();
+            DistributedDbscout::new(ctx, params)
+                .with_partitions(parts)
+                .detect(&store)
+                .expect("dbscout run")
+        });
+        let rp = time_runs(reps, || {
+            let ctx = ExecutionContext::builder().build();
+            RpDbscan::new(ctx, OSM_EPS_CENTRAL, MIN_PTS)
+                .with_partitions(parts)
+                .detect(&store)
+                .expect("rp-dbscan run")
+        });
+        scout_series.push((parts as f64, scout.mean_secs()));
+        rp_series.push((parts as f64, rp.mean_secs()));
+        t.row(&[
+            parts.to_string(),
+            format!("{:.1} ± {:.1}", scout.mean_secs(), scout.std_dev_secs()),
+            format!("{:.1} ± {:.1}", rp.mean_secs(), rp.std_dev_secs()),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let chart = LineChart::new(
+        format!("Fig. 13 — OSM-like: runtime vs #partitions (n = {n})"),
+        "partitions",
+        "seconds",
+    )
+    .series(Series::new("DBSCOUT", scout_series))
+    .series(Series::new("RP-DBSCAN-A", rp_series));
+    dbscout_bench::figures::write_svg(&svg, &chart);
+}

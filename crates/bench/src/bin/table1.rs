@@ -1,0 +1,45 @@
+//! Table I: number of neighboring cells per dimensionality — the loose
+//! Lemma 3 upper bound `(2⌈√d⌉+1)^d` vs the actual k_d.
+//!
+//! Run: `cargo run --release -p dbscout-bench --bin table1 [--max-d 9]`
+
+use dbscout_bench::args::Args;
+use dbscout_metrics::table::Table;
+use dbscout_spatial::neighbors::{count_k_d, loose_upper_bound};
+
+/// The paper's Table I, for comparison: (d, upper bound, actual k_d).
+const PAPER: [(usize, u64, u64); 8] = [
+    (2, 25, 21),
+    (3, 125, 117),
+    (4, 625, 609),
+    (5, 16807, 3903),
+    (6, 117649, 28197),
+    (7, 823543, 197067),
+    (8, 5764801, 1278129),
+    (9, 40353607, 8077671),
+];
+
+fn main() {
+    let args = Args::parse();
+    let max_d: usize = args.get("max-d", 9);
+
+    println!("Table I — neighboring-cell counts per dimensionality\n");
+    let mut t = Table::new(&["d", "upper bound", "actual k_d", "paper bound", "paper k_d", "match"]);
+    for &(d, paper_bound, paper_kd) in PAPER.iter().filter(|(d, ..)| *d <= max_d) {
+        let bound = loose_upper_bound(d);
+        let kd = count_k_d(d).expect("d within range");
+        t.row(&[
+            d.to_string(),
+            bound.to_string(),
+            kd.to_string(),
+            paper_bound.to_string(),
+            paper_kd.to_string(),
+            if bound == paper_bound && kd == paper_kd {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,63 @@
+//! Table IV: RP-DBSCAN detection accuracy vs exact DBSCOUT on the
+//! Geolife-like dataset, over the ε sweep {25, 50, 100, 200}
+//! (minPts = 100, ρ = 0.01).
+//!
+//! Paper reference (Geolife, 24.9M points):
+//!
+//! | eps | DBSCOUT | RP-DBSCAN | TP    | FP   | FN |
+//! |-----|---------|-----------|-------|------|----|
+//! | 25  | 25652   | 30297     | 25632 | 4665 | 20 |
+//! | 50  | 14829   | 17143     | 14829 | 2314 | 0  |
+//! | 100 | 6750    | 8536      | 6750  | 1786 | 0  |
+//! | 200 | 2498    | 3096      | 2498  | 598  | 0  |
+//!
+//! Shape to verify: RP-DBSCAN finds a **superset** — sizable FP
+//! (7–19% of its output), FN ≈ 0.
+//!
+//! Run: `cargo run --release -p dbscout-bench --bin table4 [--n 200000]`
+
+use dbscout_baselines::RpDbscan;
+use dbscout_bench::args::Args;
+use dbscout_bench::workloads::{self, GEOLIFE_EPS_SWEEP, MIN_PTS};
+use dbscout_core::{detect_outliers, DbscoutParams};
+use dbscout_dataflow::ExecutionContext;
+use dbscout_metrics::table::Table;
+use dbscout_metrics::ConfusionMatrix;
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("n", workloads::GEOLIFE_DEFAULT_N);
+    let store = workloads::geolife(n);
+
+    println!("Table IV — RP-DBSCAN-A accuracy on Geolife-like (n = {n}, minPts = {MIN_PTS}, rho = 0.01)\n");
+    let mut t = Table::new(&["eps", "DBSCOUT", "RP-DBSCAN-A", "TP", "FP", "FN", "FP/output"]);
+    for eps in GEOLIFE_EPS_SWEEP {
+        let params = DbscoutParams::new(eps, MIN_PTS).expect("valid params");
+        let exact = detect_outliers(&store, params)
+            .expect("dbscout run")
+            .outlier_mask();
+        let ctx = ExecutionContext::builder().build();
+        let approx = RpDbscan::new(ctx, eps, MIN_PTS)
+            .detect(&store)
+            .expect("rp-dbscan run")
+            .outlier_mask;
+        // "Actual" class = the exact DBSCOUT outliers (the paper compares
+        // RP-DBSCAN's output against DBSCOUT's exact Definition-3 set).
+        let m = ConfusionMatrix::from_masks(&approx, &exact);
+        let rp_total = m.tp + m.fp;
+        t.row(&[
+            format!("{eps}"),
+            (m.tp + m.fn_).to_string(),
+            rp_total.to_string(),
+            m.tp.to_string(),
+            m.fp.to_string(),
+            m.fn_.to_string(),
+            if rp_total > 0 {
+                format!("{:.1}%", 100.0 * m.fp as f64 / rp_total as f64)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    println!("{}", t.render());
+}

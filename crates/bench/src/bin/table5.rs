@@ -1,0 +1,60 @@
+//! Table V: RP-DBSCAN detection accuracy vs exact DBSCOUT on the OSM-like
+//! dataset, over the ε sweep {0.25, 0.5, 1, 2}·10⁶ (minPts = 100,
+//! ρ = 0.01).
+//!
+//! Paper reference (OpenStreetMap, 2.77B points):
+//!
+//! | eps     | DBSCOUT | RP-DBSCAN | TP      | FP      | FN  |
+//! |---------|---------|-----------|---------|---------|-----|
+//! | 250000  | 5343651 | 6594305   | 5343151 | 1251154 | 500 |
+//! | 500000  | 2198398 | 2612656   | 2198224 | 414432  | 174 |
+//! | 1000000 | 1084141 | 1225326   | 1083932 | 141394  | 209 |
+//! | 2000000 | 506386  | 547805    | 505966  | 41839   | 420 |
+//!
+//! Shape to verify: superset output, FP a noticeable share, FN ≈ 0.01%.
+//!
+//! Run: `cargo run --release -p dbscout-bench --bin table5 [--n 400000]`
+
+use dbscout_baselines::RpDbscan;
+use dbscout_bench::args::Args;
+use dbscout_bench::workloads::{self, MIN_PTS, OSM_EPS_SWEEP};
+use dbscout_core::{detect_outliers, DbscoutParams};
+use dbscout_dataflow::ExecutionContext;
+use dbscout_metrics::table::Table;
+use dbscout_metrics::ConfusionMatrix;
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("n", workloads::OSM_DEFAULT_N);
+    let store = workloads::osm(n);
+
+    println!("Table V — RP-DBSCAN-A accuracy on OSM-like (n = {n}, minPts = {MIN_PTS}, rho = 0.01)\n");
+    let mut t = Table::new(&["eps", "DBSCOUT", "RP-DBSCAN-A", "TP", "FP", "FN", "FP/output"]);
+    for eps in OSM_EPS_SWEEP {
+        let params = DbscoutParams::new(eps, MIN_PTS).expect("valid params");
+        let exact = detect_outliers(&store, params)
+            .expect("dbscout run")
+            .outlier_mask();
+        let ctx = ExecutionContext::builder().build();
+        let approx = RpDbscan::new(ctx, eps, MIN_PTS)
+            .detect(&store)
+            .expect("rp-dbscan run")
+            .outlier_mask;
+        let m = ConfusionMatrix::from_masks(&approx, &exact);
+        let rp_total = m.tp + m.fp;
+        t.row(&[
+            format!("{eps:e}"),
+            (m.tp + m.fn_).to_string(),
+            rp_total.to_string(),
+            m.tp.to_string(),
+            m.fp.to_string(),
+            m.fn_.to_string(),
+            if rp_total > 0 {
+                format!("{:.1}%", 100.0 * m.fp as f64 / rp_total as f64)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,33 @@
+//! Figure output helper: write a chart next to the textual table.
+
+use dbscout_metrics::plot::LineChart;
+
+/// Writes `chart` as SVG to `path`, creating parent directories; errors
+/// are reported to stderr rather than aborting the experiment (the
+/// textual table already went to stdout).
+pub fn write_svg(path: &str, chart: &LineChart) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(path, chart.to_svg()) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscout_metrics::plot::Series;
+
+    #[test]
+    fn writes_svg_file() {
+        let dir = std::env::temp_dir().join("dbscout-figures-test");
+        let path = dir.join("t.svg").to_string_lossy().into_owned();
+        let chart = LineChart::new("t", "x", "y")
+            .series(Series::new("s", vec![(0.0, 1.0), (1.0, 2.0)]));
+        write_svg(&path, &chart);
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("<svg"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper's evaluation (§IV). See `DESIGN.md` for the
+//! experiment ↔ binary index and `EXPERIMENTS.md` for recorded results.
+//!
+//! Binaries (run with `cargo run --release -p dbscout-bench --bin <name>`):
+//!
+//! | binary          | reproduces                                         |
+//! |-----------------|----------------------------------------------------|
+//! | `table1`        | Table I — k_d bounds vs actual per dimensionality  |
+//! | `table2_fig10`  | Table II + Fig. 10 — runtime vs input size         |
+//! | `fig11`         | Fig. 11 — runtime vs ε on Geolife-like             |
+//! | `fig12`         | Fig. 12 — runtime vs ε on OSM-like                 |
+//! | `fig13`         | Fig. 13 — runtime vs number of partitions          |
+//! | `table3`        | Table III — F1 vs LOF / IF / OC-SVM                |
+//! | `table4`        | Table IV — RP-DBSCAN accuracy on Geolife-like      |
+//! | `table5`        | Table V — RP-DBSCAN accuracy on OSM-like           |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod args;
+pub mod figures;
+pub mod runner;
+pub mod workloads;

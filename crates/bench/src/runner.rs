@@ -1,0 +1,95 @@
+//! Budgeted repeated-run measurement for the scalability sweeps.
+//!
+//! The paper marks configurations that ran out of memory or exceeded a
+//! 4-hour limit with "-" in Table II; laptop-scale reproductions use the
+//! same mechanism with a (configurable) per-run budget: once an
+//! algorithm's run exceeds the budget, larger configurations of the same
+//! sweep are skipped.
+
+use std::time::{Duration, Instant};
+
+use dbscout_metrics::TimingStats;
+
+/// A per-algorithm sweep guard: measures runs until one exceeds the
+/// budget, then reports `None` (the paper's "-") for everything after.
+#[derive(Debug)]
+pub struct BudgetedRunner {
+    budget: Duration,
+    repetitions: usize,
+    exhausted: bool,
+}
+
+impl BudgetedRunner {
+    /// A runner with a per-run `budget` and a repetition count for
+    /// configurations that fit the budget.
+    pub fn new(budget: Duration, repetitions: usize) -> Self {
+        Self {
+            budget,
+            repetitions: repetitions.max(1),
+            exhausted: false,
+        }
+    }
+
+    /// Whether a previous run blew the budget.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Measures `f`, or returns `None` if the budget was previously
+    /// exceeded. The first run doubles as a warm-up probe: if it exceeds
+    /// the budget, no repetitions are added and the runner trips.
+    pub fn measure<T>(&mut self, mut f: impl FnMut() -> T) -> Option<TimingStats> {
+        if self.exhausted {
+            return None;
+        }
+        let t = Instant::now();
+        std::hint::black_box(f());
+        let first = t.elapsed();
+        if first > self.budget {
+            self.exhausted = true;
+            // Still report the one completed run: the paper reports the
+            // run that *finished* before declaring larger ones hopeless.
+            return Some(TimingStats::new(vec![first]));
+        }
+        let mut runs = vec![first];
+        for _ in 1..self.repetitions {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            runs.push(t.elapsed());
+        }
+        Some(TimingStats::new(runs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_budget_runs_all_repetitions() {
+        let mut r = BudgetedRunner::new(Duration::from_secs(10), 3);
+        let mut calls = 0;
+        let s = r.measure(|| calls += 1).unwrap();
+        assert_eq!(calls, 3);
+        assert_eq!(s.runs.len(), 3);
+        assert!(!r.exhausted());
+    }
+
+    #[test]
+    fn budget_blown_trips_the_runner() {
+        let mut r = BudgetedRunner::new(Duration::from_millis(1), 5);
+        let s = r
+            .measure(|| std::thread::sleep(Duration::from_millis(5)))
+            .unwrap();
+        assert_eq!(s.runs.len(), 1, "no repetitions after a blown budget");
+        assert!(r.exhausted());
+        assert!(r.measure(|| ()).is_none(), "subsequent configs skipped");
+    }
+
+    #[test]
+    fn zero_repetitions_clamped_to_one() {
+        let mut r = BudgetedRunner::new(Duration::from_secs(1), 0);
+        let s = r.measure(|| ()).unwrap();
+        assert_eq!(s.runs.len(), 1);
+    }
+}

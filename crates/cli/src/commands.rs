@@ -1,0 +1,390 @@
+//! Subcommand implementations. Each returns the report to print, so the
+//! logic is testable without spawning processes.
+
+use std::fmt::Write as _;
+
+use dbscout_core::{Dbscout, DbscoutParams, DistributedDbscout};
+use dbscout_data::generators as gen;
+use dbscout_data::io::{read_csv, write_csv};
+use dbscout_data::kdist::{elbow_eps, kdist_graph};
+use dbscout_dataflow::ExecutionContext;
+use dbscout_spatial::{Grid, PointStore};
+
+use crate::cli::{CliError, Flags};
+
+fn io_err(e: impl std::fmt::Display) -> CliError {
+    CliError::new(e.to_string())
+}
+
+/// `dbscout detect`: read points, run DBSCOUT, report / write outliers.
+pub fn detect(flags: &Flags) -> Result<String, CliError> {
+    let input: String = flags.require("input")?;
+    let eps: f64 = flags.require("eps")?;
+    let min_pts: usize = flags.require("min-pts")?;
+    let engine: String = flags.get("engine", "native".to_string())?;
+    let labeled = flags.has("labeled");
+
+    let (store, truth) = read_csv(&input, labeled).map_err(io_err)?;
+    let params = DbscoutParams::new(eps, min_pts).map_err(io_err)?;
+
+    let t = std::time::Instant::now();
+    let result = match engine.as_str() {
+        "native" => {
+            let threads: usize = flags.get("threads", 0)?;
+            let mut d = Dbscout::new(params);
+            if threads > 0 {
+                d = d.with_threads(threads);
+            }
+            d.detect(&store).map_err(io_err)?
+        }
+        "distributed" => {
+            let ctx = ExecutionContext::builder().build();
+            DistributedDbscout::new(ctx, params)
+                .detect(&store)
+                .map_err(io_err)?
+        }
+        other => return Err(CliError::new(format!("unknown engine {other:?}"))),
+    };
+    let elapsed = t.elapsed();
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} points, eps = {eps}, minPts = {min_pts}, engine = {engine}",
+        store.len()
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "{} outliers, {} core points, {} cells ({} dense, {} core) in {elapsed:?}",
+        result.num_outliers(),
+        result.num_core(),
+        result.stats.num_cells,
+        result.stats.dense_cells,
+        result.stats.core_cells,
+    )
+    .expect("write to string");
+
+    if let Some(truth) = truth {
+        let m = dbscout_metrics::ConfusionMatrix::from_masks(&result.outlier_mask(), &truth);
+        writeln!(
+            out,
+            "vs labels: precision {:.4}, recall {:.4}, F1 {:.4}",
+            m.precision(),
+            m.recall(),
+            m.f1()
+        )
+        .expect("write to string");
+    }
+
+    if let Ok(path) = flags.require::<String>("output") {
+        let mask = result.outlier_mask();
+        write_csv(&path, &store, Some(&mask)).map_err(io_err)?;
+        writeln!(out, "wrote labelled output to {path}").expect("write to string");
+    }
+    Ok(out)
+}
+
+/// `dbscout generate`: emit a synthetic dataset as CSV.
+pub fn generate(flags: &Flags) -> Result<String, CliError> {
+    let dataset: String = flags.require("dataset")?;
+    let output: String = flags.require("output")?;
+    let n: usize = flags.get("n", 10_000)?;
+    let seed: u64 = flags.get("seed", 1)?;
+    let labeled = flags.has("labeled");
+
+    let n_out = (n / 100).max(1);
+    let n_in = n.saturating_sub(n_out).max(1);
+    let (store, labels): (PointStore, Option<Vec<bool>>) = match dataset.as_str() {
+        "blobs" => labeled_parts(gen::blobs(n_in, n_out, 3, 0.5, seed)),
+        "circles" => labeled_parts(gen::circles(n_in, n_out, 0.5, 0.03, seed)),
+        "moons" => labeled_parts(gen::moons(n_in, n_out, 0.04, seed)),
+        "cluto-t4" => labeled_parts(gen::cluto_t4_like(seed)),
+        "cluto-t5" => labeled_parts(gen::cluto_t5_like(seed)),
+        "cluto-t7" => labeled_parts(gen::cluto_t7_like(seed)),
+        "cluto-t8" => labeled_parts(gen::cluto_t8_like(seed)),
+        "cure-t2" => labeled_parts(gen::cure_t2_like(seed)),
+        "geolife" => (gen::geolife_like(n, seed), None),
+        "osm" => (gen::osm_like(n, seed), None),
+        other => return Err(CliError::new(format!("unknown dataset {other:?}"))),
+    };
+    let labels = if labeled { labels } else { None };
+    write_csv(&output, &store, labels.as_deref()).map_err(io_err)?;
+    Ok(format!(
+        "wrote {} {}-dimensional points to {output}{}\n",
+        store.len(),
+        store.dims(),
+        if labels.is_some() { " (with labels)" } else { "" }
+    ))
+}
+
+fn labeled_parts(ds: dbscout_data::LabeledDataset) -> (PointStore, Option<Vec<bool>>) {
+    (ds.points, Some(ds.labels))
+}
+
+/// `dbscout kdist`: print the k-dist graph summary and the elbow ε.
+pub fn kdist(flags: &Flags) -> Result<String, CliError> {
+    let input: String = flags.require("input")?;
+    let k: usize = flags.get("k", 5)?;
+    let (store, _) = read_csv(&input, flags.has("labeled")).map_err(io_err)?;
+    if store.len() < 3 {
+        return Err(CliError::new("need at least 3 points for a k-dist graph"));
+    }
+    let graph = kdist_graph(&store, k);
+    let eps = elbow_eps(&graph).expect("len >= 3 checked above");
+    let q = |f: f64| graph[((graph.len() - 1) as f64 * f) as usize];
+    Ok(format!(
+        "k-dist graph (k = {k}, {} points)\n\
+         max {:.6}  p90 {:.6}  median {:.6}  p10 {:.6}  min {:.6}\n\
+         suggested eps (elbow): {eps:.6}\n",
+        store.len(),
+        graph[0],
+        q(0.1),
+        q(0.5),
+        q(0.9),
+        graph[graph.len() - 1],
+    ))
+}
+
+/// `dbscout sweep`: run DBSCOUT over an ε ladder (geometric between
+/// `--from` and `--to`, or ±2 octaves around the k-dist elbow) and report
+/// outlier counts (plus F1 when labels are present).
+pub fn sweep(flags: &Flags) -> Result<String, CliError> {
+    let input: String = flags.require("input")?;
+    let min_pts: usize = flags.get("min-pts", 5)?;
+    let steps: usize = flags.get("steps", 7)?;
+    if steps < 2 {
+        return Err(CliError::new("--steps must be at least 2"));
+    }
+    let labeled = flags.has("labeled");
+    let (store, truth) = read_csv(&input, labeled).map_err(io_err)?;
+
+    let (from, to) = match (flags.require::<f64>("from"), flags.require::<f64>("to")) {
+        (Ok(a), Ok(b)) if a > 0.0 && b > a => (a, b),
+        (Ok(_), Ok(_)) => return Err(CliError::new("--from/--to must satisfy 0 < from < to")),
+        _ => {
+            let elbow = dbscout_data::kdist::suggest_eps(&store, min_pts)
+                .ok_or_else(|| CliError::new("dataset too small for a k-dist elbow"))?;
+            (elbow / 4.0, elbow * 4.0)
+        }
+    };
+
+    let mut out = format!(
+        "eps sweep on {} points (minPts = {min_pts}): {from:.6} .. {to:.6}\n",
+        store.len()
+    );
+    let ratio = (to / from).powf(1.0 / (steps - 1) as f64);
+    for i in 0..steps {
+        let eps = from * ratio.powi(i as i32);
+        let params = DbscoutParams::new(eps, min_pts).map_err(io_err)?;
+        let result = Dbscout::new(params).detect(&store).map_err(io_err)?;
+        write!(out, "  eps {eps:12.6}: {:6} outliers", result.num_outliers())
+            .expect("write to string");
+        if let Some(truth) = &truth {
+            let f1 =
+                dbscout_metrics::ConfusionMatrix::from_masks(&result.outlier_mask(), truth).f1();
+            write!(out, "  F1 {f1:.4}").expect("write to string");
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `dbscout compare`: DBSCOUT vs LOF / IF / kNN-dist on a labelled CSV.
+pub fn compare(flags: &Flags) -> Result<String, CliError> {
+    use dbscout_baselines::{IsolationForest, KnnOutlier, Lof};
+
+    let input: String = flags.require("input")?;
+    let min_pts: usize = flags.get("min-pts", 5)?;
+    let k: usize = flags.get("k", 20)?;
+    let (store, truth) = read_csv(&input, true).map_err(io_err)?;
+    let truth = truth.expect("read_csv(labeled = true) returns labels");
+    let nu = truth.iter().filter(|&&t| t).count() as f64 / truth.len().max(1) as f64;
+    if nu == 0.0 {
+        return Err(CliError::new("no positive labels in the input"));
+    }
+
+    let eps = match flags.require::<f64>("eps") {
+        Ok(e) => e,
+        Err(_) => dbscout_data::kdist::suggest_eps(&store, min_pts)
+            .ok_or_else(|| CliError::new("dataset too small for a k-dist elbow"))?,
+    };
+    let params = DbscoutParams::new(eps, min_pts).map_err(io_err)?;
+    let scout = Dbscout::new(params).detect(&store).map_err(io_err)?;
+
+    let mut table = dbscout_metrics::table::Table::new(&[
+        "detector", "params", "precision", "recall", "F1",
+    ]);
+    let mut add = |name: &str, p: String, mask: &[bool]| {
+        let m = dbscout_metrics::ConfusionMatrix::from_masks(mask, &truth);
+        table.row(&[
+            name.to_string(),
+            p,
+            format!("{:.4}", m.precision()),
+            format!("{:.4}", m.recall()),
+            format!("{:.4}", m.f1()),
+        ]);
+    };
+    add(
+        "DBSCOUT",
+        format!("eps={eps:.4} minPts={min_pts}"),
+        &scout.outlier_mask(),
+    );
+    add(
+        "LOF",
+        format!("k={k} nu={nu:.3}"),
+        &Lof::new(k).detect(&store, nu),
+    );
+    add(
+        "IsolationForest",
+        format!("nu={nu:.3}"),
+        &IsolationForest::new(0).detect(&store, nu),
+    );
+    add(
+        "kNN-dist",
+        format!("k={k} nu={nu:.3}"),
+        &KnnOutlier::new(k).detect(&store, nu),
+    );
+    Ok(format!("{}\n", table.render()))
+}
+
+/// `dbscout info`: dataset statistics (and grid stats at a given ε).
+pub fn info(flags: &Flags) -> Result<String, CliError> {
+    let input: String = flags.require("input")?;
+    let (store, _) = read_csv(&input, flags.has("labeled")).map_err(io_err)?;
+    let mut out = format!("{} points, {} dimensions\n", store.len(), store.dims());
+    if let Some((min, max)) = store.bounding_box() {
+        writeln!(out, "bounding box: min {min:?}, max {max:?}").expect("write to string");
+    }
+    if let Ok(eps) = flags.require::<f64>("eps") {
+        let grid = Grid::build(&store, eps).map_err(io_err)?;
+        writeln!(
+            out,
+            "grid at eps = {eps}: {} non-empty cells, heaviest holds {:.2}% of points",
+            grid.num_cells(),
+            grid.skew() * 100.0
+        )
+        .expect("write to string");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::cli::run;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("dbscout-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_then_detect_round_trip() {
+        let data = tmp("blobs.csv");
+        let report = run(&argv(&[
+            "generate", "--dataset", "blobs", "--n", "2000", "--seed", "7", "--output", &data,
+            "--labeled",
+        ]))
+        .unwrap();
+        assert!(report.contains("2000"), "{report}");
+
+        let out = tmp("flagged.csv");
+        let report = run(&argv(&[
+            "detect", "--input", &data, "--labeled", "--eps", "0.6", "--min-pts", "5",
+            "--output", &out,
+        ]))
+        .unwrap();
+        assert!(report.contains("outliers"), "{report}");
+        assert!(report.contains("F1"), "{report}");
+        assert!(std::path::Path::new(&out).exists());
+    }
+
+    #[test]
+    fn detect_engines_agree() {
+        let data = tmp("moons.csv");
+        run(&argv(&[
+            "generate", "--dataset", "moons", "--n", "1000", "--output", &data,
+        ]))
+        .unwrap();
+        let native = run(&argv(&[
+            "detect", "--input", &data, "--eps", "0.1", "--min-pts", "5",
+        ]))
+        .unwrap();
+        let dist = run(&argv(&[
+            "detect", "--input", &data, "--eps", "0.1", "--min-pts", "5", "--engine",
+            "distributed",
+        ]))
+        .unwrap();
+        let count = |r: &str| {
+            r.lines()
+                .nth(1)
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(count(&native), count(&dist));
+    }
+
+    #[test]
+    fn kdist_and_info_report() {
+        let data = tmp("circles.csv");
+        run(&argv(&[
+            "generate", "--dataset", "circles", "--n", "500", "--output", &data,
+        ]))
+        .unwrap();
+        let report = run(&argv(&["kdist", "--input", &data, "--k", "4"])).unwrap();
+        assert!(report.contains("suggested eps"), "{report}");
+        let report = run(&argv(&["info", "--input", &data, "--eps", "0.1"])).unwrap();
+        assert!(report.contains("non-empty cells"), "{report}");
+    }
+
+    #[test]
+    fn sweep_reports_ladder_with_f1() {
+        let data = tmp("sweep.csv");
+        run(&argv(&[
+            "generate", "--dataset", "blobs", "--n", "1500", "--output", &data, "--labeled",
+        ]))
+        .unwrap();
+        let report = run(&argv(&[
+            "sweep", "--input", &data, "--labeled", "--min-pts", "5", "--steps", "4",
+        ]))
+        .unwrap();
+        assert_eq!(report.matches("F1").count(), 4, "{report}");
+        assert!(run(&argv(&["sweep", "--input", &data, "--steps", "1"])).is_err());
+        assert!(run(&argv(&[
+            "sweep", "--input", &data, "--from", "2.0", "--to", "1.0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn compare_ranks_detectors() {
+        let data = tmp("compare.csv");
+        run(&argv(&[
+            "generate", "--dataset", "moons", "--n", "1500", "--output", &data, "--labeled",
+        ]))
+        .unwrap();
+        let report = run(&argv(&["compare", "--input", &data, "--min-pts", "5"])).unwrap();
+        assert!(report.contains("DBSCOUT"), "{report}");
+        assert!(report.contains("IsolationForest"), "{report}");
+        assert!(report.contains("kNN-dist"), "{report}");
+    }
+
+    #[test]
+    fn bad_inputs_are_clean_errors() {
+        assert!(run(&argv(&["detect", "--input", "/nonexistent.csv", "--eps", "1",
+            "--min-pts", "5"])).is_err());
+        assert!(run(&argv(&["generate", "--dataset", "nope", "--output", &tmp("x.csv")]))
+            .is_err());
+        assert!(run(&argv(&["detect", "--input", &tmp("x.csv"), "--eps", "-1",
+            "--min-pts", "5"])).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! `dbscout` — command-line outlier detection.
+//!
+//! ```text
+//! dbscout detect   --input pts.csv --eps 0.5 --min-pts 5 [--engine native|distributed]
+//!                  [--labeled] [--output outliers.csv] [--threads N]
+//! dbscout generate --dataset blobs|circles|moons|geolife|osm --n 10000 --seed 1
+//!                  --output pts.csv [--labeled]
+//! dbscout kdist    --input pts.csv --k 5
+//! dbscout info     --input pts.csv [--eps 0.5]
+//! ```
+
+use std::process::ExitCode;
+
+mod cli;
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::run(&args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Property tests for the CLI argument layer: arbitrary flag soups must
+//! never panic, and well-formed pairs must round-trip.
+
+use proptest::prelude::*;
+
+fn run(args: Vec<String>) -> Result<String, String> {
+    // Reach the parser through the binary's public behavior: unknown
+    // subcommands and malformed flags must come back as clean errors.
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_dbscout"))
+        .args(&args)
+        .output()
+        .expect("binary runs");
+    if output.status.success() {
+        Ok(String::from_utf8_lossy(&output.stdout).into_owned())
+    } else {
+        Err(String::from_utf8_lossy(&output.stderr).into_owned())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn arbitrary_flag_soup_never_panics(
+        words in prop::collection::vec("[a-z0-9./-]{1,12}", 0..6),
+    ) {
+        // Whatever the words are, the process must exit cleanly (success
+        // or a usage error), never abort.
+        let result = run(words);
+        if let Err(stderr) = result {
+            prop_assert!(stderr.contains("error:"), "no clean error: {stderr}");
+            prop_assert!(!stderr.contains("panicked"), "panic leaked: {stderr}");
+        }
+    }
+
+    #[test]
+    fn detect_validates_numbers(
+        eps in prop::sample::select(vec!["-1", "0", "abc", ""]),
+    ) {
+        let err = run(vec![
+            "detect".into(),
+            "--input".into(),
+            "/nonexistent.csv".into(),
+            "--eps".into(),
+            eps.to_string(),
+            "--min-pts".into(),
+            "5".into(),
+        ])
+        .unwrap_err();
+        prop_assert!(err.contains("error:"), "{err}");
+        prop_assert!(!err.contains("panicked"), "{err}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for DBSCOUT runs.
+
+use std::fmt;
+
+use dbscout_dataflow::EngineError;
+use dbscout_spatial::SpatialError;
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, DbscoutError>;
+
+/// Errors from configuring or running DBSCOUT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbscoutError {
+    /// Invalid spatial input (bad ε, dimensionality, non-finite data, …).
+    Spatial(SpatialError),
+    /// The dataflow substrate failed (a task panicked, …).
+    Engine(EngineError),
+    /// `minPts` must be at least 1.
+    InvalidMinPts {
+        /// The offending value.
+        value: usize,
+    },
+}
+
+impl fmt::Display for DbscoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbscoutError::Spatial(e) => write!(f, "spatial error: {e}"),
+            DbscoutError::Engine(e) => write!(f, "dataflow error: {e}"),
+            DbscoutError::InvalidMinPts { value } => {
+                write!(f, "minPts must be at least 1, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbscoutError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbscoutError::Spatial(e) => Some(e),
+            DbscoutError::Engine(e) => Some(e),
+            DbscoutError::InvalidMinPts { .. } => None,
+        }
+    }
+}
+
+impl From<SpatialError> for DbscoutError {
+    fn from(e: SpatialError) -> Self {
+        DbscoutError::Spatial(e)
+    }
+}
+
+impl From<EngineError> for DbscoutError {
+    fn from(e: EngineError) -> Self {
+        DbscoutError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: DbscoutError = SpatialError::ZeroDims.into();
+        assert!(matches!(e, DbscoutError::Spatial(_)));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: DbscoutError = EngineError::ContextMismatch.into();
+        assert!(matches!(e, DbscoutError::Engine(_)));
+
+        let e = DbscoutError::InvalidMinPts { value: 0 };
+        assert!(e.to_string().contains("minPts"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

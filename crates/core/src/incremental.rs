@@ -1,0 +1,570 @@
+//! Incremental (insert-only) DBSCOUT — an extension beyond the paper.
+//!
+//! The batch algorithm answers "which points are outliers *now*"; GPS
+//! workloads, the paper's motivating domain, grow continuously. Because
+//! the Definition 2–3 quantities are monotone under insertion (neighbor
+//! counts only grow, so points only ever move Outlier → Covered → Core,
+//! never back), outlier status can be maintained exactly with work
+//! localized to the new point's cell neighborhood:
+//!
+//! * the new point's ε-neighbors each gain one neighbor — some cross the
+//!   `minPts` threshold and become core;
+//! * every newly-core point immediately covers the former outliers in
+//!   its own ε-ball;
+//! * the new point itself is labelled by the usual rules.
+//!
+//! Each insertion touches only the O(k_d) neighboring cells of the
+//! affected points, so maintenance stays constant-time for fixed
+//! parameters (amortized over bounded-density data). A property test
+//! pins the invariant: after any insertion sequence the labels equal a
+//! from-scratch batch run.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+use dbscout_spatial::cell::{cell_of, cell_side, CellCoord};
+use dbscout_spatial::distance::within;
+use dbscout_spatial::points::PointId;
+use dbscout_spatial::{NeighborOffsets, PointStore};
+
+use crate::error::Result;
+use crate::labels::PointLabel;
+use crate::params::DbscoutParams;
+
+type DetState = BuildHasherDefault<DefaultHasher>;
+
+/// An insert-only, exactly-maintained DBSCOUT state.
+///
+/// ```
+/// use dbscout_core::incremental::IncrementalDbscout;
+/// use dbscout_core::{DbscoutParams, PointLabel};
+///
+/// let params = DbscoutParams::new(1.0, 3).unwrap();
+/// let mut inc = IncrementalDbscout::new(2, params).unwrap();
+/// let lone = inc.insert(&[100.0, 100.0]).unwrap();
+/// assert_eq!(inc.label(lone), PointLabel::Outlier);
+/// for i in 0..3 {
+///     inc.insert(&[i as f64 * 0.1, 0.0]).unwrap();
+/// }
+/// // The cluster is dense now; the far point is still the only outlier.
+/// assert_eq!(inc.outliers(), vec![lone]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalDbscout {
+    params: DbscoutParams,
+    side: f64,
+    store: PointStore,
+    cells: HashMap<CellCoord, Vec<PointId>, DetState>,
+    offsets: NeighborOffsets,
+    /// Exact ε-neighbor count per point (self included).
+    counts: Vec<u32>,
+    labels: Vec<PointLabel>,
+    /// Tombstones: `false` once a point has been removed. Removed points
+    /// keep their slot (ids stay stable) but leave every computation.
+    alive: Vec<bool>,
+    num_alive: usize,
+}
+
+impl IncrementalDbscout {
+    /// An empty incremental detector for `dims`-dimensional points.
+    pub fn new(dims: usize, params: DbscoutParams) -> Result<Self> {
+        let offsets = NeighborOffsets::new(dims)?;
+        Ok(Self {
+            params,
+            side: cell_side(params.eps, dims),
+            store: PointStore::new(dims)?,
+            cells: HashMap::default(),
+            offsets,
+            counts: Vec::new(),
+            labels: Vec::new(),
+            alive: Vec::new(),
+            num_alive: 0,
+        })
+    }
+
+    /// Bulk-loads an initial dataset (equivalent to inserting every point
+    /// in order, but with the counts computed in one pass).
+    pub fn from_store(store: &PointStore, params: DbscoutParams) -> Result<Self> {
+        let mut inc = Self::new(store.dims(), params)?;
+        for (_, p) in store.iter() {
+            inc.insert(p)?;
+        }
+        Ok(inc)
+    }
+
+    /// Number of live (non-removed) points.
+    pub fn len(&self) -> usize {
+        self.num_alive
+    }
+
+    /// Whether the detector holds no live points.
+    pub fn is_empty(&self) -> bool {
+        self.num_alive == 0
+    }
+
+    /// Number of slots ever allocated (live + removed); ids are always
+    /// `0..total_inserted()`.
+    pub fn total_inserted(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether `id` is live (inserted and not removed).
+    pub fn is_alive(&self, id: PointId) -> bool {
+        self.alive.get(id as usize).copied().unwrap_or(false)
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> DbscoutParams {
+        self.params
+    }
+
+    /// The current label of a point.
+    pub fn label(&self, id: PointId) -> PointLabel {
+        self.labels[id as usize]
+    }
+
+    /// All current labels, indexed by point id.
+    pub fn labels(&self) -> &[PointLabel] {
+        &self.labels
+    }
+
+    /// Ids of all current live outliers, ascending.
+    pub fn outliers(&self) -> Vec<PointId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(i, l)| self.alive[i] && l.is_outlier())
+            .map(|(i, _)| i as PointId)
+            .collect()
+    }
+
+    /// The underlying point store.
+    pub fn store(&self) -> &PointStore {
+        &self.store
+    }
+
+    /// Inserts one point and restores all label invariants; returns the
+    /// new point's id.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dimension mismatch or non-finite coordinates
+    /// ([`dbscout_spatial::SpatialError`] via [`crate::DbscoutError`]).
+    pub fn insert(&mut self, point: &[f64]) -> Result<PointId> {
+        let id = self.store.push(point)?;
+        let eps_sq = self.params.eps_sq();
+        let min_pts = self.params.min_pts as u32;
+        let cell = cell_of(point, self.side);
+
+        // Find all ε-neighbors of the new point among existing points and
+        // bump their counts; collect the ones that just became core.
+        let mut my_count = 1u32; // self
+        let mut newly_core: Vec<PointId> = Vec::new();
+        for off in self.offsets.iter() {
+            let ncell = NeighborOffsets::apply(&cell, off);
+            let Some(ids) = self.cells.get(&ncell) else {
+                continue;
+            };
+            for &q in ids {
+                if within(point, self.store.point(q), eps_sq) {
+                    my_count += 1;
+                    self.counts[q as usize] += 1;
+                    if self.counts[q as usize] == min_pts {
+                        newly_core.push(q);
+                    }
+                }
+            }
+        }
+
+        // Label the new point before registering it, so the coverage scan
+        // only ever sees fully-labelled points.
+        let label = if my_count >= min_pts {
+            newly_core.push(id);
+            PointLabel::Core
+        } else if self.covered_by_core(point, &cell) {
+            PointLabel::Covered
+        } else {
+            PointLabel::Outlier
+        };
+        self.cells.entry(cell).or_default().push(id);
+        self.counts.push(my_count);
+        self.labels.push(label);
+        self.alive.push(true);
+        self.num_alive += 1;
+
+        // Every newly-core point upgrades itself and rescues the former
+        // outliers inside its ε-ball (monotone: no downgrade can occur).
+        for c in newly_core {
+            self.labels[c as usize] = PointLabel::Core;
+            let (ccell, cpoint) = {
+                let p = self.store.point(c);
+                (cell_of(p, self.side), p.to_vec())
+            };
+            for off in self.offsets.iter() {
+                let ncell = NeighborOffsets::apply(&ccell, off);
+                let Some(ids) = self.cells.get(&ncell) else {
+                    continue;
+                };
+                for &q in ids {
+                    if self.labels[q as usize] == PointLabel::Outlier
+                        && within(&cpoint, self.store.point(q), eps_sq)
+                    {
+                        self.labels[q as usize] = PointLabel::Covered;
+                    }
+                }
+            }
+        }
+        Ok(id)
+    }
+
+    /// Inserts a batch of points; returns the id of the first one (ids
+    /// are consecutive).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first invalid point; earlier points of the batch
+    /// remain inserted.
+    pub fn extend(&mut self, store: &PointStore) -> Result<PointId> {
+        let first = self.total_inserted() as PointId;
+        for (_, p) in store.iter() {
+            self.insert(p)?;
+        }
+        Ok(first)
+    }
+
+    /// Removes a live point and restores all label invariants for the
+    /// remaining points; returns `false` if `id` was already removed (or
+    /// never existed).
+    ///
+    /// Deletion is the non-monotone direction: ε-neighbors of the removed
+    /// point lose one neighbor each, demoted core points stop vouching
+    /// for their surroundings, and points they covered may revert to
+    /// outliers. All effects are confined to the 2-hop cell neighborhood
+    /// of the removed point, so the work stays constant for fixed
+    /// parameters on bounded-density data.
+    pub fn remove(&mut self, id: PointId) -> bool {
+        if !self.is_alive(id) {
+            return false;
+        }
+        let eps_sq = self.params.eps_sq();
+        let min_pts = self.params.min_pts as u32;
+        let point = self.store.point(id).to_vec();
+        let cell = cell_of(&point, self.side);
+
+        // Unregister the point.
+        self.alive[id as usize] = false;
+        self.num_alive -= 1;
+        let members = self.cells.get_mut(&cell).expect("live point is indexed");
+        let pos = members
+            .iter()
+            .position(|&q| q == id)
+            .expect("live point is in its cell list");
+        members.swap_remove(pos);
+        if members.is_empty() {
+            self.cells.remove(&cell);
+        }
+
+        // Decrement neighbor counts; collect core points that lost their
+        // status, plus the removed point itself if it was core — their
+        // coverage contributions vanish together.
+        let mut lost_cores: Vec<PointId> = Vec::new();
+        if self.labels[id as usize] == PointLabel::Core {
+            lost_cores.push(id);
+        }
+        for off in self.offsets.iter() {
+            let ncell = NeighborOffsets::apply(&cell, off);
+            let Some(ids) = self.cells.get(&ncell) else {
+                continue;
+            };
+            for &q in ids {
+                if within(&point, self.store.point(q), eps_sq) {
+                    self.counts[q as usize] -= 1;
+                    if self.counts[q as usize] == min_pts - 1
+                        && self.labels[q as usize] == PointLabel::Core
+                    {
+                        lost_cores.push(q);
+                    }
+                }
+            }
+        }
+
+        // First drop every lost core out of the Core class so the
+        // coverage scans below see the post-removal core set...
+        for &c in &lost_cores {
+            self.labels[c as usize] = PointLabel::Covered; // provisional
+        }
+        // ...then re-evaluate every live point that may have depended on
+        // a lost core: the demoted points themselves and all Covered
+        // points within ε of any lost core.
+        let mut affected: Vec<PointId> = Vec::new();
+        for &c in &lost_cores {
+            if c != id {
+                affected.push(c);
+            }
+            let cpoint = self.store.point(c).to_vec();
+            let ccell = cell_of(&cpoint, self.side);
+            for off in self.offsets.iter() {
+                let ncell = NeighborOffsets::apply(&ccell, off);
+                let Some(ids) = self.cells.get(&ncell) else {
+                    continue;
+                };
+                for &r in ids {
+                    if self.labels[r as usize] == PointLabel::Covered
+                        && within(&cpoint, self.store.point(r), eps_sq)
+                    {
+                        affected.push(r);
+                    }
+                }
+            }
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        for r in affected {
+            if self.labels[r as usize] == PointLabel::Core {
+                continue; // still core through its own count
+            }
+            let rpoint = self.store.point(r).to_vec();
+            let rcell = cell_of(&rpoint, self.side);
+            self.labels[r as usize] = if self.covered_by_core(&rpoint, &rcell) {
+                PointLabel::Covered
+            } else {
+                PointLabel::Outlier
+            };
+        }
+        true
+    }
+
+    /// Whether `point` lies within ε of some existing core point.
+    fn covered_by_core(&self, point: &[f64], cell: &CellCoord) -> bool {
+        let eps_sq = self.params.eps_sq();
+        for off in self.offsets.iter() {
+            let ncell = NeighborOffsets::apply(cell, off);
+            let Some(ids) = self.cells.get(&ncell) else {
+                continue;
+            };
+            for &q in ids {
+                if self.labels[q as usize] == PointLabel::Core
+                    && within(point, self.store.point(q), eps_sq)
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::detect_outliers;
+
+    fn params(eps: f64, min_pts: usize) -> DbscoutParams {
+        DbscoutParams::new(eps, min_pts).unwrap()
+    }
+
+    #[test]
+    fn single_point_is_outlier_unless_min_pts_one() {
+        let mut inc = IncrementalDbscout::new(2, params(1.0, 2)).unwrap();
+        let id = inc.insert(&[0.0, 0.0]).unwrap();
+        assert_eq!(inc.label(id), PointLabel::Outlier);
+
+        let mut inc = IncrementalDbscout::new(2, params(1.0, 1)).unwrap();
+        let id = inc.insert(&[0.0, 0.0]).unwrap();
+        assert_eq!(inc.label(id), PointLabel::Core);
+    }
+
+    #[test]
+    fn labels_upgrade_monotonically_as_cluster_forms() {
+        let mut inc = IncrementalDbscout::new(2, params(1.0, 4)).unwrap();
+        let first = inc.insert(&[0.0, 0.0]).unwrap();
+        assert_eq!(inc.label(first), PointLabel::Outlier);
+        inc.insert(&[0.2, 0.0]).unwrap();
+        inc.insert(&[0.0, 0.2]).unwrap();
+        // Still below minPts = 4.
+        assert_eq!(inc.label(first), PointLabel::Outlier);
+        inc.insert(&[0.2, 0.2]).unwrap();
+        // Now every point has 4 neighbors: all core.
+        for i in 0..4 {
+            assert_eq!(inc.label(i), PointLabel::Core, "point {i}");
+        }
+    }
+
+    #[test]
+    fn newly_core_point_rescues_distant_outlier() {
+        // A border point beyond the forming cluster becomes covered the
+        // moment its neighbor turns core.
+        let mut inc = IncrementalDbscout::new(2, params(0.5, 5)).unwrap();
+        let border = inc.insert(&[0.9, 0.0]).unwrap();
+        for i in 0..5 {
+            inc.insert(&[i as f64 * 0.1, 0.0]).unwrap();
+        }
+        // The chain 0.0..0.4 is core; 0.9 is within 0.5 of the core at
+        // 0.4 but has only 2 neighbors.
+        assert_eq!(inc.label(border), PointLabel::Covered);
+    }
+
+    #[test]
+    fn matches_batch_after_every_insert() {
+        // The exactness invariant, checked at every prefix.
+        let pts: Vec<[f64; 2]> = vec![
+            [0.0, 0.0],
+            [10.0, 10.0],
+            [0.3, 0.1],
+            [0.1, 0.3],
+            [0.2, 0.2],
+            [1.2, 0.0],
+            [10.1, 10.1],
+            [10.2, 9.9],
+            [0.15, 0.15],
+            [2.0, 0.2],
+            [10.05, 10.05],
+        ];
+        let p = params(1.0, 4);
+        let mut inc = IncrementalDbscout::new(2, p).unwrap();
+        let mut batch_store = PointStore::new(2).unwrap();
+        for pt in &pts {
+            inc.insert(pt).unwrap();
+            batch_store.push(pt).unwrap();
+            let batch = detect_outliers(&batch_store, p).unwrap();
+            assert_eq!(
+                inc.labels(),
+                batch.labels.as_slice(),
+                "diverged after {} inserts",
+                batch_store.len()
+            );
+        }
+    }
+
+    #[test]
+    fn from_store_equals_batch() {
+        let store = PointStore::from_rows(
+            2,
+            (0..60).map(|i| vec![(i % 8) as f64 * 0.4, (i / 8) as f64 * 0.4]),
+        )
+        .unwrap();
+        let p = params(1.0, 5);
+        let inc = IncrementalDbscout::from_store(&store, p).unwrap();
+        let batch = detect_outliers(&store, p).unwrap();
+        assert_eq!(inc.labels(), batch.labels.as_slice());
+        assert_eq!(inc.outliers(), batch.outliers);
+        assert_eq!(inc.len(), 60);
+    }
+
+    #[test]
+    fn extend_matches_pointwise_inserts() {
+        let store = PointStore::from_rows(
+            2,
+            (0..30).map(|i| vec![(i % 6) as f64 * 0.3, (i / 6) as f64 * 0.3]),
+        )
+        .unwrap();
+        let p = params(1.0, 4);
+        let mut batch = IncrementalDbscout::new(2, p).unwrap();
+        let first = batch.extend(&store).unwrap();
+        assert_eq!(first, 0);
+        let pointwise = IncrementalDbscout::from_store(&store, p).unwrap();
+        assert_eq!(batch.labels(), pointwise.labels());
+        // Extending again starts at the next id.
+        let second = batch.extend(&store).unwrap();
+        assert_eq!(second, 30);
+        assert_eq!(batch.len(), 60);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut inc = IncrementalDbscout::new(2, params(1.0, 3)).unwrap();
+        assert!(inc.insert(&[1.0]).is_err());
+        assert!(inc.insert(&[f64::NAN, 0.0]).is_err());
+        assert!(inc.is_empty());
+    }
+
+    #[test]
+    fn remove_reverts_labels() {
+        // Build a minimal core configuration, then dismantle it.
+        let mut inc = IncrementalDbscout::new(2, params(0.5, 3)).unwrap();
+        let a = inc.insert(&[0.0, 0.0]).unwrap();
+        let b = inc.insert(&[0.1, 0.0]).unwrap();
+        let c = inc.insert(&[0.2, 0.0]).unwrap();
+        // d reaches only c (dist 0.5 exactly; a and b are too far).
+        let d = inc.insert(&[0.7, 0.0]).unwrap();
+        assert_eq!(inc.label(a), PointLabel::Core);
+        assert_eq!(inc.label(c), PointLabel::Core);
+        assert_eq!(inc.label(d), PointLabel::Covered);
+
+        // Removing the bridge point c demotes a and b (2 neighbors left)
+        // and strands d entirely.
+        assert!(inc.remove(c));
+        assert_eq!(inc.label(a), PointLabel::Outlier);
+        assert_eq!(inc.label(b), PointLabel::Outlier);
+        assert_eq!(inc.label(d), PointLabel::Outlier);
+        assert!(!inc.is_alive(c));
+        assert_eq!(inc.len(), 3);
+    }
+
+    #[test]
+    fn remove_is_idempotent_and_checked() {
+        let mut inc = IncrementalDbscout::new(2, params(1.0, 2)).unwrap();
+        let id = inc.insert(&[0.0, 0.0]).unwrap();
+        assert!(inc.remove(id));
+        assert!(!inc.remove(id), "double remove must report false");
+        assert!(!inc.remove(99), "unknown id must report false");
+        assert!(inc.is_empty());
+    }
+
+    #[test]
+    fn insert_after_remove_reuses_nothing_but_works() {
+        let mut inc = IncrementalDbscout::new(2, params(1.0, 2)).unwrap();
+        let a = inc.insert(&[0.0, 0.0]).unwrap();
+        inc.remove(a);
+        let b = inc.insert(&[0.0, 0.0]).unwrap();
+        assert_ne!(a, b, "ids are never reused");
+        assert_eq!(inc.total_inserted(), 2);
+        assert_eq!(inc.len(), 1);
+        assert_eq!(inc.outliers(), vec![b]);
+    }
+
+    #[test]
+    fn mixed_insert_remove_matches_batch() {
+        // A scripted churn sequence; after every operation the live
+        // points must carry exactly the batch labels.
+        let inserts: Vec<[f64; 2]> = vec![
+            [0.0, 0.0], [0.2, 0.0], [0.0, 0.2], [0.2, 0.2], [1.0, 0.0],
+            [5.0, 5.0], [5.2, 5.0], [5.0, 5.2], [0.1, 0.1], [5.1, 5.1],
+        ];
+        let p = params(0.9, 4);
+        let mut inc = IncrementalDbscout::new(2, p).unwrap();
+        let mut ids = Vec::new();
+        for pt in &inserts {
+            ids.push(inc.insert(pt).unwrap());
+        }
+        for &victim in &[ids[1], ids[6], ids[0], ids[9]] {
+            inc.remove(victim);
+            // Rebuild the live subset and compare against a batch run.
+            let live: Vec<u32> = (0..inc.total_inserted() as u32)
+                .filter(|&i| inc.is_alive(i))
+                .collect();
+            let batch_store = inc.store().gather(&live);
+            let batch = detect_outliers(&batch_store, p).unwrap();
+            for (bi, &id) in live.iter().enumerate() {
+                assert_eq!(
+                    inc.label(id),
+                    batch.labels[bi],
+                    "label of {id} diverged after removing {victim}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_count_individually() {
+        let mut inc = IncrementalDbscout::new(2, params(1.0, 3)).unwrap();
+        inc.insert(&[5.0, 5.0]).unwrap();
+        inc.insert(&[5.0, 5.0]).unwrap();
+        assert_eq!(inc.outliers().len(), 2);
+        inc.insert(&[5.0, 5.0]).unwrap();
+        // Three coincident points with minPts = 3: all core.
+        assert_eq!(inc.outliers().len(), 0);
+        assert!(inc.labels().iter().all(|l| *l == PointLabel::Core));
+    }
+}

@@ -1,0 +1,525 @@
+//! The native multi-threaded DBSCOUT implementation.
+//!
+//! Runs the paper's five phases (§III-A) inside one process, parallelised
+//! over cells with the same dynamic task scheduling the dataflow substrate
+//! uses. This is the implementation a library user should reach for; the
+//! [`crate::distributed`] module is the literal Spark-style formulation
+//! used for the scalability experiments.
+//!
+//! Both implementations produce identical results (a property test
+//! enforces it); both implement the exact semantics of Definitions 2–3:
+//!
+//! 1. **Grid partitioning** — assign every point to its ε-cell.
+//! 2. **Dense cell map** — mark cells with ≥ `minPts` points; their points
+//!    are core without any distance computation (Lemma 1).
+//! 3. **Core points** — for points of non-dense cells, count neighbors in
+//!    the ≤ k_d neighboring cells, stopping early at `minPts`.
+//! 4. **Core cell map** — mark cells that contain a core point.
+//! 5. **Outliers** — points of non-core cells are outliers unless within ε
+//!    of a core point in a neighboring core cell; cells with no core
+//!    neighbor are all outliers outright.
+
+use std::time::Instant;
+
+use dbscout_dataflow::executor::run_tasks;
+use dbscout_spatial::distance::within;
+use dbscout_spatial::points::PointId;
+use dbscout_spatial::{CellCoord, Grid, PointStore};
+
+use crate::cellmap::CellMap;
+use crate::error::Result;
+use crate::labels::{OutlierResult, PhaseTimings, PointLabel, RunStats};
+use crate::params::DbscoutParams;
+
+/// The DBSCOUT detector.
+///
+/// ```
+/// use dbscout_core::{Dbscout, DbscoutParams};
+/// use dbscout_spatial::PointStore;
+///
+/// // A tight cluster of 6 points plus one far-away point.
+/// let mut rows: Vec<Vec<f64>> = (0..6)
+///     .map(|i| vec![(i as f64) * 0.1, 0.0])
+///     .collect();
+/// rows.push(vec![100.0, 100.0]);
+/// let store = PointStore::from_rows(2, rows).unwrap();
+///
+/// let params = DbscoutParams::new(1.0, 5).unwrap();
+/// let result = Dbscout::new(params).detect(&store).unwrap();
+/// assert_eq!(result.outliers, vec![6]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dbscout {
+    params: DbscoutParams,
+    threads: usize,
+    options: NativeOptions,
+}
+
+/// Ablation switches for the native engine. Both default to `true`
+/// (the paper's algorithm); disabling them never changes the result —
+/// only the amount of distance work — which the ablation benchmarks
+/// measure and a test asserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NativeOptions {
+    /// Lemma 1: skip the neighborhood count for points of dense cells.
+    pub dense_cell_shortcut: bool,
+    /// §III-G: stop counting at `minPts` / stop at the first covering
+    /// core point.
+    pub early_exit: bool,
+}
+
+impl Default for NativeOptions {
+    fn default() -> Self {
+        Self {
+            dense_cell_shortcut: true,
+            early_exit: true,
+        }
+    }
+}
+
+impl Dbscout {
+    /// A detector with the given parameters, using all available CPUs.
+    pub fn new(params: DbscoutParams) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self {
+            params,
+            threads,
+            options: NativeOptions::default(),
+        }
+    }
+
+    /// Overrides the number of worker threads (≥ 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the ablation switches (results are unaffected; only the
+    /// work changes).
+    pub fn with_options(mut self, options: NativeOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> DbscoutParams {
+        self.params
+    }
+
+    /// Detects all outliers of `store` (Definition 3), exactly.
+    ///
+    /// Runs in O(n · minPts · k_d) distance computations — linear in n for
+    /// fixed parameters (Lemmas 4–8).
+    pub fn detect(&self, store: &PointStore) -> Result<OutlierResult> {
+        let eps_sq = self.params.eps_sq();
+        let min_pts = self.params.min_pts;
+        let options = self.options;
+        let mut timings = PhaseTimings::default();
+
+        // Phase 1: grid partitioning (Algorithm 1).
+        let t = Instant::now();
+        let grid = Grid::build(store, self.params.eps)?;
+        timings.grid = t.elapsed();
+
+        // Phase 2: dense cell map (Algorithm 2).
+        let t = Instant::now();
+        let mut cell_map = CellMap::from_counts(
+            store.dims(),
+            grid.cells().map(|(c, ids)| (*c, ids.len())),
+            min_pts,
+        )?;
+        timings.dense_map = t.elapsed();
+
+        // Phase 3: core points identification (Algorithm 3).
+        let t = Instant::now();
+        let cells: Vec<(&CellCoord, &[PointId])> = grid.cells().collect();
+        let chunks = chunk_ranges(cells.len(), self.threads * 4);
+        let tasks: Vec<_> = chunks
+            .iter()
+            .map(|range| {
+                let cells = &cells;
+                let grid = &grid;
+                let cell_map = &cell_map;
+                let range = range.clone();
+                move || {
+                    let mut core: Vec<PointId> = Vec::new();
+                    let mut promoted: Vec<CellCoord> = Vec::new();
+                    let mut dist_comps = 0u64;
+                    for &(cell, ids) in &cells[range] {
+                        if options.dense_cell_shortcut && cell_map.is_dense(cell) {
+                            // Lemma 1: every point of a dense cell is core.
+                            core.extend_from_slice(ids);
+                            continue;
+                        }
+                        let mut any_core = false;
+                        for &p in ids {
+                            let pc = store.point(p);
+                            let mut count = 0usize;
+                            'offsets: for n in cell_map.neighbors(cell) {
+                                let Some(qs) = grid.points_in(&n) else {
+                                    continue;
+                                };
+                                for &q in qs {
+                                    dist_comps += 1;
+                                    if within(pc, store.point(q), eps_sq) {
+                                        count += 1;
+                                        if options.early_exit && count >= min_pts {
+                                            break 'offsets;
+                                        }
+                                    }
+                                }
+                            }
+                            if count >= min_pts {
+                                core.push(p);
+                                any_core = true;
+                            }
+                        }
+                        if any_core {
+                            promoted.push(*cell);
+                        }
+                    }
+                    (core, promoted, dist_comps)
+                }
+            })
+            .collect();
+        let phase3 = run_tasks(self.threads, tasks)?;
+        let mut is_core = vec![false; store.len() as usize];
+        let mut dist_comps = 0u64;
+        let mut promotions: Vec<CellCoord> = Vec::new();
+        for (core, promoted, dc) in phase3 {
+            for p in core {
+                is_core[p as usize] = true;
+            }
+            promotions.extend(promoted);
+            dist_comps += dc;
+        }
+        timings.core_points = t.elapsed();
+
+        // Phase 4: core cell map (Algorithm 4).
+        let t = Instant::now();
+        for cell in &promotions {
+            cell_map.promote_to_core(cell);
+        }
+        timings.core_map = t.elapsed();
+
+        // Phase 5: outliers identification (Algorithm 5).
+        let t = Instant::now();
+        let tasks: Vec<_> = chunks
+            .iter()
+            .map(|range| {
+                let cells = &cells;
+                let grid = &grid;
+                let cell_map = &cell_map;
+                let is_core = &is_core;
+                let range = range.clone();
+                move || {
+                    let mut outliers: Vec<PointId> = Vec::new();
+                    let mut dist_comps = 0u64;
+                    for &(cell, ids) in &cells[range] {
+                        if cell_map.is_core(cell) {
+                            // Lemma 2: core cells contain no outliers.
+                            continue;
+                        }
+                        if !cell_map.has_core_neighbor(cell) {
+                            // O_ncn: no core cell in reach — all outliers.
+                            outliers.extend_from_slice(ids);
+                            continue;
+                        }
+                        for &p in ids {
+                            let pc = store.point(p);
+                            let mut covered = false;
+                            'offsets: for n in cell_map.core_neighbors(cell) {
+                                let Some(qs) = grid.points_in(&n) else {
+                                    continue;
+                                };
+                                for &q in qs {
+                                    if !is_core[q as usize] {
+                                        continue;
+                                    }
+                                    dist_comps += 1;
+                                    if within(pc, store.point(q), eps_sq) {
+                                        covered = true;
+                                        if options.early_exit {
+                                            break 'offsets;
+                                        }
+                                    }
+                                }
+                            }
+                            if !covered {
+                                outliers.push(p);
+                            }
+                        }
+                    }
+                    (outliers, dist_comps)
+                }
+            })
+            .collect();
+        let phase5 = run_tasks(self.threads, tasks)?;
+        let mut labels: Vec<PointLabel> = is_core
+            .iter()
+            .map(|&c| if c { PointLabel::Core } else { PointLabel::Covered })
+            .collect();
+        for (outliers, dc) in phase5 {
+            for p in outliers {
+                labels[p as usize] = PointLabel::Outlier;
+            }
+            dist_comps += dc;
+        }
+        timings.outliers = t.elapsed();
+
+        let stats = RunStats {
+            num_cells: grid.num_cells(),
+            dense_cells: cell_map.dense_cells(),
+            core_cells: cell_map.core_cells(),
+            distance_computations: dist_comps,
+        };
+        Ok(OutlierResult::from_labels(labels, stats, timings))
+    }
+}
+
+/// Splits `len` items into at most `parts` contiguous ranges of nearly
+/// equal size.
+fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// One-shot convenience: [`Dbscout::new`] + [`Dbscout::detect`].
+pub fn detect_outliers(store: &PointStore, params: DbscoutParams) -> Result<OutlierResult> {
+    Dbscout::new(params).detect(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::naive_labels;
+
+    fn store_2d(points: &[[f64; 2]]) -> PointStore {
+        PointStore::from_rows(2, points.iter().map(|p| p.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn chunk_ranges_cover_everything() {
+        for len in [0usize, 1, 7, 100] {
+            for parts in [1usize, 3, 8, 200] {
+                let ranges = chunk_ranges(len, parts);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, len, "len {len} parts {parts}");
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_far_point_is_outlier() {
+        let mut pts: Vec<[f64; 2]> = (0..10)
+            .map(|i| [(i % 5) as f64 * 0.1, (i / 5) as f64 * 0.1])
+            .collect();
+        pts.push([50.0, 50.0]);
+        let store = store_2d(&pts);
+        let r = detect_outliers(&store, DbscoutParams::new(1.0, 5).unwrap()).unwrap();
+        assert_eq!(r.outliers, vec![10]);
+        assert_eq!(r.labels[10], PointLabel::Outlier);
+        assert!(r.num_core() >= 1);
+    }
+
+    #[test]
+    fn all_points_outliers_when_sparse() {
+        let pts: Vec<[f64; 2]> = (0..8).map(|i| [i as f64 * 100.0, 0.0]).collect();
+        let store = store_2d(&pts);
+        let r = detect_outliers(&store, DbscoutParams::new(1.0, 2).unwrap()).unwrap();
+        assert_eq!(r.num_outliers(), 8);
+        assert_eq!(r.stats.core_cells, 0);
+    }
+
+    #[test]
+    fn no_outliers_in_one_dense_blob() {
+        let pts: Vec<[f64; 2]> = (0..25)
+            .map(|i| [(i % 5) as f64 * 0.01, (i / 5) as f64 * 0.01])
+            .collect();
+        let store = store_2d(&pts);
+        let r = detect_outliers(&store, DbscoutParams::new(0.5, 5).unwrap()).unwrap();
+        assert_eq!(r.num_outliers(), 0);
+        assert_eq!(r.num_core(), 25);
+        assert!(r.stats.dense_cells >= 1);
+    }
+
+    #[test]
+    fn min_pts_one_makes_everything_core() {
+        let pts: Vec<[f64; 2]> = (0..5).map(|i| [i as f64 * 1000.0, 0.0]).collect();
+        let store = store_2d(&pts);
+        let r = detect_outliers(&store, DbscoutParams::new(0.1, 1).unwrap()).unwrap();
+        assert_eq!(r.num_core(), 5);
+        assert_eq!(r.num_outliers(), 0);
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = PointStore::new(2).unwrap();
+        let r = detect_outliers(&store, DbscoutParams::new(1.0, 5).unwrap()).unwrap();
+        assert!(r.labels.is_empty());
+        assert!(r.outliers.is_empty());
+        assert_eq!(r.stats.num_cells, 0);
+    }
+
+    #[test]
+    fn border_point_is_covered_not_outlier() {
+        // A tight chain of 5 points (all core with minPts = 5 and
+        // eps = 0.5) plus a hanger-on at x = 0.9: it has only 2 points
+        // within eps (0.4 and itself) so it is not core, but it is within
+        // eps of the core point at 0.4 — covered, not outlier. The
+        // distance to that core point is exactly eps (closed ball,
+        // Definition 2/3).
+        let mut pts: Vec<[f64; 2]> = (0..5).map(|i| [i as f64 * 0.1, 0.0]).collect();
+        pts.push([0.9, 0.0]);
+        let store = store_2d(&pts);
+        let r = detect_outliers(&store, DbscoutParams::new(0.5, 5).unwrap()).unwrap();
+        assert_eq!(r.labels[5], PointLabel::Covered);
+        assert_eq!(r.labels[4], PointLabel::Core);
+        assert_eq!(r.num_outliers(), 0);
+    }
+
+    #[test]
+    fn point_just_beyond_eps_is_outlier() {
+        let mut pts = vec![[0.0, 0.0]; 5];
+        pts.push([1.0 + 1e-9, 0.0]);
+        let store = store_2d(&pts);
+        let r = detect_outliers(&store, DbscoutParams::new(1.0, 5).unwrap()).unwrap();
+        assert_eq!(r.outliers, vec![5]);
+    }
+
+    #[test]
+    fn matches_naive_reference_on_small_grid() {
+        // A structured layout exercising dense cells, non-dense core
+        // cells, covered points and outliers at once.
+        let mut pts = Vec::new();
+        // Blob A: 3x3 grid spaced 0.3 (all mutually within eps = 1).
+        for i in 0..3 {
+            for j in 0..3 {
+                pts.push([i as f64 * 0.3, j as f64 * 0.3]);
+            }
+        }
+        // A chain leading away.
+        pts.push([1.5, 0.0]);
+        pts.push([2.4, 0.0]);
+        // Lone points.
+        pts.push([10.0, 10.0]);
+        pts.push([-7.0, 3.0]);
+        let store = store_2d(&pts);
+        let params = DbscoutParams::new(1.0, 5).unwrap();
+        let got = detect_outliers(&store, params).unwrap();
+        let expected = naive_labels(&store, params);
+        assert_eq!(got.labels, expected);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let mut pts = Vec::new();
+        for i in 0..40 {
+            pts.push([
+                (i % 8) as f64 * 0.4 + (i as f64 * 0.618).fract() * 0.1,
+                (i / 8) as f64 * 0.4,
+            ]);
+        }
+        pts.push([25.0, 25.0]);
+        let store = store_2d(&pts);
+        let params = DbscoutParams::new(1.0, 6).unwrap();
+        let single = Dbscout::new(params).with_threads(1).detect(&store).unwrap();
+        for threads in [2, 4, 8] {
+            let multi = Dbscout::new(params)
+                .with_threads(threads)
+                .detect(&store)
+                .unwrap();
+            assert_eq!(single.labels, multi.labels, "threads {threads}");
+            assert_eq!(single.outliers, multi.outliers);
+        }
+    }
+
+    #[test]
+    fn distance_computations_are_bounded_linearly() {
+        // Lemma 6/8: at most n * minPts * k_d comparisons per pass. Build
+        // a worst-case-ish uniform layout and check the bound (x2 for the
+        // two passes).
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                pts.push([i as f64 * 0.9, j as f64 * 0.9]);
+            }
+        }
+        let store = store_2d(&pts);
+        let min_pts = 4usize;
+        let params = DbscoutParams::new(1.0, min_pts).unwrap();
+        let r = detect_outliers(&store, params).unwrap();
+        let n = store.len() as u64;
+        let bound = 2 * n * min_pts as u64 * 21;
+        assert!(
+            r.stats.distance_computations <= bound,
+            "{} > {}",
+            r.stats.distance_computations,
+            bound
+        );
+    }
+
+    #[test]
+    fn ablation_switches_change_work_not_results() {
+        let mut pts = Vec::new();
+        for i in 0..120 {
+            pts.push([(i % 12) as f64 * 0.25, (i / 12) as f64 * 0.25]);
+        }
+        pts.push([9.0, 9.0]);
+        pts.push([-4.0, 2.0]);
+        let store = store_2d(&pts);
+        let params = DbscoutParams::new(1.0, 5).unwrap();
+        let full = Dbscout::new(params).detect(&store).unwrap();
+        let mut prev_work = full.stats.distance_computations;
+        for options in [
+            NativeOptions { dense_cell_shortcut: false, early_exit: true },
+            NativeOptions { dense_cell_shortcut: true, early_exit: false },
+            NativeOptions { dense_cell_shortcut: false, early_exit: false },
+        ] {
+            let ablated = Dbscout::new(params)
+                .with_options(options)
+                .detect(&store)
+                .unwrap();
+            assert_eq!(ablated.labels, full.labels, "{options:?} changed results");
+            assert!(
+                ablated.stats.distance_computations >= full.stats.distance_computations,
+                "{options:?} did less work than the optimized run"
+            );
+            prev_work = prev_work.max(ablated.stats.distance_computations);
+        }
+        assert!(
+            prev_work > full.stats.distance_computations,
+            "disabling every optimization must cost extra distance work"
+        );
+    }
+
+    #[test]
+    fn stats_cell_counts_are_consistent() {
+        let mut pts = vec![[0.05, 0.05]; 6];
+        pts.push([0.8, 0.05]);
+        pts.push([30.0, 30.0]);
+        let store = store_2d(&pts);
+        let r = detect_outliers(&store, DbscoutParams::new(1.0, 5).unwrap()).unwrap();
+        assert!(r.stats.dense_cells <= r.stats.core_cells);
+        assert!(r.stats.core_cells <= r.stats.num_cells);
+    }
+}

@@ -1,0 +1,77 @@
+//! Algorithm parameters (the user-specified constants of paper §II).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DbscoutError, Result};
+
+/// The two DBSCAN-family parameters: a point is **core** when at least
+/// `min_pts` points (itself included) lie within Euclidean distance `eps`
+/// of it (Definition 2); a point is an **outlier** when no core point lies
+/// within `eps` of it (Definition 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DbscoutParams {
+    /// Neighborhood radius ε (finite, positive).
+    pub eps: f64,
+    /// Density threshold `minPts` (≥ 1).
+    pub min_pts: usize,
+}
+
+impl DbscoutParams {
+    /// Creates and validates a parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `eps` is not finite-positive or `min_pts` is zero.
+    pub fn new(eps: f64, min_pts: usize) -> Result<Self> {
+        if !eps.is_finite() || eps <= 0.0 {
+            return Err(DbscoutError::Spatial(
+                dbscout_spatial::SpatialError::InvalidEpsilon { value: eps },
+            ));
+        }
+        if min_pts == 0 {
+            return Err(DbscoutError::InvalidMinPts { value: 0 });
+        }
+        Ok(Self { eps, min_pts })
+    }
+
+    /// ε² — every distance comparison uses squared distances.
+    #[inline]
+    pub fn eps_sq(&self) -> f64 {
+        self.eps * self.eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_params() {
+        let p = DbscoutParams::new(0.5, 5).unwrap();
+        assert_eq!(p.eps, 0.5);
+        assert_eq!(p.min_pts, 5);
+        assert_eq!(p.eps_sq(), 0.25);
+    }
+
+    #[test]
+    fn invalid_eps() {
+        for eps in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(DbscoutParams::new(eps, 5).is_err(), "eps {eps} accepted");
+        }
+    }
+
+    #[test]
+    fn invalid_min_pts() {
+        assert_eq!(
+            DbscoutParams::new(1.0, 0).unwrap_err(),
+            DbscoutError::InvalidMinPts { value: 0 }
+        );
+    }
+
+    #[test]
+    fn min_pts_one_is_legal() {
+        // With minPts = 1 every point is core (it neighbors itself), so
+        // the parameter must not be rejected.
+        assert!(DbscoutParams::new(1.0, 1).is_ok());
+    }
+}

@@ -1,0 +1,230 @@
+//! The headline claim of the paper: DBSCOUT is **exact** — it returns
+//! precisely the Definition-3 outliers, with no approximation. These
+//! property tests pit both engines against the brute-force O(n²)
+//! reference on arbitrary datasets, parameters, thread counts, partition
+//! counts and join strategies.
+
+use dbscout_core::reference::naive_labels;
+use dbscout_core::{Dbscout, DbscoutParams, DistributedDbscout, JoinStrategy};
+use dbscout_dataflow::ExecutionContext;
+use dbscout_spatial::PointStore;
+use proptest::prelude::*;
+
+/// Clustered-looking random datasets: a few anchor points, most points
+/// near an anchor, some uniform noise. Pure uniform noise rarely creates
+/// core points, so this strategy exercises all three label classes.
+fn dataset(dims: usize, max_n: usize) -> impl Strategy<Value = PointStore> {
+    let anchors = prop::collection::vec(prop::collection::vec(-20.0f64..20.0, dims), 1..4);
+    let offsets = prop::collection::vec(
+        (
+            0usize..3,
+            prop::collection::vec(-0.8f64..0.8, dims),
+            prop::bool::ANY,
+        ),
+        1..max_n,
+    );
+    (anchors, offsets).prop_map(move |(anchors, offsets)| {
+        let rows = offsets.into_iter().map(|(a, off, noise)| {
+            let anchor = &anchors[a % anchors.len()];
+            if noise {
+                // Uniform-ish noise point, pushed away from anchors.
+                off.iter().map(|o| o * 40.0).collect::<Vec<f64>>()
+            } else {
+                anchor
+                    .iter()
+                    .zip(&off)
+                    .map(|(c, o)| c + o)
+                    .collect::<Vec<f64>>()
+            }
+        });
+        PointStore::from_rows(dims, rows).expect("generated rows are valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn native_matches_naive_2d(
+        store in dataset(2, 120),
+        eps in 0.3f64..5.0,
+        min_pts in 1usize..8,
+        threads in 1usize..5,
+    ) {
+        let params = DbscoutParams::new(eps, min_pts).unwrap();
+        let expected = naive_labels(&store, params);
+        let got = Dbscout::new(params)
+            .with_threads(threads)
+            .detect(&store)
+            .unwrap();
+        prop_assert_eq!(got.labels, expected);
+    }
+
+    #[test]
+    fn native_matches_naive_3d(
+        store in dataset(3, 80),
+        eps in 0.3f64..5.0,
+        min_pts in 1usize..6,
+    ) {
+        let params = DbscoutParams::new(eps, min_pts).unwrap();
+        let expected = naive_labels(&store, params);
+        let got = Dbscout::new(params).detect(&store).unwrap();
+        prop_assert_eq!(got.labels, expected);
+    }
+
+    #[test]
+    fn native_matches_naive_higher_dims(
+        store4 in dataset(4, 50),
+        store5 in dataset(5, 40),
+        eps in 0.5f64..6.0,
+        min_pts in 1usize..5,
+    ) {
+        // The paper generalizes Gunawan's 2-D scheme to any d (§III-A);
+        // exactness must hold where k_d grows (d = 4: 609 offsets,
+        // d = 5: 3903).
+        let params = DbscoutParams::new(eps, min_pts).unwrap();
+        for store in [store4, store5] {
+            let expected = naive_labels(&store, params);
+            let got = Dbscout::new(params).detect(&store).unwrap();
+            prop_assert_eq!(got.labels, expected, "d = {}", store.dims());
+        }
+    }
+
+    #[test]
+    fn native_matches_naive_1d(
+        store in dataset(1, 100),
+        eps in 0.1f64..3.0,
+        min_pts in 1usize..6,
+    ) {
+        let params = DbscoutParams::new(eps, min_pts).unwrap();
+        let expected = naive_labels(&store, params);
+        let got = Dbscout::new(params).detect(&store).unwrap();
+        prop_assert_eq!(got.labels, expected);
+    }
+
+    #[test]
+    fn distributed_matches_naive_all_strategies(
+        store in dataset(2, 70),
+        eps in 0.3f64..5.0,
+        min_pts in 1usize..6,
+        partitions in 1usize..10,
+    ) {
+        let params = DbscoutParams::new(eps, min_pts).unwrap();
+        let expected = naive_labels(&store, params);
+        for strategy in [
+            JoinStrategy::Shuffle,
+            JoinStrategy::GroupedShuffle,
+            JoinStrategy::Broadcast,
+        ] {
+            let ctx = ExecutionContext::builder().workers(3).build();
+            let got = DistributedDbscout::new(ctx, params)
+                .with_partitions(partitions)
+                .with_strategy(strategy)
+                .detect(&store)
+                .unwrap();
+            prop_assert_eq!(&got.labels, &expected, "strategy {:?}", strategy);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_batch_at_every_prefix(
+        store in dataset(2, 60),
+        eps in 0.3f64..5.0,
+        min_pts in 1usize..6,
+    ) {
+        use dbscout_core::IncrementalDbscout;
+        let params = DbscoutParams::new(eps, min_pts).unwrap();
+        let mut inc = IncrementalDbscout::new(2, params).unwrap();
+        let mut prefix = PointStore::new(2).unwrap();
+        for (_, p) in store.iter() {
+            inc.insert(p).unwrap();
+            prefix.push(p).unwrap();
+        }
+        // Checking only the final state keeps the test fast; the unit
+        // tests cover per-prefix agreement on structured inputs.
+        let batch = Dbscout::new(params).detect(&prefix).unwrap();
+        prop_assert_eq!(inc.labels(), batch.labels.as_slice());
+    }
+
+    #[test]
+    fn incremental_with_removals_matches_batch(
+        store in dataset(2, 50),
+        removal_pattern in prop::collection::vec(prop::bool::ANY, 50),
+        eps in 0.3f64..5.0,
+        min_pts in 1usize..6,
+    ) {
+        use dbscout_core::IncrementalDbscout;
+        let params = DbscoutParams::new(eps, min_pts).unwrap();
+        let mut inc = IncrementalDbscout::new(2, params).unwrap();
+        for (_, p) in store.iter() {
+            inc.insert(p).unwrap();
+        }
+        // Remove a pattern-selected subset (never all points).
+        let n = store.len();
+        for (i, &kill) in removal_pattern.iter().take(n as usize).enumerate() {
+            if kill && inc.len() > 1 {
+                inc.remove(i as u32);
+            }
+        }
+        let live: Vec<u32> = (0..n).filter(|&i| inc.is_alive(i)).collect();
+        let live_store = store.gather(&live);
+        let batch = Dbscout::new(params).detect(&live_store).unwrap();
+        for (bi, &id) in live.iter().enumerate() {
+            prop_assert_eq!(
+                inc.label(id),
+                batch.labels[bi],
+                "diverged at live point {} (id {})",
+                bi,
+                id
+            );
+        }
+    }
+
+    #[test]
+    fn outliers_never_within_eps_of_core(
+        store in dataset(2, 120),
+        eps in 0.3f64..5.0,
+        min_pts in 1usize..8,
+    ) {
+        // Definition 3 restated directly on the output.
+        use dbscout_core::PointLabel;
+        use dbscout_spatial::distance::within;
+        let params = DbscoutParams::new(eps, min_pts).unwrap();
+        let r = Dbscout::new(params).detect(&store).unwrap();
+        let eps_sq = params.eps_sq();
+        for &o in &r.outliers {
+            for (q, l) in r.labels.iter().enumerate() {
+                if *l == PointLabel::Core {
+                    prop_assert!(
+                        !within(store.point(o), store.point(q as u32), eps_sq),
+                        "outlier {o} is within eps of core {q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn core_points_really_have_min_pts_neighbors(
+        store in dataset(2, 120),
+        eps in 0.3f64..5.0,
+        min_pts in 1usize..8,
+    ) {
+        // Definition 2 restated directly on the output.
+        use dbscout_core::PointLabel;
+        use dbscout_spatial::distance::within;
+        let params = DbscoutParams::new(eps, min_pts).unwrap();
+        let r = Dbscout::new(params).detect(&store).unwrap();
+        let eps_sq = params.eps_sq();
+        for (i, l) in r.labels.iter().enumerate() {
+            let count = store
+                .iter()
+                .filter(|(_, q)| within(store.point(i as u32), q, eps_sq))
+                .count();
+            match l {
+                PointLabel::Core => prop_assert!(count >= min_pts, "core {i}: {count}"),
+                _ => prop_assert!(count < min_pts, "non-core {i}: {count}"),
+            }
+        }
+    }
+}

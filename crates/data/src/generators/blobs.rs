@@ -1,0 +1,133 @@
+//! Gaussian-blob datasets (Table III rows *Blobs* and *Blobs-vd*).
+
+use dbscout_spatial::PointStore;
+
+use crate::labeled::LabeledDataset;
+use crate::rng::{normal, seeded};
+
+use super::scatter_outliers;
+
+/// Isotropic Gaussian clusters plus uniformly scattered outliers.
+///
+/// `n_inliers` points are split evenly across `n_centers` clusters of
+/// standard deviation `std_dev`, with cluster centers spread on a coarse
+/// ring; `n_outliers` labelled outliers are scattered away from the
+/// clusters.
+pub fn blobs(
+    n_inliers: usize,
+    n_outliers: usize,
+    n_centers: usize,
+    std_dev: f64,
+    seed: u64,
+) -> LabeledDataset {
+    blobs_impl(
+        "blobs",
+        n_inliers,
+        n_outliers,
+        &vec![std_dev; n_centers.max(1)],
+        seed,
+    )
+}
+
+/// Gaussian clusters of **varied density** (*Blobs-vd*): each cluster gets
+/// its own standard deviation, which is what makes single-radius methods
+/// struggle (paper §IV-C1).
+pub fn blobs_varied_density(
+    n_inliers: usize,
+    n_outliers: usize,
+    std_devs: &[f64],
+    seed: u64,
+) -> LabeledDataset {
+    blobs_impl("blobs-vd", n_inliers, n_outliers, std_devs, seed)
+}
+
+fn blobs_impl(
+    name: &str,
+    n_inliers: usize,
+    n_outliers: usize,
+    std_devs: &[f64],
+    seed: u64,
+) -> LabeledDataset {
+    assert!(!std_devs.is_empty(), "at least one cluster");
+    let mut rng = seeded(seed);
+    let k = std_devs.len();
+    // Centers on a ring of radius ∝ cluster spread, far enough apart that
+    // clusters do not merge.
+    let ring_r = 8.0 * std_devs.iter().cloned().fold(f64::MIN, f64::max) * (k as f64).max(2.0)
+        / std::f64::consts::TAU;
+    let centers: Vec<(f64, f64)> = (0..k)
+        .map(|i| {
+            let theta = std::f64::consts::TAU * i as f64 / k as f64;
+            (ring_r * theta.cos(), ring_r * theta.sin())
+        })
+        .collect();
+
+    let mut rows = Vec::with_capacity(n_inliers + n_outliers);
+    for i in 0..n_inliers {
+        let c = i % k;
+        let (cx, cy) = centers[c];
+        rows.push(vec![
+            normal(&mut rng, cx, std_devs[c]),
+            normal(&mut rng, cy, std_devs[c]),
+        ]);
+    }
+    let inliers = PointStore::from_rows(2, rows.clone()).expect("finite rows");
+    // 3σ margin: outliers are clearly outside the clusters but some land
+    // near enough to the 3σ shell that detectors must actually separate
+    // densities (margins much wider than this make every method perfect).
+    let margin = 3.0 * std_devs.iter().cloned().fold(0.0, f64::max);
+    let outlier_rows = scatter_outliers(&inliers, n_outliers, margin, margin * 2.0, &mut rng);
+    rows.extend(outlier_rows);
+
+    let mut labels = vec![false; n_inliers];
+    labels.extend(vec![true; n_outliers]);
+    LabeledDataset::new(name, PointStore::from_rows(2, rows).expect("finite"), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_shape_and_labels() {
+        let ds = blobs(990, 10, 3, 0.5, 42);
+        assert_eq!(ds.len(), 1000);
+        assert_eq!(ds.num_outliers(), 10);
+        assert!((ds.contamination() - 0.01).abs() < 1e-9);
+        assert_eq!(ds.points.dims(), 2);
+    }
+
+    #[test]
+    fn blobs_deterministic_per_seed() {
+        let a = blobs(100, 5, 2, 0.3, 7);
+        let b = blobs(100, 5, 2, 0.3, 7);
+        assert_eq!(a.points, b.points);
+        let c = blobs(100, 5, 2, 0.3, 8);
+        assert_ne!(a.points, c.points);
+    }
+
+    #[test]
+    fn blobs_outliers_are_far_from_inliers() {
+        let ds = blobs(500, 20, 3, 0.4, 11);
+        let inlier_ids: Vec<u32> = (0..500u32).collect();
+        let inliers = ds.points.gather(&inlier_ids);
+        let tree = dbscout_spatial::KdTree::build(&inliers);
+        for i in 500..520u32 {
+            let nn = tree.knn(ds.points.point(i), 1);
+            assert!(nn[0].sq_dist > (3.0 * 0.4) * (3.0 * 0.4) * 0.99);
+        }
+    }
+
+    #[test]
+    fn varied_density_uses_per_cluster_std() {
+        let ds = blobs_varied_density(3000, 30, &[0.2, 1.5, 0.6], 3);
+        assert_eq!(ds.len(), 3030);
+        assert_eq!(ds.num_outliers(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn empty_std_devs_panics() {
+        blobs_varied_density(10, 1, &[], 0);
+    }
+}

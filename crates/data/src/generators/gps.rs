@@ -1,0 +1,298 @@
+//! GPS-like dataset generators: structural stand-ins for the paper's
+//! Geolife and OpenStreetMap workloads (§IV-A2).
+//!
+//! What the experiments actually exercise is the datasets' **density
+//! structure**, not their geography:
+//!
+//! * *Geolife* is heavily skewed — a huge share of its 24.9M 3-D points
+//!   sits around Beijing, to the point that with ε = 200 a single cell
+//!   holds 40% of all points (§IV-B2). [`geolife_like`] reproduces that:
+//!   one dominant log-normal hotspot plus a few minor cities and sparse
+//!   world noise, in meter-like units so the paper's ε sweep
+//!   {25, 50, 100, 200} lands in the same operating regime.
+//! * *OpenStreetMap* is 2.77B 2-D points spread over many hotspots of
+//!   Zipf-distributed size. [`osm_like`] generates a world of city
+//!   hotspots over a ±2·10⁷ m (web-mercator-like) domain plus uniform
+//!   noise, so the paper's ε sweep {0.25, 0.5, 1, 2}·10⁶ is meaningful.
+//! * The paper enlarges OpenStreetMap up to 10× by duplicating points
+//!   with small random noise; [`enlarge`] implements exactly that scheme.
+
+use dbscout_spatial::PointStore;
+use rand::Rng;
+
+use crate::rng::{log_normal, normal, seeded, weighted_index, zipf_weights};
+
+/// Geolife-like skewed 3-D GPS points (x, y in meters; z altitude-like).
+///
+/// ≈72% of points form one log-normally concentrated metropolitan
+/// hotspot, ≈23% split across five minor cities, ≈5% are world-scale
+/// scatter (the outlier reservoir).
+pub fn geolife_like(n: usize, seed: u64) -> PointStore {
+    let mut rng = seeded(seed);
+    let mut store = PointStore::with_capacity(3, n).expect("3-D fits MAX_DIMS");
+    // One dominant center (Beijing-like) plus minor cities, meter units.
+    let minor_cities: [(f64, f64); 5] = [
+        (250_000.0, 40_000.0),
+        (-180_000.0, 120_000.0),
+        (90_000.0, -220_000.0),
+        (-300_000.0, -150_000.0),
+        (400_000.0, 260_000.0),
+    ];
+    for _ in 0..n {
+        let u: f64 = rng.gen();
+        let (x, y) = if u < 0.72 {
+            // Dominant hotspot: log-normal radius (median ~33 m, heavy
+            // tail) creates the extreme cell skew the paper reports (40%
+            // of Geolife in one cell at ε = 200).
+            let r = log_normal(&mut rng, 3.5, 2.0);
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            (r * theta.cos(), r * theta.sin())
+        } else if u < 0.95 {
+            let (cx, cy) = minor_cities[rng.gen_range(0..minor_cities.len())];
+            let r = log_normal(&mut rng, 4.5, 1.4);
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            (cx + r * theta.cos(), cy + r * theta.sin())
+        } else {
+            // World-scale scatter: candidate outliers.
+            (
+                rng.gen_range(-600_000.0..600_000.0),
+                rng.gen_range(-600_000.0..600_000.0),
+            )
+        };
+        // Altitude-like third dimension, small relative to x/y.
+        let z = normal(&mut rng, 50.0, 15.0);
+        store.push(&[x, y, z]).expect("finite sample");
+    }
+    store
+}
+
+/// OpenStreetMap-like 2-D GPS points: `n_cities` hotspots with
+/// Zipf-distributed popularity over a ±2·10⁷ m domain, plus 0.2% uniform
+/// world noise (kept sparse enough that noise stays non-core across the
+/// paper's whole ε sweep at laptop-scale n).
+pub fn osm_like(n: usize, seed: u64) -> PointStore {
+    osm_like_with(n, 200, seed)
+}
+
+/// [`osm_like`] with an explicit hotspot count.
+pub fn osm_like_with(n: usize, n_cities: usize, seed: u64) -> PointStore {
+    const WORLD: f64 = 2.0e7;
+    // Cities cluster on "continents", leaving ocean-sized voids — as in
+    // real OSM data — so that world-scatter noise stays uncovered even at
+    // the largest ε of the paper's sweep.
+    const CONTINENTS: [(f64, f64); 6] = [
+        (-1.2e7, 5.0e6),
+        (-7.0e6, -3.0e6),
+        (1.0e6, 5.5e6),
+        (3.0e6, 1.0e6),
+        (9.0e6, 4.0e6),
+        (1.4e7, -3.0e6),
+    ];
+    let mut rng = seeded(seed);
+    let n_cities = n_cities.max(1);
+    let centers: Vec<(f64, f64)> = (0..n_cities)
+        .map(|i| {
+            let (cx, cy) = CONTINENTS[i % CONTINENTS.len()];
+            (
+                normal(&mut rng, cx, 2.0e6),
+                normal(&mut rng, cy, 1.5e6),
+            )
+        })
+        .collect();
+    // City spread: large metros are wider; σ between 30 km and 300 km.
+    let sigmas: Vec<f64> = (0..n_cities)
+        .map(|i| 3.0e4 * (1.0 + 9.0 / (1.0 + i as f64 * 0.2)))
+        .collect();
+    let weights = zipf_weights(n_cities, 1.05);
+
+    let mut store = PointStore::with_capacity(2, n).expect("2-D fits MAX_DIMS");
+    for _ in 0..n {
+        let u: f64 = rng.gen();
+        let (x, y) = if u < 0.998 {
+            let c = weighted_index(&mut rng, &weights);
+            (
+                normal(&mut rng, centers[c].0, sigmas[c]),
+                normal(&mut rng, centers[c].1, sigmas[c]),
+            )
+        } else {
+            (
+                rng.gen_range(-WORLD..WORLD),
+                rng.gen_range(-WORLD * 0.5..WORLD * 0.5),
+            )
+        };
+        store.push(&[x, y]).expect("finite sample");
+    }
+    store
+}
+
+/// Geolife-like data generated as **trajectories** rather than i.i.d.
+/// points: each trip is a random walk starting near a hub (hubs are
+/// Zipf-popular, the top hub being the metropolitan center), which is
+/// how the real Geolife collection gets both its along-track correlation
+/// and its extreme cell skew. 3-D like [`geolife_like`].
+pub fn geolife_trajectories(n_trips: usize, points_per_trip: usize, seed: u64) -> PointStore {
+    let mut rng = seeded(seed);
+    let n_hubs = 12usize;
+    let hubs: Vec<(f64, f64)> = (0..n_hubs)
+        .map(|i| {
+            if i == 0 {
+                (0.0, 0.0) // the dominant center
+            } else {
+                (
+                    rng.gen_range(-400_000.0..400_000.0),
+                    rng.gen_range(-400_000.0..400_000.0),
+                )
+            }
+        })
+        .collect();
+    let weights = zipf_weights(n_hubs, 1.4);
+
+    let mut store =
+        PointStore::with_capacity(3, n_trips * points_per_trip).expect("3-D fits MAX_DIMS");
+    for _ in 0..n_trips {
+        let hub = hubs[weighted_index(&mut rng, &weights)];
+        // Start near the hub (log-normal displacement), then walk.
+        let r = log_normal(&mut rng, 4.0, 1.5);
+        let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+        let mut x = hub.0 + r * theta.cos();
+        let mut y = hub.1 + r * theta.sin();
+        let mut heading: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let mut z = normal(&mut rng, 50.0, 10.0);
+        // Step length: mostly pedestrian/vehicle scale, occasionally a
+        // flight-style jump that strands isolated fixes.
+        for _ in 0..points_per_trip {
+            store.push(&[x, y, z]).expect("finite fix");
+            heading += normal(&mut rng, 0.0, 0.4);
+            let step = if rng.gen::<f64>() < 0.002 {
+                rng.gen_range(50_000.0..400_000.0)
+            } else {
+                log_normal(&mut rng, 2.5, 1.0)
+            };
+            x += step * heading.cos();
+            y += step * heading.sin();
+            z += normal(&mut rng, 0.0, 1.0);
+        }
+    }
+    store
+}
+
+/// The paper's enlargement scheme (§IV-A2): replicate every point
+/// `factor − 1` extra times, perturbing each replica by Gaussian noise of
+/// scale `noise` "to avoid creating too many overlaps". `factor = 1`
+/// returns a copy.
+pub fn enlarge(store: &PointStore, factor: usize, noise: f64, seed: u64) -> PointStore {
+    assert!(factor >= 1, "factor must be >= 1");
+    let mut rng = seeded(seed);
+    let dims = store.dims();
+    let mut out =
+        PointStore::with_capacity(dims, store.len() as usize * factor).expect("same dims");
+    let mut buf = vec![0.0f64; dims];
+    for (_, p) in store.iter() {
+        out.push(p).expect("copy of valid point");
+        for _ in 1..factor {
+            for (d, &c) in p.iter().enumerate() {
+                buf[d] = c + normal(&mut rng, 0.0, noise);
+            }
+            out.push(&buf).expect("finite replica");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscout_spatial::Grid;
+
+    #[test]
+    fn geolife_like_is_skewed() {
+        let store = geolife_like(20_000, 1);
+        assert_eq!(store.dims(), 3);
+        assert_eq!(store.len(), 20_000);
+        // The paper reports 40% of points in the top cell at ε = 200.
+        // Our stand-in must show the same kind of extreme skew (>10%).
+        let grid = Grid::build(&store, 200.0).unwrap();
+        assert!(grid.skew() > 0.10, "skew {}", grid.skew());
+    }
+
+    #[test]
+    fn osm_like_is_multi_hotspot() {
+        let store = osm_like(20_000, 2);
+        assert_eq!(store.dims(), 2);
+        // Many populated cells, but no single cell dominating like
+        // Geolife: skew far below the Geolife level at comparable ε.
+        let grid = Grid::build(&store, 1.0e6).unwrap();
+        assert!(grid.num_cells() > 50, "cells {}", grid.num_cells());
+        assert!(grid.skew() < 0.30, "skew {}", grid.skew());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(geolife_like(500, 7), geolife_like(500, 7));
+        assert_eq!(osm_like(500, 7), osm_like(500, 7));
+        assert_ne!(osm_like(500, 7), osm_like(500, 8));
+    }
+
+    #[test]
+    fn trajectories_are_track_correlated_and_skewed() {
+        let store = geolife_trajectories(200, 100, 1);
+        assert_eq!(store.len(), 20_000);
+        assert_eq!(store.dims(), 3);
+        // Consecutive fixes of a trip are mostly close (walk steps are
+        // log-normal with median e^2.5 ≈ 12 m).
+        let mut close = 0;
+        for trip in 0..200u32 {
+            for i in 0..99u32 {
+                let a = store.point(trip * 100 + i);
+                let b = store.point(trip * 100 + i + 1);
+                if dbscout_spatial::distance::dist(a, b) < 1_000.0 {
+                    close += 1;
+                }
+            }
+        }
+        assert!(close > 19_000, "only {close} consecutive pairs are close");
+        // The dominant hub still concentrates mass, though walks smear
+        // trips across cells (uniform data at this n and ε would put
+        // ~0.01% in the top cell; trajectories put ~1%).
+        let grid = Grid::build(&store, 200.0).unwrap();
+        assert!(grid.skew() > 0.005, "skew {}", grid.skew());
+    }
+
+    #[test]
+    fn trajectories_deterministic() {
+        assert_eq!(
+            geolife_trajectories(10, 50, 3),
+            geolife_trajectories(10, 50, 3)
+        );
+    }
+
+    #[test]
+    fn enlarge_multiplies_cardinality() {
+        let base = osm_like(1_000, 3);
+        let big = enlarge(&base, 3, 10.0, 4);
+        assert_eq!(big.len(), 3_000);
+        // Originals are preserved verbatim at stride `factor`.
+        for i in 0..1_000u32 {
+            assert_eq!(big.point(i * 3), base.point(i));
+        }
+        // Replicas are near their original.
+        for i in 0..1_000u32 {
+            let orig = base.point(i);
+            let rep = big.point(i * 3 + 1);
+            let d = dbscout_spatial::distance::dist(orig, rep);
+            assert!(d < 100.0, "replica drifted {d}");
+        }
+    }
+
+    #[test]
+    fn enlarge_factor_one_is_identity() {
+        let base = osm_like(100, 5);
+        assert_eq!(enlarge(&base, 1, 10.0, 0), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn enlarge_factor_zero_panics() {
+        enlarge(&osm_like(10, 0), 0, 1.0, 0);
+    }
+}

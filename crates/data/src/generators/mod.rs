@@ -1,0 +1,89 @@
+//! Seeded synthetic dataset generators.
+//!
+//! * [`blobs`], [`blobs_varied_density`], [`circles`], [`moons`] — the
+//!   scikit-learn-style labelled 2-D shapes of paper Table III;
+//! * [`cluto_t4_like`] … [`cure_t2_like`] — shape-matched stand-ins for
+//!   the Cluto/Cure benchmark files (same cardinalities and contamination
+//!   factors as the paper's Table III rows);
+//! * [`geolife_like`], [`osm_like`], [`enlarge`] — structural stand-ins
+//!   for the Geolife and OpenStreetMap GPS datasets and the paper's
+//!   duplicate-with-noise scaling scheme.
+
+mod blobs;
+mod cluto;
+mod gps;
+mod shapes;
+
+pub use blobs::{blobs, blobs_varied_density};
+pub use cluto::{cluto_t4_like, cluto_t5_like, cluto_t7_like, cluto_t8_like, cure_t2_like};
+pub use gps::{enlarge, geolife_like, geolife_trajectories, osm_like, osm_like_with};
+pub use shapes::{circles, moons};
+
+use dbscout_spatial::{KdTree, PointStore};
+use rand::Rng;
+
+/// Scatters `count` labelled outliers uniformly in the inlier bounding
+/// box expanded by `expand` on each side, rejecting candidates closer
+/// than `margin` to any inlier (so ground-truth labels stay meaningful).
+pub(crate) fn scatter_outliers(
+    inliers: &PointStore,
+    count: usize,
+    margin: f64,
+    expand: f64,
+    rng: &mut impl Rng,
+) -> Vec<Vec<f64>> {
+    let (min, max) = inliers
+        .bounding_box()
+        .expect("outliers are scattered around a non-empty inlier set");
+    let tree = KdTree::build(inliers);
+    let dims = inliers.dims();
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    let max_attempts = count.saturating_mul(200).max(10_000);
+    while out.len() < count && attempts < max_attempts {
+        attempts += 1;
+        let cand: Vec<f64> = (0..dims)
+            .map(|d| rng.gen_range(min[d] - expand..max[d] + expand))
+            .collect();
+        let nearest = tree.knn(&cand, 1);
+        if nearest[0].sq_dist > margin * margin {
+            out.push(cand);
+        }
+    }
+    // If rejection sampling starved (tiny domains), fall back to pushing
+    // candidates radially out of the bounding box.
+    while out.len() < count {
+        let cand: Vec<f64> = (0..dims)
+            .map(|d| {
+                let span = max[d] - min[d] + 2.0 * expand;
+                max[d] + expand + rng.gen_range(0.0..span.max(margin * 4.0))
+            })
+            .collect();
+        out.push(cand);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use dbscout_spatial::distance::dist;
+
+    #[test]
+    fn scatter_outliers_respects_margin() {
+        let inliers = PointStore::from_rows(
+            2,
+            (0..100).map(|i| vec![(i % 10) as f64, (i / 10) as f64]),
+        )
+        .unwrap();
+        let mut rng = seeded(9);
+        let outs = scatter_outliers(&inliers, 20, 2.0, 10.0, &mut rng);
+        assert_eq!(outs.len(), 20);
+        for o in &outs {
+            for (_, p) in inliers.iter() {
+                assert!(dist(o, p) > 2.0, "outlier {o:?} too close to {p:?}");
+            }
+        }
+    }
+}

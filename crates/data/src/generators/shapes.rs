@@ -1,0 +1,121 @@
+//! Non-convex 2-D shapes (Table III rows *Circles* and *Moons*) — the
+//! datasets on which the paper shows IF and OC-SVM collapsing while
+//! density methods stay accurate.
+
+use dbscout_spatial::PointStore;
+use rand::Rng;
+
+use crate::labeled::LabeledDataset;
+use crate::rng::{normal, seeded, unit_circle};
+
+use super::scatter_outliers;
+
+/// Two concentric circles (outer radius 1, inner radius `factor`) with
+/// Gaussian jitter `noise`, plus labelled outliers scattered away from
+/// both rings.
+pub fn circles(
+    n_inliers: usize,
+    n_outliers: usize,
+    factor: f64,
+    noise: f64,
+    seed: u64,
+) -> LabeledDataset {
+    assert!((0.0..1.0).contains(&factor), "factor must be in [0, 1)");
+    let mut rng = seeded(seed);
+    let mut rows = Vec::with_capacity(n_inliers + n_outliers);
+    for i in 0..n_inliers {
+        let (x, y) = unit_circle(&mut rng);
+        let r = if i % 2 == 0 { 1.0 } else { factor };
+        rows.push(vec![
+            x * r + normal(&mut rng, 0.0, noise),
+            y * r + normal(&mut rng, 0.0, noise),
+        ]);
+    }
+    finish("circles", rows, n_inliers, n_outliers, 4.0 * noise, &mut rng)
+}
+
+/// Two interleaving half-moons with Gaussian jitter `noise`, plus
+/// labelled outliers.
+pub fn moons(n_inliers: usize, n_outliers: usize, noise: f64, seed: u64) -> LabeledDataset {
+    let mut rng = seeded(seed);
+    let mut rows = Vec::with_capacity(n_inliers + n_outliers);
+    for i in 0..n_inliers {
+        let t: f64 = rng.gen_range(0.0..std::f64::consts::PI);
+        let (x, y) = if i % 2 == 0 {
+            (t.cos(), t.sin())
+        } else {
+            (1.0 - t.cos(), 0.5 - t.sin())
+        };
+        rows.push(vec![
+            x + normal(&mut rng, 0.0, noise),
+            y + normal(&mut rng, 0.0, noise),
+        ]);
+    }
+    finish("moons", rows, n_inliers, n_outliers, 4.0 * noise, &mut rng)
+}
+
+fn finish(
+    name: &str,
+    mut rows: Vec<Vec<f64>>,
+    n_inliers: usize,
+    n_outliers: usize,
+    margin: f64,
+    rng: &mut impl Rng,
+) -> LabeledDataset {
+    let inliers = PointStore::from_rows(2, rows.clone()).expect("finite rows");
+    rows.extend(scatter_outliers(&inliers, n_outliers, margin, 1.0, rng));
+    let mut labels = vec![false; n_inliers];
+    labels.extend(vec![true; n_outliers]);
+    LabeledDataset::new(name, PointStore::from_rows(2, rows).expect("finite"), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circles_structure() {
+        let ds = circles(1000, 10, 0.5, 0.02, 1);
+        assert_eq!(ds.len(), 1010);
+        assert_eq!(ds.num_outliers(), 10);
+        // Inliers hug one of two radii.
+        let mut near_inner = 0;
+        let mut near_outer = 0;
+        for i in 0..1000u32 {
+            let p = ds.points.point(i);
+            let r = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            if (r - 0.5).abs() < 0.15 {
+                near_inner += 1;
+            }
+            if (r - 1.0).abs() < 0.15 {
+                near_outer += 1;
+            }
+        }
+        assert!(near_inner > 400, "{near_inner}");
+        assert!(near_outer > 400, "{near_outer}");
+    }
+
+    #[test]
+    fn moons_structure() {
+        let ds = moons(1000, 10, 0.02, 2);
+        assert_eq!(ds.len(), 1010);
+        // Moons live roughly in [-1.2, 2.2] x [-0.7, 1.2].
+        for i in 0..1000u32 {
+            let p = ds.points.point(i);
+            assert!(p[0] > -1.3 && p[0] < 2.3, "x {p:?}");
+            assert!(p[1] > -0.8 && p[1] < 1.3, "y {p:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(circles(100, 5, 0.4, 0.05, 9).points, circles(100, 5, 0.4, 0.05, 9).points);
+        assert_eq!(moons(100, 5, 0.05, 9).points, moons(100, 5, 0.05, 9).points);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn bad_factor_panics() {
+        circles(10, 1, 1.5, 0.05, 0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Dataset IO: a plain CSV codec (for interchange with the scikit-learn
+//! tooling the paper compares against) and a compact binary format (for
+//! caching the multi-million-point GPS workloads between experiment
+//! runs).
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut};
+use dbscout_spatial::PointStore;
+
+/// Magic bytes of the binary point format.
+const MAGIC: &[u8; 4] = b"DBSC";
+/// Current binary format version.
+const VERSION: u8 = 1;
+
+/// IO and decoding errors.
+#[derive(Debug)]
+pub enum DataIoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A CSV field failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The binary header is not a DBSC file or has a wrong version.
+    BadHeader,
+    /// The binary payload was truncated.
+    Truncated,
+    /// The decoded points were structurally invalid.
+    Spatial(dbscout_spatial::SpatialError),
+}
+
+impl fmt::Display for DataIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataIoError::Io(e) => write!(f, "io error: {e}"),
+            DataIoError::Parse { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
+            DataIoError::BadHeader => write!(f, "not a DBSC binary file (bad magic/version)"),
+            DataIoError::Truncated => write!(f, "binary payload truncated"),
+            DataIoError::Spatial(e) => write!(f, "invalid point data: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataIoError {}
+
+impl From<std::io::Error> for DataIoError {
+    fn from(e: std::io::Error) -> Self {
+        DataIoError::Io(e)
+    }
+}
+
+impl From<dbscout_spatial::SpatialError> for DataIoError {
+    fn from(e: dbscout_spatial::SpatialError) -> Self {
+        DataIoError::Spatial(e)
+    }
+}
+
+/// Writes points as CSV: one row per point, coordinates then (optionally)
+/// a `0`/`1` outlier label column.
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    store: &PointStore,
+    labels: Option<&[bool]>,
+) -> Result<(), DataIoError> {
+    if let Some(labels) = labels {
+        assert_eq!(labels.len(), store.len() as usize, "label count");
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    for (id, p) in store.iter() {
+        let mut first = true;
+        for c in p {
+            if !first {
+                w.write_all(b",")?;
+            }
+            first = false;
+            write!(w, "{c}")?;
+        }
+        if let Some(labels) = labels {
+            write!(w, ",{}", u8::from(labels[id as usize]))?;
+        }
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a CSV of points. With `labeled = true` the last column is
+/// decoded as a `0`/`1` outlier label; otherwise every column is a
+/// coordinate. Dimensionality is inferred from the first row; empty files
+/// yield an error.
+pub fn read_csv(
+    path: impl AsRef<Path>,
+    labeled: bool,
+) -> Result<(PointStore, Option<Vec<bool>>), DataIoError> {
+    let r = BufReader::new(File::open(path)?);
+    let mut store: Option<PointStore> = None;
+    let mut labels = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields: Vec<&str> = line.split(',').collect();
+        let label = if labeled {
+            let f = fields.pop().ok_or(DataIoError::Parse {
+                line: i + 1,
+                message: "missing label column".into(),
+            })?;
+            match f.trim() {
+                "0" => false,
+                "1" => true,
+                other => {
+                    return Err(DataIoError::Parse {
+                        line: i + 1,
+                        message: format!("label must be 0/1, got {other:?}"),
+                    })
+                }
+            }
+        } else {
+            false
+        };
+        let mut coords = Vec::with_capacity(fields.len());
+        for f in &fields {
+            coords.push(f.trim().parse::<f64>().map_err(|e| DataIoError::Parse {
+                line: i + 1,
+                message: format!("bad coordinate {f:?}: {e}"),
+            })?);
+        }
+        let store = match &mut store {
+            Some(s) => s,
+            None => store.insert(PointStore::new(coords.len())?),
+        };
+        store.push(&coords).map_err(|e| DataIoError::Parse {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
+        if labeled {
+            labels.push(label);
+        }
+    }
+    let store = store.ok_or(DataIoError::Parse {
+        line: 0,
+        message: "empty file".into(),
+    })?;
+    Ok((store, labeled.then_some(labels)))
+}
+
+/// Encodes a point store into the compact binary format.
+pub fn encode_binary(store: &PointStore) -> Vec<u8> {
+    let n = store.len() as u64;
+    let mut buf = Vec::with_capacity(16 + store.flat().len() * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(store.dims() as u8);
+    buf.put_u64_le(n);
+    for &c in store.flat() {
+        buf.put_f64_le(c);
+    }
+    buf
+}
+
+/// Decodes the compact binary format.
+pub fn decode_binary(mut data: &[u8]) -> Result<PointStore, DataIoError> {
+    if data.len() < 14 {
+        return Err(DataIoError::BadHeader);
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC || data.get_u8() != VERSION {
+        return Err(DataIoError::BadHeader);
+    }
+    let dims = data.get_u8() as usize;
+    let n = data.get_u64_le() as usize;
+    let want = n
+        .checked_mul(dims)
+        .and_then(|x| x.checked_mul(8))
+        .ok_or(DataIoError::Truncated)?;
+    if data.remaining() < want {
+        return Err(DataIoError::Truncated);
+    }
+    let mut coords = Vec::with_capacity(n * dims);
+    for _ in 0..n * dims {
+        coords.push(data.get_f64_le());
+    }
+    Ok(PointStore::from_flat(dims, coords)?)
+}
+
+/// Writes the binary format to a file.
+pub fn write_binary(path: impl AsRef<Path>, store: &PointStore) -> Result<(), DataIoError> {
+    let mut f = BufWriter::new(File::create(path)?);
+    f.write_all(&encode_binary(store))?;
+    f.flush()?;
+    Ok(())
+}
+
+/// Reads the binary format from a file.
+pub fn read_binary(path: impl AsRef<Path>) -> Result<PointStore, DataIoError> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    decode_binary(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> PointStore {
+        PointStore::from_rows(
+            3,
+            vec![
+                vec![1.5, -2.25, 0.0],
+                vec![1e-12, 9e9, -3.5],
+                vec![0.1, 0.2, 0.3],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csv_round_trip_with_labels() {
+        let dir = std::env::temp_dir().join("dbscout-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("labeled.csv");
+        let store = sample_store();
+        let labels = vec![false, true, false];
+        write_csv(&path, &store, Some(&labels)).unwrap();
+        let (got, got_labels) = read_csv(&path, true).unwrap();
+        assert_eq!(got, store);
+        assert_eq!(got_labels.unwrap(), labels);
+    }
+
+    #[test]
+    fn csv_round_trip_unlabeled() {
+        let dir = std::env::temp_dir().join("dbscout-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plain.csv");
+        let store = sample_store();
+        write_csv(&path, &store, None).unwrap();
+        let (got, labels) = read_csv(&path, false).unwrap();
+        assert_eq!(got, store);
+        assert!(labels.is_none());
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        let dir = std::env::temp_dir().join("dbscout-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "1.0,abc\n").unwrap();
+        assert!(matches!(
+            read_csv(&path, false),
+            Err(DataIoError::Parse { line: 1, .. })
+        ));
+        std::fs::write(&path, "1.0,2.0,7\n").unwrap();
+        assert!(matches!(
+            read_csv(&path, true),
+            Err(DataIoError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let store = sample_store();
+        let buf = encode_binary(&store);
+        let got = decode_binary(&buf).unwrap();
+        assert_eq!(got, store);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic_and_truncation() {
+        let store = sample_store();
+        let mut buf = encode_binary(&store);
+        assert!(matches!(
+            decode_binary(&buf[..10]),
+            Err(DataIoError::BadHeader)
+        ));
+        assert!(matches!(
+            decode_binary(&buf[..20]),
+            Err(DataIoError::Truncated)
+        ));
+        buf[0] = b'X';
+        assert!(matches!(decode_binary(&buf), Err(DataIoError::BadHeader)));
+    }
+
+    #[test]
+    fn binary_file_round_trip() {
+        let dir = std::env::temp_dir().join("dbscout-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("points.dbsc");
+        let store = sample_store();
+        write_binary(&path, &store).unwrap();
+        assert_eq!(read_binary(&path).unwrap(), store);
+    }
+
+    #[test]
+    fn empty_csv_is_an_error() {
+        let dir = std::env::temp_dir().join("dbscout-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.csv");
+        std::fs::write(&path, "").unwrap();
+        assert!(read_csv(&path, false).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! The k-dist graph: the ε-selection heuristic the paper uses for
+//! Table III (§IV-C1): "we fixed the value of minPts, then drew the graph
+//! of the distance to the minPts-th neighbor against the number of
+//! points. The value of ε was then chosen in the uppermost part of the
+//! elbow zone of such graph."
+
+use dbscout_spatial::{KdTree, PointStore};
+
+/// For every point, the distance to its `k`-th nearest *other* neighbor,
+/// sorted descending — the classic DBSCAN k-dist graph.
+pub fn kdist_graph(store: &PointStore, k: usize) -> Vec<f64> {
+    assert!(k >= 1, "k must be >= 1");
+    let tree = KdTree::build(store);
+    let mut dists: Vec<f64> = store
+        .iter()
+        .map(|(_, p)| {
+            // k+1 because the query point itself is always returned at
+            // distance zero.
+            let nn = tree.knn(p, k + 1);
+            nn.last().map(|n| n.sq_dist.sqrt()).unwrap_or(0.0)
+        })
+        .collect();
+    dists.sort_by(|a, b| b.total_cmp(a));
+    dists
+}
+
+/// Picks ε in the **uppermost part of the elbow zone** of the
+/// (descending) k-dist graph, as the paper prescribes (§IV-C1): find the
+/// maximum distance-to-chord (the knee), then walk back toward the head
+/// of the curve while the distance-to-chord stays within 90% of the
+/// maximum — the first such index is the upper edge of the elbow zone.
+///
+/// Returns `None` for graphs with fewer than 3 points.
+pub fn elbow_eps(kdist: &[f64]) -> Option<f64> {
+    if kdist.len() < 3 {
+        return None;
+    }
+    let n = kdist.len() as f64;
+    let (x0, y0) = (0.0, kdist[0]);
+    let (x1, y1) = (n - 1.0, kdist[kdist.len() - 1]);
+    let dx = x1 - x0;
+    let dy = y1 - y0;
+    let norm = (dx * dx + dy * dy).sqrt();
+    if norm == 0.0 {
+        return Some(kdist[0]);
+    }
+    let chord_dist = |i: usize| -> f64 {
+        let (x, y) = (i as f64, kdist[i]);
+        ((dy * x - dx * y + x1 * y0 - y1 * x0) / norm).abs()
+    };
+    let mut best = (0usize, f64::MIN);
+    for i in 0..kdist.len() {
+        let d = chord_dist(i);
+        if d > best.1 {
+            best = (i, d);
+        }
+    }
+    // Upper edge of the elbow zone: smallest index (largest k-dist) whose
+    // chord distance is still within 90% of the knee's.
+    let threshold = 0.9 * best.1;
+    let upper = (0..=best.0).find(|&i| chord_dist(i) >= threshold).unwrap_or(best.0);
+    Some(kdist[upper])
+}
+
+/// End-to-end ε suggestion: build the k-dist graph for `k = min_pts` and
+/// take the elbow.
+pub fn suggest_eps(store: &PointStore, min_pts: usize) -> Option<f64> {
+    elbow_eps(&kdist_graph(store, min_pts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kdist_is_sorted_descending() {
+        let store = PointStore::from_rows(
+            2,
+            (0..100).map(|i| vec![(i % 10) as f64, (i / 10) as f64]),
+        )
+        .unwrap();
+        let g = kdist_graph(&store, 4);
+        assert_eq!(g.len(), 100);
+        for w in g.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn kdist_excludes_self() {
+        // Two points at distance 5: each one's 1-dist is 5, not 0.
+        let store = PointStore::from_rows(2, vec![vec![0.0, 0.0], vec![5.0, 0.0]]).unwrap();
+        let g = kdist_graph(&store, 1);
+        assert_eq!(g, vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn elbow_finds_knee_of_hockey_stick() {
+        // A flat tail with a sharp rise at the head: elbow near the bend.
+        let mut g = vec![0.5f64; 100];
+        for (i, v) in [50.0, 25.0, 12.0, 6.0, 3.0, 1.5].iter().enumerate() {
+            g[i] = *v;
+        }
+        let eps = elbow_eps(&g).unwrap();
+        assert!(eps < 13.0 && eps > 0.4, "eps {eps}");
+    }
+
+    #[test]
+    fn elbow_degenerate_inputs() {
+        assert_eq!(elbow_eps(&[]), None);
+        assert_eq!(elbow_eps(&[1.0, 2.0]), None);
+        // Constant graph: any value works; must not panic.
+        assert_eq!(elbow_eps(&[2.0, 2.0, 2.0, 2.0]), Some(2.0));
+    }
+
+    #[test]
+    fn suggest_eps_separates_cluster_from_noise() {
+        // Tight cluster + a few distant points: suggested eps should be
+        // around the cluster's internal spacing, far below the outlier
+        // distances.
+        let mut rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 20) as f64 * 0.1, (i / 20) as f64 * 0.1])
+            .collect();
+        rows.push(vec![100.0, 100.0]);
+        rows.push(vec![-80.0, 40.0]);
+        let store = PointStore::from_rows(2, rows).unwrap();
+        let eps = suggest_eps(&store, 4).unwrap();
+        assert!(eps < 10.0, "eps {eps} should be near cluster spacing");
+        assert!(eps > 0.05, "eps {eps} should be positive");
+    }
+}

@@ -1,0 +1,92 @@
+//! Labelled datasets: points plus ground-truth outlier flags.
+
+use dbscout_spatial::PointStore;
+
+/// A dataset whose points carry a ground-truth outlier label, used for
+/// the quality experiments (paper Table III).
+#[derive(Debug, Clone)]
+pub struct LabeledDataset {
+    /// Human-readable dataset name (e.g. `"blobs"`).
+    pub name: String,
+    /// The points.
+    pub points: PointStore,
+    /// `true` = ground-truth outlier; indexed by point id.
+    pub labels: Vec<bool>,
+}
+
+impl LabeledDataset {
+    /// Creates a labelled dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label count does not match the point count —
+    /// generators construct both together, so a mismatch is a bug.
+    pub fn new(name: impl Into<String>, points: PointStore, labels: Vec<bool>) -> Self {
+        assert_eq!(
+            points.len() as usize,
+            labels.len(),
+            "labels must cover every point"
+        );
+        Self {
+            name: name.into(),
+            points,
+            labels,
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of ground-truth outliers.
+    pub fn num_outliers(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// Fraction of outliers (the contamination factor ν of Table III).
+    pub fn contamination(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            self.num_outliers() as f64 / self.labels.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_contamination() {
+        let points = PointStore::from_rows(2, vec![vec![0.0, 0.0]; 10]).unwrap();
+        let mut labels = vec![false; 10];
+        labels[3] = true;
+        labels[7] = true;
+        let ds = LabeledDataset::new("t", points, labels);
+        assert_eq!(ds.len(), 10);
+        assert_eq!(ds.num_outliers(), 2);
+        assert!((ds.contamination() - 0.2).abs() < 1e-12);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must cover")]
+    fn mismatched_labels_panic() {
+        let points = PointStore::from_rows(2, vec![vec![0.0, 0.0]; 3]).unwrap();
+        LabeledDataset::new("t", points, vec![false; 2]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = LabeledDataset::new("e", PointStore::new(2).unwrap(), vec![]);
+        assert!(ds.is_empty());
+        assert_eq!(ds.contamination(), 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Dataset generators and IO for the DBSCOUT experiments.
+//!
+//! The paper evaluates on (a) two real GPS datasets — Geolife (24.9M
+//! skewed 3-D points) and OpenStreetMap (2.77B 2-D points) — plus
+//! enlarged/sampled versions, and (b) nine small labelled 2-D benchmark
+//! datasets (scikit-learn-style shapes and Cluto/Cure files). None of the
+//! real files ship with this reproduction, so this crate provides seeded
+//! synthetic generators that preserve the *structural* properties the
+//! experiments depend on (density skew, hotspot structure, cluster
+//! shapes, labelled noise); see `DESIGN.md` for the substitution
+//! rationale.
+//!
+//! Everything is deterministic given a seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod generators;
+pub mod io;
+pub mod kdist;
+pub mod labeled;
+pub mod rng;
+pub mod sampling;
+pub mod transform;
+
+pub use labeled::LabeledDataset;

@@ -1,0 +1,142 @@
+//! Seeded sampling helpers.
+//!
+//! Only the `rand` core crate is available offline, so the Gaussian and
+//! log-normal samplers (Box–Muller) live here instead of `rand_distr`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG from a `u64` seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// One standard-normal sample via the Box–Muller transform.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // u1 ∈ (0, 1] so the log is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A normal sample with the given mean and standard deviation.
+pub fn normal(rng: &mut impl Rng, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// A log-normal sample: `exp(N(mu, sigma))`.
+pub fn log_normal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// A point on the unit circle, uniform in angle.
+pub fn unit_circle(rng: &mut impl Rng) -> (f64, f64) {
+    let theta: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    (theta.cos(), theta.sin())
+}
+
+/// A Zipf-like weight vector: `w_i ∝ 1 / (i + 1)^s`, normalised to sum 1.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    let mut w: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+    let total: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= total;
+    }
+    w
+}
+
+/// Samples an index from a (normalised) weight vector.
+pub fn weighted_index(rng: &mut impl Rng, weights: &[f64]) -> usize {
+    let mut u: f64 = rng.gen();
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = seeded(42);
+            (0..10).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = seeded(42);
+            (0..10).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normal_moments_are_roughly_right() {
+        let mut rng = seeded(1);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn standard_normal_is_finite() {
+        let mut rng = seeded(2);
+        for _ in 0..10_000 {
+            assert!(standard_normal(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = seeded(3);
+        for _ in 0..1_000 {
+            assert!(log_normal(&mut rng, 0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn unit_circle_has_unit_norm() {
+        let mut rng = seeded(4);
+        for _ in 0..100 {
+            let (x, y) = unit_circle(&mut rng);
+            assert!((x * x + y * y - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_weights_sum_to_one_and_decrease() {
+        let w = zipf_weights(20, 1.1);
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        for i in 1..w.len() {
+            assert!(w[i] <= w[i - 1]);
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = seeded(5);
+        let w = vec![0.9, 0.1];
+        let hits = (0..10_000)
+            .filter(|_| weighted_index(&mut rng, &w) == 0)
+            .count();
+        assert!(hits > 8_500 && hits < 9_500, "hits {hits}");
+    }
+
+    #[test]
+    fn weighted_index_always_in_range() {
+        let mut rng = seeded(6);
+        let w = zipf_weights(7, 1.0);
+        for _ in 0..1_000 {
+            assert!(weighted_index(&mut rng, &w) < 7);
+        }
+    }
+}

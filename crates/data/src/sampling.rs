@@ -1,0 +1,97 @@
+//! Dataset sampling: the paper evaluates on random samples
+//! (1%, 25%, 50%, 75%) of OpenStreetMap (§IV-B1, Fig. 10 / Table II).
+
+use dbscout_spatial::points::PointId;
+use dbscout_spatial::PointStore;
+use rand::Rng;
+
+use crate::rng::seeded;
+
+/// A uniform random sample containing each point independently with
+/// probability `fraction` (Bernoulli sampling, like Spark's `sample`).
+pub fn sample_fraction(store: &PointStore, fraction: f64, seed: u64) -> PointStore {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
+    let mut rng = seeded(seed);
+    let ids: Vec<PointId> = store
+        .iter()
+        .filter(|_| rng.gen::<f64>() < fraction)
+        .map(|(id, _)| id)
+        .collect();
+    store.gather(&ids)
+}
+
+/// An exact-size sample of `k` points without replacement (reservoir
+/// sampling), in original order.
+pub fn sample_exact(store: &PointStore, k: usize, seed: u64) -> PointStore {
+    let n = store.len() as usize;
+    if k >= n {
+        return store.clone();
+    }
+    let mut rng = seeded(seed);
+    let mut reservoir: Vec<PointId> = (0..k as PointId).collect();
+    for i in k..n {
+        let j = rng.gen_range(0..=i);
+        if j < k {
+            reservoir[j] = i as PointId;
+        }
+    }
+    reservoir.sort_unstable();
+    store.gather(&reservoir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(n: usize) -> PointStore {
+        PointStore::from_rows(2, (0..n).map(|i| vec![i as f64, 0.0])).unwrap()
+    }
+
+    #[test]
+    fn fraction_sample_size_is_close() {
+        let s = store(10_000);
+        let half = sample_fraction(&s, 0.5, 1);
+        let n = half.len() as f64;
+        assert!(n > 4_700.0 && n < 5_300.0, "n {n}");
+    }
+
+    #[test]
+    fn fraction_edges() {
+        let s = store(100);
+        assert_eq!(sample_fraction(&s, 0.0, 1).len(), 0);
+        assert_eq!(sample_fraction(&s, 1.0, 1).len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn fraction_out_of_range_panics() {
+        sample_fraction(&store(10), 1.5, 0);
+    }
+
+    #[test]
+    fn exact_sample_size_and_membership() {
+        let s = store(1_000);
+        let sub = sample_exact(&s, 100, 2);
+        assert_eq!(sub.len(), 100);
+        for (_, p) in sub.iter() {
+            assert!(p[0] >= 0.0 && p[0] < 1_000.0);
+            assert_eq!(p[0].fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn exact_sample_k_ge_n_returns_all() {
+        let s = store(10);
+        assert_eq!(sample_exact(&s, 50, 3).len(), 10);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let s = store(500);
+        assert_eq!(sample_fraction(&s, 0.3, 9), sample_fraction(&s, 0.3, 9));
+        assert_eq!(sample_exact(&s, 42, 9), sample_exact(&s, 42, 9));
+    }
+}

@@ -1,0 +1,196 @@
+//! Feature scaling. DBSCOUT's single global ε assumes axes are
+//! commensurable — GPS data already is, but mixed-unit feature spaces
+//! (e.g. the sensor-telemetry example's value/delta axes) need scaling
+//! first, exactly as scikit-learn pipelines standardize before OC-SVM.
+
+use dbscout_spatial::{PointStore, SpatialError};
+
+/// A fitted per-dimension affine transform `x' = (x − shift) / scale`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scaler {
+    shift: Vec<f64>,
+    scale: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fits a min–max scaler mapping each dimension onto [0, 1]
+    /// (constant dimensions map to 0).
+    pub fn fit_min_max(store: &PointStore) -> Option<Scaler> {
+        let (min, max) = store.bounding_box()?;
+        let scale = min
+            .iter()
+            .zip(&max)
+            .map(|(lo, hi)| if hi > lo { hi - lo } else { 1.0 })
+            .collect();
+        Some(Scaler { shift: min, scale })
+    }
+
+    /// Fits a z-score standardizer (mean 0, standard deviation 1;
+    /// constant dimensions map to 0).
+    pub fn fit_standard(store: &PointStore) -> Option<Scaler> {
+        if store.is_empty() {
+            return None;
+        }
+        let d = store.dims();
+        let n = store.len() as f64;
+        let mut mean = vec![0.0; d];
+        for (_, p) in store.iter() {
+            for (m, &x) in mean.iter_mut().zip(p) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for (_, p) in store.iter() {
+            for (v, (&x, &m)) in var.iter_mut().zip(p.iter().zip(&mean)) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let scale = var
+            .iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Some(Scaler { shift: mean, scale })
+    }
+
+    /// Applies the transform to every point.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dimensionality mismatch.
+    pub fn transform(&self, store: &PointStore) -> Result<PointStore, SpatialError> {
+        if store.dims() != self.shift.len() {
+            return Err(SpatialError::DimensionMismatch {
+                expected: self.shift.len(),
+                got: store.dims(),
+            });
+        }
+        let mut out = PointStore::with_capacity(store.dims(), store.len() as usize)?;
+        let mut buf = vec![0.0; store.dims()];
+        for (_, p) in store.iter() {
+            for (b, (&x, (&sh, &sc))) in
+                buf.iter_mut().zip(p.iter().zip(self.shift.iter().zip(&self.scale)))
+            {
+                *b = (x - sh) / sc;
+            }
+            out.push(&buf)?;
+        }
+        Ok(out)
+    }
+
+    /// Undoes the transform.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dimensionality mismatch.
+    pub fn inverse_transform(&self, store: &PointStore) -> Result<PointStore, SpatialError> {
+        if store.dims() != self.shift.len() {
+            return Err(SpatialError::DimensionMismatch {
+                expected: self.shift.len(),
+                got: store.dims(),
+            });
+        }
+        let mut out = PointStore::with_capacity(store.dims(), store.len() as usize)?;
+        let mut buf = vec![0.0; store.dims()];
+        for (_, p) in store.iter() {
+            for (b, (&x, (&sh, &sc))) in
+                buf.iter_mut().zip(p.iter().zip(self.shift.iter().zip(&self.scale)))
+            {
+                *b = x * sc + sh;
+            }
+            out.push(&buf)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PointStore {
+        PointStore::from_rows(
+            2,
+            vec![vec![0.0, 100.0], vec![10.0, 200.0], vec![5.0, 150.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn min_max_maps_to_unit_box() {
+        let store = sample();
+        let scaler = Scaler::fit_min_max(&store).unwrap();
+        let out = scaler.transform(&store).unwrap();
+        let (min, max) = out.bounding_box().unwrap();
+        assert_eq!(min, vec![0.0, 0.0]);
+        assert_eq!(max, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn standard_centers_and_scales() {
+        let store = sample();
+        let scaler = Scaler::fit_standard(&store).unwrap();
+        let out = scaler.transform(&store).unwrap();
+        for d in 0..2 {
+            let vals: Vec<f64> = out.iter().map(|(_, p)| p[d]).collect();
+            let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var: f64 =
+                vals.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / vals.len() as f64;
+            assert!(mean.abs() < 1e-12, "dim {d} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-12, "dim {d} var {var}");
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let store = sample();
+        for scaler in [
+            Scaler::fit_min_max(&store).unwrap(),
+            Scaler::fit_standard(&store).unwrap(),
+        ] {
+            let there = scaler.transform(&store).unwrap();
+            let back = scaler.inverse_transform(&there).unwrap();
+            for ((_, a), (_, b)) in store.iter().zip(back.iter()) {
+                for (x, y) in a.iter().zip(b) {
+                    assert!((x - y).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_dimension_does_not_explode() {
+        let store = PointStore::from_rows(2, vec![vec![5.0, 1.0], vec![5.0, 2.0]]).unwrap();
+        for scaler in [
+            Scaler::fit_min_max(&store).unwrap(),
+            Scaler::fit_standard(&store).unwrap(),
+        ] {
+            let out = scaler.transform(&store).unwrap();
+            assert!(out.flat().iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn empty_store_yields_none() {
+        let empty = PointStore::new(2).unwrap();
+        assert!(Scaler::fit_min_max(&empty).is_none());
+        assert!(Scaler::fit_standard(&empty).is_none());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let scaler = Scaler::fit_min_max(&sample()).unwrap();
+        let wrong = PointStore::from_rows(3, vec![vec![1.0, 2.0, 3.0]]).unwrap();
+        assert!(scaler.transform(&wrong).is_err());
+        assert!(scaler.inverse_transform(&wrong).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for dataset generation, IO, sampling and
+//! scaling.
+
+use dbscout_data::generators::{blobs, enlarge, moons, osm_like};
+use dbscout_data::io::{decode_binary, encode_binary};
+use dbscout_data::kdist::{elbow_eps, kdist_graph};
+use dbscout_data::sampling::{sample_exact, sample_fraction};
+use dbscout_data::transform::Scaler;
+use dbscout_spatial::PointStore;
+use proptest::prelude::*;
+
+fn arb_store(max_n: usize) -> impl Strategy<Value = PointStore> {
+    (1usize..=3).prop_flat_map(move |dims| {
+        prop::collection::vec(prop::collection::vec(-1e6f64..1e6, dims), 1..max_n)
+            .prop_map(move |rows| PointStore::from_rows(dims, rows).expect("finite rows"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn binary_round_trip_any_store(store in arb_store(200)) {
+        let decoded = decode_binary(&encode_binary(&store)).unwrap();
+        prop_assert_eq!(decoded, store);
+    }
+
+    #[test]
+    fn sample_exact_size_and_provenance(store in arb_store(150), k in 0usize..200, seed in 0u64..100) {
+        let sub = sample_exact(&store, k, seed);
+        prop_assert_eq!(sub.len() as usize, k.min(store.len() as usize));
+        prop_assert_eq!(sub.dims(), store.dims());
+    }
+
+    #[test]
+    fn sample_fraction_within_bernoulli_bounds(frac in 0.0f64..=1.0, seed in 0u64..50) {
+        let store = osm_like(2_000, 1);
+        let sub = sample_fraction(&store, frac, seed);
+        let expected = 2_000.0 * frac;
+        // 5-sigma Bernoulli bound.
+        let sigma = (2_000.0 * frac * (1.0 - frac)).sqrt();
+        prop_assert!(
+            ((sub.len() as f64) - expected).abs() <= 5.0 * sigma + 1.0,
+            "{} vs {expected}",
+            sub.len()
+        );
+    }
+
+    #[test]
+    fn enlarge_scales_cardinality(factor in 1usize..5, seed in 0u64..20) {
+        let base = osm_like(300, seed);
+        let big = enlarge(&base, factor, 100.0, seed);
+        prop_assert_eq!(big.len() as usize, 300 * factor);
+    }
+
+    #[test]
+    fn generators_hit_requested_contamination(
+        n_in in 100usize..800,
+        n_out in 1usize..30,
+        seed in 0u64..30,
+    ) {
+        for ds in [blobs(n_in, n_out, 2, 0.5, seed), moons(n_in, n_out, 0.05, seed)] {
+            prop_assert_eq!(ds.len(), n_in + n_out, "{}", ds.name);
+            prop_assert_eq!(ds.num_outliers(), n_out, "{}", ds.name);
+        }
+    }
+
+    #[test]
+    fn kdist_graph_sorted_and_elbow_in_range(store in arb_store(120), k in 1usize..5) {
+        let g = kdist_graph(&store, k);
+        for w in g.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        if let Some(eps) = elbow_eps(&g) {
+            prop_assert!(eps >= g[g.len() - 1] && eps <= g[0]);
+        }
+    }
+
+    #[test]
+    fn scalers_round_trip(store in arb_store(100)) {
+        for scaler in [
+            Scaler::fit_min_max(&store).unwrap(),
+            Scaler::fit_standard(&store).unwrap(),
+        ] {
+            let back = scaler
+                .inverse_transform(&scaler.transform(&store).unwrap())
+                .unwrap();
+            for ((_, a), (_, b)) in store.iter().zip(back.iter()) {
+                for (x, y) in a.iter().zip(b) {
+                    prop_assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()), "{x} vs {y}");
+                }
+            }
+        }
+    }
+}

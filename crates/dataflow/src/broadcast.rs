@@ -1,0 +1,86 @@
+//! Read-only broadcast variables.
+//!
+//! DBSCOUT broadcasts its *cell maps* (dense-cell map, core-cell map) to
+//! all executors so that per-partition tasks can classify cells without a
+//! shuffle (paper §III-C, §III-E). A [`Broadcast<T>`] models that: a
+//! cheaply-cloneable, immutable handle that tasks may capture.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable value shared with every worker task.
+///
+/// Created via [`ExecutionContext::broadcast`](crate::ExecutionContext::broadcast)
+/// so the engine can count broadcasts in its metrics. Cloning is O(1).
+#[derive(Debug)]
+pub struct Broadcast<T> {
+    value: Arc<T>,
+}
+
+impl<T> Broadcast<T> {
+    pub(crate) fn new(value: T) -> Self {
+        Self {
+            value: Arc::new(value),
+        }
+    }
+
+    /// Borrows the broadcast value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Self {
+            value: Arc::clone(&self.value),
+        }
+    }
+}
+
+impl<T> Deref for Broadcast<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ExecutionContext;
+
+    #[test]
+    fn broadcast_is_shared_not_copied() {
+        let ctx = ExecutionContext::builder().workers(2).build();
+        let b = ctx.broadcast(vec![1u8; 1024]);
+        let b2 = b.clone();
+        assert!(std::ptr::eq(b.value().as_ptr(), b2.value().as_ptr()));
+    }
+
+    #[test]
+    fn deref_reads_value() {
+        let ctx = ExecutionContext::builder().workers(1).build();
+        let b = ctx.broadcast(41);
+        assert_eq!(*b + 1, 42);
+    }
+
+    #[test]
+    fn broadcast_usable_from_tasks() {
+        let ctx = ExecutionContext::builder().workers(4).build();
+        let lookup = ctx.broadcast((0..100u64).map(|i| i * 3).collect::<Vec<_>>());
+        let ds = ctx.parallelize((0..100u64).collect::<Vec<_>>(), 8);
+        let lk = lookup.clone();
+        let out = ds.map(move |&i| lk[i as usize]).unwrap().collect().unwrap();
+        assert_eq!(out, (0..100u64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn broadcasts_are_counted() {
+        let ctx = ExecutionContext::builder().workers(1).build();
+        let before = ctx.metrics().snapshot().broadcasts;
+        let _a = ctx.broadcast(1);
+        let _b = ctx.broadcast(2);
+        assert_eq!(ctx.metrics().snapshot().broadcasts - before, 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! The execution context: worker count, defaults, and metrics.
+
+use std::sync::Arc;
+
+use crate::broadcast::Broadcast;
+use crate::dataset::Dataset;
+use crate::metrics::EngineMetrics;
+
+/// Shared engine state: the "driver" of this mini cluster.
+///
+/// Holds the worker count (how many partition tasks run concurrently — the
+/// analogue of total executor cores), the default partition count for new
+/// datasets, and the [`EngineMetrics`] counters.
+///
+/// Contexts are cheap to clone via [`Arc`] inside datasets; create one per
+/// logical cluster configuration.
+#[derive(Debug)]
+pub struct ExecutionContext {
+    workers: usize,
+    default_partitions: usize,
+    metrics: EngineMetrics,
+}
+
+impl ExecutionContext {
+    /// Starts building a context.
+    pub fn builder() -> ExecutionContextBuilder {
+        ExecutionContextBuilder::default()
+    }
+
+    /// A context with one worker per available CPU.
+    pub fn with_all_cores() -> Arc<Self> {
+        Self::builder().build()
+    }
+
+    /// Number of concurrently running tasks.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Partition count used when the caller does not specify one.
+    pub fn default_partitions(&self) -> usize {
+        self.default_partitions
+    }
+
+    /// The engine counters.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// Broadcasts a read-only value to all workers (metered).
+    pub fn broadcast<T>(self: &Arc<Self>, value: T) -> Broadcast<T> {
+        self.metrics.record_broadcast();
+        Broadcast::new(value)
+    }
+
+    /// Distributes `data` into `num_partitions` contiguous chunks of nearly
+    /// equal size (Spark's `parallelize`).
+    pub fn parallelize<T: Send + Sync>(
+        self: &Arc<Self>,
+        data: Vec<T>,
+        num_partitions: usize,
+    ) -> Dataset<T> {
+        let num_partitions = num_partitions.max(1);
+        let n = data.len();
+        let base = n / num_partitions;
+        let extra = n % num_partitions;
+        let mut partitions = Vec::with_capacity(num_partitions);
+        let mut iter = data.into_iter();
+        for p in 0..num_partitions {
+            let size = base + usize::from(p < extra);
+            partitions.push(iter.by_ref().take(size).collect());
+        }
+        Dataset::from_partitions(Arc::clone(self), partitions)
+    }
+}
+
+/// Builder for [`ExecutionContext`].
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct ExecutionContextBuilder {
+    workers: Option<usize>,
+    default_partitions: Option<usize>,
+}
+
+
+impl ExecutionContextBuilder {
+    /// Sets the number of worker threads (defaults to available CPUs).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Sets the default partition count (defaults to `2 * workers`).
+    pub fn default_partitions(mut self, partitions: usize) -> Self {
+        self.default_partitions = Some(partitions.max(1));
+        self
+    }
+
+    /// Finalises the context.
+    pub fn build(self) -> Arc<ExecutionContext> {
+        let workers = self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        let default_partitions = self.default_partitions.unwrap_or(workers * 2);
+        Arc::new(ExecutionContext {
+            workers,
+            default_partitions,
+            metrics: EngineMetrics::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let ctx = ExecutionContext::builder().build();
+        assert!(ctx.workers() >= 1);
+        assert_eq!(ctx.default_partitions(), ctx.workers() * 2);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let ctx = ExecutionContext::builder()
+            .workers(3)
+            .default_partitions(17)
+            .build();
+        assert_eq!(ctx.workers(), 3);
+        assert_eq!(ctx.default_partitions(), 17);
+    }
+
+    #[test]
+    fn builder_clamps_zero() {
+        let ctx = ExecutionContext::builder()
+            .workers(0)
+            .default_partitions(0)
+            .build();
+        assert_eq!(ctx.workers(), 1);
+        assert_eq!(ctx.default_partitions(), 1);
+    }
+
+    #[test]
+    fn parallelize_balances_partitions() {
+        let ctx = ExecutionContext::builder().workers(2).build();
+        let ds = ctx.parallelize((0..10).collect::<Vec<_>>(), 3);
+        let sizes = ds.partition_sizes();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        assert_eq!(ds.collect().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallelize_more_partitions_than_items() {
+        let ctx = ExecutionContext::builder().workers(2).build();
+        let ds = ctx.parallelize(vec![1, 2], 5);
+        assert_eq!(ds.num_partitions(), 5);
+        assert_eq!(ds.count(), 2);
+    }
+
+    #[test]
+    fn parallelize_empty() {
+        let ctx = ExecutionContext::builder().workers(2).build();
+        let ds = ctx.parallelize(Vec::<i32>::new(), 4);
+        assert_eq!(ds.count(), 0);
+        assert_eq!(ds.num_partitions(), 4);
+    }
+
+    #[test]
+    fn parallelize_zero_partitions_clamped() {
+        let ctx = ExecutionContext::builder().workers(2).build();
+        let ds = ctx.parallelize(vec![1, 2, 3], 0);
+        assert_eq!(ds.num_partitions(), 1);
+    }
+}

@@ -1,0 +1,383 @@
+//! Partitioned datasets and their record-wise transformations.
+
+use std::sync::Arc;
+
+use crate::context::ExecutionContext;
+use crate::error::{EngineError, Result};
+use crate::executor::run_tasks;
+
+/// A distributed collection: an ordered list of partitions, each an
+/// immutable `Vec<T>` shared behind an [`Arc`].
+///
+/// Datasets are cheap to clone (partition vectors are shared, not copied),
+/// mirroring the reusability of Spark RDDs — DBSCOUT reuses its grid
+/// dataset in several downstream transformations. All transformations take
+/// `&self` and produce new datasets; user closures observe records by
+/// reference and run on the context's worker pool, one task per partition.
+#[derive(Debug)]
+pub struct Dataset<T> {
+    ctx: Arc<ExecutionContext>,
+    partitions: Vec<Arc<Vec<T>>>,
+}
+
+impl<T> Clone for Dataset<T> {
+    fn clone(&self) -> Self {
+        Self {
+            ctx: Arc::clone(&self.ctx),
+            partitions: self.partitions.clone(),
+        }
+    }
+}
+
+impl<T: Send + Sync> Dataset<T> {
+    /// Wraps explicit partitions into a dataset.
+    pub fn from_partitions(ctx: Arc<ExecutionContext>, partitions: Vec<Vec<T>>) -> Self {
+        let partitions = if partitions.is_empty() {
+            vec![Arc::new(Vec::new())]
+        } else {
+            partitions.into_iter().map(Arc::new).collect()
+        };
+        Self { ctx, partitions }
+    }
+
+    pub(crate) fn from_arc_partitions(
+        ctx: Arc<ExecutionContext>,
+        partitions: Vec<Arc<Vec<T>>>,
+    ) -> Self {
+        Self { ctx, partitions }
+    }
+
+    /// The owning execution context.
+    pub fn ctx(&self) -> &Arc<ExecutionContext> {
+        &self.ctx
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Record count of each partition, in order.
+    pub fn partition_sizes(&self) -> Vec<usize> {
+        self.partitions.iter().map(|p| p.len()).collect()
+    }
+
+    /// Total number of records.
+    pub fn count(&self) -> usize {
+        self.partitions.iter().map(|p| p.len()).sum()
+    }
+
+    /// Borrows the partitions (used by sibling modules for shuffles).
+    pub(crate) fn partitions(&self) -> &[Arc<Vec<T>>] {
+        &self.partitions
+    }
+
+    /// Applies `f` to every record (`MAP`).
+    pub fn map<U, F>(&self, f: F) -> Result<Dataset<U>>
+    where
+        U: Send + Sync,
+        F: Fn(&T) -> U + Send + Sync,
+    {
+        self.map_partitions(|part| part.iter().map(&f).collect())
+    }
+
+    /// Applies `f` to every record and flattens the results (`FLATMAP`).
+    pub fn flat_map<U, I, F>(&self, f: F) -> Result<Dataset<U>>
+    where
+        U: Send + Sync,
+        I: IntoIterator<Item = U>,
+        F: Fn(&T) -> I + Send + Sync,
+    {
+        self.map_partitions(|part| part.iter().flat_map(&f).collect())
+    }
+
+    /// Keeps the records for which `pred` holds (`FILTER`).
+    pub fn filter<F>(&self, pred: F) -> Result<Dataset<T>>
+    where
+        T: Clone,
+        F: Fn(&T) -> bool + Send + Sync,
+    {
+        self.map_partitions(|part| part.iter().filter(|r| pred(r)).cloned().collect())
+    }
+
+    /// Runs `f` once per partition over the whole partition slice.
+    ///
+    /// The workhorse behind the record-wise transformations; also the
+    /// escape hatch for partition-local algorithms (e.g. map-side combine).
+    pub fn map_partitions<U, F>(&self, f: F) -> Result<Dataset<U>>
+    where
+        U: Send + Sync,
+        F: Fn(&[T]) -> Vec<U> + Send + Sync,
+    {
+        let records_in = self.count() as u64;
+        let tasks: Vec<_> = self
+            .partitions
+            .iter()
+            .map(|part| {
+                let part = Arc::clone(part);
+                let f = &f;
+                move || f(&part)
+            })
+            .collect();
+        let out = run_tasks(self.ctx.workers(), tasks)?;
+        let records_out: u64 = out.iter().map(|p| p.len() as u64).sum();
+        self.ctx
+            .metrics()
+            .record_stage(self.partitions.len() as u64, records_in, records_out);
+        Ok(Dataset::from_partitions(Arc::clone(&self.ctx), out))
+    }
+
+    /// Concatenates two datasets partition-wise (`UNION`). O(1): partitions
+    /// are shared, not copied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ContextMismatch`] if the datasets belong to
+    /// different contexts.
+    pub fn union(&self, other: &Dataset<T>) -> Result<Dataset<T>> {
+        if !Arc::ptr_eq(&self.ctx, &other.ctx) {
+            return Err(EngineError::ContextMismatch);
+        }
+        let mut partitions = self.partitions.clone();
+        partitions.extend(other.partitions.iter().cloned());
+        Ok(Dataset::from_arc_partitions(
+            Arc::clone(&self.ctx),
+            partitions,
+        ))
+    }
+
+    /// Invokes `f` on every record for its side effects (`FOREACH`).
+    pub fn foreach<F>(&self, f: F) -> Result<()>
+    where
+        F: Fn(&T) + Send + Sync,
+    {
+        let tasks: Vec<_> = self
+            .partitions
+            .iter()
+            .map(|part| {
+                let part = Arc::clone(part);
+                let f = &f;
+                move || part.iter().for_each(f)
+            })
+            .collect();
+        run_tasks(self.ctx.workers(), tasks)?;
+        self.ctx
+            .metrics()
+            .record_stage(self.partitions.len() as u64, self.count() as u64, 0);
+        Ok(())
+    }
+
+    /// Materialises all records on the driver, in partition order
+    /// (`COLLECT`).
+    pub fn collect(&self) -> Result<Vec<T>>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::with_capacity(self.count());
+        for part in &self.partitions {
+            out.extend(part.iter().cloned());
+        }
+        Ok(out)
+    }
+
+    /// Collects and sorts — convenience for order-insensitive assertions.
+    pub fn collect_sorted(&self) -> Result<Vec<T>>
+    where
+        T: Clone + Ord,
+    {
+        let mut v = self.collect()?;
+        v.sort();
+        Ok(v)
+    }
+
+    /// First `n` records in partition order (`TAKE`).
+    pub fn take(&self, n: usize) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::with_capacity(n.min(self.count()));
+        'outer: for part in &self.partitions {
+            for r in part.iter() {
+                if out.len() == n {
+                    break 'outer;
+                }
+                out.push(r.clone());
+            }
+        }
+        out
+    }
+
+    /// Redistributes records into `n` partitions round-robin
+    /// (`REPARTITION`). Every record moves, so the full record count is
+    /// charged to the shuffle counter.
+    pub fn repartition(&self, n: usize) -> Result<Dataset<T>>
+    where
+        T: Clone,
+    {
+        if n == 0 {
+            return Err(EngineError::InvalidPartitionCount { requested: n });
+        }
+        let mut parts: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+        let mut i = 0usize;
+        for part in &self.partitions {
+            for r in part.iter() {
+                parts[i % n].push(r.clone());
+                i += 1;
+            }
+        }
+        self.ctx.metrics().record_shuffle(i as u64);
+        Ok(Dataset::from_partitions(Arc::clone(&self.ctx), parts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ExecutionContext;
+
+    fn ctx() -> std::sync::Arc<ExecutionContext> {
+        ExecutionContext::builder().workers(4).build()
+    }
+
+    #[test]
+    fn map_preserves_partitioning_and_order() {
+        let ctx = ctx();
+        let ds = ctx.parallelize((0..100).collect::<Vec<_>>(), 7);
+        let out = ds.map(|x| x + 1).unwrap();
+        assert_eq!(out.num_partitions(), 7);
+        assert_eq!(out.collect().unwrap(), (1..101).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_expands_and_contracts() {
+        let ctx = ctx();
+        let ds = ctx.parallelize(vec![0, 1, 2, 3], 2);
+        let out = ds.flat_map(|&x| vec![x; x as usize]).unwrap();
+        assert_eq!(out.collect().unwrap(), vec![1, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let ctx = ctx();
+        let ds = ctx.parallelize((0..20).collect::<Vec<_>>(), 3);
+        let out = ds.filter(|x| x % 2 == 0).unwrap();
+        assert_eq!(out.count(), 10);
+        assert!(out.collect().unwrap().iter().all(|x| x % 2 == 0));
+    }
+
+    #[test]
+    fn union_is_zero_copy_concat() {
+        let ctx = ctx();
+        let a = ctx.parallelize(vec![1, 2], 2);
+        let b = ctx.parallelize(vec![3], 1);
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.num_partitions(), 3);
+        assert_eq!(u.collect().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn union_rejects_foreign_context() {
+        let a = ctx().parallelize(vec![1], 1);
+        let b = ctx().parallelize(vec![2], 1);
+        assert!(a.union(&b).is_err());
+    }
+
+    #[test]
+    fn foreach_observes_every_record() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let ctx = ctx();
+        let ds = ctx.parallelize((1..=100u64).collect::<Vec<_>>(), 8);
+        let sum = AtomicU64::new(0);
+        ds.foreach(|&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn take_respects_partition_order() {
+        let ctx = ctx();
+        let ds = ctx.parallelize((0..50).collect::<Vec<_>>(), 5);
+        assert_eq!(ds.take(3), vec![0, 1, 2]);
+        assert_eq!(ds.take(0), Vec::<i32>::new());
+        assert_eq!(ds.take(1000).len(), 50);
+    }
+
+    #[test]
+    fn repartition_round_robin() {
+        let ctx = ctx();
+        let ds = ctx.parallelize((0..10).collect::<Vec<_>>(), 2);
+        let out = ds.repartition(3).unwrap();
+        assert_eq!(out.num_partitions(), 3);
+        assert_eq!(out.collect_sorted().unwrap(), (0..10).collect::<Vec<_>>());
+        let sizes = out.partition_sizes();
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+    }
+
+    #[test]
+    fn repartition_zero_is_error() {
+        let ctx = ctx();
+        let ds = ctx.parallelize(vec![1], 1);
+        assert!(ds.repartition(0).is_err());
+    }
+
+    #[test]
+    fn panicking_closure_becomes_error() {
+        let ctx = ctx();
+        let ds = ctx.parallelize((0..10).collect::<Vec<_>>(), 4);
+        let err = ds
+            .map(|&x| {
+                if x == 7 {
+                    panic!("bad record");
+                }
+                x
+            })
+            .unwrap_err();
+        match err {
+            crate::EngineError::TaskPanic { message, .. } => {
+                assert_eq!(message, "bad record")
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dataset_is_reusable() {
+        let ctx = ctx();
+        let ds = ctx.parallelize((0..10).collect::<Vec<_>>(), 2);
+        let evens = ds.filter(|x| x % 2 == 0).unwrap();
+        let odds = ds.filter(|x| x % 2 == 1).unwrap();
+        assert_eq!(evens.count() + odds.count(), ds.count());
+    }
+
+    #[test]
+    fn empty_input_yields_one_empty_partition() {
+        let ctx = ctx();
+        let ds: crate::Dataset<i32> =
+            crate::Dataset::from_partitions(ctx, Vec::new());
+        assert_eq!(ds.num_partitions(), 1);
+        assert_eq!(ds.count(), 0);
+    }
+
+    #[test]
+    fn map_partitions_sees_whole_partition() {
+        let ctx = ctx();
+        let ds = ctx.parallelize((0..12).collect::<Vec<_>>(), 4);
+        let sums = ds.map_partitions(|p| vec![p.iter().sum::<i32>()]).unwrap();
+        assert_eq!(sums.count(), 4);
+        assert_eq!(sums.collect().unwrap().iter().sum::<i32>(), 66);
+    }
+
+    #[test]
+    fn metrics_count_stages_and_records() {
+        let ctx = ctx();
+        let before = ctx.metrics().snapshot();
+        let ds = ctx.parallelize((0..10).collect::<Vec<_>>(), 2);
+        let _ = ds.map(|x| *x).unwrap();
+        let d = ctx.metrics().snapshot().since(&before);
+        assert_eq!(d.stages, 1);
+        assert_eq!(d.tasks, 2);
+        assert_eq!(d.records_in, 10);
+        assert_eq!(d.records_out, 10);
+    }
+}

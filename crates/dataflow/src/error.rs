@@ -1,0 +1,78 @@
+//! Error type for engine operations.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Errors surfaced by dataflow operations.
+///
+/// User closures run inside worker tasks; a panicking closure is caught and
+/// reported as [`EngineError::TaskPanic`] instead of tearing down the
+/// process, mirroring how a cluster engine reports a failed task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A task (user closure over one partition) panicked.
+    TaskPanic {
+        /// Index of the partition whose task panicked.
+        partition: usize,
+        /// Panic payload rendered to a string, when available.
+        message: String,
+    },
+    /// An operation was asked to produce an invalid number of partitions.
+    InvalidPartitionCount {
+        /// The requested number of partitions.
+        requested: usize,
+    },
+    /// Two datasets that must share an [`super::ExecutionContext`] did not.
+    ContextMismatch,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::TaskPanic { partition, message } => {
+                write!(f, "task for partition {partition} panicked: {message}")
+            }
+            EngineError::InvalidPartitionCount { requested } => {
+                write!(f, "invalid partition count: {requested} (must be >= 1)")
+            }
+            EngineError::ContextMismatch => {
+                write!(f, "datasets belong to different execution contexts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_task_panic() {
+        let err = EngineError::TaskPanic {
+            partition: 3,
+            message: "boom".into(),
+        };
+        assert_eq!(err.to_string(), "task for partition 3 panicked: boom");
+    }
+
+    #[test]
+    fn display_invalid_partition_count() {
+        let err = EngineError::InvalidPartitionCount { requested: 0 };
+        assert!(err.to_string().contains("invalid partition count: 0"));
+    }
+
+    #[test]
+    fn display_context_mismatch() {
+        assert!(EngineError::ContextMismatch.to_string().contains("contexts"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(EngineError::ContextMismatch);
+    }
+}

@@ -1,0 +1,203 @@
+//! The worker pool: runs one task per partition across a fixed number of
+//! worker threads.
+//!
+//! Tasks are pulled from a shared atomic cursor (dynamic scheduling), so a
+//! straggler partition — e.g. the Beijing cell of a skewed GPS dataset —
+//! does not leave the other workers idle, just as Spark's scheduler hands
+//! out tasks to free executor slots. Worker threads are scoped per stage
+//! (via [`crossbeam::thread::scope`]), which lets tasks borrow stage-local
+//! data without `'static` bounds.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::error::{EngineError, Result};
+
+/// Runs `tasks` (one closure per partition) on at most `workers` threads
+/// and returns their results in task order.
+///
+/// If any task panics, the panic is caught and reported as
+/// [`EngineError::TaskPanic`] for the lowest-indexed failing partition;
+/// remaining tasks still run to completion (workers keep draining the
+/// queue), mirroring a cluster where one failed task does not kill its
+/// peers mid-flight.
+pub fn run_tasks<T, F>(workers: usize, tasks: Vec<F>) -> Result<Vec<T>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = workers.max(1).min(n);
+
+    // Single-threaded fast path: no scope, no synchronisation.
+    if workers == 1 {
+        let mut out = Vec::with_capacity(n);
+        for (i, task) in tasks.into_iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(task)) {
+                Ok(v) => out.push(v),
+                Err(payload) => {
+                    return Err(EngineError::TaskPanic {
+                        partition: i,
+                        message: panic_message(payload),
+                    })
+                }
+            }
+        }
+        return Ok(out);
+    }
+
+    let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<std::result::Result<T, String>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = slots[i]
+                    .lock()
+                    .take()
+                    .expect("task slot taken twice: cursor handed out duplicate index");
+                let outcome = match catch_unwind(AssertUnwindSafe(task)) {
+                    Ok(v) => Ok(v),
+                    Err(payload) => Err(panic_message(payload)),
+                };
+                *results[i].lock() = Some(outcome);
+            });
+        }
+    })
+    .expect("worker threads are joined in-scope and panics are caught per-task");
+
+    let mut out = Vec::with_capacity(n);
+    for (i, slot) in results.into_iter().enumerate() {
+        match slot.into_inner() {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(message)) => {
+                return Err(EngineError::TaskPanic {
+                    partition: i,
+                    message,
+                })
+            }
+            None => unreachable!("cursor covers all indices before scope exit"),
+        }
+    }
+    Ok(out)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_all_tasks_in_order() {
+        let tasks: Vec<_> = (0..100).map(|i| move || i * 2).collect();
+        let out = run_tasks(4, tasks).unwrap();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_task_list() {
+        let out: Vec<i32> = run_tasks(4, Vec::<fn() -> i32>::new()).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_matches_parallel() {
+        let mk = || (0..50).map(|i| move || i * i).collect::<Vec<_>>();
+        assert_eq!(run_tasks(1, mk()).unwrap(), run_tasks(8, mk()).unwrap());
+    }
+
+    #[test]
+    fn more_workers_than_tasks() {
+        let tasks: Vec<_> = (0..3).map(|i| move || i).collect();
+        assert_eq!(run_tasks(64, tasks).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn panic_is_reported_with_partition_index() {
+        let tasks: Vec<Box<dyn FnOnce() -> i32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("kaboom")),
+            Box::new(|| 3),
+        ];
+        let err = run_tasks(2, tasks).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::TaskPanic {
+                partition: 1,
+                message: "kaboom".into()
+            }
+        );
+    }
+
+    #[test]
+    fn panic_with_string_payload() {
+        let tasks: Vec<Box<dyn FnOnce() -> i32 + Send>> =
+            vec![Box::new(|| panic!("{}", String::from("dynamic")))];
+        let err = run_tasks(1, tasks).unwrap_err();
+        match err {
+            EngineError::TaskPanic { message, .. } => assert_eq!(message, "dynamic"),
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lowest_failing_partition_wins() {
+        // Both tasks panic; the error must name partition 0 regardless of
+        // scheduling order.
+        let tasks: Vec<Box<dyn FnOnce() -> i32 + Send>> = vec![
+            Box::new(|| panic!("first")),
+            Box::new(|| panic!("second")),
+        ];
+        let err = run_tasks(4, tasks).unwrap_err();
+        match err {
+            EngineError::TaskPanic { partition, message } => {
+                assert_eq!(partition, 0);
+                assert_eq!(message, "first");
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tasks_can_borrow_stage_local_data() {
+        let data = vec![10, 20, 30];
+        let tasks: Vec<_> = (0..3).map(|i| {
+            let data = &data;
+            move || data[i] + 1
+        }).collect();
+        assert_eq!(run_tasks(2, tasks).unwrap(), vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn heavy_skew_still_completes() {
+        // One task is much heavier; dynamic scheduling must not deadlock.
+        let tasks: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..16)
+            .map(|i| {
+                let work = if i == 0 { 200_000u64 } else { 100 };
+                Box::new(move || (0..work).fold(0u64, |a, b| a.wrapping_add(b)))
+                    as Box<dyn FnOnce() -> u64 + Send>
+            })
+            .collect();
+        assert_eq!(run_tasks(4, tasks).unwrap().len(), 16);
+    }
+}

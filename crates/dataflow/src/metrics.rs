@@ -1,0 +1,194 @@
+//! Engine-level counters.
+//!
+//! Every transformation records how many tasks it ran and how many records
+//! crossed stage boundaries. Shuffle counters in particular let experiments
+//! observe the data-movement structure of an algorithm (e.g. the join
+//! volume of DBSCOUT's core-point identification phase) independently of
+//! wall-clock noise.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe counters owned by an
+/// [`ExecutionContext`](crate::ExecutionContext).
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    stages: AtomicU64,
+    tasks: AtomicU64,
+    records_in: AtomicU64,
+    records_out: AtomicU64,
+    shuffle_records: AtomicU64,
+    broadcasts: AtomicU64,
+    join_output_records: AtomicU64,
+}
+
+impl EngineMetrics {
+    /// Creates a zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed stage that ran `tasks` tasks, consuming
+    /// `records_in` records and producing `records_out`.
+    pub fn record_stage(&self, tasks: u64, records_in: u64, records_out: u64) {
+        self.stages.fetch_add(1, Ordering::Relaxed);
+        self.tasks.fetch_add(tasks, Ordering::Relaxed);
+        self.records_in.fetch_add(records_in, Ordering::Relaxed);
+        self.records_out.fetch_add(records_out, Ordering::Relaxed);
+    }
+
+    /// Records `n` records moved across a shuffle boundary.
+    pub fn record_shuffle(&self, n: u64) {
+        self.shuffle_records.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one broadcast of a driver-side value to all workers.
+    pub fn record_broadcast(&self) {
+        self.broadcasts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` records emitted by a join.
+    pub fn record_join_output(&self, n: u64) {
+        self.join_output_records.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent point-in-time copy of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            stages: self.stages.load(Ordering::Relaxed),
+            tasks: self.tasks.load(Ordering::Relaxed),
+            records_in: self.records_in.load(Ordering::Relaxed),
+            records_out: self.records_out.load(Ordering::Relaxed),
+            shuffle_records: self.shuffle_records.load(Ordering::Relaxed),
+            broadcasts: self.broadcasts.load(Ordering::Relaxed),
+            join_output_records: self.join_output_records.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero (between experiment repetitions).
+    pub fn reset(&self) {
+        self.stages.store(0, Ordering::Relaxed);
+        self.tasks.store(0, Ordering::Relaxed);
+        self.records_in.store(0, Ordering::Relaxed);
+        self.records_out.store(0, Ordering::Relaxed);
+        self.shuffle_records.store(0, Ordering::Relaxed);
+        self.broadcasts.store(0, Ordering::Relaxed);
+        self.join_output_records.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`EngineMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Number of stages (one per transformation) executed.
+    pub stages: u64,
+    /// Number of per-partition tasks executed.
+    pub tasks: u64,
+    /// Total records consumed by all stages.
+    pub records_in: u64,
+    /// Total records produced by all stages.
+    pub records_out: u64,
+    /// Records that crossed a shuffle (repartitioning) boundary.
+    pub shuffle_records: u64,
+    /// Number of broadcast variables created.
+    pub broadcasts: u64,
+    /// Records emitted by join stages.
+    pub join_output_records: u64,
+}
+
+impl MetricsSnapshot {
+    /// Difference of two snapshots (`self` taken after `earlier`).
+    ///
+    /// Saturates at zero so that a reset between snapshots cannot produce
+    /// nonsense deltas.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            stages: self.stages.saturating_sub(earlier.stages),
+            tasks: self.tasks.saturating_sub(earlier.tasks),
+            records_in: self.records_in.saturating_sub(earlier.records_in),
+            records_out: self.records_out.saturating_sub(earlier.records_out),
+            shuffle_records: self.shuffle_records.saturating_sub(earlier.shuffle_records),
+            broadcasts: self.broadcasts.saturating_sub(earlier.broadcasts),
+            join_output_records: self
+                .join_output_records
+                .saturating_sub(earlier.join_output_records),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let m = EngineMetrics::new();
+        m.record_stage(4, 100, 50);
+        m.record_stage(2, 50, 50);
+        m.record_shuffle(30);
+        m.record_broadcast();
+        m.record_join_output(7);
+        let s = m.snapshot();
+        assert_eq!(s.stages, 2);
+        assert_eq!(s.tasks, 6);
+        assert_eq!(s.records_in, 150);
+        assert_eq!(s.records_out, 100);
+        assert_eq!(s.shuffle_records, 30);
+        assert_eq!(s.broadcasts, 1);
+        assert_eq!(s.join_output_records, 7);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = EngineMetrics::new();
+        m.record_stage(4, 100, 50);
+        m.record_shuffle(30);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn since_computes_delta() {
+        let m = EngineMetrics::new();
+        m.record_stage(1, 10, 10);
+        let before = m.snapshot();
+        m.record_stage(2, 20, 5);
+        let after = m.snapshot();
+        let d = after.since(&before);
+        assert_eq!(d.stages, 1);
+        assert_eq!(d.tasks, 2);
+        assert_eq!(d.records_in, 20);
+        assert_eq!(d.records_out, 5);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = MetricsSnapshot {
+            stages: 1,
+            ..Default::default()
+        };
+        let b = MetricsSnapshot {
+            stages: 5,
+            ..Default::default()
+        };
+        assert_eq!(a.since(&b).stages, 0);
+    }
+
+    #[test]
+    fn concurrent_updates_are_counted() {
+        let m = std::sync::Arc::new(EngineMetrics::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.record_shuffle(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.snapshot().shuffle_records, 8000);
+    }
+}

@@ -1,0 +1,216 @@
+//! Additional dataset operations beyond the core DBSCOUT vocabulary:
+//! `DISTINCT`, `AGGREGATE`, `ZIPWITHINDEX`, reductions. Provided for
+//! completeness of the Spark-substitute substrate (downstream users of
+//! the engine want more than the five DBSCOUT phases).
+
+use std::hash::Hash;
+use std::sync::Arc;
+
+use crate::dataset::Dataset;
+use crate::error::Result;
+use crate::executor::run_tasks;
+use crate::shuffle::{gather, scatter, DetHashMap};
+
+impl<T: Send + Sync> Dataset<T> {
+    /// Removes duplicate records via a combining shuffle (`DISTINCT`).
+    pub fn distinct(&self) -> Result<Dataset<T>>
+    where
+        T: Hash + Eq + Clone,
+    {
+        let num_partitions = self.ctx().default_partitions();
+        let ctx = Arc::clone(self.ctx());
+        // Map side: local dedup, scatter by hash.
+        let tasks: Vec<_> = self
+            .partitions()
+            .iter()
+            .map(|part| {
+                let part = Arc::clone(part);
+                move || {
+                    let mut seen: DetHashMap<T, ()> = DetHashMap::default();
+                    for r in part.iter() {
+                        seen.entry(r.clone()).or_insert(());
+                    }
+                    scatter(seen.into_keys().map(|k| (k, ())), num_partitions)
+                }
+            })
+            .collect();
+        let buckets = run_tasks(ctx.workers(), tasks)?;
+        let shuffled: u64 = buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|v| v.len() as u64))
+            .sum();
+        ctx.metrics().record_shuffle(shuffled);
+        let inputs = gather(buckets, num_partitions);
+        let tasks: Vec<_> = inputs
+            .into_iter()
+            .map(|records| {
+                move || {
+                    let mut seen: DetHashMap<T, ()> = DetHashMap::default();
+                    for (k, ()) in records {
+                        seen.entry(k).or_insert(());
+                    }
+                    seen.into_keys().collect::<Vec<_>>()
+                }
+            })
+            .collect();
+        let out = run_tasks(ctx.workers(), tasks)?;
+        let records_out: u64 = out.iter().map(|p| p.len() as u64).sum();
+        ctx.metrics()
+            .record_stage(num_partitions as u64 * 2, self.count() as u64, records_out);
+        Ok(Dataset::from_partitions(ctx, out))
+    }
+
+    /// Folds every partition with `fold`, then combines the per-partition
+    /// results with `combine` on the driver (`AGGREGATE`).
+    pub fn aggregate<A, FF, CF>(&self, zero: A, fold: FF, combine: CF) -> Result<A>
+    where
+        A: Send + Sync + Clone,
+        FF: Fn(A, &T) -> A + Send + Sync,
+        CF: Fn(A, A) -> A,
+    {
+        let tasks: Vec<_> = self
+            .partitions()
+            .iter()
+            .map(|part| {
+                let part = Arc::clone(part);
+                let zero = zero.clone();
+                let fold = &fold;
+                move || part.iter().fold(zero, fold)
+            })
+            .collect();
+        let partials = run_tasks(self.ctx().workers(), tasks)?;
+        self.ctx().metrics().record_stage(
+            self.num_partitions() as u64,
+            self.count() as u64,
+            self.num_partitions() as u64,
+        );
+        Ok(partials.into_iter().fold(zero, combine))
+    }
+
+    /// Pairs every record with its global index in partition order
+    /// (`ZIPWITHINDEX`).
+    pub fn zip_with_index(&self) -> Result<Dataset<(u64, T)>>
+    where
+        T: Clone,
+    {
+        let sizes = self.partition_sizes();
+        let mut starts = Vec::with_capacity(sizes.len());
+        let mut acc = 0u64;
+        for s in sizes {
+            starts.push(acc);
+            acc += s as u64;
+        }
+        let ctx = Arc::clone(self.ctx());
+        let tasks: Vec<_> = self
+            .partitions()
+            .iter()
+            .zip(starts)
+            .map(|(part, start)| {
+                let part = Arc::clone(part);
+                move || {
+                    part.iter()
+                        .enumerate()
+                        .map(|(i, r)| (start + i as u64, r.clone()))
+                        .collect::<Vec<_>>()
+                }
+            })
+            .collect();
+        let out = run_tasks(ctx.workers(), tasks)?;
+        ctx.metrics().record_stage(
+            self.num_partitions() as u64,
+            self.count() as u64,
+            self.count() as u64,
+        );
+        Ok(Dataset::from_partitions(ctx, out))
+    }
+
+    /// The minimum record under `key`, or `None` for an empty dataset.
+    pub fn min_by_key<K, F>(&self, key: F) -> Result<Option<T>>
+    where
+        T: Clone,
+        K: PartialOrd,
+        F: Fn(&T) -> K + Send + Sync,
+    {
+        self.aggregate(
+            None::<T>,
+            |best, r| match best {
+                Some(b) if key(&b) <= key(r) => Some(b),
+                _ => Some(r.clone()),
+            },
+            |a, b| match (a, b) {
+                (Some(a), Some(b)) => {
+                    if key(&a) <= key(&b) {
+                        Some(a)
+                    } else {
+                        Some(b)
+                    }
+                }
+                (x, None) | (None, x) => x,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ExecutionContext;
+
+    fn ctx() -> std::sync::Arc<ExecutionContext> {
+        ExecutionContext::builder()
+            .workers(4)
+            .default_partitions(5)
+            .build()
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let ctx = ctx();
+        let ds = ctx.parallelize(vec![1, 2, 2, 3, 1, 3, 3, 3], 3);
+        let out = ds.distinct().unwrap().collect_sorted().unwrap();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn distinct_on_already_unique() {
+        let ctx = ctx();
+        let ds = ctx.parallelize((0..50).collect::<Vec<_>>(), 4);
+        assert_eq!(ds.distinct().unwrap().count(), 50);
+    }
+
+    #[test]
+    fn aggregate_sums() {
+        let ctx = ctx();
+        let ds = ctx.parallelize((1..=100i64).collect::<Vec<_>>(), 7);
+        let sum = ds.aggregate(0i64, |a, &x| a + x, |a, b| a + b).unwrap();
+        assert_eq!(sum, 5050);
+    }
+
+    #[test]
+    fn aggregate_on_empty() {
+        let ctx = ctx();
+        let ds = ctx.parallelize(Vec::<i64>::new(), 3);
+        assert_eq!(ds.aggregate(7i64, |a, &x| a + x, |a, b| a + b).unwrap(), 7 * 4);
+        // (zero is folded once per partition plus once on the driver —
+        // the Spark contract; callers use a true identity element.)
+    }
+
+    #[test]
+    fn zip_with_index_is_global_and_ordered() {
+        let ctx = ctx();
+        let ds = ctx.parallelize(vec!["a", "b", "c", "d", "e"], 2);
+        let out = ds.zip_with_index().unwrap().collect().unwrap();
+        assert_eq!(
+            out,
+            vec![(0, "a"), (1, "b"), (2, "c"), (3, "d"), (4, "e")]
+        );
+    }
+
+    #[test]
+    fn min_by_key_finds_minimum() {
+        let ctx = ctx();
+        let ds = ctx.parallelize(vec![5, 3, 9, 1, 7], 3);
+        assert_eq!(ds.min_by_key(|&x| x).unwrap(), Some(1));
+        let empty = ctx.parallelize(Vec::<i32>::new(), 2);
+        assert_eq!(empty.min_by_key(|&x| x).unwrap(), None);
+    }
+}

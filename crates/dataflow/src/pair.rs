@@ -1,0 +1,465 @@
+//! Key-value operations: `REDUCEBYKEY`, `GROUPBYKEY`, `JOIN`, and friends.
+//!
+//! These are the shuffle-bearing transformations of the engine. Each one
+//! follows the classic two-stage plan: a parallel *map side* that scatters
+//! records into per-reducer buckets by deterministic key hash (with local
+//! combining where the operation allows it), a driver-side transpose, and
+//! a parallel *reduce side* over the gathered partitions.
+
+use std::hash::Hash;
+use std::sync::Arc;
+
+use crate::dataset::Dataset;
+use crate::error::Result;
+use crate::executor::run_tasks;
+use crate::shuffle::{gather, scatter, DetHashMap};
+
+/// One cogrouped record: a key with all its left values and all its right
+/// values.
+pub type CoGrouped<K, V, W> = (K, (Vec<V>, Vec<W>));
+
+impl<K, V> Dataset<(K, V)>
+where
+    K: Hash + Eq + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// Merges the values of each key with `f` (`REDUCEBYKEY`), producing
+    /// `ctx.default_partitions()` output partitions.
+    ///
+    /// `f` must be associative and commutative: values are combined
+    /// map-side first (Spark's combiner), so only one record per distinct
+    /// key per input partition crosses the shuffle.
+    pub fn reduce_by_key<F>(&self, f: F) -> Result<Dataset<(K, V)>>
+    where
+        F: Fn(V, V) -> V + Send + Sync,
+    {
+        self.reduce_by_key_with(self.ctx().default_partitions(), f)
+    }
+
+    /// [`reduce_by_key`](Self::reduce_by_key) with an explicit output
+    /// partition count.
+    pub fn reduce_by_key_with<F>(&self, num_partitions: usize, f: F) -> Result<Dataset<(K, V)>>
+    where
+        F: Fn(V, V) -> V + Send + Sync,
+    {
+        let num_partitions = num_partitions.max(1);
+        let ctx = Arc::clone(self.ctx());
+        let records_in = self.count() as u64;
+
+        // Map side: local combine, then scatter by key hash.
+        let tasks: Vec<_> = self
+            .partitions()
+            .iter()
+            .map(|part| {
+                let part = Arc::clone(part);
+                let f = &f;
+                move || {
+                    let mut combined: DetHashMap<K, V> = DetHashMap::default();
+                    for (k, v) in part.iter() {
+                        match combined.remove(k) {
+                            Some(prev) => {
+                                let merged = f(prev, v.clone());
+                                combined.insert(k.clone(), merged);
+                            }
+                            None => {
+                                combined.insert(k.clone(), v.clone());
+                            }
+                        }
+                    }
+                    scatter(combined, num_partitions)
+                }
+            })
+            .collect();
+        let buckets = run_tasks(ctx.workers(), tasks)?;
+        let shuffled: u64 = buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|v| v.len() as u64))
+            .sum();
+        ctx.metrics().record_shuffle(shuffled);
+        let reduce_inputs = gather(buckets, num_partitions);
+
+        // Reduce side: final combine per partition.
+        let tasks: Vec<_> = reduce_inputs
+            .into_iter()
+            .map(|records| {
+                let f = &f;
+                move || {
+                    let mut combined: DetHashMap<K, V> = DetHashMap::default();
+                    for (k, v) in records {
+                        match combined.remove(&k) {
+                            Some(prev) => {
+                                let merged = f(prev, v);
+                                combined.insert(k, merged);
+                            }
+                            None => {
+                                combined.insert(k, v);
+                            }
+                        }
+                    }
+                    combined.into_iter().collect::<Vec<_>>()
+                }
+            })
+            .collect();
+        let out = run_tasks(ctx.workers(), tasks)?;
+        let records_out: u64 = out.iter().map(|p| p.len() as u64).sum();
+        ctx.metrics()
+            .record_stage(num_partitions as u64 * 2, records_in, records_out);
+        Ok(Dataset::from_partitions(ctx, out))
+    }
+
+    /// Gathers all values of each key into one record (`GROUPBYKEY`).
+    pub fn group_by_key(&self) -> Result<Dataset<(K, Vec<V>)>> {
+        self.group_by_key_with(self.ctx().default_partitions())
+    }
+
+    /// [`group_by_key`](Self::group_by_key) with an explicit output
+    /// partition count.
+    pub fn group_by_key_with(&self, num_partitions: usize) -> Result<Dataset<(K, Vec<V>)>> {
+        let num_partitions = num_partitions.max(1);
+        let ctx = Arc::clone(self.ctx());
+        let records_in = self.count() as u64;
+
+        let tasks: Vec<_> = self
+            .partitions()
+            .iter()
+            .map(|part| {
+                let part = Arc::clone(part);
+                move || scatter(part.iter().cloned(), num_partitions)
+            })
+            .collect();
+        let buckets = run_tasks(ctx.workers(), tasks)?;
+        ctx.metrics().record_shuffle(records_in);
+        let reduce_inputs = gather(buckets, num_partitions);
+
+        let tasks: Vec<_> = reduce_inputs
+            .into_iter()
+            .map(|records| {
+                move || {
+                    let mut groups: DetHashMap<K, Vec<V>> = DetHashMap::default();
+                    for (k, v) in records {
+                        groups.entry(k).or_default().push(v);
+                    }
+                    groups.into_iter().collect::<Vec<_>>()
+                }
+            })
+            .collect();
+        let out = run_tasks(ctx.workers(), tasks)?;
+        let records_out: u64 = out.iter().map(|p| p.len() as u64).sum();
+        ctx.metrics()
+            .record_stage(num_partitions as u64 * 2, records_in, records_out);
+        Ok(Dataset::from_partitions(ctx, out))
+    }
+
+    /// Inner hash join on key (`JOIN`): emits `(k, (v, w))` for every pair
+    /// of records sharing a key.
+    ///
+    /// Both sides are shuffled to `max(self, other)` partitions; within a
+    /// reduce partition the left side is built into a hash table and the
+    /// right side streamed against it.
+    pub fn join<W>(&self, other: &Dataset<(K, W)>) -> Result<Dataset<(K, (V, W))>>
+    where
+        W: Clone + Send + Sync,
+    {
+        self.join_with(other, self.num_partitions().max(other.num_partitions()))
+    }
+
+    /// [`join`](Self::join) with an explicit output partition count.
+    pub fn join_with<W>(
+        &self,
+        other: &Dataset<(K, W)>,
+        num_partitions: usize,
+    ) -> Result<Dataset<(K, (V, W))>>
+    where
+        W: Clone + Send + Sync,
+    {
+        if !Arc::ptr_eq(self.ctx(), other.ctx()) {
+            return Err(crate::EngineError::ContextMismatch);
+        }
+        let num_partitions = num_partitions.max(1);
+        let ctx = Arc::clone(self.ctx());
+        let records_in = (self.count() + other.count()) as u64;
+
+        let left = shuffle_side(&ctx, self, num_partitions)?;
+        let right = shuffle_side(&ctx, other, num_partitions)?;
+
+        let pairs: Vec<_> = left.into_iter().zip(right).collect();
+        let tasks: Vec<_> = pairs
+            .into_iter()
+            .map(|(lhs, rhs)| {
+                move || {
+                    let mut table: DetHashMap<K, Vec<V>> = DetHashMap::default();
+                    for (k, v) in lhs {
+                        table.entry(k).or_default().push(v);
+                    }
+                    let mut out = Vec::new();
+                    for (k, w) in rhs {
+                        if let Some(vs) = table.get(&k) {
+                            for v in vs {
+                                out.push((k.clone(), (v.clone(), w.clone())));
+                            }
+                        }
+                    }
+                    out
+                }
+            })
+            .collect();
+        let out = run_tasks(ctx.workers(), tasks)?;
+        let records_out: u64 = out.iter().map(|p| p.len() as u64).sum();
+        ctx.metrics().record_join_output(records_out);
+        ctx.metrics()
+            .record_stage(num_partitions as u64, records_in, records_out);
+        Ok(Dataset::from_partitions(ctx, out))
+    }
+
+    /// Groups both sides by key (`COGROUP`): emits
+    /// `(k, (values_left, values_right))` for every key present on either
+    /// side.
+    pub fn cogroup<W>(
+        &self,
+        other: &Dataset<(K, W)>,
+        num_partitions: usize,
+    ) -> Result<Dataset<CoGrouped<K, V, W>>>
+    where
+        W: Clone + Send + Sync,
+    {
+        if !Arc::ptr_eq(self.ctx(), other.ctx()) {
+            return Err(crate::EngineError::ContextMismatch);
+        }
+        let num_partitions = num_partitions.max(1);
+        let ctx = Arc::clone(self.ctx());
+        let records_in = (self.count() + other.count()) as u64;
+
+        let left = shuffle_side(&ctx, self, num_partitions)?;
+        let right = shuffle_side(&ctx, other, num_partitions)?;
+
+        let pairs: Vec<_> = left.into_iter().zip(right).collect();
+        let tasks: Vec<_> = pairs
+            .into_iter()
+            .map(|(lhs, rhs)| {
+                move || {
+                    let mut table: DetHashMap<K, (Vec<V>, Vec<W>)> = DetHashMap::default();
+                    for (k, v) in lhs {
+                        table.entry(k).or_default().0.push(v);
+                    }
+                    for (k, w) in rhs {
+                        table.entry(k).or_default().1.push(w);
+                    }
+                    table.into_iter().collect::<Vec<_>>()
+                }
+            })
+            .collect();
+        let out = run_tasks(ctx.workers(), tasks)?;
+        let records_out: u64 = out.iter().map(|p| p.len() as u64).sum();
+        ctx.metrics()
+            .record_stage(num_partitions as u64, records_in, records_out);
+        Ok(Dataset::from_partitions(ctx, out))
+    }
+
+    /// Applies `f` to each value, keeping keys (`MAPVALUES`).
+    pub fn map_values<U, F>(&self, f: F) -> Result<Dataset<(K, U)>>
+    where
+        U: Send + Sync,
+        F: Fn(&V) -> U + Send + Sync,
+    {
+        self.map(|(k, v)| (k.clone(), f(v)))
+    }
+
+    /// The keys of all records (with duplicates).
+    pub fn keys(&self) -> Result<Dataset<K>> {
+        self.map(|(k, _)| k.clone())
+    }
+
+    /// The values of all records.
+    pub fn values(&self) -> Result<Dataset<V>> {
+        self.map(|(_, v)| v.clone())
+    }
+
+    /// Number of records per key, computed via a combining shuffle.
+    pub fn count_by_key(&self) -> Result<Dataset<(K, u64)>> {
+        self.map(|(k, _)| (k.clone(), 1u64))?.reduce_by_key(|a, b| a + b)
+    }
+
+    /// Collects the dataset into a driver-side map.
+    ///
+    /// With duplicate keys the last record (in partition order) wins, as
+    /// with `collectAsMap` in Spark.
+    pub fn collect_as_map(&self) -> Result<DetHashMap<K, V>> {
+        let mut out = DetHashMap::default();
+        for (k, v) in self.collect()? {
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+/// Map-side scatter + driver transpose for one side of a join.
+fn shuffle_side<K, V>(
+    ctx: &Arc<crate::ExecutionContext>,
+    ds: &Dataset<(K, V)>,
+    num_partitions: usize,
+) -> Result<Vec<Vec<(K, V)>>>
+where
+    K: Hash + Eq + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    let tasks: Vec<_> = ds
+        .partitions()
+        .iter()
+        .map(|part| {
+            let part = Arc::clone(part);
+            move || scatter(part.iter().cloned(), num_partitions)
+        })
+        .collect();
+    let buckets = run_tasks(ctx.workers(), tasks)?;
+    ctx.metrics().record_shuffle(ds.count() as u64);
+    Ok(gather(buckets, num_partitions))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ExecutionContext;
+
+    fn ctx() -> std::sync::Arc<ExecutionContext> {
+        ExecutionContext::builder()
+            .workers(4)
+            .default_partitions(6)
+            .build()
+    }
+
+    #[test]
+    fn reduce_by_key_sums() {
+        let ctx = ctx();
+        let ds = ctx.parallelize(
+            (0..100u64).map(|i| (i % 10, i)).collect::<Vec<_>>(),
+            8,
+        );
+        let mut out = ds.reduce_by_key(|a, b| a + b).unwrap().collect().unwrap();
+        out.sort_unstable();
+        // Sum of i in 0..100 with i%10==k is 10k + (0+10+...+90) = 10k+450.
+        let expected: Vec<_> = (0..10u64).map(|k| (k, 10 * k + 450)).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn reduce_by_key_single_key() {
+        let ctx = ctx();
+        let ds = ctx.parallelize(vec![((), 1u64); 1000], 16);
+        let out = ds.reduce_by_key(|a, b| a + b).unwrap().collect().unwrap();
+        assert_eq!(out, vec![((), 1000)]);
+    }
+
+    #[test]
+    fn reduce_by_key_matches_sequential_fold() {
+        let ctx = ctx();
+        let records: Vec<(u32, i64)> = (0..997).map(|i| (i % 13, i as i64 * 7 - 100)).collect();
+        let mut expected = std::collections::HashMap::new();
+        for &(k, v) in &records {
+            *expected.entry(k).or_insert(0) += v;
+        }
+        let ds = ctx.parallelize(records, 5);
+        let got = ds.reduce_by_key(|a, b| a + b).unwrap().collect_as_map().unwrap();
+        assert_eq!(got.len(), expected.len());
+        for (k, v) in expected {
+            assert_eq!(got[&k], v);
+        }
+    }
+
+    #[test]
+    fn map_side_combine_limits_shuffle() {
+        let ctx = ctx();
+        // 1000 records, 4 partitions, only 2 distinct keys: at most
+        // 4 * 2 = 8 records may cross the shuffle.
+        let ds = ctx.parallelize((0..1000u64).map(|i| (i % 2, 1u64)).collect(), 4);
+        let before = ctx.metrics().snapshot();
+        let _ = ds.reduce_by_key(|a, b| a + b).unwrap();
+        let d = ctx.metrics().snapshot().since(&before);
+        assert!(d.shuffle_records <= 8, "shuffled {}", d.shuffle_records);
+    }
+
+    #[test]
+    fn group_by_key_collects_all_values() {
+        let ctx = ctx();
+        let ds = ctx.parallelize(vec![(1, 'a'), (2, 'b'), (1, 'c'), (1, 'd')], 3);
+        let groups = ds.group_by_key().unwrap().collect_as_map().unwrap();
+        let mut ones = groups[&1].clone();
+        ones.sort_unstable();
+        assert_eq!(ones, vec!['a', 'c', 'd']);
+        assert_eq!(groups[&2], vec!['b']);
+    }
+
+    #[test]
+    fn join_emits_cross_product_per_key() {
+        let ctx = ctx();
+        let left = ctx.parallelize(vec![(1, 'a'), (1, 'b'), (2, 'c')], 2);
+        let right = ctx.parallelize(vec![(1, 10), (1, 20), (3, 30)], 2);
+        let mut out = left.join(&right).unwrap().collect().unwrap();
+        out.sort_unstable();
+        assert_eq!(
+            out,
+            vec![(1, ('a', 10)), (1, ('a', 20)), (1, ('b', 10)), (1, ('b', 20))]
+        );
+    }
+
+    #[test]
+    fn join_with_no_common_keys_is_empty() {
+        let ctx = ctx();
+        let left = ctx.parallelize(vec![(1, 'a')], 1);
+        let right = ctx.parallelize(vec![(2, 'b')], 1);
+        assert_eq!(left.join(&right).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn join_rejects_foreign_context() {
+        let left = ctx().parallelize(vec![(1, 'a')], 1);
+        let right = ctx().parallelize(vec![(1, 'b')], 1);
+        assert!(left.join(&right).is_err());
+    }
+
+    #[test]
+    fn cogroup_covers_keys_from_both_sides() {
+        let ctx = ctx();
+        let left = ctx.parallelize(vec![(1, 'a'), (2, 'b')], 2);
+        let right = ctx.parallelize(vec![(2, 20), (3, 30)], 2);
+        let out = left.cogroup(&right, 4).unwrap().collect_as_map().unwrap();
+        assert_eq!(out[&1], (vec!['a'], vec![]));
+        assert_eq!(out[&2], (vec!['b'], vec![20]));
+        assert_eq!(out[&3], (vec![], vec![30]));
+    }
+
+    #[test]
+    fn count_by_key_counts() {
+        let ctx = ctx();
+        let ds = ctx.parallelize(vec![("x", ()), ("y", ()), ("x", ())], 2);
+        let counts = ds.count_by_key().unwrap().collect_as_map().unwrap();
+        assert_eq!(counts["x"], 2);
+        assert_eq!(counts["y"], 1);
+    }
+
+    #[test]
+    fn map_values_keys_values() {
+        let ctx = ctx();
+        let ds = ctx.parallelize(vec![(1, 2), (3, 4)], 1);
+        assert_eq!(
+            ds.map_values(|v| v * 10).unwrap().collect_sorted().unwrap(),
+            vec![(1, 20), (3, 40)]
+        );
+        assert_eq!(ds.keys().unwrap().collect_sorted().unwrap(), vec![1, 3]);
+        assert_eq!(ds.values().unwrap().collect_sorted().unwrap(), vec![2, 4]);
+    }
+
+    #[test]
+    fn result_is_independent_of_partition_count() {
+        let ctx = ctx();
+        let records: Vec<(u32, u64)> = (0..500).map(|i| (i % 17, i as u64)).collect();
+        let mut reference: Option<Vec<(u32, u64)>> = None;
+        for parts in [1, 2, 7, 32] {
+            let ds = ctx.parallelize(records.clone(), parts);
+            let mut got = ds.reduce_by_key(|a, b| a + b).unwrap().collect().unwrap();
+            got.sort_unstable();
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => assert_eq!(&got, r, "partition count {parts} changed result"),
+            }
+        }
+    }
+}

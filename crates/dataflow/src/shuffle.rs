@@ -1,0 +1,128 @@
+//! Deterministic hash partitioning.
+//!
+//! Spark's `HashPartitioner` decides, for every key, which reducer
+//! partition receives it. We reproduce that with SipHash-1-3 using fixed
+//! keys (the hasher behind [`std::collections::hash_map::DefaultHasher`]),
+//! so the partition assignment — and therefore every experiment — is
+//! reproducible across runs and machines.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{BuildHasher, BuildHasherDefault, Hash};
+
+/// A deterministic `BuildHasher` for engine-internal hash maps.
+///
+/// `std`'s default `RandomState` is seeded per process; using it for
+/// shuffles would make partition contents differ between runs.
+pub type DeterministicState = BuildHasherDefault<DefaultHasher>;
+
+/// A `HashMap` with deterministic hashing (stable partition assignment).
+pub type DetHashMap<K, V> = std::collections::HashMap<K, V, DeterministicState>;
+
+/// Hashes a key with the deterministic hasher.
+pub fn hash_key<K: Hash + ?Sized>(key: &K) -> u64 {
+    
+    
+    DeterministicState::default().hash_one(key)
+}
+
+/// Assigns a key to one of `num_partitions` shuffle partitions.
+///
+/// # Panics
+///
+/// Panics if `num_partitions` is zero; callers validate partition counts
+/// at the API boundary.
+pub fn partition_for<K: Hash + ?Sized>(key: &K, num_partitions: usize) -> usize {
+    assert!(num_partitions > 0, "partition count must be >= 1");
+    (hash_key(key) % num_partitions as u64) as usize
+}
+
+/// Scatters an iterator of keyed records into `num_partitions` buckets by
+/// key hash. This is the map-side half of a shuffle.
+pub fn scatter<K: Hash, V>(
+    records: impl IntoIterator<Item = (K, V)>,
+    num_partitions: usize,
+) -> Vec<Vec<(K, V)>> {
+    let mut buckets: Vec<Vec<(K, V)>> = (0..num_partitions).map(|_| Vec::new()).collect();
+    for (k, v) in records {
+        let p = partition_for(&k, num_partitions);
+        buckets[p].push((k, v));
+    }
+    buckets
+}
+
+/// Transposes map-side buckets into reduce-side partitions: output
+/// partition `p` receives bucket `p` of every input task, in task order.
+/// This is the reduce-side half of a shuffle.
+pub fn gather<T>(mut per_task_buckets: Vec<Vec<Vec<T>>>, num_partitions: usize) -> Vec<Vec<T>> {
+    let mut out: Vec<Vec<T>> = (0..num_partitions).map(|_| Vec::new()).collect();
+    for task_buckets in &mut per_task_buckets {
+        debug_assert_eq!(task_buckets.len(), num_partitions);
+        for (p, bucket) in task_buckets.drain(..).enumerate() {
+            out[p].extend(bucket);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(hash_key(&42u64), hash_key(&42u64));
+        assert_eq!(hash_key("abc"), hash_key("abc"));
+    }
+
+    #[test]
+    fn partition_in_range() {
+        for k in 0..1000u64 {
+            assert!(partition_for(&k, 7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partition count")]
+    fn zero_partitions_panics() {
+        partition_for(&1u64, 0);
+    }
+
+    #[test]
+    fn scatter_preserves_all_records() {
+        let records: Vec<(u64, u64)> = (0..500).map(|i| (i, i * 10)).collect();
+        let buckets = scatter(records.clone(), 8);
+        assert_eq!(buckets.len(), 8);
+        let mut all: Vec<_> = buckets.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, records);
+    }
+
+    #[test]
+    fn scatter_same_key_same_bucket() {
+        let records = vec![(7u64, 'a'), (7u64, 'b'), (7u64, 'c')];
+        let buckets = scatter(records, 5);
+        let non_empty: Vec<_> = buckets.iter().filter(|b| !b.is_empty()).collect();
+        assert_eq!(non_empty.len(), 1);
+        assert_eq!(non_empty[0].len(), 3);
+    }
+
+    #[test]
+    fn gather_transposes() {
+        // Two map tasks, three reduce partitions.
+        let task0 = vec![vec![1], vec![2], vec![3]];
+        let task1 = vec![vec![10], vec![], vec![30, 31]];
+        let out = gather(vec![task0, task1], 3);
+        assert_eq!(out, vec![vec![1, 10], vec![2], vec![3, 30, 31]]);
+    }
+
+    #[test]
+    fn scatter_distributes_reasonably() {
+        // With many distinct keys, no bucket should be empty for 4 parts.
+        let records: Vec<(u64, ())> = (0..10_000).map(|i| (i, ())).collect();
+        let buckets = scatter(records, 4);
+        for b in &buckets {
+            // Expect ~2500 per bucket; allow wide tolerance.
+            assert!(b.len() > 1500 && b.len() < 3500, "skewed bucket: {}", b.len());
+        }
+    }
+}

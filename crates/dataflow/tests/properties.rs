@@ -1,0 +1,154 @@
+//! Property-based tests: the engine's shuffled operations must agree with
+//! simple sequential reference implementations for any data and any
+//! partitioning.
+
+use std::collections::HashMap;
+
+use dbscout_dataflow::ExecutionContext;
+use proptest::prelude::*;
+
+fn ctx(workers: usize) -> std::sync::Arc<ExecutionContext> {
+    ExecutionContext::builder()
+        .workers(workers)
+        .default_partitions(4)
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reduce_by_key_equals_fold(
+        records in prop::collection::vec((0u8..20, -1000i64..1000), 0..300),
+        parts in 1usize..12,
+        workers in 1usize..6,
+    ) {
+        let ctx = ctx(workers);
+        let mut expected: HashMap<u8, i64> = HashMap::new();
+        for &(k, v) in &records {
+            *expected.entry(k).or_insert(0) += v;
+        }
+        let ds = ctx.parallelize(records, parts);
+        let got = ds.reduce_by_key(|a, b| a + b).unwrap().collect_as_map().unwrap();
+        prop_assert_eq!(got.len(), expected.len());
+        for (k, v) in expected {
+            prop_assert_eq!(got[&k], v);
+        }
+    }
+
+    #[test]
+    fn join_equals_nested_loop(
+        left in prop::collection::vec((0u8..10, 0u16..100), 0..60),
+        right in prop::collection::vec((0u8..10, 0u16..100), 0..60),
+        parts in 1usize..8,
+    ) {
+        let ctx = ctx(4);
+        let mut expected: Vec<(u8, (u16, u16))> = Vec::new();
+        for &(k, v) in &left {
+            for &(k2, w) in &right {
+                if k == k2 {
+                    expected.push((k, (v, w)));
+                }
+            }
+        }
+        expected.sort_unstable();
+        let l = ctx.parallelize(left, parts);
+        let r = ctx.parallelize(right, parts);
+        let mut got = l.join(&r).unwrap().collect().unwrap();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn group_by_key_preserves_multiset(
+        records in prop::collection::vec((0u8..8, 0u32..50), 0..200),
+        parts in 1usize..10,
+    ) {
+        let ctx = ctx(4);
+        let mut expected: HashMap<u8, Vec<u32>> = HashMap::new();
+        for &(k, v) in &records {
+            expected.entry(k).or_default().push(v);
+        }
+        for vs in expected.values_mut() {
+            vs.sort_unstable();
+        }
+        let ds = ctx.parallelize(records, parts);
+        let mut got = ds.group_by_key().unwrap().collect_as_map().unwrap();
+        prop_assert_eq!(got.len(), expected.len());
+        for (k, vs) in got.iter_mut() {
+            vs.sort_unstable();
+            prop_assert_eq!(&*vs, &expected[k]);
+        }
+    }
+
+    #[test]
+    fn union_count_is_sum(
+        a in prop::collection::vec(0i32..100, 0..100),
+        b in prop::collection::vec(0i32..100, 0..100),
+        pa in 1usize..6,
+        pb in 1usize..6,
+    ) {
+        let ctx = ctx(2);
+        let da = ctx.parallelize(a.clone(), pa);
+        let db = ctx.parallelize(b.clone(), pb);
+        let u = da.union(&db).unwrap();
+        prop_assert_eq!(u.count(), a.len() + b.len());
+        let mut got = u.collect().unwrap();
+        let mut expected = a;
+        expected.extend(b);
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn repartition_preserves_multiset(
+        data in prop::collection::vec(0u64..1000, 0..200),
+        from in 1usize..8,
+        to in 1usize..8,
+    ) {
+        let ctx = ctx(3);
+        let ds = ctx.parallelize(data.clone(), from);
+        let rp = ds.repartition(to).unwrap();
+        prop_assert_eq!(rp.num_partitions(), to);
+        let mut got = rp.collect().unwrap();
+        let mut expected = data;
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn flat_map_then_count(
+        data in prop::collection::vec(0usize..5, 0..100),
+        parts in 1usize..6,
+    ) {
+        let ctx = ctx(4);
+        let expected: usize = data.iter().sum();
+        let ds = ctx.parallelize(data, parts);
+        let out = ds.flat_map(|&n| std::iter::repeat_n((), n)).unwrap();
+        prop_assert_eq!(out.count(), expected);
+    }
+
+    #[test]
+    fn workers_do_not_change_results(
+        records in prop::collection::vec((0u8..6, 1u64..100), 1..150),
+        parts in 1usize..8,
+    ) {
+        let mut reference = None;
+        for workers in [1usize, 2, 8] {
+            let ctx = ctx(workers);
+            let ds = ctx.parallelize(records.clone(), parts);
+            let mut got = ds
+                .reduce_by_key(|a, b| a.max(b))
+                .unwrap()
+                .collect()
+                .unwrap();
+            got.sort_unstable();
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => prop_assert_eq!(&got, r),
+            }
+        }
+    }
+}

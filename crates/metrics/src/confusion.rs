@@ -1,0 +1,154 @@
+//! Confusion-matrix metrics for the outlier class.
+//!
+//! The paper's quality metric is the **F1-score computed for the outlier
+//! class** (§IV-A4); Tables IV–V report raw TP/FP/FN of an approximate
+//! detector against the exact (DBSCOUT) outlier set.
+
+use serde::{Deserialize, Serialize};
+
+/// Binary confusion matrix where the *positive* class is "outlier".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Predicted outlier, actually outlier.
+    pub tp: usize,
+    /// Predicted outlier, actually inlier.
+    pub fp: usize,
+    /// Predicted inlier, actually outlier.
+    pub fn_: usize,
+    /// Predicted inlier, actually inlier.
+    pub tn: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel prediction/truth masks
+    /// (`true` = outlier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the masks differ in length — they must describe the same
+    /// dataset.
+    pub fn from_masks(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "mask lengths differ");
+        let mut m = ConfusionMatrix::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            match (p, a) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fp += 1,
+                (false, true) => m.fn_ += 1,
+                (false, false) => m.tn += 1,
+            }
+        }
+        m
+    }
+
+    /// Builds the matrix from sorted-or-not id sets over `n` points.
+    pub fn from_id_sets(n: usize, predicted: &[u32], actual: &[u32]) -> Self {
+        let mut p = vec![false; n];
+        for &i in predicted {
+            p[i as usize] = true;
+        }
+        let mut a = vec![false; n];
+        for &i in actual {
+            a[i as usize] = true;
+        }
+        Self::from_masks(&p, &a)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Precision of the outlier class; 0 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall of the outlier class; 0 when there are no actual outliers.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1-score of the outlier class (harmonic mean; 0 when degenerate).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Plain accuracy over both classes.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / self.total() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let truth = vec![true, false, true, false];
+        let m = ConfusionMatrix::from_masks(&truth, &truth);
+        assert_eq!((m.tp, m.fp, m.fn_, m.tn), (2, 0, 0, 2));
+        assert_eq!(m.f1(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // tp=2 fp=1 fn=1 tn=6: p=2/3, r=2/3, f1=2/3.
+        let predicted = vec![true, true, true, false, false, false, false, false, false, false];
+        let actual = vec![true, true, false, true, false, false, false, false, false, false];
+        let m = ConfusionMatrix::from_masks(&predicted, &actual);
+        assert_eq!((m.tp, m.fp, m.fn_, m.tn), (2, 1, 1, 6));
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.accuracy() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_do_not_divide_by_zero() {
+        let m = ConfusionMatrix::from_masks(&[false; 4], &[false; 4]);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        let empty = ConfusionMatrix::default();
+        assert_eq!(empty.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn from_id_sets_matches_from_masks() {
+        let m1 = ConfusionMatrix::from_id_sets(6, &[0, 2], &[2, 4]);
+        let m2 = ConfusionMatrix::from_masks(
+            &[true, false, true, false, false, false],
+            &[false, false, true, false, true, false],
+        );
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask lengths")]
+    fn mismatched_masks_panic() {
+        ConfusionMatrix::from_masks(&[true], &[true, false]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Evaluation metrics and timing harness for the DBSCOUT experiments.
+//!
+//! * [`ConfusionMatrix`] — outlier-class precision/recall/F1 (paper
+//!   §IV-A4, Table III) and TP/FP/FN accounting against an exact
+//!   reference (Tables IV–V);
+//! * [`timing`] — repeated-run wall-clock measurement with mean and
+//!   standard deviation ("all the tests were run five times", §IV-A4);
+//! * [`table`] — fixed-width table rendering for the experiment binaries.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod confusion;
+pub mod plot;
+pub mod ranking;
+pub mod table;
+pub mod timing;
+
+pub use confusion::ConfusionMatrix;
+pub use ranking::{average_precision, roc_auc};
+pub use timing::{time_runs, TimingStats};

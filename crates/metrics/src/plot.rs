@@ -1,0 +1,294 @@
+//! A dependency-free SVG line-chart writer, so the figure-reproduction
+//! binaries emit actual figures (Figs. 10–13 of the paper) next to their
+//! textual tables.
+
+/// One named series of (x, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            name: name.into(),
+            points,
+        }
+    }
+}
+
+/// A simple multi-series line chart with optional log axes.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    log_x: bool,
+    log_y: bool,
+    series: Vec<Series>,
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+];
+
+impl LineChart {
+    /// Starts a chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            log_x: false,
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Uses a log₁₀ x-axis (all x values must be positive).
+    pub fn log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Uses a log₁₀ y-axis (all y values must be positive).
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a series.
+    pub fn series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Renders the chart as a standalone SVG document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a log axis is requested with non-positive values, or if
+    /// no series has any points — caller bugs, not data conditions.
+    pub fn to_svg(&self) -> String {
+        let tx = |x: f64| if self.log_x { x.log10() } else { x };
+        let ty = |y: f64| if self.log_y { y.log10() } else { y };
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, y)| {
+                assert!(
+                    (!self.log_x || x > 0.0) && (!self.log_y || y > 0.0),
+                    "log axis with non-positive value ({x}, {y})"
+                );
+                (tx(x), ty(y))
+            }))
+            .collect();
+        assert!(!all.is_empty(), "chart has no data");
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if x1 == x0 {
+            x1 = x0 + 1.0;
+        }
+        if y1 == y0 {
+            y1 = y0 + 1.0;
+        }
+        // A little headroom.
+        let pad_y = (y1 - y0) * 0.08;
+        y1 += pad_y;
+        if !self.log_y {
+            y0 = if y0 > 0.0 && y0 - pad_y < 0.0 { 0.0 } else { y0 - pad_y };
+        }
+
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let px = |x: f64| MARGIN_L + (x - x0) / (x1 - x0) * plot_w;
+        let py = |y: f64| MARGIN_T + plot_h - (y - y0) / (y1 - y0) * plot_h;
+
+        let mut svg = String::new();
+        svg.push_str(&format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        ));
+        svg.push_str(&format!(
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/><text x="{}" y="24" text-anchor="middle" font-size="15">{}</text>"#,
+            WIDTH / 2.0,
+            escape(&self.title)
+        ));
+
+        // Axes and ticks.
+        svg.push_str(&format!(
+            r#"<line x1="{MARGIN_L}" y1="{}" x2="{}" y2="{}" stroke="black"/><line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{}" stroke="black"/>"#,
+            MARGIN_T + plot_h,
+            MARGIN_L + plot_w,
+            MARGIN_T + plot_h,
+            MARGIN_T + plot_h,
+        ));
+        for i in 0..=4 {
+            let fx = x0 + (x1 - x0) * i as f64 / 4.0;
+            let fy = y0 + (y1 - y0) * i as f64 / 4.0;
+            let lx = if self.log_x { 10f64.powf(fx) } else { fx };
+            let ly = if self.log_y { 10f64.powf(fy) } else { fy };
+            svg.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-size="11">{}</text>"#,
+                px(fx),
+                MARGIN_T + plot_h + 18.0,
+                fmt_tick(lx)
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="end" font-size="11">{}</text>"#,
+                MARGIN_L - 6.0,
+                py(fy) + 4.0,
+                fmt_tick(ly)
+            ));
+            svg.push_str(&format!(
+                r##"<line x1="{:.1}" y1="{MARGIN_T}" x2="{:.1}" y2="{:.1}" stroke="#eeeeee"/>"##,
+                px(fx),
+                px(fx),
+                MARGIN_T + plot_h
+            ));
+        }
+        svg.push_str(&format!(
+            r#"<text x="{}" y="{}" text-anchor="middle" font-size="12">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 12.0,
+            escape(&self.x_label)
+        ));
+        svg.push_str(&format!(
+            r#"<text x="16" y="{}" text-anchor="middle" font-size="12" transform="rotate(-90 16 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        ));
+
+        // Series.
+        for (si, s) in self.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            let pts: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", px(tx(x)), py(ty(y))))
+                .collect();
+            svg.push_str(&format!(
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                pts.join(" ")
+            ));
+            for &(x, y) in &s.points {
+                svg.push_str(&format!(
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                    px(tx(x)),
+                    py(ty(y))
+                ));
+            }
+            // Legend entry.
+            let ly = MARGIN_T + 8.0 + 18.0 * si as f64;
+            svg.push_str(&format!(
+                r#"<line x1="{:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/><text x="{:.1}" y="{:.1}" font-size="12">{}</text>"#,
+                MARGIN_L + plot_w - 150.0,
+                MARGIN_L + plot_w - 125.0,
+                MARGIN_L + plot_w - 118.0,
+                ly + 4.0,
+                escape(&s.name)
+            ));
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e5 || v.abs() < 1e-3 {
+        format!("{v:.1e}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> LineChart {
+        LineChart::new("t", "x", "y")
+            .series(Series::new("a", vec![(1.0, 2.0), (2.0, 4.0), (3.0, 8.0)]))
+            .series(Series::new("b", vec![(1.0, 1.0), (3.0, 1.5)]))
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = chart().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 5);
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn log_axes_transform() {
+        let svg = LineChart::new("t", "x", "y")
+            .log_x()
+            .log_y()
+            .series(Series::new("a", vec![(1.0, 10.0), (100.0, 1000.0)]))
+            .to_svg();
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    #[should_panic(expected = "log axis")]
+    fn log_axis_rejects_zero() {
+        let _ = LineChart::new("t", "x", "y")
+            .log_y()
+            .series(Series::new("a", vec![(1.0, 0.0)]))
+            .to_svg();
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_chart_panics() {
+        let _ = LineChart::new("t", "x", "y").to_svg();
+    }
+
+    #[test]
+    fn escapes_markup() {
+        let svg = LineChart::new("a < b & c", "x", "y")
+            .series(Series::new("s", vec![(0.0, 0.0)]))
+            .to_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn degenerate_single_point_does_not_divide_by_zero() {
+        let svg = LineChart::new("t", "x", "y")
+            .series(Series::new("a", vec![(5.0, 5.0)]))
+            .to_svg();
+        assert!(!svg.contains("NaN"));
+    }
+}

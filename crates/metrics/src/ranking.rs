@@ -1,0 +1,125 @@
+//! Threshold-free ranking metrics for score-based detectors: ROC AUC and
+//! average precision. The paper evaluates at a fixed contamination
+//! (F1-score); ranking metrics complement that by judging the whole
+//! score ordering, which is how score-based baselines (LOF, IF, k-NN
+//! distance) are usually compared.
+
+/// Area under the ROC curve for scores where **higher = more outlying**.
+///
+/// Computed via the Mann–Whitney statistic with midrank tie handling.
+/// Returns `None` when either class is empty (AUC undefined).
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len(), "lengths differ");
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return None;
+    }
+    // Ranks with midrank ties.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = midrank;
+        }
+        i = j + 1;
+    }
+    let rank_sum: f64 = labels
+        .iter()
+        .zip(&ranks)
+        .filter(|(&l, _)| l)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum - (pos * (pos + 1)) as f64 / 2.0;
+    Some(u / (pos * neg) as f64)
+}
+
+/// Average precision (area under the precision–recall curve by the
+/// step-wise rule) for scores where **higher = more outlying**. Ties are
+/// broken by index for determinism. Returns `None` when there are no
+/// positive labels.
+pub fn average_precision(scores: &[f64], labels: &[bool]) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len(), "lengths differ");
+    let pos = labels.iter().filter(|&&l| l).count();
+    if pos == 0 {
+        return None;
+    }
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    let mut hits = 0usize;
+    let mut ap = 0.0;
+    for (rank, &i) in idx.iter().enumerate() {
+        if labels[i] {
+            hits += 1;
+            ap += hits as f64 / (rank + 1) as f64;
+        }
+    }
+    Some(ap / pos as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking() {
+        let scores = [0.1, 0.2, 0.9, 0.8];
+        let labels = [false, false, true, true];
+        assert_eq!(roc_auc(&scores, &labels), Some(1.0));
+        assert_eq!(average_precision(&scores, &labels), Some(1.0));
+    }
+
+    #[test]
+    fn inverted_ranking() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let labels = [false, false, true, true];
+        assert_eq!(roc_auc(&scores, &labels), Some(0.0));
+    }
+
+    #[test]
+    fn random_like_ranking_is_half() {
+        // Interleaved: pos at scores 4,2 and neg at 3,1 → AUC = 0.5.
+        let scores = [4.0, 3.0, 2.0, 1.0];
+        let labels = [true, false, true, false];
+        assert_eq!(roc_auc(&scores, &labels), Some(0.75));
+        let labels = [false, true, false, true];
+        assert_eq!(roc_auc(&scores, &labels), Some(0.25));
+    }
+
+    #[test]
+    fn ties_get_midranks() {
+        // All scores equal: AUC must be exactly 0.5 regardless of labels.
+        let scores = [1.0, 1.0, 1.0, 1.0];
+        let labels = [true, false, true, false];
+        assert_eq!(roc_auc(&scores, &labels), Some(0.5));
+    }
+
+    #[test]
+    fn degenerate_classes() {
+        assert_eq!(roc_auc(&[1.0, 2.0], &[true, true]), None);
+        assert_eq!(roc_auc(&[1.0, 2.0], &[false, false]), None);
+        assert_eq!(average_precision(&[1.0], &[false]), None);
+    }
+
+    #[test]
+    fn average_precision_known_value() {
+        // Ranking: pos, neg, pos → AP = (1/1 + 2/3) / 2 = 5/6.
+        let scores = [0.9, 0.5, 0.3];
+        let labels = [true, false, true];
+        let ap = average_precision(&scores, &labels).unwrap();
+        assert!((ap - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mismatched_lengths_panic() {
+        roc_auc(&[1.0], &[true, false]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Repeated-run timing: the paper runs every configuration five times and
+//! reports mean and standard deviation (§IV-A4).
+
+use std::time::{Duration, Instant};
+
+/// Aggregate of a series of run times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingStats {
+    /// Individual run durations, in execution order.
+    pub runs: Vec<Duration>,
+}
+
+impl TimingStats {
+    /// Wraps raw durations.
+    pub fn new(runs: Vec<Duration>) -> Self {
+        Self { runs }
+    }
+
+    /// Mean run time in seconds (0 for an empty series).
+    pub fn mean_secs(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(Duration::as_secs_f64).sum::<f64>() / self.runs.len() as f64
+    }
+
+    /// Population standard deviation in seconds.
+    pub fn std_dev_secs(&self) -> f64 {
+        if self.runs.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_secs();
+        let var = self
+            .runs
+            .iter()
+            .map(|d| {
+                let x = d.as_secs_f64() - mean;
+                x * x
+            })
+            .sum::<f64>()
+            / self.runs.len() as f64;
+        var.sqrt()
+    }
+
+    /// Fastest run in seconds.
+    pub fn min_secs(&self) -> f64 {
+        self.runs
+            .iter()
+            .map(Duration::as_secs_f64)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Slowest run in seconds.
+    pub fn max_secs(&self) -> f64 {
+        self.runs.iter().map(Duration::as_secs_f64).fold(0.0, f64::max)
+    }
+}
+
+/// Runs `f` `repetitions` times, timing each run.
+///
+/// The closure's return value is discarded after a `std::hint::black_box`
+/// so the optimizer cannot elide the work.
+pub fn time_runs<T>(repetitions: usize, mut f: impl FnMut() -> T) -> TimingStats {
+    let mut runs = Vec::with_capacity(repetitions);
+    for _ in 0..repetitions {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        runs.push(t.elapsed());
+    }
+    TimingStats::new(runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_series() {
+        let s = TimingStats::new(vec![
+            Duration::from_secs(1),
+            Duration::from_secs(2),
+            Duration::from_secs(3),
+        ]);
+        assert!((s.mean_secs() - 2.0).abs() < 1e-12);
+        // Population std dev of {1,2,3} = sqrt(2/3).
+        assert!((s.std_dev_secs() - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min_secs(), 1.0);
+        assert_eq!(s.max_secs(), 3.0);
+    }
+
+    #[test]
+    fn degenerate_series() {
+        let empty = TimingStats::new(vec![]);
+        assert_eq!(empty.mean_secs(), 0.0);
+        assert_eq!(empty.std_dev_secs(), 0.0);
+        let one = TimingStats::new(vec![Duration::from_millis(5)]);
+        assert_eq!(one.std_dev_secs(), 0.0);
+    }
+
+    #[test]
+    fn time_runs_counts_and_measures() {
+        let mut calls = 0;
+        let s = time_runs(4, || {
+            calls += 1;
+            std::thread::sleep(Duration::from_millis(2));
+            calls
+        });
+        assert_eq!(calls, 4);
+        assert_eq!(s.runs.len(), 4);
+        assert!(s.mean_secs() >= 0.002);
+    }
+}

@@ -1,0 +1,219 @@
+//! ε-cells (paper Definition 4).
+//!
+//! An ε-cell is a d-dimensional hypercube whose **diagonal** is ε, i.e.
+//! whose side is `l = ε/√d`; any two points inside one cell are therefore
+//! at distance ≤ ε (the fact behind Lemma 1). A cell is identified by the
+//! integer coordinates of its minimum vertex scaled by `l`:
+//! `C_i = ⌊x_i / l⌋` (paper Algorithm 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum supported dimensionality. The paper evaluates k_d for d ≤ 9
+/// (Table I) and runs experiments on 2–3-dimensional data.
+pub const MAX_DIMS: usize = 9;
+
+/// Integer coordinates of an ε-cell.
+///
+/// Stored as a fixed-size array (zero-padded beyond `dims`) so the type is
+/// `Copy` and hashes without heap traffic — cell ids are the shuffle keys
+/// of every DBSCOUT phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellCoord {
+    dims: u8,
+    c: [i64; MAX_DIMS],
+}
+
+impl CellCoord {
+    /// Builds a cell coordinate from a slice of per-dimension indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords.len()` is 0 or exceeds [`MAX_DIMS`]; callers
+    /// validate dimensionality when constructing stores and grids.
+    pub fn from_slice(coords: &[i64]) -> Self {
+        assert!(
+            !coords.is_empty() && coords.len() <= MAX_DIMS,
+            "cell dimensionality {} out of range 1..={}",
+            coords.len(),
+            MAX_DIMS
+        );
+        let mut c = [0i64; MAX_DIMS];
+        c[..coords.len()].copy_from_slice(coords);
+        Self {
+            dims: coords.len() as u8,
+            c,
+        }
+    }
+
+    /// Dimensionality of the cell.
+    pub fn dims(&self) -> usize {
+        self.dims as usize
+    }
+
+    /// The per-dimension integer coordinates.
+    pub fn coords(&self) -> &[i64] {
+        &self.c[..self.dims as usize]
+    }
+
+    /// The cell displaced by `offset` (must have the same dimensionality).
+    #[inline]
+    pub fn offset_by(&self, offset: &CellCoord) -> CellCoord {
+        debug_assert_eq!(self.dims, offset.dims);
+        let mut c = [0i64; MAX_DIMS];
+        for ((out, &a), &b) in c.iter_mut().zip(&self.c).zip(&offset.c) {
+            *out = a + b;
+        }
+        CellCoord { dims: self.dims, c }
+    }
+}
+
+/// Side length `l = ε/√d` of an ε-cell, nudged one ULP downward so that
+/// the cell diagonal `l·√d` cannot exceed ε after rounding (keeps Lemma 1
+/// exact in floating point).
+pub fn cell_side(eps: f64, dims: usize) -> f64 {
+    (eps / (dims as f64).sqrt()).next_down()
+}
+
+/// The cell containing `point`, for cells of side `side`.
+#[inline]
+pub fn cell_of(point: &[f64], side: f64) -> CellCoord {
+    debug_assert!(point.len() <= MAX_DIMS);
+    let mut c = [0i64; MAX_DIMS];
+    for (i, &x) in point.iter().enumerate() {
+        c[i] = (x / side).floor() as i64;
+    }
+    CellCoord {
+        dims: point.len() as u8,
+        c,
+    }
+}
+
+/// Squared minimum distance from `point` to the closed box of `cell`
+/// (side `side`). Zero when the point lies inside the cell.
+pub fn min_sq_dist_to_cell(point: &[f64], cell: &CellCoord, side: f64) -> f64 {
+    let mut acc = 0.0;
+    for (i, &x) in point.iter().enumerate() {
+        let lo = cell.c[i] as f64 * side;
+        let hi = lo + side;
+        let gap = if x < lo {
+            lo - x
+        } else if x > hi {
+            x - hi
+        } else {
+            0.0
+        };
+        acc += gap * gap;
+    }
+    acc
+}
+
+/// Squared maximum distance from `point` to any point of `cell`'s box.
+pub fn max_sq_dist_to_cell(point: &[f64], cell: &CellCoord, side: f64) -> f64 {
+    let mut acc = 0.0;
+    for (i, &x) in point.iter().enumerate() {
+        let lo = cell.c[i] as f64 * side;
+        let hi = lo + side;
+        let gap = (x - lo).abs().max((x - hi).abs());
+        acc += gap * gap;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_slice_round_trip() {
+        let c = CellCoord::from_slice(&[1, -2, 3]);
+        assert_eq!(c.dims(), 3);
+        assert_eq!(c.coords(), &[1, -2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_slice_rejects_oversized() {
+        CellCoord::from_slice(&[0; MAX_DIMS + 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_slice_rejects_empty() {
+        CellCoord::from_slice(&[]);
+    }
+
+    #[test]
+    fn zero_padding_makes_eq_and_hash_consistent() {
+        let a = CellCoord::from_slice(&[1, 2]);
+        let b = CellCoord::from_slice(&[1, 2]);
+        assert_eq!(a, b);
+        let mut set = std::collections::HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn offset_by_adds() {
+        let c = CellCoord::from_slice(&[5, -3]);
+        let o = CellCoord::from_slice(&[-1, 2]);
+        assert_eq!(c.offset_by(&o).coords(), &[4, -1]);
+    }
+
+    #[test]
+    fn paper_example_cell_assignment() {
+        // Paper §III-B example: ε = √2, d = 2 gives side 1; point
+        // (1.1, -0.3) lies in cell (1, -1).
+        let side = cell_side(2f64.sqrt(), 2);
+        let c = cell_of(&[1.1, -0.3], side);
+        assert_eq!(c.coords(), &[1, -1]);
+        // (0.5, 0.5) lies in cell (0, 0).
+        assert_eq!(cell_of(&[0.5, 0.5], side).coords(), &[0, 0]);
+        // (1.9, -0.9) lies in cell (1, -1).
+        assert_eq!(cell_of(&[1.9, -0.9], side).coords(), &[1, -1]);
+    }
+
+    #[test]
+    fn negative_coordinates_floor_correctly() {
+        let c = cell_of(&[-0.1, -1.0], 1.0);
+        assert_eq!(c.coords(), &[-1, -1]);
+    }
+
+    #[test]
+    fn cell_diagonal_never_exceeds_eps() {
+        for dims in 1..=MAX_DIMS {
+            for &eps in &[0.1, 1.0, std::f64::consts::PI, 1e6] {
+                let side = cell_side(eps, dims);
+                let diagonal = side * (dims as f64).sqrt();
+                assert!(
+                    diagonal <= eps,
+                    "diagonal {diagonal} > eps {eps} for d={dims}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_dist_to_cell() {
+        // Unit cell at (0,0): box [0,1]x[0,1].
+        let cell = CellCoord::from_slice(&[0, 0]);
+        // Point inside.
+        assert_eq!(min_sq_dist_to_cell(&[0.5, 0.5], &cell, 1.0), 0.0);
+        // Point left of the box at distance 2.
+        assert_eq!(min_sq_dist_to_cell(&[-2.0, 0.5], &cell, 1.0), 4.0);
+        // Max distance from origin corner is the far corner (1,1).
+        assert_eq!(max_sq_dist_to_cell(&[0.0, 0.0], &cell, 1.0), 2.0);
+        // Diagonal case.
+        let d = min_sq_dist_to_cell(&[2.0, 2.0], &cell, 1.0);
+        assert!((d - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_le_max_dist() {
+        let cell = CellCoord::from_slice(&[3, -2, 1]);
+        for p in [[0.0, 0.0, 0.0], [3.2, -1.7, 1.9], [100.0, -50.0, 0.1]] {
+            assert!(
+                min_sq_dist_to_cell(&p, &cell, 0.7) <= max_sq_dist_to_cell(&p, &cell, 0.7)
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Euclidean distance kernels.
+//!
+//! All comparisons in DBSCOUT are of the form `dist(p, q) ≤ ε`, so the
+//! kernels work on *squared* distances and never take a square root in the
+//! hot path.
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// Written as an index loop over a fixed bound so the compiler can fully
+/// unroll it for d = 2 and 3.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        let d = a[i] - b[i];
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance.
+#[inline]
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    sq_dist(a, b).sqrt()
+}
+
+/// `true` iff `dist(a, b) ≤ ε`, given `eps_sq = ε²` (Definition 2 uses a
+/// closed ball).
+#[inline]
+pub fn within(a: &[f64], b: &[f64], eps_sq: f64) -> bool {
+    sq_dist(a, b) <= eps_sq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sq_dist_basics() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(sq_dist(&[1.0], &[1.0]), 0.0);
+        assert_eq!(sq_dist(&[-1.0, -1.0], &[1.0, 1.0]), 8.0);
+    }
+
+    #[test]
+    fn dist_is_sqrt_of_sq_dist() {
+        assert_eq!(dist(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn within_is_closed_ball() {
+        // Boundary case: dist == eps must count as within (Definition 2).
+        assert!(within(&[0.0], &[2.0], 4.0));
+        assert!(!within(&[0.0], &[2.0 + 1e-9], 4.0));
+        assert!(within(&[0.0], &[0.0], 0.0));
+    }
+
+    #[test]
+    fn higher_dims() {
+        let a = [1.0; 9];
+        let b = [2.0; 9];
+        assert_eq!(sq_dist(&a, &b), 9.0);
+        assert_eq!(dist(&a, &b), 3.0);
+    }
+}

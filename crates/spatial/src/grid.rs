@@ -1,0 +1,296 @@
+//! The grid: a complete, non-overlapping partition of a dataset into
+//! ε-cells (paper Definition 5, Algorithm 1).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+use crate::cell::{cell_of, cell_side, CellCoord};
+use crate::error::SpatialError;
+use crate::points::{PointId, PointStore};
+
+type DetState = BuildHasherDefault<DefaultHasher>;
+
+/// Per-cell point lists for one dataset and one ε.
+///
+/// The number of non-empty cells is O(n); each point belongs to exactly
+/// one cell. Iteration order is deterministic for a given dataset (the
+/// map uses a fixed-key hasher), which keeps parallel runs reproducible.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    eps: f64,
+    side: f64,
+    dims: usize,
+    cells: HashMap<CellCoord, Vec<PointId>, DetState>,
+}
+
+impl Grid {
+    /// Assigns every point of `store` to its ε-cell (paper Algorithm 1;
+    /// O(n)).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `eps` is not finite and positive.
+    pub fn build(store: &PointStore, eps: f64) -> Result<Self, SpatialError> {
+        if !eps.is_finite() || eps <= 0.0 {
+            return Err(SpatialError::InvalidEpsilon { value: eps });
+        }
+        let dims = store.dims();
+        let side = cell_side(eps, dims);
+        let mut cells: HashMap<CellCoord, Vec<PointId>, DetState> = HashMap::default();
+        for (id, p) in store.iter() {
+            cells.entry(cell_of(p, side)).or_default().push(id);
+        }
+        Ok(Self {
+            eps,
+            side,
+            dims,
+            cells,
+        })
+    }
+
+    /// [`build`](Self::build) parallelised over `threads` worker threads
+    /// (chunked point ranges, per-thread partial maps, ordered merge).
+    /// Produces a grid **identical** to the sequential build — per-cell
+    /// id lists stay in ascending order — which a property test pins.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `eps` is not finite and positive.
+    pub fn build_parallel(
+        store: &PointStore,
+        eps: f64,
+        threads: usize,
+    ) -> Result<Self, SpatialError> {
+        if !eps.is_finite() || eps <= 0.0 {
+            return Err(SpatialError::InvalidEpsilon { value: eps });
+        }
+        let n = store.len() as usize;
+        let threads = threads.max(1).min(n.max(1));
+        if threads == 1 {
+            return Self::build(store, eps);
+        }
+        let dims = store.dims();
+        let side = cell_side(eps, dims);
+        let chunk = n.div_ceil(threads);
+        let partials: Vec<HashMap<CellCoord, Vec<PointId>, DetState>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(n);
+                        scope.spawn(move || {
+                            let mut local: HashMap<CellCoord, Vec<PointId>, DetState> =
+                                HashMap::default();
+                            for id in lo..hi {
+                                let p = store.point(id as PointId);
+                                local
+                                    .entry(cell_of(p, side))
+                                    .or_default()
+                                    .push(id as PointId);
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("grid chunk workers do not panic"))
+                    .collect()
+            });
+        let mut cells: HashMap<CellCoord, Vec<PointId>, DetState> = HashMap::default();
+        // Merge in chunk order so per-cell ids stay ascending.
+        for partial in partials {
+            for (cell, ids) in partial {
+                cells.entry(cell).or_default().extend(ids);
+            }
+        }
+        Ok(Self {
+            eps,
+            side,
+            dims,
+            cells,
+        })
+    }
+
+    /// The ε this grid was built with.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Cell side length `l = ε/√d`.
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of non-empty cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Total number of points across all cells.
+    pub fn num_points(&self) -> usize {
+        self.cells.values().map(Vec::len).sum()
+    }
+
+    /// The cell a coordinate vector falls into.
+    pub fn cell_for(&self, point: &[f64]) -> CellCoord {
+        cell_of(point, self.side)
+    }
+
+    /// The point ids of one cell, if non-empty.
+    pub fn points_in(&self, cell: &CellCoord) -> Option<&[PointId]> {
+        self.cells.get(cell).map(Vec::as_slice)
+    }
+
+    /// Iterates over `(cell, point ids)` for every non-empty cell.
+    pub fn cells(&self) -> impl Iterator<Item = (&CellCoord, &[PointId])> + '_ {
+        self.cells.iter().map(|(c, v)| (c, v.as_slice()))
+    }
+
+    /// Population of the most populous cell (the skew measure the paper
+    /// discusses for Geolife, §IV-B2).
+    pub fn max_cell_population(&self) -> usize {
+        self.cells.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Fraction of points living in the most populous cell.
+    pub fn skew(&self) -> f64 {
+        let n = self.num_points();
+        if n == 0 {
+            0.0
+        } else {
+            self.max_cell_population() as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_2d(points: &[[f64; 2]]) -> PointStore {
+        PointStore::from_rows(2, points.iter().map(|p| p.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn build_assigns_every_point_once() {
+        let s = store_2d(&[[0.1, 0.1], [0.9, 0.9], [5.0, 5.0], [-3.0, 2.0]]);
+        let g = Grid::build(&s, 2f64.sqrt()).unwrap();
+        assert_eq!(g.num_points(), 4);
+        let mut seen = std::collections::HashSet::new();
+        for (_, ids) in g.cells() {
+            for &id in ids {
+                assert!(seen.insert(id), "point {id} in two cells");
+            }
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn paper_example_grid() {
+        // §III-B: ε = √2 in 2-D gives unit cells; points sharing a unit
+        // square share a cell.
+        let s = store_2d(&[[0.2, 0.2], [0.8, 0.8], [1.1, -0.3], [1.9, -0.9]]);
+        let g = Grid::build(&s, 2f64.sqrt()).unwrap();
+        assert_eq!(g.num_cells(), 2);
+        let c00 = g.cell_for(&[0.5, 0.5]);
+        let c1m1 = g.cell_for(&[1.5, -0.5]);
+        assert_eq!(g.points_in(&c00).unwrap().len(), 2);
+        assert_eq!(g.points_in(&c1m1).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn invalid_eps_rejected() {
+        let s = store_2d(&[[0.0, 0.0]]);
+        for eps in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                Grid::build(&s, eps),
+                Err(SpatialError::InvalidEpsilon { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn empty_store_builds_empty_grid() {
+        let s = PointStore::new(2).unwrap();
+        let g = Grid::build(&s, 1.0).unwrap();
+        assert_eq!(g.num_cells(), 0);
+        assert_eq!(g.num_points(), 0);
+        assert_eq!(g.max_cell_population(), 0);
+        assert_eq!(g.skew(), 0.0);
+    }
+
+    #[test]
+    fn points_within_one_cell_are_within_eps() {
+        // Lemma 1's geometric premise: same cell ⇒ dist ≤ ε.
+        let eps = 0.7;
+        let s = store_2d(&[[0.0, 0.0], [0.1, 0.2], [0.3, 0.1], [0.45, 0.45]]);
+        let g = Grid::build(&s, eps).unwrap();
+        for (_, ids) in g.cells() {
+            for &a in ids {
+                for &b in ids {
+                    let d = crate::distance::dist(s.point(a), s.point(b));
+                    assert!(d <= eps, "same-cell points at distance {d} > {eps}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skew_measures_heaviest_cell() {
+        let mut pts = vec![[0.1, 0.1]; 8];
+        pts.push([100.0, 100.0]);
+        pts.push([-100.0, -100.0]);
+        let s = store_2d(&pts);
+        let g = Grid::build(&s, 1.0).unwrap();
+        assert_eq!(g.max_cell_population(), 8);
+        assert!((g.skew() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_build_equals_sequential() {
+        let s = store_2d(
+            &(0..200)
+                .map(|i| [((i * 37) % 50) as f64 * 0.3, ((i * 53) % 40) as f64 * 0.3])
+                .collect::<Vec<_>>(),
+        );
+        let seq = Grid::build(&s, 1.5).unwrap();
+        for threads in [1, 2, 3, 8, 300] {
+            let par = Grid::build_parallel(&s, 1.5, threads).unwrap();
+            assert_eq!(par.num_cells(), seq.num_cells(), "threads {threads}");
+            for (cell, ids) in seq.cells() {
+                assert_eq!(
+                    par.points_in(cell),
+                    Some(ids),
+                    "cell {cell:?} differs at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_empty_and_invalid() {
+        let empty = PointStore::new(2).unwrap();
+        assert_eq!(Grid::build_parallel(&empty, 1.0, 4).unwrap().num_cells(), 0);
+        let s = store_2d(&[[0.0, 0.0]]);
+        assert!(Grid::build_parallel(&s, -1.0, 4).is_err());
+    }
+
+    #[test]
+    fn grid_3d() {
+        let s = PointStore::from_rows(
+            3,
+            vec![vec![0.0, 0.0, 0.0], vec![10.0, 10.0, 10.0]],
+        )
+        .unwrap();
+        let g = Grid::build(&s, 1.0).unwrap();
+        assert_eq!(g.num_cells(), 2);
+        assert_eq!(g.dims(), 3);
+    }
+}

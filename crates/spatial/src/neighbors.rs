@@ -1,0 +1,262 @@
+//! Neighboring-cell offset enumeration (paper Definition 8, Lemma 3,
+//! Table I).
+//!
+//! Two cells are *neighbors* iff the minimum possible distance between a
+//! point of one and a point of the other is `< ε`. For cells of side
+//! `l = ε/√d`, the offset vector `j ∈ ℤ^d` between two cells leaves a
+//! per-dimension gap of `max(|j_i| − 1, 0)` cell sides, so the condition
+//! becomes
+//!
+//! ```text
+//! l · √( Σ_i max(|j_i| − 1, 0)² ) < ε   ⇔   Σ_i max(|j_i| − 1, 0)² < d
+//! ```
+//!
+//! The number of such offsets is the paper's constant k_d; the loose bound
+//! of Lemma 3 is `(2⌈√d⌉ + 1)^d`. This module reproduces the *actual k_d*
+//! column of Table I exactly.
+
+use crate::cell::{CellCoord, MAX_DIMS};
+use crate::error::SpatialError;
+
+/// The precomputed set of neighbor offsets for one dimensionality.
+///
+/// Offsets are stored as a flat `Vec<i8>` with stride `dims` (components
+/// never exceed ⌈√d⌉ ≤ 3 for d ≤ 9), in lexicographic order; the zero
+/// offset (a cell is its own neighbor) is always present.
+#[derive(Debug, Clone)]
+pub struct NeighborOffsets {
+    dims: usize,
+    flat: Vec<i8>,
+}
+
+impl NeighborOffsets {
+    /// Enumerates all neighbor offsets for `dims`-dimensional cells.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `dims` is zero or exceeds [`MAX_DIMS`].
+    pub fn new(dims: usize) -> Result<Self, SpatialError> {
+        if dims == 0 {
+            return Err(SpatialError::ZeroDims);
+        }
+        if dims > MAX_DIMS {
+            return Err(SpatialError::TooManyDims { requested: dims });
+        }
+        let r = (dims as f64).sqrt().ceil() as i64;
+        let mut flat = Vec::new();
+        let mut current = vec![0i8; dims];
+        enumerate(dims, r as i8, dims as i64, 0, 0, &mut current, &mut |off| {
+            flat.extend_from_slice(off)
+        });
+        Ok(Self { dims, flat })
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of offsets — the paper's k_d.
+    pub fn len(&self) -> usize {
+        self.flat.len() / self.dims
+    }
+
+    /// Always false: the zero offset is present for every valid `dims`.
+    pub fn is_empty(&self) -> bool {
+        self.flat.is_empty()
+    }
+
+    /// Iterates over the offsets as `&[i8]` slices of length `dims`.
+    pub fn iter(&self) -> impl Iterator<Item = &[i8]> + '_ {
+        self.flat.chunks_exact(self.dims)
+    }
+
+    /// The cell displaced from `cell` by offset `off`.
+    #[inline]
+    pub fn apply(cell: &CellCoord, off: &[i8]) -> CellCoord {
+        let mut coords = [0i64; MAX_DIMS];
+        let c = cell.coords();
+        for i in 0..c.len() {
+            coords[i] = c[i] + off[i] as i64;
+        }
+        CellCoord::from_slice(&coords[..c.len()])
+    }
+}
+
+/// Counts k_d without materialising the offsets (Table I's "Actual k_d"
+/// column; usable up to d = 9 where the candidate space is ~40M vectors).
+pub fn count_k_d(dims: usize) -> Result<u64, SpatialError> {
+    if dims == 0 {
+        return Err(SpatialError::ZeroDims);
+    }
+    if dims > MAX_DIMS {
+        return Err(SpatialError::TooManyDims { requested: dims });
+    }
+    let r = (dims as f64).sqrt().ceil() as i8;
+    let mut count = 0u64;
+    let mut current = vec![0i8; dims];
+    enumerate(dims, r, dims as i64, 0, 0, &mut current, &mut |_| count += 1);
+    Ok(count)
+}
+
+/// The loose upper bound of Lemma 3: `(2⌈√d⌉ + 1)^d`.
+pub fn loose_upper_bound(dims: usize) -> u64 {
+    let r = (dims as f64).sqrt().ceil() as u64;
+    (2 * r + 1).pow(dims as u32)
+}
+
+/// DFS over offset vectors with penalty pruning. `penalty` accumulates
+/// `Σ max(|j_i|−1, 0)²`; a branch is cut as soon as it reaches `d`.
+fn enumerate(
+    dims: usize,
+    r: i8,
+    d: i64,
+    dim: usize,
+    penalty: i64,
+    current: &mut Vec<i8>,
+    emit: &mut impl FnMut(&[i8]),
+) {
+    if dim == dims {
+        emit(current);
+        return;
+    }
+    for j in -r..=r {
+        let gap = (j.unsigned_abs() as i64).saturating_sub(1).max(0);
+        let p = penalty + gap * gap;
+        if p < d {
+            current[dim] = j;
+            enumerate(dims, r, d, dim + 1, p, current, emit);
+        }
+    }
+    current[dim] = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table I of the paper: (d, loose upper bound, actual k_d).
+    const TABLE_I: &[(usize, u64, u64)] = &[
+        (2, 25, 21),
+        (3, 125, 117),
+        (4, 625, 609),
+        (5, 16807, 3903),
+        (6, 117649, 28197),
+    ];
+
+    #[test]
+    fn reproduces_table_i_actual_kd() {
+        for &(d, _, expected) in TABLE_I {
+            assert_eq!(count_k_d(d).unwrap(), expected, "k_d mismatch for d={d}");
+            assert_eq!(
+                NeighborOffsets::new(d).unwrap().len() as u64,
+                expected,
+                "materialised k_d mismatch for d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn reproduces_table_i_upper_bound() {
+        for &(d, bound, _) in TABLE_I {
+            assert_eq!(loose_upper_bound(d), bound, "bound mismatch for d={d}");
+        }
+        assert_eq!(loose_upper_bound(7), 823543);
+        assert_eq!(loose_upper_bound(8), 5764801);
+        assert_eq!(loose_upper_bound(9), 40353607);
+    }
+
+    #[test]
+    fn d1_is_adjacent_cells_only() {
+        // For d = 1 the condition is max(|j|−1,0)² < 1, i.e. j ∈ {−1,0,1}.
+        let offs = NeighborOffsets::new(1).unwrap();
+        let got: Vec<i8> = offs.iter().map(|o| o[0]).collect();
+        assert_eq!(got, vec![-1, 0, 1]);
+    }
+
+    #[test]
+    fn zero_offset_present() {
+        for d in 1..=4 {
+            let offs = NeighborOffsets::new(d).unwrap();
+            assert!(
+                offs.iter().any(|o| o.iter().all(|&j| j == 0)),
+                "zero offset missing for d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn offsets_are_symmetric() {
+        // If j is a neighbor offset, so is −j (Definition 8 is symmetric).
+        for d in 1..=4 {
+            let offs = NeighborOffsets::new(d).unwrap();
+            let set: std::collections::HashSet<Vec<i8>> =
+                offs.iter().map(|o| o.to_vec()).collect();
+            for o in offs.iter() {
+                let neg: Vec<i8> = o.iter().map(|&j| -j).collect();
+                assert!(set.contains(&neg), "missing mirror of {o:?} for d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_offset_satisfies_min_distance_condition() {
+        for d in 2..=5 {
+            let offs = NeighborOffsets::new(d).unwrap();
+            for o in offs.iter() {
+                let penalty: i64 = o
+                    .iter()
+                    .map(|&j| {
+                        let g = (j.unsigned_abs() as i64).saturating_sub(1).max(0);
+                        g * g
+                    })
+                    .sum();
+                assert!(penalty < d as i64, "offset {o:?} violates condition, d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_neighbors_really_cannot_be_within_eps() {
+        // Geometric cross-check in 2-D: for each *excluded* offset, the
+        // closest corners of the two cells are at distance ≥ ε — up to one
+        // ULP, because `cell_side` nudges the side down so that Lemma 1
+        // (same-cell diagonal ≤ ε) holds exactly in floating point. The
+        // paper's own Definition 8 (strict `< ε`) excludes the same
+        // measure-zero corner-touch configurations.
+        let d = 2usize;
+        let eps = 1.0;
+        let side = crate::cell::cell_side(eps, d);
+        let offs = NeighborOffsets::new(d).unwrap();
+        let set: std::collections::HashSet<Vec<i8>> = offs.iter().map(|o| o.to_vec()).collect();
+        let r = 3i8;
+        for a in -r..=r {
+            for b in -r..=r {
+                if set.contains(&vec![a, b]) {
+                    continue;
+                }
+                let gx = (a.unsigned_abs() as f64 - 1.0).max(0.0) * side;
+                let gy = (b.unsigned_abs() as f64 - 1.0).max(0.0) * side;
+                let min_dist = (gx * gx + gy * gy).sqrt();
+                assert!(
+                    min_dist >= eps * (1.0 - 1e-12),
+                    "excluded offset ({a},{b}) has min dist {min_dist} < {eps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_offsets() {
+        let cell = CellCoord::from_slice(&[10, -5]);
+        let got = NeighborOffsets::apply(&cell, &[-1, 2]);
+        assert_eq!(got.coords(), &[9, -3]);
+    }
+
+    #[test]
+    fn invalid_dims_rejected() {
+        assert!(NeighborOffsets::new(0).is_err());
+        assert!(NeighborOffsets::new(MAX_DIMS + 1).is_err());
+        assert!(count_k_d(0).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: detect outliers in a synthetic dataset in a few lines.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use dbscout::core::{detect_outliers, DbscoutParams};
+use dbscout::data::generators::blobs;
+use dbscout::metrics::ConfusionMatrix;
+
+fn main() {
+    // Three Gaussian clusters of 4950 points plus 50 planted outliers.
+    let dataset = blobs(4950, 50, 3, 0.5, 42);
+    println!(
+        "dataset: {} points, {} ground-truth outliers ({:.1}% contamination)",
+        dataset.len(),
+        dataset.num_outliers(),
+        dataset.contamination() * 100.0
+    );
+
+    // DBSCOUT needs the two DBSCAN parameters: ε and minPts.
+    let params = DbscoutParams::new(0.6, 5).expect("valid parameters");
+    let result = detect_outliers(&dataset.points, params).expect("detection succeeds");
+
+    println!(
+        "DBSCOUT: {} core points, {} outliers, {} cells ({} dense), {} distance computations",
+        result.num_core(),
+        result.num_outliers(),
+        result.stats.num_cells,
+        result.stats.dense_cells,
+        result.stats.distance_computations
+    );
+    println!(
+        "phase timings: grid {:?}, dense-map {:?}, core {:?}, core-map {:?}, outliers {:?}",
+        result.timings.grid,
+        result.timings.dense_map,
+        result.timings.core_points,
+        result.timings.core_map,
+        result.timings.outliers
+    );
+
+    // How well did it recover the planted outliers?
+    let m = ConfusionMatrix::from_masks(&result.outlier_mask(), &dataset.labels);
+    println!(
+        "vs ground truth: precision {:.3}, recall {:.3}, F1 {:.3}",
+        m.precision(),
+        m.recall(),
+        m.f1()
+    );
+}

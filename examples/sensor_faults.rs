@@ -1,0 +1,116 @@
+//! Fault detection in sensor telemetry — one of the applications the
+//! paper's introduction motivates. Readings are embedded as
+//! (value, rate-of-change) pairs; healthy operation forms dense regions
+//! (steady state, periodic swings) while faults (spikes, dropouts, stuck
+//! values drifting) land outside them. Compares DBSCOUT against LOF and
+//! Isolation Forest on the same stream.
+//!
+//! Run: `cargo run --release --example sensor_faults`
+
+use dbscout::baselines::{IsolationForest, KnnOutlier, Lof};
+use dbscout::core::{outlier_scores, DbscoutParams};
+use dbscout::data::kdist::suggest_eps;
+use dbscout::data::transform::Scaler;
+use dbscout::metrics::{roc_auc, ConfusionMatrix};
+use dbscout::spatial::PointStore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let (raw, truth) = simulate_telemetry(20_000, 60, 11);
+    println!(
+        "telemetry: {} readings, {} injected faults",
+        raw.len(),
+        truth.iter().filter(|&&t| t).count()
+    );
+
+    // The value and Δvalue axes have different spreads: standardize so a
+    // single global ε treats them commensurably.
+    let scaler = Scaler::fit_standard(&raw).expect("non-empty stream");
+    let store = scaler.transform(&raw).expect("same dims");
+
+    // DBSCOUT with elbow-selected eps, plus the nearest-core-distance
+    // score so the detectors can also be compared threshold-free.
+    let eps = suggest_eps(&store, 10).expect("non-trivial stream");
+    let params = DbscoutParams::new(eps, 10).expect("valid parameters");
+    let scout = outlier_scores(&store, params).expect("detection succeeds");
+    report("DBSCOUT", &scout.result.outlier_mask(), &scout.scores, &truth);
+
+    // Baselines at the true contamination.
+    let nu = truth.iter().filter(|&&t| t).count() as f64 / truth.len() as f64;
+    report(
+        "LOF(k=20)",
+        &Lof::new(20).detect(&store, nu),
+        &Lof::new(20).score(&store).scores,
+        &truth,
+    );
+    report(
+        "IsolationForest",
+        &IsolationForest::new(1).detect(&store, nu),
+        &IsolationForest::new(1).score(&store),
+        &truth,
+    );
+    report(
+        "kNN-dist(k=10)",
+        &KnnOutlier::new(10).detect(&store, nu),
+        &KnnOutlier::new(10).score(&store),
+        &truth,
+    );
+    println!(
+        "\nnote: LOF with k smaller than the fault population suffers the classic\n\
+         *masking* effect — the faults form their own consistent-density group, so\n\
+         their local density ratio looks normal. Density methods with a global ε\n\
+         (DBSCOUT) and global-distance methods (kNN-dist, IF) are immune."
+    );
+}
+
+fn report(name: &str, predicted: &[bool], scores: &[f64], truth: &[bool]) {
+    let m = ConfusionMatrix::from_masks(predicted, truth);
+    let auc = roc_auc(scores, truth).unwrap_or(f64::NAN);
+    println!(
+        "{name:16} precision {:.3}  recall {:.3}  F1 {:.3}  ROC-AUC {:.3}",
+        m.precision(),
+        m.recall(),
+        m.f1(),
+        auc
+    );
+}
+
+/// A sensor alternating between a steady state and periodic swings, with
+/// injected spike/dropout faults. Embedded as (value, Δvalue) pairs.
+fn simulate_telemetry(n: usize, faults: usize, seed: u64) -> (PointStore, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = Vec::with_capacity(n);
+    for t in 0..n {
+        let phase = (t / 2000) % 2;
+        let base = if phase == 0 {
+            50.0
+        } else {
+            50.0 + 12.0 * (t as f64 * 0.05).sin()
+        };
+        values.push(base + rng.gen_range(-0.4..0.4));
+    }
+    // Inject faults at random positions: spikes or dropouts.
+    let mut fault_at = vec![false; n];
+    for _ in 0..faults {
+        let i = rng.gen_range(1..n);
+        fault_at[i] = true;
+        values[i] = if rng.gen_bool(0.5) {
+            values[i] + rng.gen_range(30.0..80.0) // spike
+        } else {
+            rng.gen_range(-10.0..0.0) // dropout
+        };
+    }
+    // Embed as (value, delta).
+    let mut store = PointStore::new(2).expect("2-D");
+    let mut truth = Vec::with_capacity(n - 1);
+    for t in 1..n {
+        store
+            .push(&[values[t], values[t] - values[t - 1]])
+            .expect("finite reading");
+        // A fault contaminates its own (value, Δ) reading and the next
+        // reading's Δ (the recovery swing) — label both.
+        truth.push(fault_at[t] || fault_at[t - 1]);
+    }
+    (store, truth)
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate re-exporting the DBSCOUT workspace. The README below
+//! doubles as documentation and as a doctest (its Rust snippet runs under
+//! `cargo test`).
+//!
+#![doc = include_str!("../README.md")]
+
+pub use dbscout_baselines as baselines;
+pub use dbscout_core as core;
+pub use dbscout_data as data;
+pub use dbscout_dataflow as dataflow;
+pub use dbscout_metrics as metrics;
+pub use dbscout_spatial as spatial;
