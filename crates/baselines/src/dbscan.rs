@@ -79,7 +79,9 @@ impl Dbscan {
         for (cell, ids) in grid.cells() {
             if ids.len() >= self.min_pts {
                 for &p in ids {
-                    is_core[p as usize] = true;
+                    if let Some(c) = is_core.get_mut(p as usize) {
+                        *c = true;
+                    }
                 }
                 continue;
             }
@@ -100,7 +102,9 @@ impl Dbscan {
                         }
                     }
                 }
-                is_core[p as usize] = count >= self.min_pts;
+                if let Some(c) = is_core.get_mut(p as usize) {
+                    *c = count >= self.min_pts;
+                }
             }
         }
 
@@ -136,7 +140,9 @@ impl Dbscan {
         let mut is_core = vec![false; n];
         for (i, p) in store.iter() {
             let count = store.iter().filter(|(_, q)| within(p, q, eps_sq)).count();
-            is_core[i as usize] = count >= self.min_pts;
+            if let Some(c) = is_core.get_mut(i as usize) {
+                *c = count >= self.min_pts;
+            }
         }
         let neighbors_of = |p: PointId| -> Vec<PointId> {
             let pc = store.point(p);
@@ -166,21 +172,27 @@ fn expand_clusters(
     let mut cluster = vec![NOISE; n];
     let mut next_id = 0i32;
     for seed in 0..n {
-        if !is_core[seed] || cluster[seed] != NOISE {
+        if !is_core.get(seed).copied().unwrap_or(false)
+            || cluster.get(seed).copied().unwrap_or(NOISE) != NOISE
+        {
             continue;
         }
         let id = next_id;
         next_id += 1;
-        cluster[seed] = id;
+        if let Some(slot) = cluster.get_mut(seed) {
+            *slot = id;
+        }
         let mut queue = VecDeque::from([seed as PointId]);
         while let Some(p) = queue.pop_front() {
-            debug_assert!(is_core[p as usize]);
+            debug_assert!(is_core.get(p as usize).copied().unwrap_or(false));
             for q in neighbors_of(p) {
                 let qi = q as usize;
-                if cluster[qi] == NOISE {
-                    cluster[qi] = id;
-                    if is_core[qi] {
-                        queue.push_back(q);
+                if let Some(slot) = cluster.get_mut(qi) {
+                    if *slot == NOISE {
+                        *slot = id;
+                        if is_core.get(qi).copied().unwrap_or(false) {
+                            queue.push_back(q);
+                        }
                     }
                 }
             }

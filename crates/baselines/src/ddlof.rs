@@ -43,7 +43,9 @@ struct Rec {
 impl Rec {
     fn new(id: PointId, p: &[f64]) -> Self {
         let mut coords = [0.0; MAX_DIMS];
-        coords[..p.len()].copy_from_slice(p);
+        for (out, &x) in coords.iter_mut().zip(p) {
+            *out = x;
+        }
         Self {
             id,
             dims: p.len() as u8,
@@ -52,7 +54,10 @@ impl Rec {
     }
 
     fn coords(&self) -> &[f64] {
-        &self.coords[..self.dims as usize]
+        // dims <= MAX_DIMS by construction, so the range is always valid.
+        self.coords
+            .get(..self.dims as usize)
+            .unwrap_or(&self.coords)
     }
 }
 
@@ -112,17 +117,25 @@ impl Ddlof {
         let dims = store.dims();
 
         // Grid sizing: ~target_cells cells over the bounding box.
-        let (min, max) = store.bounding_box().expect("non-empty store");
+        let (min, max) = store
+            .bounding_box()
+            .ok_or(BaselineError::InvalidParameter("empty store"))?;
         let per_axis = (self.target_cells as f64)
             .powf(1.0 / dims as f64)
             .ceil()
             .max(1.0);
-        let side = (0..dims)
-            .map(|d| (max[d] - min[d]) / per_axis)
+        let side = min
+            .iter()
+            .zip(&max)
+            .map(|(&lo, &hi)| (hi - lo) / per_axis)
             .fold(0.0f64, f64::max)
             .max(f64::MIN_POSITIVE);
         // The bounding-box diagonal caps all distances.
-        let diagonal_sq: f64 = (0..dims).map(|d| (max[d] - min[d]).powi(2)).sum();
+        let diagonal_sq: f64 = min
+            .iter()
+            .zip(&max)
+            .map(|(&lo, &hi)| (hi - lo).powi(2))
+            .sum();
 
         let recs: Vec<Rec> = store.iter().map(|(id, p)| Rec::new(id, p)).collect();
         let points: Dataset<(CellCoord, Rec)> = self
@@ -134,22 +147,29 @@ impl Ddlof {
         let by_cell = points.group_by_key_with(self.ctx.default_partitions())?;
         let cell_bounds: Vec<(CellCoord, f64)> = by_cell
             .map(move |(cell, members)| {
+                // On any (impossible for store-derived points) build
+                // failure, fall back to the conservative diagonal bound.
+                let local_bound = |members: &[Rec]| -> Option<f64> {
+                    let mut local = PointStore::new(dims).ok()?;
+                    for m in members {
+                        local.push(m.coords()).ok()?;
+                    }
+                    let tree = KdTree::build(&local);
+                    Some(
+                        members
+                            .iter()
+                            .map(|m| {
+                                let nn = tree.knn(m.coords(), k + 1);
+                                nn.last().map(|x| x.sq_dist).unwrap_or(diagonal_sq)
+                            })
+                            .fold(0.0f64, f64::max),
+                    )
+                };
                 let bound_sq = if members.len() <= k {
                     // Not enough local points: k-NN may reach anywhere.
                     diagonal_sq
                 } else {
-                    let mut local = PointStore::new(dims).expect("valid dims");
-                    for m in members {
-                        local.push(m.coords()).expect("finite");
-                    }
-                    let tree = KdTree::build(&local);
-                    members
-                        .iter()
-                        .map(|m| {
-                            let nn = tree.knn(m.coords(), k + 1);
-                            nn.last().map(|x| x.sq_dist).unwrap_or(diagonal_sq)
-                        })
-                        .fold(0.0f64, f64::max)
+                    local_bound(members).unwrap_or(diagonal_sq)
                 };
                 (*cell, bound_sq)
             })?
@@ -189,10 +209,14 @@ impl Ddlof {
                 if own.is_empty() {
                     return Vec::new();
                 }
-                let mut all = PointStore::new(dims).expect("valid dims");
+                let Ok(mut all) = PointStore::new(dims) else {
+                    return Vec::new();
+                };
                 let mut ids: Vec<PointId> = Vec::with_capacity(own.len() + sup.len());
                 for r in own.iter().chain(sup.iter()) {
-                    all.push(r.coords()).expect("finite");
+                    if all.push(r.coords()).is_err() {
+                        return Vec::new();
+                    }
                     ids.push(r.id);
                 }
                 let tree = KdTree::build(&all);
@@ -201,7 +225,9 @@ impl Ddlof {
                         let mut nn: Vec<(PointId, f64)> = tree
                             .knn(r.coords(), k + 1)
                             .into_iter()
-                            .map(|m| (ids[m.id as usize], m.sq_dist.sqrt()))
+                            .filter_map(|m| {
+                                ids.get(m.id as usize).map(|&id| (id, m.sq_dist.sqrt()))
+                            })
                             .filter(|&(id, _)| id != r.id)
                             .collect();
                         nn.truncate(k);
@@ -211,15 +237,16 @@ impl Ddlof {
             })?;
 
         // k-distance per point.
-        let kdist: Dataset<(PointId, f64)> = knn.map(|(id, nn)| {
-            (*id, nn.last().map(|&(_, d)| d).unwrap_or(0.0))
-        })?;
+        let kdist: Dataset<(PointId, f64)> =
+            knn.map(|(id, nn)| (*id, nn.last().map(|&(_, d)| d).unwrap_or(0.0)))?;
 
         // Round 5a: exchange neighbor k-distances → lrd.
         // Emit (neighbor_id, (point_id, dist)) and join with kdist.
         let edges = knn.flat_map(|(id, nn)| {
             let id = *id;
-            nn.iter().map(move |&(o, d)| (o, (id, d))).collect::<Vec<_>>()
+            nn.iter()
+                .map(move |&(o, d)| (o, (id, d)))
+                .collect::<Vec<_>>()
         })?;
         let parts = self.ctx.default_partitions();
         let lrd: Dataset<(PointId, f64)> = kdist
@@ -249,7 +276,9 @@ impl Ddlof {
 
         let mut scores = vec![1.0f64; n];
         for (id, s) in lof.collect()? {
-            scores[id as usize] = s;
+            if let Some(slot) = scores.get_mut(id as usize) {
+                *slot = s;
+            }
         }
         Ok(DdlofResult {
             scores,
@@ -265,11 +294,8 @@ impl Ddlof {
     pub fn top_n(&self, store: &PointStore, n: usize) -> Result<Vec<PointId>, BaselineError> {
         let scores = self.score(store)?.scores;
         let mut idx: Vec<PointId> = (0..scores.len() as u32).collect();
-        idx.sort_by(|&a, &b| {
-            scores[b as usize]
-                .total_cmp(&scores[a as usize])
-                .then(a.cmp(&b))
-        });
+        let score_at = |i: PointId| scores.get(i as usize).copied().unwrap_or(1.0);
+        idx.sort_by(|&a, &b| score_at(b).total_cmp(&score_at(a)).then(a.cmp(&b)));
         idx.truncate(n);
         Ok(idx)
     }
@@ -297,7 +323,7 @@ impl Ddlof {
 mod tests {
     use super::*;
     use crate::lof::Lof;
-    use rand::{Rng, SeedableRng};
+    use dbscout_rng::Rng;
 
     fn ctx() -> Arc<ExecutionContext> {
         ExecutionContext::builder()
@@ -307,7 +333,7 @@ mod tests {
     }
 
     fn random_store(n: usize, seed: u64) -> PointStore {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         PointStore::from_rows(
             2,
             (0..n).map(|_| vec![rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0)]),
@@ -331,7 +357,7 @@ mod tests {
     #[test]
     fn outlier_gets_top_score() {
         let mut rows: Vec<Vec<f64>> = Vec::new();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = dbscout_rng::Rng::seed_from_u64(2);
         for _ in 0..200 {
             rows.push(vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
         }
@@ -344,7 +370,7 @@ mod tests {
     #[test]
     fn top_n_ranks_planted_outlier_first() {
         let mut rows: Vec<Vec<f64>> = Vec::new();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut rng = dbscout_rng::Rng::seed_from_u64(8);
         for _ in 0..150 {
             rows.push(vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
         }
@@ -372,7 +398,7 @@ mod tests {
         // A dominant hotspot forces its huge k-distance bound cell to
         // pull supports — replication grows vs uniform data.
         let mut rows: Vec<Vec<f64>> = Vec::new();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut rng = dbscout_rng::Rng::seed_from_u64(4);
         for _ in 0..300 {
             rows.push(vec![rng.gen_range(-0.1..0.1), rng.gen_range(-0.1..0.1)]);
         }

@@ -40,6 +40,11 @@ impl From<EngineError> for BaselineError {
     }
 }
 
+// Compile-time proof of the XL004 contract: the error type is
+// `Display + std::error::Error + Send + Sync`.
+const fn _assert_error_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+const _: () = _assert_error_bounds::<BaselineError>();
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,10 +7,9 @@
 //! ensemble and `c(ψ)` the average unsuccessful-search length of a BST of
 //! the subsample size ψ.
 
+use dbscout_rng::Rng;
 use dbscout_spatial::points::PointId;
 use dbscout_spatial::PointStore;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::lof::threshold_top_fraction;
 
@@ -64,7 +63,7 @@ impl IsolationForest {
         }
         let psi = self.sample_size.min(n).max(2);
         let height_limit = (psi as f64).log2().ceil() as usize;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
 
         let mut path_sums = vec![0.0f64; n];
         for _ in 0..self.n_trees {
@@ -74,9 +73,12 @@ impl IsolationForest {
                 let j = rng.gen_range(i..n);
                 ids.swap(i, j);
             }
-            let tree = build_tree(store, &ids[..psi], 0, height_limit, &mut rng);
+            let sample = ids.get(..psi).unwrap_or(&ids);
+            let tree = build_tree(store, sample, 0, height_limit, &mut rng);
             for (id, p) in store.iter() {
-                path_sums[id as usize] += path_length(&tree, p, 0.0);
+                if let Some(s) = path_sums.get_mut(id as usize) {
+                    *s += path_length(&tree, p, 0.0);
+                }
             }
         }
         let c = average_path_length(psi);
@@ -116,7 +118,7 @@ fn build_tree(
     ids: &[PointId],
     depth: usize,
     height_limit: usize,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> Node {
     if ids.len() <= 1 || depth >= height_limit {
         return Node::Leaf { size: ids.len() };
@@ -129,7 +131,7 @@ fn build_tree(
         let dim = (start + k) % dims;
         let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
         for &id in ids.iter() {
-            let v = store.point(id)[dim];
+            let v = store.point(id).get(dim).copied().unwrap_or(0.0);
             lo = lo.min(v);
             hi = hi.max(v);
         }
@@ -143,7 +145,7 @@ fn build_tree(
     };
     let (mut left, mut right) = (Vec::new(), Vec::new());
     for &id in ids.iter() {
-        if store.point(id)[dim] < threshold {
+        if store.point(id).get(dim).copied().unwrap_or(0.0) < threshold {
             left.push(id);
         } else {
             right.push(id);
@@ -166,7 +168,7 @@ fn path_length(node: &Node, p: &[f64], depth: f64) -> f64 {
             left,
             right,
         } => {
-            if p[*dim] < *threshold {
+            if p.get(*dim).copied().unwrap_or(0.0) < *threshold {
                 path_length(left, p, depth + 1.0)
             } else {
                 path_length(right, p, depth + 1.0)
@@ -181,7 +183,7 @@ mod tests {
 
     fn blob_plus_outlier() -> PointStore {
         let mut rows: Vec<Vec<f64>> = Vec::new();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         for _ in 0..400 {
             rows.push(vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
         }

@@ -100,7 +100,9 @@ mod tests {
 
     #[test]
     fn empty_and_singleton() {
-        assert!(KnnOutlier::new(3).score(&PointStore::new(2).unwrap()).is_empty());
+        assert!(KnnOutlier::new(3)
+            .score(&PointStore::new(2).unwrap())
+            .is_empty());
         let one = PointStore::from_rows(2, vec![vec![1.0, 1.0]]).unwrap();
         assert_eq!(KnnOutlier::new(3).score(&one), vec![0.0]);
     }

@@ -85,7 +85,7 @@ impl Lof {
                 }
                 let mean_reach: f64 = nn
                     .iter()
-                    .map(|&(o, d)| d.max(k_distance[o as usize]))
+                    .map(|&(o, d)| d.max(k_distance.get(o as usize).copied().unwrap_or(0.0)))
                     .sum::<f64>()
                     / nn.len() as f64;
                 if mean_reach == 0.0 {
@@ -100,16 +100,17 @@ impl Lof {
             .collect();
 
         // LOF ratio.
+        let lrd_at = |j: usize| lrd.get(j).copied().unwrap_or(0.0);
         let scores: Vec<f64> = neighbors
             .iter()
             .enumerate()
             .map(|(i, nn)| {
-                if nn.is_empty() || lrd[i] == 0.0 {
+                if nn.is_empty() || lrd_at(i) == 0.0 {
                     return 1.0;
                 }
                 let mean_lrd: f64 =
-                    nn.iter().map(|&(o, _)| lrd[o as usize]).sum::<f64>() / nn.len() as f64;
-                mean_lrd / lrd[i]
+                    nn.iter().map(|&(o, _)| lrd_at(o as usize)).sum::<f64>() / nn.len() as f64;
+                mean_lrd / lrd_at(i)
             })
             .collect();
 
@@ -137,11 +138,14 @@ impl Lof {
 pub(crate) fn threshold_top_fraction(scores: &[f64], fraction: f64) -> Vec<bool> {
     let n = scores.len();
     let k = ((n as f64) * fraction).round() as usize;
+    let score_at = |i: usize| scores.get(i).copied().unwrap_or(f64::NEG_INFINITY);
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    idx.sort_by(|&a, &b| score_at(b).total_cmp(&score_at(a)).then(a.cmp(&b)));
     let mut mask = vec![false; n];
     for &i in idx.iter().take(k) {
-        mask[i] = true;
+        if let Some(slot) = mask.get_mut(i) {
+            *slot = true;
+        }
     }
     mask
 }
@@ -185,7 +189,11 @@ mod tests {
         let r = Lof::new(5).score(&store);
         // Interior grid points sit in uniform density: LOF ≈ 1.
         let interior = 5 * 10 + 5;
-        assert!((r.scores[interior] - 1.0).abs() < 0.2, "{}", r.scores[interior]);
+        assert!(
+            (r.scores[interior] - 1.0).abs() < 0.2,
+            "{}",
+            r.scores[interior]
+        );
     }
 
     #[test]

@@ -15,9 +15,8 @@
 //! boundary that cannot follow non-convex shapes — which is exactly the
 //! failure mode the paper reports for OC-SVM on circles/moons.
 
+use dbscout_rng::Rng;
 use dbscout_spatial::PointStore;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::lof::threshold_top_fraction;
 
@@ -68,8 +67,7 @@ impl OneClassSvm {
             // scikit-learn "scale": 1 / (d * variance of all features).
             let flat = store.flat();
             let mean = flat.iter().sum::<f64>() / flat.len() as f64;
-            let var =
-                flat.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / flat.len() as f64;
+            let var = flat.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / flat.len() as f64;
             if var > 0.0 {
                 1.0 / (d as f64 * var)
             } else {
@@ -77,7 +75,7 @@ impl OneClassSvm {
             }
         });
 
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let dfeat = self.n_features;
         // W ~ N(0, 2γ) per entry, b ~ U[0, 2π).
         let std_w = (2.0 * gamma).sqrt();
@@ -95,19 +93,21 @@ impl OneClassSvm {
         let scale = (2.0 / dfeat as f64).sqrt();
 
         let phi = |p: &[f64], out: &mut [f64]| {
-            for j in 0..dfeat {
-                let mut dot = bias[j];
-                for (k, &x) in p.iter().enumerate() {
-                    dot += w_proj[j * d + k] * x;
+            for (j, (slot, &b)) in out.iter_mut().zip(&bias).enumerate() {
+                let row = w_proj.get(j * d..j * d + d).unwrap_or_default();
+                let mut dot = b;
+                for (&wk, &x) in row.iter().zip(p) {
+                    dot += wk * x;
                 }
-                out[j] = scale * dot.cos();
+                *slot = scale * dot.cos();
             }
         };
 
-        // Featurise once.
+        // Featurise once (ids are issued sequentially, so row i of
+        // `features` is point i).
         let mut features = vec![0.0f64; n * dfeat];
-        for (id, p) in store.iter() {
-            phi(p, &mut features[id as usize * dfeat..(id as usize + 1) * dfeat]);
+        for ((_, p), chunk) in store.iter().zip(features.chunks_mut(dfeat)) {
+            phi(p, chunk);
         }
 
         // SGD on the one-class objective.
@@ -123,7 +123,7 @@ impl OneClassSvm {
                 order.swap(i, j);
             }
             for &i in &order {
-                let f = &features[i * dfeat..(i + 1) * dfeat];
+                let f = features.get(i * dfeat..(i + 1) * dfeat).unwrap_or_default();
                 let margin: f64 = w.iter().zip(f).map(|(a, b)| a * b).sum();
                 let violated = margin < rho;
                 for (wj, &fj) in w.iter_mut().zip(f) {
@@ -136,7 +136,7 @@ impl OneClassSvm {
 
         (0..n)
             .map(|i| {
-                let f = &features[i * dfeat..(i + 1) * dfeat];
+                let f = features.get(i * dfeat..(i + 1) * dfeat).unwrap_or_default();
                 w.iter().zip(f).map(|(a, b)| a * b).sum::<f64>() - rho
             })
             .collect()
@@ -160,7 +160,7 @@ mod tests {
     use super::*;
 
     fn blob_plus_outliers() -> PointStore {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let mut rows: Vec<Vec<f64>> = (0..300)
             .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
             .collect();

@@ -47,7 +47,9 @@ struct Rec {
 impl Rec {
     fn new(id: PointId, p: &[f64]) -> Self {
         let mut coords = [0.0; MAX_DIMS];
-        coords[..p.len()].copy_from_slice(p);
+        for (out, &x) in coords.iter_mut().zip(p) {
+            *out = x;
+        }
         Self {
             id,
             dims: p.len() as u8,
@@ -56,7 +58,10 @@ impl Rec {
     }
 
     fn coords(&self) -> &[f64] {
-        &self.coords[..self.dims as usize]
+        // dims <= MAX_DIMS by construction, so the range is always valid.
+        self.coords
+            .get(..self.dims as usize)
+            .unwrap_or(&self.coords)
     }
 }
 
@@ -234,7 +239,11 @@ impl RpDbscan {
                 if j <= i {
                     continue;
                 }
-                if core_cells_linked(&core_dict[cell], &core_dict[&ncell], sub_side, eps_sq) {
+                let (Some(subs_a), Some(subs_b)) = (core_dict.get(cell), core_dict.get(&ncell))
+                else {
+                    continue;
+                };
+                if core_cells_linked(subs_a, subs_b, sub_side, eps_sq) {
                     uf.union(i, j);
                 }
             }
@@ -274,11 +283,11 @@ impl RpDbscan {
 
         let mut outlier_mask = vec![false; n];
         for id in outliers.collect()? {
-            outlier_mask[id as usize] = true;
+            if let Some(slot) = outlier_mask.get_mut(id as usize) {
+                *slot = true;
+            }
         }
-        let num_core = core_flags
-            .filter(|(_, is_core)| *is_core)?
-            .count();
+        let num_core = core_flags.filter(|(_, is_core)| *is_core)?.count();
         Ok(RpDbscanResult {
             outlier_mask,
             num_core,
@@ -291,10 +300,11 @@ impl RpDbscan {
 /// Parent ε-cell of a sub-cell coordinate (floor division by `m`).
 fn parent_cell(sub: &CellCoord, m: i64) -> CellCoord {
     let mut parent = [0i64; MAX_DIMS];
-    for (i, &c) in sub.coords().iter().enumerate() {
-        parent[i] = c.div_euclid(m);
+    for (slot, &c) in parent.iter_mut().zip(sub.coords()) {
+        *slot = c.div_euclid(m);
     }
-    CellCoord::from_slice(&parent[..sub.dims()])
+    // sub.dims() <= MAX_DIMS by construction, so the range is valid.
+    CellCoord::from_slice(parent.get(..sub.dims()).unwrap_or(&parent))
 }
 
 /// Squared maximum distance between any point of box `a` and any point of
@@ -342,9 +352,16 @@ impl UnionFind {
     }
 
     fn find(&mut self, mut x: usize) -> usize {
-        while self.parent[x] != x {
-            self.parent[x] = self.parent[self.parent[x]];
-            x = self.parent[x];
+        while let Some(&p) = self.parent.get(x) {
+            if p == x {
+                break;
+            }
+            // Path halving: point x at its grandparent, then hop.
+            let gp = self.parent.get(p).copied().unwrap_or(p);
+            if let Some(slot) = self.parent.get_mut(x) {
+                *slot = gp;
+            }
+            x = gp;
         }
         x
     }
@@ -352,7 +369,9 @@ impl UnionFind {
     fn union(&mut self, a: usize, b: usize) {
         let (ra, rb) = (self.find(a), self.find(b));
         if ra != rb {
-            self.parent[ra] = rb;
+            if let Some(slot) = self.parent.get_mut(ra) {
+                *slot = rb;
+            }
         }
     }
 

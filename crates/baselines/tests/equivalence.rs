@@ -5,41 +5,52 @@
 //! * RP-DBSCAN-like approximation emits a superset of the exact outliers
 //!   (the error direction measured in Tables IV–V);
 //! * DDLOF equals sequential LOF.
+//!
+//! Cases are drawn from a seeded [`dbscout_rng::Rng`] for reproducibility.
+
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic,
+    clippy::float_cmp
+)]
 
 use dbscout_baselines::{Dbscan, Ddlof, Lof, RpDbscan};
 use dbscout_core::{detect_outliers, DbscoutParams};
 use dbscout_data::generators::{blobs, moons};
 use dbscout_dataflow::ExecutionContext;
+use dbscout_rng::Rng;
 use dbscout_spatial::PointStore;
-use proptest::prelude::*;
 
 fn clustered(seed: u64, n: usize) -> PointStore {
     blobs(n, n / 20 + 1, 3, 0.5, seed).points
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn dbscout_outliers_equal_dbscan_noise(
-        seed in 0u64..1000,
-        eps in 0.3f64..4.0,
-        min_pts in 2usize..10,
-    ) {
+#[test]
+fn dbscout_outliers_equal_dbscan_noise() {
+    let mut rng = Rng::seed_from_u64(0xF001);
+    for _ in 0..16 {
+        let seed = rng.gen_range(0u64..1000);
+        let eps = rng.gen_range(0.3..4.0);
+        let min_pts = rng.gen_range(2usize..10);
         let store = clustered(seed, 150);
         let params = DbscoutParams::new(eps, min_pts).unwrap();
         let scout = detect_outliers(&store, params).unwrap();
         let dbscan = Dbscan::new(eps, min_pts).fit(&store).unwrap();
-        prop_assert_eq!(scout.outlier_mask(), dbscan.noise_mask());
+        assert_eq!(scout.outlier_mask(), dbscan.noise_mask());
     }
+}
 
-    #[test]
-    fn rp_dbscan_is_outlier_superset(
-        seed in 0u64..1000,
-        eps in 0.5f64..3.0,
-        min_pts in 2usize..8,
-        rho in prop::sample::select(vec![0.01f64, 0.05, 0.2]),
-    ) {
+#[test]
+fn rp_dbscan_is_outlier_superset() {
+    let mut rng = Rng::seed_from_u64(0xF002);
+    let rhos = [0.01f64, 0.05, 0.2];
+    for _ in 0..16 {
+        let seed = rng.gen_range(0u64..1000);
+        let eps = rng.gen_range(0.5..3.0);
+        let min_pts = rng.gen_range(2usize..8);
+        let rho = rhos[rng.gen_range(0usize..rhos.len())];
         let store = clustered(seed, 120);
         let params = DbscoutParams::new(eps, min_pts).unwrap();
         let exact = detect_outliers(&store, params).unwrap().outlier_mask();
@@ -51,22 +62,24 @@ proptest! {
             .outlier_mask;
         for (i, (&e, &a)) in exact.iter().zip(&approx).enumerate() {
             if e {
-                prop_assert!(a, "false negative at {i} (rho {rho})");
+                assert!(a, "false negative at {i} (rho {rho})");
             }
         }
     }
+}
 
-    #[test]
-    fn ddlof_equals_sequential_lof(
-        seed in 0u64..1000,
-        k in 2usize..8,
-    ) {
+#[test]
+fn ddlof_equals_sequential_lof() {
+    let mut rng = Rng::seed_from_u64(0xF003);
+    for _ in 0..16 {
+        let seed = rng.gen_range(0u64..1000);
+        let k = rng.gen_range(2usize..8);
         let store = clustered(seed, 100);
         let ctx = ExecutionContext::builder().workers(3).build();
         let dd = Ddlof::new(ctx, k).score(&store).unwrap();
         let seq = Lof::new(k).score(&store);
         for (a, b) in dd.scores.iter().zip(&seq.scores) {
-            prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
     }
 }

@@ -1,92 +1,116 @@
-//! Property-based tests for the baseline detectors.
+//! Randomized tests for the baseline detectors, driven by a seeded
+//! [`dbscout_rng::Rng`] for reproducibility.
+
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic,
+    clippy::float_cmp
+)]
 
 use dbscout_baselines::{Dbscan, IsolationForest, KnnOutlier, Lof};
+use dbscout_rng::Rng;
 use dbscout_spatial::PointStore;
-use proptest::prelude::*;
 
-fn points_2d(max_n: usize) -> impl Strategy<Value = PointStore> {
-    prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 2), 2..max_n)
-        .prop_map(|rows| PointStore::from_rows(2, rows).expect("finite rows"))
+fn points_2d(rng: &mut Rng, max_n: usize) -> PointStore {
+    let n = rng.gen_range(2..max_n);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..2).map(|_| rng.gen_range(-50.0..50.0)).collect())
+        .collect();
+    PointStore::from_rows(2, rows).expect("finite rows")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn dbscan_grid_equals_naive(
-        store in points_2d(80),
-        eps in 0.5f64..20.0,
-        min_pts in 1usize..8,
-    ) {
+#[test]
+fn dbscan_grid_equals_naive() {
+    let mut rng = Rng::seed_from_u64(0xE001);
+    for _ in 0..24 {
+        let store = points_2d(&mut rng, 80);
+        let eps = rng.gen_range(0.5..20.0);
+        let min_pts = rng.gen_range(1usize..8);
         let d = Dbscan::new(eps, min_pts);
         let fast = d.fit(&store).unwrap();
         let slow = d.fit_naive(&store);
-        prop_assert_eq!(fast.noise_mask(), slow.noise_mask());
-        prop_assert_eq!(fast.num_clusters, slow.num_clusters);
-        prop_assert_eq!(fast.is_core, slow.is_core);
+        assert_eq!(fast.noise_mask(), slow.noise_mask());
+        assert_eq!(fast.num_clusters, slow.num_clusters);
+        assert_eq!(fast.is_core, slow.is_core);
     }
+}
 
-    #[test]
-    fn dbscan_cluster_ids_partition_non_noise(
-        store in points_2d(80),
-        eps in 0.5f64..20.0,
-        min_pts in 1usize..6,
-    ) {
+#[test]
+fn dbscan_cluster_ids_partition_non_noise() {
+    let mut rng = Rng::seed_from_u64(0xE002);
+    for _ in 0..24 {
+        let store = points_2d(&mut rng, 80);
+        let eps = rng.gen_range(0.5..20.0);
+        let min_pts = rng.gen_range(1usize..6);
         let r = Dbscan::new(eps, min_pts).fit(&store).unwrap();
         for (i, &c) in r.cluster.iter().enumerate() {
             if c == dbscout_baselines::NOISE {
-                prop_assert!(!r.is_core[i], "core point {i} marked noise");
+                assert!(!r.is_core[i], "core point {i} marked noise");
             } else {
-                prop_assert!((c as usize) < r.num_clusters);
+                assert!((c as usize) < r.num_clusters);
             }
         }
     }
+}
 
-    #[test]
-    fn isolation_forest_scores_bounded_and_deterministic(
-        store in points_2d(60),
-        seed in 0u64..100,
-    ) {
-        let forest = IsolationForest { n_trees: 20, sample_size: 64, seed };
+#[test]
+fn isolation_forest_scores_bounded_and_deterministic() {
+    let mut rng = Rng::seed_from_u64(0xE003);
+    for _ in 0..24 {
+        let store = points_2d(&mut rng, 60);
+        let seed = rng.gen_range(0u64..100);
+        let forest = IsolationForest {
+            n_trees: 20,
+            sample_size: 64,
+            seed,
+        };
         let a = forest.score(&store);
         let b = forest.score(&store);
-        prop_assert_eq!(&a, &b);
+        assert_eq!(&a, &b);
         for s in a {
-            prop_assert!((0.0..=1.0).contains(&s), "score {s}");
+            assert!((0.0..=1.0).contains(&s), "score {s}");
         }
     }
+}
 
-    #[test]
-    fn knn_distance_is_monotone_in_k(
-        store in points_2d(60),
-        k in 1usize..6,
-    ) {
+#[test]
+fn knn_distance_is_monotone_in_k() {
+    let mut rng = Rng::seed_from_u64(0xE004);
+    for _ in 0..24 {
+        let store = points_2d(&mut rng, 60);
+        let k = rng.gen_range(1usize..6);
         let small = KnnOutlier::new(k).score(&store);
         let large = KnnOutlier::new(k + 1).score(&store);
         for (a, b) in small.iter().zip(&large) {
-            prop_assert!(a <= b, "kdist decreased with k: {a} > {b}");
+            assert!(a <= b, "kdist decreased with k: {a} > {b}");
         }
     }
+}
 
-    #[test]
-    fn detect_flags_requested_fraction(
-        store in points_2d(100),
-        numer in 0usize..10,
-    ) {
+#[test]
+fn detect_flags_requested_fraction() {
+    let mut rng = Rng::seed_from_u64(0xE005);
+    for _ in 0..24 {
+        let store = points_2d(&mut rng, 100);
+        let numer = rng.gen_range(0usize..10);
         let n = store.len() as usize;
         let contamination = numer as f64 / 10.0;
         let expected = ((n as f64) * contamination).round() as usize;
         let mask = KnnOutlier::new(3).detect(&store, contamination);
-        prop_assert_eq!(mask.iter().filter(|&&m| m).count(), expected);
+        assert_eq!(mask.iter().filter(|&&m| m).count(), expected);
     }
+}
 
-    #[test]
-    fn lof_scores_finite_on_anything(
-        store in points_2d(60),
-        k in 1usize..8,
-    ) {
+#[test]
+fn lof_scores_finite_on_anything() {
+    let mut rng = Rng::seed_from_u64(0xE006);
+    for _ in 0..24 {
+        let store = points_2d(&mut rng, 60);
+        let k = rng.gen_range(1usize..8);
         for s in Lof::new(k).score(&store).scores {
-            prop_assert!(s.is_finite(), "LOF score {s}");
+            assert!(s.is_finite(), "LOF score {s}");
         }
     }
 }

@@ -1,21 +1,53 @@
+// Bench targets are exempt from the panic-freedom policy (see DESIGN.md).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
 //! Criterion ablation of the native engine's design choices: the Lemma-1
 //! dense-cell shortcut and the §III-G early-exit rules. Results are
 //! identical across configurations; only the distance work changes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbscout_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dbscout_bench::workloads;
 use dbscout_core::{Dbscout, DbscoutParams, NativeOptions};
 
 fn bench_ablation(c: &mut Criterion) {
     let store = workloads::osm(50_000);
-    let params = DbscoutParams::new(workloads::OSM_EPS_CENTRAL, workloads::MIN_PTS)
-        .expect("valid params");
+    let params =
+        DbscoutParams::new(workloads::OSM_EPS_CENTRAL, workloads::MIN_PTS).expect("valid params");
 
     let configs = [
-        ("full", NativeOptions { dense_cell_shortcut: true, early_exit: true }),
-        ("no_dense_shortcut", NativeOptions { dense_cell_shortcut: false, early_exit: true }),
-        ("no_early_exit", NativeOptions { dense_cell_shortcut: true, early_exit: false }),
-        ("neither", NativeOptions { dense_cell_shortcut: false, early_exit: false }),
+        (
+            "full",
+            NativeOptions {
+                dense_cell_shortcut: true,
+                early_exit: true,
+            },
+        ),
+        (
+            "no_dense_shortcut",
+            NativeOptions {
+                dense_cell_shortcut: false,
+                early_exit: true,
+            },
+        ),
+        (
+            "no_early_exit",
+            NativeOptions {
+                dense_cell_shortcut: true,
+                early_exit: false,
+            },
+        ),
+        (
+            "neither",
+            NativeOptions {
+                dense_cell_shortcut: false,
+                early_exit: false,
+            },
+        ),
     ];
 
     let mut g = c.benchmark_group("native_ablation");

@@ -1,8 +1,16 @@
+// Bench targets are exempt from the panic-freedom policy (see DESIGN.md).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
 //! Criterion microbenchmarks of the dataflow substrate itself: the
 //! shuffle, join and broadcast primitives every DBSCOUT phase is built
 //! from.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbscout_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dbscout_dataflow::ExecutionContext;
 
 fn bench_dataflow(c: &mut Criterion) {
@@ -13,7 +21,9 @@ fn bench_dataflow(c: &mut Criterion) {
         b.iter(|| {
             let ctx = ExecutionContext::builder().default_partitions(8).build();
             let ds = ctx.parallelize(
-                (0..1_000_000u64).map(|i| (i % 1000, 1u64)).collect::<Vec<_>>(),
+                (0..1_000_000u64)
+                    .map(|i| (i % 1000, 1u64))
+                    .collect::<Vec<_>>(),
                 8,
             );
             ds.reduce_by_key(|a, b| a + b).expect("run").count()
@@ -28,7 +38,9 @@ fn bench_dataflow(c: &mut Criterion) {
                 8,
             );
             let right = ctx.parallelize(
-                (0..100_000u64).map(|i| (i % 10_000, i * 2)).collect::<Vec<_>>(),
+                (0..100_000u64)
+                    .map(|i| (i % 10_000, i * 2))
+                    .collect::<Vec<_>>(),
                 8,
             );
             left.join(&right).expect("run").count()

@@ -1,8 +1,16 @@
+// Bench targets are exempt from the panic-freedom policy (see DESIGN.md).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
 //! Criterion head-to-head of all detectors at equal input — the
 //! micro-scale echo of Table II.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dbscout_baselines::{Dbscan, Ddlof, IsolationForest, Lof, RpDbscan};
+use dbscout_bench::harness::{criterion_group, criterion_main, Criterion};
 use dbscout_bench::workloads;
 use dbscout_core::{Dbscout, DbscoutParams, DistributedDbscout};
 use dbscout_dataflow::ExecutionContext;
@@ -22,7 +30,9 @@ fn bench_detectors(c: &mut Criterion) {
     g.bench_function("dbscout_distributed", |b| {
         b.iter(|| {
             let ctx = ExecutionContext::builder().build();
-            DistributedDbscout::new(ctx, params).detect(&store).expect("run")
+            DistributedDbscout::new(ctx, params)
+                .detect(&store)
+                .expect("run")
         })
     });
     g.bench_function("dbscan_grid", |b| {
@@ -31,7 +41,9 @@ fn bench_detectors(c: &mut Criterion) {
     g.bench_function("rp_dbscan", |b| {
         b.iter(|| {
             let ctx = ExecutionContext::builder().build();
-            RpDbscan::new(ctx, eps, min_pts).detect(&store).expect("run")
+            RpDbscan::new(ctx, eps, min_pts)
+                .detect(&store)
+                .expect("run")
         })
     });
     g.bench_function("ddlof_k6", |b| {
@@ -40,9 +52,7 @@ fn bench_detectors(c: &mut Criterion) {
             Ddlof::new(ctx, 6).score(&store).expect("run")
         })
     });
-    g.bench_function("lof_k6", |b| {
-        b.iter(|| Lof::new(6).score(&store))
-    });
+    g.bench_function("lof_k6", |b| b.iter(|| Lof::new(6).score(&store)));
     g.bench_function("isolation_forest", |b| {
         b.iter(|| IsolationForest::new(0).score(&store))
     });

@@ -1,15 +1,23 @@
+// Bench targets are exempt from the panic-freedom policy (see DESIGN.md).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
 //! Criterion microbenchmarks of DBSCOUT's five phases and end-to-end
 //! native detection (the per-phase costs behind Lemmas 4–8).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbscout_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dbscout_bench::workloads;
 use dbscout_core::{Dbscout, DbscoutParams};
 use dbscout_spatial::Grid;
 
 fn bench_phases(c: &mut Criterion) {
     let store = workloads::osm(50_000);
-    let params = DbscoutParams::new(workloads::OSM_EPS_CENTRAL, workloads::MIN_PTS)
-        .expect("valid params");
+    let params =
+        DbscoutParams::new(workloads::OSM_EPS_CENTRAL, workloads::MIN_PTS).expect("valid params");
 
     let mut g = c.benchmark_group("phases");
     g.sample_size(10);

@@ -1,7 +1,15 @@
+// Bench targets are exempt from the panic-freedom policy (see DESIGN.md).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
 //! Criterion microbenchmarks of the spatial substrate: grid construction,
 //! neighbor-offset enumeration (k_d), and KD-tree queries.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbscout_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dbscout_bench::workloads;
 use dbscout_spatial::neighbors::count_k_d;
 use dbscout_spatial::{Grid, KdTree, NeighborOffsets};

@@ -1,8 +1,16 @@
+// Bench targets are exempt from the panic-freedom policy (see DESIGN.md).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
 //! Criterion ablation of the §III-G join strategies: plain shuffle join
 //! vs grouping-before-joining vs broadcast join, on the distributed
 //! engine. The paper reports up to 5× speedups from grouping at low ε.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbscout_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dbscout_bench::workloads;
 use dbscout_core::{DbscoutParams, DistributedDbscout, JoinStrategy};
 use dbscout_dataflow::ExecutionContext;

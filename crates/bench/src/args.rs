@@ -22,13 +22,15 @@ impl Args {
         let mut iter = args.into_iter().peekable();
         while let Some(a) = iter.next() {
             if let Some(key) = a.strip_prefix("--") {
-                if let Some(v) = iter.peek() {
-                    if !v.starts_with("--") {
-                        values.insert(key.to_string(), iter.next().expect("peeked"));
-                        continue;
+                match iter.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = iter.next().unwrap_or_default();
+                        values.insert(key.to_string(), v);
+                    }
+                    _ => {
+                        values.insert(key.to_string(), String::from("true"));
                     }
                 }
-                values.insert(key.to_string(), String::from("true"));
             }
         }
         Self { values }

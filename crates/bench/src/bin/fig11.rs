@@ -9,6 +9,15 @@
 //! Run: `cargo run --release -p dbscout-bench --bin fig11
 //!       [--n 200000] [--reps 3]`
 
+// Experiment binaries panic on setup failure: there is no caller to
+// recover, and a partial table is worse than no table.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
 use dbscout_baselines::RpDbscan;
 use dbscout_bench::args::Args;
 use dbscout_bench::workloads::{self, GEOLIFE_EPS_SWEEP, MIN_PTS};
@@ -26,7 +35,9 @@ fn main() {
     let svg: String = args.get("svg", "results/fig11.svg".to_string());
     let store = workloads::geolife(n);
 
-    println!("Fig. 11 — Geolife-like: runtime vs eps (n = {n}, minPts = {MIN_PTS}, reps = {reps})\n");
+    println!(
+        "Fig. 11 — Geolife-like: runtime vs eps (n = {n}, minPts = {MIN_PTS}, reps = {reps})\n"
+    );
     let mut t = Table::new(&["eps", "DBSCOUT (s)", "RP-DBSCAN-A (s)", "top-cell share"]);
     let mut scout_series = Vec::new();
     let mut rp_series = Vec::new();

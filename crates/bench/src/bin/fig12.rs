@@ -7,6 +7,15 @@
 //! Run: `cargo run --release -p dbscout-bench --bin fig12
 //!       [--n 400000] [--reps 3]`
 
+// Experiment binaries panic on setup failure: there is no caller to
+// recover, and a partial table is worse than no table.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
 use dbscout_baselines::RpDbscan;
 use dbscout_bench::args::Args;
 use dbscout_bench::workloads::{self, MIN_PTS, OSM_EPS_SWEEP};

@@ -3,6 +3,15 @@
 //!
 //! Run: `cargo run --release -p dbscout-bench --bin table1 [--max-d 9]`
 
+// Experiment binaries panic on setup failure: there is no caller to
+// recover, and a partial table is worse than no table.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
 use dbscout_bench::args::Args;
 use dbscout_metrics::table::Table;
 use dbscout_spatial::neighbors::{count_k_d, loose_upper_bound};
@@ -24,7 +33,14 @@ fn main() {
     let max_d: usize = args.get("max-d", 9);
 
     println!("Table I — neighboring-cell counts per dimensionality\n");
-    let mut t = Table::new(&["d", "upper bound", "actual k_d", "paper bound", "paper k_d", "match"]);
+    let mut t = Table::new(&[
+        "d",
+        "upper bound",
+        "actual k_d",
+        "paper bound",
+        "paper k_d",
+        "match",
+    ]);
     for &(d, paper_bound, paper_kd) in PAPER.iter().filter(|(d, ..)| *d <= max_d) {
         let bound = loose_upper_bound(d);
         let kd = count_k_d(d).expect("d within range");

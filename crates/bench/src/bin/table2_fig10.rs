@@ -26,6 +26,15 @@
 //! Run: `cargo run --release -p dbscout-bench --bin table2_fig10
 //!       [--osm-n 400000] [--geolife-n 200000] [--reps 3] [--budget 180]`
 
+// Experiment binaries panic on setup failure: there is no caller to
+// recover, and a partial table is worse than no table.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
 use std::time::Duration;
 
 use dbscout_baselines::{Ddlof, RpDbscan};
@@ -56,7 +65,13 @@ fn main() {
     println!(
         "Table II / Fig. 10 — runtime vs input size (osm base n = {osm_n}, geolife n = {geolife_n}, reps = {reps})\n"
     );
-    let mut table = Table::new(&["dataset", "n", "DBSCOUT (s)", "RP-DBSCAN-A (s)", "DDLOF (s)"]);
+    let mut table = Table::new(&[
+        "dataset",
+        "n",
+        "DBSCOUT (s)",
+        "RP-DBSCAN-A (s)",
+        "DDLOF (s)",
+    ]);
 
     let mut scout = BudgetedRunner::new(budget, reps);
     let mut rp = BudgetedRunner::new(budget, reps);
@@ -76,9 +91,7 @@ fn main() {
                 .detect(&store)
                 .expect("rp-dbscan run")
         });
-        let d = ddlof.measure(|| {
-            Ddlof::new(ctx(), 6).score(&store).expect("ddlof run")
-        });
+        let d = ddlof.measure(|| Ddlof::new(ctx(), 6).score(&store).expect("ddlof run"));
         table.row(&[
             "geolife-like".into(),
             store.len().to_string(),

@@ -15,6 +15,15 @@
 //!
 //! Run: `cargo run --release -p dbscout-bench --bin table3 [--seed 1]`
 
+// Experiment binaries panic on setup failure: there is no caller to
+// recover, and a partial table is worse than no table.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
 use dbscout_baselines::{IsolationForest, Lof, OneClassSvm};
 use dbscout_bench::args::Args;
 use dbscout_core::{detect_outliers, DbscoutParams};
@@ -58,7 +67,14 @@ fn main() {
 
     println!("Table III — outlier-class F1 comparison (seed = {seed})\n");
     let mut t = Table::new(&[
-        "dataset", "nu", "DBSCOUT (eps)", "DBSCOUT", "LOF (best k)", "LOF", "IF", "OC-SVM",
+        "dataset",
+        "nu",
+        "DBSCOUT (eps)",
+        "DBSCOUT",
+        "LOF (best k)",
+        "LOF",
+        "IF",
+        "OC-SVM",
     ]);
     for (ds, min_pts) in datasets(seed) {
         let nu = ds.contamination();

@@ -16,6 +16,15 @@
 //!
 //! Run: `cargo run --release -p dbscout-bench --bin table4 [--n 200000]`
 
+// Experiment binaries panic on setup failure: there is no caller to
+// recover, and a partial table is worse than no table.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
 use dbscout_baselines::RpDbscan;
 use dbscout_bench::args::Args;
 use dbscout_bench::workloads::{self, GEOLIFE_EPS_SWEEP, MIN_PTS};
@@ -30,7 +39,15 @@ fn main() {
     let store = workloads::geolife(n);
 
     println!("Table IV — RP-DBSCAN-A accuracy on Geolife-like (n = {n}, minPts = {MIN_PTS}, rho = 0.01)\n");
-    let mut t = Table::new(&["eps", "DBSCOUT", "RP-DBSCAN-A", "TP", "FP", "FN", "FP/output"]);
+    let mut t = Table::new(&[
+        "eps",
+        "DBSCOUT",
+        "RP-DBSCAN-A",
+        "TP",
+        "FP",
+        "FN",
+        "FP/output",
+    ]);
     for eps in GEOLIFE_EPS_SWEEP {
         let params = DbscoutParams::new(eps, MIN_PTS).expect("valid params");
         let exact = detect_outliers(&store, params)

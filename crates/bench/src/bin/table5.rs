@@ -15,6 +15,15 @@
 //!
 //! Run: `cargo run --release -p dbscout-bench --bin table5 [--n 400000]`
 
+// Experiment binaries panic on setup failure: there is no caller to
+// recover, and a partial table is worse than no table.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
 use dbscout_baselines::RpDbscan;
 use dbscout_bench::args::Args;
 use dbscout_bench::workloads::{self, MIN_PTS, OSM_EPS_SWEEP};
@@ -28,8 +37,18 @@ fn main() {
     let n: usize = args.get("n", workloads::OSM_DEFAULT_N);
     let store = workloads::osm(n);
 
-    println!("Table V — RP-DBSCAN-A accuracy on OSM-like (n = {n}, minPts = {MIN_PTS}, rho = 0.01)\n");
-    let mut t = Table::new(&["eps", "DBSCOUT", "RP-DBSCAN-A", "TP", "FP", "FN", "FP/output"]);
+    println!(
+        "Table V — RP-DBSCAN-A accuracy on OSM-like (n = {n}, minPts = {MIN_PTS}, rho = 0.01)\n"
+    );
+    let mut t = Table::new(&[
+        "eps",
+        "DBSCOUT",
+        "RP-DBSCAN-A",
+        "TP",
+        "FP",
+        "FN",
+        "FP/output",
+    ]);
     for eps in OSM_EPS_SWEEP {
         let params = DbscoutParams::new(eps, MIN_PTS).expect("valid params");
         let exact = detect_outliers(&store, params)

@@ -24,8 +24,8 @@ mod tests {
     fn writes_svg_file() {
         let dir = std::env::temp_dir().join("dbscout-figures-test");
         let path = dir.join("t.svg").to_string_lossy().into_owned();
-        let chart = LineChart::new("t", "x", "y")
-            .series(Series::new("s", vec![(0.0, 1.0), (1.0, 2.0)]));
+        let chart =
+            LineChart::new("t", "x", "y").series(Series::new("s", vec![(0.0, 1.0), (1.0, 2.0)]));
         write_svg(&path, &chart);
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.starts_with("<svg"));

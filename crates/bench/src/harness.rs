@@ -1,0 +1,187 @@
+//! A minimal `std::time`-based stand-in for the criterion benchmark
+//! harness (unavailable offline). It mirrors the small API surface the
+//! bench targets use — `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId` — and reports
+//! min/mean/max wall-clock per benchmark.
+//!
+//! Under `cargo test` (the `--test` flag cargo passes to harnessless
+//! targets) each benchmark body runs exactly once as a smoke check.
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exported so bench targets can import everything from this module.
+pub use crate::{criterion_group, criterion_main};
+
+/// Identifier of a single benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id rendered as `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id consisting of the parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// Top-level driver, one per bench target.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments cargo passed us:
+    /// `--test` means "run once per benchmark and exit".
+    pub fn from_args() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup {
+            samples: 10,
+            test_mode: self.test_mode,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing a sample count.
+pub struct BenchmarkGroup {
+    samples: usize,
+    test_mode: bool,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: if self.test_mode { 1 } else { self.samples },
+            durations: Vec::new(),
+        };
+        f(&mut b);
+        report(&id.label, &b.durations);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (held for criterion API parity).
+    pub fn finish(self) {}
+}
+
+/// Timer handed to each benchmark body.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, recording one duration per sample. The closure runs
+    /// once untimed as warm-up.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn report(label: &str, durations: &[Duration]) {
+    let n = durations.len().max(1) as u32;
+    let total: Duration = durations.iter().sum();
+    let mean = total / n;
+    let min = durations.iter().min().copied().unwrap_or_default();
+    let max = durations.iter().max().copied().unwrap_or_default();
+    println!(
+        "  {label}: mean {mean:?}  min {min:?}  max {max:?}  ({} samples)",
+        durations.len()
+    );
+}
+
+/// Collects benchmark functions under a name, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("a", 3).label, "a/3");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+        assert_eq!(BenchmarkId::from("plain").label, "plain");
+    }
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher {
+            samples: 4,
+            durations: Vec::new(),
+        };
+        let mut runs = 0u32;
+        b.iter(|| runs += 1);
+        assert_eq!(b.durations.len(), 4);
+        assert_eq!(runs, 5); // 4 samples + 1 warm-up
+    }
+}

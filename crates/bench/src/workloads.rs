@@ -48,7 +48,7 @@ pub fn osm(n: usize) -> PointStore {
 /// 100%, the paper's duplicate-with-noise enlargement above.
 pub fn osm_at_percent(base: &PointStore, percent: usize) -> PointStore {
     match percent {
-        0 => PointStore::new(base.dims()).expect("valid dims"),
+        0 => base.gather(&[]),
         100 => base.clone(),
         p if p < 100 => sample_fraction(base, p as f64 / 100.0, 0x5A3B),
         p => {
@@ -63,7 +63,8 @@ pub fn osm_at_percent(base: &PointStore, percent: usize) -> PointStore {
             if rem > 0 {
                 let extra = sample_fraction(base, rem as f64 / 100.0, 0xE17_u64);
                 let noisy = enlarge(&extra, 1, 0.0, 0);
-                out.extend_from(&noisy).expect("same dims");
+                // Both stores derive from `base`, so dims always match.
+                let _ = out.extend_from(&noisy);
             }
             out
         }

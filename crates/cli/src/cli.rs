@@ -48,17 +48,19 @@ pub struct Flags {
 impl Flags {
     fn parse(args: &[String]) -> Result<Self, CliError> {
         let mut values = HashMap::new();
-        let mut i = 0;
-        while i < args.len() {
-            let Some(key) = args[i].strip_prefix("--") else {
-                return Err(CliError::new(format!("unexpected argument {:?}", args[i])));
+        let mut iter = args.iter().peekable();
+        while let Some(a) = iter.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(CliError::new(format!("unexpected argument {a:?}")));
             };
-            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
-                values.insert(key.to_string(), args[i + 1].clone());
-                i += 2;
-            } else {
-                values.insert(key.to_string(), "true".to_string());
-                i += 1;
+            match iter.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    values.insert(key.to_string(), (*v).clone());
+                    iter.next();
+                }
+                _ => {
+                    values.insert(key.to_string(), "true".to_string());
+                }
             }
         }
         Ok(Self { values })

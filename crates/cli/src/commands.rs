@@ -48,13 +48,13 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
     let elapsed = t.elapsed();
 
     let mut out = String::new();
-    writeln!(
+    // `write!` into a String is infallible; the results are discarded.
+    let _ = writeln!(
         out,
         "{} points, eps = {eps}, minPts = {min_pts}, engine = {engine}",
         store.len()
-    )
-    .expect("write to string");
-    writeln!(
+    );
+    let _ = writeln!(
         out,
         "{} outliers, {} core points, {} cells ({} dense, {} core) in {elapsed:?}",
         result.num_outliers(),
@@ -62,25 +62,23 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
         result.stats.num_cells,
         result.stats.dense_cells,
         result.stats.core_cells,
-    )
-    .expect("write to string");
+    );
 
     if let Some(truth) = truth {
         let m = dbscout_metrics::ConfusionMatrix::from_masks(&result.outlier_mask(), &truth);
-        writeln!(
+        let _ = writeln!(
             out,
             "vs labels: precision {:.4}, recall {:.4}, F1 {:.4}",
             m.precision(),
             m.recall(),
             m.f1()
-        )
-        .expect("write to string");
+        );
     }
 
     if let Ok(path) = flags.require::<String>("output") {
         let mask = result.outlier_mask();
         write_csv(&path, &store, Some(&mask)).map_err(io_err)?;
-        writeln!(out, "wrote labelled output to {path}").expect("write to string");
+        let _ = writeln!(out, "wrote labelled output to {path}");
     }
     Ok(out)
 }
@@ -114,7 +112,11 @@ pub fn generate(flags: &Flags) -> Result<String, CliError> {
         "wrote {} {}-dimensional points to {output}{}\n",
         store.len(),
         store.dims(),
-        if labels.is_some() { " (with labels)" } else { "" }
+        if labels.is_some() {
+            " (with labels)"
+        } else {
+            ""
+        }
     ))
 }
 
@@ -131,18 +133,22 @@ pub fn kdist(flags: &Flags) -> Result<String, CliError> {
         return Err(CliError::new("need at least 3 points for a k-dist graph"));
     }
     let graph = kdist_graph(&store, k);
-    let eps = elbow_eps(&graph).expect("len >= 3 checked above");
-    let q = |f: f64| graph[((graph.len() - 1) as f64 * f) as usize];
+    let eps =
+        elbow_eps(&graph).ok_or_else(|| CliError::new("k-dist graph too small for an elbow"))?;
+    let q = |f: f64| {
+        let i = ((graph.len() - 1) as f64 * f) as usize;
+        graph.get(i).copied().unwrap_or(0.0)
+    };
     Ok(format!(
         "k-dist graph (k = {k}, {} points)\n\
          max {:.6}  p90 {:.6}  median {:.6}  p10 {:.6}  min {:.6}\n\
          suggested eps (elbow): {eps:.6}\n",
         store.len(),
-        graph[0],
+        graph.first().copied().unwrap_or(0.0),
         q(0.1),
         q(0.5),
         q(0.9),
-        graph[graph.len() - 1],
+        graph.last().copied().unwrap_or(0.0),
     ))
 }
 
@@ -178,12 +184,15 @@ pub fn sweep(flags: &Flags) -> Result<String, CliError> {
         let eps = from * ratio.powi(i as i32);
         let params = DbscoutParams::new(eps, min_pts).map_err(io_err)?;
         let result = Dbscout::new(params).detect(&store).map_err(io_err)?;
-        write!(out, "  eps {eps:12.6}: {:6} outliers", result.num_outliers())
-            .expect("write to string");
+        let _ = write!(
+            out,
+            "  eps {eps:12.6}: {:6} outliers",
+            result.num_outliers()
+        );
         if let Some(truth) = &truth {
             let f1 =
                 dbscout_metrics::ConfusionMatrix::from_masks(&result.outlier_mask(), truth).f1();
-            write!(out, "  F1 {f1:.4}").expect("write to string");
+            let _ = write!(out, "  F1 {f1:.4}");
         }
         out.push('\n');
     }
@@ -198,7 +207,7 @@ pub fn compare(flags: &Flags) -> Result<String, CliError> {
     let min_pts: usize = flags.get("min-pts", 5)?;
     let k: usize = flags.get("k", 20)?;
     let (store, truth) = read_csv(&input, true).map_err(io_err)?;
-    let truth = truth.expect("read_csv(labeled = true) returns labels");
+    let truth = truth.ok_or_else(|| CliError::new("input has no label column"))?;
     let nu = truth.iter().filter(|&&t| t).count() as f64 / truth.len().max(1) as f64;
     if nu == 0.0 {
         return Err(CliError::new("no positive labels in the input"));
@@ -212,9 +221,8 @@ pub fn compare(flags: &Flags) -> Result<String, CliError> {
     let params = DbscoutParams::new(eps, min_pts).map_err(io_err)?;
     let scout = Dbscout::new(params).detect(&store).map_err(io_err)?;
 
-    let mut table = dbscout_metrics::table::Table::new(&[
-        "detector", "params", "precision", "recall", "F1",
-    ]);
+    let mut table =
+        dbscout_metrics::table::Table::new(&["detector", "params", "precision", "recall", "F1"]);
     let mut add = |name: &str, p: String, mask: &[bool]| {
         let m = dbscout_metrics::ConfusionMatrix::from_masks(mask, &truth);
         table.row(&[
@@ -254,24 +262,23 @@ pub fn info(flags: &Flags) -> Result<String, CliError> {
     let (store, _) = read_csv(&input, flags.has("labeled")).map_err(io_err)?;
     let mut out = format!("{} points, {} dimensions\n", store.len(), store.dims());
     if let Some((min, max)) = store.bounding_box() {
-        writeln!(out, "bounding box: min {min:?}, max {max:?}").expect("write to string");
+        let _ = writeln!(out, "bounding box: min {min:?}, max {max:?}");
     }
     if let Ok(eps) = flags.require::<f64>("eps") {
         let grid = Grid::build(&store, eps).map_err(io_err)?;
-        writeln!(
+        let _ = writeln!(
             out,
             "grid at eps = {eps}: {} non-empty cells, heaviest holds {:.2}% of points",
             grid.num_cells(),
             grid.skew() * 100.0
-        )
-        .expect("write to string");
+        );
     }
     Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::cli::run;
 
     fn argv(s: &[&str]) -> Vec<String> {
@@ -288,7 +295,15 @@ mod tests {
     fn generate_then_detect_round_trip() {
         let data = tmp("blobs.csv");
         let report = run(&argv(&[
-            "generate", "--dataset", "blobs", "--n", "2000", "--seed", "7", "--output", &data,
+            "generate",
+            "--dataset",
+            "blobs",
+            "--n",
+            "2000",
+            "--seed",
+            "7",
+            "--output",
+            &data,
             "--labeled",
         ]))
         .unwrap();
@@ -296,8 +311,16 @@ mod tests {
 
         let out = tmp("flagged.csv");
         let report = run(&argv(&[
-            "detect", "--input", &data, "--labeled", "--eps", "0.6", "--min-pts", "5",
-            "--output", &out,
+            "detect",
+            "--input",
+            &data,
+            "--labeled",
+            "--eps",
+            "0.6",
+            "--min-pts",
+            "5",
+            "--output",
+            &out,
         ]))
         .unwrap();
         assert!(report.contains("outliers"), "{report}");
@@ -309,15 +332,34 @@ mod tests {
     fn detect_engines_agree() {
         let data = tmp("moons.csv");
         run(&argv(&[
-            "generate", "--dataset", "moons", "--n", "1000", "--output", &data,
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "1000",
+            "--output",
+            &data,
         ]))
         .unwrap();
         let native = run(&argv(&[
-            "detect", "--input", &data, "--eps", "0.1", "--min-pts", "5",
+            "detect",
+            "--input",
+            &data,
+            "--eps",
+            "0.1",
+            "--min-pts",
+            "5",
         ]))
         .unwrap();
         let dist = run(&argv(&[
-            "detect", "--input", &data, "--eps", "0.1", "--min-pts", "5", "--engine",
+            "detect",
+            "--input",
+            &data,
+            "--eps",
+            "0.1",
+            "--min-pts",
+            "5",
+            "--engine",
             "distributed",
         ]))
         .unwrap();
@@ -337,7 +379,13 @@ mod tests {
     fn kdist_and_info_report() {
         let data = tmp("circles.csv");
         run(&argv(&[
-            "generate", "--dataset", "circles", "--n", "500", "--output", &data,
+            "generate",
+            "--dataset",
+            "circles",
+            "--n",
+            "500",
+            "--output",
+            &data,
         ]))
         .unwrap();
         let report = run(&argv(&["kdist", "--input", &data, "--k", "4"])).unwrap();
@@ -350,11 +398,25 @@ mod tests {
     fn sweep_reports_ladder_with_f1() {
         let data = tmp("sweep.csv");
         run(&argv(&[
-            "generate", "--dataset", "blobs", "--n", "1500", "--output", &data, "--labeled",
+            "generate",
+            "--dataset",
+            "blobs",
+            "--n",
+            "1500",
+            "--output",
+            &data,
+            "--labeled",
         ]))
         .unwrap();
         let report = run(&argv(&[
-            "sweep", "--input", &data, "--labeled", "--min-pts", "5", "--steps", "4",
+            "sweep",
+            "--input",
+            &data,
+            "--labeled",
+            "--min-pts",
+            "5",
+            "--steps",
+            "4",
         ]))
         .unwrap();
         assert_eq!(report.matches("F1").count(), 4, "{report}");
@@ -369,7 +431,14 @@ mod tests {
     fn compare_ranks_detectors() {
         let data = tmp("compare.csv");
         run(&argv(&[
-            "generate", "--dataset", "moons", "--n", "1500", "--output", &data, "--labeled",
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "1500",
+            "--output",
+            &data,
+            "--labeled",
         ]))
         .unwrap();
         let report = run(&argv(&["compare", "--input", &data, "--min-pts", "5"])).unwrap();
@@ -380,11 +449,33 @@ mod tests {
 
     #[test]
     fn bad_inputs_are_clean_errors() {
-        assert!(run(&argv(&["detect", "--input", "/nonexistent.csv", "--eps", "1",
-            "--min-pts", "5"])).is_err());
-        assert!(run(&argv(&["generate", "--dataset", "nope", "--output", &tmp("x.csv")]))
-            .is_err());
-        assert!(run(&argv(&["detect", "--input", &tmp("x.csv"), "--eps", "-1",
-            "--min-pts", "5"])).is_err());
+        assert!(run(&argv(&[
+            "detect",
+            "--input",
+            "/nonexistent.csv",
+            "--eps",
+            "1",
+            "--min-pts",
+            "5"
+        ]))
+        .is_err());
+        assert!(run(&argv(&[
+            "generate",
+            "--dataset",
+            "nope",
+            "--output",
+            &tmp("x.csv")
+        ]))
+        .is_err());
+        assert!(run(&argv(&[
+            "detect",
+            "--input",
+            &tmp("x.csv"),
+            "--eps",
+            "-1",
+            "--min-pts",
+            "5"
+        ]))
+        .is_err());
     }
 }

@@ -9,6 +9,19 @@
 //! dbscout info     --input pts.csv [--eps 0.5]
 //! ```
 
+// Unit tests may panic freely; library code is held to the panic-freedom
+// gates in `[workspace.lints]` and `cargo xtask lint`.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::indexing_slicing,
+        clippy::panic,
+        clippy::float_cmp
+    )
+)]
+
 use std::process::ExitCode;
 
 mod cli;

@@ -1,7 +1,16 @@
-//! Property tests for the CLI argument layer: arbitrary flag soups must
-//! never panic, and well-formed pairs must round-trip.
+//! Randomized tests for the CLI argument layer: arbitrary flag soups must
+//! never panic, and malformed numbers must come back as clean errors.
+//! Cases are drawn from a seeded [`dbscout_rng::Rng`] for reproducibility.
 
-use proptest::prelude::*;
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
+use dbscout_rng::Rng;
 
 fn run(args: Vec<String>) -> Result<String, String> {
     // Reach the parser through the binary's public behavior: unknown
@@ -17,26 +26,35 @@ fn run(args: Vec<String>) -> Result<String, String> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// A random word of 1..=12 chars drawn from `[a-z0-9./-]` — the same
+/// alphabet the original fuzz pattern used.
+fn word(rng: &mut Rng) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789./-";
+    let len = rng.gen_range(1usize..=12);
+    (0..len)
+        .map(|_| char::from(ALPHABET[rng.gen_range(0..ALPHABET.len())]))
+        .collect()
+}
 
-    #[test]
-    fn arbitrary_flag_soup_never_panics(
-        words in prop::collection::vec("[a-z0-9./-]{1,12}", 0..6),
-    ) {
+#[test]
+fn arbitrary_flag_soup_never_panics() {
+    let mut rng = Rng::seed_from_u64(0x9001);
+    for _ in 0..16 {
+        let n = rng.gen_range(0usize..6);
+        let words: Vec<String> = (0..n).map(|_| word(&mut rng)).collect();
         // Whatever the words are, the process must exit cleanly (success
         // or a usage error), never abort.
         let result = run(words);
         if let Err(stderr) = result {
-            prop_assert!(stderr.contains("error:"), "no clean error: {stderr}");
-            prop_assert!(!stderr.contains("panicked"), "panic leaked: {stderr}");
+            assert!(stderr.contains("error:"), "no clean error: {stderr}");
+            assert!(!stderr.contains("panicked"), "panic leaked: {stderr}");
         }
     }
+}
 
-    #[test]
-    fn detect_validates_numbers(
-        eps in prop::sample::select(vec!["-1", "0", "abc", ""]),
-    ) {
+#[test]
+fn detect_validates_numbers() {
+    for eps in ["-1", "0", "abc", ""] {
         let err = run(vec![
             "detect".into(),
             "--input".into(),
@@ -47,7 +65,7 @@ proptest! {
             "5".into(),
         ])
         .unwrap_err();
-        prop_assert!(err.contains("error:"), "{err}");
-        prop_assert!(!err.contains("panicked"), "{err}");
+        assert!(err.contains("error:"), "{err}");
+        assert!(!err.contains("panicked"), "{err}");
     }
 }

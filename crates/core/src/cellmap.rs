@@ -11,12 +11,11 @@ use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 
 use dbscout_spatial::{CellCoord, NeighborOffsets, SpatialError};
-use serde::{Deserialize, Serialize};
 
 type DetState = BuildHasherDefault<DefaultHasher>;
 
 /// Classification of a non-empty cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CellType {
     /// Contains ≥ `minPts` points (Definition 6): every point inside is a
     /// core point (Lemma 1), so the cell is also core.
@@ -48,12 +47,15 @@ impl CellMap {
     ///
     /// # Errors
     ///
-    /// Fails if `dims` is unsupported.
+    /// Fails if `dims` is unsupported or `min_pts` is zero.
     pub fn from_counts(
         dims: usize,
         counts: impl IntoIterator<Item = (CellCoord, usize)>,
         min_pts: usize,
     ) -> Result<Self, SpatialError> {
+        if min_pts == 0 {
+            return Err(SpatialError::InvalidMinPts);
+        }
         let offsets = NeighborOffsets::new(dims)?;
         let types = counts
             .into_iter()

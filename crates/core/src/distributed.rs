@@ -68,7 +68,9 @@ pub struct PointRec {
 impl PointRec {
     fn new(id: PointId, p: &[f64]) -> Self {
         let mut coords = [0.0; MAX_DIMS];
-        coords[..p.len()].copy_from_slice(p);
+        for (out, &x) in coords.iter_mut().zip(p) {
+            *out = x;
+        }
         Self {
             id,
             dims: p.len() as u8,
@@ -79,7 +81,11 @@ impl PointRec {
     /// The point's coordinates.
     #[inline]
     pub fn coords(&self) -> &[f64] {
-        &self.coords[..self.dims as usize]
+        // `dims <= MAX_DIMS` is a constructor invariant; fall back to the
+        // full buffer rather than panic.
+        self.coords
+            .get(..self.dims as usize)
+            .unwrap_or(&self.coords)
     }
 }
 
@@ -323,20 +329,21 @@ impl DistributedDbscout {
                 }
                 let cores = self.ctx.broadcast(core_by_cell);
                 let dc = Arc::clone(&dist_comps);
-                points_to_check.map(move |(ncell, (c, p))| {
-                    let mut hit = false;
-                    if let Some(qs) = cores.get(ncell) {
-                        for q in qs {
-                            dc.fetch_add(1, Ordering::Relaxed);
-                            if within(p.coords(), q.coords(), eps_sq) {
-                                hit = true;
-                                break;
+                points_to_check
+                    .map(move |(ncell, (c, p))| {
+                        let mut hit = false;
+                        if let Some(qs) = cores.get(ncell) {
+                            for q in qs {
+                                dc.fetch_add(1, Ordering::Relaxed);
+                                if within(p.coords(), q.coords(), eps_sq) {
+                                    hit = true;
+                                    break;
+                                }
                             }
                         }
-                    }
-                    ((*c, p.id), (hit, *p))
-                })?
-                .reduce_by_key_with(self.num_partitions, |(a, p), (b, _)| (a || b, p))?
+                        ((*c, p.id), (hit, *p))
+                    })?
+                    .reduce_by_key_with(self.num_partitions, |(a, p), (b, _)| (a || b, p))?
             }
         };
         let outliers_checked = covered
@@ -348,10 +355,14 @@ impl DistributedDbscout {
         // Assemble the per-point labels on the driver.
         let mut labels = vec![PointLabel::Covered; n];
         for (_, p) in core_points.collect()? {
-            labels[p.id as usize] = PointLabel::Core;
+            if let Some(l) = labels.get_mut(p.id as usize) {
+                *l = PointLabel::Core;
+            }
         }
         for (_, p) in outliers.collect()? {
-            labels[p.id as usize] = PointLabel::Outlier;
+            if let Some(l) = labels.get_mut(p.id as usize) {
+                *l = PointLabel::Outlier;
+            }
         }
 
         let stats = RunStats {
@@ -454,7 +465,9 @@ mod tests {
     fn empty_dataset() {
         let store = PointStore::new(2).unwrap();
         let params = DbscoutParams::new(1.0, 5).unwrap();
-        let r = DistributedDbscout::new(ctx(), params).detect(&store).unwrap();
+        let r = DistributedDbscout::new(ctx(), params)
+            .detect(&store)
+            .unwrap();
         assert!(r.labels.is_empty());
         assert_eq!(r.stats.num_cells, 0);
     }
@@ -464,7 +477,9 @@ mod tests {
         let store = mixed_dataset();
         let params = DbscoutParams::new(1.0, 5).unwrap();
         let native = detect_outliers(&store, params).unwrap();
-        let dist = DistributedDbscout::new(ctx(), params).detect(&store).unwrap();
+        let dist = DistributedDbscout::new(ctx(), params)
+            .detect(&store)
+            .unwrap();
         assert_eq!(native.stats.num_cells, dist.stats.num_cells);
         assert_eq!(native.stats.dense_cells, dist.stats.dense_cells);
         assert_eq!(native.stats.core_cells, dist.stats.core_cells);
@@ -476,10 +491,7 @@ mod tests {
         // dataset with dense neighborhoods.
         let mut pts = Vec::new();
         for i in 0..200 {
-            pts.push([
-                (i % 20) as f64 * 0.05,
-                (i / 20) as f64 * 0.05,
-            ]);
+            pts.push([(i % 20) as f64 * 0.05, (i / 20) as f64 * 0.05]);
         }
         let store = store_2d(&pts);
         let params = DbscoutParams::new(0.3, 4).unwrap();

@@ -56,6 +56,11 @@ impl From<EngineError> for DbscoutError {
     }
 }
 
+// Compile-time proof of the XL004 contract: the error type is
+// `Display + std::error::Error + Send + Sync`.
+const fn _assert_error_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+const _: () = _assert_error_bounds::<DbscoutError>();
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -69,13 +69,19 @@ pub fn explain(
                 .iter()
                 .filter(|n| n.sq_dist <= eps_sq)
                 .count();
-            let nearest_core = core_tree.as_ref().map(|t| {
-                let nn = t.knn(p, 1)[0];
-                (core_ids[nn.id as usize], nn.sq_dist.sqrt())
+            let nearest_core = core_tree.as_ref().and_then(|t| {
+                t.knn(p, 1).first().map(|nn| {
+                    let cid = core_ids.get(nn.id as usize).copied().unwrap_or(nn.id);
+                    (cid, nn.sq_dist.sqrt())
+                })
             });
             Explanation {
                 id,
-                label: result.labels[id as usize],
+                label: result
+                    .labels
+                    .get(id as usize)
+                    .copied()
+                    .unwrap_or(PointLabel::Outlier),
                 neighbors_within_eps: neighbors,
                 nearest_core,
                 eps_to_cover: nearest_core.map(|(cid, d)| {
@@ -123,8 +129,7 @@ pub fn consistent(e: &Explanation, params: DbscoutParams) -> bool {
                 && e.eps_to_cover.is_some_and(|d| d <= params.eps)
         }
         PointLabel::Outlier => {
-            e.neighbors_within_eps < params.min_pts
-                && e.eps_to_cover.is_none_or(|d| d > params.eps)
+            e.neighbors_within_eps < params.min_pts && e.eps_to_cover.is_none_or(|d| d > params.eps)
         }
     }
 }

@@ -119,9 +119,13 @@ impl IncrementalDbscout {
         self.params
     }
 
-    /// The current label of a point.
+    /// The current label of a point. Ids this detector never issued
+    /// report [`PointLabel::Outlier`].
     pub fn label(&self, id: PointId) -> PointLabel {
-        self.labels[id as usize]
+        self.labels
+            .get(id as usize)
+            .copied()
+            .unwrap_or(PointLabel::Outlier)
     }
 
     /// All current labels, indexed by point id.
@@ -133,8 +137,9 @@ impl IncrementalDbscout {
     pub fn outliers(&self) -> Vec<PointId> {
         self.labels
             .iter()
+            .zip(&self.alive)
             .enumerate()
-            .filter(|&(i, l)| self.alive[i] && l.is_outlier())
+            .filter(|&(_, (l, &alive))| alive && l.is_outlier())
             .map(|(i, _)| i as PointId)
             .collect()
     }
@@ -169,9 +174,11 @@ impl IncrementalDbscout {
             for &q in ids {
                 if within(point, self.store.point(q), eps_sq) {
                     my_count += 1;
-                    self.counts[q as usize] += 1;
-                    if self.counts[q as usize] == min_pts {
-                        newly_core.push(q);
+                    if let Some(cnt) = self.counts.get_mut(q as usize) {
+                        *cnt += 1;
+                        if *cnt == min_pts {
+                            newly_core.push(q);
+                        }
                     }
                 }
             }
@@ -196,7 +203,9 @@ impl IncrementalDbscout {
         // Every newly-core point upgrades itself and rescues the former
         // outliers inside its ε-ball (monotone: no downgrade can occur).
         for c in newly_core {
-            self.labels[c as usize] = PointLabel::Core;
+            if let Some(l) = self.labels.get_mut(c as usize) {
+                *l = PointLabel::Core;
+            }
             let (ccell, cpoint) = {
                 let p = self.store.point(c);
                 (cell_of(p, self.side), p.to_vec())
@@ -207,10 +216,12 @@ impl IncrementalDbscout {
                     continue;
                 };
                 for &q in ids {
-                    if self.labels[q as usize] == PointLabel::Outlier
+                    if self.labels.get(q as usize) == Some(&PointLabel::Outlier)
                         && within(&cpoint, self.store.point(q), eps_sq)
                     {
-                        self.labels[q as usize] = PointLabel::Covered;
+                        if let Some(l) = self.labels.get_mut(q as usize) {
+                            *l = PointLabel::Covered;
+                        }
                     }
                 }
             }
@@ -252,24 +263,26 @@ impl IncrementalDbscout {
         let point = self.store.point(id).to_vec();
         let cell = cell_of(&point, self.side);
 
-        // Unregister the point.
-        self.alive[id as usize] = false;
+        // Unregister the point. A live point is always indexed under its
+        // cell; tolerating a missing entry keeps this path panic-free.
+        if let Some(a) = self.alive.get_mut(id as usize) {
+            *a = false;
+        }
         self.num_alive -= 1;
-        let members = self.cells.get_mut(&cell).expect("live point is indexed");
-        let pos = members
-            .iter()
-            .position(|&q| q == id)
-            .expect("live point is in its cell list");
-        members.swap_remove(pos);
-        if members.is_empty() {
-            self.cells.remove(&cell);
+        if let Some(members) = self.cells.get_mut(&cell) {
+            if let Some(pos) = members.iter().position(|&q| q == id) {
+                members.swap_remove(pos);
+            }
+            if members.is_empty() {
+                self.cells.remove(&cell);
+            }
         }
 
         // Decrement neighbor counts; collect core points that lost their
         // status, plus the removed point itself if it was core — their
         // coverage contributions vanish together.
         let mut lost_cores: Vec<PointId> = Vec::new();
-        if self.labels[id as usize] == PointLabel::Core {
+        if self.labels.get(id as usize) == Some(&PointLabel::Core) {
             lost_cores.push(id);
         }
         for off in self.offsets.iter() {
@@ -279,10 +292,14 @@ impl IncrementalDbscout {
             };
             for &q in ids {
                 if within(&point, self.store.point(q), eps_sq) {
-                    self.counts[q as usize] -= 1;
-                    if self.counts[q as usize] == min_pts - 1
-                        && self.labels[q as usize] == PointLabel::Core
-                    {
+                    let demoted = match self.counts.get_mut(q as usize) {
+                        Some(cnt) => {
+                            *cnt -= 1;
+                            *cnt == min_pts - 1
+                        }
+                        None => false,
+                    };
+                    if demoted && self.labels.get(q as usize) == Some(&PointLabel::Core) {
                         lost_cores.push(q);
                     }
                 }
@@ -292,7 +309,9 @@ impl IncrementalDbscout {
         // First drop every lost core out of the Core class so the
         // coverage scans below see the post-removal core set...
         for &c in &lost_cores {
-            self.labels[c as usize] = PointLabel::Covered; // provisional
+            if let Some(l) = self.labels.get_mut(c as usize) {
+                *l = PointLabel::Covered; // provisional
+            }
         }
         // ...then re-evaluate every live point that may have depended on
         // a lost core: the demoted points themselves and all Covered
@@ -310,7 +329,7 @@ impl IncrementalDbscout {
                     continue;
                 };
                 for &r in ids {
-                    if self.labels[r as usize] == PointLabel::Covered
+                    if self.labels.get(r as usize) == Some(&PointLabel::Covered)
                         && within(&cpoint, self.store.point(r), eps_sq)
                     {
                         affected.push(r);
@@ -321,16 +340,19 @@ impl IncrementalDbscout {
         affected.sort_unstable();
         affected.dedup();
         for r in affected {
-            if self.labels[r as usize] == PointLabel::Core {
+            if self.labels.get(r as usize) == Some(&PointLabel::Core) {
                 continue; // still core through its own count
             }
             let rpoint = self.store.point(r).to_vec();
             let rcell = cell_of(&rpoint, self.side);
-            self.labels[r as usize] = if self.covered_by_core(&rpoint, &rcell) {
+            let verdict = if self.covered_by_core(&rpoint, &rcell) {
                 PointLabel::Covered
             } else {
                 PointLabel::Outlier
             };
+            if let Some(l) = self.labels.get_mut(r as usize) {
+                *l = verdict;
+            }
         }
         true
     }
@@ -344,7 +366,7 @@ impl IncrementalDbscout {
                 continue;
             };
             for &q in ids {
-                if self.labels[q as usize] == PointLabel::Core
+                if self.labels.get(q as usize) == Some(&PointLabel::Core)
                     && within(point, self.store.point(q), eps_sq)
                 {
                     return true;
@@ -529,8 +551,16 @@ mod tests {
         // A scripted churn sequence; after every operation the live
         // points must carry exactly the batch labels.
         let inserts: Vec<[f64; 2]> = vec![
-            [0.0, 0.0], [0.2, 0.0], [0.0, 0.2], [0.2, 0.2], [1.0, 0.0],
-            [5.0, 5.0], [5.2, 5.0], [5.0, 5.2], [0.1, 0.1], [5.1, 5.1],
+            [0.0, 0.0],
+            [0.2, 0.0],
+            [0.0, 0.2],
+            [0.2, 0.2],
+            [1.0, 0.0],
+            [5.0, 5.0],
+            [5.2, 5.0],
+            [5.0, 5.2],
+            [0.1, 0.1],
+            [5.1, 5.1],
         ];
         let p = params(0.9, 4);
         let mut inc = IncrementalDbscout::new(2, p).unwrap();

@@ -3,10 +3,9 @@
 use std::time::Duration;
 
 use dbscout_spatial::points::PointId;
-use serde::{Deserialize, Serialize};
 
 /// The exhaustive classification of a point under Definitions 2–3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PointLabel {
     /// Center of a dense region: ≥ `minPts` points within ε (Definition 2).
     Core,

@@ -147,7 +147,7 @@ impl Dbscout {
                     let mut core: Vec<PointId> = Vec::new();
                     let mut promoted: Vec<CellCoord> = Vec::new();
                     let mut dist_comps = 0u64;
-                    for &(cell, ids) in &cells[range] {
+                    for &(cell, ids) in cells.get(range).into_iter().flatten() {
                         if options.dense_cell_shortcut && cell_map.is_dense(cell) {
                             // Lemma 1: every point of a dense cell is core.
                             core.extend_from_slice(ids);
@@ -190,7 +190,9 @@ impl Dbscout {
         let mut promotions: Vec<CellCoord> = Vec::new();
         for (core, promoted, dc) in phase3 {
             for p in core {
-                is_core[p as usize] = true;
+                if let Some(slot) = is_core.get_mut(p as usize) {
+                    *slot = true;
+                }
             }
             promotions.extend(promoted);
             dist_comps += dc;
@@ -217,7 +219,7 @@ impl Dbscout {
                 move || {
                     let mut outliers: Vec<PointId> = Vec::new();
                     let mut dist_comps = 0u64;
-                    for &(cell, ids) in &cells[range] {
+                    for &(cell, ids) in cells.get(range).into_iter().flatten() {
                         if cell_map.is_core(cell) {
                             // Lemma 2: core cells contain no outliers.
                             continue;
@@ -235,7 +237,7 @@ impl Dbscout {
                                     continue;
                                 };
                                 for &q in qs {
-                                    if !is_core[q as usize] {
+                                    if !is_core.get(q as usize).copied().unwrap_or(false) {
                                         continue;
                                     }
                                     dist_comps += 1;
@@ -259,11 +261,19 @@ impl Dbscout {
         let phase5 = run_tasks(self.threads, tasks)?;
         let mut labels: Vec<PointLabel> = is_core
             .iter()
-            .map(|&c| if c { PointLabel::Core } else { PointLabel::Covered })
+            .map(|&c| {
+                if c {
+                    PointLabel::Core
+                } else {
+                    PointLabel::Covered
+                }
+            })
             .collect();
         for (outliers, dc) in phase5 {
             for p in outliers {
-                labels[p as usize] = PointLabel::Outlier;
+                if let Some(l) = labels.get_mut(p as usize) {
+                    *l = PointLabel::Outlier;
+                }
             }
             dist_comps += dc;
         }
@@ -491,9 +501,18 @@ mod tests {
         let full = Dbscout::new(params).detect(&store).unwrap();
         let mut prev_work = full.stats.distance_computations;
         for options in [
-            NativeOptions { dense_cell_shortcut: false, early_exit: true },
-            NativeOptions { dense_cell_shortcut: true, early_exit: false },
-            NativeOptions { dense_cell_shortcut: false, early_exit: false },
+            NativeOptions {
+                dense_cell_shortcut: false,
+                early_exit: true,
+            },
+            NativeOptions {
+                dense_cell_shortcut: true,
+                early_exit: false,
+            },
+            NativeOptions {
+                dense_cell_shortcut: false,
+                early_exit: false,
+            },
         ] {
             let ablated = Dbscout::new(params)
                 .with_options(options)

@@ -1,14 +1,12 @@
 //! Algorithm parameters (the user-specified constants of paper §II).
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{DbscoutError, Result};
 
 /// The two DBSCAN-family parameters: a point is **core** when at least
 /// `min_pts` points (itself included) lie within Euclidean distance `eps`
 /// of it (Definition 2); a point is an **outlier** when no core point lies
 /// within `eps` of it (Definition 3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DbscoutParams {
     /// Neighborhood radius ε (finite, positive).
     pub eps: f64,

@@ -30,19 +30,22 @@ pub fn naive_labels(store: &PointStore, params: DbscoutParams) -> Vec<PointLabel
                 count += 1;
             }
         }
-        is_core[i as usize] = count >= params.min_pts;
+        if let Some(slot) = is_core.get_mut(i as usize) {
+            *slot = count >= params.min_pts;
+        }
     }
+    let core_at = |i: PointId| is_core.get(i as usize).copied().unwrap_or(false);
 
     // Definition 3.
     store
         .iter()
         .map(|(i, p)| {
-            if is_core[i as usize] {
+            if core_at(i) {
                 return PointLabel::Core;
             }
             let covered = store
                 .iter()
-                .any(|(j, q)| is_core[j as usize] && within(p, q, eps_sq));
+                .any(|(j, q)| core_at(j) && within(p, q, eps_sq));
             if covered {
                 PointLabel::Covered
             } else {

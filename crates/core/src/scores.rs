@@ -53,8 +53,9 @@ pub fn outlier_scores(store: &PointStore, params: DbscoutParams) -> Result<Score
                 if matches!(l, PointLabel::Core) {
                     0.0
                 } else {
-                    let nn = tree.knn(store.point(i as u32), 1);
-                    nn[0].sq_dist.sqrt()
+                    tree.knn(store.point(i as u32), 1)
+                        .first()
+                        .map_or(f64::INFINITY, |nn| nn.sq_dist.sqrt())
                 }
             })
             .collect()

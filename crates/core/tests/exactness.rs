@@ -1,114 +1,124 @@
 //! The headline claim of the paper: DBSCOUT is **exact** — it returns
 //! precisely the Definition-3 outliers, with no approximation. These
-//! property tests pit both engines against the brute-force O(n²)
+//! randomized tests pit both engines against the brute-force O(n²)
 //! reference on arbitrary datasets, parameters, thread counts, partition
-//! counts and join strategies.
+//! counts and join strategies. Cases come from a seeded
+//! [`dbscout_rng::Rng`] so every run is reproducible.
+
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic,
+    clippy::float_cmp
+)]
 
 use dbscout_core::reference::naive_labels;
 use dbscout_core::{Dbscout, DbscoutParams, DistributedDbscout, JoinStrategy};
 use dbscout_dataflow::ExecutionContext;
+use dbscout_rng::Rng;
 use dbscout_spatial::PointStore;
-use proptest::prelude::*;
 
 /// Clustered-looking random datasets: a few anchor points, most points
 /// near an anchor, some uniform noise. Pure uniform noise rarely creates
-/// core points, so this strategy exercises all three label classes.
-fn dataset(dims: usize, max_n: usize) -> impl Strategy<Value = PointStore> {
-    let anchors = prop::collection::vec(prop::collection::vec(-20.0f64..20.0, dims), 1..4);
-    let offsets = prop::collection::vec(
-        (
-            0usize..3,
-            prop::collection::vec(-0.8f64..0.8, dims),
-            prop::bool::ANY,
-        ),
-        1..max_n,
-    );
-    (anchors, offsets).prop_map(move |(anchors, offsets)| {
-        let rows = offsets.into_iter().map(|(a, off, noise)| {
+/// core points, so this generator exercises all three label classes.
+fn dataset(rng: &mut Rng, dims: usize, max_n: usize) -> PointStore {
+    let n_anchors = rng.gen_range(1usize..4);
+    let anchors: Vec<Vec<f64>> = (0..n_anchors)
+        .map(|_| (0..dims).map(|_| rng.gen_range(-20.0..20.0)).collect())
+        .collect();
+    let n = rng.gen_range(1..max_n);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            let a = rng.gen_range(0usize..3);
+            let off: Vec<f64> = (0..dims).map(|_| rng.gen_range(-0.8..0.8)).collect();
+            let noise = rng.gen::<bool>();
             let anchor = &anchors[a % anchors.len()];
             if noise {
                 // Uniform-ish noise point, pushed away from anchors.
-                off.iter().map(|o| o * 40.0).collect::<Vec<f64>>()
+                off.iter().map(|o| o * 40.0).collect()
             } else {
-                anchor
-                    .iter()
-                    .zip(&off)
-                    .map(|(c, o)| c + o)
-                    .collect::<Vec<f64>>()
+                anchor.iter().zip(&off).map(|(c, o)| c + o).collect()
             }
-        });
-        PointStore::from_rows(dims, rows).expect("generated rows are valid")
-    })
+        })
+        .collect();
+    PointStore::from_rows(dims, rows).expect("generated rows are valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn native_matches_naive_2d(
-        store in dataset(2, 120),
-        eps in 0.3f64..5.0,
-        min_pts in 1usize..8,
-        threads in 1usize..5,
-    ) {
+#[test]
+fn native_matches_naive_2d() {
+    let mut rng = Rng::seed_from_u64(0x1001);
+    for _ in 0..40 {
+        let store = dataset(&mut rng, 2, 120);
+        let eps = rng.gen_range(0.3..5.0);
+        let min_pts = rng.gen_range(1usize..8);
+        let threads = rng.gen_range(1usize..5);
         let params = DbscoutParams::new(eps, min_pts).unwrap();
         let expected = naive_labels(&store, params);
         let got = Dbscout::new(params)
             .with_threads(threads)
             .detect(&store)
             .unwrap();
-        prop_assert_eq!(got.labels, expected);
+        assert_eq!(got.labels, expected);
     }
+}
 
-    #[test]
-    fn native_matches_naive_3d(
-        store in dataset(3, 80),
-        eps in 0.3f64..5.0,
-        min_pts in 1usize..6,
-    ) {
+#[test]
+fn native_matches_naive_3d() {
+    let mut rng = Rng::seed_from_u64(0x1002);
+    for _ in 0..40 {
+        let store = dataset(&mut rng, 3, 80);
+        let eps = rng.gen_range(0.3..5.0);
+        let min_pts = rng.gen_range(1usize..6);
         let params = DbscoutParams::new(eps, min_pts).unwrap();
         let expected = naive_labels(&store, params);
         let got = Dbscout::new(params).detect(&store).unwrap();
-        prop_assert_eq!(got.labels, expected);
+        assert_eq!(got.labels, expected);
     }
+}
 
-    #[test]
-    fn native_matches_naive_higher_dims(
-        store4 in dataset(4, 50),
-        store5 in dataset(5, 40),
-        eps in 0.5f64..6.0,
-        min_pts in 1usize..5,
-    ) {
-        // The paper generalizes Gunawan's 2-D scheme to any d (§III-A);
-        // exactness must hold where k_d grows (d = 4: 609 offsets,
-        // d = 5: 3903).
+#[test]
+fn native_matches_naive_higher_dims() {
+    // The paper generalizes Gunawan's 2-D scheme to any d (§III-A);
+    // exactness must hold where k_d grows (d = 4: 609 offsets,
+    // d = 5: 3903).
+    let mut rng = Rng::seed_from_u64(0x1003);
+    for _ in 0..20 {
+        let store4 = dataset(&mut rng, 4, 50);
+        let store5 = dataset(&mut rng, 5, 40);
+        let eps = rng.gen_range(0.5..6.0);
+        let min_pts = rng.gen_range(1usize..5);
         let params = DbscoutParams::new(eps, min_pts).unwrap();
         for store in [store4, store5] {
             let expected = naive_labels(&store, params);
             let got = Dbscout::new(params).detect(&store).unwrap();
-            prop_assert_eq!(got.labels, expected, "d = {}", store.dims());
+            assert_eq!(got.labels, expected, "d = {}", store.dims());
         }
     }
+}
 
-    #[test]
-    fn native_matches_naive_1d(
-        store in dataset(1, 100),
-        eps in 0.1f64..3.0,
-        min_pts in 1usize..6,
-    ) {
+#[test]
+fn native_matches_naive_1d() {
+    let mut rng = Rng::seed_from_u64(0x1004);
+    for _ in 0..40 {
+        let store = dataset(&mut rng, 1, 100);
+        let eps = rng.gen_range(0.1..3.0);
+        let min_pts = rng.gen_range(1usize..6);
         let params = DbscoutParams::new(eps, min_pts).unwrap();
         let expected = naive_labels(&store, params);
         let got = Dbscout::new(params).detect(&store).unwrap();
-        prop_assert_eq!(got.labels, expected);
+        assert_eq!(got.labels, expected);
     }
+}
 
-    #[test]
-    fn distributed_matches_naive_all_strategies(
-        store in dataset(2, 70),
-        eps in 0.3f64..5.0,
-        min_pts in 1usize..6,
-        partitions in 1usize..10,
-    ) {
+#[test]
+fn distributed_matches_naive_all_strategies() {
+    let mut rng = Rng::seed_from_u64(0x1005);
+    for _ in 0..40 {
+        let store = dataset(&mut rng, 2, 70);
+        let eps = rng.gen_range(0.3..5.0);
+        let min_pts = rng.gen_range(1usize..6);
+        let partitions = rng.gen_range(1usize..10);
         let params = DbscoutParams::new(eps, min_pts).unwrap();
         let expected = naive_labels(&store, params);
         for strategy in [
@@ -122,17 +132,19 @@ proptest! {
                 .with_strategy(strategy)
                 .detect(&store)
                 .unwrap();
-            prop_assert_eq!(&got.labels, &expected, "strategy {:?}", strategy);
+            assert_eq!(&got.labels, &expected, "strategy {strategy:?}");
         }
     }
+}
 
-    #[test]
-    fn incremental_matches_batch_at_every_prefix(
-        store in dataset(2, 60),
-        eps in 0.3f64..5.0,
-        min_pts in 1usize..6,
-    ) {
-        use dbscout_core::IncrementalDbscout;
+#[test]
+fn incremental_matches_batch_at_every_prefix() {
+    use dbscout_core::IncrementalDbscout;
+    let mut rng = Rng::seed_from_u64(0x1006);
+    for _ in 0..40 {
+        let store = dataset(&mut rng, 2, 60);
+        let eps = rng.gen_range(0.3..5.0);
+        let min_pts = rng.gen_range(1usize..6);
         let params = DbscoutParams::new(eps, min_pts).unwrap();
         let mut inc = IncrementalDbscout::new(2, params).unwrap();
         let mut prefix = PointStore::new(2).unwrap();
@@ -143,17 +155,19 @@ proptest! {
         // Checking only the final state keeps the test fast; the unit
         // tests cover per-prefix agreement on structured inputs.
         let batch = Dbscout::new(params).detect(&prefix).unwrap();
-        prop_assert_eq!(inc.labels(), batch.labels.as_slice());
+        assert_eq!(inc.labels(), batch.labels.as_slice());
     }
+}
 
-    #[test]
-    fn incremental_with_removals_matches_batch(
-        store in dataset(2, 50),
-        removal_pattern in prop::collection::vec(prop::bool::ANY, 50),
-        eps in 0.3f64..5.0,
-        min_pts in 1usize..6,
-    ) {
-        use dbscout_core::IncrementalDbscout;
+#[test]
+fn incremental_with_removals_matches_batch() {
+    use dbscout_core::IncrementalDbscout;
+    let mut rng = Rng::seed_from_u64(0x1007);
+    for _ in 0..40 {
+        let store = dataset(&mut rng, 2, 50);
+        let removal_pattern: Vec<bool> = (0..50).map(|_| rng.gen::<bool>()).collect();
+        let eps = rng.gen_range(0.3..5.0);
+        let min_pts = rng.gen_range(1usize..6);
         let params = DbscoutParams::new(eps, min_pts).unwrap();
         let mut inc = IncrementalDbscout::new(2, params).unwrap();
         for (_, p) in store.iter() {
@@ -170,32 +184,32 @@ proptest! {
         let live_store = store.gather(&live);
         let batch = Dbscout::new(params).detect(&live_store).unwrap();
         for (bi, &id) in live.iter().enumerate() {
-            prop_assert_eq!(
+            assert_eq!(
                 inc.label(id),
                 batch.labels[bi],
-                "diverged at live point {} (id {})",
-                bi,
-                id
+                "diverged at live point {bi} (id {id})"
             );
         }
     }
+}
 
-    #[test]
-    fn outliers_never_within_eps_of_core(
-        store in dataset(2, 120),
-        eps in 0.3f64..5.0,
-        min_pts in 1usize..8,
-    ) {
-        // Definition 3 restated directly on the output.
-        use dbscout_core::PointLabel;
-        use dbscout_spatial::distance::within;
+#[test]
+fn outliers_never_within_eps_of_core() {
+    // Definition 3 restated directly on the output.
+    use dbscout_core::PointLabel;
+    use dbscout_spatial::distance::within;
+    let mut rng = Rng::seed_from_u64(0x1008);
+    for _ in 0..40 {
+        let store = dataset(&mut rng, 2, 120);
+        let eps = rng.gen_range(0.3..5.0);
+        let min_pts = rng.gen_range(1usize..8);
         let params = DbscoutParams::new(eps, min_pts).unwrap();
         let r = Dbscout::new(params).detect(&store).unwrap();
         let eps_sq = params.eps_sq();
         for &o in &r.outliers {
             for (q, l) in r.labels.iter().enumerate() {
                 if *l == PointLabel::Core {
-                    prop_assert!(
+                    assert!(
                         !within(store.point(o), store.point(q as u32), eps_sq),
                         "outlier {o} is within eps of core {q}"
                     );
@@ -203,16 +217,18 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn core_points_really_have_min_pts_neighbors(
-        store in dataset(2, 120),
-        eps in 0.3f64..5.0,
-        min_pts in 1usize..8,
-    ) {
-        // Definition 2 restated directly on the output.
-        use dbscout_core::PointLabel;
-        use dbscout_spatial::distance::within;
+#[test]
+fn core_points_really_have_min_pts_neighbors() {
+    // Definition 2 restated directly on the output.
+    use dbscout_core::PointLabel;
+    use dbscout_spatial::distance::within;
+    let mut rng = Rng::seed_from_u64(0x1009);
+    for _ in 0..40 {
+        let store = dataset(&mut rng, 2, 120);
+        let eps = rng.gen_range(0.3..5.0);
+        let min_pts = rng.gen_range(1usize..8);
         let params = DbscoutParams::new(eps, min_pts).unwrap();
         let r = Dbscout::new(params).detect(&store).unwrap();
         let eps_sq = params.eps_sq();
@@ -222,8 +238,8 @@ proptest! {
                 .filter(|(_, q)| within(store.point(i as u32), q, eps_sq))
                 .count();
             match l {
-                PointLabel::Core => prop_assert!(count >= min_pts, "core {i}: {count}"),
-                _ => prop_assert!(count < min_pts, "non-core {i}: {count}"),
+                PointLabel::Core => assert!(count >= min_pts, "core {i}: {count}"),
+                _ => assert!(count < min_pts, "non-core {i}: {count}"),
             }
         }
     }

@@ -1,115 +1,134 @@
-//! Structural invariants of a DBSCOUT run, property-tested: the counters
-//! and labels must relate the way Lemmas 1–8 say they do, for any input.
+//! Structural invariants of a DBSCOUT run, tested over many random
+//! cases: the counters and labels must relate the way Lemmas 1–8 say
+//! they do, for any input. Cases come from a seeded
+//! [`dbscout_rng::Rng`] so every run is reproducible.
+
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic,
+    clippy::float_cmp
+)]
 
 use dbscout_core::{Dbscout, DbscoutParams, PointLabel};
+use dbscout_rng::Rng;
 use dbscout_spatial::neighbors::count_k_d;
 use dbscout_spatial::{Grid, PointStore};
-use proptest::prelude::*;
 
-fn dataset(max_n: usize) -> impl Strategy<Value = PointStore> {
-    prop::collection::vec(prop::collection::vec(-30.0f64..30.0, 2), 1..max_n)
-        .prop_map(|rows| PointStore::from_rows(2, rows).expect("finite rows"))
+fn dataset(rng: &mut Rng, max_n: usize) -> PointStore {
+    let n = rng.gen_range(1..max_n);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..2).map(|_| rng.gen_range(-30.0..30.0)).collect())
+        .collect();
+    PointStore::from_rows(2, rows).expect("finite rows")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn counter_hierarchy_holds(
-        store in dataset(150),
-        eps in 0.2f64..10.0,
-        min_pts in 1usize..8,
-    ) {
+#[test]
+fn counter_hierarchy_holds() {
+    let mut rng = Rng::seed_from_u64(0x2001);
+    for _ in 0..48 {
+        let store = dataset(&mut rng, 150);
+        let eps = rng.gen_range(0.2..10.0);
+        let min_pts = rng.gen_range(1usize..8);
         let params = DbscoutParams::new(eps, min_pts).unwrap();
         let r = Dbscout::new(params).detect(&store).unwrap();
-        prop_assert!(r.stats.dense_cells <= r.stats.core_cells);
-        prop_assert!(r.stats.core_cells <= r.stats.num_cells);
-        prop_assert!(r.stats.num_cells <= store.len() as usize);
-        prop_assert_eq!(r.labels.len(), store.len() as usize);
+        assert!(r.stats.dense_cells <= r.stats.core_cells);
+        assert!(r.stats.core_cells <= r.stats.num_cells);
+        assert!(r.stats.num_cells <= store.len() as usize);
+        assert_eq!(r.labels.len(), store.len() as usize);
     }
+}
 
-    #[test]
-    fn distance_work_respects_lemma_bound(
-        store in dataset(150),
-        eps in 0.2f64..10.0,
-        min_pts in 1usize..8,
-    ) {
-        // Lemmas 6 and 8: each pass compares every point against at most
-        // the points of its k_d neighboring cells; with early exit the
-        // per-point work is further capped, but the crude bound
-        // 2 · n · max_cell_pop · k_d must always hold.
+#[test]
+fn distance_work_respects_lemma_bound() {
+    // Lemmas 6 and 8: each pass compares every point against at most
+    // the points of its k_d neighboring cells; with early exit the
+    // per-point work is further capped, but the crude bound
+    // 2 · n · max_cell_pop · k_d must always hold.
+    let mut rng = Rng::seed_from_u64(0x2002);
+    for _ in 0..48 {
+        let store = dataset(&mut rng, 150);
+        let eps = rng.gen_range(0.2..10.0);
+        let min_pts = rng.gen_range(1usize..8);
         let params = DbscoutParams::new(eps, min_pts).unwrap();
         let r = Dbscout::new(params).detect(&store).unwrap();
         let grid = Grid::build(&store, eps).unwrap();
         let kd = count_k_d(2).unwrap();
-        let bound =
-            2 * (store.len() as u64) * (grid.max_cell_population() as u64).max(1) * kd;
-        prop_assert!(
+        let bound = 2 * (store.len() as u64) * (grid.max_cell_population() as u64).max(1) * kd;
+        assert!(
             r.stats.distance_computations <= bound,
             "{} > {bound}",
             r.stats.distance_computations
         );
     }
+}
 
-    #[test]
-    fn dense_cell_points_are_all_core(
-        store in dataset(150),
-        eps in 0.2f64..10.0,
-        min_pts in 1usize..8,
-    ) {
-        // Lemma 1, read off the output.
+#[test]
+fn dense_cell_points_are_all_core() {
+    // Lemma 1, read off the output.
+    let mut rng = Rng::seed_from_u64(0x2003);
+    for _ in 0..48 {
+        let store = dataset(&mut rng, 150);
+        let eps = rng.gen_range(0.2..10.0);
+        let min_pts = rng.gen_range(1usize..8);
         let params = DbscoutParams::new(eps, min_pts).unwrap();
         let r = Dbscout::new(params).detect(&store).unwrap();
         let grid = Grid::build(&store, eps).unwrap();
         for (_, ids) in grid.cells() {
             if ids.len() >= min_pts {
                 for &p in ids {
-                    prop_assert_eq!(
+                    assert_eq!(
                         r.labels[p as usize],
                         PointLabel::Core,
-                        "dense-cell point {} not core",
-                        p
+                        "dense-cell point {p} not core"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn core_cells_contain_no_outliers(
-        store in dataset(150),
-        eps in 0.2f64..10.0,
-        min_pts in 1usize..8,
-    ) {
-        // Lemma 2, read off the output: any cell containing a core point
-        // contains no outlier.
+#[test]
+fn core_cells_contain_no_outliers() {
+    // Lemma 2, read off the output: any cell containing a core point
+    // contains no outlier.
+    let mut rng = Rng::seed_from_u64(0x2004);
+    for _ in 0..48 {
+        let store = dataset(&mut rng, 150);
+        let eps = rng.gen_range(0.2..10.0);
+        let min_pts = rng.gen_range(1usize..8);
         let params = DbscoutParams::new(eps, min_pts).unwrap();
         let r = Dbscout::new(params).detect(&store).unwrap();
         let grid = Grid::build(&store, eps).unwrap();
         for (_, ids) in grid.cells() {
-            let has_core = ids.iter().any(|&p| r.labels[p as usize] == PointLabel::Core);
+            let has_core = ids
+                .iter()
+                .any(|&p| r.labels[p as usize] == PointLabel::Core);
             if has_core {
                 for &p in ids {
-                    prop_assert_ne!(
+                    assert_ne!(
                         r.labels[p as usize],
                         PointLabel::Outlier,
-                        "outlier {} in a core cell",
-                        p
+                        "outlier {p} in a core cell"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn scaling_all_coordinates_scales_eps(
-        store in dataset(100),
-        eps in 0.3f64..5.0,
-        min_pts in 1usize..6,
-        scale in prop::sample::select(vec![0.5f64, 2.0, 10.0]),
-    ) {
-        // Similarity invariance: scaling the space and ε together must
-        // not change the outlier set.
+#[test]
+fn scaling_all_coordinates_scales_eps() {
+    // Similarity invariance: scaling the space and ε together must
+    // not change the outlier set.
+    let mut rng = Rng::seed_from_u64(0x2005);
+    let scales = [0.5f64, 2.0, 10.0];
+    for _ in 0..48 {
+        let store = dataset(&mut rng, 100);
+        let eps = rng.gen_range(0.3..5.0);
+        let min_pts = rng.gen_range(1usize..6);
+        let scale = scales[rng.gen_range(0usize..scales.len())];
         let params = DbscoutParams::new(eps, min_pts).unwrap();
         let base = Dbscout::new(params).detect(&store).unwrap();
         let scaled_rows: Vec<Vec<f64>> = store
@@ -119,6 +138,6 @@ proptest! {
         let scaled_store = PointStore::from_rows(2, scaled_rows).unwrap();
         let scaled_params = DbscoutParams::new(eps * scale, min_pts).unwrap();
         let scaled = Dbscout::new(scaled_params).detect(&scaled_store).unwrap();
-        prop_assert_eq!(base.labels, scaled.labels);
+        assert_eq!(base.labels, scaled.labels);
     }
 }

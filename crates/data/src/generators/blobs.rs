@@ -1,11 +1,9 @@
 //! Gaussian-blob datasets (Table III rows *Blobs* and *Blobs-vd*).
 
-use dbscout_spatial::PointStore;
-
 use crate::labeled::LabeledDataset;
 use crate::rng::{normal, seeded};
 
-use super::scatter_outliers;
+use super::{must, scatter_outliers};
 
 /// Isotropic Gaussian clusters plus uniformly scattered outliers.
 ///
@@ -65,13 +63,11 @@ fn blobs_impl(
     let mut rows = Vec::with_capacity(n_inliers + n_outliers);
     for i in 0..n_inliers {
         let c = i % k;
-        let (cx, cy) = centers[c];
-        rows.push(vec![
-            normal(&mut rng, cx, std_devs[c]),
-            normal(&mut rng, cy, std_devs[c]),
-        ]);
+        let (cx, cy) = centers.get(c).copied().unwrap_or_default();
+        let sd = std_devs.get(c).copied().unwrap_or_default();
+        rows.push(vec![normal(&mut rng, cx, sd), normal(&mut rng, cy, sd)]);
     }
-    let inliers = PointStore::from_rows(2, rows.clone()).expect("finite rows");
+    let inliers = must::from_rows(2, rows.clone());
     // 3σ margin: outliers are clearly outside the clusters but some land
     // near enough to the 3σ shell that detectors must actually separate
     // densities (margins much wider than this make every method perfect).
@@ -81,7 +77,7 @@ fn blobs_impl(
 
     let mut labels = vec![false; n_inliers];
     labels.extend(vec![true; n_outliers]);
-    LabeledDataset::new(name, PointStore::from_rows(2, rows).expect("finite"), labels)
+    LabeledDataset::new(name, must::from_rows(2, rows), labels)
 }
 
 #[cfg(test)]

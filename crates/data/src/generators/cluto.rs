@@ -10,13 +10,12 @@
 //! Absolute F1 values therefore differ from the paper; the algorithm
 //! *ranking* is the reproduction target (see `EXPERIMENTS.md`).
 
-use dbscout_spatial::PointStore;
-use rand::Rng;
+use dbscout_rng::Rng;
 
 use crate::labeled::LabeledDataset;
 use crate::rng::{normal, seeded};
 
-use super::scatter_outliers;
+use super::{must, scatter_outliers};
 
 /// A cluster shape primitive on the [0,100]² canvas.
 enum Shape {
@@ -42,14 +41,11 @@ enum Shape {
         ry: f64,
     },
     /// Gaussian blob.
-    Blob {
-        center: (f64, f64),
-        std_dev: f64,
-    },
+    Blob { center: (f64, f64), std_dev: f64 },
 }
 
 impl Shape {
-    fn sample(&self, rng: &mut impl Rng) -> Vec<f64> {
+    fn sample(&self, rng: &mut Rng) -> Vec<f64> {
         match *self {
             Shape::Sine {
                 x0,
@@ -103,13 +99,17 @@ fn compose(
     let mut rng = seeded(seed);
     let mut rows = Vec::with_capacity(n);
     for i in 0..n_inliers {
-        rows.push(shapes[i % shapes.len()].sample(&mut rng));
+        if let Some(shape) = shapes.get(i % shapes.len().max(1)) {
+            rows.push(shape.sample(&mut rng));
+        }
     }
-    let inliers = PointStore::from_rows(2, rows.clone()).expect("finite rows");
-    rows.extend(scatter_outliers(&inliers, n_outliers, margin, 15.0, &mut rng));
+    let inliers = must::from_rows(2, rows.clone());
+    rows.extend(scatter_outliers(
+        &inliers, n_outliers, margin, 15.0, &mut rng,
+    ));
     let mut labels = vec![false; n_inliers];
     labels.extend(vec![true; n_outliers]);
-    LabeledDataset::new(name, PointStore::from_rows(2, rows).expect("finite"), labels)
+    LabeledDataset::new(name, must::from_rows(2, rows), labels)
 }
 
 /// `cluto-t4-8k`-like: sinusoidal ribbons over straight bands plus two
@@ -120,11 +120,37 @@ pub fn cluto_t4_like(seed: u64) -> LabeledDataset {
         8_000,
         0.10,
         &[
-            Shape::Sine { x0: 5.0, x1: 95.0, base: 70.0, amp: 8.0, freq: 0.15, jitter: 1.2 },
-            Shape::Sine { x0: 5.0, x1: 95.0, base: 45.0, amp: 8.0, freq: 0.15, jitter: 1.2 },
-            Shape::Line { from: (10.0, 10.0), to: (90.0, 25.0), jitter: 1.5 },
-            Shape::Ellipse { center: (25.0, 90.0), rx: 10.0, ry: 5.0 },
-            Shape::Ellipse { center: (75.0, 92.0), rx: 8.0, ry: 4.0 },
+            Shape::Sine {
+                x0: 5.0,
+                x1: 95.0,
+                base: 70.0,
+                amp: 8.0,
+                freq: 0.15,
+                jitter: 1.2,
+            },
+            Shape::Sine {
+                x0: 5.0,
+                x1: 95.0,
+                base: 45.0,
+                amp: 8.0,
+                freq: 0.15,
+                jitter: 1.2,
+            },
+            Shape::Line {
+                from: (10.0, 10.0),
+                to: (90.0, 25.0),
+                jitter: 1.5,
+            },
+            Shape::Ellipse {
+                center: (25.0, 90.0),
+                rx: 10.0,
+                ry: 5.0,
+            },
+            Shape::Ellipse {
+                center: (75.0, 92.0),
+                rx: 8.0,
+                ry: 4.0,
+            },
         ],
         6.0,
         seed,
@@ -154,15 +180,55 @@ pub fn cluto_t7_like(seed: u64) -> LabeledDataset {
         10_000,
         0.08,
         &[
-            Shape::Sine { x0: 5.0, x1: 60.0, base: 85.0, amp: 6.0, freq: 0.2, jitter: 1.0 },
-            Shape::Ellipse { center: (80.0, 85.0), rx: 9.0, ry: 6.0 },
-            Shape::Line { from: (5.0, 60.0), to: (45.0, 70.0), jitter: 1.4 },
-            Shape::Ellipse { center: (65.0, 60.0), rx: 6.0, ry: 9.0 },
-            Shape::Blob { center: (90.0, 55.0), std_dev: 3.0 },
-            Shape::Line { from: (10.0, 15.0), to: (40.0, 40.0), jitter: 1.4 },
-            Shape::Sine { x0: 50.0, x1: 95.0, base: 30.0, amp: 7.0, freq: 0.25, jitter: 1.0 },
-            Shape::Blob { center: (20.0, 45.0), std_dev: 3.5 },
-            Shape::Ellipse { center: (55.0, 10.0), rx: 12.0, ry: 4.0 },
+            Shape::Sine {
+                x0: 5.0,
+                x1: 60.0,
+                base: 85.0,
+                amp: 6.0,
+                freq: 0.2,
+                jitter: 1.0,
+            },
+            Shape::Ellipse {
+                center: (80.0, 85.0),
+                rx: 9.0,
+                ry: 6.0,
+            },
+            Shape::Line {
+                from: (5.0, 60.0),
+                to: (45.0, 70.0),
+                jitter: 1.4,
+            },
+            Shape::Ellipse {
+                center: (65.0, 60.0),
+                rx: 6.0,
+                ry: 9.0,
+            },
+            Shape::Blob {
+                center: (90.0, 55.0),
+                std_dev: 3.0,
+            },
+            Shape::Line {
+                from: (10.0, 15.0),
+                to: (40.0, 40.0),
+                jitter: 1.4,
+            },
+            Shape::Sine {
+                x0: 50.0,
+                x1: 95.0,
+                base: 30.0,
+                amp: 7.0,
+                freq: 0.25,
+                jitter: 1.0,
+            },
+            Shape::Blob {
+                center: (20.0, 45.0),
+                std_dev: 3.5,
+            },
+            Shape::Ellipse {
+                center: (55.0, 10.0),
+                rx: 12.0,
+                ry: 4.0,
+            },
         ],
         5.5,
         seed,
@@ -176,9 +242,16 @@ pub fn cluto_t8_like(seed: u64) -> LabeledDataset {
         let x = 15.0 + 25.0 * (i % 4) as f64;
         let y = if i < 4 { 25.0 } else { 75.0 };
         if i % 2 == 0 {
-            shapes.push(Shape::Blob { center: (x, y), std_dev: 3.2 });
+            shapes.push(Shape::Blob {
+                center: (x, y),
+                std_dev: 3.2,
+            });
         } else {
-            shapes.push(Shape::Ellipse { center: (x, y), rx: 7.0, ry: 4.0 });
+            shapes.push(Shape::Ellipse {
+                center: (x, y),
+                rx: 7.0,
+                ry: 4.0,
+            });
         }
     }
     compose("cluto-t8-8k", 8_000, 0.04, &shapes, 6.0, seed)
@@ -192,11 +265,29 @@ pub fn cure_t2_like(seed: u64) -> LabeledDataset {
         4_000,
         0.05,
         &[
-            Shape::Ellipse { center: (25.0, 60.0), rx: 15.0, ry: 9.0 },
-            Shape::Ellipse { center: (75.0, 60.0), rx: 15.0, ry: 9.0 },
-            Shape::Blob { center: (40.0, 20.0), std_dev: 2.5 },
-            Shape::Blob { center: (60.0, 20.0), std_dev: 2.5 },
-            Shape::Line { from: (40.0, 20.0), to: (60.0, 20.0), jitter: 1.0 },
+            Shape::Ellipse {
+                center: (25.0, 60.0),
+                rx: 15.0,
+                ry: 9.0,
+            },
+            Shape::Ellipse {
+                center: (75.0, 60.0),
+                rx: 15.0,
+                ry: 9.0,
+            },
+            Shape::Blob {
+                center: (40.0, 20.0),
+                std_dev: 2.5,
+            },
+            Shape::Blob {
+                center: (60.0, 20.0),
+                std_dev: 2.5,
+            },
+            Shape::Line {
+                from: (40.0, 20.0),
+                to: (60.0, 20.0),
+                jitter: 1.0,
+            },
         ],
         6.0,
         seed,

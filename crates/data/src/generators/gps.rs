@@ -18,9 +18,10 @@
 //!   with small random noise; [`enlarge`] implements exactly that scheme.
 
 use dbscout_spatial::PointStore;
-use rand::Rng;
 
 use crate::rng::{log_normal, normal, seeded, weighted_index, zipf_weights};
+
+use super::{must, pick};
 
 /// Geolife-like skewed 3-D GPS points (x, y in meters; z altitude-like).
 ///
@@ -29,7 +30,7 @@ use crate::rng::{log_normal, normal, seeded, weighted_index, zipf_weights};
 /// scatter (the outlier reservoir).
 pub fn geolife_like(n: usize, seed: u64) -> PointStore {
     let mut rng = seeded(seed);
-    let mut store = PointStore::with_capacity(3, n).expect("3-D fits MAX_DIMS");
+    let mut store = must::store(3, n);
     // One dominant center (Beijing-like) plus minor cities, meter units.
     let minor_cities: [(f64, f64); 5] = [
         (250_000.0, 40_000.0),
@@ -48,7 +49,7 @@ pub fn geolife_like(n: usize, seed: u64) -> PointStore {
             let theta = rng.gen_range(0.0..std::f64::consts::TAU);
             (r * theta.cos(), r * theta.sin())
         } else if u < 0.95 {
-            let (cx, cy) = minor_cities[rng.gen_range(0..minor_cities.len())];
+            let (cx, cy) = pick(&mut rng, &minor_cities);
             let r = log_normal(&mut rng, 4.5, 1.4);
             let theta = rng.gen_range(0.0..std::f64::consts::TAU);
             (cx + r * theta.cos(), cy + r * theta.sin())
@@ -61,7 +62,7 @@ pub fn geolife_like(n: usize, seed: u64) -> PointStore {
         };
         // Altitude-like third dimension, small relative to x/y.
         let z = normal(&mut rng, 50.0, 15.0);
-        store.push(&[x, y, z]).expect("finite sample");
+        must::push(&mut store, &[x, y, z]);
     }
     store
 }
@@ -92,11 +93,11 @@ pub fn osm_like_with(n: usize, n_cities: usize, seed: u64) -> PointStore {
     let n_cities = n_cities.max(1);
     let centers: Vec<(f64, f64)> = (0..n_cities)
         .map(|i| {
-            let (cx, cy) = CONTINENTS[i % CONTINENTS.len()];
-            (
-                normal(&mut rng, cx, 2.0e6),
-                normal(&mut rng, cy, 1.5e6),
-            )
+            let (cx, cy) = CONTINENTS
+                .get(i % CONTINENTS.len())
+                .copied()
+                .unwrap_or_default();
+            (normal(&mut rng, cx, 2.0e6), normal(&mut rng, cy, 1.5e6))
         })
         .collect();
     // City spread: large metros are wider; σ between 30 km and 300 km.
@@ -105,22 +106,21 @@ pub fn osm_like_with(n: usize, n_cities: usize, seed: u64) -> PointStore {
         .collect();
     let weights = zipf_weights(n_cities, 1.05);
 
-    let mut store = PointStore::with_capacity(2, n).expect("2-D fits MAX_DIMS");
+    let mut store = must::store(2, n);
     for _ in 0..n {
         let u: f64 = rng.gen();
         let (x, y) = if u < 0.998 {
             let c = weighted_index(&mut rng, &weights);
-            (
-                normal(&mut rng, centers[c].0, sigmas[c]),
-                normal(&mut rng, centers[c].1, sigmas[c]),
-            )
+            let (cx, cy) = centers.get(c).copied().unwrap_or_default();
+            let s = sigmas.get(c).copied().unwrap_or_default();
+            (normal(&mut rng, cx, s), normal(&mut rng, cy, s))
         } else {
             (
                 rng.gen_range(-WORLD..WORLD),
                 rng.gen_range(-WORLD * 0.5..WORLD * 0.5),
             )
         };
-        store.push(&[x, y]).expect("finite sample");
+        must::push(&mut store, &[x, y]);
     }
     store
 }
@@ -147,10 +147,12 @@ pub fn geolife_trajectories(n_trips: usize, points_per_trip: usize, seed: u64) -
         .collect();
     let weights = zipf_weights(n_hubs, 1.4);
 
-    let mut store =
-        PointStore::with_capacity(3, n_trips * points_per_trip).expect("3-D fits MAX_DIMS");
+    let mut store = must::store(3, n_trips * points_per_trip);
     for _ in 0..n_trips {
-        let hub = hubs[weighted_index(&mut rng, &weights)];
+        let hub = hubs
+            .get(weighted_index(&mut rng, &weights))
+            .copied()
+            .unwrap_or_default();
         // Start near the hub (log-normal displacement), then walk.
         let r = log_normal(&mut rng, 4.0, 1.5);
         let theta = rng.gen_range(0.0..std::f64::consts::TAU);
@@ -161,7 +163,7 @@ pub fn geolife_trajectories(n_trips: usize, points_per_trip: usize, seed: u64) -
         // Step length: mostly pedestrian/vehicle scale, occasionally a
         // flight-style jump that strands isolated fixes.
         for _ in 0..points_per_trip {
-            store.push(&[x, y, z]).expect("finite fix");
+            must::push(&mut store, &[x, y, z]);
             heading += normal(&mut rng, 0.0, 0.4);
             let step = if rng.gen::<f64>() < 0.002 {
                 rng.gen_range(50_000.0..400_000.0)
@@ -184,16 +186,15 @@ pub fn enlarge(store: &PointStore, factor: usize, noise: f64, seed: u64) -> Poin
     assert!(factor >= 1, "factor must be >= 1");
     let mut rng = seeded(seed);
     let dims = store.dims();
-    let mut out =
-        PointStore::with_capacity(dims, store.len() as usize * factor).expect("same dims");
+    let mut out = must::store(dims, store.len() as usize * factor);
     let mut buf = vec![0.0f64; dims];
     for (_, p) in store.iter() {
-        out.push(p).expect("copy of valid point");
+        must::push(&mut out, p);
         for _ in 1..factor {
-            for (d, &c) in p.iter().enumerate() {
-                buf[d] = c + normal(&mut rng, 0.0, noise);
+            for (slot, &c) in buf.iter_mut().zip(p) {
+                *slot = c + normal(&mut rng, 0.0, noise);
             }
-            out.push(&buf).expect("finite replica");
+            must::push(&mut out, &buf);
         }
     }
     out

@@ -19,8 +19,42 @@ pub use cluto::{cluto_t4_like, cluto_t5_like, cluto_t7_like, cluto_t8_like, cure
 pub use gps::{enlarge, geolife_like, geolife_trajectories, osm_like, osm_like_with};
 pub use shapes::{circles, moons};
 
+use dbscout_rng::Rng;
 use dbscout_spatial::{KdTree, PointStore};
-use rand::Rng;
+
+/// Point-store constructors that cannot fail for generator output:
+/// dimensionalities are literal (2 or 3, well under `MAX_DIMS`) and every
+/// coordinate is built from finite arithmetic on finite samples. A failure
+/// here is a generator bug, and in this non-library data crate the right
+/// response is a loud panic — concentrated behind one audited allow
+/// instead of scattered `expect`s.
+#[allow(clippy::expect_used)]
+pub(crate) mod must {
+    use dbscout_spatial::PointStore;
+
+    pub(crate) fn store(dims: usize, capacity: usize) -> PointStore {
+        PointStore::with_capacity(dims, capacity).expect("generator dims are within MAX_DIMS")
+    }
+
+    pub(crate) fn from_rows(dims: usize, rows: impl IntoIterator<Item = Vec<f64>>) -> PointStore {
+        PointStore::from_rows(dims, rows).expect("generator rows are finite by construction")
+    }
+
+    pub(crate) fn push(store: &mut PointStore, row: &[f64]) {
+        store
+            .push(row)
+            .expect("generator rows are finite by construction");
+    }
+}
+
+/// A uniformly random element of a non-empty slice (the first element if
+/// the slice is somehow empty — callers pass compile-time non-empty sets).
+pub(crate) fn pick<T: Copy + Default>(rng: &mut Rng, items: &[T]) -> T {
+    items
+        .get(rng.gen_range(0..items.len().max(1)))
+        .copied()
+        .unwrap_or_default()
+}
 
 /// Scatters `count` labelled outliers uniformly in the inlier bounding
 /// box expanded by `expand` on each side, rejecting candidates closer
@@ -30,33 +64,39 @@ pub(crate) fn scatter_outliers(
     count: usize,
     margin: f64,
     expand: f64,
-    rng: &mut impl Rng,
+    rng: &mut Rng,
 ) -> Vec<Vec<f64>> {
-    let (min, max) = inliers
-        .bounding_box()
-        .expect("outliers are scattered around a non-empty inlier set");
+    let Some((min, max)) = inliers.bounding_box() else {
+        return Vec::new();
+    };
     let tree = KdTree::build(inliers);
-    let dims = inliers.dims();
     let mut out = Vec::with_capacity(count);
     let mut attempts = 0usize;
     let max_attempts = count.saturating_mul(200).max(10_000);
     while out.len() < count && attempts < max_attempts {
         attempts += 1;
-        let cand: Vec<f64> = (0..dims)
-            .map(|d| rng.gen_range(min[d] - expand..max[d] + expand))
+        let cand: Vec<f64> = min
+            .iter()
+            .zip(&max)
+            .map(|(&lo, &hi)| rng.gen_range(lo - expand..hi + expand))
             .collect();
-        let nearest = tree.knn(&cand, 1);
-        if nearest[0].sq_dist > margin * margin {
+        let far_enough = tree
+            .knn(&cand, 1)
+            .first()
+            .is_some_and(|n| n.sq_dist > margin * margin);
+        if far_enough {
             out.push(cand);
         }
     }
     // If rejection sampling starved (tiny domains), fall back to pushing
     // candidates radially out of the bounding box.
     while out.len() < count {
-        let cand: Vec<f64> = (0..dims)
-            .map(|d| {
-                let span = max[d] - min[d] + 2.0 * expand;
-                max[d] + expand + rng.gen_range(0.0..span.max(margin * 4.0))
+        let cand: Vec<f64> = min
+            .iter()
+            .zip(&max)
+            .map(|(&lo, &hi)| {
+                let span = hi - lo + 2.0 * expand;
+                hi + expand + rng.gen_range(0.0..span.max(margin * 4.0))
             })
             .collect();
         out.push(cand);
@@ -72,11 +112,9 @@ mod tests {
 
     #[test]
     fn scatter_outliers_respects_margin() {
-        let inliers = PointStore::from_rows(
-            2,
-            (0..100).map(|i| vec![(i % 10) as f64, (i / 10) as f64]),
-        )
-        .unwrap();
+        let inliers =
+            PointStore::from_rows(2, (0..100).map(|i| vec![(i % 10) as f64, (i / 10) as f64]))
+                .unwrap();
         let mut rng = seeded(9);
         let outs = scatter_outliers(&inliers, 20, 2.0, 10.0, &mut rng);
         assert_eq!(outs.len(), 20);

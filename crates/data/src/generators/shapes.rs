@@ -2,13 +2,12 @@
 //! datasets on which the paper shows IF and OC-SVM collapsing while
 //! density methods stay accurate.
 
-use dbscout_spatial::PointStore;
-use rand::Rng;
+use dbscout_rng::Rng;
 
 use crate::labeled::LabeledDataset;
 use crate::rng::{normal, seeded, unit_circle};
 
-use super::scatter_outliers;
+use super::{must, scatter_outliers};
 
 /// Two concentric circles (outer radius 1, inner radius `factor`) with
 /// Gaussian jitter `noise`, plus labelled outliers scattered away from
@@ -31,7 +30,14 @@ pub fn circles(
             y * r + normal(&mut rng, 0.0, noise),
         ]);
     }
-    finish("circles", rows, n_inliers, n_outliers, 4.0 * noise, &mut rng)
+    finish(
+        "circles",
+        rows,
+        n_inliers,
+        n_outliers,
+        4.0 * noise,
+        &mut rng,
+    )
 }
 
 /// Two interleaving half-moons with Gaussian jitter `noise`, plus
@@ -60,13 +66,13 @@ fn finish(
     n_inliers: usize,
     n_outliers: usize,
     margin: f64,
-    rng: &mut impl Rng,
+    rng: &mut Rng,
 ) -> LabeledDataset {
-    let inliers = PointStore::from_rows(2, rows.clone()).expect("finite rows");
+    let inliers = must::from_rows(2, rows.clone());
     rows.extend(scatter_outliers(&inliers, n_outliers, margin, 1.0, rng));
     let mut labels = vec![false; n_inliers];
     labels.extend(vec![true; n_outliers]);
-    LabeledDataset::new(name, PointStore::from_rows(2, rows).expect("finite"), labels)
+    LabeledDataset::new(name, must::from_rows(2, rows), labels)
 }
 
 #[cfg(test)]
@@ -109,7 +115,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(circles(100, 5, 0.4, 0.05, 9).points, circles(100, 5, 0.4, 0.05, 9).points);
+        assert_eq!(
+            circles(100, 5, 0.4, 0.05, 9).points,
+            circles(100, 5, 0.4, 0.05, 9).points
+        );
         assert_eq!(moons(100, 5, 0.05, 9).points, moons(100, 5, 0.05, 9).points);
     }
 

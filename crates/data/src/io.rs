@@ -8,8 +8,45 @@ use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use bytes::{Buf, BufMut};
 use dbscout_spatial::PointStore;
+
+/// A bounds-checked little-endian reader over a byte slice.
+///
+/// Stands in for the `bytes::Buf` trait (unavailable offline); every read
+/// returns `None` past the end instead of panicking.
+struct ByteReader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
+        let head = self.data.get(..N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(head);
+        self.data = self.data.get(N..)?;
+        Some(out)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take::<1>().map(|[b]| b)
+    }
+
+    fn u64_le(&mut self) -> Option<u64> {
+        self.take::<8>().map(u64::from_le_bytes)
+    }
+
+    fn f64_le(&mut self) -> Option<f64> {
+        self.take::<8>().map(f64::from_le_bytes)
+    }
+}
 
 /// Magic bytes of the binary point format.
 const MAGIC: &[u8; 4] = b"DBSC";
@@ -85,7 +122,8 @@ pub fn write_csv(
             write!(w, "{c}")?;
         }
         if let Some(labels) = labels {
-            write!(w, ",{}", u8::from(labels[id as usize]))?;
+            let flag = labels.get(id as usize).copied().unwrap_or(false);
+            write!(w, ",{}", u8::from(flag))?;
         }
         w.write_all(b"\n")?;
     }
@@ -159,38 +197,36 @@ pub fn read_csv(
 pub fn encode_binary(store: &PointStore) -> Vec<u8> {
     let n = store.len() as u64;
     let mut buf = Vec::with_capacity(16 + store.flat().len() * 8);
-    buf.put_slice(MAGIC);
-    buf.put_u8(VERSION);
-    buf.put_u8(store.dims() as u8);
-    buf.put_u64_le(n);
+    buf.extend_from_slice(MAGIC);
+    buf.push(VERSION);
+    buf.push(store.dims() as u8);
+    buf.extend_from_slice(&n.to_le_bytes());
     for &c in store.flat() {
-        buf.put_f64_le(c);
+        buf.extend_from_slice(&c.to_le_bytes());
     }
     buf
 }
 
 /// Decodes the compact binary format.
-pub fn decode_binary(mut data: &[u8]) -> Result<PointStore, DataIoError> {
-    if data.len() < 14 {
+pub fn decode_binary(data: &[u8]) -> Result<PointStore, DataIoError> {
+    let mut r = ByteReader::new(data);
+    let magic = r.take::<4>().ok_or(DataIoError::BadHeader)?;
+    let version = r.u8().ok_or(DataIoError::BadHeader)?;
+    if &magic != MAGIC || version != VERSION {
         return Err(DataIoError::BadHeader);
     }
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
-    if &magic != MAGIC || data.get_u8() != VERSION {
-        return Err(DataIoError::BadHeader);
-    }
-    let dims = data.get_u8() as usize;
-    let n = data.get_u64_le() as usize;
+    let dims = r.u8().ok_or(DataIoError::BadHeader)? as usize;
+    let n = r.u64_le().ok_or(DataIoError::BadHeader)? as usize;
     let want = n
         .checked_mul(dims)
         .and_then(|x| x.checked_mul(8))
         .ok_or(DataIoError::Truncated)?;
-    if data.remaining() < want {
+    if r.remaining() < want {
         return Err(DataIoError::Truncated);
     }
     let mut coords = Vec::with_capacity(n * dims);
     for _ in 0..n * dims {
-        coords.push(data.get_f64_le());
+        coords.push(r.f64_le().ok_or(DataIoError::Truncated)?);
     }
     Ok(PointStore::from_flat(dims, coords)?)
 }

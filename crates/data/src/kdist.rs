@@ -36,16 +36,18 @@ pub fn elbow_eps(kdist: &[f64]) -> Option<f64> {
         return None;
     }
     let n = kdist.len() as f64;
-    let (x0, y0) = (0.0, kdist[0]);
-    let (x1, y1) = (n - 1.0, kdist[kdist.len() - 1]);
+    let head = kdist.first().copied()?;
+    let tail = kdist.last().copied()?;
+    let (x0, y0) = (0.0, head);
+    let (x1, y1) = (n - 1.0, tail);
     let dx = x1 - x0;
     let dy = y1 - y0;
     let norm = (dx * dx + dy * dy).sqrt();
     if norm == 0.0 {
-        return Some(kdist[0]);
+        return Some(head);
     }
     let chord_dist = |i: usize| -> f64 {
-        let (x, y) = (i as f64, kdist[i]);
+        let (x, y) = (i as f64, kdist.get(i).copied().unwrap_or(0.0));
         ((dy * x - dx * y + x1 * y0 - y1 * x0) / norm).abs()
     };
     let mut best = (0usize, f64::MIN);
@@ -58,8 +60,10 @@ pub fn elbow_eps(kdist: &[f64]) -> Option<f64> {
     // Upper edge of the elbow zone: smallest index (largest k-dist) whose
     // chord distance is still within 90% of the knee's.
     let threshold = 0.9 * best.1;
-    let upper = (0..=best.0).find(|&i| chord_dist(i) >= threshold).unwrap_or(best.0);
-    Some(kdist[upper])
+    let upper = (0..=best.0)
+        .find(|&i| chord_dist(i) >= threshold)
+        .unwrap_or(best.0);
+    kdist.get(upper).copied()
 }
 
 /// End-to-end ε suggestion: build the k-dist graph for `k = min_pts` and
@@ -74,11 +78,9 @@ mod tests {
 
     #[test]
     fn kdist_is_sorted_descending() {
-        let store = PointStore::from_rows(
-            2,
-            (0..100).map(|i| vec![(i % 10) as f64, (i / 10) as f64]),
-        )
-        .unwrap();
+        let store =
+            PointStore::from_rows(2, (0..100).map(|i| vec![(i % 10) as f64, (i / 10) as f64]))
+                .unwrap();
         let g = kdist_graph(&store, 4);
         assert_eq!(g.len(), 100);
         for w in g.windows(2) {

@@ -1,18 +1,17 @@
 //! Seeded sampling helpers.
 //!
-//! Only the `rand` core crate is available offline, so the Gaussian and
-//! log-normal samplers (Box–Muller) live here instead of `rand_distr`.
+//! Distributions are built on the in-tree [`dbscout_rng`] generator: the
+//! Gaussian and log-normal samplers use the Box–Muller transform.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dbscout_rng::Rng;
 
 /// A deterministic RNG from a `u64` seed.
-pub fn seeded(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn seeded(seed: u64) -> Rng {
+    Rng::seed_from_u64(seed)
 }
 
 /// One standard-normal sample via the Box–Muller transform.
-pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+pub fn standard_normal(rng: &mut Rng) -> f64 {
     // u1 ∈ (0, 1] so the log is finite.
     let u1: f64 = 1.0 - rng.gen::<f64>();
     let u2: f64 = rng.gen();
@@ -20,17 +19,17 @@ pub fn standard_normal(rng: &mut impl Rng) -> f64 {
 }
 
 /// A normal sample with the given mean and standard deviation.
-pub fn normal(rng: &mut impl Rng, mean: f64, std_dev: f64) -> f64 {
+pub fn normal(rng: &mut Rng, mean: f64, std_dev: f64) -> f64 {
     mean + std_dev * standard_normal(rng)
 }
 
 /// A log-normal sample: `exp(N(mu, sigma))`.
-pub fn log_normal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+pub fn log_normal(rng: &mut Rng, mu: f64, sigma: f64) -> f64 {
     normal(rng, mu, sigma).exp()
 }
 
 /// A point on the unit circle, uniform in angle.
-pub fn unit_circle(rng: &mut impl Rng) -> (f64, f64) {
+pub fn unit_circle(rng: &mut Rng) -> (f64, f64) {
     let theta: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
     (theta.cos(), theta.sin())
 }
@@ -46,7 +45,7 @@ pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
 }
 
 /// Samples an index from a (normalised) weight vector.
-pub fn weighted_index(rng: &mut impl Rng, weights: &[f64]) -> usize {
+pub fn weighted_index(rng: &mut Rng, weights: &[f64]) -> usize {
     let mut u: f64 = rng.gen();
     for (i, &w) in weights.iter().enumerate() {
         if u < w {
@@ -80,8 +79,7 @@ mod tests {
         let n = 50_000;
         let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
         let mean: f64 = samples.iter().sum::<f64>() / n as f64;
-        let var: f64 =
-            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
     }

@@ -3,7 +3,6 @@
 
 use dbscout_spatial::points::PointId;
 use dbscout_spatial::PointStore;
-use rand::Rng;
 
 use crate::rng::seeded;
 
@@ -34,8 +33,8 @@ pub fn sample_exact(store: &PointStore, k: usize, seed: u64) -> PointStore {
     let mut reservoir: Vec<PointId> = (0..k as PointId).collect();
     for i in k..n {
         let j = rng.gen_range(0..=i);
-        if j < k {
-            reservoir[j] = i as PointId;
+        if let Some(slot) = reservoir.get_mut(j) {
+            *slot = i as PointId;
         }
     }
     reservoir.sort_unstable();

@@ -77,8 +77,9 @@ impl Scaler {
         let mut out = PointStore::with_capacity(store.dims(), store.len() as usize)?;
         let mut buf = vec![0.0; store.dims()];
         for (_, p) in store.iter() {
-            for (b, (&x, (&sh, &sc))) in
-                buf.iter_mut().zip(p.iter().zip(self.shift.iter().zip(&self.scale)))
+            for (b, (&x, (&sh, &sc))) in buf
+                .iter_mut()
+                .zip(p.iter().zip(self.shift.iter().zip(&self.scale)))
             {
                 *b = (x - sh) / sc;
             }
@@ -102,8 +103,9 @@ impl Scaler {
         let mut out = PointStore::with_capacity(store.dims(), store.len() as usize)?;
         let mut buf = vec![0.0; store.dims()];
         for (_, p) in store.iter() {
-            for (b, (&x, (&sh, &sc))) in
-                buf.iter_mut().zip(p.iter().zip(self.shift.iter().zip(&self.scale)))
+            for (b, (&x, (&sh, &sc))) in buf
+                .iter_mut()
+                .zip(p.iter().zip(self.shift.iter().zip(&self.scale)))
             {
                 *b = x * sc + sh;
             }

@@ -1,83 +1,123 @@
-//! Property-based tests for dataset generation, IO, sampling and
-//! scaling.
+//! Randomized tests for dataset generation, IO, sampling and scaling,
+//! driven by a seeded [`dbscout_rng::Rng`] for reproducibility.
+
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic,
+    clippy::float_cmp
+)]
 
 use dbscout_data::generators::{blobs, enlarge, moons, osm_like};
 use dbscout_data::io::{decode_binary, encode_binary};
 use dbscout_data::kdist::{elbow_eps, kdist_graph};
 use dbscout_data::sampling::{sample_exact, sample_fraction};
 use dbscout_data::transform::Scaler;
+use dbscout_rng::Rng;
 use dbscout_spatial::PointStore;
-use proptest::prelude::*;
 
-fn arb_store(max_n: usize) -> impl Strategy<Value = PointStore> {
-    (1usize..=3).prop_flat_map(move |dims| {
-        prop::collection::vec(prop::collection::vec(-1e6f64..1e6, dims), 1..max_n)
-            .prop_map(move |rows| PointStore::from_rows(dims, rows).expect("finite rows"))
-    })
+fn random_store(rng: &mut Rng, max_n: usize) -> PointStore {
+    let dims = rng.gen_range(1usize..=3);
+    let n = rng.gen_range(1..max_n);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..dims).map(|_| rng.gen_range(-1e6..1e6)).collect())
+        .collect();
+    PointStore::from_rows(dims, rows).expect("finite rows")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn binary_round_trip_any_store(store in arb_store(200)) {
+#[test]
+fn binary_round_trip_any_store() {
+    let mut rng = Rng::seed_from_u64(0xD001);
+    for _ in 0..32 {
+        let store = random_store(&mut rng, 200);
         let decoded = decode_binary(&encode_binary(&store)).unwrap();
-        prop_assert_eq!(decoded, store);
+        assert_eq!(decoded, store);
     }
+}
 
-    #[test]
-    fn sample_exact_size_and_provenance(store in arb_store(150), k in 0usize..200, seed in 0u64..100) {
+#[test]
+fn sample_exact_size_and_provenance() {
+    let mut rng = Rng::seed_from_u64(0xD002);
+    for _ in 0..32 {
+        let store = random_store(&mut rng, 150);
+        let k = rng.gen_range(0usize..200);
+        let seed = rng.gen_range(0u64..100);
         let sub = sample_exact(&store, k, seed);
-        prop_assert_eq!(sub.len() as usize, k.min(store.len() as usize));
-        prop_assert_eq!(sub.dims(), store.dims());
+        assert_eq!(sub.len() as usize, k.min(store.len() as usize));
+        assert_eq!(sub.dims(), store.dims());
     }
+}
 
-    #[test]
-    fn sample_fraction_within_bernoulli_bounds(frac in 0.0f64..=1.0, seed in 0u64..50) {
+#[test]
+fn sample_fraction_within_bernoulli_bounds() {
+    let mut rng = Rng::seed_from_u64(0xD003);
+    for _ in 0..32 {
+        let frac = rng.gen_range(0.0..1.0f64);
+        let seed = rng.gen_range(0u64..50);
         let store = osm_like(2_000, 1);
         let sub = sample_fraction(&store, frac, seed);
         let expected = 2_000.0 * frac;
         // 5-sigma Bernoulli bound.
         let sigma = (2_000.0 * frac * (1.0 - frac)).sqrt();
-        prop_assert!(
+        assert!(
             ((sub.len() as f64) - expected).abs() <= 5.0 * sigma + 1.0,
             "{} vs {expected}",
             sub.len()
         );
     }
+}
 
-    #[test]
-    fn enlarge_scales_cardinality(factor in 1usize..5, seed in 0u64..20) {
+#[test]
+fn enlarge_scales_cardinality() {
+    let mut rng = Rng::seed_from_u64(0xD004);
+    for _ in 0..32 {
+        let factor = rng.gen_range(1usize..5);
+        let seed = rng.gen_range(0u64..20);
         let base = osm_like(300, seed);
         let big = enlarge(&base, factor, 100.0, seed);
-        prop_assert_eq!(big.len() as usize, 300 * factor);
+        assert_eq!(big.len() as usize, 300 * factor);
     }
+}
 
-    #[test]
-    fn generators_hit_requested_contamination(
-        n_in in 100usize..800,
-        n_out in 1usize..30,
-        seed in 0u64..30,
-    ) {
-        for ds in [blobs(n_in, n_out, 2, 0.5, seed), moons(n_in, n_out, 0.05, seed)] {
-            prop_assert_eq!(ds.len(), n_in + n_out, "{}", ds.name);
-            prop_assert_eq!(ds.num_outliers(), n_out, "{}", ds.name);
+#[test]
+fn generators_hit_requested_contamination() {
+    let mut rng = Rng::seed_from_u64(0xD005);
+    for _ in 0..32 {
+        let n_in = rng.gen_range(100usize..800);
+        let n_out = rng.gen_range(1usize..30);
+        let seed = rng.gen_range(0u64..30);
+        for ds in [
+            blobs(n_in, n_out, 2, 0.5, seed),
+            moons(n_in, n_out, 0.05, seed),
+        ] {
+            assert_eq!(ds.len(), n_in + n_out, "{}", ds.name);
+            assert_eq!(ds.num_outliers(), n_out, "{}", ds.name);
         }
     }
+}
 
-    #[test]
-    fn kdist_graph_sorted_and_elbow_in_range(store in arb_store(120), k in 1usize..5) {
+#[test]
+fn kdist_graph_sorted_and_elbow_in_range() {
+    let mut rng = Rng::seed_from_u64(0xD006);
+    for _ in 0..32 {
+        let store = random_store(&mut rng, 120);
+        let k = rng.gen_range(1usize..5);
         let g = kdist_graph(&store, k);
         for w in g.windows(2) {
-            prop_assert!(w[0] >= w[1]);
+            assert!(w[0] >= w[1]);
         }
         if let Some(eps) = elbow_eps(&g) {
-            prop_assert!(eps >= g[g.len() - 1] && eps <= g[0]);
+            assert!(eps >= g[g.len() - 1] && eps <= g[0]);
         }
     }
+}
 
-    #[test]
-    fn scalers_round_trip(store in arb_store(100)) {
+#[test]
+fn scalers_round_trip() {
+    let mut rng = Rng::seed_from_u64(0xD007);
+    for _ in 0..32 {
+        let store = random_store(&mut rng, 100);
         for scaler in [
             Scaler::fit_min_max(&store).unwrap(),
             Scaler::fit_standard(&store).unwrap(),
@@ -87,7 +127,7 @@ proptest! {
                 .unwrap();
             for ((_, a), (_, b)) in store.iter().zip(back.iter()) {
                 for (x, y) in a.iter().zip(b) {
-                    prop_assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()), "{x} vs {y}");
+                    assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()), "{x} vs {y}");
                 }
             }
         }

@@ -75,13 +75,11 @@ impl ExecutionContext {
 }
 
 /// Builder for [`ExecutionContext`].
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ExecutionContextBuilder {
     workers: Option<usize>,
     default_partitions: Option<usize>,
 }
-
 
 impl ExecutionContextBuilder {
     /// Sets the number of worker threads (defaults to available CPUs).

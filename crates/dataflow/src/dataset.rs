@@ -221,7 +221,9 @@ impl<T: Send + Sync> Dataset<T> {
         let mut i = 0usize;
         for part in &self.partitions {
             for r in part.iter() {
-                parts[i % n].push(r.clone());
+                if let Some(slot) = parts.get_mut(i % n) {
+                    slot.push(r.clone());
+                }
                 i += 1;
             }
         }
@@ -353,8 +355,7 @@ mod tests {
     #[test]
     fn empty_input_yields_one_empty_partition() {
         let ctx = ctx();
-        let ds: crate::Dataset<i32> =
-            crate::Dataset::from_partitions(ctx, Vec::new());
+        let ds: crate::Dataset<i32> = crate::Dataset::from_partitions(ctx, Vec::new());
         assert_eq!(ds.num_partitions(), 1);
         assert_eq!(ds.count(), 0);
     }

@@ -26,6 +26,12 @@ pub enum EngineError {
     },
     /// Two datasets that must share an [`super::ExecutionContext`] did not.
     ContextMismatch,
+    /// An engine-internal invariant failed to hold. Surfaced as an error
+    /// instead of a panic so a broken scheduler cannot take down a scan.
+    Internal {
+        /// Description of the violated invariant.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -40,11 +46,19 @@ impl fmt::Display for EngineError {
             EngineError::ContextMismatch => {
                 write!(f, "datasets belong to different execution contexts")
             }
+            EngineError::Internal { message } => {
+                write!(f, "engine invariant violated: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+// Compile-time proof of the XL004 contract: the error type is
+// `Display + std::error::Error + Send + Sync`.
+const fn _assert_error_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+const _: () = _assert_error_bounds::<EngineError>();
 
 #[cfg(test)]
 mod tests {
@@ -67,7 +81,9 @@ mod tests {
 
     #[test]
     fn display_context_mismatch() {
-        assert!(EngineError::ContextMismatch.to_string().contains("contexts"));
+        assert!(EngineError::ContextMismatch
+            .to_string()
+            .contains("contexts"));
     }
 
     #[test]

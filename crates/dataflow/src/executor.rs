@@ -5,15 +5,26 @@
 //! straggler partition — e.g. the Beijing cell of a skewed GPS dataset —
 //! does not leave the other workers idle, just as Spark's scheduler hands
 //! out tasks to free executor slots. Worker threads are scoped per stage
-//! (via [`crossbeam::thread::scope`]), which lets tasks borrow stage-local
+//! (via [`std::thread::scope`]), which lets tasks borrow stage-local
 //! data without `'static` bounds.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use crate::error::{EngineError, Result};
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+///
+/// Worker closures wrap every user task in [`catch_unwind`], so a poisoned
+/// lock can only mean the panic was already caught and recorded; taking the
+/// inner value is sound and keeps the engine panic-free.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
 
 /// Runs `tasks` (one closure per partition) on at most `workers` threads
 /// and returns their results in task order.
@@ -56,30 +67,37 @@ where
         (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let task = slots[i]
-                    .lock()
-                    .take()
-                    .expect("task slot taken twice: cursor handed out duplicate index");
+                // The cursor hands out each index exactly once, so the slot
+                // is always occupied; `continue` (rather than panicking)
+                // keeps the worker alive even if that invariant broke.
+                let Some(task) = slots.get(i).and_then(|s| lock_unpoisoned(s).take()) else {
+                    continue;
+                };
                 let outcome = match catch_unwind(AssertUnwindSafe(task)) {
                     Ok(v) => Ok(v),
                     Err(payload) => Err(panic_message(payload)),
                 };
-                *results[i].lock() = Some(outcome);
+                if let Some(slot) = results.get(i) {
+                    *lock_unpoisoned(slot) = Some(outcome);
+                }
             });
         }
-    })
-    .expect("worker threads are joined in-scope and panics are caught per-task");
+    });
 
     let mut out = Vec::with_capacity(n);
     for (i, slot) in results.into_iter().enumerate() {
-        match slot.into_inner() {
+        let inner = match slot.into_inner() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match inner {
             Some(Ok(v)) => out.push(v),
             Some(Err(message)) => {
                 return Err(EngineError::TaskPanic {
@@ -87,7 +105,11 @@ where
                     message,
                 })
             }
-            None => unreachable!("cursor covers all indices before scope exit"),
+            None => {
+                return Err(EngineError::Internal {
+                    message: format!("no result recorded for partition {i}"),
+                })
+            }
         }
     }
     Ok(out)
@@ -164,10 +186,8 @@ mod tests {
     fn lowest_failing_partition_wins() {
         // Both tasks panic; the error must name partition 0 regardless of
         // scheduling order.
-        let tasks: Vec<Box<dyn FnOnce() -> i32 + Send>> = vec![
-            Box::new(|| panic!("first")),
-            Box::new(|| panic!("second")),
-        ];
+        let tasks: Vec<Box<dyn FnOnce() -> i32 + Send>> =
+            vec![Box::new(|| panic!("first")), Box::new(|| panic!("second"))];
         let err = run_tasks(4, tasks).unwrap_err();
         match err {
             EngineError::TaskPanic { partition, message } => {
@@ -181,10 +201,12 @@ mod tests {
     #[test]
     fn tasks_can_borrow_stage_local_data() {
         let data = vec![10, 20, 30];
-        let tasks: Vec<_> = (0..3).map(|i| {
-            let data = &data;
-            move || data[i] + 1
-        }).collect();
+        let tasks: Vec<_> = (0..3)
+            .map(|i| {
+                let data = &data;
+                move || data[i] + 1
+            })
+            .collect();
         assert_eq!(run_tasks(2, tasks).unwrap(), vec![11, 21, 31]);
     }
 

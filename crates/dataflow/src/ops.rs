@@ -189,7 +189,10 @@ mod tests {
     fn aggregate_on_empty() {
         let ctx = ctx();
         let ds = ctx.parallelize(Vec::<i64>::new(), 3);
-        assert_eq!(ds.aggregate(7i64, |a, &x| a + x, |a, b| a + b).unwrap(), 7 * 4);
+        assert_eq!(
+            ds.aggregate(7i64, |a, &x| a + x, |a, b| a + b).unwrap(),
+            7 * 4
+        );
         // (zero is folded once per partition plus once on the driver —
         // the Spark contract; callers use a true identity element.)
     }
@@ -199,10 +202,7 @@ mod tests {
         let ctx = ctx();
         let ds = ctx.parallelize(vec!["a", "b", "c", "d", "e"], 2);
         let out = ds.zip_with_index().unwrap().collect().unwrap();
-        assert_eq!(
-            out,
-            vec![(0, "a"), (1, "b"), (2, "c"), (3, "d"), (4, "e")]
-        );
+        assert_eq!(out, vec![(0, "a"), (1, "b"), (2, "c"), (3, "d"), (4, "e")]);
     }
 
     #[test]

@@ -276,7 +276,8 @@ where
 
     /// Number of records per key, computed via a combining shuffle.
     pub fn count_by_key(&self) -> Result<Dataset<(K, u64)>> {
-        self.map(|(k, _)| (k.clone(), 1u64))?.reduce_by_key(|a, b| a + b)
+        self.map(|(k, _)| (k.clone(), 1u64))?
+            .reduce_by_key(|a, b| a + b)
     }
 
     /// Collects the dataset into a driver-side map.
@@ -329,10 +330,7 @@ mod tests {
     #[test]
     fn reduce_by_key_sums() {
         let ctx = ctx();
-        let ds = ctx.parallelize(
-            (0..100u64).map(|i| (i % 10, i)).collect::<Vec<_>>(),
-            8,
-        );
+        let ds = ctx.parallelize((0..100u64).map(|i| (i % 10, i)).collect::<Vec<_>>(), 8);
         let mut out = ds.reduce_by_key(|a, b| a + b).unwrap().collect().unwrap();
         out.sort_unstable();
         // Sum of i in 0..100 with i%10==k is 10k + (0+10+...+90) = 10k+450.
@@ -357,7 +355,11 @@ mod tests {
             *expected.entry(k).or_insert(0) += v;
         }
         let ds = ctx.parallelize(records, 5);
-        let got = ds.reduce_by_key(|a, b| a + b).unwrap().collect_as_map().unwrap();
+        let got = ds
+            .reduce_by_key(|a, b| a + b)
+            .unwrap()
+            .collect_as_map()
+            .unwrap();
         assert_eq!(got.len(), expected.len());
         for (k, v) in expected {
             assert_eq!(got[&k], v);
@@ -396,7 +398,12 @@ mod tests {
         out.sort_unstable();
         assert_eq!(
             out,
-            vec![(1, ('a', 10)), (1, ('a', 20)), (1, ('b', 10)), (1, ('b', 20))]
+            vec![
+                (1, ('a', 10)),
+                (1, ('a', 20)),
+                (1, ('b', 10)),
+                (1, ('b', 20))
+            ]
         );
     }
 

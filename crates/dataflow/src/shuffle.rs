@@ -20,8 +20,6 @@ pub type DetHashMap<K, V> = std::collections::HashMap<K, V, DeterministicState>;
 
 /// Hashes a key with the deterministic hasher.
 pub fn hash_key<K: Hash + ?Sized>(key: &K) -> u64 {
-    
-    
     DeterministicState::default().hash_one(key)
 }
 
@@ -45,7 +43,9 @@ pub fn scatter<K: Hash, V>(
     let mut buckets: Vec<Vec<(K, V)>> = (0..num_partitions).map(|_| Vec::new()).collect();
     for (k, v) in records {
         let p = partition_for(&k, num_partitions);
-        buckets[p].push((k, v));
+        if let Some(bucket) = buckets.get_mut(p) {
+            bucket.push((k, v));
+        }
     }
     buckets
 }
@@ -58,7 +58,9 @@ pub fn gather<T>(mut per_task_buckets: Vec<Vec<Vec<T>>>, num_partitions: usize) 
     for task_buckets in &mut per_task_buckets {
         debug_assert_eq!(task_buckets.len(), num_partitions);
         for (p, bucket) in task_buckets.drain(..).enumerate() {
-            out[p].extend(bucket);
+            if let Some(slot) = out.get_mut(p) {
+                slot.extend(bucket);
+            }
         }
     }
     out
@@ -122,7 +124,11 @@ mod tests {
         let buckets = scatter(records, 4);
         for b in &buckets {
             // Expect ~2500 per bucket; allow wide tolerance.
-            assert!(b.len() > 1500 && b.len() < 3500, "skewed bucket: {}", b.len());
+            assert!(
+                b.len() > 1500 && b.len() < 3500,
+                "skewed bucket: {}",
+                b.len()
+            );
         }
     }
 }

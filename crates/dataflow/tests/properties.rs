@@ -1,11 +1,20 @@
-//! Property-based tests: the engine's shuffled operations must agree with
-//! simple sequential reference implementations for any data and any
-//! partitioning.
+//! Randomized property tests: the engine's shuffled operations must agree
+//! with simple sequential reference implementations for any data and any
+//! partitioning. Cases are drawn from a seeded [`dbscout_rng::Rng`] so
+//! every run sweeps the same reproducible input space.
+
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic,
+    clippy::float_cmp
+)]
 
 use std::collections::HashMap;
 
 use dbscout_dataflow::ExecutionContext;
-use proptest::prelude::*;
+use dbscout_rng::Rng;
 
 fn ctx(workers: usize) -> std::sync::Arc<ExecutionContext> {
     ExecutionContext::builder()
@@ -14,34 +23,51 @@ fn ctx(workers: usize) -> std::sync::Arc<ExecutionContext> {
         .build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn keyed_records(rng: &mut Rng, max_n: usize, key_space: u8) -> Vec<(u8, i64)> {
+    let n = rng.gen_range(0..max_n);
+    (0..n)
+        .map(|_| (rng.gen_range(0..key_space), rng.gen_range(-1000i64..1000)))
+        .collect()
+}
 
-    #[test]
-    fn reduce_by_key_equals_fold(
-        records in prop::collection::vec((0u8..20, -1000i64..1000), 0..300),
-        parts in 1usize..12,
-        workers in 1usize..6,
-    ) {
+#[test]
+fn reduce_by_key_equals_fold() {
+    let mut rng = Rng::seed_from_u64(0xB001);
+    for _ in 0..64 {
+        let records = keyed_records(&mut rng, 300, 20);
+        let parts = rng.gen_range(1usize..12);
+        let workers = rng.gen_range(1usize..6);
         let ctx = ctx(workers);
         let mut expected: HashMap<u8, i64> = HashMap::new();
         for &(k, v) in &records {
             *expected.entry(k).or_insert(0) += v;
         }
         let ds = ctx.parallelize(records, parts);
-        let got = ds.reduce_by_key(|a, b| a + b).unwrap().collect_as_map().unwrap();
-        prop_assert_eq!(got.len(), expected.len());
+        let got = ds
+            .reduce_by_key(|a, b| a + b)
+            .unwrap()
+            .collect_as_map()
+            .unwrap();
+        assert_eq!(got.len(), expected.len());
         for (k, v) in expected {
-            prop_assert_eq!(got[&k], v);
+            assert_eq!(got[&k], v);
         }
     }
+}
 
-    #[test]
-    fn join_equals_nested_loop(
-        left in prop::collection::vec((0u8..10, 0u16..100), 0..60),
-        right in prop::collection::vec((0u8..10, 0u16..100), 0..60),
-        parts in 1usize..8,
-    ) {
+#[test]
+fn join_equals_nested_loop() {
+    let mut rng = Rng::seed_from_u64(0xB002);
+    for _ in 0..64 {
+        let n_left = rng.gen_range(0usize..60);
+        let n_right = rng.gen_range(0usize..60);
+        let left: Vec<(u8, u16)> = (0..n_left)
+            .map(|_| (rng.gen_range(0u8..10), rng.gen_range(0u16..100)))
+            .collect();
+        let right: Vec<(u8, u16)> = (0..n_right)
+            .map(|_| (rng.gen_range(0u8..10), rng.gen_range(0u16..100)))
+            .collect();
+        let parts = rng.gen_range(1usize..8);
         let ctx = ctx(4);
         let mut expected: Vec<(u8, (u16, u16))> = Vec::new();
         for &(k, v) in &left {
@@ -56,14 +82,19 @@ proptest! {
         let r = ctx.parallelize(right, parts);
         let mut got = l.join(&r).unwrap().collect().unwrap();
         got.sort_unstable();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
 
-    #[test]
-    fn group_by_key_preserves_multiset(
-        records in prop::collection::vec((0u8..8, 0u32..50), 0..200),
-        parts in 1usize..10,
-    ) {
+#[test]
+fn group_by_key_preserves_multiset() {
+    let mut rng = Rng::seed_from_u64(0xB003);
+    for _ in 0..64 {
+        let n = rng.gen_range(0usize..200);
+        let records: Vec<(u8, u32)> = (0..n)
+            .map(|_| (rng.gen_range(0u8..8), rng.gen_range(0u32..50)))
+            .collect();
+        let parts = rng.gen_range(1usize..10);
         let ctx = ctx(4);
         let mut expected: HashMap<u8, Vec<u32>> = HashMap::new();
         for &(k, v) in &records {
@@ -74,67 +105,86 @@ proptest! {
         }
         let ds = ctx.parallelize(records, parts);
         let mut got = ds.group_by_key().unwrap().collect_as_map().unwrap();
-        prop_assert_eq!(got.len(), expected.len());
+        assert_eq!(got.len(), expected.len());
         for (k, vs) in got.iter_mut() {
             vs.sort_unstable();
-            prop_assert_eq!(&*vs, &expected[k]);
+            assert_eq!(&*vs, &expected[k]);
         }
     }
+}
 
-    #[test]
-    fn union_count_is_sum(
-        a in prop::collection::vec(0i32..100, 0..100),
-        b in prop::collection::vec(0i32..100, 0..100),
-        pa in 1usize..6,
-        pb in 1usize..6,
-    ) {
+#[test]
+fn union_count_is_sum() {
+    let mut rng = Rng::seed_from_u64(0xB004);
+    for _ in 0..64 {
+        let a: Vec<i32> = (0..rng.gen_range(0usize..100))
+            .map(|_| rng.gen_range(0i32..100))
+            .collect();
+        let b: Vec<i32> = (0..rng.gen_range(0usize..100))
+            .map(|_| rng.gen_range(0i32..100))
+            .collect();
+        let pa = rng.gen_range(1usize..6);
+        let pb = rng.gen_range(1usize..6);
         let ctx = ctx(2);
         let da = ctx.parallelize(a.clone(), pa);
         let db = ctx.parallelize(b.clone(), pb);
         let u = da.union(&db).unwrap();
-        prop_assert_eq!(u.count(), a.len() + b.len());
+        assert_eq!(u.count(), a.len() + b.len());
         let mut got = u.collect().unwrap();
         let mut expected = a;
         expected.extend(b);
         got.sort_unstable();
         expected.sort_unstable();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
 
-    #[test]
-    fn repartition_preserves_multiset(
-        data in prop::collection::vec(0u64..1000, 0..200),
-        from in 1usize..8,
-        to in 1usize..8,
-    ) {
+#[test]
+fn repartition_preserves_multiset() {
+    let mut rng = Rng::seed_from_u64(0xB005);
+    for _ in 0..64 {
+        let data: Vec<u64> = (0..rng.gen_range(0usize..200))
+            .map(|_| rng.gen_range(0u64..1000))
+            .collect();
+        let from = rng.gen_range(1usize..8);
+        let to = rng.gen_range(1usize..8);
         let ctx = ctx(3);
         let ds = ctx.parallelize(data.clone(), from);
         let rp = ds.repartition(to).unwrap();
-        prop_assert_eq!(rp.num_partitions(), to);
+        assert_eq!(rp.num_partitions(), to);
         let mut got = rp.collect().unwrap();
         let mut expected = data;
         got.sort_unstable();
         expected.sort_unstable();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
 
-    #[test]
-    fn flat_map_then_count(
-        data in prop::collection::vec(0usize..5, 0..100),
-        parts in 1usize..6,
-    ) {
+#[test]
+fn flat_map_then_count() {
+    let mut rng = Rng::seed_from_u64(0xB006);
+    for _ in 0..64 {
+        let data: Vec<usize> = (0..rng.gen_range(0usize..100))
+            .map(|_| rng.gen_range(0usize..5))
+            .collect();
+        let parts = rng.gen_range(1usize..6);
         let ctx = ctx(4);
         let expected: usize = data.iter().sum();
         let ds = ctx.parallelize(data, parts);
         let out = ds.flat_map(|&n| std::iter::repeat_n((), n)).unwrap();
-        prop_assert_eq!(out.count(), expected);
+        assert_eq!(out.count(), expected);
     }
+}
 
-    #[test]
-    fn workers_do_not_change_results(
-        records in prop::collection::vec((0u8..6, 1u64..100), 1..150),
-        parts in 1usize..8,
-    ) {
+#[test]
+fn workers_do_not_change_results() {
+    let mut rng = Rng::seed_from_u64(0xB007);
+    for _ in 0..64 {
+        let n = rng.gen_range(1usize..150);
+        let records: Vec<(u8, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0u8..6), rng.gen_range(1u64..100)))
+            .collect();
+        let parts = rng.gen_range(1usize..8);
         let mut reference = None;
         for workers in [1usize, 2, 8] {
             let ctx = ctx(workers);
@@ -147,7 +197,7 @@ proptest! {
             got.sort_unstable();
             match &reference {
                 None => reference = Some(got),
-                Some(r) => prop_assert_eq!(&got, r),
+                Some(r) => assert_eq!(&got, r),
             }
         }
     }

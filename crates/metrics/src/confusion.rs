@@ -4,10 +4,8 @@
 //! class** (§IV-A4); Tables IV–V report raw TP/FP/FN of an approximate
 //! detector against the exact (DBSCOUT) outlier set.
 
-use serde::{Deserialize, Serialize};
-
 /// Binary confusion matrix where the *positive* class is "outlier".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ConfusionMatrix {
     /// Predicted outlier, actually outlier.
     pub tp: usize,
@@ -45,11 +43,15 @@ impl ConfusionMatrix {
     pub fn from_id_sets(n: usize, predicted: &[u32], actual: &[u32]) -> Self {
         let mut p = vec![false; n];
         for &i in predicted {
-            p[i as usize] = true;
+            if let Some(slot) = p.get_mut(i as usize) {
+                *slot = true;
+            }
         }
         let mut a = vec![false; n];
         for &i in actual {
-            a[i as usize] = true;
+            if let Some(slot) = a.get_mut(i as usize) {
+                *slot = true;
+            }
         }
         Self::from_masks(&p, &a)
     }
@@ -116,8 +118,12 @@ mod tests {
     #[test]
     fn known_values() {
         // tp=2 fp=1 fn=1 tn=6: p=2/3, r=2/3, f1=2/3.
-        let predicted = vec![true, true, true, false, false, false, false, false, false, false];
-        let actual = vec![true, true, false, true, false, false, false, false, false, false];
+        let predicted = vec![
+            true, true, true, false, false, false, false, false, false, false,
+        ];
+        let actual = vec![
+            true, true, false, true, false, false, false, false, false, false,
+        ];
         let m = ConfusionMatrix::from_masks(&predicted, &actual);
         assert_eq!((m.tp, m.fp, m.fn_, m.tn), (2, 1, 1, 6));
         assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);

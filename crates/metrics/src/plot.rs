@@ -89,13 +89,15 @@ impl LineChart {
         let all: Vec<(f64, f64)> = self
             .series
             .iter()
-            .flat_map(|s| s.points.iter().map(|&(x, y)| {
-                assert!(
-                    (!self.log_x || x > 0.0) && (!self.log_y || y > 0.0),
-                    "log axis with non-positive value ({x}, {y})"
-                );
-                (tx(x), ty(y))
-            }))
+            .flat_map(|s| {
+                s.points.iter().map(|&(x, y)| {
+                    assert!(
+                        (!self.log_x || x > 0.0) && (!self.log_y || y > 0.0),
+                        "log axis with non-positive value ({x}, {y})"
+                    );
+                    (tx(x), ty(y))
+                })
+            })
             .collect();
         assert!(!all.is_empty(), "chart has no data");
         let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -106,17 +108,21 @@ impl LineChart {
             y0 = y0.min(y);
             y1 = y1.max(y);
         }
-        if x1 == x0 {
+        if x1.total_cmp(&x0).is_eq() {
             x1 = x0 + 1.0;
         }
-        if y1 == y0 {
+        if y1.total_cmp(&y0).is_eq() {
             y1 = y0 + 1.0;
         }
         // A little headroom.
         let pad_y = (y1 - y0) * 0.08;
         y1 += pad_y;
         if !self.log_y {
-            y0 = if y0 > 0.0 && y0 - pad_y < 0.0 { 0.0 } else { y0 - pad_y };
+            y0 = if y0 > 0.0 && y0 - pad_y < 0.0 {
+                0.0
+            } else {
+                y0 - pad_y
+            };
         }
 
         let plot_w = WIDTH - MARGIN_L - MARGIN_R;
@@ -181,7 +187,10 @@ impl LineChart {
 
         // Series.
         for (si, s) in self.series.iter().enumerate() {
-            let color = PALETTE[si % PALETTE.len()];
+            let color = PALETTE
+                .get(si % PALETTE.len())
+                .copied()
+                .unwrap_or("#000000");
             let pts: Vec<String> = s
                 .points
                 .iter()
@@ -227,7 +236,9 @@ fn fmt_tick(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

@@ -16,18 +16,25 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> Option<f64> {
         return None;
     }
     // Ranks with midrank ties.
+    let score_at = |i: usize| scores.get(i).copied().unwrap_or(f64::NEG_INFINITY);
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    idx.sort_by(|&a, &b| score_at(a).total_cmp(&score_at(b)));
+    let tied = |a: usize, b: usize| {
+        let (sa, sb) = (idx.get(a).copied(), idx.get(b).copied());
+        matches!((sa, sb), (Some(sa), Some(sb)) if score_at(sa).total_cmp(&score_at(sb)).is_eq())
+    };
     let mut ranks = vec![0.0f64; scores.len()];
     let mut i = 0;
     while i < idx.len() {
         let mut j = i;
-        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+        while j + 1 < idx.len() && tied(j + 1, i) {
             j += 1;
         }
         let midrank = (i + j) as f64 / 2.0 + 1.0;
-        for &k in &idx[i..=j] {
-            ranks[k] = midrank;
+        for &k in idx.get(i..=j).into_iter().flatten() {
+            if let Some(r) = ranks.get_mut(k) {
+                *r = midrank;
+            }
         }
         i = j + 1;
     }
@@ -51,12 +58,13 @@ pub fn average_precision(scores: &[f64], labels: &[bool]) -> Option<f64> {
     if pos == 0 {
         return None;
     }
+    let score_at = |i: usize| scores.get(i).copied().unwrap_or(f64::NEG_INFINITY);
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    idx.sort_by(|&a, &b| score_at(b).total_cmp(&score_at(a)).then(a.cmp(&b)));
     let mut hits = 0usize;
     let mut ap = 0.0;
     for (rank, &i) in idx.iter().enumerate() {
-        if labels[i] {
+        if labels.get(i).copied().unwrap_or(false) {
             hits += 1;
             ap += hits as f64 / (rank + 1) as f64;
         }

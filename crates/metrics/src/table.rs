@@ -36,8 +36,8 @@ impl Table {
         let cols = self.header.len();
         let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
         for row in &self.rows {
-            for c in 0..cols {
-                widths[c] = widths[c].max(row[c].chars().count());
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
             }
         }
         let fmt_row = |cells: &[String]| {
@@ -47,7 +47,8 @@ impl Table {
                     line.push_str("  ");
                 }
                 line.push_str(cell);
-                for _ in cell.chars().count()..widths[c] {
+                let w = widths.get(c).copied().unwrap_or(0);
+                for _ in cell.chars().count()..w {
                     line.push(' ');
                 }
             }

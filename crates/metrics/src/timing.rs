@@ -52,7 +52,10 @@ impl TimingStats {
 
     /// Slowest run in seconds.
     pub fn max_secs(&self) -> f64 {
-        self.runs.iter().map(Duration::as_secs_f64).fold(0.0, f64::max)
+        self.runs
+            .iter()
+            .map(Duration::as_secs_f64)
+            .fold(0.0, f64::max)
     }
 }
 

@@ -1,16 +1,32 @@
-//! Property-based tests for the evaluation metrics.
+//! Randomized property tests for the evaluation metrics, driven by a
+//! seeded [`dbscout_rng::Rng`] for reproducibility.
+
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic,
+    clippy::float_cmp
+)]
 
 use dbscout_metrics::{average_precision, roc_auc, ConfusionMatrix};
-use proptest::prelude::*;
+use dbscout_rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn bools(rng: &mut Rng, n: usize) -> Vec<bool> {
+    (0..n).map(|_| rng.gen::<bool>()).collect()
+}
 
-    #[test]
-    fn confusion_counts_partition_the_input(
-        pred in prop::collection::vec(prop::bool::ANY, 0..200),
-        seed in 0u64..1000,
-    ) {
+fn scores(rng: &mut Rng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+#[test]
+fn confusion_counts_partition_the_input() {
+    let mut rng = Rng::seed_from_u64(0xC001);
+    for _ in 0..64 {
+        let n = rng.gen_range(0usize..200);
+        let pred = bools(&mut rng, n);
+        let seed = rng.gen_range(0u64..1000);
         // Derive "actual" deterministically from pred+seed.
         let actual: Vec<bool> = pred
             .iter()
@@ -18,84 +34,93 @@ proptest! {
             .map(|(i, &p)| p ^ (i as u64 + seed).is_multiple_of(3))
             .collect();
         let m = ConfusionMatrix::from_masks(&pred, &actual);
-        prop_assert_eq!(m.total(), pred.len());
+        assert_eq!(m.total(), pred.len());
         for v in [m.precision(), m.recall(), m.f1(), m.accuracy()] {
-            prop_assert!((0.0..=1.0).contains(&v), "metric {v}");
+            assert!((0.0..=1.0).contains(&v), "metric {v}");
         }
     }
+}
 
-    #[test]
-    fn f1_is_harmonic_mean(
-        tp in 0usize..100,
-        fp in 0usize..100,
-        fn_ in 0usize..100,
-        tn in 0usize..100,
-    ) {
-        let m = ConfusionMatrix { tp, fp, fn_, tn };
+#[test]
+fn f1_is_harmonic_mean() {
+    let mut rng = Rng::seed_from_u64(0xC002);
+    for _ in 0..64 {
+        let m = ConfusionMatrix {
+            tp: rng.gen_range(0usize..100),
+            fp: rng.gen_range(0usize..100),
+            fn_: rng.gen_range(0usize..100),
+            tn: rng.gen_range(0usize..100),
+        };
         let (p, r) = (m.precision(), m.recall());
         if p + r > 0.0 {
-            prop_assert!((m.f1() - 2.0 * p * r / (p + r)).abs() < 1e-12);
+            assert!((m.f1() - 2.0 * p * r / (p + r)).abs() < 1e-12);
         } else {
-            prop_assert_eq!(m.f1(), 0.0);
+            assert_eq!(m.f1(), 0.0);
         }
     }
+}
 
-    #[test]
-    fn auc_invariant_under_monotone_transform(
-        scores in prop::collection::vec(-100.0f64..100.0, 2..100),
-        labels in prop::collection::vec(prop::bool::ANY, 2..100),
-    ) {
-        let n = scores.len().min(labels.len());
-        let scores = &scores[..n];
-        let labels = &labels[..n];
+#[test]
+fn auc_invariant_under_monotone_transform() {
+    let mut rng = Rng::seed_from_u64(0xC003);
+    for _ in 0..64 {
+        let n = rng.gen_range(2usize..100);
+        let scores = scores(&mut rng, n, -100.0, 100.0);
+        let labels = bools(&mut rng, n);
         let transformed: Vec<f64> = scores.iter().map(|s| (s * 0.1).exp()).collect();
-        match (roc_auc(scores, labels), roc_auc(&transformed, labels)) {
-            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}"),
+        match (roc_auc(&scores, &labels), roc_auc(&transformed, &labels)) {
+            (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "{a} vs {b}"),
             (None, None) => {}
-            other => prop_assert!(false, "definedness diverged: {other:?}"),
+            other => panic!("definedness diverged: {other:?}"),
         }
     }
+}
 
-    #[test]
-    fn auc_of_negated_scores_is_complement(
-        scores in prop::collection::vec(-100.0f64..100.0, 2..100),
-        labels in prop::collection::vec(prop::bool::ANY, 2..100),
-    ) {
-        let n = scores.len().min(labels.len());
+#[test]
+fn auc_of_negated_scores_is_complement() {
+    let mut rng = Rng::seed_from_u64(0xC004);
+    for _ in 0..64 {
+        let n = rng.gen_range(2usize..100);
         // Ensure distinct scores so ties cannot blur the complement law.
-        let scores: Vec<f64> = scores[..n]
+        let scores: Vec<f64> = scores(&mut rng, n, -100.0, 100.0)
             .iter()
             .enumerate()
             .map(|(i, s)| s + i as f64 * 1e-6)
             .collect();
-        let labels = &labels[..n];
+        let labels = bools(&mut rng, n);
         let negated: Vec<f64> = scores.iter().map(|s| -s).collect();
-        if let (Some(a), Some(b)) = (roc_auc(&scores, labels), roc_auc(&negated, labels)) {
-            prop_assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b} != 1");
+        if let (Some(a), Some(b)) = (roc_auc(&scores, &labels), roc_auc(&negated, &labels)) {
+            assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b} != 1");
         }
     }
+}
 
-    #[test]
-    fn average_precision_bounded(
-        scores in prop::collection::vec(-10.0f64..10.0, 1..100),
-        labels in prop::collection::vec(prop::bool::ANY, 1..100),
-    ) {
-        let n = scores.len().min(labels.len());
-        if let Some(ap) = average_precision(&scores[..n], &labels[..n]) {
-            prop_assert!((0.0..=1.0).contains(&ap), "AP {ap}");
+#[test]
+fn average_precision_bounded() {
+    let mut rng = Rng::seed_from_u64(0xC005);
+    for _ in 0..64 {
+        let n = rng.gen_range(1usize..100);
+        let scores = scores(&mut rng, n, -10.0, 10.0);
+        let labels = bools(&mut rng, n);
+        if let Some(ap) = average_precision(&scores, &labels) {
+            assert!((0.0..=1.0).contains(&ap), "AP {ap}");
         }
     }
+}
 
-    #[test]
-    fn perfect_separation_has_auc_one(
-        pos in prop::collection::vec(10.0f64..20.0, 1..30),
-        neg in prop::collection::vec(-20.0f64..-10.0, 1..30),
-    ) {
+#[test]
+fn perfect_separation_has_auc_one() {
+    let mut rng = Rng::seed_from_u64(0xC006);
+    for _ in 0..64 {
+        let n_pos = rng.gen_range(1usize..30);
+        let n_neg = rng.gen_range(1usize..30);
+        let pos = scores(&mut rng, n_pos, 10.0, 20.0);
+        let neg = scores(&mut rng, n_neg, -20.0, -10.0);
         let mut scores = pos.clone();
         scores.extend(neg.iter());
         let mut labels = vec![true; pos.len()];
         labels.extend(vec![false; neg.len()]);
-        prop_assert_eq!(roc_auc(&scores, &labels), Some(1.0));
-        prop_assert_eq!(average_precision(&scores, &labels), Some(1.0));
+        assert_eq!(roc_auc(&scores, &labels), Some(1.0));
+        assert_eq!(average_precision(&scores, &labels), Some(1.0));
     }
 }

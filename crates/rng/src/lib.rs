@@ -1,0 +1,298 @@
+//! A self-contained deterministic PRNG for DBSCOUT.
+//!
+//! The container this repo builds in has no network access, so the `rand`
+//! crate family is unavailable; this crate supplies the small slice of its
+//! API the workspace actually uses, backed by xoshiro256++ seeded via
+//! SplitMix64. Determinism across platforms is a feature: every generator,
+//! baseline and test in the workspace derives its data from a fixed `u64`
+//! seed, so experiment tables are bit-reproducible.
+
+// Unit tests may panic freely; library code is held to the panic-freedom
+// gates in `[workspace.lints]` and `cargo xtask lint`.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::indexing_slicing,
+        clippy::panic,
+        clippy::float_cmp
+    )
+)]
+use std::ops::{Range, RangeInclusive};
+
+/// A deterministic xoshiro256++ generator.
+///
+/// Construct with [`Rng::seed_from_u64`]; the four 64-bit lanes are
+/// expanded from the seed with SplitMix64 so that nearby seeds yield
+/// uncorrelated streams.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// A sample from the "standard" distribution of `T`: uniform on
+    /// `[0, 1)` for floats, uniform over the full domain for integers and
+    /// `bool`.
+    pub fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform sample from `range` (half-open or inclusive; float or
+    /// integer). Empty ranges are clamped to their start rather than
+    /// panicking, keeping callers panic-free by construction.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    fn uniform_f64(&mut self) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` below `bound` (Lemire-style rejection, unbiased).
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Rejection zone keeps the multiply-shift reduction unbiased.
+        let zone = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= zone || zone == 0 {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Types samplable from their "standard" distribution.
+pub trait Standard: Sized {
+    /// Draws one sample from `rng`.
+    fn sample(rng: &mut Rng) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut Rng) -> Self {
+        rng.uniform_f64()
+    }
+}
+
+impl Standard for f32 {
+    fn sample(rng: &mut Rng) -> Self {
+        rng.uniform_f64() as f32
+    }
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut Rng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut Rng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut Rng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// Element type produced by sampling.
+    type Output;
+    /// Draws one uniform sample from the range.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Rng) -> f64 {
+        if self.end <= self.start {
+            return self.start;
+        }
+        self.start + (self.end - self.start) * rng.uniform_f64()
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                if self.end <= self.start {
+                    return self.start;
+                }
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded_u64(span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = self.into_inner();
+                if hi <= lo {
+                    return lo;
+                }
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return (lo as i128 + rng.next_u64() as i128) as $t;
+                }
+                (lo as i128 + rng.bounded_u64(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_constructions() {
+        let a: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn f64_samples_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut r = Rng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = r.gen_range(-3.5..9.25);
+            assert!((-3.5..9.25).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_range_is_roughly_uniform() {
+        let mut r = Rng::seed_from_u64(11);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[r.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_ends() {
+        let mut r = Rng::seed_from_u64(13);
+        let (mut lo_hit, mut hi_hit) = (false, false);
+        for _ in 0..10_000 {
+            match r.gen_range(0..=3) {
+                0 => lo_hit = true,
+                3 => hi_hit = true,
+                _ => {}
+            }
+        }
+        assert!(lo_hit && hi_hit);
+    }
+
+    #[test]
+    fn empty_ranges_clamp_to_start() {
+        let mut r = Rng::seed_from_u64(17);
+        assert_eq!(r.gen_range(5usize..5), 5);
+        assert_eq!(r.gen_range(2.0..2.0), 2.0);
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut r = Rng::seed_from_u64(19);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::seed_from_u64(23);
+        let mut xs: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

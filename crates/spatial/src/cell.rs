@@ -6,8 +6,6 @@
 //! integer coordinates of its minimum vertex scaled by `l`:
 //! `C_i = ⌊x_i / l⌋` (paper Algorithm 1).
 
-use serde::{Deserialize, Serialize};
-
 /// Maximum supported dimensionality. The paper evaluates k_d for d ≤ 9
 /// (Table I) and runs experiments on 2–3-dimensional data.
 pub const MAX_DIMS: usize = 9;
@@ -17,7 +15,7 @@ pub const MAX_DIMS: usize = 9;
 /// Stored as a fixed-size array (zero-padded beyond `dims`) so the type is
 /// `Copy` and hashes without heap traffic — cell ids are the shuffle keys
 /// of every DBSCOUT phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CellCoord {
     dims: u8,
     c: [i64; MAX_DIMS],
@@ -38,7 +36,9 @@ impl CellCoord {
             MAX_DIMS
         );
         let mut c = [0i64; MAX_DIMS];
-        c[..coords.len()].copy_from_slice(coords);
+        for (out, &x) in c.iter_mut().zip(coords) {
+            *out = x;
+        }
         Self {
             dims: coords.len() as u8,
             c,
@@ -52,7 +52,9 @@ impl CellCoord {
 
     /// The per-dimension integer coordinates.
     pub fn coords(&self) -> &[i64] {
-        &self.c[..self.dims as usize]
+        // `dims <= MAX_DIMS` is a constructor invariant, so the range is
+        // always in bounds; fall back to the full array rather than panic.
+        self.c.get(..self.dims as usize).unwrap_or(&self.c)
     }
 
     /// The cell displaced by `offset` (must have the same dimensionality).
@@ -79,8 +81,8 @@ pub fn cell_side(eps: f64, dims: usize) -> f64 {
 pub fn cell_of(point: &[f64], side: f64) -> CellCoord {
     debug_assert!(point.len() <= MAX_DIMS);
     let mut c = [0i64; MAX_DIMS];
-    for (i, &x) in point.iter().enumerate() {
-        c[i] = (x / side).floor() as i64;
+    for (out, &x) in c.iter_mut().zip(point) {
+        *out = (x / side).floor() as i64;
     }
     CellCoord {
         dims: point.len() as u8,
@@ -92,8 +94,8 @@ pub fn cell_of(point: &[f64], side: f64) -> CellCoord {
 /// (side `side`). Zero when the point lies inside the cell.
 pub fn min_sq_dist_to_cell(point: &[f64], cell: &CellCoord, side: f64) -> f64 {
     let mut acc = 0.0;
-    for (i, &x) in point.iter().enumerate() {
-        let lo = cell.c[i] as f64 * side;
+    for (&x, &ci) in point.iter().zip(&cell.c) {
+        let lo = ci as f64 * side;
         let hi = lo + side;
         let gap = if x < lo {
             lo - x
@@ -110,8 +112,8 @@ pub fn min_sq_dist_to_cell(point: &[f64], cell: &CellCoord, side: f64) -> f64 {
 /// Squared maximum distance from `point` to any point of `cell`'s box.
 pub fn max_sq_dist_to_cell(point: &[f64], cell: &CellCoord, side: f64) -> f64 {
     let mut acc = 0.0;
-    for (i, &x) in point.iter().enumerate() {
-        let lo = cell.c[i] as f64 * side;
+    for (&x, &ci) in point.iter().zip(&cell.c) {
+        let lo = ci as f64 * side;
         let hi = lo + side;
         let gap = (x - lo).abs().max((x - hi).abs());
         acc += gap * gap;
@@ -211,9 +213,7 @@ mod tests {
     fn min_le_max_dist() {
         let cell = CellCoord::from_slice(&[3, -2, 1]);
         for p in [[0.0, 0.0, 0.0], [3.2, -1.7, 1.9], [100.0, -50.0, 0.1]] {
-            assert!(
-                min_sq_dist_to_cell(&p, &cell, 0.7) <= max_sq_dist_to_cell(&p, &cell, 0.7)
-            );
+            assert!(min_sq_dist_to_cell(&p, &cell, 0.7) <= max_sq_dist_to_cell(&p, &cell, 0.7));
         }
     }
 }

@@ -6,17 +6,18 @@
 
 /// Squared Euclidean distance between two equal-length slices.
 ///
-/// Written as an index loop over a fixed bound so the compiler can fully
-/// unroll it for d = 2 and 3.
+/// Written as a `zip` fold so the compiler can fully unroll it for
+/// d = 2 and 3 without emitting bounds checks.
 #[inline]
 pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0;
-    for i in 0..a.len() {
-        let d = a[i] - b[i];
-        acc += d * d;
-    }
-    acc
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
 }
 
 /// Euclidean distance.

@@ -62,15 +62,23 @@ impl fmt::Display for SpatialError {
 
 impl std::error::Error for SpatialError {}
 
+// Compile-time proof of the XL004 contract: the error type is
+// `Display + std::error::Error + Send + Sync`.
+const fn _assert_error_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+const _: () = _assert_error_bounds::<SpatialError>();
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn display_messages() {
-        assert!(SpatialError::DimensionMismatch { expected: 2, got: 3 }
-            .to_string()
-            .contains("expected 2, got 3"));
+        assert!(SpatialError::DimensionMismatch {
+            expected: 2,
+            got: 3
+        }
+        .to_string()
+        .contains("expected 2, got 3"));
         assert!(SpatialError::TooManyDims { requested: 99 }
             .to_string()
             .contains("99"));

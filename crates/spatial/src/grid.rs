@@ -95,7 +95,12 @@ impl Grid {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("grid chunk workers do not panic"))
+                    .map(|h| match h.join() {
+                        Ok(local) => local,
+                        // Re-raise a worker panic on the caller thread
+                        // instead of discarding partial results.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
                     .collect()
             });
         let mut cells: HashMap<CellCoord, Vec<PointId>, DetState> = HashMap::default();
@@ -284,11 +289,8 @@ mod tests {
 
     #[test]
     fn grid_3d() {
-        let s = PointStore::from_rows(
-            3,
-            vec![vec![0.0, 0.0, 0.0], vec![10.0, 10.0, 10.0]],
-        )
-        .unwrap();
+        let s =
+            PointStore::from_rows(3, vec![vec![0.0, 0.0, 0.0], vec![10.0, 10.0, 10.0]]).unwrap();
         let g = Grid::build(&s, 1.0).unwrap();
         assert_eq!(g.num_cells(), 2);
         assert_eq!(g.dims(), 3);

@@ -8,6 +8,14 @@
 use crate::distance::sq_dist;
 use crate::points::{PointId, PointStore};
 
+/// Bounds-safe coordinate access. Split axes are `depth % dims`, so the
+/// index is always in range; the fallback keeps panic branches out of the
+/// query hot path.
+#[inline]
+fn coord(p: &[f64], dim: usize) -> f64 {
+    p.get(dim).copied().unwrap_or(0.0)
+}
+
 /// A balanced KD-tree over the points of a [`PointStore`].
 ///
 /// Built by recursive median partitioning (`select_nth_unstable`), giving
@@ -87,14 +95,14 @@ impl<'s> KdTree<'s> {
             return;
         }
         let mid = lo + (hi - lo) / 2;
-        let id = self.ids[mid];
+        let Some(&id) = self.ids.get(mid) else { return };
         let p = self.store.point(id);
         heap.push(Neighbor {
             sq_dist: sq_dist(query, p),
             id,
         });
         let dim = depth % self.store.dims();
-        let delta = query[dim] - p[dim];
+        let delta = coord(query, dim) - coord(p, dim);
         let (near, far) = if delta < 0.0 {
             ((lo, mid), (mid + 1, hi))
         } else {
@@ -121,14 +129,14 @@ impl<'s> KdTree<'s> {
             return;
         }
         let mid = lo + (hi - lo) / 2;
-        let id = self.ids[mid];
+        let Some(&id) = self.ids.get(mid) else { return };
         let p = self.store.point(id);
         let d2 = sq_dist(query, p);
         if d2 <= eps_sq {
             out.push(Neighbor { sq_dist: d2, id });
         }
         let dim = depth % self.store.dims();
-        let delta = query[dim] - p[dim];
+        let delta = coord(query, dim) - coord(p, dim);
         let (near, far) = if delta < 0.0 {
             ((lo, mid), (mid + 1, hi))
         } else {
@@ -148,11 +156,13 @@ fn build_segment(store: &PointStore, ids: &mut [PointId], depth: usize) {
     let dim = depth % store.dims();
     let mid = ids.len() / 2;
     ids.select_nth_unstable_by(mid, |&a, &b| {
-        store.point(a)[dim].total_cmp(&store.point(b)[dim])
+        coord(store.point(a), dim).total_cmp(&coord(store.point(b), dim))
     });
     let (left, right) = ids.split_at_mut(mid);
     build_segment(store, left, depth + 1);
-    build_segment(store, &mut right[1..], depth + 1);
+    if let Some(rest) = right.get_mut(1..) {
+        build_segment(store, rest, depth + 1);
+    }
 }
 
 /// A fixed-capacity max-heap keeping the k smallest squared distances.
@@ -174,7 +184,7 @@ impl BoundedMaxHeap {
         if self.items.len() < self.k {
             f64::INFINITY
         } else {
-            self.items[0].sq_dist
+            self.items.first().map_or(f64::INFINITY, |n| n.sq_dist)
         }
     }
 
@@ -182,16 +192,21 @@ impl BoundedMaxHeap {
         if self.items.len() < self.k {
             self.items.push(n);
             self.sift_up(self.items.len() - 1);
-        } else if n.sq_dist < self.items[0].sq_dist {
-            self.items[0] = n;
-            self.sift_down(0);
+        } else if let Some(root) = self.items.first_mut() {
+            if n.sq_dist < root.sq_dist {
+                *root = n;
+                self.sift_down(0);
+            }
         }
     }
 
     fn sift_up(&mut self, mut i: usize) {
         while i > 0 {
             let parent = (i - 1) / 2;
-            if self.items[i].sq_dist > self.items[parent].sq_dist {
+            let (Some(child), Some(par)) = (self.items.get(i), self.items.get(parent)) else {
+                break;
+            };
+            if child.sq_dist > par.sq_dist {
                 self.items.swap(i, parent);
                 i = parent;
             } else {
@@ -204,11 +219,16 @@ impl BoundedMaxHeap {
         loop {
             let (l, r) = (2 * i + 1, 2 * i + 2);
             let mut largest = i;
-            if l < self.items.len() && self.items[l].sq_dist > self.items[largest].sq_dist {
-                largest = l;
+            let dist_at = |j: usize, items: &[Neighbor]| items.get(j).map(|n| n.sq_dist);
+            if let (Some(a), Some(b)) = (dist_at(l, &self.items), dist_at(largest, &self.items)) {
+                if a > b {
+                    largest = l;
+                }
             }
-            if r < self.items.len() && self.items[r].sq_dist > self.items[largest].sq_dist {
-                largest = r;
+            if let (Some(a), Some(b)) = (dist_at(r, &self.items), dist_at(largest, &self.items)) {
+                if a > b {
+                    largest = r;
+                }
             }
             if largest == i {
                 break;
@@ -300,8 +320,7 @@ mod tests {
 
     #[test]
     fn within_radius_matches_linear_scan_random() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = dbscout_rng::Rng::seed_from_u64(7);
         let rows: Vec<Vec<f64>> = (0..500)
             .map(|_| vec![rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0)])
             .collect();
@@ -324,8 +343,7 @@ mod tests {
 
     #[test]
     fn knn_3d_matches_linear_scan_random() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = dbscout_rng::Rng::seed_from_u64(11);
         let rows: Vec<Vec<f64>> = (0..300)
             .map(|_| (0..3).map(|_| rng.gen_range(-5.0..5.0)).collect())
             .collect();

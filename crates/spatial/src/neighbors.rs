@@ -76,10 +76,10 @@ impl NeighborOffsets {
     pub fn apply(cell: &CellCoord, off: &[i8]) -> CellCoord {
         let mut coords = [0i64; MAX_DIMS];
         let c = cell.coords();
-        for i in 0..c.len() {
-            coords[i] = c[i] + off[i] as i64;
+        for ((out, &a), &o) in coords.iter_mut().zip(c).zip(off) {
+            *out = a + o as i64;
         }
-        CellCoord::from_slice(&coords[..c.len()])
+        CellCoord::from_slice(coords.get(..c.len()).unwrap_or(&coords))
     }
 }
 
@@ -95,7 +95,9 @@ pub fn count_k_d(dims: usize) -> Result<u64, SpatialError> {
     let r = (dims as f64).sqrt().ceil() as i8;
     let mut count = 0u64;
     let mut current = vec![0i8; dims];
-    enumerate(dims, r, dims as i64, 0, 0, &mut current, &mut |_| count += 1);
+    enumerate(dims, r, dims as i64, 0, 0, &mut current, &mut |_| {
+        count += 1
+    });
     Ok(count)
 }
 
@@ -124,11 +126,15 @@ fn enumerate(
         let gap = (j.unsigned_abs() as i64).saturating_sub(1).max(0);
         let p = penalty + gap * gap;
         if p < d {
-            current[dim] = j;
+            if let Some(slot) = current.get_mut(dim) {
+                *slot = j;
+            }
             enumerate(dims, r, d, dim + 1, p, current, emit);
         }
     }
-    current[dim] = 0;
+    if let Some(slot) = current.get_mut(dim) {
+        *slot = 0;
+    }
 }
 
 #[cfg(test)]
@@ -190,8 +196,7 @@ mod tests {
         // If j is a neighbor offset, so is −j (Definition 8 is symmetric).
         for d in 1..=4 {
             let offs = NeighborOffsets::new(d).unwrap();
-            let set: std::collections::HashSet<Vec<i8>> =
-                offs.iter().map(|o| o.to_vec()).collect();
+            let set: std::collections::HashSet<Vec<i8>> = offs.iter().map(|o| o.to_vec()).collect();
             for o in offs.iter() {
                 let neg: Vec<i8> = o.iter().map(|&j| -j).collect();
                 assert!(set.contains(&neg), "missing mirror of {o:?} for d={d}");

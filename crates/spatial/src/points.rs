@@ -5,8 +5,6 @@
 //! DBSCOUT targets, this keeps every distance computation on a dense cache
 //! line and avoids one allocation per point.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::SpatialError;
 
 /// An index into a [`PointStore`]. 32 bits suffice for the laptop-scale
@@ -14,7 +12,7 @@ use crate::error::SpatialError;
 pub type PointId = u32;
 
 /// A dense, append-only collection of `d`-dimensional points.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PointStore {
     dims: usize,
     coords: Vec<f64>,
@@ -51,7 +49,10 @@ impl PointStore {
     /// # Errors
     ///
     /// Fails on dimension mismatches or non-finite coordinates.
-    pub fn from_rows(dims: usize, rows: impl IntoIterator<Item = Vec<f64>>) -> Result<Self, SpatialError> {
+    pub fn from_rows(
+        dims: usize,
+        rows: impl IntoIterator<Item = Vec<f64>>,
+    ) -> Result<Self, SpatialError> {
         let mut s = Self::new(dims)?;
         for row in rows {
             s.push(&row)?;
@@ -130,8 +131,11 @@ impl PointStore {
     ///
     /// Panics if `id` is out of range (indexing bug, not a data error).
     #[inline]
+    #[allow(clippy::indexing_slicing)]
     pub fn point(&self, id: PointId) -> &[f64] {
         let i = id as usize * self.dims;
+        // ids come from this store's own iteration; out-of-range is a caller bug
+        // xtask-lint: allow(XL001) -- documented `# Panics` contract on `point`
         &self.coords[i..i + self.dims]
     }
 
@@ -186,9 +190,9 @@ impl PointStore {
         let mut min = self.point(0).to_vec();
         let mut max = min.clone();
         for (_, p) in self.iter().skip(1) {
-            for d in 0..self.dims {
-                min[d] = min[d].min(p[d]);
-                max[d] = max[d].max(p[d]);
+            for ((mn, mx), &x) in min.iter_mut().zip(max.iter_mut()).zip(p) {
+                *mn = mn.min(x);
+                *mx = mx.max(x);
             }
         }
         Some((min, max))
@@ -229,7 +233,10 @@ mod tests {
         let mut s = PointStore::new(2).unwrap();
         assert!(matches!(
             s.push(&[1.0]),
-            Err(SpatialError::DimensionMismatch { expected: 2, got: 1 })
+            Err(SpatialError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 
@@ -297,9 +304,8 @@ mod tests {
 
     #[test]
     fn bounding_box() {
-        let s =
-            PointStore::from_rows(2, vec![vec![1.0, -5.0], vec![-2.0, 7.0], vec![0.0, 0.0]])
-                .unwrap();
+        let s = PointStore::from_rows(2, vec![vec![1.0, -5.0], vec![-2.0, 7.0], vec![0.0, 0.0]])
+            .unwrap();
         let (min, max) = s.bounding_box().unwrap();
         assert_eq!(min, vec![-2.0, -5.0]);
         assert_eq!(max, vec![1.0, 7.0]);

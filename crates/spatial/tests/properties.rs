@@ -1,57 +1,77 @@
-//! Property-based tests for the spatial substrate.
+//! Randomized property tests for the spatial substrate.
+//!
+//! Each test draws many cases from a seeded [`dbscout_rng::Rng`], so runs
+//! are deterministic and reproducible while still sweeping a broad input
+//! space (the offline stand-in for `proptest`).
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
+use dbscout_rng::Rng;
 use dbscout_spatial::cell::{cell_side, max_sq_dist_to_cell, min_sq_dist_to_cell};
 use dbscout_spatial::distance::{dist, sq_dist};
 use dbscout_spatial::{Grid, KdTree, PointStore};
-use proptest::prelude::*;
 
-fn points_2d(n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(-100.0f64..100.0, 2),
-        1..n,
-    )
+fn points_2d(rng: &mut Rng, max_n: usize) -> Vec<Vec<f64>> {
+    let n = rng.gen_range(1..max_n);
+    (0..n)
+        .map(|_| (0..2).map(|_| rng.gen_range(-100.0..100.0)).collect())
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn grid_partitions_completely(rows in points_2d(200), eps in 0.01f64..50.0) {
+#[test]
+fn grid_partitions_completely() {
+    let mut rng = Rng::seed_from_u64(0xA001);
+    for _ in 0..48 {
+        let rows = points_2d(&mut rng, 200);
+        let eps = rng.gen_range(0.01..50.0);
         let store = PointStore::from_rows(2, rows).unwrap();
         let grid = Grid::build(&store, eps).unwrap();
         // Every point in exactly one cell.
         let mut count = 0usize;
         for (cell, ids) in grid.cells() {
             for &id in ids {
-                prop_assert_eq!(&grid.cell_for(store.point(id)), cell);
+                assert_eq!(&grid.cell_for(store.point(id)), cell);
                 count += 1;
             }
         }
-        prop_assert_eq!(count, store.len() as usize);
+        assert_eq!(count, store.len() as usize);
     }
+}
 
-    #[test]
-    fn same_cell_implies_within_eps(rows in points_2d(150), eps in 0.1f64..50.0) {
-        // The geometric premise of Lemma 1.
+#[test]
+fn same_cell_implies_within_eps() {
+    // The geometric premise of Lemma 1.
+    let mut rng = Rng::seed_from_u64(0xA002);
+    for _ in 0..48 {
+        let rows = points_2d(&mut rng, 150);
+        let eps = rng.gen_range(0.1..50.0);
         let store = PointStore::from_rows(2, rows).unwrap();
         let grid = Grid::build(&store, eps).unwrap();
         for (_, ids) in grid.cells() {
             for &a in ids {
                 for &b in ids {
-                    prop_assert!(dist(store.point(a), store.point(b)) <= eps);
+                    assert!(dist(store.point(a), store.point(b)) <= eps);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn pairs_within_eps_are_in_neighboring_cells(
-        rows in points_2d(80),
-        eps in 0.1f64..50.0,
-    ) {
-        // The completeness direction: any pair at distance ≤ ε must be
-        // discoverable through the neighbor-offset enumeration.
-        use dbscout_spatial::NeighborOffsets;
+#[test]
+fn pairs_within_eps_are_in_neighboring_cells() {
+    // The completeness direction: any pair at distance ≤ ε must be
+    // discoverable through the neighbor-offset enumeration.
+    use dbscout_spatial::NeighborOffsets;
+    let mut rng = Rng::seed_from_u64(0xA003);
+    for _ in 0..48 {
+        let rows = points_2d(&mut rng, 80);
+        let eps = rng.gen_range(0.1..50.0);
         let store = PointStore::from_rows(2, rows).unwrap();
         let grid = Grid::build(&store, eps).unwrap();
         let offsets = NeighborOffsets::new(2).unwrap();
@@ -63,16 +83,23 @@ proptest! {
                 }
                 let ca = grid.cell_for(pa);
                 let cb = grid.cell_for(pb);
-                let found = offsets
-                    .iter()
-                    .any(|o| NeighborOffsets::apply(&ca, o) == cb);
-                prop_assert!(found, "pair at dist {} not in neighboring cells", dist(pa, pb));
+                let found = offsets.iter().any(|o| NeighborOffsets::apply(&ca, o) == cb);
+                assert!(
+                    found,
+                    "pair at dist {} not in neighboring cells",
+                    dist(pa, pb)
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn kdtree_knn_matches_linear(rows in points_2d(200), k in 1usize..10) {
+#[test]
+fn kdtree_knn_matches_linear() {
+    let mut rng = Rng::seed_from_u64(0xA004);
+    for _ in 0..48 {
+        let rows = points_2d(&mut rng, 200);
+        let k = rng.gen_range(1usize..10);
         let store = PointStore::from_rows(2, rows).unwrap();
         let tree = KdTree::build(&store);
         let query = store.point(0).to_vec();
@@ -81,15 +108,24 @@ proptest! {
         all.sort_by(f64::total_cmp);
         all.truncate(k);
         let got_d: Vec<f64> = got.iter().map(|n| n.sq_dist).collect();
-        prop_assert_eq!(got_d, all);
+        assert_eq!(got_d, all);
     }
+}
 
-    #[test]
-    fn kdtree_radius_matches_linear(rows in points_2d(200), eps in 0.1f64..40.0) {
+#[test]
+fn kdtree_radius_matches_linear() {
+    let mut rng = Rng::seed_from_u64(0xA005);
+    for _ in 0..48 {
+        let rows = points_2d(&mut rng, 200);
+        let eps = rng.gen_range(0.1..40.0);
         let store = PointStore::from_rows(2, rows).unwrap();
         let tree = KdTree::build(&store);
         let query = store.point(0).to_vec();
-        let mut got: Vec<u32> = tree.within_radius(&query, eps).iter().map(|n| n.id).collect();
+        let mut got: Vec<u32> = tree
+            .within_radius(&query, eps)
+            .iter()
+            .map(|n| n.id)
+            .collect();
         got.sort_unstable();
         let mut expected: Vec<u32> = store
             .iter()
@@ -97,19 +133,21 @@ proptest! {
             .map(|(id, _)| id)
             .collect();
         expected.sort_unstable();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
 
-    #[test]
-    fn min_max_cell_distance_bracket_actual(
-        px in -50.0f64..50.0,
-        py in -50.0f64..50.0,
-        qx in -50.0f64..50.0,
-        qy in -50.0f64..50.0,
-        eps in 0.5f64..20.0,
-    ) {
-        // For any point q, the distance from p to q is bracketed by the
-        // min/max distance from p to q's cell box.
+#[test]
+fn min_max_cell_distance_bracket_actual() {
+    // For any point q, the distance from p to q is bracketed by the
+    // min/max distance from p to q's cell box.
+    let mut rng = Rng::seed_from_u64(0xA006);
+    for _ in 0..200 {
+        let px = rng.gen_range(-50.0..50.0);
+        let py = rng.gen_range(-50.0..50.0);
+        let qx = rng.gen_range(-50.0..50.0);
+        let qy = rng.gen_range(-50.0..50.0);
+        let eps = rng.gen_range(0.5..20.0);
         let side = cell_side(eps, 2);
         let q = [qx, qy];
         let cell = dbscout_spatial::cell::cell_of(&q, side);
@@ -117,17 +155,21 @@ proptest! {
         let d2 = sq_dist(&p, &q);
         let lo = min_sq_dist_to_cell(&p, &cell, side);
         let hi = max_sq_dist_to_cell(&p, &cell, side);
-        prop_assert!(lo <= d2 + 1e-9, "lo {lo} > d2 {d2}");
-        prop_assert!(hi >= d2 - 1e-9, "hi {hi} < d2 {d2}");
+        assert!(lo <= d2 + 1e-9, "lo {lo} > d2 {d2}");
+        assert!(hi >= d2 - 1e-9, "hi {hi} < d2 {d2}");
     }
+}
 
-    #[test]
-    fn store_gather_preserves_coords(rows in points_2d(50)) {
+#[test]
+fn store_gather_preserves_coords() {
+    let mut rng = Rng::seed_from_u64(0xA007);
+    for _ in 0..48 {
+        let rows = points_2d(&mut rng, 50);
         let store = PointStore::from_rows(2, rows).unwrap();
         let ids: Vec<u32> = (0..store.len()).rev().collect();
         let g = store.gather(&ids);
         for (i, &id) in ids.iter().enumerate() {
-            prop_assert_eq!(g.point(i as u32), store.point(id));
+            assert_eq!(g.point(i as u32), store.point(id));
         }
     }
 }

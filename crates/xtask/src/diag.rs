@@ -1,0 +1,125 @@
+//! Lint diagnostics: the finding record plus rustc-style and JSON
+//! rendering.
+
+use std::fmt::Write as _;
+
+/// Stable identifiers of the lint rules.
+///
+/// * `XL000` — malformed `xtask-lint` control comment
+/// * `XL001` — panic-freedom (no `unwrap`/`expect`/`panic!`/`todo!`/
+///   `unreachable!`/slice indexing in library code)
+/// * `XL002` — float-comparison discipline (no `==`/`!=` on floats, no
+///   raw distance-vs-threshold comparisons outside the distance helpers)
+/// * `XL003` — parameter-validation coverage (public functions taking raw
+///   `eps`/`min_pts` must reach a validation call)
+/// * `XL004` — error-type hygiene (`Display` + `std::error::Error` +
+///   `Send + Sync` assertion for every public error type)
+pub const ALL_RULES: [&str; 5] = ["XL000", "XL001", "XL002", "XL003", "XL004"];
+
+/// One lint finding, anchored to a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (`XL001`, ...).
+    pub rule: &'static str,
+    /// Path of the offending file, relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub help: String,
+}
+
+impl Diagnostic {
+    /// Renders the finding in the familiar rustc error layout.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "error[{}]: {}", self.rule, self.message);
+        let _ = writeln!(out, "  --> {}:{}:{}", self.file, self.line, self.col);
+        if !self.help.is_empty() {
+            let _ = writeln!(out, "   = help: {}", self.help);
+        }
+        out
+    }
+
+    /// Renders the finding as a JSON object.
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"col\":{},\"message\":{},\"help\":{}}}",
+            json_str(self.rule),
+            json_str(&self.file),
+            self.line,
+            self.col,
+            json_str(&self.message),
+            json_str(&self.help),
+        )
+    }
+}
+
+/// Renders a full report: one JSON document with every finding, suitable
+/// for machine consumption in CI.
+pub fn render_json_report(diags: &[Diagnostic]) -> String {
+    let items: Vec<String> = diags.iter().map(Diagnostic::render_json).collect();
+    format!(
+        "{{\"findings\":[{}],\"count\":{}}}",
+        items.join(","),
+        diags.len()
+    )
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            rule: "XL001",
+            file: "crates/core/src/native.rs".into(),
+            line: 42,
+            col: 7,
+            message: "`.unwrap()` in library code".into(),
+            help: "propagate with `?`".into(),
+        }
+    }
+
+    #[test]
+    fn human_rendering_has_location() {
+        let r = sample().render_human();
+        assert!(r.contains("error[XL001]"));
+        assert!(r.contains("crates/core/src/native.rs:42:7"));
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let mut d = sample();
+        d.message = "a \"quoted\" message".into();
+        let j = d.render_json();
+        assert!(j.contains("\\\"quoted\\\""));
+        let report = render_json_report(&[d]);
+        assert!(report.ends_with("\"count\":1}"));
+    }
+}

@@ -1,0 +1,350 @@
+//! A comment/string-aware cleaning pass over Rust source.
+//!
+//! `syn` is unavailable offline, so the lint rules work on a *cleaned*
+//! copy of each file instead of an AST: comments, string literals and
+//! char literals are blanked to spaces (newlines preserved), leaving a
+//! byte-for-byte aligned text where token scanning cannot be fooled by
+//! `"panic!"` inside a string or `.unwrap()` inside a doc comment.
+//!
+//! The pass also extracts `// xtask-lint: allow(XL001) -- reason` escape
+//! hatches, which suppress findings on their own line and the following
+//! line. A hatch without a non-empty `-- reason` is itself reported
+//! (rule `XL000`).
+
+/// One parsed escape-hatch directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// Rule ids the hatch suppresses (e.g. `["XL001"]`).
+    pub rules: Vec<String>,
+}
+
+/// Result of the cleaning pass.
+pub struct Cleaned {
+    /// Same byte length as the input; comments/strings blanked.
+    pub text: Vec<u8>,
+    /// Escape hatches found in comments.
+    pub allows: Vec<Allow>,
+    /// 1-based lines holding a malformed `xtask-lint` comment.
+    pub malformed: Vec<usize>,
+}
+
+impl Cleaned {
+    /// True when `rule` is suppressed at 1-based `line`.
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|a| (a.line == line || a.line + 1 == line) && a.rules.iter().any(|r| r == rule))
+    }
+
+    /// 1-based line number of byte offset `pos`.
+    pub fn line_of(&self, pos: usize) -> usize {
+        line_of(&self.text, pos)
+    }
+
+    /// 1-based column of byte offset `pos`.
+    pub fn col_of(&self, pos: usize) -> usize {
+        let upto = self.text.get(..pos).unwrap_or(&self.text);
+        match upto.iter().rposition(|&b| b == b'\n') {
+            Some(nl) => pos - nl,
+            None => pos + 1,
+        }
+    }
+}
+
+/// 1-based line number of byte offset `pos` in `text`.
+pub fn line_of(text: &[u8], pos: usize) -> usize {
+    let upto = text.get(..pos).unwrap_or(text);
+    1 + upto.iter().filter(|&&b| b == b'\n').count()
+}
+
+fn at(b: &[u8], i: usize) -> u8 {
+    b.get(i).copied().unwrap_or(0)
+}
+
+/// Blanks comments and literals, collecting escape hatches on the way.
+pub fn clean(source: &str) -> Cleaned {
+    let src = source.as_bytes();
+    let mut out = src.to_vec();
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    let mut i = 0usize;
+
+    let blank = |out: &mut Vec<u8>, from: usize, to: usize| {
+        for j in from..to {
+            if let Some(b) = out.get_mut(j) {
+                if *b != b'\n' {
+                    *b = b' ';
+                }
+            }
+        }
+    };
+
+    while i < src.len() {
+        let c = at(src, i);
+        // Line comment.
+        if c == b'/' && at(src, i + 1) == b'/' {
+            let end = src
+                .iter()
+                .skip(i)
+                .position(|&b| b == b'\n')
+                .map_or(src.len(), |p| i + p);
+            if let Some(text) = source.get(i..end) {
+                match parse_directive(text) {
+                    DirectiveParse::None => {}
+                    DirectiveParse::Ok(rules) => {
+                        allows.push(Allow {
+                            line: line_of(src, i),
+                            rules,
+                        });
+                    }
+                    DirectiveParse::Malformed => malformed.push(line_of(src, i)),
+                }
+            }
+            blank(&mut out, i, end);
+            i = end;
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && at(src, i + 1) == b'*' {
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < src.len() && depth > 0 {
+                if at(src, i) == b'/' && at(src, i + 1) == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if at(src, i) == b'*' && at(src, i + 1) == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            blank(&mut out, start, i);
+            continue;
+        }
+        // Raw strings: r"...", r#"..."#, br"...", br#"..."#.
+        if c == b'r' || (c == b'b' && at(src, i + 1) == b'r') {
+            let mut j = i + if c == b'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while at(src, j) == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if at(src, j) == b'"' && !is_ident_byte(at(src, i.wrapping_sub(1))) {
+                // Scan for closing quote followed by `hashes` hashes.
+                let mut k = j + 1;
+                'raw: while k < src.len() {
+                    if at(src, k) == b'"' {
+                        let mut h = 0usize;
+                        while h < hashes && at(src, k + 1 + h) == b'#' {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            k += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    k += 1;
+                }
+                blank(&mut out, i, k);
+                i = k;
+                continue;
+            }
+        }
+        // Plain and byte strings.
+        if c == b'"'
+            || (c == b'b' && at(src, i + 1) == b'"' && !is_ident_byte(at(src, i.wrapping_sub(1))))
+        {
+            let start = i;
+            i += if c == b'b' { 2 } else { 1 };
+            while i < src.len() {
+                match at(src, i) {
+                    b'\\' => i += 2,
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            blank(&mut out, start, i);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' && !is_ident_byte(at(src, i.wrapping_sub(1))) {
+            if at(src, i + 1) == b'\\' {
+                // Escaped char literal: '\n', '\u{...}', '\\', ...
+                let start = i;
+                i += 2;
+                while i < src.len() && at(src, i) != b'\'' {
+                    i += 1;
+                }
+                i += 1;
+                blank(&mut out, start, i);
+                continue;
+            }
+            // 'x' (any single char, possibly multi-byte).
+            let ch_len = source
+                .get(i + 1..)
+                .and_then(|s| s.chars().next())
+                .map_or(1, char::len_utf8);
+            if at(src, i + 1 + ch_len) == b'\'' {
+                blank(&mut out, i, i + 2 + ch_len);
+                i += 2 + ch_len;
+                continue;
+            }
+            // Lifetime: leave as-is (harmless to the rules).
+        }
+        i += 1;
+    }
+
+    Cleaned {
+        text: out,
+        allows,
+        malformed,
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+enum DirectiveParse {
+    None,
+    Ok(Vec<String>),
+    Malformed,
+}
+
+/// Parses `xtask-lint: allow(XL001[, XL002]) -- reason` out of one `//`
+/// comment. The reason after `--` is mandatory and must be non-empty.
+fn parse_directive(comment: &str) -> DirectiveParse {
+    let Some(pos) = comment.find("xtask-lint:") else {
+        return DirectiveParse::None;
+    };
+    let rest = comment
+        .get(pos + "xtask-lint:".len()..)
+        .unwrap_or("")
+        .trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return DirectiveParse::Malformed;
+    };
+    let Some(close) = rest.find(')') else {
+        return DirectiveParse::Malformed;
+    };
+    let (inside, after) = rest.split_at(close);
+    let rules: Vec<String> = inside
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty()
+        || !rules
+            .iter()
+            .all(|r| crate::diag::ALL_RULES.contains(&r.as_str()))
+    {
+        return DirectiveParse::Malformed;
+    }
+    // after = ") -- reason"
+    let after = after.get(1..).unwrap_or("").trim_start();
+    let Some(reason) = after.strip_prefix("--") else {
+        return DirectiveParse::Malformed;
+    };
+    if reason.trim().is_empty() {
+        return DirectiveParse::Malformed;
+    }
+    DirectiveParse::Ok(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cleaned_str(src: &str) -> String {
+        String::from_utf8(clean(src).text).unwrap_or_default()
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let a = \"panic!\"; // .unwrap()\nlet b = 1;";
+        let got = cleaned_str(src);
+        assert!(!got.contains("panic"));
+        assert!(!got.contains("unwrap"));
+        assert!(got.contains("let b = 1;"));
+        assert_eq!(got.len(), src.len());
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let src = "let s = r#\"x.unwrap()\"#; let c = '['; let l: &'static str = \"\";";
+        let got = cleaned_str(src);
+        assert!(!got.contains("unwrap"));
+        assert!(!got.contains('['));
+        assert!(got.contains("'static"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner .expect( */ still */ let x = 2;";
+        let got = cleaned_str(src);
+        assert!(!got.contains("expect"));
+        assert!(got.contains("let x = 2;"));
+    }
+
+    #[test]
+    fn newlines_survive_blanking() {
+        let src = "/* a\nb\nc */ fn f() {}\n\"s\ntring\"";
+        let got = cleaned_str(src);
+        assert_eq!(got.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn allow_directive_parses() {
+        let c = clean("x; // xtask-lint: allow(XL001) -- indexing proven in bounds\ny;");
+        assert_eq!(
+            c.allows,
+            vec![Allow {
+                line: 1,
+                rules: vec!["XL001".into()]
+            }]
+        );
+        assert!(c.allowed("XL001", 1));
+        assert!(c.allowed("XL001", 2));
+        assert!(!c.allowed("XL001", 3));
+        assert!(!c.allowed("XL002", 1));
+        assert!(c.malformed.is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        for bad in [
+            "// xtask-lint: allow(XL001)",
+            "// xtask-lint: allow(XL001) --",
+            "// xtask-lint: allow(XL001) --   ",
+            "// xtask-lint: allow()  -- why",
+            "// xtask-lint: allow(BOGUS) -- why",
+            "// xtask-lint: deny(XL001) -- why",
+        ] {
+            let c = clean(bad);
+            assert_eq!(c.malformed, vec![1], "{bad}");
+        }
+    }
+
+    #[test]
+    fn multi_rule_allow() {
+        let c = clean("// xtask-lint: allow(XL001, XL002) -- both fine here\nx;");
+        assert!(c.allowed("XL001", 2));
+        assert!(c.allowed("XL002", 2));
+    }
+
+    #[test]
+    fn line_and_col_math() {
+        let c = clean("ab\ncd\nef");
+        assert_eq!(c.line_of(0), 1);
+        assert_eq!(c.line_of(4), 2);
+        assert_eq!(c.col_of(4), 2);
+        assert_eq!(c.line_of(6), 3);
+    }
+}

@@ -1,0 +1,176 @@
+//! `cargo xtask lint` — the DBSCOUT workspace's custom static-analysis
+//! suite.
+//!
+//! Four rule families guard invariants the paper's exactness claims rest
+//! on (see `DESIGN.md`, "Static analysis & invariants"):
+//!
+//! * **XL001 panic-freedom** — library code in `dbscout-core`,
+//!   `dbscout-spatial` and `dbscout-dataflow` must not contain
+//!   `.unwrap()`, `.expect(...)`, `panic!`, `todo!`, `unreachable!`,
+//!   `unimplemented!` or slice indexing; detection must degrade to a
+//!   `Result`, never a crash, on billion-point inputs.
+//! * **XL002 float-comparison discipline** — no direct `==`/`!=` with
+//!   float operands, and distance-vs-threshold predicates must go through
+//!   `dbscout_spatial::distance::within` (the closed-ball convention of
+//!   Definition 2 lives in exactly one place).
+//! * **XL003 parameter-validation coverage** — every `pub fn` in
+//!   `dbscout-core` accepting raw `eps`/`min_pts` must reach a validation
+//!   call before using them.
+//! * **XL004 error-type hygiene** — every public type in a crate's
+//!   `error.rs` implements `Display` + `std::error::Error` and asserts
+//!   `Send + Sync + 'static` at compile time.
+//!
+//! Escape hatch: `// xtask-lint: allow(XL001) -- <justification>` on (or
+//! directly above) the offending line. The justification is mandatory;
+//! a hatch without one is reported as `XL000`.
+//!
+//! Implementation note: the toolchain here has no network access, so
+//! `syn` is unavailable; rules run as token scans over comment/string-
+//! stripped source (see [`lexer`]), with `cargo clippy`'s type-aware
+//! `unwrap_used`/`float_cmp` lints as the compiler-grade backstop.
+
+// Unit tests may panic freely; library code is held to the panic-freedom
+// gates in `[workspace.lints]` and `cargo xtask lint`.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::indexing_slicing,
+        clippy::panic,
+        clippy::float_cmp
+    )
+)]
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use diag::{render_json_report, Diagnostic};
+use rules::Scope;
+
+/// Crates whose library code must be panic-free (ROADMAP tier-1 engines).
+const PANIC_FREE_CRATES: [&str; 3] = ["core", "spatial", "dataflow"];
+/// Crates where raw distance comparisons are forbidden (the helpers live
+/// in `dbscout-spatial::distance`, which is exempt along with the rest of
+/// spatial's internal pruning code).
+const DISTANCE_SCOPED_CRATES: [&str; 2] = ["core", "dataflow"];
+
+/// Derives which rules apply to `rel_path` (workspace-relative, `/`
+/// separators).
+pub fn scope_for(rel_path: &str) -> Scope {
+    let in_crate = |name: &str| rel_path.starts_with(&format!("crates/{name}/src/"));
+    let panic_freedom = PANIC_FREE_CRATES.iter().any(|c| in_crate(c));
+    Scope {
+        panic_freedom,
+        float_eq: panic_freedom && rel_path != "crates/spatial/src/distance.rs",
+        distance_predicate: DISTANCE_SCOPED_CRATES.iter().any(|c| in_crate(c)),
+        param_validation: in_crate("core"),
+        error_hygiene: rel_path.ends_with("/error.rs"),
+    }
+}
+
+/// Lints one file's source text under the given scope. This is the unit
+/// the fixture self-tests drive directly.
+pub fn lint_source(rel_path: &str, source: &str, scope: Scope) -> Vec<Diagnostic> {
+    let cleaned = lexer::clean(source);
+    let spans = rules::test_spans(&cleaned);
+    let mut out = Vec::new();
+    for &line in &cleaned.malformed {
+        out.push(Diagnostic {
+            rule: "XL000",
+            file: rel_path.to_string(),
+            line,
+            col: 1,
+            message: "malformed `xtask-lint` comment".to_string(),
+            help: "the form is `// xtask-lint: allow(XL00n) -- <non-empty justification>`"
+                .to_string(),
+        });
+    }
+    if scope.panic_freedom {
+        rules::panic_freedom(&cleaned, rel_path, &spans, &mut out);
+    }
+    if scope.float_eq || scope.distance_predicate {
+        rules::float_discipline(&cleaned, rel_path, scope, &spans, &mut out);
+    }
+    if scope.param_validation {
+        rules::param_validation(&cleaned, rel_path, &spans, &mut out);
+    }
+    if scope.error_hygiene {
+        rules::error_hygiene(&cleaned, rel_path, &mut out);
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    out
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `crates/*/src/**/*.rs` under `root`. Returns all findings
+/// sorted by file/line.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            rs_files(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&file)?;
+        out.extend(lint_source(&rel, &source, scope_for(&rel)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_follow_the_policy() {
+        let core = scope_for("crates/core/src/native.rs");
+        assert!(core.panic_freedom && core.float_eq && core.distance_predicate);
+        assert!(core.param_validation && !core.error_hygiene);
+
+        let dist = scope_for("crates/spatial/src/distance.rs");
+        assert!(dist.panic_freedom && !dist.float_eq && !dist.distance_predicate);
+
+        let err = scope_for("crates/dataflow/src/error.rs");
+        assert!(err.error_hygiene && err.panic_freedom);
+
+        let data = scope_for("crates/data/src/io.rs");
+        assert!(!data.panic_freedom && !data.float_eq && !data.param_validation);
+        assert!(scope_for("crates/data/src/error.rs").error_hygiene);
+    }
+
+    #[test]
+    fn malformed_directive_reported_everywhere() {
+        let d = lint_source(
+            "crates/data/src/x.rs",
+            "// xtask-lint: allow(XL001)\nfn f() {}\n",
+            scope_for("crates/data/src/x.rs"),
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.first().map(|d| d.rule), Some("XL000"));
+    }
+}

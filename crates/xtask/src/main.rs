@@ -1,0 +1,84 @@
+//! CLI for the workspace lint suite: `cargo xtask lint [--json] [--root DIR]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: cargo xtask lint [--json] [--root DIR]\n\n\
+     Runs the DBSCOUT custom lint suite (rules XL000-XL004) over every\n\
+     crates/*/src/**/*.rs file. Exits non-zero when findings exist.\n\n\
+     options:\n\
+     \x20 --json      emit findings as one JSON document\n\
+     \x20 --root DIR  workspace root to lint (default: CARGO_WORKSPACE_DIR\n\
+     \x20             or the current directory)"
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    if cmd == "--help" || cmd == "-h" || cmd == "help" {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    if cmd != "lint" {
+        eprintln!("error: unknown command {cmd:?}\n\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag {other:?}\n\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Under the `cargo xtask` alias the process runs from wherever the
+    // user invoked cargo; resolve the workspace root from the manifest
+    // location cargo gives us.
+    let root = root.unwrap_or_else(|| {
+        std::env::var("CARGO_MANIFEST_DIR")
+            .map(|m| PathBuf::from(m).join("../.."))
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+
+    let findings = match xtask::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: failed to scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if json {
+        println!("{}", xtask::render_json_report(&findings));
+    } else {
+        for d in &findings {
+            print!("{}", d.render_human());
+        }
+        if findings.is_empty() {
+            println!("xtask lint: clean (rules XL000-XL004)");
+        } else {
+            println!("xtask lint: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

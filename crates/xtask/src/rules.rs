@@ -1,0 +1,679 @@
+//! The four DBSCOUT lint rules, implemented as token scans over the
+//! [`crate::lexer::Cleaned`] text (see module docs there for why this is
+//! not AST-based).
+
+use crate::diag::Diagnostic;
+use crate::lexer::Cleaned;
+
+/// Which rule families apply to the file being linted. Derived from the
+/// file's path by [`crate::scope_for`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scope {
+    /// XL001: panic-freedom (core, spatial, dataflow library code).
+    pub panic_freedom: bool,
+    /// XL002: `==`/`!=` on floats (same crates, minus `distance.rs`).
+    pub float_eq: bool,
+    /// XL002: raw `dist`/`sq_dist` threshold comparisons (core, dataflow).
+    pub distance_predicate: bool,
+    /// XL003: parameter-validation coverage (core).
+    pub param_validation: bool,
+    /// XL004: error-type hygiene (every `error.rs`).
+    pub error_hygiene: bool,
+}
+
+fn at(b: &[u8], i: usize) -> u8 {
+    b.get(i).copied().unwrap_or(0)
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn prev_non_ws(b: &[u8], mut i: usize) -> u8 {
+    while i > 0 {
+        i -= 1;
+        let c = at(b, i);
+        if !c.is_ascii_whitespace() {
+            return c;
+        }
+    }
+    0
+}
+
+/// The identifier run whose last byte is the previous non-whitespace
+/// character before `i` (empty if that character is not an ident byte).
+fn ident_ending_before(b: &[u8], mut i: usize) -> &[u8] {
+    while i > 0 && at(b, i - 1).is_ascii_whitespace() {
+        i -= 1;
+    }
+    let end = i;
+    while i > 0 && is_ident_byte(at(b, i - 1)) {
+        i -= 1;
+    }
+    b.get(i..end).unwrap_or_default()
+}
+
+fn next_non_ws(b: &[u8], mut i: usize) -> (u8, usize) {
+    while i < b.len() {
+        let c = at(b, i);
+        if !c.is_ascii_whitespace() {
+            return (c, i);
+        }
+        i += 1;
+    }
+    (0, b.len())
+}
+
+/// Byte offset just past the brace that matches the `{` at `open`.
+fn matching_brace(b: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < b.len() {
+        match at(b, i) {
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+/// Spans of `#[cfg(test)]`-gated code: the attribute through the matching
+/// close brace of the item it gates (or through the `;` for gated
+/// declarations). Code inside is exempt from XL001–XL003.
+pub fn test_spans(c: &Cleaned) -> Vec<(usize, usize)> {
+    const NEEDLE: &[u8] = b"#[cfg(test)]";
+    let b = &c.text;
+    let mut spans = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = find(b, NEEDLE, from) {
+        let mut i = pos + NEEDLE.len();
+        // Walk to the gated item's opening brace, or a `;` ending it.
+        while i < b.len() && at(b, i) != b'{' && at(b, i) != b';' {
+            i += 1;
+        }
+        let end = if at(b, i) == b'{' {
+            matching_brace(b, i)
+        } else {
+            i + 1
+        };
+        spans.push((pos, end));
+        from = end.max(pos + 1);
+    }
+    spans
+}
+
+fn in_spans(spans: &[(usize, usize)], pos: usize) -> bool {
+    spans.iter().any(|&(a, z)| a <= pos && pos < z)
+}
+
+fn find(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    let tail = haystack.get(from..)?;
+    tail.windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| from + p)
+}
+
+/// Identifiers in cleaned text as `(start, end)` byte spans. Runs that
+/// start with a digit (numeric literals like `0xE001`) are consumed but
+/// not reported.
+fn idents(b: &[u8]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = at(b, i);
+        if is_ident_byte(c) {
+            let start = i;
+            while i < b.len() && is_ident_byte(at(b, i)) {
+                i += 1;
+            }
+            if c.is_ascii_alphabetic() || c == b'_' {
+                out.push((start, i));
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn emit(
+    out: &mut Vec<Diagnostic>,
+    c: &Cleaned,
+    file: &str,
+    rule: &'static str,
+    pos: usize,
+    message: String,
+    help: &str,
+) {
+    let line = c.line_of(pos);
+    if c.allowed(rule, line) {
+        return;
+    }
+    out.push(Diagnostic {
+        rule,
+        file: file.to_string(),
+        line,
+        col: c.col_of(pos),
+        message,
+        help: help.to_string(),
+    });
+}
+
+/// XL001 — panic-freedom: no `.unwrap()`, `.expect(...)`, `panic!`,
+/// `todo!`, `unreachable!`, `unimplemented!` or slice indexing `x[i]` in
+/// library code.
+pub fn panic_freedom(c: &Cleaned, file: &str, spans: &[(usize, usize)], out: &mut Vec<Diagnostic>) {
+    const HELP: &str = "propagate errors with `?`, pattern-match the `Option`, or use \
+                        `.get()`; a justified exception needs \
+                        `// xtask-lint: allow(XL001) -- <reason>`";
+    let b = &c.text;
+    for &(s, e) in &idents(b) {
+        if in_spans(spans, s) {
+            continue;
+        }
+        let word = b.get(s..e).unwrap_or_default();
+        match word {
+            b"unwrap" | b"expect" => {
+                let is_method = prev_non_ws(b, s) == b'.';
+                let (nxt, _) = next_non_ws(b, e);
+                if is_method && nxt == b'(' {
+                    let name = String::from_utf8_lossy(word).into_owned();
+                    emit(
+                        out,
+                        c,
+                        file,
+                        "XL001",
+                        s,
+                        format!("`.{name}()` in library code"),
+                        HELP,
+                    );
+                }
+            }
+            b"panic" | b"todo" | b"unreachable" | b"unimplemented" => {
+                let (nxt, _) = next_non_ws(b, e);
+                // `panic` as a path segment (e.g. `clippy::panic`) has no `!`.
+                if nxt == b'!' && prev_non_ws(b, s) != b':' {
+                    let name = String::from_utf8_lossy(word).into_owned();
+                    emit(
+                        out,
+                        c,
+                        file,
+                        "XL001",
+                        s,
+                        format!("`{name}!` in library code"),
+                        HELP,
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    // Slice/array indexing `x[i]`. A `[` after a keyword (`&mut [T]`,
+    // `as [u8; 4]`, `return [..]`) opens a type or an array literal, not
+    // an index expression.
+    const KEYWORDS_BEFORE_BRACKET: &[&[u8]] = &[
+        b"mut", b"dyn", b"as", b"in", b"return", b"break", b"if", b"else", b"match", b"impl",
+        b"where", b"move", b"ref", b"const", b"static",
+    ];
+    let mut i = 0usize;
+    while i < b.len() {
+        if at(b, i) == b'[' && !in_spans(spans, i) {
+            let p = prev_non_ws(b, i);
+            let is_keyword = is_ident_byte(p) && {
+                let word = ident_ending_before(b, i);
+                KEYWORDS_BEFORE_BRACKET.contains(&word)
+            };
+            if (is_ident_byte(p) || p == b')' || p == b']' || p == b'?') && p != 0 && !is_keyword {
+                emit(
+                    out,
+                    c,
+                    file,
+                    "XL001",
+                    i,
+                    "slice indexing (can panic) in library code".to_string(),
+                    HELP,
+                );
+            }
+        }
+        i += 1;
+    }
+}
+
+/// True when a token adjacent to `==`/`!=` looks like an f32/f64 value.
+fn floatish(tok: &str) -> bool {
+    let t = tok.trim_matches(|ch: char| ",;)}(".contains(ch));
+    if t.is_empty() {
+        return false;
+    }
+    if t.starts_with("f64") || t.starts_with("f32") {
+        return true; // f64::NAN, f64::INFINITY, bare casts
+    }
+    let first_digit = t.as_bytes().first().is_some_and(u8::is_ascii_digit);
+    if !first_digit || t.starts_with("0x") || t.starts_with("0b") || t.starts_with("0o") {
+        return false;
+    }
+    t.ends_with("f64")
+        || t.ends_with("f32")
+        || t.contains('.')
+        || t.contains('e')
+        || t.contains('E')
+}
+
+/// XL002 — float-comparison discipline: direct `==`/`!=` with a float
+/// operand, and raw `dist`/`sq_dist` results compared against thresholds
+/// instead of going through `dbscout_spatial::distance::within`.
+pub fn float_discipline(
+    c: &Cleaned,
+    file: &str,
+    scope: Scope,
+    spans: &[(usize, usize)],
+    out: &mut Vec<Diagnostic>,
+) {
+    let b = &c.text;
+    if scope.float_eq {
+        let mut i = 0usize;
+        while i + 1 < b.len() {
+            let two = (at(b, i), at(b, i + 1));
+            let is_cmp = two == (b'=', b'=') || two == (b'!', b'=');
+            // Exclude `<=`, `>=`, `=>`, `==` inside `===`-like runs (none
+            // in Rust) and compound assignment `+=` etc.
+            let prev = at(b, i.wrapping_sub(1));
+            let next = at(b, i + 2);
+            if is_cmp
+                && !in_spans(spans, i)
+                && prev != b'<'
+                && prev != b'>'
+                && prev != b'='
+                && prev != b'!'
+                && next != b'='
+            {
+                let left = last_token_before(b, i);
+                let right = first_token_after(b, i + 2);
+                if floatish(&left) || floatish(&right) {
+                    emit(
+                        out,
+                        c,
+                        file,
+                        "XL002",
+                        i,
+                        format!(
+                            "direct float comparison `{left} {}{} {right}`",
+                            two.0 as char, '='
+                        ),
+                        "compare against a tolerance, use `f64::total_cmp`, or the \
+                         `dbscout_spatial::distance` helpers",
+                    );
+                }
+            }
+            i += 1;
+        }
+    }
+    if scope.distance_predicate {
+        for &(s, e) in &idents(b) {
+            let word = b.get(s..e).unwrap_or_default();
+            if (word == b"dist" || word == b"sq_dist")
+                && !in_spans(spans, s)
+                && prev_non_ws(b, s) != b'.'
+            {
+                let (open, open_pos) = next_non_ws(b, e);
+                if open != b'(' {
+                    continue;
+                }
+                let close = matching_paren(b, open_pos);
+                let (after, _) = next_non_ws(b, close);
+                if after == b'<' || after == b'>' {
+                    emit(
+                        out,
+                        c,
+                        file,
+                        "XL002",
+                        s,
+                        format!(
+                            "raw `{}(..)` compared against a threshold",
+                            String::from_utf8_lossy(word)
+                        ),
+                        "distance predicates must go through \
+                         `dbscout_spatial::distance::within` so the closed-ball \
+                         convention stays in one place",
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Byte offset just past the paren matching the `(` at `open`.
+fn matching_paren(b: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < b.len() {
+        match at(b, i) {
+            b'(' => depth += 1,
+            b')' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+fn last_token_before(b: &[u8], pos: usize) -> String {
+    let mut end = pos;
+    while end > 0 && at(b, end - 1).is_ascii_whitespace() {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 {
+        let c = at(b, start - 1);
+        if c.is_ascii_whitespace() || b";,{}&|<>=!+*".contains(&c) {
+            break;
+        }
+        start -= 1;
+    }
+    String::from_utf8_lossy(b.get(start..end).unwrap_or_default()).into_owned()
+}
+
+fn first_token_after(b: &[u8], pos: usize) -> String {
+    let (_, start) = next_non_ws(b, pos);
+    let mut end = start;
+    while end < b.len() {
+        let c = at(b, end);
+        if c.is_ascii_whitespace() || b";,{}&|<>=!+*".contains(&c) {
+            break;
+        }
+        end += 1;
+    }
+    String::from_utf8_lossy(b.get(start..end).unwrap_or_default()).into_owned()
+}
+
+/// XL003 — parameter-validation coverage: a `pub fn` taking raw
+/// `eps: f64` or `min_pts: usize` arguments must reach a validation call
+/// in its body.
+pub fn param_validation(
+    c: &Cleaned,
+    file: &str,
+    spans: &[(usize, usize)],
+    out: &mut Vec<Diagnostic>,
+) {
+    const MARKERS: [&str; 6] = [
+        "validate_eps(",
+        "validate_min_pts(",
+        "DbscoutParams::new(",
+        "Self::new(",
+        "is_finite(",
+        "InvalidMinPts",
+    ];
+    let b = &c.text;
+    let mut from = 0usize;
+    while let Some(pos) = find(b, b"pub fn ", from) {
+        from = pos + 1;
+        if in_spans(spans, pos) {
+            continue;
+        }
+        let Some(open) = find(b, b"(", pos) else {
+            continue;
+        };
+        let close = matching_paren(b, open);
+        let args = String::from_utf8_lossy(b.get(open..close).unwrap_or_default()).into_owned();
+        let takes_eps = arg_with_type(&args, "eps", "f64");
+        let takes_min_pts = arg_with_type(&args, "min_pts", "usize");
+        if !takes_eps && !takes_min_pts {
+            continue;
+        }
+        // Find the body (skip `;`-terminated trait signatures).
+        let mut i = close;
+        while i < b.len() && at(b, i) != b'{' && at(b, i) != b';' {
+            i += 1;
+        }
+        if at(b, i) != b'{' {
+            continue;
+        }
+        let body_end = matching_brace(b, i);
+        let body = String::from_utf8_lossy(b.get(i..body_end).unwrap_or_default()).into_owned();
+        if !MARKERS.iter().any(|m| body.contains(m)) {
+            emit(
+                out,
+                c,
+                file,
+                "XL003",
+                pos,
+                "public function takes raw `eps`/`min_pts` but never validates them".to_string(),
+                "call `DbscoutParams::new` (or the `validate_eps`/`validate_min_pts` \
+                 helpers) before using the values",
+            );
+        }
+    }
+}
+
+/// True when the argument list declares `name: ... type ...` for a raw
+/// parameter (e.g. `eps: f64`, `min_pts: usize`).
+fn arg_with_type(args: &str, name: &str, ty: &str) -> bool {
+    let mut from = 0usize;
+    while let Some(p) = args.get(from..).and_then(|s| s.find(name)) {
+        let abs = from + p;
+        from = abs + 1;
+        let before_ok = abs == 0
+            || !args
+                .as_bytes()
+                .get(abs - 1)
+                .copied()
+                .is_some_and(|ch| ch.is_ascii_alphanumeric() || ch == b'_');
+        let rest = args.get(abs + name.len()..).unwrap_or("").trim_start();
+        if before_ok && rest.starts_with(':') {
+            let ty_part = rest.get(1..).unwrap_or("");
+            let ty_tok: String = ty_part
+                .chars()
+                .take_while(|&ch| ch != ',' && ch != ')')
+                .collect();
+            if ty_tok.contains(ty) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// XL004 — error-type hygiene: every public type in an `error.rs` must
+/// implement `Display`, `std::error::Error`, and carry a compile-time
+/// `Send + Sync + 'static` assertion.
+pub fn error_hygiene(c: &Cleaned, file: &str, out: &mut Vec<Diagnostic>) {
+    let b = &c.text;
+    let text = String::from_utf8_lossy(b).into_owned();
+    for kw in ["pub enum ", "pub struct "] {
+        let mut from = 0usize;
+        while let Some(p) = text.get(from..).and_then(|s| s.find(kw)) {
+            let abs = from + p;
+            from = abs + kw.len();
+            let name: String = text
+                .get(abs + kw.len()..)
+                .unwrap_or("")
+                .chars()
+                .take_while(|ch| ch.is_ascii_alphanumeric() || *ch == '_')
+                .collect();
+            if name.is_empty() {
+                continue;
+            }
+            let mut missing = Vec::new();
+            if !text.contains(&format!("Display for {name}")) {
+                missing.push("a `fmt::Display` impl");
+            }
+            if !text.contains(&format!("Error for {name}")) {
+                missing.push("a `std::error::Error` impl");
+            }
+            if !text.contains(&format!("_assert_error_bounds::<{name}>")) {
+                missing.push("the `_assert_error_bounds::<T>()` Send+Sync assertion");
+            }
+            if !missing.is_empty() {
+                emit(
+                    out,
+                    c,
+                    file,
+                    "XL004",
+                    abs,
+                    format!("error type `{name}` is missing {}", missing.join(", ")),
+                    "public error types must implement Display and std::error::Error, \
+                     and assert `Send + Sync + 'static` via \
+                     `const _: () = _assert_error_bounds::<T>();`",
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::clean;
+
+    fn run_panic(src: &str) -> Vec<Diagnostic> {
+        let c = clean(src);
+        let spans = test_spans(&c);
+        let mut out = Vec::new();
+        panic_freedom(&c, "test.rs", &spans, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_in_lib_code_is_flagged() {
+        let d = run_panic("fn f() { x.unwrap(); }");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.first().map(|d| d.rule), Some("XL001"));
+    }
+
+    #[test]
+    fn unwrap_or_is_not_flagged() {
+        assert!(run_panic("fn f() { x.unwrap_or(0); x.unwrap_or_default(); }").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests { fn g() { x.unwrap(); a[0]; } }";
+        assert!(run_panic(src).is_empty());
+    }
+
+    #[test]
+    fn indexing_is_flagged_but_not_attributes_or_types() {
+        let d = run_panic("fn f(a: &[u8], v: Vec<[f64; 2]>) -> [u8; 4] { a[0] }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        let src = "#[derive(Debug)]\nstruct S { x: [u8; 4] }";
+        assert!(run_panic(src).is_empty());
+    }
+
+    #[test]
+    fn macros_flagged_path_segments_not() {
+        let d = run_panic("fn f() { panic!(\"boom\"); }");
+        assert_eq!(d.len(), 1);
+        assert!(run_panic("#![allow(clippy::panic)]\nfn f() {}").is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let src = "fn f(a: &[u8]) -> u8 {\n    // xtask-lint: allow(XL001) -- index proven < len above\n    a[0]\n}";
+        assert!(run_panic(src).is_empty());
+    }
+
+    #[test]
+    fn float_eq_flagged() {
+        let c = clean("fn f(x: f64) -> bool { x == 0.0 }");
+        let mut out = Vec::new();
+        let scope = Scope {
+            float_eq: true,
+            ..Scope::default()
+        };
+        float_discipline(&c, "t.rs", scope, &[], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.first().map(|d| d.rule), Some("XL002"));
+    }
+
+    #[test]
+    fn int_eq_not_flagged() {
+        let c = clean("fn f(x: usize) -> bool { x == 0 && x != 3 }");
+        let mut out = Vec::new();
+        let scope = Scope {
+            float_eq: true,
+            ..Scope::default()
+        };
+        float_discipline(&c, "t.rs", scope, &[], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn raw_distance_compare_flagged() {
+        let c = clean("fn f() { if sq_dist(a, b) <= eps_sq { } }");
+        let mut out = Vec::new();
+        let scope = Scope {
+            distance_predicate: true,
+            ..Scope::default()
+        };
+        float_discipline(&c, "t.rs", scope, &[], &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn distance_call_without_compare_ok() {
+        let c = clean("fn f() { let d = sq_dist(a, b); store(d); }");
+        let mut out = Vec::new();
+        let scope = Scope {
+            distance_predicate: true,
+            ..Scope::default()
+        };
+        float_discipline(&c, "t.rs", scope, &[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unvalidated_eps_flagged() {
+        let src = "pub fn detect(store: &S, eps: f64, min_pts: usize) -> R { run(store, eps) }";
+        let c = clean(src);
+        let mut out = Vec::new();
+        param_validation(&c, "t.rs", &[], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.first().map(|d| d.rule), Some("XL003"));
+    }
+
+    #[test]
+    fn validated_eps_ok() {
+        let src = "pub fn new(eps: f64, min_pts: usize) -> Result<Self> {\n\
+                   if !eps.is_finite() { return Err(e()); }\nOk(Self{eps,min_pts}) }";
+        let c = clean(src);
+        let mut out = Vec::new();
+        param_validation(&c, "t.rs", &[], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn error_hygiene_needs_all_three() {
+        let src = "pub enum MyError { A }\nimpl fmt::Display for MyError {}\n";
+        let c = clean(src);
+        let mut out = Vec::new();
+        error_hygiene(&c, "error.rs", &mut out);
+        assert_eq!(out.len(), 1);
+        let d = out.first().map(|d| d.message.clone()).unwrap_or_default();
+        assert!(d.contains("std::error::Error"), "{d}");
+        assert!(d.contains("Send+Sync"), "{d}");
+    }
+
+    #[test]
+    fn error_hygiene_complete_type_passes() {
+        let src = "pub enum MyError { A }\n\
+                   impl fmt::Display for MyError {}\n\
+                   impl std::error::Error for MyError {}\n\
+                   const _: () = _assert_error_bounds::<MyError>();\n";
+        let c = clean(src);
+        let mut out = Vec::new();
+        error_hygiene(&c, "error.rs", &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,5 @@
+//! XL004 fixture: an error enum with no impls or assertions.
+
+pub enum BrokenError {
+    Boom,
+}

@@ -1,0 +1,13 @@
+//! XL002 fixture: raw float comparisons and raw distance predicates.
+
+pub fn bad_eq(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn bad_pred(a: &[f64], b: &[f64], limit: f64) -> bool {
+    dist(a, b) <= limit
+}
+
+fn dist(_a: &[f64], _b: &[f64]) -> f64 {
+    0.0
+}

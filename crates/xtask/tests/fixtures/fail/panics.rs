@@ -1,0 +1,14 @@
+//! XL001 fixture: every panic path in library code is flagged.
+
+pub fn first_plus(v: &[u32]) -> u32 {
+    let a = v.first().unwrap();
+    let b = std::env::var("X").expect("set X");
+    if b.is_empty() {
+        panic!("empty");
+    }
+    *a + v[0]
+}
+
+pub fn later() {
+    todo!()
+}

@@ -1,0 +1,5 @@
+//! XL003 fixture: raw parameters used without validation.
+
+pub fn run(eps: f64, min_pts: usize) -> usize {
+    ((eps * 2.0) as usize) + min_pts
+}

@@ -1,0 +1,28 @@
+//! Pass fixture: the happy path of every rule at once.
+
+pub fn checked(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn with_params(eps: f64, min_pts: usize) -> bool {
+    if !eps.is_finite() || min_pts == 0 {
+        return false;
+    }
+    eps > 0.0
+}
+
+pub fn hatch(v: &[u32]) -> u32 {
+    // xtask-lint: allow(XL001) -- fixture: justified indexing with a reason
+    v[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_index() {
+        let v = vec![1u32, 2];
+        assert_eq!(v[0], 1);
+        assert_eq!(*v.first().unwrap(), 1);
+        assert!((0.5f64).fract() == 0.5);
+    }
+}

@@ -1,0 +1,20 @@
+//! Pass fixture: a fully hygienic error module.
+
+use std::fmt;
+
+pub enum FineError {
+    Bad,
+}
+
+impl fmt::Display for FineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FineError::Bad => write!(f, "bad"),
+        }
+    }
+}
+
+impl std::error::Error for FineError {}
+
+const fn _assert_error_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+const _: () = _assert_error_bounds::<FineError>();

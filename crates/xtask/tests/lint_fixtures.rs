@@ -1,0 +1,191 @@
+//! Fixture-driven self-tests for the lint suite.
+//!
+//! Each fixture under `tests/fixtures/` is linted as if it sat at a given
+//! workspace-relative path (which determines the rule scope), and the
+//! findings must match **exactly** — rule ids and 1-based line numbers.
+
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
+use xtask::{lint_source, scope_for};
+
+fn lint_fixture(rel_path: &str, fixture: &str) -> Vec<(&'static str, usize)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    let source = std::fs::read_to_string(format!("{dir}/{fixture}")).expect("fixture exists");
+    lint_source(rel_path, &source, scope_for(rel_path))
+        .into_iter()
+        .map(|d| (d.rule, d.line))
+        .collect()
+}
+
+#[test]
+fn xl001_panic_paths_flagged_at_exact_lines() {
+    assert_eq!(
+        lint_fixture("crates/core/src/panics.rs", "fail/panics.rs"),
+        vec![
+            ("XL001", 4),  // .unwrap()
+            ("XL001", 5),  // .expect(...)
+            ("XL001", 7),  // panic!
+            ("XL001", 9),  // v[0]
+            ("XL001", 13), // todo!
+        ]
+    );
+}
+
+#[test]
+fn xl001_is_scoped_to_the_panic_free_crates() {
+    // The same panic-ridden source is fine in a crate outside the policy.
+    assert_eq!(
+        lint_fixture("crates/data/src/panics.rs", "fail/panics.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn xl002_float_comparisons_flagged_at_exact_lines() {
+    assert_eq!(
+        lint_fixture("crates/dataflow/src/float_eq.rs", "fail/float_eq.rs"),
+        vec![
+            ("XL002", 4), // x == 0.0
+            ("XL002", 8), // dist(a, b) <= limit
+        ]
+    );
+}
+
+#[test]
+fn xl003_unvalidated_params_flagged() {
+    assert_eq!(
+        lint_fixture("crates/core/src/params_fixture.rs", "fail/params.rs"),
+        vec![("XL003", 3)]
+    );
+}
+
+#[test]
+fn xl003_only_applies_to_core() {
+    // `eps`/`min_pts` in other crates are someone else's contract.
+    assert_eq!(
+        lint_fixture("crates/metrics/src/params_fixture.rs", "fail/params.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn xl004_bare_error_enum_flagged() {
+    assert_eq!(
+        lint_fixture("crates/core/src/error.rs", "fail/error.rs"),
+        vec![("XL004", 3)]
+    );
+    // The same file outside an `error.rs` path is unscoped.
+    assert_eq!(
+        lint_fixture("crates/core/src/types.rs", "fail/error.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn xl000_malformed_directive_flagged() {
+    assert_eq!(
+        lint_fixture("crates/data/src/malformed.rs", "fail/malformed.rs"),
+        vec![("XL000", 4)]
+    );
+}
+
+#[test]
+fn pass_fixtures_are_clean_under_the_strictest_scope() {
+    assert_eq!(
+        lint_fixture("crates/core/src/clean.rs", "pass/clean.rs"),
+        vec![]
+    );
+    assert_eq!(
+        lint_fixture("crates/core/src/error.rs", "pass/error.rs"),
+        vec![]
+    );
+}
+
+/// End-to-end: drive the binary against throwaway mini-workspaces and
+/// check exit codes plus `--json` output.
+mod binary {
+    use std::path::{Path, PathBuf};
+    use std::process::Command;
+
+    struct TempRoot(PathBuf);
+
+    impl TempRoot {
+        fn new(tag: &str, files: &[(&str, &str)]) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("xtask-fixture-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            for (rel, content) in files {
+                let path = dir.join(rel);
+                std::fs::create_dir_all(path.parent().expect("fixture paths have parents"))
+                    .expect("mkdir");
+                std::fs::write(path, content).expect("write fixture");
+            }
+            TempRoot(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempRoot {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn run_lint(root: &Path, json: bool) -> (bool, String) {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_xtask"));
+        cmd.arg("lint").arg("--root").arg(root);
+        if json {
+            cmd.arg("--json");
+        }
+        let out = cmd.output().expect("spawn xtask");
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+        )
+    }
+
+    #[test]
+    fn clean_root_exits_zero() {
+        let root = TempRoot::new(
+            "clean",
+            &[(
+                "crates/core/src/lib.rs",
+                "pub fn ok(v: &[u32]) -> Option<u32> {\n    v.first().copied()\n}\n",
+            )],
+        );
+        let (ok, stdout) = run_lint(root.path(), false);
+        assert!(ok, "clean workspace must exit 0; got: {stdout}");
+        assert!(stdout.contains("clean"), "unexpected output: {stdout}");
+    }
+
+    #[test]
+    fn dirty_root_exits_nonzero_with_json_findings() {
+        let root = TempRoot::new(
+            "dirty",
+            &[(
+                "crates/core/src/lib.rs",
+                "pub fn bad(v: &[u32]) -> u32 {\n    v.first().copied().unwrap()\n}\n",
+            )],
+        );
+        let (ok, stdout) = run_lint(root.path(), true);
+        assert!(!ok, "findings must fail the run");
+        assert!(
+            stdout.contains("\"rule\":\"XL001\""),
+            "JSON missing rule: {stdout}"
+        );
+        assert!(stdout.contains("\"line\":2"), "JSON missing line: {stdout}");
+        assert!(
+            stdout.contains("\"count\":1"),
+            "JSON missing count: {stdout}"
+        );
+    }
+}

@@ -4,6 +4,15 @@
 //!
 //! Run: `cargo run --release --example distributed_engine`
 
+// Examples favor brevity: panicking on setup failure is the right
+// behavior for demo binaries.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
 use dbscout::core::{DbscoutParams, DistributedDbscout, JoinStrategy};
 use dbscout::data::generators::osm_like;
 use dbscout::dataflow::ExecutionContext;

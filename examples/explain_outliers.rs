@@ -4,6 +4,15 @@
 //!
 //! Run: `cargo run --release --example explain_outliers`
 
+// Examples favor brevity: panicking on setup failure is the right
+// behavior for demo binaries.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
 use dbscout::core::explain::{consistent, explain};
 use dbscout::core::{outlier_scores, DbscoutParams};
 use dbscout::data::generators::blobs;
@@ -20,9 +29,7 @@ fn main() {
 
     // Rank outliers by how far outside every dense region they sit.
     let mut ranked: Vec<u32> = scored.result.outliers.clone();
-    ranked.sort_by(|&a, &b| {
-        scored.scores[b as usize].total_cmp(&scored.scores[a as usize])
-    });
+    ranked.sort_by(|&a, &b| scored.scores[b as usize].total_cmp(&scored.scores[a as usize]));
 
     let top: Vec<u32> = ranked.iter().take(5).copied().collect();
     println!("top {} most extreme outliers:", top.len());
@@ -37,8 +44,7 @@ fn main() {
     // outliers *closest* to being covered.
     let bottom: Vec<u32> = ranked.iter().rev().take(3).copied().collect();
     println!("\nborderline outliers (closest to a dense region):");
-    for e in explain(&ds.points, &scored.result, params, &bottom).expect("explanation succeeds")
-    {
+    for e in explain(&ds.points, &scored.result, params, &bottom).expect("explanation succeeds") {
         let slack = e.eps_to_cover.map(|d| d - params.eps);
         println!(
             "  {e}\n    → would be covered if eps grew by {:.4}",

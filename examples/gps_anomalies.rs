@@ -4,6 +4,15 @@
 //!
 //! Run: `cargo run --release --example gps_anomalies`
 
+// Examples favor brevity: panicking on setup failure is the right
+// behavior for demo binaries.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
 use dbscout::core::{Dbscout, DbscoutParams};
 use dbscout::data::generators::geolife_like;
 use dbscout::data::kdist::suggest_eps;
@@ -33,7 +42,9 @@ fn main() {
     );
 
     let params = DbscoutParams::new(eps, 100).expect("valid parameters");
-    let result = Dbscout::new(params).detect(&store).expect("detection succeeds");
+    let result = Dbscout::new(params)
+        .detect(&store)
+        .expect("detection succeeds");
     println!(
         "DBSCOUT found {} anomalous fixes out of {} ({:.2}%) in {:?}",
         result.num_outliers(),
@@ -45,6 +56,9 @@ fn main() {
     // Peek at a few anomalies.
     for &id in result.outliers.iter().take(5) {
         let p = store.point(id);
-        println!("  anomalous fix #{id}: x={:.0} y={:.0} alt={:.0}", p[0], p[1], p[2]);
+        println!(
+            "  anomalous fix #{id}: x={:.0} y={:.0} alt={:.0}",
+            p[0], p[1], p[2]
+        );
     }
 }

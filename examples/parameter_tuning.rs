@@ -4,6 +4,15 @@
 //!
 //! Run: `cargo run --release --example parameter_tuning`
 
+// Examples favor brevity: panicking on setup failure is the right
+// behavior for demo binaries.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
 use dbscout::core::{detect_outliers, DbscoutParams};
 use dbscout::data::generators::{blobs, circles, moons};
 use dbscout::data::kdist::{elbow_eps, kdist_graph};
@@ -21,13 +30,22 @@ fn main() {
 }
 
 fn analyze(ds: &LabeledDataset, min_pts: usize) {
-    println!("── {} ({} points, ν = {:.2}) ──", ds.name, ds.len(), ds.contamination());
+    println!(
+        "── {} ({} points, ν = {:.2}) ──",
+        ds.name,
+        ds.len(),
+        ds.contamination()
+    );
 
     // The k-dist graph, printed as a coarse sketch.
     let graph = kdist_graph(&ds.points, min_pts);
     let eps = elbow_eps(&graph).expect("non-trivial graph");
-    println!("k-dist graph (k = {min_pts}): head {:.4} … elbow {:.4} … tail {:.4}",
-        graph[0], eps, graph[graph.len() - 1]);
+    println!(
+        "k-dist graph (k = {min_pts}): head {:.4} … elbow {:.4} … tail {:.4}",
+        graph[0],
+        eps,
+        graph[graph.len() - 1]
+    );
 
     // F1 at the elbow and at perturbed values: the elbow should sit on a
     // wide plateau, which is why the paper calls the technique "very
@@ -37,7 +55,11 @@ fn analyze(ds: &LabeledDataset, min_pts: usize) {
         let params = DbscoutParams::new(e, min_pts).expect("valid parameters");
         let result = detect_outliers(&ds.points, params).expect("detection succeeds");
         let f1 = ConfusionMatrix::from_masks(&result.outlier_mask(), &ds.labels).f1();
-        let marker = if (factor - 1.0f64).abs() < 1e-9 { "  ← elbow" } else { "" };
+        let marker = if (factor - 1.0f64).abs() < 1e-9 {
+            "  ← elbow"
+        } else {
+            ""
+        };
         println!(
             "  eps = {e:8.4} ({factor:>4}x): {} outliers, F1 = {f1:.4}{marker}",
             result.num_outliers()

@@ -2,6 +2,15 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
+// Examples favor brevity: panicking on setup failure is the right
+// behavior for demo binaries.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
 use dbscout::core::{detect_outliers, DbscoutParams};
 use dbscout::data::generators::blobs;
 use dbscout::metrics::ConfusionMatrix;

@@ -7,14 +7,22 @@
 //!
 //! Run: `cargo run --release --example sensor_faults`
 
+// Examples favor brevity: panicking on setup failure is the right
+// behavior for demo binaries.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
 use dbscout::baselines::{IsolationForest, KnnOutlier, Lof};
 use dbscout::core::{outlier_scores, DbscoutParams};
 use dbscout::data::kdist::suggest_eps;
 use dbscout::data::transform::Scaler;
 use dbscout::metrics::{roc_auc, ConfusionMatrix};
 use dbscout::spatial::PointStore;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dbscout_rng::Rng;
 
 fn main() {
     let (raw, truth) = simulate_telemetry(20_000, 60, 11);
@@ -34,7 +42,12 @@ fn main() {
     let eps = suggest_eps(&store, 10).expect("non-trivial stream");
     let params = DbscoutParams::new(eps, 10).expect("valid parameters");
     let scout = outlier_scores(&store, params).expect("detection succeeds");
-    report("DBSCOUT", &scout.result.outlier_mask(), &scout.scores, &truth);
+    report(
+        "DBSCOUT",
+        &scout.result.outlier_mask(),
+        &scout.scores,
+        &truth,
+    );
 
     // Baselines at the true contamination.
     let nu = truth.iter().filter(|&&t| t).count() as f64 / truth.len() as f64;
@@ -79,7 +92,7 @@ fn report(name: &str, predicted: &[bool], scores: &[f64], truth: &[bool]) {
 /// A sensor alternating between a steady state and periodic swings, with
 /// injected spike/dropout faults. Embedded as (value, Δvalue) pairs.
 fn simulate_telemetry(n: usize, faults: usize, seed: u64) -> (PointStore, Vec<bool>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut values = Vec::with_capacity(n);
     for t in 0..n {
         let phase = (t / 2000) % 2;

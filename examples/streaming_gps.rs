@@ -5,6 +5,15 @@
 //!
 //! Run: `cargo run --release --example streaming_gps`
 
+// Examples favor brevity: panicking on setup failure is the right
+// behavior for demo binaries.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
 use dbscout::core::incremental::IncrementalDbscout;
 use dbscout::core::DbscoutParams;
 use dbscout::data::generators::geolife_like;

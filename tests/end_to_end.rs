@@ -1,11 +1,18 @@
 //! Workspace-level integration tests: the umbrella API exercised end to
 //! end across generators, engines, baselines, IO and metrics.
 
+// Tests assert on known-good data; panicking is the failure mode.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use dbscout::baselines::{Dbscan, IsolationForest, Lof, RpDbscan};
-use dbscout::core::{detect_outliers, DbscoutParams, Dbscout, DistributedDbscout};
-use dbscout::data::generators::{
-    blobs, circles, cure_t2_like, geolife_like, moons, osm_like,
-};
+use dbscout::core::{detect_outliers, Dbscout, DbscoutParams, DistributedDbscout};
+use dbscout::data::generators::{blobs, circles, cure_t2_like, geolife_like, moons, osm_like};
 use dbscout::data::io::{decode_binary, encode_binary, read_csv, write_csv};
 use dbscout::data::kdist::suggest_eps;
 use dbscout::data::sampling::sample_exact;
@@ -114,8 +121,7 @@ fn linearity_of_distance_work() {
     let params = DbscoutParams::new(500_000.0, 100).unwrap();
     let r_small = detect_outliers(&small, params).unwrap();
     let r_big = detect_outliers(&big, params).unwrap();
-    let per_point_small =
-        r_small.stats.distance_computations as f64 / small.len() as f64;
+    let per_point_small = r_small.stats.distance_computations as f64 / small.len() as f64;
     let per_point_big = r_big.stats.distance_computations as f64 / big.len() as f64;
     // Denser data does more work per point (more neighbors below the
     // minPts early-exit), but it must stay within a small constant.
@@ -132,6 +138,8 @@ fn umbrella_reexports_are_usable() {
     let store = dbscout::spatial::PointStore::from_rows(2, vec![vec![0.0, 0.0]]).unwrap();
     assert_eq!(store.len(), 1);
     let _ = dbscout::metrics::ConfusionMatrix::default();
-    let ctx = dbscout::dataflow::ExecutionContext::builder().workers(1).build();
+    let ctx = dbscout::dataflow::ExecutionContext::builder()
+        .workers(1)
+        .build();
     assert_eq!(ctx.workers(), 1);
 }

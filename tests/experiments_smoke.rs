@@ -2,6 +2,15 @@
 //! code paths as the full binaries — so the experiment harness itself is
 //! covered by `cargo test`.
 
+// Tests assert on known-good data; panicking is the failure mode.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use dbscout::baselines::{IsolationForest, Lof, OneClassSvm, RpDbscan};
 use dbscout::core::{detect_outliers, DbscoutParams, DistributedDbscout};
 use dbscout::data::generators::{geolife_like, moons, osm_like};
@@ -91,7 +100,10 @@ fn tables45_shape_mini() {
         let params = DbscoutParams::new(eps, 50).unwrap();
         let exact = detect_outliers(&store, params).unwrap().outlier_mask();
         let ctx = ExecutionContext::builder().workers(2).build();
-        let approx = RpDbscan::new(ctx, eps, 50).detect(&store).unwrap().outlier_mask;
+        let approx = RpDbscan::new(ctx, eps, 50)
+            .detect(&store)
+            .unwrap()
+            .outlier_mask;
         let m = ConfusionMatrix::from_masks(&approx, &exact);
         assert_eq!(m.fn_, 0, "eps {eps}: false negatives");
         let total = m.tp + m.fn_;

@@ -13,6 +13,15 @@
 //! coordinates and filler points chosen to satisfy every claim the text
 //! makes about them. Each claim is asserted explicitly, on both engines.
 
+// Tests assert on known-good data; panicking is the failure mode.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use dbscout::core::{detect_outliers, DbscoutParams, DistributedDbscout, PointLabel};
 use dbscout::dataflow::ExecutionContext;
 use dbscout::spatial::distance::within;
