@@ -53,7 +53,7 @@ mod tests {
     fn conversions_and_display() {
         let e: BaselineError = SpatialError::ZeroDims.into();
         assert!(e.to_string().contains("spatial"));
-        let e: BaselineError = EngineError::ContextMismatch.into();
+        let e: BaselineError = EngineError::InvalidPartitionCount { requested: 0 }.into();
         assert!(e.to_string().contains("dataflow"));
         assert!(BaselineError::InvalidParameter("rho")
             .to_string()

@@ -13,6 +13,7 @@ usage:
   dbscout detect   --input <csv> --eps <f64> --min-pts <usize>
                    [--engine native|distributed] [--labeled]
                    [--output <csv>] [--threads <usize>]
+                   [--max-task-retries <usize>] [--permissive-ingest]
   dbscout generate --dataset blobs|circles|moons|cluto-t4|cluto-t5|cluto-t7|cluto-t8|cure-t2|geolife|osm
                    --output <csv> [--n <usize>] [--seed <u64>] [--labeled]
   dbscout kdist    --input <csv> [--k <usize>]
@@ -21,13 +22,32 @@ usage:
                    [--steps <usize>] [--labeled]
   dbscout compare  --input <labeled csv> [--eps <f64>] [--min-pts <usize>] [--k <usize>]";
 
-/// A CLI error with a human-readable message.
+/// What went wrong, at the granularity callers (and shell scripts)
+/// care about. Each kind maps to a distinct process exit code so
+/// pipelines can tell a typo from a corrupt file from an engine fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Bad flags / unknown subcommand — exit code 1.
+    Usage,
+    /// The input data could not be read or parsed — exit code 2.
+    Data,
+    /// The detection engine itself failed (task retries exhausted,
+    /// internal error) — exit code 3.
+    Engine,
+}
+
+/// A CLI error with a human-readable message and an [`ErrorKind`].
 #[derive(Debug, PartialEq, Eq)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// Which failure class this is.
+    pub kind: ErrorKind,
+    /// Human-readable description.
+    pub message: String,
+}
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
@@ -35,7 +55,33 @@ impl std::error::Error for CliError {}
 
 impl CliError {
     pub(crate) fn new(msg: impl Into<String>) -> Self {
-        Self(msg.into())
+        Self {
+            kind: ErrorKind::Usage,
+            message: msg.into(),
+        }
+    }
+
+    pub(crate) fn data(msg: impl Into<String>) -> Self {
+        Self {
+            kind: ErrorKind::Data,
+            message: msg.into(),
+        }
+    }
+
+    pub(crate) fn engine(msg: impl Into<String>) -> Self {
+        Self {
+            kind: ErrorKind::Engine,
+            message: msg.into(),
+        }
+    }
+
+    /// The process exit code for this error: 1 usage, 2 data, 3 engine.
+    pub fn exit_code(&self) -> u8 {
+        match self.kind {
+            ErrorKind::Usage => 1,
+            ErrorKind::Data => 2,
+            ErrorKind::Engine => 3,
+        }
     }
 }
 
@@ -149,5 +195,27 @@ mod tests {
     fn unknown_subcommand_rejected() {
         assert!(run(&argv(&["frobnicate"])).is_err());
         assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn error_kinds_map_to_distinct_exit_codes() {
+        assert_eq!(CliError::new("x").exit_code(), 1);
+        assert_eq!(CliError::data("x").exit_code(), 2);
+        assert_eq!(CliError::engine("x").exit_code(), 3);
+        // A usage error (unknown subcommand) carries the Usage kind.
+        let e = run(&argv(&["frobnicate"])).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
+        // A missing input file is a data error.
+        let e = run(&argv(&[
+            "detect",
+            "--input",
+            "/nonexistent.csv",
+            "--eps",
+            "1",
+            "--min-pts",
+            "5",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Data);
     }
 }

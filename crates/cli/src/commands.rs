@@ -5,15 +5,39 @@ use std::fmt::Write as _;
 
 use dbscout_core::{Dbscout, DbscoutParams, DistributedDbscout};
 use dbscout_data::generators as gen;
-use dbscout_data::io::{read_csv, write_csv};
+use dbscout_data::io::{read_csv, read_csv_with, write_csv, IngestMode, QuarantineReport};
 use dbscout_data::kdist::{elbow_eps, kdist_graph};
 use dbscout_dataflow::ExecutionContext;
 use dbscout_spatial::{Grid, PointStore};
 
 use crate::cli::{CliError, Flags};
 
-fn io_err(e: impl std::fmt::Display) -> CliError {
-    CliError::new(e.to_string())
+/// A failure while reading or writing the dataset (exit code 2).
+fn data_err(e: impl std::fmt::Display) -> CliError {
+    CliError::data(e.to_string())
+}
+
+/// A failure inside a detection engine (exit code 3).
+fn engine_err(e: impl std::fmt::Display) -> CliError {
+    CliError::engine(e.to_string())
+}
+
+/// Renders a permissive-ingest quarantine summary into `out`.
+fn quarantine_summary(out: &mut String, q: &QuarantineReport) {
+    if q.is_clean() {
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "quarantined {} malformed row(s) (permissive ingest):",
+        q.quarantined
+    );
+    for s in &q.samples {
+        let _ = writeln!(out, "  line {}: {}", s.line, s.reason);
+    }
+    if q.quarantined > q.samples.len() {
+        let _ = writeln!(out, "  ... and {} more", q.quarantined - q.samples.len());
+    }
 }
 
 /// `dbscout detect`: read points, run DBSCOUT, report / write outliers.
@@ -23,11 +47,23 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
     let min_pts: usize = flags.require("min-pts")?;
     let engine: String = flags.get("engine", "native".to_string())?;
     let labeled = flags.has("labeled");
+    let mode = if flags.has("permissive-ingest") {
+        IngestMode::Permissive
+    } else {
+        IngestMode::Strict
+    };
+    let max_task_retries: usize = flags.get(
+        "max-task-retries",
+        dbscout_dataflow::context::DEFAULT_TASK_RETRIES,
+    )?;
 
-    let (store, truth) = read_csv(&input, labeled).map_err(io_err)?;
-    let params = DbscoutParams::new(eps, min_pts).map_err(io_err)?;
+    let ingest = read_csv_with(&input, labeled, mode).map_err(data_err)?;
+    let store = ingest.store;
+    let truth = ingest.labels;
+    let params = DbscoutParams::new(eps, min_pts).map_err(|e| CliError::new(e.to_string()))?;
 
     let t = std::time::Instant::now();
+    let mut fault_tolerance: Option<dbscout_dataflow::MetricsSnapshot> = None;
     let result = match engine.as_str() {
         "native" => {
             let threads: usize = flags.get("threads", 0)?;
@@ -35,13 +71,17 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
             if threads > 0 {
                 d = d.with_threads(threads);
             }
-            d.detect(&store).map_err(io_err)?
+            d.detect(&store).map_err(engine_err)?
         }
         "distributed" => {
-            let ctx = ExecutionContext::builder().build();
-            DistributedDbscout::new(ctx, params)
-                .detect(&store)
-                .map_err(io_err)?
+            let ctx = ExecutionContext::builder()
+                .max_task_retries(max_task_retries)
+                .build();
+            let detector = DistributedDbscout::new(ctx, params);
+            let before = detector.ctx().metrics().snapshot();
+            let result = detector.detect(&store).map_err(engine_err)?;
+            fault_tolerance = Some(detector.ctx().metrics().snapshot().since(&before));
+            result
         }
         other => return Err(CliError::new(format!("unknown engine {other:?}"))),
     };
@@ -63,6 +103,21 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
         result.stats.dense_cells,
         result.stats.core_cells,
     );
+    quarantine_summary(&mut out, &ingest.quarantine);
+    if let Some(m) = fault_tolerance {
+        if m.task_retries > 0 || m.speculative_launches > 0 || m.injected_faults > 0 {
+            let _ = writeln!(
+                out,
+                "fault tolerance: {} task retr{} (budget {max_task_retries}), \
+                 {} speculative launch(es), {} speculative win(s), {} injected fault(s)",
+                m.task_retries,
+                if m.task_retries == 1 { "y" } else { "ies" },
+                m.speculative_launches,
+                m.speculative_wins,
+                m.injected_faults,
+            );
+        }
+    }
 
     if let Some(truth) = truth {
         let m = dbscout_metrics::ConfusionMatrix::from_masks(&result.outlier_mask(), &truth);
@@ -77,7 +132,7 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
 
     if let Ok(path) = flags.require::<String>("output") {
         let mask = result.outlier_mask();
-        write_csv(&path, &store, Some(&mask)).map_err(io_err)?;
+        write_csv(&path, &store, Some(&mask)).map_err(data_err)?;
         let _ = writeln!(out, "wrote labelled output to {path}");
     }
     Ok(out)
@@ -107,7 +162,7 @@ pub fn generate(flags: &Flags) -> Result<String, CliError> {
         other => return Err(CliError::new(format!("unknown dataset {other:?}"))),
     };
     let labels = if labeled { labels } else { None };
-    write_csv(&output, &store, labels.as_deref()).map_err(io_err)?;
+    write_csv(&output, &store, labels.as_deref()).map_err(data_err)?;
     Ok(format!(
         "wrote {} {}-dimensional points to {output}{}\n",
         store.len(),
@@ -128,7 +183,7 @@ fn labeled_parts(ds: dbscout_data::LabeledDataset) -> (PointStore, Option<Vec<bo
 pub fn kdist(flags: &Flags) -> Result<String, CliError> {
     let input: String = flags.require("input")?;
     let k: usize = flags.get("k", 5)?;
-    let (store, _) = read_csv(&input, flags.has("labeled")).map_err(io_err)?;
+    let (store, _) = read_csv(&input, flags.has("labeled")).map_err(data_err)?;
     if store.len() < 3 {
         return Err(CliError::new("need at least 3 points for a k-dist graph"));
     }
@@ -163,7 +218,7 @@ pub fn sweep(flags: &Flags) -> Result<String, CliError> {
         return Err(CliError::new("--steps must be at least 2"));
     }
     let labeled = flags.has("labeled");
-    let (store, truth) = read_csv(&input, labeled).map_err(io_err)?;
+    let (store, truth) = read_csv(&input, labeled).map_err(data_err)?;
 
     let (from, to) = match (flags.require::<f64>("from"), flags.require::<f64>("to")) {
         (Ok(a), Ok(b)) if a > 0.0 && b > a => (a, b),
@@ -182,8 +237,8 @@ pub fn sweep(flags: &Flags) -> Result<String, CliError> {
     let ratio = (to / from).powf(1.0 / (steps - 1) as f64);
     for i in 0..steps {
         let eps = from * ratio.powi(i as i32);
-        let params = DbscoutParams::new(eps, min_pts).map_err(io_err)?;
-        let result = Dbscout::new(params).detect(&store).map_err(io_err)?;
+        let params = DbscoutParams::new(eps, min_pts).map_err(|e| CliError::new(e.to_string()))?;
+        let result = Dbscout::new(params).detect(&store).map_err(engine_err)?;
         let _ = write!(
             out,
             "  eps {eps:12.6}: {:6} outliers",
@@ -206,7 +261,7 @@ pub fn compare(flags: &Flags) -> Result<String, CliError> {
     let input: String = flags.require("input")?;
     let min_pts: usize = flags.get("min-pts", 5)?;
     let k: usize = flags.get("k", 20)?;
-    let (store, truth) = read_csv(&input, true).map_err(io_err)?;
+    let (store, truth) = read_csv(&input, true).map_err(data_err)?;
     let truth = truth.ok_or_else(|| CliError::new("input has no label column"))?;
     let nu = truth.iter().filter(|&&t| t).count() as f64 / truth.len().max(1) as f64;
     if nu == 0.0 {
@@ -218,8 +273,8 @@ pub fn compare(flags: &Flags) -> Result<String, CliError> {
         Err(_) => dbscout_data::kdist::suggest_eps(&store, min_pts)
             .ok_or_else(|| CliError::new("dataset too small for a k-dist elbow"))?,
     };
-    let params = DbscoutParams::new(eps, min_pts).map_err(io_err)?;
-    let scout = Dbscout::new(params).detect(&store).map_err(io_err)?;
+    let params = DbscoutParams::new(eps, min_pts).map_err(|e| CliError::new(e.to_string()))?;
+    let scout = Dbscout::new(params).detect(&store).map_err(engine_err)?;
 
     let mut table =
         dbscout_metrics::table::Table::new(&["detector", "params", "precision", "recall", "F1"]);
@@ -259,13 +314,13 @@ pub fn compare(flags: &Flags) -> Result<String, CliError> {
 /// `dbscout info`: dataset statistics (and grid stats at a given ε).
 pub fn info(flags: &Flags) -> Result<String, CliError> {
     let input: String = flags.require("input")?;
-    let (store, _) = read_csv(&input, flags.has("labeled")).map_err(io_err)?;
+    let (store, _) = read_csv(&input, flags.has("labeled")).map_err(data_err)?;
     let mut out = format!("{} points, {} dimensions\n", store.len(), store.dims());
     if let Some((min, max)) = store.bounding_box() {
         let _ = writeln!(out, "bounding box: min {min:?}, max {max:?}");
     }
     if let Ok(eps) = flags.require::<f64>("eps") {
-        let grid = Grid::build(&store, eps).map_err(io_err)?;
+        let grid = Grid::build(&store, eps).map_err(data_err)?;
         let _ = writeln!(
             out,
             "grid at eps = {eps}: {} non-empty cells, heaviest holds {:.2}% of points",
@@ -445,6 +500,81 @@ mod tests {
         assert!(report.contains("DBSCOUT"), "{report}");
         assert!(report.contains("IsolationForest"), "{report}");
         assert!(report.contains("kNN-dist"), "{report}");
+    }
+
+    #[test]
+    fn permissive_ingest_quarantines_and_reports() {
+        let data = tmp("dirty.csv");
+        let mut content = String::new();
+        for i in 0..200 {
+            content.push_str(&format!("{}.0,{}.5\n", i % 20, i % 17));
+        }
+        content.push_str("garbage,row\n1.0,NaN\n");
+        std::fs::write(&data, content).unwrap();
+
+        // Strict mode (the default) fails with a data error.
+        let err = run(&argv(&[
+            "detect",
+            "--input",
+            &data,
+            "--eps",
+            "1.0",
+            "--min-pts",
+            "3",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.kind, crate::cli::ErrorKind::Data);
+
+        // Permissive mode quarantines the two bad rows and proceeds.
+        let report = run(&argv(&[
+            "detect",
+            "--input",
+            &data,
+            "--eps",
+            "1.0",
+            "--min-pts",
+            "3",
+            "--permissive-ingest",
+        ]))
+        .unwrap();
+        assert!(report.contains("200 points"), "{report}");
+        assert!(
+            report.contains("quarantined 2 malformed row(s)"),
+            "{report}"
+        );
+        assert!(report.contains("non-finite coordinate"), "{report}");
+    }
+
+    #[test]
+    fn max_task_retries_flag_reaches_the_distributed_engine() {
+        let data = tmp("retries.csv");
+        run(&argv(&[
+            "generate",
+            "--dataset",
+            "blobs",
+            "--n",
+            "500",
+            "--output",
+            &data,
+        ]))
+        .unwrap();
+        let report = run(&argv(&[
+            "detect",
+            "--input",
+            &data,
+            "--eps",
+            "0.6",
+            "--min-pts",
+            "5",
+            "--engine",
+            "distributed",
+            "--max-task-retries",
+            "0",
+        ]))
+        .unwrap();
+        // Healthy run: no faults, so no fault-tolerance line is printed.
+        assert!(report.contains("outliers"), "{report}");
+        assert!(!report.contains("fault tolerance"), "{report}");
     }
 
     #[test]

@@ -36,8 +36,12 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("{}", cli::USAGE);
-            ExitCode::FAILURE
+            // Only usage errors get the usage text; data/engine failures
+            // already carry a precise message.
+            if e.kind == cli::ErrorKind::Usage {
+                eprintln!("{}", cli::USAGE);
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -133,7 +133,18 @@ impl DistributedDbscout {
         self.params
     }
 
+    /// The execution context this detector runs on (for metrics snapshots
+    /// and fault-tolerance configuration).
+    pub fn ctx(&self) -> &Arc<ExecutionContext> {
+        &self.ctx
+    }
+
     /// Detects all outliers of `store`, exactly, per Definitions 2–3.
+    ///
+    /// Each paper phase labels the context's stages (`"core-point pass"`,
+    /// `"outlier pass"`, …) so task failures and fault plans name the
+    /// algorithm phase. A failed detection intentionally leaves the label
+    /// of the failing phase set on the context.
     pub fn detect(&self, store: &PointStore) -> Result<OutlierResult> {
         let eps_sq = self.params.eps_sq();
         let min_pts = self.params.min_pts;
@@ -144,6 +155,7 @@ impl DistributedDbscout {
         let mut timings = PhaseTimings::default();
 
         // ───────────── Phase 1: CREATE-GRID (Algorithm 1) ─────────────
+        self.ctx.set_stage("create-grid pass");
         let t = Instant::now();
         let recs: Vec<PointRec> = store.iter().map(|(id, p)| PointRec::new(id, p)).collect();
         let grid: Dataset<(CellCoord, PointRec)> = self
@@ -153,6 +165,7 @@ impl DistributedDbscout {
         timings.grid = t.elapsed();
 
         // ──────── Phase 2: BUILD-DENSE-CELL-MAP (Algorithm 2) ─────────
+        self.ctx.set_stage("dense-map pass");
         let t = Instant::now();
         let counts = grid
             .map(|(c, _)| (*c, 1usize))?
@@ -165,6 +178,7 @@ impl DistributedDbscout {
         timings.dense_map = t.elapsed();
 
         // ───────── Phase 3: FIND-CORE-POINTS (Algorithm 3) ────────────
+        self.ctx.set_stage("core-point pass");
         let t = Instant::now();
         let cm = bcast_map.clone();
         let core_dense = grid.filter(move |(c, _)| cm.is_dense(c))?;
@@ -250,6 +264,7 @@ impl DistributedDbscout {
         timings.core_points = t.elapsed();
 
         // ──────── Phase 4: BUILD-CORE-CELL-MAP (Algorithm 4) ──────────
+        self.ctx.set_stage("core-map pass");
         let t = Instant::now();
         let promoted: Vec<CellCoord> = core_non_dense.keys()?.collect()?;
         let mut cell_map = bcast_map.value().clone();
@@ -261,6 +276,7 @@ impl DistributedDbscout {
         timings.core_map = t.elapsed();
 
         // ────────── Phase 5: FIND-OUTLIERS (Algorithm 5) ──────────────
+        self.ctx.set_stage("outlier pass");
         let t = Instant::now();
         let cm = bcast_map.clone();
         let non_core = grid.filter(move |(c, _)| !cm.is_core(c))?;
@@ -351,6 +367,7 @@ impl DistributedDbscout {
             .map(|((c, _), (_, p))| (*c, *p))?;
         let outliers = outliers_no_neighbor.union(&outliers_checked)?;
         timings.outliers = t.elapsed();
+        self.ctx.clear_stage();
 
         // Assemble the per-point labels on the driver.
         let mut labels = vec![PointLabel::Covered; n];

@@ -71,7 +71,7 @@ mod tests {
         assert!(matches!(e, DbscoutError::Spatial(_)));
         assert!(std::error::Error::source(&e).is_some());
 
-        let e: DbscoutError = EngineError::ContextMismatch.into();
+        let e: DbscoutError = EngineError::InvalidPartitionCount { requested: 0 }.into();
         assert!(matches!(e, DbscoutError::Engine(_)));
 
         let e = DbscoutError::InvalidMinPts { value: 0 };

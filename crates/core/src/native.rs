@@ -147,7 +147,7 @@ impl Dbscout {
                     let mut core: Vec<PointId> = Vec::new();
                     let mut promoted: Vec<CellCoord> = Vec::new();
                     let mut dist_comps = 0u64;
-                    for &(cell, ids) in cells.get(range).into_iter().flatten() {
+                    for &(cell, ids) in cells.get(range.clone()).into_iter().flatten() {
                         if options.dense_cell_shortcut && cell_map.is_dense(cell) {
                             // Lemma 1: every point of a dense cell is core.
                             core.extend_from_slice(ids);
@@ -219,7 +219,7 @@ impl Dbscout {
                 move || {
                     let mut outliers: Vec<PointId> = Vec::new();
                     let mut dist_comps = 0u64;
-                    for &(cell, ids) in cells.get(range).into_iter().flatten() {
+                    for &(cell, ids) in cells.get(range.clone()).into_iter().flatten() {
                         if cell_map.is_core(cell) {
                             // Lemma 2: core cells contain no outliers.
                             continue;

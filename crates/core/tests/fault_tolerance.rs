@@ -1,0 +1,112 @@
+//! Chaos testing at the algorithm level: the distributed DBSCOUT engine
+//! must return identical outlier labels under seeded fault injection
+//! (faults within the retry budget) as on a fault-free run, across every
+//! paper phase — injected failures may cost retries, never exactness.
+
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
+use dbscout_core::{DbscoutParams, DistributedDbscout};
+use dbscout_dataflow::{ExecutionContext, FaultPlan};
+use dbscout_rng::Rng;
+use dbscout_spatial::PointStore;
+
+/// A clustered 2-D dataset with dense blobs and isolated noise, seeded.
+fn dataset(seed: u64, n: usize) -> PointStore {
+    let mut rng = Rng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            if rng.gen_range(0usize..10) == 0 {
+                // Isolated noise, far from the blobs.
+                vec![rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0)]
+            } else {
+                let cx = f64::from(rng.gen_range(0u32..3)) * 10.0;
+                vec![cx + rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)]
+            }
+        })
+        .collect();
+    PointStore::from_rows(2, rows).expect("generated rows are valid")
+}
+
+#[test]
+fn detection_is_identical_under_seeded_faults() {
+    let store = dataset(0xD5C0, 1200);
+    let params = DbscoutParams::new(0.8, 5).unwrap();
+
+    let clean_ctx = ExecutionContext::builder()
+        .workers(4)
+        .default_partitions(8)
+        .build();
+    let expected = DistributedDbscout::new(clean_ctx, params)
+        .detect(&store)
+        .expect("fault-free detection succeeds");
+
+    let mut seeds = vec![3u64, 11, 0xFA117];
+    if let Ok(s) = std::env::var("DBSCOUT_CHAOS_SEED") {
+        if let Ok(seed) = s.trim().parse::<u64>() {
+            seeds.push(seed);
+        }
+    }
+    for seed in seeds {
+        let plan = FaultPlan::builder(seed).max_faults_per_task(2).build();
+        let ctx = ExecutionContext::builder()
+            .workers(4)
+            .default_partitions(8)
+            .max_task_retries(3)
+            .fault_plan(plan)
+            .build();
+        let detector = DistributedDbscout::new(ctx, params);
+        let result = detector.detect(&store).expect("faults stay within budget");
+        assert_eq!(
+            result.outlier_mask(),
+            expected.outlier_mask(),
+            "seed {seed} changed the detected outliers"
+        );
+
+        let m = detector.ctx().metrics().snapshot();
+        assert_eq!(
+            m.task_retries, m.injected_faults,
+            "seed {seed}: every injected fault costs exactly one retry"
+        );
+    }
+}
+
+#[test]
+fn exhausted_retries_surface_the_paper_phase() {
+    let store = dataset(0xD5C0, 600);
+    let params = DbscoutParams::new(0.8, 5).unwrap();
+
+    // Sabotage one partition of the core-point pass beyond the budget.
+    let plan = FaultPlan::builder(0)
+        .inject_in_stages(
+            Some("core-point pass"),
+            0,
+            0,
+            dbscout_dataflow::FaultKind::Transient,
+        )
+        .inject_in_stages(
+            Some("core-point pass"),
+            0,
+            1,
+            dbscout_dataflow::FaultKind::Transient,
+        )
+        .build();
+    let ctx = ExecutionContext::builder()
+        .workers(2)
+        .default_partitions(4)
+        .max_task_retries(1)
+        .fault_plan(plan)
+        .build();
+    let err = DistributedDbscout::new(ctx, params)
+        .detect(&store)
+        .expect_err("budget 1 cannot absorb 2 faults");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("core-point pass"),
+        "error must name the phase: {msg}"
+    );
+}

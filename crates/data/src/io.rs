@@ -131,66 +131,193 @@ pub fn write_csv(
     Ok(())
 }
 
-/// Reads a CSV of points. With `labeled = true` the last column is
-/// decoded as a `0`/`1` outlier label; otherwise every column is a
-/// coordinate. Dimensionality is inferred from the first row; empty files
-/// yield an error.
+/// How CSV ingest treats malformed rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestMode {
+    /// The first bad row (unparseable field, non-finite coordinate,
+    /// dimension mismatch) fails the whole load.
+    #[default]
+    Strict,
+    /// Bad rows are quarantined (counted, first samples kept) and the
+    /// rest of the file still loads — graceful degradation for dirty GPS
+    /// dumps.
+    Permissive,
+}
+
+/// How many quarantined rows keep their full reason text in a
+/// [`QuarantineReport`].
+pub const QUARANTINE_SAMPLE_LIMIT: usize = 5;
+
+/// One quarantined CSV row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRow {
+    /// 1-based line number in the source file.
+    pub line: usize,
+    /// Why the row was rejected.
+    pub reason: String,
+}
+
+/// Summary of rows dropped by a permissive ingest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Total number of quarantined rows.
+    pub quarantined: usize,
+    /// The first [`QUARANTINE_SAMPLE_LIMIT`] quarantined rows, in file
+    /// order.
+    pub samples: Vec<QuarantinedRow>,
+}
+
+impl QuarantineReport {
+    /// Whether every row of the file was ingested.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined == 0
+    }
+
+    fn record(&mut self, line: usize, reason: String) {
+        self.quarantined += 1;
+        if self.samples.len() < QUARANTINE_SAMPLE_LIMIT {
+            self.samples.push(QuarantinedRow { line, reason });
+        }
+    }
+}
+
+/// A successfully ingested CSV dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvIngest {
+    /// The loaded points.
+    pub store: PointStore,
+    /// Outlier ground-truth labels, when the file was read as labeled.
+    pub labels: Option<Vec<bool>>,
+    /// Rows dropped in [`IngestMode::Permissive`] (always clean under
+    /// [`IngestMode::Strict`], which errors instead).
+    pub quarantine: QuarantineReport,
+}
+
+/// Parses one non-empty CSV row into coordinates plus optional label.
+/// `dims`, when known, is the dimensionality established by the first
+/// accepted row. Errors are rendered with the 1-based `line` number and
+/// the 1-based coordinate column so dirty rows are findable in the file.
+fn parse_row(
+    row: &str,
+    line: usize,
+    labeled: bool,
+    dims: Option<usize>,
+) -> Result<(Vec<f64>, bool), String> {
+    let mut fields: Vec<&str> = row.split(',').collect();
+    let label = if labeled {
+        let f = fields
+            .pop()
+            .ok_or_else(|| "missing label column".to_owned())?;
+        match f.trim() {
+            "0" => false,
+            "1" => true,
+            other => return Err(format!("label must be 0/1, got {other:?}")),
+        }
+    } else {
+        false
+    };
+    let mut coords = Vec::with_capacity(fields.len());
+    for (col, f) in fields.iter().enumerate() {
+        let value = f.trim().parse::<f64>().map_err(|e| {
+            format!(
+                "bad coordinate {f:?} at line {line} column {}: {e}",
+                col + 1
+            )
+        })?;
+        if !value.is_finite() {
+            return Err(format!(
+                "non-finite coordinate {value} at line {line} column {}",
+                col + 1
+            ));
+        }
+        coords.push(value);
+    }
+    if let Some(dims) = dims {
+        if coords.len() != dims {
+            return Err(format!(
+                "expected {dims} coordinates, got {} at line {line}",
+                coords.len()
+            ));
+        }
+    }
+    Ok((coords, label))
+}
+
+/// Reads a CSV of points under the given [`IngestMode`]. With
+/// `labeled = true` the last column is decoded as a `0`/`1` outlier
+/// label; otherwise every column is a coordinate. Dimensionality is
+/// inferred from the first accepted row; files with no usable rows yield
+/// an error in either mode.
+pub fn read_csv_with(
+    path: impl AsRef<Path>,
+    labeled: bool,
+    mode: IngestMode,
+) -> Result<CsvIngest, DataIoError> {
+    let r = BufReader::new(File::open(path)?);
+    let mut store: Option<PointStore> = None;
+    let mut labels = Vec::new();
+    let mut quarantine = QuarantineReport::default();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let row = line.trim();
+        if row.is_empty() {
+            continue;
+        }
+        let line_no = i + 1;
+        let dims = store.as_ref().map(PointStore::dims);
+        match parse_row(row, line_no, labeled, dims) {
+            Ok((coords, label)) => {
+                let store = match &mut store {
+                    Some(s) => s,
+                    None => store.insert(PointStore::new(coords.len())?),
+                };
+                store.push(&coords).map_err(|e| DataIoError::Parse {
+                    line: line_no,
+                    message: e.to_string(),
+                })?;
+                if labeled {
+                    labels.push(label);
+                }
+            }
+            Err(reason) => match mode {
+                IngestMode::Strict => {
+                    return Err(DataIoError::Parse {
+                        line: line_no,
+                        message: reason,
+                    })
+                }
+                IngestMode::Permissive => quarantine.record(line_no, reason),
+            },
+        }
+    }
+    let store = store.ok_or_else(|| DataIoError::Parse {
+        line: 0,
+        message: if quarantine.is_clean() {
+            "empty file".to_owned()
+        } else {
+            format!(
+                "no usable rows ({} quarantined, all malformed)",
+                quarantine.quarantined
+            )
+        },
+    })?;
+    Ok(CsvIngest {
+        store,
+        labels: labeled.then_some(labels),
+        quarantine,
+    })
+}
+
+/// Reads a CSV of points in [`IngestMode::Strict`]. With `labeled = true`
+/// the last column is decoded as a `0`/`1` outlier label; otherwise every
+/// column is a coordinate. Dimensionality is inferred from the first row;
+/// empty files yield an error.
 pub fn read_csv(
     path: impl AsRef<Path>,
     labeled: bool,
 ) -> Result<(PointStore, Option<Vec<bool>>), DataIoError> {
-    let r = BufReader::new(File::open(path)?);
-    let mut store: Option<PointStore> = None;
-    let mut labels = Vec::new();
-    for (i, line) in r.lines().enumerate() {
-        let line = line?;
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let mut fields: Vec<&str> = line.split(',').collect();
-        let label = if labeled {
-            let f = fields.pop().ok_or(DataIoError::Parse {
-                line: i + 1,
-                message: "missing label column".into(),
-            })?;
-            match f.trim() {
-                "0" => false,
-                "1" => true,
-                other => {
-                    return Err(DataIoError::Parse {
-                        line: i + 1,
-                        message: format!("label must be 0/1, got {other:?}"),
-                    })
-                }
-            }
-        } else {
-            false
-        };
-        let mut coords = Vec::with_capacity(fields.len());
-        for f in &fields {
-            coords.push(f.trim().parse::<f64>().map_err(|e| DataIoError::Parse {
-                line: i + 1,
-                message: format!("bad coordinate {f:?}: {e}"),
-            })?);
-        }
-        let store = match &mut store {
-            Some(s) => s,
-            None => store.insert(PointStore::new(coords.len())?),
-        };
-        store.push(&coords).map_err(|e| DataIoError::Parse {
-            line: i + 1,
-            message: e.to_string(),
-        })?;
-        if labeled {
-            labels.push(label);
-        }
-    }
-    let store = store.ok_or(DataIoError::Parse {
-        line: 0,
-        message: "empty file".into(),
-    })?;
-    Ok((store, labeled.then_some(labels)))
+    let ingest = read_csv_with(path, labeled, IngestMode::Strict)?;
+    Ok((ingest.store, ingest.labels))
 }
 
 /// Encodes a point store into the compact binary format.
@@ -302,6 +429,100 @@ mod tests {
             read_csv(&path, true),
             Err(DataIoError::Parse { .. })
         ));
+    }
+
+    #[test]
+    fn strict_rejects_non_finite_with_row_and_column() {
+        let dir = std::env::temp_dir().join("dbscout-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nonfinite.csv");
+        std::fs::write(&path, "1.0,2.0\n3.0,NaN\n5.0,6.0\n").unwrap();
+        let err = read_csv(&path, false).unwrap_err();
+        match err {
+            DataIoError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("non-finite coordinate"), "{message}");
+                assert!(message.contains("line 2"), "{message}");
+                assert!(message.contains("column 2"), "{message}");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        std::fs::write(&path, "inf,2.0\n").unwrap();
+        let err = read_csv(&path, false).unwrap_err();
+        assert!(err.to_string().contains("column 1"), "{err}");
+        std::fs::write(&path, "1.0,-inf\n").unwrap();
+        assert!(read_csv(&path, false).is_err());
+    }
+
+    #[test]
+    fn finite_rows_round_trip_after_strict_validation() {
+        let dir = std::env::temp_dir().join("dbscout-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("finite-roundtrip.csv");
+        let store = sample_store();
+        write_csv(&path, &store, None).unwrap();
+        let ingest = read_csv_with(&path, false, IngestMode::Strict).unwrap();
+        assert_eq!(ingest.store, store);
+        assert!(ingest.quarantine.is_clean());
+    }
+
+    #[test]
+    fn permissive_quarantines_bad_rows_and_keeps_the_rest() {
+        let dir = std::env::temp_dir().join("dbscout-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dirty.csv");
+        std::fs::write(
+            &path,
+            "1.0,2.0\nnope,2.0\n3.0,NaN\n5.0,6.0\n7.0\n9.0,10.0\n",
+        )
+        .unwrap();
+        let ingest = read_csv_with(&path, false, IngestMode::Permissive).unwrap();
+        assert_eq!(ingest.store.len(), 3);
+        assert_eq!(ingest.quarantine.quarantined, 3);
+        let lines: Vec<usize> = ingest.quarantine.samples.iter().map(|s| s.line).collect();
+        assert_eq!(lines, vec![2, 3, 5]);
+        assert!(ingest.quarantine.samples[1]
+            .reason
+            .contains("non-finite coordinate"));
+        assert!(ingest.quarantine.samples[2].reason.contains("expected 2"));
+    }
+
+    #[test]
+    fn permissive_caps_quarantine_samples() {
+        let dir = std::env::temp_dir().join("dbscout-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("very-dirty.csv");
+        let mut content = String::from("1.0,2.0\n");
+        for _ in 0..10 {
+            content.push_str("bad,row\n");
+        }
+        std::fs::write(&path, content).unwrap();
+        let ingest = read_csv_with(&path, false, IngestMode::Permissive).unwrap();
+        assert_eq!(ingest.quarantine.quarantined, 10);
+        assert_eq!(ingest.quarantine.samples.len(), QUARANTINE_SAMPLE_LIMIT);
+    }
+
+    #[test]
+    fn permissive_with_no_usable_rows_is_an_error() {
+        let dir = std::env::temp_dir().join("dbscout-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("all-bad.csv");
+        std::fs::write(&path, "x\ny\n").unwrap();
+        let err = read_csv_with(&path, false, IngestMode::Permissive).unwrap_err();
+        assert!(err.to_string().contains("2 quarantined"), "{err}");
+    }
+
+    #[test]
+    fn permissive_respects_labels() {
+        let dir = std::env::temp_dir().join("dbscout-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dirty-labeled.csv");
+        std::fs::write(&path, "1.0,2.0,0\n3.0,4.0,7\n5.0,6.0,1\n").unwrap();
+        let ingest = read_csv_with(&path, true, IngestMode::Permissive).unwrap();
+        assert_eq!(ingest.store.len(), 2);
+        assert_eq!(ingest.labels.unwrap(), vec![false, true]);
+        assert_eq!(ingest.quarantine.quarantined, 1);
+        assert!(ingest.quarantine.samples[0].reason.contains("label"));
     }
 
     #[test]

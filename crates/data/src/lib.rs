@@ -34,4 +34,5 @@ pub mod rng;
 pub mod sampling;
 pub mod transform;
 
+pub use io::{CsvIngest, IngestMode, QuarantineReport, QuarantinedRow};
 pub use labeled::LabeledDataset;

@@ -1,16 +1,48 @@
-//! The execution context: worker count, defaults, and metrics.
+//! The execution context: worker count, defaults, failure policy, and
+//! metrics.
 
-use std::sync::Arc;
+use std::fmt;
+use std::sync::{Arc, Mutex};
 
 use crate::broadcast::Broadcast;
 use crate::dataset::Dataset;
+use crate::error::{EngineError, Result};
+use crate::executor::{self, lock_unpoisoned, SpeculationConfig, StageOptions};
+use crate::fault::FaultPlan;
 use crate::metrics::EngineMetrics;
+
+/// Default task-retry budget: a task may fail twice and still succeed on
+/// its third attempt (the spirit of Spark's `spark.task.maxFailures = 4`,
+/// scaled to a single-process engine).
+pub const DEFAULT_TASK_RETRIES: usize = 2;
+
+/// The scheduling-relevant shape of an [`ExecutionContext`], carried by
+/// [`EngineError::ContextMismatch`] so mixed-context errors are
+/// actionable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContextConfig {
+    /// Number of concurrently running tasks.
+    pub workers: usize,
+    /// Partition count used when the caller does not specify one.
+    pub default_partitions: usize,
+}
+
+impl fmt::Display for ContextConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} workers / {} default partitions",
+            self.workers, self.default_partitions
+        )
+    }
+}
 
 /// Shared engine state: the "driver" of this mini cluster.
 ///
 /// Holds the worker count (how many partition tasks run concurrently — the
 /// analogue of total executor cores), the default partition count for new
-/// datasets, and the [`EngineMetrics`] counters.
+/// datasets, the failure policy (task-retry budget, speculation, fault
+/// injection), and the [`EngineMetrics`] counters.
 ///
 /// Contexts are cheap to clone via [`Arc`] inside datasets; create one per
 /// logical cluster configuration.
@@ -18,6 +50,12 @@ use crate::metrics::EngineMetrics;
 pub struct ExecutionContext {
     workers: usize,
     default_partitions: usize,
+    max_task_retries: usize,
+    speculation: Option<SpeculationConfig>,
+    fault_plan: Option<FaultPlan>,
+    /// Caller-visible phase label (e.g. `"core-point pass"`) prefixed onto
+    /// every stage name while set.
+    stage: Mutex<Option<String>>,
     metrics: EngineMetrics,
 }
 
@@ -42,9 +80,71 @@ impl ExecutionContext {
         self.default_partitions
     }
 
+    /// How many times a failed task is re-queued before the job fails.
+    pub fn max_task_retries(&self) -> usize {
+        self.max_task_retries
+    }
+
+    /// The scheduling-relevant shape of this context.
+    pub fn config(&self) -> ContextConfig {
+        ContextConfig {
+            workers: self.workers,
+            default_partitions: self.default_partitions,
+        }
+    }
+
     /// The engine counters.
     pub fn metrics(&self) -> &EngineMetrics {
         &self.metrics
+    }
+
+    /// Labels all stages run until [`clear_stage`](Self::clear_stage) with
+    /// a caller-visible phase name, so errors and fault plans can name the
+    /// algorithm phase (e.g. `"core-point pass"`) instead of the engine
+    /// primitive alone.
+    pub fn set_stage(&self, phase: impl Into<String>) {
+        *lock_unpoisoned(&self.stage) = Some(phase.into());
+    }
+
+    /// Removes the phase label set by [`set_stage`](Self::set_stage).
+    pub fn clear_stage(&self) {
+        *lock_unpoisoned(&self.stage) = None;
+    }
+
+    /// The currently set phase label, if any.
+    pub fn current_stage(&self) -> Option<String> {
+        lock_unpoisoned(&self.stage).clone()
+    }
+
+    /// Runs one stage of `tasks` under this context's failure policy.
+    /// `op` names the engine primitive; the full stage name is
+    /// `"{phase}:{op}"` while a phase label is set.
+    pub(crate) fn run_stage<T, F>(&self, op: &str, tasks: Vec<F>) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn() -> T + Send + Sync,
+    {
+        let label = match lock_unpoisoned(&self.stage).as_deref() {
+            Some(phase) => format!("{phase}:{op}"),
+            None => op.to_owned(),
+        };
+        let opts = StageOptions {
+            workers: self.workers,
+            max_task_retries: self.max_task_retries,
+            speculation: self.speculation,
+            fault_plan: self.fault_plan.as_ref(),
+            metrics: Some(&self.metrics),
+            stage: &label,
+        };
+        executor::run_stage(&opts, tasks)
+    }
+
+    /// The error for mixing datasets of `self` and `other`.
+    pub(crate) fn mismatch_with(&self, other: &ExecutionContext) -> EngineError {
+        EngineError::ContextMismatch {
+            left: self.config(),
+            right: other.config(),
+        }
     }
 
     /// Broadcasts a read-only value to all workers (metered).
@@ -79,6 +179,9 @@ impl ExecutionContext {
 pub struct ExecutionContextBuilder {
     workers: Option<usize>,
     default_partitions: Option<usize>,
+    max_task_retries: Option<usize>,
+    speculation: Option<SpeculationConfig>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl ExecutionContextBuilder {
@@ -94,6 +197,27 @@ impl ExecutionContextBuilder {
         self
     }
 
+    /// Sets the task-retry budget (defaults to
+    /// [`DEFAULT_TASK_RETRIES`]; `0` fails the job on the first task
+    /// error).
+    pub fn max_task_retries(mut self, retries: usize) -> Self {
+        self.max_task_retries = Some(retries);
+        self
+    }
+
+    /// Enables speculative duplication of straggler tasks (off by
+    /// default).
+    pub fn speculation(mut self, config: SpeculationConfig) -> Self {
+        self.speculation = Some(config);
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan (chaos testing).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Finalises the context.
     pub fn build(self) -> Arc<ExecutionContext> {
         let workers = self.workers.unwrap_or_else(|| {
@@ -105,6 +229,10 @@ impl ExecutionContextBuilder {
         Arc::new(ExecutionContext {
             workers,
             default_partitions,
+            max_task_retries: self.max_task_retries.unwrap_or(DEFAULT_TASK_RETRIES),
+            speculation: self.speculation,
+            fault_plan: self.fault_plan,
+            stage: Mutex::new(None),
             metrics: EngineMetrics::new(),
         })
     }
@@ -119,6 +247,8 @@ mod tests {
         let ctx = ExecutionContext::builder().build();
         assert!(ctx.workers() >= 1);
         assert_eq!(ctx.default_partitions(), ctx.workers() * 2);
+        assert_eq!(ctx.max_task_retries(), DEFAULT_TASK_RETRIES);
+        assert_eq!(ctx.current_stage(), None);
     }
 
     #[test]
@@ -126,9 +256,11 @@ mod tests {
         let ctx = ExecutionContext::builder()
             .workers(3)
             .default_partitions(17)
+            .max_task_retries(0)
             .build();
         assert_eq!(ctx.workers(), 3);
         assert_eq!(ctx.default_partitions(), 17);
+        assert_eq!(ctx.max_task_retries(), 0);
     }
 
     #[test]
@@ -139,6 +271,43 @@ mod tests {
             .build();
         assert_eq!(ctx.workers(), 1);
         assert_eq!(ctx.default_partitions(), 1);
+    }
+
+    #[test]
+    fn stage_labels_reach_errors() {
+        let ctx = ExecutionContext::builder()
+            .workers(2)
+            .max_task_retries(0)
+            .build();
+        ctx.set_stage("outlier pass");
+        let ds = ctx.parallelize((0..8).collect::<Vec<_>>(), 4);
+        let err = ds
+            .map(|&x: &i32| {
+                assert!(x < 4, "chaos");
+                x
+            })
+            .unwrap_err();
+        match err {
+            EngineError::TaskFailed { stage, .. } => {
+                assert!(stage.contains("outlier pass"), "stage: {stage}");
+                assert!(stage.contains("map"), "stage: {stage}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        ctx.clear_stage();
+        assert_eq!(ctx.current_stage(), None);
+    }
+
+    #[test]
+    fn config_reports_shape() {
+        let ctx = ExecutionContext::builder()
+            .workers(3)
+            .default_partitions(9)
+            .build();
+        let cfg = ctx.config();
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.default_partitions, 9);
+        assert_eq!(cfg.to_string(), "3 workers / 9 default partitions");
     }
 
     #[test]

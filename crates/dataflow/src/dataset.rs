@@ -4,7 +4,6 @@ use std::sync::Arc;
 
 use crate::context::ExecutionContext;
 use crate::error::{EngineError, Result};
-use crate::executor::run_tasks;
 
 /// A distributed collection: an ordered list of partitions, each an
 /// immutable `Vec<T>` shared behind an [`Arc`].
@@ -119,7 +118,7 @@ impl<T: Send + Sync> Dataset<T> {
                 move || f(&part)
             })
             .collect();
-        let out = run_tasks(self.ctx.workers(), tasks)?;
+        let out = self.ctx.run_stage("map_partitions", tasks)?;
         let records_out: u64 = out.iter().map(|p| p.len() as u64).sum();
         self.ctx
             .metrics()
@@ -136,7 +135,7 @@ impl<T: Send + Sync> Dataset<T> {
     /// different contexts.
     pub fn union(&self, other: &Dataset<T>) -> Result<Dataset<T>> {
         if !Arc::ptr_eq(&self.ctx, &other.ctx) {
-            return Err(EngineError::ContextMismatch);
+            return Err(self.ctx.mismatch_with(&other.ctx));
         }
         let mut partitions = self.partitions.clone();
         partitions.extend(other.partitions.iter().cloned());
@@ -160,7 +159,7 @@ impl<T: Send + Sync> Dataset<T> {
                 move || part.iter().for_each(f)
             })
             .collect();
-        run_tasks(self.ctx.workers(), tasks)?;
+        self.ctx.run_stage("foreach", tasks)?;
         self.ctx
             .metrics()
             .record_stage(self.partitions.len() as u64, self.count() as u64, 0);
@@ -336,8 +335,20 @@ mod tests {
             })
             .unwrap_err();
         match err {
-            crate::EngineError::TaskPanic { message, .. } => {
-                assert_eq!(message, "bad record")
+            crate::EngineError::TaskFailed {
+                stage,
+                attempts,
+                causes,
+                ..
+            } => {
+                // The context's default retry budget re-runs the task; a
+                // deterministic panic fails every attempt.
+                assert_eq!(attempts, crate::context::DEFAULT_TASK_RETRIES + 1);
+                assert!(
+                    causes.iter().all(|c| c.contains("bad record")),
+                    "{causes:?}"
+                );
+                assert!(stage.contains("map_partitions"), "stage: {stage}");
             }
             other => panic!("unexpected: {other:?}"),
         }

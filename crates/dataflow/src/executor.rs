@@ -1,18 +1,40 @@
 //! The worker pool: runs one task per partition across a fixed number of
-//! worker threads.
+//! worker threads, with bounded retry and speculative execution.
 //!
-//! Tasks are pulled from a shared atomic cursor (dynamic scheduling), so a
+//! Work items are pulled from a shared queue (dynamic scheduling), so a
 //! straggler partition — e.g. the Beijing cell of a skewed GPS dataset —
 //! does not leave the other workers idle, just as Spark's scheduler hands
 //! out tasks to free executor slots. Worker threads are scoped per stage
 //! (via [`std::thread::scope`]), which lets tasks borrow stage-local
 //! data without `'static` bounds.
+//!
+//! Fault tolerance follows the Spark contract:
+//!
+//! * a failed or panicked attempt is **re-queued** up to
+//!   [`StageOptions::max_task_retries`] times while healthy workers keep
+//!   draining; only an exhausted budget fails the job, with every
+//!   attempt's cause attached ([`EngineError::TaskFailed`]);
+//! * with [`SpeculationConfig`] set, an idle worker whose queue is empty
+//!   launches a **duplicate attempt** of a task that has been running much
+//!   longer than the completed-task duration quantile; the first
+//!   completion wins and the loser's result is discarded (task closures
+//!   must therefore be idempotent per partition, which grid passes are);
+//! * a [`FaultPlan`] can sabotage attempts deterministically for chaos
+//!   tests.
+//!
+//! This module is the only place in the workspace allowed to call
+//! [`catch_unwind`] (enforced by lint rule XL005), so panic recovery
+//! stays centralized.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use crate::error::{EngineError, Result};
+use crate::fault::{FaultKind, FaultPlan};
+use crate::metrics::EngineMetrics;
 
 /// Locks a mutex, recovering the guard if a previous holder panicked.
 ///
@@ -26,108 +48,469 @@ pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     }
 }
 
+/// When and how aggressively idle workers duplicate straggler tasks.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeculationConfig {
+    /// Minimum number of completed tasks before durations are trusted.
+    pub min_completed: usize,
+    /// Duration quantile (in `0.0..=1.0`) of completed tasks used as the
+    /// straggler baseline (Spark's `spark.speculation.quantile`).
+    pub quantile: f64,
+    /// A running task is a straggler once its elapsed time exceeds
+    /// `quantile duration * multiplier`.
+    pub multiplier: f64,
+    /// Never speculate a task running for less than this, whatever the
+    /// quantile says — guards against duplicating microsecond tasks.
+    pub min_runtime: Duration,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        Self {
+            min_completed: 3,
+            quantile: 0.75,
+            multiplier: 4.0,
+            min_runtime: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Per-stage execution policy for [`run_stage`].
+#[derive(Debug, Clone, Copy)]
+pub struct StageOptions<'a> {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// How many times a failed task may be re-queued before the stage
+    /// fails (`0` = fail on first error, Spark's `maxFailures - 1`).
+    pub max_task_retries: usize,
+    /// Straggler-duplication policy; `None` disables speculation.
+    pub speculation: Option<SpeculationConfig>,
+    /// Deterministic fault injection for chaos tests.
+    pub fault_plan: Option<&'a FaultPlan>,
+    /// Counters to charge retries/speculation/faults to.
+    pub metrics: Option<&'a EngineMetrics>,
+    /// Stage name used in errors and fault decisions.
+    pub stage: &'a str,
+}
+
+impl<'a> StageOptions<'a> {
+    /// A plain policy: no retries, no speculation, no faults.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers,
+            max_task_retries: 0,
+            speculation: None,
+            fault_plan: None,
+            metrics: None,
+            stage: "task",
+        }
+    }
+}
+
 /// Runs `tasks` (one closure per partition) on at most `workers` threads
-/// and returns their results in task order.
-///
-/// If any task panics, the panic is caught and reported as
-/// [`EngineError::TaskPanic`] for the lowest-indexed failing partition;
-/// remaining tasks still run to completion (workers keep draining the
-/// queue), mirroring a cluster where one failed task does not kill its
-/// peers mid-flight.
+/// and returns their results in task order. Equivalent to [`run_stage`]
+/// with [`StageOptions::new`]: no retries, no speculation.
 pub fn run_tasks<T, F>(workers: usize, tasks: Vec<F>) -> Result<Vec<T>>
 where
     T: Send,
-    F: FnOnce() -> T + Send,
+    F: Fn() -> T + Send + Sync,
+{
+    run_stage(&StageOptions::new(workers), tasks)
+}
+
+/// One scheduled attempt of one partition's task.
+#[derive(Debug, Clone, Copy)]
+struct WorkItem {
+    partition: usize,
+    attempt: usize,
+    speculative: bool,
+}
+
+/// Mutable per-partition bookkeeping shared by the workers.
+struct PartitionState<T> {
+    result: Option<T>,
+    /// One cause per failed attempt, in attempt order.
+    failures: Vec<String>,
+    /// Attempts handed to workers so far (including speculative ones).
+    launched: usize,
+    /// When the first still-running attempt started.
+    running_since: Option<Instant>,
+    /// Whether a speculative duplicate was already launched.
+    speculated: bool,
+    /// Whether the retry budget is exhausted (terminal failure).
+    exhausted: bool,
+}
+
+impl<T> PartitionState<T> {
+    fn new() -> Self {
+        Self {
+            result: None,
+            failures: Vec::new(),
+            launched: 0,
+            running_since: None,
+            speculated: false,
+            exhausted: false,
+        }
+    }
+
+    fn settled(&self) -> bool {
+        self.result.is_some() || self.exhausted
+    }
+}
+
+/// Everything the worker threads share for one stage.
+struct StageShared<'a, T, F> {
+    opts: &'a StageOptions<'a>,
+    tasks: &'a [F],
+    states: Vec<Mutex<PartitionState<T>>>,
+    queue: Mutex<VecDeque<WorkItem>>,
+    /// Partitions that reached a terminal state (result or exhausted).
+    settled: AtomicUsize,
+    /// Durations of successful attempts (feeds the speculation quantile).
+    durations: Mutex<Vec<Duration>>,
+}
+
+/// Runs one stage — `tasks` (one closure per partition) under the retry,
+/// speculation, and fault-injection policy in `opts` — returning results
+/// in task order.
+///
+/// All partitions run to a terminal state even when one fails (workers
+/// keep draining the queue, mirroring a cluster where one failed task
+/// does not kill its peers mid-flight); the error then reported is
+/// [`EngineError::TaskFailed`] for the lowest-indexed exhausted
+/// partition, carrying every attempt's cause.
+pub fn run_stage<'a, T, F>(opts: &StageOptions<'a>, tasks: Vec<F>) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn() -> T + Send + Sync,
 {
     let n = tasks.len();
     if n == 0 {
         return Ok(Vec::new());
     }
-    let workers = workers.max(1).min(n);
+    let workers = opts.workers.max(1).min(n);
 
-    // Single-threaded fast path: no scope, no synchronisation.
+    // Single-threaded fast path: in-order retry loop, no speculation
+    // (a lone worker has no idle capacity to speculate with).
     if workers == 1 {
-        let mut out = Vec::with_capacity(n);
-        for (i, task) in tasks.into_iter().enumerate() {
-            match catch_unwind(AssertUnwindSafe(task)) {
-                Ok(v) => out.push(v),
-                Err(payload) => {
-                    return Err(EngineError::TaskPanic {
-                        partition: i,
-                        message: panic_message(payload),
-                    })
-                }
-            }
-        }
-        return Ok(out);
+        return run_sequential(opts, &tasks);
     }
 
-    let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<std::result::Result<T, String>>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
+    let shared = StageShared {
+        opts,
+        tasks: &tasks,
+        states: (0..n).map(|_| Mutex::new(PartitionState::new())).collect(),
+        queue: Mutex::new(
+            (0..n)
+                .map(|partition| WorkItem {
+                    partition,
+                    attempt: 0,
+                    speculative: false,
+                })
+                .collect(),
+        ),
+        settled: AtomicUsize::new(0),
+        durations: Mutex::new(Vec::with_capacity(n)),
+    };
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                // The cursor hands out each index exactly once, so the slot
-                // is always occupied; `continue` (rather than panicking)
-                // keeps the worker alive even if that invariant broke.
-                let Some(task) = slots.get(i).and_then(|s| lock_unpoisoned(s).take()) else {
-                    continue;
-                };
-                let outcome = match catch_unwind(AssertUnwindSafe(task)) {
-                    Ok(v) => Ok(v),
-                    Err(payload) => Err(panic_message(payload)),
-                };
-                if let Some(slot) = results.get(i) {
-                    *lock_unpoisoned(slot) = Some(outcome);
-                }
-            });
+            scope.spawn(|| worker_loop(&shared));
         }
     });
 
-    let mut out = Vec::with_capacity(n);
-    for (i, slot) in results.into_iter().enumerate() {
-        let inner = match slot.into_inner() {
-            Ok(inner) => inner,
-            Err(poisoned) => poisoned.into_inner(),
+    collect_results(shared, opts)
+}
+
+/// The body of one worker thread: drain the queue, then look for
+/// stragglers to speculate on, then idle-wait until the stage settles.
+fn worker_loop<T: Send, F: Fn() -> T>(shared: &StageShared<'_, T, F>) {
+    let n = shared.tasks.len();
+    loop {
+        if shared.settled.load(Ordering::Acquire) >= n {
+            break;
+        }
+        let item = lock_unpoisoned(&shared.queue).pop_front();
+        let Some(item) = item.or_else(|| pick_speculative(shared)) else {
+            // Nothing to run right now: another worker may still fail and
+            // re-queue, so poll until every partition settles.
+            std::thread::sleep(Duration::from_micros(100));
+            continue;
         };
-        match inner {
-            Some(Ok(v)) => out.push(v),
-            Some(Err(message)) => {
-                return Err(EngineError::TaskPanic {
-                    partition: i,
-                    message,
-                })
+        run_item(shared, item);
+    }
+}
+
+/// Executes one work item and records its outcome.
+fn run_item<T: Send, F: Fn() -> T>(shared: &StageShared<'_, T, F>, item: WorkItem) {
+    let Some(state) = shared.states.get(item.partition) else {
+        return; // out-of-range item: scheduler bug, but never panic
+    };
+    {
+        let mut st = lock_unpoisoned(state);
+        if st.settled() {
+            return; // stale item (partition already won or failed)
+        }
+        st.launched += 1;
+        if st.running_since.is_none() {
+            st.running_since = Some(Instant::now());
+        }
+    }
+    let Some(task) = shared.tasks.get(item.partition) else {
+        return;
+    };
+    let started = Instant::now();
+    let settled_probe = || lock_unpoisoned(state).settled();
+    let outcome = run_attempt(
+        shared.opts,
+        task,
+        item.partition,
+        item.attempt,
+        &settled_probe,
+    );
+
+    let mut st = lock_unpoisoned(state);
+    if st.settled() {
+        return; // a concurrent duplicate settled this partition first
+    }
+    match outcome {
+        Ok(value) => {
+            st.result = Some(value);
+            shared.settled.fetch_add(1, Ordering::Release);
+            lock_unpoisoned(&shared.durations).push(started.elapsed());
+            if item.speculative {
+                if let Some(m) = shared.opts.metrics {
+                    m.record_speculative_win();
+                }
             }
-            None => {
-                return Err(EngineError::Internal {
-                    message: format!("no result recorded for partition {i}"),
-                })
+        }
+        Err(cause) => {
+            st.failures
+                .push(format!("attempt {}: {cause}", item.attempt + 1));
+            if st.failures.len() > shared.opts.max_task_retries {
+                st.exhausted = true;
+                shared.settled.fetch_add(1, Ordering::Release);
+            } else {
+                if let Some(m) = shared.opts.metrics {
+                    m.record_task_retry();
+                }
+                let attempt = st.failures.len();
+                // Re-queue at the back: healthy partitions drain first.
+                lock_unpoisoned(&shared.queue).push_back(WorkItem {
+                    partition: item.partition,
+                    attempt,
+                    speculative: false,
+                });
+            }
+        }
+    }
+}
+
+/// Looks for a straggler worth duplicating; returns its work item after
+/// marking the partition speculated (each partition is duplicated at most
+/// once).
+fn pick_speculative<T, F>(shared: &StageShared<'_, T, F>) -> Option<WorkItem> {
+    let spec = shared.opts.speculation?;
+    let threshold = {
+        let durations = lock_unpoisoned(&shared.durations);
+        if durations.len() < spec.min_completed.max(1) {
+            return None;
+        }
+        let mut sorted = durations.clone();
+        drop(durations);
+        sorted.sort_unstable();
+        let idx = (((sorted.len() - 1) as f64) * spec.quantile.clamp(0.0, 1.0)).round() as usize;
+        let base = sorted.get(idx).copied().unwrap_or_default();
+        base.mul_f64(spec.multiplier.max(1.0)).max(spec.min_runtime)
+    };
+    for (partition, state) in shared.states.iter().enumerate() {
+        let mut st = lock_unpoisoned(state);
+        if st.settled() || st.speculated {
+            continue;
+        }
+        let Some(since) = st.running_since else {
+            continue;
+        };
+        if since.elapsed() >= threshold {
+            st.speculated = true;
+            let attempt = st.launched;
+            if let Some(m) = shared.opts.metrics {
+                m.record_speculative_launch();
+            }
+            return Some(WorkItem {
+                partition,
+                attempt,
+                speculative: true,
+            });
+        }
+    }
+    None
+}
+
+/// Runs one attempt: consults the fault plan, then the real task under
+/// [`catch_unwind`]. `settled` reports whether a concurrent duplicate
+/// already settled this partition; injected delays poll it so a
+/// speculative winner releases the delayed worker early instead of
+/// pinning it for the full delay.
+fn run_attempt<T, F: Fn() -> T>(
+    opts: &StageOptions<'_>,
+    task: &F,
+    partition: usize,
+    attempt: usize,
+    settled: &dyn Fn() -> bool,
+) -> std::result::Result<T, String> {
+    if let Some(plan) = opts.fault_plan {
+        if let Some(kind) = plan.decide(opts.stage, partition, attempt) {
+            if let Some(m) = opts.metrics {
+                m.record_injected_fault();
+            }
+            match kind {
+                FaultKind::Panic => {
+                    return Err(format!("injected panic (attempt {})", attempt + 1))
+                }
+                FaultKind::Transient => {
+                    return Err(format!(
+                        "injected transient task failure (attempt {})",
+                        attempt + 1
+                    ))
+                }
+                FaultKind::Delay(total) => {
+                    let delayed_since = Instant::now();
+                    while !settled() {
+                        let remaining = total.saturating_sub(delayed_since.elapsed());
+                        if remaining.is_zero() {
+                            break;
+                        }
+                        std::thread::sleep(remaining.min(Duration::from_millis(2)));
+                    }
+                }
+            }
+        }
+    }
+    match catch_unwind(AssertUnwindSafe(task)) {
+        Ok(v) => Ok(v),
+        Err(payload) => Err(panic_message(payload)),
+    }
+}
+
+/// The single-worker path: tasks run in partition order; a failed task
+/// retries immediately (there are no peers to interleave with).
+fn run_sequential<T, F>(opts: &StageOptions<'_>, tasks: &[F]) -> Result<Vec<T>>
+where
+    F: Fn() -> T,
+{
+    let mut out = Vec::with_capacity(tasks.len());
+    for (partition, task) in tasks.iter().enumerate() {
+        let mut failures: Vec<String> = Vec::new();
+        loop {
+            match run_attempt(opts, task, partition, failures.len(), &|| false) {
+                Ok(v) => {
+                    out.push(v);
+                    break;
+                }
+                Err(cause) => {
+                    failures.push(format!("attempt {}: {cause}", failures.len() + 1));
+                    if failures.len() > opts.max_task_retries {
+                        return Err(EngineError::TaskFailed {
+                            stage: opts.stage.to_owned(),
+                            partition,
+                            attempts: failures.len(),
+                            causes: failures,
+                        });
+                    }
+                    if let Some(m) = opts.metrics {
+                        m.record_task_retry();
+                    }
+                }
             }
         }
     }
     Ok(out)
 }
 
+/// Tears the shared state down into ordered results, or the error for the
+/// lowest-indexed exhausted partition.
+fn collect_results<T, F>(shared: StageShared<'_, T, F>, opts: &StageOptions<'_>) -> Result<Vec<T>> {
+    let mut out = Vec::with_capacity(shared.states.len());
+    for (partition, state) in shared.states.into_iter().enumerate() {
+        let st = match state.into_inner() {
+            Ok(st) => st,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(v) = st.result {
+            out.push(v);
+        } else if st.exhausted {
+            return Err(EngineError::TaskFailed {
+                stage: opts.stage.to_owned(),
+                partition,
+                attempts: st.failures.len(),
+                causes: st.failures,
+            });
+        } else {
+            return Err(EngineError::Internal {
+                message: format!("no result recorded for partition {partition}"),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Renders a panic payload for error reports. String payloads (the common
+/// `panic!("...")` case) are returned verbatim; anything else is reported
+/// with the payload's type name so exhausted retries stay debuggable.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
     } else {
-        "<non-string panic payload>".to_owned()
+        format!(
+            "<non-string panic payload of type {}>",
+            payload_type_name(payload.as_ref())
+        )
     }
+}
+
+/// Best-effort name of a panic payload's concrete type. `dyn Any` erases
+/// the name, so common `panic_any` payload types are probed explicitly;
+/// anything else falls back to its opaque [`std::any::TypeId`].
+fn payload_type_name(payload: &(dyn std::any::Any + Send)) -> String {
+    macro_rules! probe {
+        ($($t:ty),* $(,)?) => {
+            $(if payload.is::<$t>() {
+                return std::any::type_name::<$t>().to_owned();
+            })*
+        };
+    }
+    probe!(
+        Box<str>,
+        std::borrow::Cow<'static, str>,
+        i8,
+        i16,
+        i32,
+        i64,
+        i128,
+        isize,
+        u8,
+        u16,
+        u32,
+        u64,
+        u128,
+        usize,
+        f32,
+        f64,
+        bool,
+        char,
+        (),
+    );
+    format!("{:?}", payload.type_id())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    type BoxedTask<T> = Box<dyn Fn() -> T + Send + Sync>;
 
     #[test]
     fn runs_all_tasks_in_order() {
@@ -156,43 +539,60 @@ mod tests {
 
     #[test]
     fn panic_is_reported_with_partition_index() {
-        let tasks: Vec<Box<dyn FnOnce() -> i32 + Send>> = vec![
+        let tasks: Vec<BoxedTask<i32>> = vec![
             Box::new(|| 1),
             Box::new(|| panic!("kaboom")),
             Box::new(|| 3),
         ];
         let err = run_tasks(2, tasks).unwrap_err();
-        assert_eq!(
-            err,
-            EngineError::TaskPanic {
-                partition: 1,
-                message: "kaboom".into()
+        match err {
+            EngineError::TaskFailed {
+                partition,
+                attempts,
+                causes,
+                ..
+            } => {
+                assert_eq!(partition, 1);
+                assert_eq!(attempts, 1);
+                assert_eq!(causes, vec!["attempt 1: kaboom".to_owned()]);
             }
-        );
+            other => panic!("unexpected error: {other:?}"),
+        }
     }
 
     #[test]
     fn panic_with_string_payload() {
-        let tasks: Vec<Box<dyn FnOnce() -> i32 + Send>> =
-            vec![Box::new(|| panic!("{}", String::from("dynamic")))];
+        let tasks: Vec<BoxedTask<i32>> = vec![Box::new(|| panic!("{}", String::from("dynamic")))];
         let err = run_tasks(1, tasks).unwrap_err();
         match err {
-            EngineError::TaskPanic { message, .. } => assert_eq!(message, "dynamic"),
+            EngineError::TaskFailed { causes, .. } => {
+                assert_eq!(causes, vec!["attempt 1: dynamic".to_owned()]);
+            }
             other => panic!("unexpected error: {other:?}"),
         }
+    }
+
+    #[test]
+    fn non_string_panic_payload_reports_type_name() {
+        let tasks: Vec<BoxedTask<i32>> = vec![Box::new(|| std::panic::panic_any(42u64))];
+        let err = run_tasks(1, tasks).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("u64"), "type name missing: {msg}");
     }
 
     #[test]
     fn lowest_failing_partition_wins() {
         // Both tasks panic; the error must name partition 0 regardless of
         // scheduling order.
-        let tasks: Vec<Box<dyn FnOnce() -> i32 + Send>> =
+        let tasks: Vec<BoxedTask<i32>> =
             vec![Box::new(|| panic!("first")), Box::new(|| panic!("second"))];
         let err = run_tasks(4, tasks).unwrap_err();
         match err {
-            EngineError::TaskPanic { partition, message } => {
+            EngineError::TaskFailed {
+                partition, causes, ..
+            } => {
                 assert_eq!(partition, 0);
-                assert_eq!(message, "first");
+                assert_eq!(causes, vec!["attempt 1: first".to_owned()]);
             }
             other => panic!("unexpected error: {other:?}"),
         }
@@ -213,13 +613,122 @@ mod tests {
     #[test]
     fn heavy_skew_still_completes() {
         // One task is much heavier; dynamic scheduling must not deadlock.
-        let tasks: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..16)
+        let tasks: Vec<BoxedTask<u64>> = (0..16)
             .map(|i| {
                 let work = if i == 0 { 200_000u64 } else { 100 };
-                Box::new(move || (0..work).fold(0u64, |a, b| a.wrapping_add(b)))
-                    as Box<dyn FnOnce() -> u64 + Send>
+                Box::new(move || (0..work).fold(0u64, |a, b| a.wrapping_add(b))) as BoxedTask<u64>
             })
             .collect();
         assert_eq!(run_tasks(4, tasks).unwrap().len(), 16);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_within_budget() {
+        for workers in [1usize, 4] {
+            let plan = FaultPlan::builder(0)
+                .inject(1, 0, FaultKind::Transient)
+                .inject(1, 1, FaultKind::Panic)
+                .build();
+            let metrics = EngineMetrics::new();
+            let opts = StageOptions {
+                max_task_retries: 2,
+                fault_plan: Some(&plan),
+                metrics: Some(&metrics),
+                stage: "retry-test",
+                ..StageOptions::new(workers)
+            };
+            let tasks: Vec<_> = (0..4).map(|i| move || i * 10).collect();
+            let out = run_stage(&opts, tasks).unwrap();
+            assert_eq!(out, vec![0, 10, 20, 30], "workers={workers}");
+            let s = metrics.snapshot();
+            assert_eq!(s.task_retries, 2, "workers={workers}");
+            assert_eq!(s.injected_faults, 2, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_reports_every_attempt() {
+        for workers in [1usize, 4] {
+            let plan = FaultPlan::builder(0)
+                .inject(2, 0, FaultKind::Transient)
+                .inject(2, 1, FaultKind::Transient)
+                .build();
+            let opts = StageOptions {
+                max_task_retries: 1,
+                fault_plan: Some(&plan),
+                stage: "exhaust-test",
+                ..StageOptions::new(workers)
+            };
+            let tasks: Vec<_> = (0..4).map(|i| move || i).collect();
+            let err = run_stage(&opts, tasks).unwrap_err();
+            match err {
+                EngineError::TaskFailed {
+                    stage,
+                    partition,
+                    attempts,
+                    causes,
+                } => {
+                    assert_eq!(stage, "exhaust-test");
+                    assert_eq!(partition, 2);
+                    assert_eq!(attempts, 2);
+                    assert_eq!(causes.len(), 2);
+                    assert!(causes[0].starts_with("attempt 1:"), "{causes:?}");
+                    assert!(causes[1].starts_with("attempt 2:"), "{causes:?}");
+                }
+                other => panic!("unexpected error: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn delay_fault_is_not_a_failure() {
+        let plan = FaultPlan::builder(0)
+            .inject(0, 0, FaultKind::Delay(Duration::from_millis(5)))
+            .build();
+        let metrics = EngineMetrics::new();
+        let opts = StageOptions {
+            fault_plan: Some(&plan),
+            metrics: Some(&metrics),
+            ..StageOptions::new(2)
+        };
+        let tasks: Vec<_> = (0..3).map(|i| move || i).collect();
+        assert_eq!(run_stage(&opts, tasks).unwrap(), vec![0, 1, 2]);
+        let s = metrics.snapshot();
+        assert_eq!(s.injected_faults, 1);
+        assert_eq!(s.task_retries, 0);
+    }
+
+    #[test]
+    fn straggler_gets_a_speculative_duplicate() {
+        // Partition 7's first attempt is delayed far past the runtime of
+        // its peers; an idle worker must duplicate it (the duplicate sees
+        // attempt index 1, which the plan leaves alone) and win.
+        let plan = FaultPlan::builder(0)
+            .inject(7, 0, FaultKind::Delay(Duration::from_secs(5)))
+            .build();
+        let metrics = EngineMetrics::new();
+        let opts = StageOptions {
+            speculation: Some(SpeculationConfig {
+                min_completed: 3,
+                quantile: 0.5,
+                multiplier: 2.0,
+                min_runtime: Duration::from_millis(20),
+            }),
+            fault_plan: Some(&plan),
+            metrics: Some(&metrics),
+            stage: "speculation-test",
+            ..StageOptions::new(4)
+        };
+        let tasks: Vec<_> = (0..8).map(|i| move || i * 3).collect();
+        let started = Instant::now();
+        let out = run_stage(&opts, tasks).unwrap();
+        assert_eq!(out, (0..8).map(|i| i * 3).collect::<Vec<_>>());
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "speculation must beat the 5s straggler"
+        );
+        let s = metrics.snapshot();
+        assert!(s.speculative_launches >= 1, "snapshot: {s:?}");
+        assert!(s.speculative_wins >= 1, "snapshot: {s:?}");
     }
 }

@@ -17,9 +17,14 @@
 //!   processes.
 //!
 //! Unlike Spark the engine is *eager*: each transformation materialises its
-//! output partitions immediately. Laziness is an optimisation for fault
-//! tolerance and pipelining on real clusters; it does not change what data
-//! moves where, which is what the DBSCOUT experiments measure.
+//! output partitions immediately. Laziness is an optimisation for
+//! pipelining on real clusters; it does not change what data moves where,
+//! which is what the DBSCOUT experiments measure. Fault tolerance, on the
+//! other hand, is provided directly at the task level: a failed or
+//! panicked partition task is re-queued up to the context's
+//! `max_task_retries` budget, straggler tasks can be duplicated
+//! speculatively ([`SpeculationConfig`]), and a seeded [`FaultPlan`]
+//! injects deterministic faults for chaos tests.
 //!
 //! # Example
 //!
@@ -57,13 +62,16 @@ pub mod context;
 pub mod dataset;
 pub mod error;
 pub mod executor;
+pub mod fault;
 pub mod metrics;
 pub mod ops;
 pub mod pair;
 pub mod shuffle;
 
 pub use broadcast::Broadcast;
-pub use context::{ExecutionContext, ExecutionContextBuilder};
+pub use context::{ContextConfig, ExecutionContext, ExecutionContextBuilder};
 pub use dataset::Dataset;
 pub use error::{EngineError, Result};
+pub use executor::{SpeculationConfig, StageOptions};
+pub use fault::{FaultKind, FaultPlan, FaultPlanBuilder};
 pub use metrics::{EngineMetrics, MetricsSnapshot};

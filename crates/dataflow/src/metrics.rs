@@ -19,6 +19,10 @@ pub struct EngineMetrics {
     shuffle_records: AtomicU64,
     broadcasts: AtomicU64,
     join_output_records: AtomicU64,
+    task_retries: AtomicU64,
+    speculative_launches: AtomicU64,
+    speculative_wins: AtomicU64,
+    injected_faults: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -51,6 +55,26 @@ impl EngineMetrics {
         self.join_output_records.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one re-queued task attempt after a failure.
+    pub fn record_task_retry(&self) {
+        self.task_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one speculative duplicate attempt launched on a straggler.
+    pub fn record_speculative_launch(&self) {
+        self.speculative_launches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a speculative attempt finishing before the original.
+    pub fn record_speculative_win(&self) {
+        self.speculative_wins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one fault injected by a [`crate::FaultPlan`].
+    pub fn record_injected_fault(&self) {
+        self.injected_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent point-in-time copy of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -61,6 +85,10 @@ impl EngineMetrics {
             shuffle_records: self.shuffle_records.load(Ordering::Relaxed),
             broadcasts: self.broadcasts.load(Ordering::Relaxed),
             join_output_records: self.join_output_records.load(Ordering::Relaxed),
+            task_retries: self.task_retries.load(Ordering::Relaxed),
+            speculative_launches: self.speculative_launches.load(Ordering::Relaxed),
+            speculative_wins: self.speculative_wins.load(Ordering::Relaxed),
+            injected_faults: self.injected_faults.load(Ordering::Relaxed),
         }
     }
 
@@ -73,6 +101,10 @@ impl EngineMetrics {
         self.shuffle_records.store(0, Ordering::Relaxed);
         self.broadcasts.store(0, Ordering::Relaxed);
         self.join_output_records.store(0, Ordering::Relaxed);
+        self.task_retries.store(0, Ordering::Relaxed);
+        self.speculative_launches.store(0, Ordering::Relaxed);
+        self.speculative_wins.store(0, Ordering::Relaxed);
+        self.injected_faults.store(0, Ordering::Relaxed);
     }
 }
 
@@ -93,6 +125,15 @@ pub struct MetricsSnapshot {
     pub broadcasts: u64,
     /// Records emitted by join stages.
     pub join_output_records: u64,
+    /// Task attempts re-queued after a failure (panic, transient fault).
+    pub task_retries: u64,
+    /// Speculative duplicate attempts launched on straggler tasks.
+    pub speculative_launches: u64,
+    /// Speculative attempts that completed before the original.
+    pub speculative_wins: u64,
+    /// Faults injected by a [`crate::FaultPlan`] (all kinds, delays
+    /// included).
+    pub injected_faults: u64,
 }
 
 impl MetricsSnapshot {
@@ -111,6 +152,14 @@ impl MetricsSnapshot {
             join_output_records: self
                 .join_output_records
                 .saturating_sub(earlier.join_output_records),
+            task_retries: self.task_retries.saturating_sub(earlier.task_retries),
+            speculative_launches: self
+                .speculative_launches
+                .saturating_sub(earlier.speculative_launches),
+            speculative_wins: self
+                .speculative_wins
+                .saturating_sub(earlier.speculative_wins),
+            injected_faults: self.injected_faults.saturating_sub(earlier.injected_faults),
         }
     }
 }
@@ -135,6 +184,23 @@ mod tests {
         assert_eq!(s.shuffle_records, 30);
         assert_eq!(s.broadcasts, 1);
         assert_eq!(s.join_output_records, 7);
+    }
+
+    #[test]
+    fn fault_tolerance_counters() {
+        let m = EngineMetrics::new();
+        m.record_task_retry();
+        m.record_task_retry();
+        m.record_speculative_launch();
+        m.record_speculative_win();
+        m.record_injected_fault();
+        let s = m.snapshot();
+        assert_eq!(s.task_retries, 2);
+        assert_eq!(s.speculative_launches, 1);
+        assert_eq!(s.speculative_wins, 1);
+        assert_eq!(s.injected_faults, 1);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }
 
     #[test]

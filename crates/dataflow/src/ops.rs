@@ -8,7 +8,6 @@ use std::sync::Arc;
 
 use crate::dataset::Dataset;
 use crate::error::Result;
-use crate::executor::run_tasks;
 use crate::shuffle::{gather, scatter, DetHashMap};
 
 impl<T: Send + Sync> Dataset<T> {
@@ -34,7 +33,7 @@ impl<T: Send + Sync> Dataset<T> {
                 }
             })
             .collect();
-        let buckets = run_tasks(ctx.workers(), tasks)?;
+        let buckets = ctx.run_stage("distinct[map]", tasks)?;
         let shuffled: u64 = buckets
             .iter()
             .flat_map(|b| b.iter().map(|v| v.len() as u64))
@@ -46,14 +45,14 @@ impl<T: Send + Sync> Dataset<T> {
             .map(|records| {
                 move || {
                     let mut seen: DetHashMap<T, ()> = DetHashMap::default();
-                    for (k, ()) in records {
+                    for (k, ()) in records.iter().cloned() {
                         seen.entry(k).or_insert(());
                     }
                     seen.into_keys().collect::<Vec<_>>()
                 }
             })
             .collect();
-        let out = run_tasks(ctx.workers(), tasks)?;
+        let out = ctx.run_stage("distinct[reduce]", tasks)?;
         let records_out: u64 = out.iter().map(|p| p.len() as u64).sum();
         ctx.metrics()
             .record_stage(num_partitions as u64 * 2, self.count() as u64, records_out);
@@ -75,10 +74,12 @@ impl<T: Send + Sync> Dataset<T> {
                 let part = Arc::clone(part);
                 let zero = zero.clone();
                 let fold = &fold;
-                move || part.iter().fold(zero, fold)
+                // Clone the zero per attempt so a retried task starts from
+                // a fresh accumulator.
+                move || part.iter().fold(zero.clone(), fold)
             })
             .collect();
-        let partials = run_tasks(self.ctx().workers(), tasks)?;
+        let partials = self.ctx().run_stage("aggregate", tasks)?;
         self.ctx().metrics().record_stage(
             self.num_partitions() as u64,
             self.count() as u64,
@@ -115,7 +116,7 @@ impl<T: Send + Sync> Dataset<T> {
                 }
             })
             .collect();
-        let out = run_tasks(ctx.workers(), tasks)?;
+        let out = ctx.run_stage("zip_with_index", tasks)?;
         ctx.metrics().record_stage(
             self.num_partitions() as u64,
             self.count() as u64,

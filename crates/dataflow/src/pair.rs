@@ -11,7 +11,6 @@ use std::sync::Arc;
 
 use crate::dataset::Dataset;
 use crate::error::Result;
-use crate::executor::run_tasks;
 use crate::shuffle::{gather, scatter, DetHashMap};
 
 /// One cogrouped record: a key with all its left values and all its right
@@ -70,7 +69,7 @@ where
                 }
             })
             .collect();
-        let buckets = run_tasks(ctx.workers(), tasks)?;
+        let buckets = ctx.run_stage("reduce_by_key[map]", tasks)?;
         let shuffled: u64 = buckets
             .iter()
             .flat_map(|b| b.iter().map(|v| v.len() as u64))
@@ -78,14 +77,16 @@ where
         ctx.metrics().record_shuffle(shuffled);
         let reduce_inputs = gather(buckets, num_partitions);
 
-        // Reduce side: final combine per partition.
+        // Reduce side: final combine per partition. Tasks borrow their
+        // input (cloning records as they fold) so a retried or
+        // speculated attempt can re-run from the same partition.
         let tasks: Vec<_> = reduce_inputs
             .into_iter()
             .map(|records| {
                 let f = &f;
                 move || {
                     let mut combined: DetHashMap<K, V> = DetHashMap::default();
-                    for (k, v) in records {
+                    for (k, v) in records.iter().cloned() {
                         match combined.remove(&k) {
                             Some(prev) => {
                                 let merged = f(prev, v);
@@ -100,7 +101,7 @@ where
                 }
             })
             .collect();
-        let out = run_tasks(ctx.workers(), tasks)?;
+        let out = ctx.run_stage("reduce_by_key[reduce]", tasks)?;
         let records_out: u64 = out.iter().map(|p| p.len() as u64).sum();
         ctx.metrics()
             .record_stage(num_partitions as u64 * 2, records_in, records_out);
@@ -127,7 +128,7 @@ where
                 move || scatter(part.iter().cloned(), num_partitions)
             })
             .collect();
-        let buckets = run_tasks(ctx.workers(), tasks)?;
+        let buckets = ctx.run_stage("group_by_key[map]", tasks)?;
         ctx.metrics().record_shuffle(records_in);
         let reduce_inputs = gather(buckets, num_partitions);
 
@@ -136,14 +137,14 @@ where
             .map(|records| {
                 move || {
                     let mut groups: DetHashMap<K, Vec<V>> = DetHashMap::default();
-                    for (k, v) in records {
+                    for (k, v) in records.iter().cloned() {
                         groups.entry(k).or_default().push(v);
                     }
                     groups.into_iter().collect::<Vec<_>>()
                 }
             })
             .collect();
-        let out = run_tasks(ctx.workers(), tasks)?;
+        let out = ctx.run_stage("group_by_key[reduce]", tasks)?;
         let records_out: u64 = out.iter().map(|p| p.len() as u64).sum();
         ctx.metrics()
             .record_stage(num_partitions as u64 * 2, records_in, records_out);
@@ -173,14 +174,14 @@ where
         W: Clone + Send + Sync,
     {
         if !Arc::ptr_eq(self.ctx(), other.ctx()) {
-            return Err(crate::EngineError::ContextMismatch);
+            return Err(self.ctx().mismatch_with(other.ctx()));
         }
         let num_partitions = num_partitions.max(1);
         let ctx = Arc::clone(self.ctx());
         let records_in = (self.count() + other.count()) as u64;
 
-        let left = shuffle_side(&ctx, self, num_partitions)?;
-        let right = shuffle_side(&ctx, other, num_partitions)?;
+        let left = shuffle_side(&ctx, self, "join[shuffle]", num_partitions)?;
+        let right = shuffle_side(&ctx, other, "join[shuffle]", num_partitions)?;
 
         let pairs: Vec<_> = left.into_iter().zip(right).collect();
         let tasks: Vec<_> = pairs
@@ -188,12 +189,12 @@ where
             .map(|(lhs, rhs)| {
                 move || {
                     let mut table: DetHashMap<K, Vec<V>> = DetHashMap::default();
-                    for (k, v) in lhs {
+                    for (k, v) in lhs.iter().cloned() {
                         table.entry(k).or_default().push(v);
                     }
                     let mut out = Vec::new();
-                    for (k, w) in rhs {
-                        if let Some(vs) = table.get(&k) {
+                    for (k, w) in rhs.iter() {
+                        if let Some(vs) = table.get(k) {
                             for v in vs {
                                 out.push((k.clone(), (v.clone(), w.clone())));
                             }
@@ -203,7 +204,7 @@ where
                 }
             })
             .collect();
-        let out = run_tasks(ctx.workers(), tasks)?;
+        let out = ctx.run_stage("join[probe]", tasks)?;
         let records_out: u64 = out.iter().map(|p| p.len() as u64).sum();
         ctx.metrics().record_join_output(records_out);
         ctx.metrics()
@@ -223,14 +224,14 @@ where
         W: Clone + Send + Sync,
     {
         if !Arc::ptr_eq(self.ctx(), other.ctx()) {
-            return Err(crate::EngineError::ContextMismatch);
+            return Err(self.ctx().mismatch_with(other.ctx()));
         }
         let num_partitions = num_partitions.max(1);
         let ctx = Arc::clone(self.ctx());
         let records_in = (self.count() + other.count()) as u64;
 
-        let left = shuffle_side(&ctx, self, num_partitions)?;
-        let right = shuffle_side(&ctx, other, num_partitions)?;
+        let left = shuffle_side(&ctx, self, "cogroup[shuffle]", num_partitions)?;
+        let right = shuffle_side(&ctx, other, "cogroup[shuffle]", num_partitions)?;
 
         let pairs: Vec<_> = left.into_iter().zip(right).collect();
         let tasks: Vec<_> = pairs
@@ -238,17 +239,17 @@ where
             .map(|(lhs, rhs)| {
                 move || {
                     let mut table: DetHashMap<K, (Vec<V>, Vec<W>)> = DetHashMap::default();
-                    for (k, v) in lhs {
+                    for (k, v) in lhs.iter().cloned() {
                         table.entry(k).or_default().0.push(v);
                     }
-                    for (k, w) in rhs {
+                    for (k, w) in rhs.iter().cloned() {
                         table.entry(k).or_default().1.push(w);
                     }
                     table.into_iter().collect::<Vec<_>>()
                 }
             })
             .collect();
-        let out = run_tasks(ctx.workers(), tasks)?;
+        let out = ctx.run_stage("cogroup[group]", tasks)?;
         let records_out: u64 = out.iter().map(|p| p.len() as u64).sum();
         ctx.metrics()
             .record_stage(num_partitions as u64, records_in, records_out);
@@ -297,6 +298,7 @@ where
 fn shuffle_side<K, V>(
     ctx: &Arc<crate::ExecutionContext>,
     ds: &Dataset<(K, V)>,
+    op: &str,
     num_partitions: usize,
 ) -> Result<Vec<Vec<(K, V)>>>
 where
@@ -311,7 +313,7 @@ where
             move || scatter(part.iter().cloned(), num_partitions)
         })
         .collect();
-    let buckets = run_tasks(ctx.workers(), tasks)?;
+    let buckets = ctx.run_stage(op, tasks)?;
     ctx.metrics().record_shuffle(ds.count() as u64);
     Ok(gather(buckets, num_partitions))
 }

@@ -1,7 +1,7 @@
 //! `cargo xtask lint` — the DBSCOUT workspace's custom static-analysis
 //! suite.
 //!
-//! Four rule families guard invariants the paper's exactness claims rest
+//! Five rule families guard invariants the paper's exactness claims rest
 //! on (see `DESIGN.md`, "Static analysis & invariants"):
 //!
 //! * **XL001 panic-freedom** — library code in `dbscout-core`,
@@ -19,6 +19,9 @@
 //! * **XL004 error-type hygiene** — every public type in a crate's
 //!   `error.rs` implements `Display` + `std::error::Error` and asserts
 //!   `Send + Sync + 'static` at compile time.
+//! * **XL005 `catch_unwind` confinement** — panic recovery is the
+//!   dataflow executor's task boundary; `catch_unwind` anywhere else
+//!   hides bugs the retry machinery would surface.
 //!
 //! Escape hatch: `// xtask-lint: allow(XL001) -- <justification>` on (or
 //! directly above) the offending line. The justification is mandatory;
@@ -68,6 +71,9 @@ pub fn scope_for(rel_path: &str) -> Scope {
         distance_predicate: DISTANCE_SCOPED_CRATES.iter().any(|c| in_crate(c)),
         param_validation: in_crate("core"),
         error_hygiene: rel_path.ends_with("/error.rs"),
+        // The executor is the sanctioned panic boundary; xtask itself must
+        // name the token to hunt for it.
+        catch_unwind: rel_path != "crates/dataflow/src/executor.rs" && !in_crate("xtask"),
     }
 }
 
@@ -99,6 +105,9 @@ pub fn lint_source(rel_path: &str, source: &str, scope: Scope) -> Vec<Diagnostic
     }
     if scope.error_hygiene {
         rules::error_hygiene(&cleaned, rel_path, &mut out);
+    }
+    if scope.catch_unwind {
+        rules::catch_unwind_confinement(&cleaned, rel_path, &spans, &mut out);
     }
     out.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
     out
@@ -156,7 +165,11 @@ mod tests {
         assert!(dist.panic_freedom && !dist.float_eq && !dist.distance_predicate);
 
         let err = scope_for("crates/dataflow/src/error.rs");
-        assert!(err.error_hygiene && err.panic_freedom);
+        assert!(err.error_hygiene && err.panic_freedom && err.catch_unwind);
+
+        // The executor is the one module allowed to recover from panics.
+        assert!(!scope_for("crates/dataflow/src/executor.rs").catch_unwind);
+        assert!(scope_for("crates/core/src/native.rs").catch_unwind);
 
         let data = scope_for("crates/data/src/io.rs");
         assert!(!data.panic_freedom && !data.float_eq && !data.param_validation);

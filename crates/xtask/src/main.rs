@@ -5,7 +5,7 @@ use std::process::ExitCode;
 
 fn usage() -> &'static str {
     "usage: cargo xtask lint [--json] [--root DIR]\n\n\
-     Runs the DBSCOUT custom lint suite (rules XL000-XL004) over every\n\
+     Runs the DBSCOUT custom lint suite (rules XL000-XL005) over every\n\
      crates/*/src/**/*.rs file. Exits non-zero when findings exist.\n\n\
      options:\n\
      \x20 --json      emit findings as one JSON document\n\
@@ -71,7 +71,7 @@ fn main() -> ExitCode {
             print!("{}", d.render_human());
         }
         if findings.is_empty() {
-            println!("xtask lint: clean (rules XL000-XL004)");
+            println!("xtask lint: clean (rules XL000-XL005)");
         } else {
             println!("xtask lint: {} finding(s)", findings.len());
         }

@@ -1,4 +1,4 @@
-//! The four DBSCOUT lint rules, implemented as token scans over the
+//! The DBSCOUT lint rules, implemented as token scans over the
 //! [`crate::lexer::Cleaned`] text (see module docs there for why this is
 //! not AST-based).
 
@@ -19,6 +19,9 @@ pub struct Scope {
     pub param_validation: bool,
     /// XL004: error-type hygiene (every `error.rs`).
     pub error_hygiene: bool,
+    /// XL005: `catch_unwind` confinement (everywhere except the dataflow
+    /// executor, where panic recovery is the task boundary).
+    pub catch_unwind: bool,
 }
 
 fn at(b: &[u8], i: usize) -> u8 {
@@ -226,11 +229,27 @@ pub fn panic_freedom(c: &Cleaned, file: &str, spans: &[(usize, usize)], out: &mu
     while i < b.len() {
         if at(b, i) == b'[' && !in_spans(spans, i) {
             let p = prev_non_ws(b, i);
-            let is_keyword = is_ident_byte(p) && {
+            let (is_keyword, is_lifetime) = if is_ident_byte(p) {
                 let word = ident_ending_before(b, i);
-                KEYWORDS_BEFORE_BRACKET.contains(&word)
+                // `&'a [T]` — the ident before `[` is a lifetime, so the
+                // bracket opens a slice type, not an index expression.
+                let mut j = i;
+                while j > 0 && at(b, j - 1).is_ascii_whitespace() {
+                    j -= 1;
+                }
+                let start = j.saturating_sub(word.len());
+                (
+                    KEYWORDS_BEFORE_BRACKET.contains(&word),
+                    start > 0 && at(b, start - 1) == b'\'',
+                )
+            } else {
+                (false, false)
             };
-            if (is_ident_byte(p) || p == b')' || p == b']' || p == b'?') && p != 0 && !is_keyword {
+            if (is_ident_byte(p) || p == b')' || p == b']' || p == b'?')
+                && p != 0
+                && !is_keyword
+                && !is_lifetime
+            {
                 emit(
                     out,
                     c,
@@ -532,6 +551,37 @@ pub fn error_hygiene(c: &Cleaned, file: &str, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// XL005 — `catch_unwind` confinement: panic recovery is the dataflow
+/// executor's task boundary and must not leak anywhere else. Swallowing
+/// panics elsewhere hides bugs that the retry machinery would otherwise
+/// surface (and double-counts recovery attempts).
+pub fn catch_unwind_confinement(
+    c: &Cleaned,
+    file: &str,
+    spans: &[(usize, usize)],
+    out: &mut Vec<Diagnostic>,
+) {
+    let b = &c.text;
+    for &(s, e) in &idents(b) {
+        if in_spans(spans, s) {
+            continue;
+        }
+        if b.get(s..e).unwrap_or_default() == b"catch_unwind" {
+            emit(
+                out,
+                c,
+                file,
+                "XL005",
+                s,
+                "`catch_unwind` outside the dataflow executor".to_string(),
+                "panic recovery belongs to `dbscout-dataflow`'s executor (the task \
+                 boundary); return a `Result` and let the engine's retry budget \
+                 handle the failure",
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -569,6 +619,12 @@ mod tests {
         assert_eq!(d.len(), 1, "{d:?}");
         let src = "#[derive(Debug)]\nstruct S { x: [u8; 4] }";
         assert!(run_panic(src).is_empty());
+    }
+
+    #[test]
+    fn lifetime_slice_types_are_not_indexing() {
+        assert!(run_panic("struct S<'a, F> { tasks: &'a [F] }").is_empty());
+        assert!(run_panic("fn f<'a>(xs: &'a [u8]) -> &'a [u8] { xs }").is_empty());
     }
 
     #[test]
@@ -663,6 +719,26 @@ mod tests {
         let d = out.first().map(|d| d.message.clone()).unwrap_or_default();
         assert!(d.contains("std::error::Error"), "{d}");
         assert!(d.contains("Send+Sync"), "{d}");
+    }
+
+    #[test]
+    fn catch_unwind_flagged_outside_tests() {
+        let c = clean("fn f() { let r = std::panic::catch_unwind(|| work()); }");
+        let mut out = Vec::new();
+        catch_unwind_confinement(&c, "t.rs", &[], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.first().map(|d| d.rule), Some("XL005"));
+    }
+
+    #[test]
+    fn catch_unwind_in_test_code_is_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { let _ = \
+                   std::panic::catch_unwind(|| {}); }\n}";
+        let c = clean(src);
+        let spans = test_spans(&c);
+        let mut out = Vec::new();
+        catch_unwind_confinement(&c, "t.rs", &spans, &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

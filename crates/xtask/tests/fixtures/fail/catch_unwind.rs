@@ -1,0 +1,13 @@
+//! XL005 fixture: panic recovery outside the dataflow executor.
+
+pub fn swallow(work: impl FnOnce() + std::panic::UnwindSafe) -> bool {
+    std::panic::catch_unwind(work).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: tests may assert on panics.
+    fn asserts_panic() {
+        let _ = std::panic::catch_unwind(|| {});
+    }
+}

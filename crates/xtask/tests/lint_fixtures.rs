@@ -88,6 +88,19 @@ fn xl004_bare_error_enum_flagged() {
 }
 
 #[test]
+fn xl005_catch_unwind_flagged_outside_the_executor() {
+    assert_eq!(
+        lint_fixture("crates/data/src/recover.rs", "fail/catch_unwind.rs"),
+        vec![("XL005", 4)]
+    );
+    // The dataflow executor is the sanctioned panic boundary.
+    assert_eq!(
+        lint_fixture("crates/dataflow/src/executor.rs", "fail/catch_unwind.rs"),
+        vec![]
+    );
+}
+
+#[test]
 fn xl000_malformed_directive_flagged() {
     assert_eq!(
         lint_fixture("crates/data/src/malformed.rs", "fail/malformed.rs"),
