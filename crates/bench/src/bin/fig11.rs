@@ -60,8 +60,8 @@ fn main() {
         rp_series.push((eps, rp.mean_secs()));
         t.row(&[
             format!("{eps}"),
-            format!("{:.1} ± {:.1}", scout.mean_secs(), scout.std_dev_secs()),
-            format!("{:.1} ± {:.1}", rp.mean_secs(), rp.std_dev_secs()),
+            scout.summary_cell(),
+            rp.summary_cell(),
             format!("{:.0}%", skew * 100.0),
         ]);
     }

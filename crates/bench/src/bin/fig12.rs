@@ -54,8 +54,8 @@ fn main() {
         rp_series.push((eps, rp.mean_secs()));
         t.row(&[
             format!("{eps:e}"),
-            format!("{:.1} ± {:.1}", scout.mean_secs(), scout.std_dev_secs()),
-            format!("{:.1} ± {:.1}", rp.mean_secs(), rp.std_dev_secs()),
+            scout.summary_cell(),
+            rp.summary_cell(),
             format!("{:.1}x", rp.mean_secs() / scout.mean_secs().max(1e-9)),
         ]);
     }

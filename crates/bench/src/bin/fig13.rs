@@ -60,11 +60,7 @@ fn main() {
         });
         scout_series.push((parts as f64, scout.mean_secs()));
         rp_series.push((parts as f64, rp.mean_secs()));
-        t.row(&[
-            parts.to_string(),
-            format!("{:.1} ± {:.1}", scout.mean_secs(), scout.std_dev_secs()),
-            format!("{:.1} ± {:.1}", rp.mean_secs(), rp.std_dev_secs()),
-        ]);
+        t.row(&[parts.to_string(), scout.summary_cell(), rp.summary_cell()]);
     }
     println!("{}", t.render());
 

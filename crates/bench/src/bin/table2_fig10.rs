@@ -46,7 +46,7 @@ use dbscout_bench::workloads::{
 use dbscout_core::{DbscoutParams, DistributedDbscout};
 use dbscout_dataflow::ExecutionContext;
 use dbscout_metrics::plot::{LineChart, Series};
-use dbscout_metrics::table::{secs_or_dash, Table};
+use dbscout_metrics::table::{stats_or_dash, Table};
 
 fn ctx() -> std::sync::Arc<ExecutionContext> {
     ExecutionContext::builder().build()
@@ -95,9 +95,9 @@ fn main() {
         table.row(&[
             "geolife-like".into(),
             store.len().to_string(),
-            secs_or_dash(s.map(|s| s.mean_secs())),
-            secs_or_dash(r.map(|s| s.mean_secs())),
-            secs_or_dash(d.map(|s| s.mean_secs())),
+            stats_or_dash(s.as_ref()),
+            stats_or_dash(r.as_ref()),
+            stats_or_dash(d.as_ref()),
         ]);
     }
 
@@ -141,9 +141,9 @@ fn main() {
         table.row(&[
             format!("osm-like ({percent}%)"),
             store.len().to_string(),
-            secs_or_dash(s.map(|s| s.mean_secs())),
-            secs_or_dash(r.map(|s| s.mean_secs())),
-            secs_or_dash(d.map(|s| s.mean_secs())),
+            stats_or_dash(s.as_ref()),
+            stats_or_dash(r.as_ref()),
+            stats_or_dash(d.as_ref()),
         ]);
     }
 

@@ -14,6 +14,7 @@ usage:
                    [--engine native|distributed] [--labeled]
                    [--output <csv>] [--threads <usize>]
                    [--max-task-retries <usize>] [--permissive-ingest]
+                   [--trace-out <json>] [--report-json <json>]
   dbscout generate --dataset blobs|circles|moons|cluto-t4|cluto-t5|cluto-t7|cluto-t8|cure-t2|geolife|osm
                    --output <csv> [--n <usize>] [--seed <u64>] [--labeled]
   dbscout kdist    --input <csv> [--k <usize>]

@@ -2,13 +2,19 @@
 //! logic is testable without spawning processes.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
 
-use dbscout_core::{Dbscout, DbscoutParams, DistributedDbscout};
+use dbscout_core::{
+    build_run_report, Dbscout, DbscoutParams, DistributedDbscout, PhaseTimings, RunInfo,
+    PHASE_NAMES,
+};
 use dbscout_data::generators as gen;
 use dbscout_data::io::{read_csv, read_csv_with, write_csv, IngestMode, QuarantineReport};
 use dbscout_data::kdist::{elbow_eps, kdist_graph};
-use dbscout_dataflow::ExecutionContext;
+use dbscout_dataflow::{ExecutionContext, FaultPlan, MetricsSnapshot, StageRecord};
 use dbscout_spatial::{Grid, PointStore};
+use dbscout_telemetry::{Recorder, Span, SpanKind, TraceCollector};
 
 use crate::cli::{CliError, Flags};
 
@@ -40,6 +46,24 @@ fn quarantine_summary(out: &mut String, q: &QuarantineReport) {
     }
 }
 
+/// Replays the native engine's phase timings as phase spans (the native
+/// engine has no execution context, so its trace is synthesized from
+/// [`PhaseTimings`] after the fact, phases laid end to end).
+fn synthesize_phase_spans(recorder: &dyn Recorder, started: Instant, timings: &PhaseTimings) {
+    let durations = [
+        timings.grid,
+        timings.dense_map,
+        timings.core_points,
+        timings.core_map,
+        timings.outliers,
+    ];
+    let mut cursor = started;
+    for (name, duration) in PHASE_NAMES.iter().zip(durations) {
+        recorder.record_span(Span::new(*name, SpanKind::Phase, cursor, duration));
+        cursor += duration;
+    }
+}
+
 /// `dbscout detect`: read points, run DBSCOUT, report / write outliers.
 pub fn detect(flags: &Flags) -> Result<String, CliError> {
     let input: String = flags.require("input")?;
@@ -56,14 +80,27 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
         "max-task-retries",
         dbscout_dataflow::context::DEFAULT_TASK_RETRIES,
     )?;
+    let trace_out = flags.require::<String>("trace-out").ok();
+    let report_out = flags.require::<String>("report-json").ok();
+    // A single collector feeds both outputs; it is only constructed (and
+    // the engine only records spans) when one of the flags asks for it.
+    let collector =
+        (trace_out.is_some() || report_out.is_some()).then(|| Arc::new(TraceCollector::new()));
+    let chaos_seed: Option<u64> = std::env::var("DBSCOUT_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok());
 
     let ingest = read_csv_with(&input, labeled, mode).map_err(data_err)?;
     let store = ingest.store;
     let truth = ingest.labels;
     let params = DbscoutParams::new(eps, min_pts).map_err(|e| CliError::new(e.to_string()))?;
 
-    let t = std::time::Instant::now();
-    let mut fault_tolerance: Option<dbscout_dataflow::MetricsSnapshot> = None;
+    let t = Instant::now();
+    let mut fault_tolerance: Option<MetricsSnapshot> = None;
+    let mut stage_records: Vec<StageRecord> = Vec::new();
+    // 0 = "auto" for the native engine's thread count.
+    let run_workers;
+    let mut run_partitions = 0u64;
     let result = match engine.as_str() {
         "native" => {
             let threads: usize = flags.get("threads", 0)?;
@@ -71,21 +108,42 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
             if threads > 0 {
                 d = d.with_threads(threads);
             }
+            run_workers = threads as u64;
             d.detect(&store).map_err(engine_err)?
         }
         "distributed" => {
-            let ctx = ExecutionContext::builder()
-                .max_task_retries(max_task_retries)
-                .build();
+            let mut builder = ExecutionContext::builder().max_task_retries(max_task_retries);
+            if let Some(seed) = chaos_seed {
+                // The chaos seed drives the same bounded seeded-fault plan
+                // the chaos test suite uses, so a seeded CLI run exercises
+                // (and reports) the retry machinery deterministically.
+                builder =
+                    builder.fault_plan(FaultPlan::builder(seed).max_faults_per_task(1).build());
+            }
+            if let Some(c) = &collector {
+                builder = builder.recorder(Arc::clone(c) as Arc<dyn Recorder>);
+            }
+            let ctx = builder.build();
+            run_workers = ctx.workers() as u64;
+            run_partitions = ctx.default_partitions() as u64;
             let detector = DistributedDbscout::new(ctx, params);
             let before = detector.ctx().metrics().snapshot();
             let result = detector.detect(&store).map_err(engine_err)?;
             fault_tolerance = Some(detector.ctx().metrics().snapshot().since(&before));
+            stage_records = detector.ctx().metrics().stage_records();
+            if let Some(c) = &collector {
+                detector.ctx().metrics().emit_stage_spans(c.as_ref());
+            }
             result
         }
         other => return Err(CliError::new(format!("unknown engine {other:?}"))),
     };
     let elapsed = t.elapsed();
+    if engine == "native" {
+        if let Some(c) = &collector {
+            synthesize_phase_spans(c.as_ref(), t, &result.timings);
+        }
+    }
 
     let mut out = String::new();
     // `write!` into a String is infallible; the results are discarded.
@@ -134,6 +192,32 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
         let mask = result.outlier_mask();
         write_csv(&path, &store, Some(&mask)).map_err(data_err)?;
         let _ = writeln!(out, "wrote labelled output to {path}");
+    }
+
+    if let (Some(path), Some(c)) = (&trace_out, &collector) {
+        std::fs::write(path, c.to_chrome_trace()).map_err(data_err)?;
+        let _ = writeln!(out, "wrote chrome trace to {path}");
+    }
+    if let Some(path) = &report_out {
+        let info = RunInfo {
+            source: input.clone(),
+            points: u64::from(store.len()),
+            dimensions: store.dims() as u64,
+            engine: engine.clone(),
+            partitions: run_partitions,
+            workers: run_workers,
+            chaos_seed,
+        };
+        let report = build_run_report(
+            &info,
+            params,
+            &result,
+            &fault_tolerance.unwrap_or_default(),
+            &stage_records,
+            elapsed,
+        );
+        std::fs::write(path, report.to_json()).map_err(data_err)?;
+        let _ = writeln!(out, "wrote run report to {path}");
     }
     Ok(out)
 }
@@ -575,6 +659,129 @@ mod tests {
         // Healthy run: no faults, so no fault-tolerance line is printed.
         assert!(report.contains("outliers"), "{report}");
         assert!(!report.contains("fault tolerance"), "{report}");
+    }
+
+    #[test]
+    fn trace_and_report_flags_emit_valid_documents() {
+        use dbscout_telemetry::json::{parse, Value};
+
+        let data = tmp("traced.csv");
+        run(&argv(&[
+            "generate",
+            "--dataset",
+            "blobs",
+            "--n",
+            "800",
+            "--output",
+            &data,
+        ]))
+        .unwrap();
+        let trace = tmp("trace.json");
+        let report = tmp("report.json");
+        let out = run(&argv(&[
+            "detect",
+            "--input",
+            &data,
+            "--eps",
+            "0.6",
+            "--min-pts",
+            "5",
+            "--engine",
+            "distributed",
+            "--trace-out",
+            &trace,
+            "--report-json",
+            &report,
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote chrome trace"), "{out}");
+        assert!(out.contains("wrote run report"), "{out}");
+
+        // The trace is a Chrome Trace Event array with complete events
+        // covering every paper phase plus stage and task spans.
+        let doc = parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let events = doc.as_array().expect("trace must be a JSON array");
+        assert!(!events.is_empty());
+        let mut cats = std::collections::BTreeSet::new();
+        for e in events {
+            assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+            assert!(e.get("ts").unwrap().as_u64().is_some());
+            assert!(e.get("dur").unwrap().as_u64().is_some());
+            assert!(matches!(e.get("name"), Some(Value::Str(_))));
+            cats.insert(e.get("cat").unwrap().as_str().unwrap().to_owned());
+        }
+        assert_eq!(
+            cats.into_iter().collect::<Vec<_>>(),
+            ["phase", "stage", "task"]
+        );
+        let phase_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("cat").unwrap().as_str() == Some("phase"))
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        for required in dbscout_core::PHASE_NAMES {
+            assert!(phase_names.contains(&required), "missing {required}");
+        }
+
+        // The report is schema-versioned and echoes the run shape.
+        let doc = parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            doc.get("dataset").unwrap().get("points").unwrap().as_u64(),
+            Some(800)
+        );
+        assert_eq!(
+            doc.get("params").unwrap().get("engine").unwrap().as_str(),
+            Some("distributed")
+        );
+        assert_eq!(
+            doc.get("phases").unwrap().as_array().unwrap().len(),
+            dbscout_core::PHASE_NAMES.len()
+        );
+        assert!(!doc.get("stages").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn native_engine_trace_and_report_cover_phases() {
+        use dbscout_telemetry::json::parse;
+
+        let data = tmp("traced-native.csv");
+        run(&argv(&[
+            "generate",
+            "--dataset",
+            "blobs",
+            "--n",
+            "500",
+            "--output",
+            &data,
+        ]))
+        .unwrap();
+        let trace = tmp("trace-native.json");
+        let report = tmp("report-native.json");
+        run(&argv(&[
+            "detect",
+            "--input",
+            &data,
+            "--eps",
+            "0.6",
+            "--min-pts",
+            "5",
+            "--trace-out",
+            &trace,
+            "--report-json",
+            &report,
+        ]))
+        .unwrap();
+        let doc = parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let events = doc.as_array().unwrap();
+        // The native engine has no stages or tasks: phases only.
+        assert_eq!(events.len(), dbscout_core::PHASE_NAMES.len());
+        let doc = parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("params").unwrap().get("engine").unwrap().as_str(),
+            Some("native")
+        );
+        assert!(doc.get("stages").unwrap().as_array().unwrap().is_empty());
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Report-determinism pin (satellite of the observability work): two
+//! `dbscout detect` runs under the same `DBSCOUT_CHAOS_SEED` must agree
+//! byte-for-byte on every non-timing report field — the chaos plan,
+//! retry outcomes, and all record/shuffle volumes are deterministic.
+
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use dbscout_telemetry::json::parse;
+use dbscout_telemetry::strip_timing_lines;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dbscout-report-determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn dbscout(args: &[&str], chaos_seed: Option<&str>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_dbscout"));
+    cmd.args(args);
+    match chaos_seed {
+        Some(seed) => cmd.env("DBSCOUT_CHAOS_SEED", seed),
+        None => cmd.env_remove("DBSCOUT_CHAOS_SEED"),
+    };
+    let out = cmd.output().unwrap();
+    assert!(
+        out.status.success(),
+        "dbscout {args:?} failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn seeded_runs_produce_identical_report_skeletons() {
+    let data = tmp("blobs.csv");
+    dbscout(
+        &[
+            "generate",
+            "--dataset",
+            "blobs",
+            "--n",
+            "1200",
+            "--seed",
+            "9",
+            "--output",
+            data.to_str().unwrap(),
+        ],
+        None,
+    );
+
+    let mut reports = Vec::new();
+    for run in 0..2 {
+        let report = tmp(&format!("report-{run}.json"));
+        dbscout(
+            &[
+                "detect",
+                "--input",
+                data.to_str().unwrap(),
+                "--eps",
+                "0.6",
+                "--min-pts",
+                "5",
+                "--engine",
+                "distributed",
+                "--report-json",
+                report.to_str().unwrap(),
+            ],
+            Some("42"),
+        );
+        reports.push(std::fs::read_to_string(&report).unwrap());
+    }
+
+    let (a, b) = (&reports[0], &reports[1]);
+    // Timing fields (the only `_us`-suffixed keys) may differ; everything
+    // else must be byte-identical.
+    assert_eq!(strip_timing_lines(a), strip_timing_lines(b));
+
+    // The chaos seed is echoed and the seeded faults actually fired
+    // (deterministically), so the skeleton equality above is load-bearing.
+    let doc = parse(a).unwrap();
+    assert_eq!(
+        doc.get("params")
+            .unwrap()
+            .get("chaos_seed")
+            .unwrap()
+            .as_u64(),
+        Some(42)
+    );
+    let totals = doc.get("totals").unwrap();
+    let faults = totals.get("injected_faults").unwrap().as_u64().unwrap();
+    assert!(faults > 0, "seeded chaos plan injected no faults");
+    assert_eq!(
+        totals.get("task_retries").unwrap().as_u64().unwrap(),
+        faults,
+        "every injected fault costs exactly one retry"
+    );
+}

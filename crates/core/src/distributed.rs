@@ -21,7 +21,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dbscout_dataflow::shuffle::DetHashMap;
 use dbscout_dataflow::{Dataset, ExecutionContext};
@@ -30,11 +30,33 @@ use dbscout_spatial::distance::within;
 use dbscout_spatial::points::PointId;
 use dbscout_spatial::CellCoord;
 use dbscout_spatial::PointStore;
+use dbscout_telemetry::{Span, SpanKind};
 
 use crate::cellmap::CellMap;
 use crate::error::Result;
 use crate::labels::{OutlierResult, PhaseTimings, PointLabel, RunStats};
 use crate::params::DbscoutParams;
+
+/// Phase label for Algorithm 1 (`CREATE-GRID`).
+pub const PHASE_GRID: &str = "grid partitioning";
+/// Phase label for Algorithm 2 (`BUILD-DENSE-CELL-MAP`).
+pub const PHASE_CELLS: &str = "cell classification";
+/// Phase label for Algorithm 3 (`FIND-CORE-POINTS`).
+pub const PHASE_CORE_POINTS: &str = "core-point pass";
+/// Phase label for Algorithm 4 (`BUILD-CORE-CELL-MAP`).
+pub const PHASE_CORE_MAP: &str = "core-map pass";
+/// Phase label for Algorithm 5 (`FIND-OUTLIERS`).
+pub const PHASE_OUTLIERS: &str = "outlier pass";
+
+/// The five phase labels in execution order, as used for stage prefixes,
+/// phase spans, and run-report phase names.
+pub const PHASE_NAMES: [&str; 5] = [
+    PHASE_GRID,
+    PHASE_CELLS,
+    PHASE_CORE_POINTS,
+    PHASE_CORE_MAP,
+    PHASE_OUTLIERS,
+];
 
 /// How the two join-heavy phases move data (paper §III-G).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -139,12 +161,25 @@ impl DistributedDbscout {
         &self.ctx
     }
 
+    /// Closes out the phase that began at `started`: returns its duration
+    /// and, when a recorder is installed on the context, emits one
+    /// [`SpanKind::Phase`] span on the driver lane.
+    fn finish_phase(&self, name: &'static str, started: Instant) -> Duration {
+        let duration = started.elapsed();
+        if let Some(rec) = self.ctx.recorder() {
+            rec.record_span(Span::new(name, SpanKind::Phase, started, duration));
+        }
+        duration
+    }
+
     /// Detects all outliers of `store`, exactly, per Definitions 2–3.
     ///
     /// Each paper phase labels the context's stages (`"core-point pass"`,
-    /// `"outlier pass"`, …) so task failures and fault plans name the
-    /// algorithm phase. A failed detection intentionally leaves the label
-    /// of the failing phase set on the context.
+    /// `"outlier pass"`, … — see [`PHASE_NAMES`]) so task failures and
+    /// fault plans name the algorithm phase, and — when a recorder is
+    /// installed on the context — emits one phase span per phase. A
+    /// failed detection intentionally leaves the label of the failing
+    /// phase set on the context.
     pub fn detect(&self, store: &PointStore) -> Result<OutlierResult> {
         let eps_sq = self.params.eps_sq();
         let min_pts = self.params.min_pts;
@@ -155,17 +190,17 @@ impl DistributedDbscout {
         let mut timings = PhaseTimings::default();
 
         // ───────────── Phase 1: CREATE-GRID (Algorithm 1) ─────────────
-        self.ctx.set_stage("create-grid pass");
+        self.ctx.set_stage(PHASE_GRID);
         let t = Instant::now();
         let recs: Vec<PointRec> = store.iter().map(|(id, p)| PointRec::new(id, p)).collect();
         let grid: Dataset<(CellCoord, PointRec)> = self
             .ctx
             .parallelize(recs, self.num_partitions)
             .map(|rec| (cell_of(rec.coords(), side), *rec))?;
-        timings.grid = t.elapsed();
+        timings.grid = self.finish_phase(PHASE_GRID, t);
 
         // ──────── Phase 2: BUILD-DENSE-CELL-MAP (Algorithm 2) ─────────
-        self.ctx.set_stage("dense-map pass");
+        self.ctx.set_stage(PHASE_CELLS);
         let t = Instant::now();
         let counts = grid
             .map(|(c, _)| (*c, 1usize))?
@@ -175,10 +210,10 @@ impl DistributedDbscout {
         let dense_cells = cell_map.dense_cells();
         let num_cells = cell_map.len();
         let bcast_map = self.ctx.broadcast(cell_map);
-        timings.dense_map = t.elapsed();
+        timings.dense_map = self.finish_phase(PHASE_CELLS, t);
 
         // ───────── Phase 3: FIND-CORE-POINTS (Algorithm 3) ────────────
-        self.ctx.set_stage("core-point pass");
+        self.ctx.set_stage(PHASE_CORE_POINTS);
         let t = Instant::now();
         let cm = bcast_map.clone();
         let core_dense = grid.filter(move |(c, _)| cm.is_dense(c))?;
@@ -261,10 +296,10 @@ impl DistributedDbscout {
             .filter(move |(_, (hits, _))| *hits >= min_pts)?
             .map(|((c, _), (_, p))| (*c, *p))?;
         let core_points = core_dense.union(&core_non_dense)?;
-        timings.core_points = t.elapsed();
+        timings.core_points = self.finish_phase(PHASE_CORE_POINTS, t);
 
         // ──────── Phase 4: BUILD-CORE-CELL-MAP (Algorithm 4) ──────────
-        self.ctx.set_stage("core-map pass");
+        self.ctx.set_stage(PHASE_CORE_MAP);
         let t = Instant::now();
         let promoted: Vec<CellCoord> = core_non_dense.keys()?.collect()?;
         let mut cell_map = bcast_map.value().clone();
@@ -273,10 +308,10 @@ impl DistributedDbscout {
         }
         let core_cells = cell_map.core_cells();
         let bcast_map = self.ctx.broadcast(cell_map);
-        timings.core_map = t.elapsed();
+        timings.core_map = self.finish_phase(PHASE_CORE_MAP, t);
 
         // ────────── Phase 5: FIND-OUTLIERS (Algorithm 5) ──────────────
-        self.ctx.set_stage("outlier pass");
+        self.ctx.set_stage(PHASE_OUTLIERS);
         let t = Instant::now();
         let cm = bcast_map.clone();
         let non_core = grid.filter(move |(c, _)| !cm.is_core(c))?;
@@ -366,7 +401,7 @@ impl DistributedDbscout {
             .filter(|(_, (hit, _))| !hit)?
             .map(|((c, _), (_, p))| (*c, *p))?;
         let outliers = outliers_no_neighbor.union(&outliers_checked)?;
-        timings.outliers = t.elapsed();
+        timings.outliers = self.finish_phase(PHASE_OUTLIERS, t);
         self.ctx.clear_stage();
 
         // Assemble the per-point labels on the driver.

@@ -58,14 +58,16 @@ pub mod labels;
 pub mod native;
 pub mod params;
 pub mod reference;
+pub mod report;
 pub mod scores;
 
 pub use cellmap::{CellMap, CellType};
-pub use distributed::{DistributedDbscout, JoinStrategy};
+pub use distributed::{DistributedDbscout, JoinStrategy, PHASE_NAMES};
 pub use error::{DbscoutError, Result};
 pub use explain::{consistent, explain, Explanation};
 pub use incremental::IncrementalDbscout;
 pub use labels::{OutlierResult, PhaseTimings, PointLabel, RunStats};
 pub use native::{detect_outliers, Dbscout, NativeOptions};
 pub use params::DbscoutParams;
+pub use report::{build_run_report, stage_report, RunInfo};
 pub use scores::{outlier_scores, ScoredResult};

@@ -4,6 +4,8 @@
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
+use dbscout_telemetry::Recorder;
+
 use crate::broadcast::Broadcast;
 use crate::dataset::Dataset;
 use crate::error::{EngineError, Result};
@@ -46,7 +48,6 @@ impl fmt::Display for ContextConfig {
 ///
 /// Contexts are cheap to clone via [`Arc`] inside datasets; create one per
 /// logical cluster configuration.
-#[derive(Debug)]
 pub struct ExecutionContext {
     workers: usize,
     default_partitions: usize,
@@ -57,6 +58,22 @@ pub struct ExecutionContext {
     /// every stage name while set.
     stage: Mutex<Option<String>>,
     metrics: EngineMetrics,
+    /// Span sink installed at build time; `None` (the default) keeps the
+    /// engine span-free — a single branch per stage, nothing per task.
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl fmt::Debug for ExecutionContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecutionContext")
+            .field("workers", &self.workers)
+            .field("default_partitions", &self.default_partitions)
+            .field("max_task_retries", &self.max_task_retries)
+            .field("speculation", &self.speculation)
+            .field("fault_plan", &self.fault_plan)
+            .field("recorder", &self.recorder.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl ExecutionContext {
@@ -98,6 +115,13 @@ impl ExecutionContext {
         &self.metrics
     }
 
+    /// The span sink installed at build time, if any. Detectors use this
+    /// to emit their phase spans into the same trace as the engine's
+    /// task spans.
+    pub fn recorder(&self) -> Option<&Arc<dyn Recorder>> {
+        self.recorder.as_ref()
+    }
+
     /// Labels all stages run until [`clear_stage`](Self::clear_stage) with
     /// a caller-visible phase name, so errors and fault plans can name the
     /// algorithm phase (e.g. `"core-point pass"`) instead of the engine
@@ -134,6 +158,7 @@ impl ExecutionContext {
             speculation: self.speculation,
             fault_plan: self.fault_plan.as_ref(),
             metrics: Some(&self.metrics),
+            recorder: self.recorder.as_deref(),
             stage: &label,
         };
         executor::run_stage(&opts, tasks)
@@ -175,13 +200,27 @@ impl ExecutionContext {
 }
 
 /// Builder for [`ExecutionContext`].
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct ExecutionContextBuilder {
     workers: Option<usize>,
     default_partitions: Option<usize>,
     max_task_retries: Option<usize>,
     speculation: Option<SpeculationConfig>,
     fault_plan: Option<FaultPlan>,
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl fmt::Debug for ExecutionContextBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecutionContextBuilder")
+            .field("workers", &self.workers)
+            .field("default_partitions", &self.default_partitions)
+            .field("max_task_retries", &self.max_task_retries)
+            .field("speculation", &self.speculation)
+            .field("fault_plan", &self.fault_plan)
+            .field("recorder", &self.recorder.is_some())
+            .finish()
+    }
 }
 
 impl ExecutionContextBuilder {
@@ -218,6 +257,15 @@ impl ExecutionContextBuilder {
         self
     }
 
+    /// Installs a span sink (e.g. a
+    /// [`TraceCollector`](dbscout_telemetry::TraceCollector)): every task
+    /// attempt emits a span into it, and detectors running on the context
+    /// add their phase spans. Off by default.
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Finalises the context.
     pub fn build(self) -> Arc<ExecutionContext> {
         let workers = self.workers.unwrap_or_else(|| {
@@ -234,6 +282,7 @@ impl ExecutionContextBuilder {
             fault_plan: self.fault_plan,
             stage: Mutex::new(None),
             metrics: EngineMetrics::new(),
+            recorder: self.recorder,
         })
     }
 }

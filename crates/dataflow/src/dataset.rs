@@ -120,9 +120,7 @@ impl<T: Send + Sync> Dataset<T> {
             .collect();
         let out = self.ctx.run_stage("map_partitions", tasks)?;
         let records_out: u64 = out.iter().map(|p| p.len() as u64).sum();
-        self.ctx
-            .metrics()
-            .record_stage(self.partitions.len() as u64, records_in, records_out);
+        self.ctx.metrics().attach_io(records_in, records_out);
         Ok(Dataset::from_partitions(Arc::clone(&self.ctx), out))
     }
 
@@ -160,9 +158,7 @@ impl<T: Send + Sync> Dataset<T> {
             })
             .collect();
         self.ctx.run_stage("foreach", tasks)?;
-        self.ctx
-            .metrics()
-            .record_stage(self.partitions.len() as u64, self.count() as u64, 0);
+        self.ctx.metrics().attach_io(self.count() as u64, 0);
         Ok(())
     }
 
@@ -216,6 +212,7 @@ impl<T: Send + Sync> Dataset<T> {
         if n == 0 {
             return Err(EngineError::InvalidPartitionCount { requested: n });
         }
+        let mut record = crate::metrics::StageRecord::new("repartition");
         let mut parts: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
         let mut i = 0usize;
         for part in &self.partitions {
@@ -226,7 +223,12 @@ impl<T: Send + Sync> Dataset<T> {
                 i += 1;
             }
         }
-        self.ctx.metrics().record_shuffle(i as u64);
+        record.duration = record.started.elapsed();
+        record.records_in = i as u64;
+        record.records_out = i as u64;
+        record.shuffle_records = i as u64;
+        record.shuffle_bytes = (i * std::mem::size_of::<T>()) as u64;
+        self.ctx.metrics().push_driver_stage(record);
         Ok(Dataset::from_partitions(Arc::clone(&self.ctx), parts))
     }
 }

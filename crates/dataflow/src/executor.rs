@@ -28,13 +28,15 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use dbscout_telemetry::{DurationHistogram, Recorder, Span, SpanKind};
+
 use crate::error::{EngineError, Result};
 use crate::fault::{FaultKind, FaultPlan};
-use crate::metrics::EngineMetrics;
+use crate::metrics::{EngineMetrics, StageRecord};
 
 /// Locks a mutex, recovering the guard if a previous holder panicked.
 ///
@@ -76,7 +78,7 @@ impl Default for SpeculationConfig {
 }
 
 /// Per-stage execution policy for [`run_stage`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct StageOptions<'a> {
     /// Number of worker threads.
     pub workers: usize,
@@ -87,10 +89,27 @@ pub struct StageOptions<'a> {
     pub speculation: Option<SpeculationConfig>,
     /// Deterministic fault injection for chaos tests.
     pub fault_plan: Option<&'a FaultPlan>,
-    /// Counters to charge retries/speculation/faults to.
+    /// Metrics log to push this stage's [`StageRecord`] into.
     pub metrics: Option<&'a EngineMetrics>,
+    /// Span sink for per-attempt task spans; `None` (the default) keeps
+    /// the hot path span-free — no allocation, no locking.
+    pub recorder: Option<&'a dyn Recorder>,
     /// Stage name used in errors and fault decisions.
     pub stage: &'a str,
+}
+
+impl std::fmt::Debug for StageOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StageOptions")
+            .field("workers", &self.workers)
+            .field("max_task_retries", &self.max_task_retries)
+            .field("speculation", &self.speculation)
+            .field("fault_plan", &self.fault_plan)
+            .field("metrics", &self.metrics.is_some())
+            .field("recorder", &self.recorder.is_some())
+            .field("stage", &self.stage)
+            .finish()
+    }
 }
 
 impl<'a> StageOptions<'a> {
@@ -102,8 +121,44 @@ impl<'a> StageOptions<'a> {
             speculation: None,
             fault_plan: None,
             metrics: None,
+            recorder: None,
             stage: "task",
         }
+    }
+}
+
+/// Stage-local tallies the workers update as attempts settle; folded
+/// into one [`StageRecord`] when the stage finishes.
+#[derive(Debug, Default)]
+struct StageCounters {
+    tasks: AtomicU64,
+    retries: AtomicU64,
+    speculative_launches: AtomicU64,
+    speculative_wins: AtomicU64,
+    injected_faults: AtomicU64,
+    /// Durations of winning attempts only — a superseded speculative
+    /// loser must not skew the percentiles (or the task count above).
+    durations_hist: Mutex<DurationHistogram>,
+}
+
+impl StageCounters {
+    /// Folds the tallies into a [`StageRecord`] for a stage that started
+    /// at `started` (record/shuffle volumes are attached afterwards by
+    /// the operation that ran the stage).
+    fn into_record(self, stage: &str, started: Instant) -> StageRecord {
+        let mut record = StageRecord::new(stage);
+        record.started = started;
+        record.duration = started.elapsed();
+        record.tasks = self.tasks.into_inner();
+        record.task_retries = self.retries.into_inner();
+        record.speculative_launches = self.speculative_launches.into_inner();
+        record.speculative_wins = self.speculative_wins.into_inner();
+        record.injected_faults = self.injected_faults.into_inner();
+        record.task_durations = self
+            .durations_hist
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        record
     }
 }
 
@@ -168,6 +223,8 @@ struct StageShared<'a, T, F> {
     settled: AtomicUsize,
     /// Durations of successful attempts (feeds the speculation quantile).
     durations: Mutex<Vec<Duration>>,
+    /// Stage-local metric tallies (folded into one [`StageRecord`]).
+    counters: &'a StageCounters,
 }
 
 /// Runs one stage — `tasks` (one closure per partition) under the retry,
@@ -189,42 +246,54 @@ where
         return Ok(Vec::new());
     }
     let workers = opts.workers.max(1).min(n);
+    let started = Instant::now();
+    let counters = StageCounters::default();
 
     // Single-threaded fast path: in-order retry loop, no speculation
     // (a lone worker has no idle capacity to speculate with).
-    if workers == 1 {
-        return run_sequential(opts, &tasks);
-    }
+    let result = if workers == 1 {
+        run_sequential(opts, &tasks, &counters)
+    } else {
+        let shared = StageShared {
+            opts,
+            tasks: &tasks,
+            states: (0..n).map(|_| Mutex::new(PartitionState::new())).collect(),
+            queue: Mutex::new(
+                (0..n)
+                    .map(|partition| WorkItem {
+                        partition,
+                        attempt: 0,
+                        speculative: false,
+                    })
+                    .collect(),
+            ),
+            settled: AtomicUsize::new(0),
+            durations: Mutex::new(Vec::with_capacity(n)),
+            counters: &counters,
+        };
 
-    let shared = StageShared {
-        opts,
-        tasks: &tasks,
-        states: (0..n).map(|_| Mutex::new(PartitionState::new())).collect(),
-        queue: Mutex::new(
-            (0..n)
-                .map(|partition| WorkItem {
-                    partition,
-                    attempt: 0,
-                    speculative: false,
-                })
-                .collect(),
-        ),
-        settled: AtomicUsize::new(0),
-        durations: Mutex::new(Vec::with_capacity(n)),
+        std::thread::scope(|scope| {
+            for lane in 0..workers {
+                let shared = &shared;
+                scope.spawn(move || worker_loop(shared, lane));
+            }
+        });
+
+        collect_results(shared, opts)
     };
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| worker_loop(&shared));
-        }
-    });
-
-    collect_results(shared, opts)
+    // One record per stage execution, failures included, so reports can
+    // still show the retries/faults of a stage that brought the job down.
+    if let Some(m) = opts.metrics {
+        m.push_stage(counters.into_record(opts.stage, started));
+    }
+    result
 }
 
 /// The body of one worker thread: drain the queue, then look for
 /// stragglers to speculate on, then idle-wait until the stage settles.
-fn worker_loop<T: Send, F: Fn() -> T>(shared: &StageShared<'_, T, F>) {
+/// `lane` is the worker's index, used as the trace lane of its spans.
+fn worker_loop<T: Send, F: Fn() -> T>(shared: &StageShared<'_, T, F>, lane: usize) {
     let n = shared.tasks.len();
     loop {
         if shared.settled.load(Ordering::Acquire) >= n {
@@ -237,12 +306,57 @@ fn worker_loop<T: Send, F: Fn() -> T>(shared: &StageShared<'_, T, F>) {
             std::thread::sleep(Duration::from_micros(100));
             continue;
         };
-        run_item(shared, item);
+        run_item(shared, item, lane);
+    }
+}
+
+/// How one task attempt ended, for its trace span.
+#[derive(Debug, Clone, Copy)]
+enum AttemptOutcome {
+    Success,
+    /// Failed, but re-queued within the retry budget.
+    Retried,
+    /// Failed with the retry budget exhausted.
+    Exhausted,
+    /// Finished after a concurrent duplicate already settled the
+    /// partition; the result was discarded and nothing was counted.
+    Superseded,
+}
+
+impl AttemptOutcome {
+    fn as_str(self) -> &'static str {
+        match self {
+            AttemptOutcome::Success => "success",
+            AttemptOutcome::Retried => "retried",
+            AttemptOutcome::Exhausted => "exhausted",
+            AttemptOutcome::Superseded => "superseded",
+        }
+    }
+}
+
+/// Emits the span for one finished task attempt (only when a recorder is
+/// installed — the disabled path allocates nothing).
+fn record_task_span(
+    opts: &StageOptions<'_>,
+    item: WorkItem,
+    lane: usize,
+    started: Instant,
+    outcome: AttemptOutcome,
+) {
+    if let Some(rec) = opts.recorder {
+        rec.record_span(
+            Span::new(opts.stage, SpanKind::Task, started, started.elapsed())
+                .lane(lane as u64 + 1)
+                .arg("partition", item.partition)
+                .arg("attempt", item.attempt)
+                .arg("speculative", item.speculative)
+                .arg("outcome", outcome.as_str()),
+        );
     }
 }
 
 /// Executes one work item and records its outcome.
-fn run_item<T: Send, F: Fn() -> T>(shared: &StageShared<'_, T, F>, item: WorkItem) {
+fn run_item<T: Send, F: Fn() -> T>(shared: &StageShared<'_, T, F>, item: WorkItem, lane: usize) {
     let Some(state) = shared.states.get(item.partition) else {
         return; // out-of-range item: scheduler bug, but never panic
     };
@@ -263,6 +377,7 @@ fn run_item<T: Send, F: Fn() -> T>(shared: &StageShared<'_, T, F>, item: WorkIte
     let settled_probe = || lock_unpoisoned(state).settled();
     let outcome = run_attempt(
         shared.opts,
+        shared.counters,
         task,
         item.partition,
         item.attempt,
@@ -271,18 +386,30 @@ fn run_item<T: Send, F: Fn() -> T>(shared: &StageShared<'_, T, F>, item: WorkIte
 
     let mut st = lock_unpoisoned(state);
     if st.settled() {
-        return; // a concurrent duplicate settled this partition first
+        // A concurrent duplicate settled this partition first: discard
+        // the result and charge nothing — the winner already paid this
+        // task into the counters, and double-counting the loser would
+        // skew task counts and duration percentiles.
+        drop(st);
+        record_task_span(shared.opts, item, lane, started, AttemptOutcome::Superseded);
+        return;
     }
     match outcome {
         Ok(value) => {
             st.result = Some(value);
             shared.settled.fetch_add(1, Ordering::Release);
-            lock_unpoisoned(&shared.durations).push(started.elapsed());
+            let elapsed = started.elapsed();
+            lock_unpoisoned(&shared.durations).push(elapsed);
+            shared.counters.tasks.fetch_add(1, Ordering::Relaxed);
+            lock_unpoisoned(&shared.counters.durations_hist).record(elapsed);
             if item.speculative {
-                if let Some(m) = shared.opts.metrics {
-                    m.record_speculative_win();
-                }
+                shared
+                    .counters
+                    .speculative_wins
+                    .fetch_add(1, Ordering::Relaxed);
             }
+            drop(st);
+            record_task_span(shared.opts, item, lane, started, AttemptOutcome::Success);
         }
         Err(cause) => {
             st.failures
@@ -290,17 +417,19 @@ fn run_item<T: Send, F: Fn() -> T>(shared: &StageShared<'_, T, F>, item: WorkIte
             if st.failures.len() > shared.opts.max_task_retries {
                 st.exhausted = true;
                 shared.settled.fetch_add(1, Ordering::Release);
+                drop(st);
+                record_task_span(shared.opts, item, lane, started, AttemptOutcome::Exhausted);
             } else {
-                if let Some(m) = shared.opts.metrics {
-                    m.record_task_retry();
-                }
+                shared.counters.retries.fetch_add(1, Ordering::Relaxed);
                 let attempt = st.failures.len();
+                drop(st);
                 // Re-queue at the back: healthy partitions drain first.
                 lock_unpoisoned(&shared.queue).push_back(WorkItem {
                     partition: item.partition,
                     attempt,
                     speculative: false,
                 });
+                record_task_span(shared.opts, item, lane, started, AttemptOutcome::Retried);
             }
         }
     }
@@ -334,9 +463,10 @@ fn pick_speculative<T, F>(shared: &StageShared<'_, T, F>) -> Option<WorkItem> {
         if since.elapsed() >= threshold {
             st.speculated = true;
             let attempt = st.launched;
-            if let Some(m) = shared.opts.metrics {
-                m.record_speculative_launch();
-            }
+            shared
+                .counters
+                .speculative_launches
+                .fetch_add(1, Ordering::Relaxed);
             return Some(WorkItem {
                 partition,
                 attempt,
@@ -354,6 +484,7 @@ fn pick_speculative<T, F>(shared: &StageShared<'_, T, F>) -> Option<WorkItem> {
 /// pinning it for the full delay.
 fn run_attempt<T, F: Fn() -> T>(
     opts: &StageOptions<'_>,
+    counters: &StageCounters,
     task: &F,
     partition: usize,
     attempt: usize,
@@ -361,9 +492,7 @@ fn run_attempt<T, F: Fn() -> T>(
 ) -> std::result::Result<T, String> {
     if let Some(plan) = opts.fault_plan {
         if let Some(kind) = plan.decide(opts.stage, partition, attempt) {
-            if let Some(m) = opts.metrics {
-                m.record_injected_fault();
-            }
+            counters.injected_faults.fetch_add(1, Ordering::Relaxed);
             match kind {
                 FaultKind::Panic => {
                     return Err(format!("injected panic (attempt {})", attempt + 1))
@@ -395,7 +524,11 @@ fn run_attempt<T, F: Fn() -> T>(
 
 /// The single-worker path: tasks run in partition order; a failed task
 /// retries immediately (there are no peers to interleave with).
-fn run_sequential<T, F>(opts: &StageOptions<'_>, tasks: &[F]) -> Result<Vec<T>>
+fn run_sequential<T, F>(
+    opts: &StageOptions<'_>,
+    tasks: &[F],
+    counters: &StageCounters,
+) -> Result<Vec<T>>
 where
     F: Fn() -> T,
 {
@@ -403,14 +536,24 @@ where
     for (partition, task) in tasks.iter().enumerate() {
         let mut failures: Vec<String> = Vec::new();
         loop {
-            match run_attempt(opts, task, partition, failures.len(), &|| false) {
+            let item = WorkItem {
+                partition,
+                attempt: failures.len(),
+                speculative: false,
+            };
+            let started = Instant::now();
+            match run_attempt(opts, counters, task, partition, failures.len(), &|| false) {
                 Ok(v) => {
+                    counters.tasks.fetch_add(1, Ordering::Relaxed);
+                    lock_unpoisoned(&counters.durations_hist).record(started.elapsed());
+                    record_task_span(opts, item, 0, started, AttemptOutcome::Success);
                     out.push(v);
                     break;
                 }
                 Err(cause) => {
                     failures.push(format!("attempt {}: {cause}", failures.len() + 1));
                     if failures.len() > opts.max_task_retries {
+                        record_task_span(opts, item, 0, started, AttemptOutcome::Exhausted);
                         return Err(EngineError::TaskFailed {
                             stage: opts.stage.to_owned(),
                             partition,
@@ -418,9 +561,8 @@ where
                             causes: failures,
                         });
                     }
-                    if let Some(m) = opts.metrics {
-                        m.record_task_retry();
-                    }
+                    counters.retries.fetch_add(1, Ordering::Relaxed);
+                    record_task_span(opts, item, 0, started, AttemptOutcome::Retried);
                 }
             }
         }

@@ -74,4 +74,4 @@ pub use dataset::Dataset;
 pub use error::{EngineError, Result};
 pub use executor::{SpeculationConfig, StageOptions};
 pub use fault::{FaultKind, FaultPlan, FaultPlanBuilder};
-pub use metrics::{EngineMetrics, MetricsSnapshot};
+pub use metrics::{EngineMetrics, MetricsSnapshot, StageRecord};

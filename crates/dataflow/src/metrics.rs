@@ -1,126 +1,232 @@
-//! Engine-level counters.
+//! Per-stage engine metrics.
 //!
-//! Every transformation records how many tasks it ran and how many records
-//! crossed stage boundaries. Shuffle counters in particular let experiments
-//! observe the data-movement structure of an algorithm (e.g. the join
-//! volume of DBSCOUT's core-point identification phase) independently of
-//! wall-clock noise.
+//! Every executor stage leaves behind one [`StageRecord`]: its label,
+//! task count, record/shuffle volumes, fault-tolerance outcomes, and a
+//! task-duration histogram. [`EngineMetrics`] is an ordered log of those
+//! records (plus a broadcast counter, which has no owning stage); the
+//! familiar [`MetricsSnapshot`] is now an aggregation over the log
+//! rather than a bag of global atomics, so experiments keep their
+//! whole-run counters while reports and traces can attribute volume and
+//! wall-clock to individual stages.
+//!
+//! The driver executes stages sequentially, so "the most recently pushed
+//! record" is well-defined when an operation attaches its record/shuffle
+//! volumes after its stage completes — that is what the `attach_*`
+//! methods rely on.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
-/// Shared, thread-safe counters owned by an
-/// [`ExecutionContext`](crate::ExecutionContext).
+use dbscout_telemetry::{DurationHistogram, Recorder, Span, SpanKind};
+
+/// One executed stage's full accounting.
+#[derive(Debug, Clone)]
+pub struct StageRecord {
+    /// Stage label (`"{phase}:{op}"` while a phase label is set).
+    pub label: String,
+    /// When the stage started executing.
+    pub started: Instant,
+    /// Stage wall-clock (driver-observed).
+    pub duration: Duration,
+    /// Completed tasks (one per partition; superseded speculative
+    /// attempts are not counted).
+    pub tasks: u64,
+    /// Records consumed by the stage's operation.
+    pub records_in: u64,
+    /// Records produced by the stage's operation.
+    pub records_out: u64,
+    /// Records moved across this stage's shuffle boundary.
+    pub shuffle_records: u64,
+    /// Approximate bytes moved across the shuffle boundary (record count
+    /// times in-memory record size).
+    pub shuffle_bytes: u64,
+    /// Records emitted by a join probe in this stage.
+    pub join_output_records: u64,
+    /// Failed attempts that were re-queued.
+    pub task_retries: u64,
+    /// Speculative duplicate attempts launched.
+    pub speculative_launches: u64,
+    /// Speculative duplicates that finished before the original.
+    pub speculative_wins: u64,
+    /// Faults injected by a [`crate::FaultPlan`].
+    pub injected_faults: u64,
+    /// Durations of the winning attempt of each completed task.
+    pub task_durations: DurationHistogram,
+}
+
+impl StageRecord {
+    /// A zeroed record for a stage starting now.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            started: Instant::now(),
+            duration: Duration::ZERO,
+            tasks: 0,
+            records_in: 0,
+            records_out: 0,
+            shuffle_records: 0,
+            shuffle_bytes: 0,
+            join_output_records: 0,
+            task_retries: 0,
+            speculative_launches: 0,
+            speculative_wins: 0,
+            injected_faults: 0,
+            task_durations: DurationHistogram::new(),
+        }
+    }
+}
+
+/// The engine's metrics log, owned by an
+/// [`ExecutionContext`](crate::ExecutionContext): one [`StageRecord`]
+/// per executed stage, in execution order, plus the broadcast counter.
 #[derive(Debug, Default)]
 pub struct EngineMetrics {
-    stages: AtomicU64,
-    tasks: AtomicU64,
-    records_in: AtomicU64,
-    records_out: AtomicU64,
-    shuffle_records: AtomicU64,
+    records: Mutex<Vec<StageRecord>>,
     broadcasts: AtomicU64,
-    join_output_records: AtomicU64,
-    task_retries: AtomicU64,
-    speculative_launches: AtomicU64,
-    speculative_wins: AtomicU64,
-    injected_faults: AtomicU64,
 }
 
 impl EngineMetrics {
-    /// Creates a zeroed counter set.
+    /// Creates an empty metrics log.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Records one completed stage that ran `tasks` tasks, consuming
-    /// `records_in` records and producing `records_out`.
-    pub fn record_stage(&self, tasks: u64, records_in: u64, records_out: u64) {
-        self.stages.fetch_add(1, Ordering::Relaxed);
-        self.tasks.fetch_add(tasks, Ordering::Relaxed);
-        self.records_in.fetch_add(records_in, Ordering::Relaxed);
-        self.records_out.fetch_add(records_out, Ordering::Relaxed);
+    fn records_locked(&self) -> std::sync::MutexGuard<'_, Vec<StageRecord>> {
+        self.records.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Records `n` records moved across a shuffle boundary.
-    pub fn record_shuffle(&self, n: u64) {
-        self.shuffle_records.fetch_add(n, Ordering::Relaxed);
+    /// Appends one completed stage's record (called by the executor once
+    /// per stage, success or failure).
+    pub(crate) fn push_stage(&self, record: StageRecord) {
+        self.records_locked().push(record);
     }
 
-    /// Records one broadcast of a driver-side value to all workers.
-    pub fn record_broadcast(&self) {
-        self.broadcasts.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Records `n` records emitted by a join.
-    pub fn record_join_output(&self, n: u64) {
-        self.join_output_records.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Records one re-queued task attempt after a failure.
-    pub fn record_task_retry(&self) {
-        self.task_retries.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Records one speculative duplicate attempt launched on a straggler.
-    pub fn record_speculative_launch(&self) {
-        self.speculative_launches.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Records a speculative attempt finishing before the original.
-    pub fn record_speculative_win(&self) {
-        self.speculative_wins.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Records one fault injected by a [`crate::FaultPlan`].
-    pub fn record_injected_fault(&self) {
-        self.injected_faults.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Takes a consistent point-in-time copy of all counters.
-    pub fn snapshot(&self) -> MetricsSnapshot {
-        MetricsSnapshot {
-            stages: self.stages.load(Ordering::Relaxed),
-            tasks: self.tasks.load(Ordering::Relaxed),
-            records_in: self.records_in.load(Ordering::Relaxed),
-            records_out: self.records_out.load(Ordering::Relaxed),
-            shuffle_records: self.shuffle_records.load(Ordering::Relaxed),
-            broadcasts: self.broadcasts.load(Ordering::Relaxed),
-            join_output_records: self.join_output_records.load(Ordering::Relaxed),
-            task_retries: self.task_retries.load(Ordering::Relaxed),
-            speculative_launches: self.speculative_launches.load(Ordering::Relaxed),
-            speculative_wins: self.speculative_wins.load(Ordering::Relaxed),
-            injected_faults: self.injected_faults.load(Ordering::Relaxed),
+    /// Runs `f` on the most recently pushed record. Operations call this
+    /// right after their stage completes; if nothing was recorded (a
+    /// driver-only operation), a synthetic record is pushed first.
+    fn with_last(&self, label: &str, f: impl FnOnce(&mut StageRecord)) {
+        let mut records = self.records_locked();
+        if records.is_empty() {
+            records.push(StageRecord::new(label));
+        }
+        if let Some(last) = records.last_mut() {
+            f(last);
         }
     }
 
-    /// Resets all counters to zero (between experiment repetitions).
+    /// Attaches an operation's record volumes to its final stage.
+    pub(crate) fn attach_io(&self, records_in: u64, records_out: u64) {
+        self.with_last("driver", |r| {
+            r.records_in = r.records_in.saturating_add(records_in);
+            r.records_out = r.records_out.saturating_add(records_out);
+        });
+    }
+
+    /// Attaches shuffle volume (records and approximate bytes) to the
+    /// map-side stage that produced it.
+    pub(crate) fn attach_shuffle(&self, records: u64, bytes: u64) {
+        self.with_last("driver", |r| {
+            r.shuffle_records = r.shuffle_records.saturating_add(records);
+            r.shuffle_bytes = r.shuffle_bytes.saturating_add(bytes);
+        });
+    }
+
+    /// Attaches join-probe output volume to the probe stage.
+    pub(crate) fn attach_join_output(&self, records: u64) {
+        self.with_last("driver", |r| {
+            r.join_output_records = r.join_output_records.saturating_add(records);
+        });
+    }
+
+    /// Records a driver-only stage (no worker tasks), e.g. `repartition`,
+    /// which moves every record without running on the pool.
+    pub(crate) fn push_driver_stage(&self, record: StageRecord) {
+        self.push_stage(record);
+    }
+
+    /// Records one broadcast of a driver-side value to all workers.
+    pub(crate) fn record_broadcast(&self) {
+        self.broadcasts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A copy of every stage record, in execution order. This is the raw
+    /// material for run reports and stage spans.
+    pub fn stage_records(&self) -> Vec<StageRecord> {
+        self.records_locked().clone()
+    }
+
+    /// Emits one [`SpanKind::Stage`] span per recorded stage into
+    /// `recorder`, carrying the stage's volumes and outcomes as span
+    /// arguments. Called once at the end of a traced run, after
+    /// operations have attached their volumes.
+    pub fn emit_stage_spans(&self, recorder: &dyn Recorder) {
+        for r in self.records_locked().iter() {
+            recorder.record_span(
+                Span::new(r.label.clone(), SpanKind::Stage, r.started, r.duration)
+                    .arg("tasks", r.tasks)
+                    .arg("records_in", r.records_in)
+                    .arg("records_out", r.records_out)
+                    .arg("shuffle_records", r.shuffle_records)
+                    .arg("shuffle_bytes", r.shuffle_bytes)
+                    .arg("join_output_records", r.join_output_records)
+                    .arg("task_retries", r.task_retries)
+                    .arg("speculative_launches", r.speculative_launches)
+                    .arg("speculative_wins", r.speculative_wins)
+                    .arg("injected_faults", r.injected_faults),
+            );
+        }
+    }
+
+    /// Takes a consistent point-in-time aggregation over all stage
+    /// records (plus the broadcast counter).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let records = self.records_locked();
+        let mut s = MetricsSnapshot {
+            stages: records.len() as u64,
+            broadcasts: self.broadcasts.load(Ordering::Relaxed),
+            ..MetricsSnapshot::default()
+        };
+        for r in records.iter() {
+            s.tasks = s.tasks.saturating_add(r.tasks);
+            s.records_in = s.records_in.saturating_add(r.records_in);
+            s.records_out = s.records_out.saturating_add(r.records_out);
+            s.shuffle_records = s.shuffle_records.saturating_add(r.shuffle_records);
+            s.shuffle_bytes = s.shuffle_bytes.saturating_add(r.shuffle_bytes);
+            s.join_output_records = s.join_output_records.saturating_add(r.join_output_records);
+            s.task_retries = s.task_retries.saturating_add(r.task_retries);
+            s.speculative_launches = s
+                .speculative_launches
+                .saturating_add(r.speculative_launches);
+            s.speculative_wins = s.speculative_wins.saturating_add(r.speculative_wins);
+            s.injected_faults = s.injected_faults.saturating_add(r.injected_faults);
+        }
+        s
+    }
+
+    /// Clears the log and counters (between experiment repetitions).
     pub fn reset(&self) {
-        self.stages.store(0, Ordering::Relaxed);
-        self.tasks.store(0, Ordering::Relaxed);
-        self.records_in.store(0, Ordering::Relaxed);
-        self.records_out.store(0, Ordering::Relaxed);
-        self.shuffle_records.store(0, Ordering::Relaxed);
+        self.records_locked().clear();
         self.broadcasts.store(0, Ordering::Relaxed);
-        self.join_output_records.store(0, Ordering::Relaxed);
-        self.task_retries.store(0, Ordering::Relaxed);
-        self.speculative_launches.store(0, Ordering::Relaxed);
-        self.speculative_wins.store(0, Ordering::Relaxed);
-        self.injected_faults.store(0, Ordering::Relaxed);
     }
 }
 
-/// A point-in-time copy of [`EngineMetrics`].
+/// A point-in-time aggregation over [`EngineMetrics`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MetricsSnapshot {
-    /// Number of stages (one per transformation) executed.
+    /// Number of executor stages run (shuffle-bearing operations count
+    /// one stage per internal step).
     pub stages: u64,
-    /// Number of per-partition tasks executed.
+    /// Number of per-partition tasks completed.
     pub tasks: u64,
-    /// Total records consumed by all stages.
+    /// Total records consumed by all operations.
     pub records_in: u64,
-    /// Total records produced by all stages.
+    /// Total records produced by all operations.
     pub records_out: u64,
     /// Records that crossed a shuffle (repartitioning) boundary.
     pub shuffle_records: u64,
+    /// Approximate bytes that crossed a shuffle boundary.
+    pub shuffle_bytes: u64,
     /// Number of broadcast variables created.
     pub broadcasts: u64,
     /// Records emitted by join stages.
@@ -148,6 +254,7 @@ impl MetricsSnapshot {
             records_in: self.records_in.saturating_sub(earlier.records_in),
             records_out: self.records_out.saturating_sub(earlier.records_out),
             shuffle_records: self.shuffle_records.saturating_sub(earlier.shuffle_records),
+            shuffle_bytes: self.shuffle_bytes.saturating_sub(earlier.shuffle_bytes),
             broadcasts: self.broadcasts.saturating_sub(earlier.broadcasts),
             join_output_records: self
                 .join_output_records
@@ -167,59 +274,89 @@ impl MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dbscout_telemetry::TraceCollector;
+
+    fn record(label: &str) -> StageRecord {
+        let mut r = StageRecord::new(label);
+        r.tasks = 4;
+        r.records_in = 100;
+        r.records_out = 50;
+        r
+    }
 
     #[test]
-    fn record_and_snapshot() {
+    fn snapshot_aggregates_stage_records() {
         let m = EngineMetrics::new();
-        m.record_stage(4, 100, 50);
-        m.record_stage(2, 50, 50);
-        m.record_shuffle(30);
+        m.push_stage(record("a"));
+        let mut second = record("b");
+        second.tasks = 2;
+        second.records_in = 50;
+        second.records_out = 50;
+        second.task_retries = 1;
+        m.push_stage(second);
+        m.attach_shuffle(30, 240);
+        m.attach_join_output(7);
         m.record_broadcast();
-        m.record_join_output(7);
         let s = m.snapshot();
         assert_eq!(s.stages, 2);
         assert_eq!(s.tasks, 6);
         assert_eq!(s.records_in, 150);
         assert_eq!(s.records_out, 100);
         assert_eq!(s.shuffle_records, 30);
+        assert_eq!(s.shuffle_bytes, 240);
         assert_eq!(s.broadcasts, 1);
         assert_eq!(s.join_output_records, 7);
+        assert_eq!(s.task_retries, 1);
     }
 
     #[test]
-    fn fault_tolerance_counters() {
+    fn attach_targets_the_most_recent_record() {
         let m = EngineMetrics::new();
-        m.record_task_retry();
-        m.record_task_retry();
-        m.record_speculative_launch();
-        m.record_speculative_win();
-        m.record_injected_fault();
-        let s = m.snapshot();
-        assert_eq!(s.task_retries, 2);
-        assert_eq!(s.speculative_launches, 1);
-        assert_eq!(s.speculative_wins, 1);
-        assert_eq!(s.injected_faults, 1);
-        m.reset();
-        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        m.push_stage(record("map-side"));
+        m.attach_shuffle(10, 80);
+        m.push_stage(record("reduce-side"));
+        m.attach_io(5, 3);
+        let records = m.stage_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].shuffle_records, 10);
+        assert_eq!(records[0].shuffle_bytes, 80);
+        assert_eq!(records[1].shuffle_records, 0);
+        // attach_io adds on top of the record's own counts.
+        assert_eq!(records[1].records_in, 105);
+        assert_eq!(records[1].records_out, 53);
     }
 
     #[test]
-    fn reset_zeroes_everything() {
+    fn attach_without_stage_creates_a_driver_record() {
         let m = EngineMetrics::new();
-        m.record_stage(4, 100, 50);
-        m.record_shuffle(30);
+        m.attach_shuffle(9, 72);
+        let records = m.stage_records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].label, "driver");
+        assert_eq!(records[0].shuffle_records, 9);
+    }
+
+    #[test]
+    fn reset_clears_log_and_counters() {
+        let m = EngineMetrics::new();
+        m.push_stage(record("a"));
+        m.record_broadcast();
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        assert!(m.stage_records().is_empty());
     }
 
     #[test]
     fn since_computes_delta() {
         let m = EngineMetrics::new();
-        m.record_stage(1, 10, 10);
+        m.push_stage(record("a"));
         let before = m.snapshot();
-        m.record_stage(2, 20, 5);
-        let after = m.snapshot();
-        let d = after.since(&before);
+        let mut r = record("b");
+        r.tasks = 2;
+        r.records_in = 20;
+        r.records_out = 5;
+        m.push_stage(r);
+        let d = m.snapshot().since(&before);
         assert_eq!(d.stages, 1);
         assert_eq!(d.tasks, 2);
         assert_eq!(d.records_in, 20);
@@ -240,14 +377,33 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_updates_are_counted() {
+    fn emit_stage_spans_renders_one_span_per_stage() {
+        let m = EngineMetrics::new();
+        let mut r = record("core-point pass:map_partitions");
+        r.shuffle_records = 12;
+        m.push_stage(r);
+        m.push_stage(record("outlier pass:aggregate"));
+        let collector = TraceCollector::new();
+        m.emit_stage_spans(&collector);
+        let spans = collector.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "core-point pass:map_partitions");
+        assert_eq!(spans[0].kind.category(), "stage");
+        assert!(spans[0]
+            .args
+            .iter()
+            .any(|(k, v)| *k == "shuffle_records" && *v == dbscout_telemetry::ArgValue::U64(12)));
+    }
+
+    #[test]
+    fn concurrent_stage_pushes_are_all_kept() {
         let m = std::sync::Arc::new(EngineMetrics::new());
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let m = m.clone();
                 std::thread::spawn(move || {
-                    for _ in 0..1000 {
-                        m.record_shuffle(1);
+                    for _ in 0..100 {
+                        m.push_stage(StageRecord::new("x"));
                     }
                 })
             })
@@ -255,6 +411,6 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(m.snapshot().shuffle_records, 8000);
+        assert_eq!(m.snapshot().stages, 800);
     }
 }

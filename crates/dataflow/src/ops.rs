@@ -38,7 +38,8 @@ impl<T: Send + Sync> Dataset<T> {
             .iter()
             .flat_map(|b| b.iter().map(|v| v.len() as u64))
             .sum();
-        ctx.metrics().record_shuffle(shuffled);
+        ctx.metrics()
+            .attach_shuffle(shuffled, shuffled * std::mem::size_of::<T>() as u64);
         let inputs = gather(buckets, num_partitions);
         let tasks: Vec<_> = inputs
             .into_iter()
@@ -54,8 +55,7 @@ impl<T: Send + Sync> Dataset<T> {
             .collect();
         let out = ctx.run_stage("distinct[reduce]", tasks)?;
         let records_out: u64 = out.iter().map(|p| p.len() as u64).sum();
-        ctx.metrics()
-            .record_stage(num_partitions as u64 * 2, self.count() as u64, records_out);
+        ctx.metrics().attach_io(self.count() as u64, records_out);
         Ok(Dataset::from_partitions(ctx, out))
     }
 
@@ -80,11 +80,9 @@ impl<T: Send + Sync> Dataset<T> {
             })
             .collect();
         let partials = self.ctx().run_stage("aggregate", tasks)?;
-        self.ctx().metrics().record_stage(
-            self.num_partitions() as u64,
-            self.count() as u64,
-            self.num_partitions() as u64,
-        );
+        self.ctx()
+            .metrics()
+            .attach_io(self.count() as u64, self.num_partitions() as u64);
         Ok(partials.into_iter().fold(zero, combine))
     }
 
@@ -117,11 +115,8 @@ impl<T: Send + Sync> Dataset<T> {
             })
             .collect();
         let out = ctx.run_stage("zip_with_index", tasks)?;
-        ctx.metrics().record_stage(
-            self.num_partitions() as u64,
-            self.count() as u64,
-            self.count() as u64,
-        );
+        ctx.metrics()
+            .attach_io(self.count() as u64, self.count() as u64);
         Ok(Dataset::from_partitions(ctx, out))
     }
 

@@ -74,7 +74,8 @@ where
             .iter()
             .flat_map(|b| b.iter().map(|v| v.len() as u64))
             .sum();
-        ctx.metrics().record_shuffle(shuffled);
+        ctx.metrics()
+            .attach_shuffle(shuffled, shuffled * record_bytes::<(K, V)>());
         let reduce_inputs = gather(buckets, num_partitions);
 
         // Reduce side: final combine per partition. Tasks borrow their
@@ -103,8 +104,7 @@ where
             .collect();
         let out = ctx.run_stage("reduce_by_key[reduce]", tasks)?;
         let records_out: u64 = out.iter().map(|p| p.len() as u64).sum();
-        ctx.metrics()
-            .record_stage(num_partitions as u64 * 2, records_in, records_out);
+        ctx.metrics().attach_io(records_in, records_out);
         Ok(Dataset::from_partitions(ctx, out))
     }
 
@@ -129,7 +129,8 @@ where
             })
             .collect();
         let buckets = ctx.run_stage("group_by_key[map]", tasks)?;
-        ctx.metrics().record_shuffle(records_in);
+        ctx.metrics()
+            .attach_shuffle(records_in, records_in * record_bytes::<(K, V)>());
         let reduce_inputs = gather(buckets, num_partitions);
 
         let tasks: Vec<_> = reduce_inputs
@@ -146,8 +147,7 @@ where
             .collect();
         let out = ctx.run_stage("group_by_key[reduce]", tasks)?;
         let records_out: u64 = out.iter().map(|p| p.len() as u64).sum();
-        ctx.metrics()
-            .record_stage(num_partitions as u64 * 2, records_in, records_out);
+        ctx.metrics().attach_io(records_in, records_out);
         Ok(Dataset::from_partitions(ctx, out))
     }
 
@@ -206,9 +206,8 @@ where
             .collect();
         let out = ctx.run_stage("join[probe]", tasks)?;
         let records_out: u64 = out.iter().map(|p| p.len() as u64).sum();
-        ctx.metrics().record_join_output(records_out);
-        ctx.metrics()
-            .record_stage(num_partitions as u64, records_in, records_out);
+        ctx.metrics().attach_join_output(records_out);
+        ctx.metrics().attach_io(records_in, records_out);
         Ok(Dataset::from_partitions(ctx, out))
     }
 
@@ -251,8 +250,7 @@ where
             .collect();
         let out = ctx.run_stage("cogroup[group]", tasks)?;
         let records_out: u64 = out.iter().map(|p| p.len() as u64).sum();
-        ctx.metrics()
-            .record_stage(num_partitions as u64, records_in, records_out);
+        ctx.metrics().attach_io(records_in, records_out);
         Ok(Dataset::from_partitions(ctx, out))
     }
 
@@ -294,6 +292,11 @@ where
     }
 }
 
+/// In-memory size of one record, for approximate shuffle-byte metering.
+fn record_bytes<T>() -> u64 {
+    std::mem::size_of::<T>() as u64
+}
+
 /// Map-side scatter + driver transpose for one side of a join.
 fn shuffle_side<K, V>(
     ctx: &Arc<crate::ExecutionContext>,
@@ -314,7 +317,9 @@ where
         })
         .collect();
     let buckets = ctx.run_stage(op, tasks)?;
-    ctx.metrics().record_shuffle(ds.count() as u64);
+    let moved = ds.count() as u64;
+    ctx.metrics()
+        .attach_shuffle(moved, moved * record_bytes::<(K, V)>());
     Ok(gather(buckets, num_partitions))
 }
 

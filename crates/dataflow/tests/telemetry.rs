@@ -1,0 +1,191 @@
+//! Telemetry integration tests: exact per-stage accounting under
+//! speculation (the metric-skew regression) and task-span emission
+//! through an installed recorder.
+
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dbscout_dataflow::{ExecutionContext, FaultKind, FaultPlan, SpeculationConfig};
+use dbscout_telemetry::{ArgValue, SpanKind, TraceCollector};
+
+fn straggler_ctx(recorder: Option<Arc<TraceCollector>>) -> Arc<ExecutionContext> {
+    // Partition 6's first attempt is pinned for 5 s; with speculation on,
+    // an idle worker duplicates it and the duplicate wins.
+    let plan = FaultPlan::builder(0)
+        .inject_in_stages(
+            Some("map_partitions"),
+            6,
+            0,
+            FaultKind::Delay(Duration::from_secs(5)),
+        )
+        .build();
+    let mut builder = ExecutionContext::builder()
+        .workers(4)
+        .speculation(SpeculationConfig {
+            min_completed: 3,
+            quantile: 0.5,
+            multiplier: 2.0,
+            min_runtime: Duration::from_millis(20),
+        })
+        .fault_plan(plan);
+    if let Some(rec) = recorder {
+        builder = builder.recorder(rec);
+    }
+    builder.build()
+}
+
+/// Regression test for speculative-execution metric skew: the losing
+/// attempt of a speculated task must not inflate task counts, record
+/// volumes, or duration percentiles. Every count below is exact.
+#[test]
+fn speculative_loser_is_not_double_counted() {
+    let ctx = straggler_ctx(None);
+    let data = ctx.parallelize((0u64..4000).collect::<Vec<_>>(), 8);
+    let out = data.map(|&x: &u64| x + 1).unwrap();
+    assert_eq!(out.count(), 4000);
+
+    let m = ctx.metrics().snapshot();
+    assert_eq!(m.stages, 1);
+    assert_eq!(m.tasks, 8, "exactly one completed task per partition");
+    assert_eq!(m.records_in, 4000, "input records counted once");
+    assert_eq!(m.records_out, 4000, "output records counted once");
+    assert_eq!(m.speculative_launches, 1, "one straggler, one duplicate");
+    assert_eq!(m.speculative_wins, 1, "the duplicate beat the 5s delay");
+    assert_eq!(m.injected_faults, 1);
+    assert_eq!(m.task_retries, 0, "a delay is a straggler, not a failure");
+
+    let records = ctx.metrics().stage_records();
+    assert_eq!(records.len(), 1);
+    let stage = &records[0];
+    assert_eq!(stage.label, "map_partitions");
+    assert_eq!(stage.tasks, 8);
+    assert_eq!(
+        stage.task_durations.count(),
+        8,
+        "histogram holds winners only — the superseded loser is excluded"
+    );
+}
+
+#[test]
+fn task_spans_record_partition_attempt_and_outcome() {
+    let collector = Arc::new(TraceCollector::new());
+    let ctx = straggler_ctx(Some(Arc::clone(&collector)));
+    let data = ctx.parallelize((0u64..4000).collect::<Vec<_>>(), 8);
+    let _ = data.map(|&x: &u64| x + 1).unwrap();
+
+    let spans = collector.spans();
+    let tasks: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Task).collect();
+    // 8 winning attempts plus the superseded straggler attempt.
+    assert_eq!(tasks.len(), 9, "spans: {spans:#?}");
+    let arg = |s: &dbscout_telemetry::Span, key: &str| {
+        s.args
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.clone())
+    };
+    let successes = tasks
+        .iter()
+        .filter(|s| arg(s, "outcome") == Some(ArgValue::Str("success".into())))
+        .count();
+    let superseded: Vec<_> = tasks
+        .iter()
+        .filter(|s| arg(s, "outcome") == Some(ArgValue::Str("superseded".into())))
+        .collect();
+    assert_eq!(successes, 8);
+    assert_eq!(superseded.len(), 1);
+    assert_eq!(
+        arg(superseded[0], "partition"),
+        Some(ArgValue::U64(6)),
+        "the delayed partition's original attempt is the superseded one"
+    );
+    for s in &tasks {
+        assert_eq!(s.name, "map_partitions");
+        assert!(arg(s, "attempt").is_some());
+        assert!(arg(s, "speculative").is_some());
+        assert!(s.lane >= 1, "task lanes are 1-based (0 is the driver)");
+    }
+    // Exactly one attempt across the stage ran speculatively and won.
+    let speculative_wins = tasks
+        .iter()
+        .filter(|s| {
+            arg(s, "speculative") == Some(ArgValue::Bool(true))
+                && arg(s, "outcome") == Some(ArgValue::Str("success".into()))
+        })
+        .count();
+    assert_eq!(speculative_wins, 1);
+}
+
+#[test]
+fn retried_attempts_emit_retry_then_success_spans() {
+    let collector = Arc::new(TraceCollector::new());
+    let plan = FaultPlan::builder(0)
+        .inject_in_stages(Some("map_partitions"), 2, 0, FaultKind::Transient)
+        .build();
+    let ctx = ExecutionContext::builder()
+        .workers(4)
+        .max_task_retries(2)
+        .fault_plan(plan)
+        .recorder(Arc::clone(&collector) as Arc<dyn dbscout_telemetry::Recorder>)
+        .build();
+    let data = ctx.parallelize((0u64..400).collect::<Vec<_>>(), 4);
+    let _ = data.map(|&x: &u64| x).unwrap();
+
+    let spans = collector.spans();
+    let outcomes: Vec<String> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Task)
+        .filter_map(|s| {
+            s.args.iter().find_map(|(k, v)| match (k, v) {
+                (&"outcome", ArgValue::Str(o)) => Some(o.clone()),
+                _ => None,
+            })
+        })
+        .collect();
+    assert_eq!(
+        outcomes.iter().filter(|o| *o == "retried").count(),
+        1,
+        "outcomes: {outcomes:?}"
+    );
+    assert_eq!(outcomes.iter().filter(|o| *o == "success").count(), 4);
+}
+
+#[test]
+fn stage_spans_carry_attached_volumes() {
+    let collector = Arc::new(TraceCollector::new());
+    let ctx = ExecutionContext::builder()
+        .workers(2)
+        .recorder(Arc::clone(&collector) as Arc<dyn dbscout_telemetry::Recorder>)
+        .build();
+    let data = ctx.parallelize((0u64..100).map(|i| (i % 5, i)).collect::<Vec<_>>(), 4);
+    let _ = data.reduce_by_key(|a, b| a + b).unwrap();
+    ctx.metrics().emit_stage_spans(collector.as_ref());
+
+    let spans = collector.spans();
+    let stage_spans: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Stage).collect();
+    assert_eq!(stage_spans.len(), 2, "map + reduce stages");
+    assert_eq!(stage_spans[0].name, "reduce_by_key[map]");
+    assert_eq!(stage_spans[1].name, "reduce_by_key[reduce]");
+    let shuffle = stage_spans[0]
+        .args
+        .iter()
+        .find(|(k, _)| *k == "shuffle_records")
+        .map(|(_, v)| v.clone());
+    // 4 partitions × 5 distinct keys after map-side combine.
+    assert_eq!(shuffle, Some(ArgValue::U64(20)));
+    let bytes = stage_spans[0]
+        .args
+        .iter()
+        .find(|(k, _)| *k == "shuffle_bytes")
+        .map(|(_, v)| v.clone());
+    assert_eq!(
+        bytes,
+        Some(ArgValue::U64(20 * std::mem::size_of::<(u64, u64)>() as u64))
+    );
+}

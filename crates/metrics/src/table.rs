@@ -74,6 +74,15 @@ pub fn secs_or_dash(secs: Option<f64>) -> String {
     }
 }
 
+/// A [`TimingStats::summary_cell`] for completed runs, or `"-"` for runs
+/// the budget cut off.
+pub fn stats_or_dash(stats: Option<&crate::TimingStats>) -> String {
+    match stats {
+        Some(s) => s.summary_cell(),
+        None => "-".to_string(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,6 +57,48 @@ impl TimingStats {
             .map(Duration::as_secs_f64)
             .fold(0.0, f64::max)
     }
+
+    /// The `q`-quantile of the run times in seconds, `q` in `[0, 1]`,
+    /// with linear interpolation between order statistics (0 for an
+    /// empty series). With the paper's five repetitions the median is an
+    /// exact run and p95 interpolates toward the slowest.
+    pub fn percentile_secs(&self, q: f64) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        let mut sorted: Vec<f64> = self.runs.iter().map(Duration::as_secs_f64).collect();
+        sorted.sort_by(f64::total_cmp);
+        let rank = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let (Some(&a), Some(&b)) = (sorted.get(lo), sorted.get(hi)) else {
+            return 0.0;
+        };
+        a + (b - a) * (rank - lo as f64)
+    }
+
+    /// Median run time in seconds.
+    pub fn p50_secs(&self) -> f64 {
+        self.percentile_secs(0.50)
+    }
+
+    /// 95th-percentile run time in seconds.
+    pub fn p95_secs(&self) -> f64 {
+        self.percentile_secs(0.95)
+    }
+
+    /// One table cell summarising the series: `mean ± std (p50 a, p95 b)`,
+    /// seconds with one decimal. The percentiles expose straggler-shaped
+    /// tails the mean hides.
+    pub fn summary_cell(&self) -> String {
+        format!(
+            "{:.1} ± {:.1} (p50 {:.1}, p95 {:.1})",
+            self.mean_secs(),
+            self.std_dev_secs(),
+            self.p50_secs(),
+            self.p95_secs()
+        )
+    }
 }
 
 /// Runs `f` `repetitions` times, timing each run.
@@ -89,6 +131,29 @@ mod tests {
         assert!((s.std_dev_secs() - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
         assert_eq!(s.min_secs(), 1.0);
         assert_eq!(s.max_secs(), 3.0);
+        assert_eq!(s.p50_secs(), 2.0);
+        // p95 of {1,2,3}: rank 1.9 interpolates between 2 and 3.
+        assert!((s.p95_secs() - 2.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_are_order_insensitive_and_clamped() {
+        let s = TimingStats::new(vec![
+            Duration::from_secs(5),
+            Duration::from_secs(1),
+            Duration::from_secs(3),
+            Duration::from_secs(2),
+            Duration::from_secs(4),
+        ]);
+        // Five runs (the paper's repetition count): median is exact.
+        assert_eq!(s.p50_secs(), 3.0);
+        assert!((s.percentile_secs(0.95) - 4.8).abs() < 1e-12);
+        assert_eq!(s.percentile_secs(0.0), 1.0);
+        assert_eq!(s.percentile_secs(1.0), 5.0);
+        // Out-of-range quantiles clamp instead of panicking.
+        assert_eq!(s.percentile_secs(-1.0), 1.0);
+        assert_eq!(s.percentile_secs(2.0), 5.0);
+        assert_eq!(TimingStats::new(vec![]).p95_secs(), 0.0);
     }
 
     #[test]

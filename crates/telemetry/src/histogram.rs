@@ -1,0 +1,181 @@
+//! Fixed-bucket duration histograms.
+//!
+//! Task latencies span six orders of magnitude (microsecond-scale grid
+//! tasks to multi-second straggler partitions), so the buckets are
+//! log2-spaced over microseconds: bucket `i` holds durations whose
+//! microsecond count has `i` significant bits (i.e. `[2^(i-1), 2^i)`,
+//! with bucket 0 holding sub-microsecond durations). 48 buckets cover
+//! everything up to ~8.9 years, in a fixed 400-byte structure that never
+//! allocates after construction — cheap enough to keep one per stage.
+
+use std::time::Duration;
+
+/// Number of log2 buckets (covers durations up to `2^47` µs).
+const BUCKETS: usize = 48;
+
+/// A fixed-bucket (log2-spaced) histogram of durations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurationHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    max: Duration,
+}
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DurationHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            total: 0,
+            max: Duration::ZERO,
+        }
+    }
+
+    /// The bucket index of a duration: the number of significant bits of
+    /// its microsecond count, clamped to the last bucket.
+    fn bucket_of(d: Duration) -> usize {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bits = (u64::BITS - us.leading_zeros()) as usize;
+        bits.min(BUCKETS - 1)
+    }
+
+    /// Upper bound of bucket `i` (its durations are all `<=` this).
+    fn bucket_upper(i: usize) -> Duration {
+        if i == 0 {
+            return Duration::from_micros(1);
+        }
+        Duration::from_micros(1u64 << i.min(62))
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: Duration) {
+        let i = Self::bucket_of(d);
+        if let Some(c) = self.counts.get_mut(i) {
+            *c = c.saturating_add(1);
+        }
+        self.total = self.total.saturating_add(1);
+        if d > self.max {
+            self.max = d;
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &DurationHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.total = self.total.saturating_add(other.total);
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The exact maximum recorded duration.
+    pub fn max(&self) -> Duration {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket
+    /// where the cumulative count crosses the rank, clamped to the exact
+    /// maximum. Returns [`Duration::ZERO`] for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the requested quantile in the sorted series.
+        let rank = ((self.total as f64 * q).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`quantile`](Self::quantile)).
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate (see [`quantile`](Self::quantile)).
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = DurationHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), Duration::ZERO);
+        assert_eq!(h.p50(), Duration::ZERO);
+        assert_eq!(h.p95(), Duration::ZERO);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = DurationHistogram::new();
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), Duration::from_millis(100));
+        // Bucketed estimates are upper bounds: p50 of 1..=100 ms lies in
+        // the bucket covering 50 ms, whose upper bound is ~65.5 ms.
+        let p50 = h.p50();
+        assert!(p50 >= Duration::from_millis(50), "{p50:?}");
+        assert!(p50 <= Duration::from_millis(100), "{p50:?}");
+        let p95 = h.p95();
+        assert!(p95 >= Duration::from_millis(95), "{p95:?}");
+        assert!(p95 <= Duration::from_millis(100), "{p95:?}");
+        assert!(h.quantile(1.0) == h.max());
+    }
+
+    #[test]
+    fn single_observation_dominates_every_quantile() {
+        let mut h = DurationHistogram::new();
+        h.record(Duration::from_micros(37));
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), Duration::from_micros(37), "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_adds_counts_and_keeps_max() {
+        let mut a = DurationHistogram::new();
+        a.record(Duration::from_millis(1));
+        let mut b = DurationHistogram::new();
+        b.record(Duration::from_secs(2));
+        b.record(Duration::from_millis(1));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn extreme_durations_are_clamped_not_lost() {
+        let mut h = DurationHistogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(60 * 60 * 24 * 365));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+}

@@ -22,6 +22,15 @@
 //! * **XL005 `catch_unwind` confinement** — panic recovery is the
 //!   dataflow executor's task boundary; `catch_unwind` anywhere else
 //!   hides bugs the retry machinery would surface.
+//! * **XL006 stream hygiene** — no `println!`/`eprintln!` (or the
+//!   non-newline forms) in library crates (`core`, `spatial`,
+//!   `dataflow`, `data`, `telemetry`); a library that prints corrupts
+//!   machine-readable output and cannot be silenced, so diagnostics go
+//!   through the `dbscout-telemetry` recorder or returned values.
+//!
+//! The binary also hosts `cargo xtask check-report <file>`, which
+//! validates a `dbscout detect --report-json` document against the
+//! run-report schema (see [`report_check`]).
 //!
 //! Escape hatch: `// xtask-lint: allow(XL001) -- <justification>` on (or
 //! directly above) the offending line. The justification is mandatory;
@@ -46,6 +55,7 @@
 )]
 pub mod diag;
 pub mod lexer;
+pub mod report_check;
 pub mod rules;
 
 use std::path::{Path, PathBuf};
@@ -59,6 +69,11 @@ const PANIC_FREE_CRATES: [&str; 3] = ["core", "spatial", "dataflow"];
 /// in `dbscout-spatial::distance`, which is exempt along with the rest of
 /// spatial's internal pruning code).
 const DISTANCE_SCOPED_CRATES: [&str; 2] = ["core", "dataflow"];
+/// Library crates that must never write to stdout/stderr (XL006): they
+/// are embedded by the CLI and bench binaries, whose machine-readable
+/// output (`--trace-out`, `--report-json`, result tables) must stay
+/// uncorrupted.
+const STDOUT_FREE_CRATES: [&str; 5] = ["core", "spatial", "dataflow", "data", "telemetry"];
 
 /// Derives which rules apply to `rel_path` (workspace-relative, `/`
 /// separators).
@@ -74,6 +89,7 @@ pub fn scope_for(rel_path: &str) -> Scope {
         // The executor is the sanctioned panic boundary; xtask itself must
         // name the token to hunt for it.
         catch_unwind: rel_path != "crates/dataflow/src/executor.rs" && !in_crate("xtask"),
+        no_stdout: STDOUT_FREE_CRATES.iter().any(|c| in_crate(c)),
     }
 }
 
@@ -108,6 +124,9 @@ pub fn lint_source(rel_path: &str, source: &str, scope: Scope) -> Vec<Diagnostic
     }
     if scope.catch_unwind {
         rules::catch_unwind_confinement(&cleaned, rel_path, &spans, &mut out);
+    }
+    if scope.no_stdout {
+        rules::stdout_discipline(&cleaned, rel_path, &spans, &mut out);
     }
     out.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
     out
@@ -160,6 +179,7 @@ mod tests {
         let core = scope_for("crates/core/src/native.rs");
         assert!(core.panic_freedom && core.float_eq && core.distance_predicate);
         assert!(core.param_validation && !core.error_hygiene);
+        assert!(core.no_stdout);
 
         let dist = scope_for("crates/spatial/src/distance.rs");
         assert!(dist.panic_freedom && !dist.float_eq && !dist.distance_predicate);
@@ -173,7 +193,14 @@ mod tests {
 
         let data = scope_for("crates/data/src/io.rs");
         assert!(!data.panic_freedom && !data.float_eq && !data.param_validation);
+        assert!(data.no_stdout);
         assert!(scope_for("crates/data/src/error.rs").error_hygiene);
+
+        // Telemetry is a library crate: silent. The CLI and xtask print
+        // by design.
+        assert!(scope_for("crates/telemetry/src/trace.rs").no_stdout);
+        assert!(!scope_for("crates/cli/src/commands.rs").no_stdout);
+        assert!(!scope_for("crates/xtask/src/main.rs").no_stdout);
     }
 
     #[test]

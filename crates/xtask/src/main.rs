@@ -1,13 +1,20 @@
-//! CLI for the workspace lint suite: `cargo xtask lint [--json] [--root DIR]`.
+//! CLI for workspace automation: the custom lint suite and the run-report
+//! schema checker.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: cargo xtask lint [--json] [--root DIR]\n\n\
-     Runs the DBSCOUT custom lint suite (rules XL000-XL005) over every\n\
-     crates/*/src/**/*.rs file. Exits non-zero when findings exist.\n\n\
-     options:\n\
+    "usage: cargo xtask <command>\n\n\
+     commands:\n\
+     \x20 lint [--json] [--root DIR]   run the DBSCOUT custom lint suite\n\
+     \x20                              (rules XL000-XL006) over every\n\
+     \x20                              crates/*/src/**/*.rs file; exits\n\
+     \x20                              non-zero when findings exist\n\
+     \x20 check-report <file>          validate a `dbscout detect\n\
+     \x20                              --report-json` document against the\n\
+     \x20                              run-report schema\n\n\
+     lint options:\n\
      \x20 --json      emit findings as one JSON document\n\
      \x20 --root DIR  workspace root to lint (default: CARGO_WORKSPACE_DIR\n\
      \x20             or the current directory)"
@@ -19,15 +26,49 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    if cmd == "--help" || cmd == "-h" || cmd == "help" {
-        println!("{}", usage());
-        return ExitCode::SUCCESS;
+    match cmd.as_str() {
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        "lint" => lint(args),
+        "check-report" => check_report(args),
+        _ => {
+            eprintln!("error: unknown command {cmd:?}\n\n{}", usage());
+            ExitCode::FAILURE
+        }
     }
-    if cmd != "lint" {
-        eprintln!("error: unknown command {cmd:?}\n\n{}", usage());
-        return ExitCode::FAILURE;
-    }
+}
 
+fn check_report(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!(
+            "error: check-report takes exactly one file argument\n\n{}",
+            usage()
+        );
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: failed to read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let errors = xtask::report_check::check_report(&source);
+    if errors.is_empty() {
+        println!("xtask check-report: {path} conforms to run-report schema");
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("{path}: {e}");
+        }
+        eprintln!("xtask check-report: {} violation(s)", errors.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn lint(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut json = false;
     let mut root: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
@@ -71,7 +112,7 @@ fn main() -> ExitCode {
             print!("{}", d.render_human());
         }
         if findings.is_empty() {
-            println!("xtask lint: clean (rules XL000-XL005)");
+            println!("xtask lint: clean (rules XL000-XL006)");
         } else {
             println!("xtask lint: {} finding(s)", findings.len());
         }

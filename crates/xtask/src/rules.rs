@@ -22,6 +22,10 @@ pub struct Scope {
     /// XL005: `catch_unwind` confinement (everywhere except the dataflow
     /// executor, where panic recovery is the task boundary).
     pub catch_unwind: bool,
+    /// XL006: no `println!`/`eprintln!` in library crates — diagnostics
+    /// go through the telemetry recorder or returned values, never
+    /// straight to the process streams.
+    pub no_stdout: bool,
 }
 
 fn at(b: &[u8], i: usize) -> u8 {
@@ -582,6 +586,46 @@ pub fn catch_unwind_confinement(
     }
 }
 
+/// XL006 — stream hygiene: library crates must not write to stdout or
+/// stderr via `println!`/`eprintln!` (or their non-newline forms). A
+/// library that prints cannot be embedded: its chatter corrupts
+/// machine-readable output (`--trace-out`, `--report-json`) and cannot
+/// be silenced by the caller. Route diagnostics through the telemetry
+/// `Recorder` or return them.
+pub fn stdout_discipline(
+    c: &Cleaned,
+    file: &str,
+    spans: &[(usize, usize)],
+    out: &mut Vec<Diagnostic>,
+) {
+    const HELP: &str = "library crates must stay silent: return the information, or emit \
+                        it through a `dbscout_telemetry::Recorder` the caller installs";
+    let b = &c.text;
+    for &(s, e) in &idents(b) {
+        if in_spans(spans, s) {
+            continue;
+        }
+        let word = b.get(s..e).unwrap_or_default();
+        if matches!(word, b"println" | b"eprintln" | b"print" | b"eprint") {
+            let (nxt, _) = next_non_ws(b, e);
+            // `print` as a path segment (e.g. `clippy::print_stdout`) has
+            // no `!`.
+            if nxt == b'!' && prev_non_ws(b, s) != b':' {
+                let name = String::from_utf8_lossy(word).into_owned();
+                emit(
+                    out,
+                    c,
+                    file,
+                    "XL006",
+                    s,
+                    format!("`{name}!` in library code"),
+                    HELP,
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -738,6 +782,27 @@ mod tests {
         let spans = test_spans(&c);
         let mut out = Vec::new();
         catch_unwind_confinement(&c, "t.rs", &spans, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn println_in_lib_code_is_flagged() {
+        let c = clean("fn f() { println!(\"x\"); eprintln!(\"y\"); print!(\"z\"); }");
+        let spans = test_spans(&c);
+        let mut out = Vec::new();
+        stdout_discipline(&c, "t.rs", &spans, &mut out);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(out.iter().all(|d| d.rule == "XL006"));
+    }
+
+    #[test]
+    fn println_in_test_code_and_path_segments_are_exempt() {
+        let src = "#![allow(clippy::print_stdout)]\nfn f() {}\n\
+                   #[cfg(test)]\nmod tests { fn g() { println!(\"ok\"); } }";
+        let c = clean(src);
+        let spans = test_spans(&c);
+        let mut out = Vec::new();
+        stdout_discipline(&c, "t.rs", &spans, &mut out);
         assert!(out.is_empty(), "{out:?}");
     }
 

@@ -1,0 +1,15 @@
+pub fn noisy(n: usize) {
+    let label = "println!(not real)"; // strings and comments are stripped
+    println!("processed {n} records");
+    eprintln!("warning: {label}");
+    print!("partial");
+    my::println!("macro path segments are someone else's macro");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("debugging output is fine here");
+    }
+}

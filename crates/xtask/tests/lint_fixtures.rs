@@ -101,6 +101,28 @@ fn xl005_catch_unwind_flagged_outside_the_executor() {
 }
 
 #[test]
+fn xl006_prints_flagged_in_library_crates_only() {
+    let expected = vec![
+        ("XL006", 3), // println!
+        ("XL006", 4), // eprintln!
+        ("XL006", 5), // print!
+    ];
+    assert_eq!(
+        lint_fixture("crates/telemetry/src/noisy.rs", "fail/stdout.rs"),
+        expected
+    );
+    assert_eq!(
+        lint_fixture("crates/data/src/noisy.rs", "fail/stdout.rs"),
+        expected
+    );
+    // The CLI prints by design.
+    assert_eq!(
+        lint_fixture("crates/cli/src/noisy.rs", "fail/stdout.rs"),
+        vec![]
+    );
+}
+
+#[test]
 fn xl000_malformed_directive_flagged() {
     assert_eq!(
         lint_fixture("crates/data/src/malformed.rs", "fail/malformed.rs"),
@@ -178,6 +200,69 @@ mod binary {
         let (ok, stdout) = run_lint(root.path(), false);
         assert!(ok, "clean workspace must exit 0; got: {stdout}");
         assert!(stdout.contains("clean"), "unexpected output: {stdout}");
+    }
+
+    #[test]
+    fn check_report_accepts_conforming_and_rejects_corrupted() {
+        use dbscout_telemetry::{
+            DatasetEcho, ParamsEcho, PhaseReport, RunReport, StageReport, TotalsReport,
+        };
+        let report = RunReport {
+            dataset: DatasetEcho {
+                source: "blobs.csv".to_owned(),
+                points: 800,
+                dimensions: 2,
+            },
+            params: ParamsEcho {
+                engine: "distributed".to_owned(),
+                eps: 0.6,
+                min_pts: 5,
+                partitions: 8,
+                workers: 4,
+                chaos_seed: Some(42),
+            },
+            phases: vec![PhaseReport {
+                name: "grid partitioning".to_owned(),
+                wall_clock_us: 12,
+            }],
+            stages: vec![StageReport {
+                label: "grid partitioning:map_partitions".to_owned(),
+                tasks: 8,
+                ..StageReport::default()
+            }],
+            totals: TotalsReport {
+                stages: 1,
+                tasks: 8,
+                ..TotalsReport::default()
+            },
+        }
+        .to_json();
+        let corrupted = report.replacen("\"totals\"", "\"tallies\"", 1);
+        let root = TempRoot::new(
+            "check-report",
+            &[
+                ("good.json", report.as_str()),
+                ("bad.json", corrupted.as_str()),
+            ],
+        );
+
+        let check = |name: &str| {
+            let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+                .arg("check-report")
+                .arg(root.path().join(name))
+                .output()
+                .expect("spawn xtask");
+            (
+                out.status.success(),
+                String::from_utf8_lossy(&out.stderr).into_owned(),
+            )
+        };
+
+        let (ok, _) = check("good.json");
+        assert!(ok, "a writer-produced report must conform");
+        let (ok, stderr) = check("bad.json");
+        assert!(!ok, "a corrupted report must fail");
+        assert!(stderr.contains("totals"), "unexpected stderr: {stderr}");
     }
 
     #[test]
