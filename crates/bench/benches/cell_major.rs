@@ -1,0 +1,62 @@
+// Bench targets are exempt from the panic-freedom policy (see DESIGN.md).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
+//! Criterion head-to-head of the native engine's two execution layouts —
+//! hashed (per-point map probes) vs. cell-major (columnar, bbox-pruned) —
+//! on uniform 2-D data, where every grid cell is occupied and neighbor
+//! lookups dominate. Labels are identical by construction (see
+//! `layout_equivalence.rs`); only wall-clock differs.
+//!
+//! Full size is 1M points; under `--test` (CI smoke) it drops to 5k so
+//! the target finishes in seconds.
+
+use dbscout_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbscout_bench::workloads;
+use dbscout_core::{Dbscout, DbscoutParams, ExecutionLayout};
+
+fn bench_layouts(c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let n = if test_mode { 5_000 } else { 1_000_000 };
+    let store = workloads::uniform2d(n, 0xCE11);
+    let params = DbscoutParams::new(workloads::UNIFORM2D_EPS, workloads::UNIFORM2D_MIN_PTS)
+        .expect("valid params");
+
+    let mut g = c.benchmark_group(&format!("layout_uniform2d_{n}"));
+    g.sample_size(10);
+    for threads in [1usize, 0] {
+        // 0 = all cores (the engine default).
+        let tag = if threads == 0 {
+            "all_cores".to_string()
+        } else {
+            format!("t{threads}")
+        };
+        for layout in [ExecutionLayout::Hashed, ExecutionLayout::CellMajor] {
+            let name = match layout {
+                ExecutionLayout::Hashed => "hashed",
+                ExecutionLayout::CellMajor => "cell_major",
+            };
+            g.bench_with_input(
+                BenchmarkId::new(name, &tag),
+                &(layout, threads),
+                |b, &(layout, threads)| {
+                    b.iter(|| {
+                        let mut d = Dbscout::new(params).with_layout(layout);
+                        if threads > 0 {
+                            d = d.with_threads(threads);
+                        }
+                        d.detect(&store).expect("run")
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_layouts);
+criterion_main!(benches);

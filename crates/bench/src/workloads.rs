@@ -8,6 +8,7 @@
 
 use dbscout_data::generators::{enlarge, geolife_like, osm_like};
 use dbscout_data::sampling::sample_fraction;
+use dbscout_rng::Rng;
 use dbscout_spatial::PointStore;
 
 /// Default Geolife-like cardinality (paper: 24,876,978).
@@ -33,6 +34,40 @@ pub const MIN_PTS: usize = 100;
 
 /// The Table II / Fig. 10 size ladder, in percent of the base dataset.
 pub const OSM_PERCENT_LADDER: [usize; 8] = [1, 25, 50, 75, 100, 200, 500, 1000];
+
+/// Side length of the [`uniform2d`] domain. At 1M points this gives a
+/// density of one point per unit², so [`UNIFORM2D_EPS`] cells hold a
+/// double-digit point count — the worst case for the hashed layout
+/// (every phase-3/5 task probes all 21 neighbor cells through the map).
+pub const UNIFORM2D_SIDE: f64 = 1_000.0;
+
+/// ε for the uniform-2d layout benchmark (ε-cell side ≈ 3.5 units).
+pub const UNIFORM2D_EPS: f64 = 5.0;
+
+/// minPts for the uniform-2d layout benchmark: high enough that most
+/// cells are not dense, so the counted kernel does real work.
+pub const UNIFORM2D_MIN_PTS: usize = 50;
+
+/// `n` points uniform on `[0, UNIFORM2D_SIDE)²`. Unlike the clustered
+/// GPS-like workloads, uniform data spreads the points across *every*
+/// grid cell, which maximizes the number of per-cell neighbor lookups —
+/// exactly the access pattern the cell-major layout exists to serve.
+// Construction cannot fail: dims is the literal 2 (under MAX_DIMS) and
+// every coordinate is a finite uniform sample. As in `dbscout_data`'s
+// generators, a failure is a generator bug and should panic loudly.
+#[allow(clippy::expect_used)]
+pub fn uniform2d(n: usize, seed: u64) -> PointStore {
+    let mut rng = Rng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            vec![
+                rng.gen_range(0.0..UNIFORM2D_SIDE),
+                rng.gen_range(0.0..UNIFORM2D_SIDE),
+            ]
+        })
+        .collect();
+    PointStore::from_rows(2, rows).expect("generator rows are finite by construction")
+}
 
 /// The Geolife-like workload at cardinality `n`.
 pub fn geolife(n: usize) -> PointStore {
@@ -91,5 +126,19 @@ mod tests {
     fn workloads_have_expected_dims() {
         assert_eq!(geolife(1_000).dims(), 3);
         assert_eq!(osm(1_000).dims(), 2);
+    }
+
+    #[test]
+    fn uniform2d_stays_in_domain_and_is_seeded() {
+        let a = uniform2d(500, 7);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a.dims(), 2);
+        for (_, p) in a.iter() {
+            assert!(p.iter().all(|&c| (0.0..UNIFORM2D_SIDE).contains(&c)));
+        }
+        let b = uniform2d(500, 7);
+        assert_eq!(a.point(42), b.point(42));
+        let c = uniform2d(500, 8);
+        assert_ne!(a.point(42), c.point(42));
     }
 }

@@ -13,6 +13,7 @@ usage:
   dbscout detect   --input <csv> --eps <f64> --min-pts <usize>
                    [--engine native|distributed] [--labeled]
                    [--output <csv>] [--threads <usize>]
+                   [--layout cell-major|hashed]
                    [--max-task-retries <usize>] [--permissive-ingest]
                    [--trace-out <json>] [--report-json <json>]
   dbscout generate --dataset blobs|circles|moons|cluto-t4|cluto-t5|cluto-t7|cluto-t8|cure-t2|geolife|osm

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dbscout_core::{
-    build_run_report, Dbscout, DbscoutParams, DistributedDbscout, PhaseTimings, RunInfo,
+    build_run_report, DbscoutParams, DetectorBuilder, ExecutionLayout, PhaseTimings, RunInfo,
     PHASE_NAMES,
 };
 use dbscout_data::generators as gen;
@@ -26,6 +26,17 @@ fn data_err(e: impl std::fmt::Display) -> CliError {
 /// A failure inside a detection engine (exit code 3).
 fn engine_err(e: impl std::fmt::Display) -> CliError {
     CliError::engine(e.to_string())
+}
+
+/// Parses the `--layout` flag for the native engine.
+fn parse_layout(s: &str) -> Result<ExecutionLayout, CliError> {
+    match s {
+        "cell-major" => Ok(ExecutionLayout::CellMajor),
+        "hashed" => Ok(ExecutionLayout::Hashed),
+        other => Err(CliError::new(format!(
+            "unknown layout {other:?} (expected cell-major or hashed)"
+        ))),
+    }
 }
 
 /// Renders a permissive-ingest quarantine summary into `out`.
@@ -104,12 +115,14 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
     let result = match engine.as_str() {
         "native" => {
             let threads: usize = flags.get("threads", 0)?;
-            let mut d = Dbscout::new(params);
-            if threads > 0 {
-                d = d.with_threads(threads);
-            }
+            let layout = parse_layout(&flags.get("layout", "cell-major".to_string())?)?;
             run_workers = threads as u64;
-            d.detect(&store).map_err(engine_err)?
+            DetectorBuilder::new(params)
+                .threads(threads)
+                .layout(layout)
+                .build_native()
+                .detect(&store)
+                .map_err(engine_err)?
         }
         "distributed" => {
             let mut builder = ExecutionContext::builder().max_task_retries(max_task_retries);
@@ -126,7 +139,9 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
             let ctx = builder.build();
             run_workers = ctx.workers() as u64;
             run_partitions = ctx.default_partitions() as u64;
-            let detector = DistributedDbscout::new(ctx, params);
+            let detector = DetectorBuilder::new(params)
+                .distributed(ctx)
+                .build_distributed();
             let before = detector.ctx().metrics().snapshot();
             let result = detector.detect(&store).map_err(engine_err)?;
             fault_tolerance = Some(detector.ctx().metrics().snapshot().since(&before));
@@ -322,7 +337,10 @@ pub fn sweep(flags: &Flags) -> Result<String, CliError> {
     for i in 0..steps {
         let eps = from * ratio.powi(i as i32);
         let params = DbscoutParams::new(eps, min_pts).map_err(|e| CliError::new(e.to_string()))?;
-        let result = Dbscout::new(params).detect(&store).map_err(engine_err)?;
+        let result = DetectorBuilder::new(params)
+            .build_native()
+            .detect(&store)
+            .map_err(engine_err)?;
         let _ = write!(
             out,
             "  eps {eps:12.6}: {:6} outliers",
@@ -358,7 +376,10 @@ pub fn compare(flags: &Flags) -> Result<String, CliError> {
             .ok_or_else(|| CliError::new("dataset too small for a k-dist elbow"))?,
     };
     let params = DbscoutParams::new(eps, min_pts).map_err(|e| CliError::new(e.to_string()))?;
-    let scout = Dbscout::new(params).detect(&store).map_err(engine_err)?;
+    let scout = DetectorBuilder::new(params)
+        .build_native()
+        .detect(&store)
+        .map_err(engine_err)?;
 
     let mut table =
         dbscout_metrics::table::Table::new(&["detector", "params", "precision", "recall", "F1"]);
@@ -512,6 +533,39 @@ mod tests {
                 .to_string()
         };
         assert_eq!(count(&native), count(&dist));
+    }
+
+    #[test]
+    fn detect_layouts_agree() {
+        let data = tmp("layouts.csv");
+        run(&argv(&[
+            "generate",
+            "--dataset",
+            "blobs",
+            "--n",
+            "800",
+            "--output",
+            &data,
+        ]))
+        .unwrap();
+        let base = ["detect", "--input", &data, "--eps", "0.6", "--min-pts", "5"];
+        let cell_major = run(&argv(&base)).unwrap();
+        let mut with_flag = base.to_vec();
+        with_flag.extend(["--layout", "hashed"]);
+        let hashed = run(&argv(&with_flag)).unwrap();
+        let count = |r: &str| {
+            r.lines()
+                .nth(1)
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(count(&cell_major), count(&hashed));
+        let mut bad = base.to_vec();
+        bad.extend(["--layout", "diagonal"]);
+        assert!(run(&argv(&bad)).is_err());
     }
 
     #[test]

@@ -157,6 +157,92 @@ impl CellMap {
     }
 }
 
+/// The cell-major layout's analogue of [`CellMap`]: dense/core flags
+/// keyed by *cell index* (position in
+/// [`dbscout_spatial::CellMajorStore::cells`]) instead of coordinate
+/// hash, so the hot loops classify a cell with one array load.
+#[derive(Debug, Clone)]
+pub struct CellFlags {
+    dense: Vec<bool>,
+    /// Non-dense cells promoted by Algorithm 4; disjoint from `dense`.
+    promoted: Vec<bool>,
+    dense_cells: usize,
+    promoted_cells: usize,
+}
+
+impl CellFlags {
+    /// Builds the dense flags from per-cell point counts in cell-index
+    /// order (paper Algorithm 2): dense iff the count reaches `min_pts`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `min_pts` is zero.
+    pub fn from_counts(
+        counts: impl IntoIterator<Item = usize>,
+        min_pts: usize,
+    ) -> Result<Self, SpatialError> {
+        if min_pts == 0 {
+            return Err(SpatialError::InvalidMinPts);
+        }
+        let dense: Vec<bool> = counts.into_iter().map(|n| n >= min_pts).collect();
+        let dense_cells = dense.iter().filter(|&&d| d).count();
+        let promoted = vec![false; dense.len()];
+        Ok(Self {
+            dense,
+            promoted,
+            dense_cells,
+            promoted_cells: 0,
+        })
+    }
+
+    /// Number of cells tracked.
+    pub fn len(&self) -> usize {
+        self.dense.len()
+    }
+
+    /// Whether no cells are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.dense.is_empty()
+    }
+
+    /// Whether cell `idx` is dense (out-of-range ⇒ `false`).
+    #[inline]
+    pub fn is_dense(&self, idx: usize) -> bool {
+        self.dense.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Whether cell `idx` is a core cell — dense (Lemma 1) or promoted
+    /// (Algorithm 4).
+    #[inline]
+    pub fn is_core(&self, idx: usize) -> bool {
+        self.is_dense(idx) || self.promoted.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Marks a non-dense cell as core (paper Algorithm 4); dense cells
+    /// and out-of-range indices are left alone.
+    pub fn promote_to_core(&mut self, idx: usize) {
+        if self.is_dense(idx) {
+            return;
+        }
+        if let Some(p) = self.promoted.get_mut(idx) {
+            if !*p {
+                *p = true;
+                self.promoted_cells += 1;
+            }
+        }
+    }
+
+    /// Number of dense cells.
+    pub fn dense_cells(&self) -> usize {
+        self.dense_cells
+    }
+
+    /// Number of core cells (dense included).
+    pub fn core_cells(&self) -> usize {
+        self.dense_cells + self.promoted_cells
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,5 +341,35 @@ mod tests {
         assert!(m.is_empty());
         assert_eq!(m.len(), 0);
         assert_eq!(m.core_cells(), 0);
+    }
+
+    #[test]
+    fn cell_flags_mirror_cell_map_semantics() {
+        let mut f = CellFlags::from_counts([5, 2, 7, 1], 5).unwrap();
+        assert_eq!(f.len(), 4);
+        assert!(f.is_dense(0) && f.is_dense(2));
+        assert!(!f.is_dense(1) && !f.is_dense(3));
+        assert_eq!(f.dense_cells(), 2);
+        assert_eq!(f.core_cells(), 2, "dense cells are core");
+        // Promote a non-dense cell; dense and repeated promotions no-op.
+        f.promote_to_core(1);
+        f.promote_to_core(1);
+        f.promote_to_core(0);
+        f.promote_to_core(99);
+        assert!(f.is_core(1));
+        assert!(!f.is_core(3));
+        assert!(!f.is_core(99));
+        assert_eq!(f.core_cells(), 3);
+        assert_eq!(f.dense_cells(), 2);
+    }
+
+    #[test]
+    fn cell_flags_reject_zero_min_pts() {
+        assert!(matches!(
+            CellFlags::from_counts([1, 2], 0),
+            Err(SpatialError::InvalidMinPts)
+        ));
+        let f = CellFlags::from_counts(std::iter::empty(), 3).unwrap();
+        assert!(f.is_empty());
     }
 }

@@ -1,4 +1,13 @@
 //! Error type for DBSCOUT runs.
+//!
+//! Every engine — [`crate::Dbscout`], [`crate::DistributedDbscout`],
+//! [`crate::IncrementalDbscout`] — reports failures through this one
+//! enum, so code generic over [`crate::OutlierDetector`] matches on a
+//! single set of variants. Parameter mistakes surface as the dedicated
+//! [`DbscoutError::InvalidEpsilon`] / [`DbscoutError::InvalidMinPts`]
+//! variants whichever layer catches them; everything else folds into
+//! "the input data was bad" ([`DbscoutError::InvalidInput`]) or "the
+//! execution substrate failed" ([`DbscoutError::Execution`]).
 
 use std::fmt;
 
@@ -11,25 +20,35 @@ pub type Result<T> = std::result::Result<T, DbscoutError>;
 /// Errors from configuring or running DBSCOUT.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DbscoutError {
-    /// Invalid spatial input (bad ε, dimensionality, non-finite data, …).
-    Spatial(SpatialError),
-    /// The dataflow substrate failed (a task panicked, …).
-    Engine(EngineError),
+    /// ε must be finite and positive.
+    InvalidEpsilon {
+        /// The offending value.
+        value: f64,
+    },
     /// `minPts` must be at least 1.
     InvalidMinPts {
         /// The offending value.
         value: usize,
     },
+    /// The input data was rejected (dimension mismatch, non-finite
+    /// coordinate, unsupported dimensionality, …).
+    InvalidInput(SpatialError),
+    /// The execution substrate failed (a task panicked, exhausted its
+    /// retry budget, bad partitioning, …).
+    Execution(EngineError),
 }
 
 impl fmt::Display for DbscoutError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DbscoutError::Spatial(e) => write!(f, "spatial error: {e}"),
-            DbscoutError::Engine(e) => write!(f, "dataflow error: {e}"),
+            DbscoutError::InvalidEpsilon { value } => {
+                write!(f, "eps must be finite and positive, got {value}")
+            }
             DbscoutError::InvalidMinPts { value } => {
                 write!(f, "minPts must be at least 1, got {value}")
             }
+            DbscoutError::InvalidInput(e) => write!(f, "invalid input: {e}"),
+            DbscoutError::Execution(e) => write!(f, "execution error: {e}"),
         }
     }
 }
@@ -37,22 +56,30 @@ impl fmt::Display for DbscoutError {
 impl std::error::Error for DbscoutError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            DbscoutError::Spatial(e) => Some(e),
-            DbscoutError::Engine(e) => Some(e),
-            DbscoutError::InvalidMinPts { .. } => None,
+            DbscoutError::InvalidInput(e) => Some(e),
+            DbscoutError::Execution(e) => Some(e),
+            DbscoutError::InvalidEpsilon { .. } | DbscoutError::InvalidMinPts { .. } => None,
         }
     }
 }
 
 impl From<SpatialError> for DbscoutError {
+    /// Parameter mistakes caught by the spatial layer are re-expressed as
+    /// the top-level parameter variants, so a caller sees the same error
+    /// whether validation happened in [`crate::DbscoutParams::new`] or
+    /// deep inside an engine.
     fn from(e: SpatialError) -> Self {
-        DbscoutError::Spatial(e)
+        match e {
+            SpatialError::InvalidEpsilon { value } => DbscoutError::InvalidEpsilon { value },
+            SpatialError::InvalidMinPts => DbscoutError::InvalidMinPts { value: 0 },
+            other => DbscoutError::InvalidInput(other),
+        }
     }
 }
 
 impl From<EngineError> for DbscoutError {
     fn from(e: EngineError) -> Self {
-        DbscoutError::Engine(e)
+        DbscoutError::Execution(e)
     }
 }
 
@@ -66,16 +93,31 @@ mod tests {
     use super::*;
 
     #[test]
+    fn parameter_errors_normalize_across_layers() {
+        // The spatial layer's parameter variants surface as the same
+        // top-level variants DbscoutParams::new produces directly.
+        let e: DbscoutError = SpatialError::InvalidEpsilon { value: -1.0 }.into();
+        assert_eq!(e, DbscoutError::InvalidEpsilon { value: -1.0 });
+        let e: DbscoutError = SpatialError::InvalidMinPts.into();
+        assert_eq!(e, DbscoutError::InvalidMinPts { value: 0 });
+    }
+
+    #[test]
     fn conversions_and_sources() {
         let e: DbscoutError = SpatialError::ZeroDims.into();
-        assert!(matches!(e, DbscoutError::Spatial(_)));
+        assert!(matches!(e, DbscoutError::InvalidInput(_)));
         assert!(std::error::Error::source(&e).is_some());
 
         let e: DbscoutError = EngineError::InvalidPartitionCount { requested: 0 }.into();
-        assert!(matches!(e, DbscoutError::Engine(_)));
+        assert!(matches!(e, DbscoutError::Execution(_)));
+        assert!(std::error::Error::source(&e).is_some());
 
         let e = DbscoutError::InvalidMinPts { value: 0 };
         assert!(e.to_string().contains("minPts"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e = DbscoutError::InvalidEpsilon { value: f64::NAN };
+        assert!(e.to_string().contains("eps"));
         assert!(std::error::Error::source(&e).is_none());
     }
 }

@@ -29,7 +29,7 @@ use dbscout_spatial::points::PointId;
 use dbscout_spatial::{NeighborOffsets, PointStore};
 
 use crate::error::Result;
-use crate::labels::PointLabel;
+use crate::labels::{OutlierResult, PhaseTimings, PointLabel, RunStats};
 use crate::params::DbscoutParams;
 
 type DetState = BuildHasherDefault<DefaultHasher>;
@@ -147,6 +147,39 @@ impl IncrementalDbscout {
     /// The underlying point store.
     pub fn store(&self) -> &PointStore {
         &self.store
+    }
+
+    /// The current state as a batch [`OutlierResult`] (one label per
+    /// ever-issued id). Removed points are reported as
+    /// [`PointLabel::Covered`] so they never surface in the outlier list;
+    /// timings and distance counters are zero — the incremental engine
+    /// spreads its work across insertions.
+    pub fn snapshot(&self) -> OutlierResult {
+        let labels: Vec<PointLabel> = self
+            .labels
+            .iter()
+            .zip(&self.alive)
+            .map(|(&l, &alive)| if alive { l } else { PointLabel::Covered })
+            .collect();
+        let min_pts = self.params.min_pts;
+        let stats = RunStats {
+            num_cells: self.cells.len(),
+            dense_cells: self
+                .cells
+                .values()
+                .filter(|ids| ids.len() >= min_pts)
+                .count(),
+            core_cells: self
+                .cells
+                .values()
+                .filter(|ids| {
+                    ids.iter()
+                        .any(|&id| self.labels.get(id as usize) == Some(&PointLabel::Core))
+                })
+                .count(),
+            distance_computations: 0,
+        };
+        OutlierResult::from_labels(labels, stats, PhaseTimings::default())
     }
 
     /// Inserts one point and restores all label invariants; returns the

@@ -50,6 +50,7 @@
     )
 )]
 pub mod cellmap;
+pub mod detector;
 pub mod distributed;
 pub mod error;
 pub mod explain;
@@ -61,13 +62,14 @@ pub mod reference;
 pub mod report;
 pub mod scores;
 
-pub use cellmap::{CellMap, CellType};
+pub use cellmap::{CellFlags, CellMap, CellType};
+pub use detector::{DetectorBuilder, OutlierDetector};
 pub use distributed::{DistributedDbscout, JoinStrategy, PHASE_NAMES};
 pub use error::{DbscoutError, Result};
 pub use explain::{consistent, explain, Explanation};
 pub use incremental::IncrementalDbscout;
 pub use labels::{OutlierResult, PhaseTimings, PointLabel, RunStats};
-pub use native::{detect_outliers, Dbscout, NativeOptions};
+pub use native::{detect_outliers, Dbscout, ExecutionLayout, NativeOptions};
 pub use params::DbscoutParams;
 pub use report::{build_run_report, stage_report, RunInfo};
 pub use scores::{outlier_scores, ScoredResult};

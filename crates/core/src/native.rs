@@ -21,12 +21,12 @@
 
 use std::time::Instant;
 
-use dbscout_dataflow::executor::run_tasks;
+use dbscout_dataflow::executor::{run_tasks, run_tasks_with};
 use dbscout_spatial::distance::within;
 use dbscout_spatial::points::PointId;
-use dbscout_spatial::{CellCoord, Grid, PointStore};
+use dbscout_spatial::{CellCoord, CellMajorStore, Grid, NeighborOffsets, PointStore, MAX_DIMS};
 
-use crate::cellmap::CellMap;
+use crate::cellmap::{CellFlags, CellMap};
 use crate::error::Result;
 use crate::labels::{OutlierResult, PhaseTimings, PointLabel, RunStats};
 use crate::params::DbscoutParams;
@@ -53,6 +53,23 @@ pub struct Dbscout {
     params: DbscoutParams,
     threads: usize,
     options: NativeOptions,
+    layout: ExecutionLayout,
+}
+
+/// Which physical layout the phase-3/phase-5 scans run on. Both layouts
+/// implement the identical semantics (a property test pins label
+/// equality); they differ only in memory traversal and pruning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionLayout {
+    /// Walk the hash-keyed [`Grid`]: one hash probe plus a pointer chase
+    /// per neighbor cell *per point*. Kept for comparison benchmarks.
+    Hashed,
+    /// Scan the cell-contiguous columnar [`CellMajorStore`]: neighbor
+    /// cells are resolved once per cell, per-cell bounding boxes prune
+    /// unreachable cells, and the counted kernels stream contiguous
+    /// columns. The default.
+    #[default]
+    CellMajor,
 }
 
 /// Ablation switches for the native engine. Both default to `true`
@@ -87,6 +104,7 @@ impl Dbscout {
             params,
             threads,
             options: NativeOptions::default(),
+            layout: ExecutionLayout::default(),
         }
     }
 
@@ -103,9 +121,21 @@ impl Dbscout {
         self
     }
 
+    /// Overrides the execution layout (results are unaffected; only the
+    /// memory traversal changes).
+    pub fn with_layout(mut self, layout: ExecutionLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
     /// The configured parameters.
     pub fn params(&self) -> DbscoutParams {
         self.params
+    }
+
+    /// The configured execution layout.
+    pub fn layout(&self) -> ExecutionLayout {
+        self.layout
     }
 
     /// Detects all outliers of `store` (Definition 3), exactly.
@@ -113,6 +143,15 @@ impl Dbscout {
     /// Runs in O(n · minPts · k_d) distance computations — linear in n for
     /// fixed parameters (Lemmas 4–8).
     pub fn detect(&self, store: &PointStore) -> Result<OutlierResult> {
+        match self.layout {
+            ExecutionLayout::Hashed => self.detect_hashed(store),
+            ExecutionLayout::CellMajor => self.detect_cell_major(store),
+        }
+    }
+
+    /// The original grid-walking implementation: phases 3/5 look every
+    /// neighbor cell up in the [`Grid`] hash map for every point.
+    fn detect_hashed(&self, store: &PointStore) -> Result<OutlierResult> {
         let eps_sq = self.params.eps_sq();
         let min_pts = self.params.min_pts;
         let options = self.options;
@@ -287,6 +326,239 @@ impl Dbscout {
         };
         Ok(OutlierResult::from_labels(labels, stats, timings))
     }
+
+    /// The cell-major implementation: points live in one cell-contiguous
+    /// columnar buffer ([`CellMajorStore`]), neighbor cells are resolved
+    /// once per *cell* into per-worker scratch, bounding boxes prune
+    /// cells provably outside ε, and the counted kernels stream
+    /// contiguous columns with early exit.
+    fn detect_cell_major(&self, store: &PointStore) -> Result<OutlierResult> {
+        let eps_sq = self.params.eps_sq();
+        let min_pts = self.params.min_pts;
+        let options = self.options;
+        let mut timings = PhaseTimings::default();
+
+        // Phase 1: grid partitioning (Algorithm 1) fused with the
+        // cell-major permutation: one sorted pass yields the cell runs,
+        // the columnar buffer, and the per-cell bounding boxes.
+        let t = Instant::now();
+        let cm = CellMajorStore::build(store, self.params.eps)?;
+        let offsets = NeighborOffsets::new(store.dims())?;
+        timings.grid = t.elapsed();
+
+        // Phase 2: dense cell map (Algorithm 2), keyed by cell index.
+        let t = Instant::now();
+        let mut flags = CellFlags::from_counts(cm.cells().iter().map(|r| r.len()), min_pts)?;
+        timings.dense_map = t.elapsed();
+
+        let n = cm.len();
+        let chunks = chunk_ranges(cm.num_cells(), self.threads * 4);
+
+        // Phase 3: core points identification (Algorithm 3). Tasks
+        // return core *slots*; the permutation maps back to ids at the
+        // end. The scratch (neighbor list + gathered query point) is
+        // per-worker, so the loop allocates nothing.
+        let t = Instant::now();
+        let tasks: Vec<_> = chunks
+            .iter()
+            .map(|range| {
+                let cm = &cm;
+                let flags = &flags;
+                let offsets = &offsets;
+                let range = range.clone();
+                move |scratch: &mut CellScratch| {
+                    let mut core: Vec<u32> = Vec::new();
+                    let mut promoted: Vec<u32> = Vec::new();
+                    let mut dist_comps = 0u64;
+                    for idx in range.clone() {
+                        let Some(rec) = cm.cell(idx) else { continue };
+                        if options.dense_cell_shortcut && flags.is_dense(idx) {
+                            // Lemma 1: every point of a dense cell is core.
+                            core.extend(rec.start..rec.end);
+                            continue;
+                        }
+                        cm.neighbors_into(idx, offsets, Some(eps_sq), &mut scratch.neighbors);
+                        let mut any_core = false;
+                        for slot in rec.range() {
+                            cm.point_into(slot, &mut scratch.q);
+                            // dims ≤ MAX_DIMS is validated at store build.
+                            let Some(q) = scratch.q.get(..cm.dims()) else {
+                                continue;
+                            };
+                            let mut count = 0usize;
+                            for &nidx in &scratch.neighbors {
+                                let nidx = nidx as usize;
+                                if cm.min_sq_dist_to_bbox(q, nidx) > eps_sq {
+                                    continue; // no point of that cell can be within eps
+                                }
+                                let Some(nrec) = cm.cell(nidx) else { continue };
+                                let limit = if options.early_exit {
+                                    min_pts - count
+                                } else {
+                                    usize::MAX
+                                };
+                                let (c, comps) = cm.count_within(q, nrec.range(), eps_sq, limit);
+                                count += c;
+                                dist_comps += comps;
+                                if options.early_exit && count >= min_pts {
+                                    break;
+                                }
+                            }
+                            if count >= min_pts {
+                                core.push(slot as u32);
+                                any_core = true;
+                            }
+                        }
+                        if any_core {
+                            promoted.push(idx as u32);
+                        }
+                    }
+                    (core, promoted, dist_comps)
+                }
+            })
+            .collect();
+        let phase3 = run_tasks_with(self.threads, CellScratch::new, tasks)?;
+        let mut core_slot = vec![false; n];
+        let mut dist_comps = 0u64;
+        let mut promotions: Vec<u32> = Vec::new();
+        for (core, promoted, dc) in phase3 {
+            for slot in core {
+                if let Some(s) = core_slot.get_mut(slot as usize) {
+                    *s = true;
+                }
+            }
+            promotions.extend(promoted);
+            dist_comps += dc;
+        }
+        timings.core_points = t.elapsed();
+
+        // Phase 4: core cell map (Algorithm 4).
+        let t = Instant::now();
+        for idx in &promotions {
+            flags.promote_to_core(*idx as usize);
+        }
+        timings.core_map = t.elapsed();
+
+        // Phase 5: outliers identification (Algorithm 5). Only non-core
+        // cells are scanned (Lemma 2); their pruned core neighbors are
+        // resolved once per cell.
+        let t = Instant::now();
+        let tasks: Vec<_> = chunks
+            .iter()
+            .map(|range| {
+                let cm = &cm;
+                let flags = &flags;
+                let offsets = &offsets;
+                let core_slot = &core_slot;
+                let range = range.clone();
+                move |scratch: &mut CellScratch| {
+                    let mut outliers: Vec<u32> = Vec::new();
+                    let mut dist_comps = 0u64;
+                    for idx in range.clone() {
+                        if flags.is_core(idx) {
+                            // Lemma 2: core cells contain no outliers.
+                            continue;
+                        }
+                        let Some(rec) = cm.cell(idx) else { continue };
+                        cm.neighbors_into(idx, offsets, Some(eps_sq), &mut scratch.neighbors);
+                        scratch
+                            .neighbors
+                            .retain(|&nidx| flags.is_core(nidx as usize));
+                        if scratch.neighbors.is_empty() {
+                            // O_ncn: no core cell in reach — all outliers.
+                            outliers.extend(rec.start..rec.end);
+                            continue;
+                        }
+                        for slot in rec.range() {
+                            cm.point_into(slot, &mut scratch.q);
+                            // dims ≤ MAX_DIMS is validated at store build.
+                            let Some(q) = scratch.q.get(..cm.dims()) else {
+                                continue;
+                            };
+                            let mut covered = false;
+                            for &nidx in &scratch.neighbors {
+                                let nidx = nidx as usize;
+                                if cm.min_sq_dist_to_bbox(q, nidx) > eps_sq {
+                                    continue;
+                                }
+                                let Some(nrec) = cm.cell(nidx) else { continue };
+                                let (hit, comps) = cm.any_flagged_within(
+                                    q,
+                                    nrec.range(),
+                                    eps_sq,
+                                    core_slot,
+                                    options.early_exit,
+                                );
+                                dist_comps += comps;
+                                if hit {
+                                    covered = true;
+                                    if options.early_exit {
+                                        break;
+                                    }
+                                }
+                            }
+                            if !covered {
+                                outliers.push(slot as u32);
+                            }
+                        }
+                    }
+                    (outliers, dist_comps)
+                }
+            })
+            .collect();
+        let phase5 = run_tasks_with(self.threads, CellScratch::new, tasks)?;
+
+        // Scatter slot-indexed results back to id-indexed labels through
+        // the permutation.
+        let mut labels = vec![PointLabel::Covered; n];
+        let ids = cm.orig_ids();
+        for (slot, &is_core) in core_slot.iter().enumerate() {
+            if is_core {
+                if let Some(l) = ids.get(slot).and_then(|&id| labels.get_mut(id as usize)) {
+                    *l = PointLabel::Core;
+                }
+            }
+        }
+        for (outliers, dc) in phase5 {
+            for slot in outliers {
+                if let Some(l) = ids
+                    .get(slot as usize)
+                    .and_then(|&id| labels.get_mut(id as usize))
+                {
+                    *l = PointLabel::Outlier;
+                }
+            }
+            dist_comps += dc;
+        }
+        timings.outliers = t.elapsed();
+
+        let stats = RunStats {
+            num_cells: cm.num_cells(),
+            dense_cells: flags.dense_cells(),
+            core_cells: flags.core_cells(),
+            distance_computations: dist_comps,
+        };
+        Ok(OutlierResult::from_labels(labels, stats, timings))
+    }
+}
+
+/// Per-worker reusable scratch of the cell-major phases: the resolved
+/// neighbor-cell list and the gathered query point. Built once per worker
+/// by [`run_tasks_with`]; cleared by the kernels on use.
+struct CellScratch {
+    neighbors: Vec<u32>,
+    q: [f64; MAX_DIMS],
+}
+
+impl CellScratch {
+    fn new() -> Self {
+        Self {
+            // k_d is at most 609 for the supported dims; one neighbor
+            // list never reallocates after this.
+            neighbors: Vec::with_capacity(64),
+            q: [0.0; MAX_DIMS],
+        }
+    }
 }
 
 /// Splits `len` items into at most `parts` contiguous ranges of nearly
@@ -308,7 +580,9 @@ fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
     out
 }
 
-/// One-shot convenience: [`Dbscout::new`] + [`Dbscout::detect`].
+/// One-shot convenience: detect with all defaults. Thin wrapper over
+/// [`crate::DetectorBuilder`] — reach for the builder when any knob
+/// (threads, layout, engine, join strategy) needs setting.
 pub fn detect_outliers(store: &PointStore, params: DbscoutParams) -> Result<OutlierResult> {
     Dbscout::new(params).detect(store)
 }

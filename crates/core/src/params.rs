@@ -22,9 +22,7 @@ impl DbscoutParams {
     /// Fails if `eps` is not finite-positive or `min_pts` is zero.
     pub fn new(eps: f64, min_pts: usize) -> Result<Self> {
         if !eps.is_finite() || eps <= 0.0 {
-            return Err(DbscoutError::Spatial(
-                dbscout_spatial::SpatialError::InvalidEpsilon { value: eps },
-            ));
+            return Err(DbscoutError::InvalidEpsilon { value: eps });
         }
         if min_pts == 0 {
             return Err(DbscoutError::InvalidMinPts { value: 0 });

@@ -1,0 +1,214 @@
+//! The cell-major layout is a pure re-arrangement of memory: its labels
+//! must be byte-identical to the hashed path and to the brute-force
+//! reference on arbitrary inputs — across dimensions, thread counts,
+//! ablation switches, and the degenerate shapes (empty store, all
+//! duplicates, one cell) where permutation bookkeeping likes to break.
+//! Cases come from a seeded [`dbscout_rng::Rng`] so every run is
+//! reproducible.
+
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
+use dbscout_core::reference::naive_labels;
+use dbscout_core::{Dbscout, DbscoutParams, ExecutionLayout, NativeOptions};
+use dbscout_rng::Rng;
+use dbscout_spatial::PointStore;
+
+/// Clustered-looking random datasets (same construction as the
+/// exactness suite): anchors, points near anchors, uniform noise.
+fn dataset(rng: &mut Rng, dims: usize, max_n: usize) -> PointStore {
+    let n_anchors = rng.gen_range(1usize..4);
+    let anchors: Vec<Vec<f64>> = (0..n_anchors)
+        .map(|_| (0..dims).map(|_| rng.gen_range(-20.0..20.0)).collect())
+        .collect();
+    let n = rng.gen_range(1..max_n);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            let a = rng.gen_range(0usize..3);
+            let off: Vec<f64> = (0..dims).map(|_| rng.gen_range(-0.8..0.8)).collect();
+            let noise = rng.gen::<bool>();
+            let anchor = &anchors[a % anchors.len()];
+            if noise {
+                off.iter().map(|o| o * 40.0).collect()
+            } else {
+                anchor.iter().zip(&off).map(|(c, o)| c + o).collect()
+            }
+        })
+        .collect();
+    PointStore::from_rows(dims, rows).expect("generated rows are valid")
+}
+
+fn detect(
+    store: &PointStore,
+    params: DbscoutParams,
+    layout: ExecutionLayout,
+    threads: usize,
+) -> dbscout_core::OutlierResult {
+    Dbscout::new(params)
+        .with_layout(layout)
+        .with_threads(threads)
+        .detect(store)
+        .unwrap()
+}
+
+#[test]
+fn cell_major_matches_hashed_and_naive_dims_2_to_4() {
+    let mut rng = Rng::seed_from_u64(0x2001);
+    for round in 0..30 {
+        // Smaller datasets as k_d grows keeps the naive O(n²) check fast.
+        let (dims, max_n) = match round % 3 {
+            0 => (2, 120),
+            1 => (3, 80),
+            _ => (4, 50),
+        };
+        let store = dataset(&mut rng, dims, max_n);
+        let eps = rng.gen_range(0.3..5.0);
+        let min_pts = rng.gen_range(1usize..8);
+        let params = DbscoutParams::new(eps, min_pts).unwrap();
+        let expected = naive_labels(&store, params);
+        for threads in [1usize, 4] {
+            let hashed = detect(&store, params, ExecutionLayout::Hashed, threads);
+            let cell_major = detect(&store, params, ExecutionLayout::CellMajor, threads);
+            assert_eq!(
+                cell_major.labels, expected,
+                "cell-major vs naive (d={dims}, threads={threads})"
+            );
+            assert_eq!(
+                cell_major.labels, hashed.labels,
+                "cell-major vs hashed (d={dims}, threads={threads})"
+            );
+            assert_eq!(cell_major.outliers, hashed.outliers);
+            // The structural cell counters are layout-independent too.
+            assert_eq!(cell_major.stats.num_cells, hashed.stats.num_cells);
+            assert_eq!(cell_major.stats.dense_cells, hashed.stats.dense_cells);
+            assert_eq!(cell_major.stats.core_cells, hashed.stats.core_cells);
+        }
+    }
+}
+
+#[test]
+fn cell_major_is_thread_count_invariant() {
+    let mut rng = Rng::seed_from_u64(0x2002);
+    for _ in 0..10 {
+        let store = dataset(&mut rng, 2, 200);
+        let eps = rng.gen_range(0.3..5.0);
+        let min_pts = rng.gen_range(1usize..8);
+        let params = DbscoutParams::new(eps, min_pts).unwrap();
+        let single = detect(&store, params, ExecutionLayout::CellMajor, 1);
+        for threads in [2usize, 4, 8] {
+            let multi = detect(&store, params, ExecutionLayout::CellMajor, threads);
+            assert_eq!(single.labels, multi.labels, "threads {threads}");
+            assert_eq!(single.outliers, multi.outliers, "threads {threads}");
+            assert_eq!(
+                single.stats.distance_computations, multi.stats.distance_computations,
+                "distance accounting must not depend on scheduling (threads {threads})"
+            );
+        }
+    }
+}
+
+#[test]
+fn cell_major_ablations_preserve_labels() {
+    let mut rng = Rng::seed_from_u64(0x2003);
+    for _ in 0..10 {
+        let store = dataset(&mut rng, 2, 120);
+        let eps = rng.gen_range(0.3..5.0);
+        let min_pts = rng.gen_range(1usize..8);
+        let params = DbscoutParams::new(eps, min_pts).unwrap();
+        let expected = naive_labels(&store, params);
+        for (dense, early) in [(false, true), (true, false), (false, false)] {
+            let got = Dbscout::new(params)
+                .with_layout(ExecutionLayout::CellMajor)
+                .with_options(NativeOptions {
+                    dense_cell_shortcut: dense,
+                    early_exit: early,
+                })
+                .detect(&store)
+                .unwrap();
+            assert_eq!(got.labels, expected, "dense={dense} early={early}");
+        }
+    }
+}
+
+#[test]
+fn cell_major_prunes_at_least_as_hard_as_hashed() {
+    // The whole point of the layout: bounding-box pruning plus per-cell
+    // neighbor resolution must never *add* distance computations.
+    let mut rng = Rng::seed_from_u64(0x2004);
+    for _ in 0..15 {
+        let store = dataset(&mut rng, 2, 200);
+        let eps = rng.gen_range(0.3..5.0);
+        let min_pts = rng.gen_range(1usize..8);
+        let params = DbscoutParams::new(eps, min_pts).unwrap();
+        let hashed = detect(&store, params, ExecutionLayout::Hashed, 1);
+        let cell_major = detect(&store, params, ExecutionLayout::CellMajor, 1);
+        assert!(
+            cell_major.stats.distance_computations <= hashed.stats.distance_computations,
+            "cell-major did {} comps, hashed {}",
+            cell_major.stats.distance_computations,
+            hashed.stats.distance_computations
+        );
+    }
+}
+
+#[test]
+fn edge_case_empty_store() {
+    let params = DbscoutParams::new(1.0, 5).unwrap();
+    for dims in [2usize, 3, 4] {
+        let store = PointStore::new(dims).unwrap();
+        for layout in [ExecutionLayout::Hashed, ExecutionLayout::CellMajor] {
+            let r = detect(&store, params, layout, 4);
+            assert!(r.labels.is_empty(), "{layout:?}");
+            assert!(r.outliers.is_empty(), "{layout:?}");
+            assert_eq!(r.stats.num_cells, 0, "{layout:?}");
+            assert_eq!(r.stats.distance_computations, 0, "{layout:?}");
+        }
+    }
+}
+
+#[test]
+fn edge_case_all_duplicates() {
+    // Every point identical: one cell, all pairwise distances zero.
+    for n in [1usize, 4, 40] {
+        let rows = vec![vec![3.25, -1.5]; n];
+        let store = PointStore::from_rows(2, rows).unwrap();
+        for min_pts in [1usize, n.max(1), n + 1] {
+            let params = DbscoutParams::new(0.5, min_pts).unwrap();
+            let expected = naive_labels(&store, params);
+            for threads in [1usize, 4] {
+                let hashed = detect(&store, params, ExecutionLayout::Hashed, threads);
+                let cell_major = detect(&store, params, ExecutionLayout::CellMajor, threads);
+                assert_eq!(cell_major.labels, expected, "n={n} minPts={min_pts}");
+                assert_eq!(cell_major.labels, hashed.labels, "n={n} minPts={min_pts}");
+            }
+        }
+    }
+}
+
+#[test]
+fn edge_case_single_cell() {
+    // eps large enough that the whole dataset shares one ε-cell: the
+    // neighbor loop degenerates to a self-scan.
+    let mut rng = Rng::seed_from_u64(0x2005);
+    for _ in 0..10 {
+        let n = rng.gen_range(1usize..60);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(0.0..0.5), rng.gen_range(0.0..0.5)])
+            .collect();
+        let store = PointStore::from_rows(2, rows).unwrap();
+        let params = DbscoutParams::new(10.0, rng.gen_range(1usize..6)).unwrap();
+        let expected = naive_labels(&store, params);
+        for threads in [1usize, 4] {
+            let hashed = detect(&store, params, ExecutionLayout::Hashed, threads);
+            let cell_major = detect(&store, params, ExecutionLayout::CellMajor, threads);
+            assert_eq!(cell_major.stats.num_cells, 1);
+            assert_eq!(cell_major.labels, expected, "n={n} threads={threads}");
+            assert_eq!(cell_major.labels, hashed.labels, "n={n} threads={threads}");
+        }
+    }
+}

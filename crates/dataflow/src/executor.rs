@@ -173,6 +173,27 @@ where
     run_stage(&StageOptions::new(workers), tasks)
 }
 
+/// Like [`run_tasks`], but each worker thread owns one scratch value
+/// built by `make_scratch`, passed to every task it runs. Hot loops that
+/// need buffers (neighbor-cell lists, gathered coordinates) allocate them
+/// once per worker instead of once per task. Equivalent to
+/// [`run_stage_with`] with [`StageOptions::new`].
+///
+/// Tasks must not assume anything about the scratch's contents on entry
+/// (clear what you use): the same value is reused across tasks, retried
+/// attempts, and speculative duplicates on that worker.
+pub fn run_tasks_with<S, T, F>(
+    workers: usize,
+    make_scratch: impl Fn() -> S + Send + Sync,
+    tasks: Vec<F>,
+) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(&mut S) -> T + Send + Sync,
+{
+    run_stage_with(&StageOptions::new(workers), make_scratch, tasks)
+}
+
 /// One scheduled attempt of one partition's task.
 #[derive(Debug, Clone, Copy)]
 struct WorkItem {
@@ -241,6 +262,25 @@ where
     T: Send,
     F: Fn() -> T + Send + Sync,
 {
+    // Scratch-free tasks are the `S = ()` case of the generic runner; the
+    // adapter closures compile away.
+    let tasks: Vec<_> = tasks.into_iter().map(|f| move |_: &mut ()| f()).collect();
+    run_stage_with(opts, || (), tasks)
+}
+
+/// [`run_stage`] with per-worker scratch state: `make_scratch` is called
+/// once per worker thread (once total on the sequential path) and the
+/// resulting value is passed by `&mut` to every task that worker runs.
+/// See [`run_tasks_with`] for the reuse contract tasks must honor.
+pub fn run_stage_with<'a, S, T, F>(
+    opts: &StageOptions<'a>,
+    make_scratch: impl Fn() -> S + Send + Sync,
+    tasks: Vec<F>,
+) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(&mut S) -> T + Send + Sync,
+{
     let n = tasks.len();
     if n == 0 {
         return Ok(Vec::new());
@@ -252,7 +292,8 @@ where
     // Single-threaded fast path: in-order retry loop, no speculation
     // (a lone worker has no idle capacity to speculate with).
     let result = if workers == 1 {
-        run_sequential(opts, &tasks, &counters)
+        let mut scratch = make_scratch();
+        run_sequential(opts, &tasks, &counters, &mut scratch)
     } else {
         let shared = StageShared {
             opts,
@@ -275,7 +316,11 @@ where
         std::thread::scope(|scope| {
             for lane in 0..workers {
                 let shared = &shared;
-                scope.spawn(move || worker_loop(shared, lane));
+                let make_scratch = &make_scratch;
+                scope.spawn(move || {
+                    let mut scratch = make_scratch();
+                    worker_loop(shared, lane, &mut scratch);
+                });
             }
         });
 
@@ -293,7 +338,11 @@ where
 /// The body of one worker thread: drain the queue, then look for
 /// stragglers to speculate on, then idle-wait until the stage settles.
 /// `lane` is the worker's index, used as the trace lane of its spans.
-fn worker_loop<T: Send, F: Fn() -> T>(shared: &StageShared<'_, T, F>, lane: usize) {
+fn worker_loop<S, T: Send, F: Fn(&mut S) -> T>(
+    shared: &StageShared<'_, T, F>,
+    lane: usize,
+    scratch: &mut S,
+) {
     let n = shared.tasks.len();
     loop {
         if shared.settled.load(Ordering::Acquire) >= n {
@@ -306,7 +355,7 @@ fn worker_loop<T: Send, F: Fn() -> T>(shared: &StageShared<'_, T, F>, lane: usiz
             std::thread::sleep(Duration::from_micros(100));
             continue;
         };
-        run_item(shared, item, lane);
+        run_item(shared, item, lane, scratch);
     }
 }
 
@@ -356,7 +405,12 @@ fn record_task_span(
 }
 
 /// Executes one work item and records its outcome.
-fn run_item<T: Send, F: Fn() -> T>(shared: &StageShared<'_, T, F>, item: WorkItem, lane: usize) {
+fn run_item<S, T: Send, F: Fn(&mut S) -> T>(
+    shared: &StageShared<'_, T, F>,
+    item: WorkItem,
+    lane: usize,
+    scratch: &mut S,
+) {
     let Some(state) = shared.states.get(item.partition) else {
         return; // out-of-range item: scheduler bug, but never panic
     };
@@ -382,6 +436,7 @@ fn run_item<T: Send, F: Fn() -> T>(shared: &StageShared<'_, T, F>, item: WorkIte
         item.partition,
         item.attempt,
         &settled_probe,
+        scratch,
     );
 
     let mut st = lock_unpoisoned(state);
@@ -482,13 +537,15 @@ fn pick_speculative<T, F>(shared: &StageShared<'_, T, F>) -> Option<WorkItem> {
 /// already settled this partition; injected delays poll it so a
 /// speculative winner releases the delayed worker early instead of
 /// pinning it for the full delay.
-fn run_attempt<T, F: Fn() -> T>(
+#[allow(clippy::too_many_arguments)]
+fn run_attempt<S, T, F: Fn(&mut S) -> T>(
     opts: &StageOptions<'_>,
     counters: &StageCounters,
     task: &F,
     partition: usize,
     attempt: usize,
     settled: &dyn Fn() -> bool,
+    scratch: &mut S,
 ) -> std::result::Result<T, String> {
     if let Some(plan) = opts.fault_plan {
         if let Some(kind) = plan.decide(opts.stage, partition, attempt) {
@@ -516,7 +573,10 @@ fn run_attempt<T, F: Fn() -> T>(
             }
         }
     }
-    match catch_unwind(AssertUnwindSafe(task)) {
+    // A task that panics mid-mutation may leave its scratch logically
+    // stale for the next task on this worker — part of why tasks must
+    // clear what they use on entry (see `run_tasks_with`).
+    match catch_unwind(AssertUnwindSafe(|| task(scratch))) {
         Ok(v) => Ok(v),
         Err(payload) => Err(panic_message(payload)),
     }
@@ -524,13 +584,14 @@ fn run_attempt<T, F: Fn() -> T>(
 
 /// The single-worker path: tasks run in partition order; a failed task
 /// retries immediately (there are no peers to interleave with).
-fn run_sequential<T, F>(
+fn run_sequential<S, T, F>(
     opts: &StageOptions<'_>,
     tasks: &[F],
     counters: &StageCounters,
+    scratch: &mut S,
 ) -> Result<Vec<T>>
 where
-    F: Fn() -> T,
+    F: Fn(&mut S) -> T,
 {
     let mut out = Vec::with_capacity(tasks.len());
     for (partition, task) in tasks.iter().enumerate() {
@@ -542,7 +603,15 @@ where
                 speculative: false,
             };
             let started = Instant::now();
-            match run_attempt(opts, counters, task, partition, failures.len(), &|| false) {
+            match run_attempt(
+                opts,
+                counters,
+                task,
+                partition,
+                failures.len(),
+                &|| false,
+                scratch,
+            ) {
                 Ok(v) => {
                     counters.tasks.fetch_add(1, Ordering::Relaxed);
                     lock_unpoisoned(&counters.durations_hist).record(started.elapsed());
@@ -838,6 +907,68 @@ mod tests {
         let s = metrics.snapshot();
         assert_eq!(s.injected_faults, 1);
         assert_eq!(s.task_retries, 0);
+    }
+
+    #[test]
+    fn scratch_is_built_once_per_worker_and_reused() {
+        use std::sync::atomic::AtomicUsize;
+        for workers in [1usize, 4] {
+            let builds = AtomicUsize::new(0);
+            let tasks: Vec<_> = (0..64)
+                .map(|i| {
+                    move |scratch: &mut Vec<usize>| {
+                        scratch.clear();
+                        scratch.extend(0..=i);
+                        scratch.iter().sum::<usize>()
+                    }
+                })
+                .collect();
+            let out = run_tasks_with(
+                workers,
+                || {
+                    builds.fetch_add(1, Ordering::Relaxed);
+                    Vec::with_capacity(64)
+                },
+                tasks,
+            )
+            .unwrap();
+            let expected: Vec<usize> = (0..64).map(|i| i * (i + 1) / 2).collect();
+            assert_eq!(out, expected, "workers={workers}");
+            assert!(
+                builds.load(Ordering::Relaxed) <= workers,
+                "scratch built {} times for {workers} workers",
+                builds.load(Ordering::Relaxed)
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_survives_panicking_tasks() {
+        // A panicked attempt must not take the worker's scratch with it:
+        // the retry and every later task still get a usable scratch.
+        let opts = StageOptions {
+            max_task_retries: 1,
+            ..StageOptions::new(1)
+        };
+        let attempts = AtomicU64::new(0);
+        type ScratchTask<'a> = Box<dyn Fn(&mut Vec<u64>) -> u64 + Send + Sync + 'a>;
+        let tasks: Vec<ScratchTask<'_>> = vec![
+            Box::new(|s: &mut Vec<u64>| {
+                s.clear();
+                s.push(7);
+                if attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                    panic!("first attempt dies");
+                }
+                s.iter().sum()
+            }),
+            Box::new(|s: &mut Vec<u64>| {
+                s.clear();
+                s.push(35);
+                s.iter().sum()
+            }),
+        ];
+        let out = run_stage_with(&opts, Vec::new, tasks).unwrap();
+        assert_eq!(out, vec![7, 35]);
     }
 
     #[test]

@@ -1,0 +1,706 @@
+//! Cell-major columnar point storage — the hot-path layout of the native
+//! engine.
+//!
+//! [`crate::Grid`] keeps one heap-allocated id list per cell behind a hash
+//! map, so every neighbor-cell visit in the core-point and outlier phases
+//! costs a hash probe plus a pointer chase into a scattered allocation.
+//! [`CellMajorStore`] instead *permutes* the points once so that each
+//! cell's points occupy one contiguous run of a single columnar buffer:
+//!
+//! * coordinates are stored column-major (`col(k)[slot]` is dimension `k`
+//!   of the point in `slot`), so a distance scan over a cell streams
+//!   `d` dense `f64` slices instead of hopping between point rows;
+//! * cells are sorted by [`CellCoord`], each described by a
+//!   [`CellRecord`] `(coord, start..end)` — neighbor cells of a query
+//!   cell tend to be nearby in the record table and in the buffer;
+//! * `orig_ids` maps a slot back to the [`PointId`] of the source
+//!   [`PointStore`], so per-point labels can be scattered back;
+//! * every cell carries the tight bounding box of its *actual* points
+//!   (tighter than the ε-cell box), enabling the pruned kernels below to
+//!   skip whole cells whose contents provably cannot lie within ε.
+//!
+//! The layout is canonical for a given dataset and ε: cells ascend in
+//! `CellCoord` order and slots within a cell ascend in original id, so
+//! any two builds — whatever the thread count — produce byte-identical
+//! buffers. Exactness of the pruning rests on two invariants that the
+//! property tests pin:
+//!
+//! 1. **bbox containment** — every point of a cell lies inside the cell's
+//!    stored bounding box, so `min_sq_dist_to_bbox(q, c) > ε²` implies no
+//!    point of `c` is within ε of `q` (closed-ball semantics keep the
+//!    `= ε²` case);
+//! 2. **prune soundness** — a cell skipped by the bbox-to-bbox test can
+//!    contain no point within ε of *any* point of the query cell, because
+//!    box-to-box minimum distance lower-bounds every point pair.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+use std::ops::Range;
+
+use crate::cell::{cell_of, cell_side, CellCoord, MAX_DIMS};
+use crate::error::SpatialError;
+use crate::neighbors::NeighborOffsets;
+use crate::points::{PointId, PointStore};
+
+type DetState = BuildHasherDefault<DefaultHasher>;
+
+/// One cell of a [`CellMajorStore`]: its coordinate and the slot range
+/// its points occupy in the columnar buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellRecord {
+    /// The ε-cell coordinate.
+    pub coord: CellCoord,
+    /// First slot of the cell's run (inclusive).
+    pub start: u32,
+    /// One past the last slot of the cell's run.
+    pub end: u32,
+}
+
+impl CellRecord {
+    /// The slot range of this cell.
+    #[inline]
+    pub fn range(&self) -> Range<usize> {
+        self.start as usize..self.end as usize
+    }
+
+    /// Number of points in this cell.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the cell is empty (never true for stored records).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Cell-contiguous columnar storage for one dataset and one ε.
+#[derive(Debug, Clone)]
+pub struct CellMajorStore {
+    dims: usize,
+    eps: f64,
+    side: f64,
+    n: usize,
+    /// Column-major coordinates: dimension `k` of slot `j` lives at
+    /// `cols[k * n + j]`.
+    cols: Vec<f64>,
+    /// Slot → original [`PointId`] (a permutation of `0..n`).
+    orig_ids: Vec<PointId>,
+    /// Non-empty cells, ascending by coordinate.
+    cells: Vec<CellRecord>,
+    /// Cell coordinate → index into `cells`.
+    index: HashMap<CellCoord, u32, DetState>,
+    /// Tight per-cell bounding boxes: cell `c`'s box spans
+    /// `bbox_min[c*dims..(c+1)*dims]` .. `bbox_max[..]`.
+    bbox_min: Vec<f64>,
+    bbox_max: Vec<f64>,
+}
+
+impl CellMajorStore {
+    /// Permutes `store` into cell-major layout for radius `eps`
+    /// (paper Algorithm 1 plus the physical reorder).
+    ///
+    /// O(n log n) for the sort; the result is identical for any thread
+    /// count because the order is fully determined by `(cell, id)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `eps` is not finite and positive.
+    pub fn build(store: &PointStore, eps: f64) -> Result<Self, SpatialError> {
+        if !eps.is_finite() || eps <= 0.0 {
+            return Err(SpatialError::InvalidEpsilon { value: eps });
+        }
+        let dims = store.dims();
+        let side = cell_side(eps, dims);
+        let n = store.len() as usize;
+
+        // Assign and sort: (cell, id) pairs; ids ascend within a cell
+        // because the assignment pass emits them in order and the sort is
+        // on the full pair.
+        let mut order: Vec<(CellCoord, PointId)> =
+            store.iter().map(|(id, p)| (cell_of(p, side), id)).collect();
+        order.sort_unstable();
+
+        // Fill the columnar buffer, the permutation, the cell records and
+        // the per-cell bounding boxes in one pass over the sorted order.
+        let mut cols = vec![0.0f64; n * dims];
+        let mut orig_ids = Vec::with_capacity(n);
+        let mut cells: Vec<CellRecord> = Vec::new();
+        let mut bbox_min: Vec<f64> = Vec::new();
+        let mut bbox_max: Vec<f64> = Vec::new();
+        for (slot, &(coord, id)) in order.iter().enumerate() {
+            let p = store.point(id);
+            for (k, &x) in p.iter().enumerate() {
+                if let Some(out) = cols.get_mut(k * n + slot) {
+                    *out = x;
+                }
+            }
+            orig_ids.push(id);
+            let open_new = match cells.last() {
+                Some(last) => last.coord != coord,
+                None => true,
+            };
+            if open_new {
+                cells.push(CellRecord {
+                    coord,
+                    start: slot as u32,
+                    end: slot as u32,
+                });
+                bbox_min.extend_from_slice(p);
+                bbox_max.extend_from_slice(p);
+            } else {
+                let base = (cells.len() - 1) * dims;
+                for (k, &x) in p.iter().enumerate() {
+                    if let Some(mn) = bbox_min.get_mut(base + k) {
+                        *mn = mn.min(x);
+                    }
+                    if let Some(mx) = bbox_max.get_mut(base + k) {
+                        *mx = mx.max(x);
+                    }
+                }
+            }
+            if let Some(last) = cells.last_mut() {
+                last.end = slot as u32 + 1;
+            }
+        }
+
+        let index = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.coord, i as u32))
+            .collect();
+        Ok(Self {
+            dims,
+            eps,
+            side,
+            n,
+            cols,
+            orig_ids,
+            cells,
+            index,
+            bbox_min,
+            bbox_max,
+        })
+    }
+
+    /// Dimensionality of the stored points.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The ε this store was built with.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Cell side length `l = ε/√d`.
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the store holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of non-empty cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The cell records, ascending by coordinate.
+    pub fn cells(&self) -> &[CellRecord] {
+        &self.cells
+    }
+
+    /// The record of cell `idx`, if in range.
+    pub fn cell(&self, idx: usize) -> Option<&CellRecord> {
+        self.cells.get(idx)
+    }
+
+    /// Index of the cell with coordinate `coord`, if non-empty.
+    pub fn cell_index(&self, coord: &CellCoord) -> Option<u32> {
+        self.index.get(coord).copied()
+    }
+
+    /// Slot → original point id permutation.
+    pub fn orig_ids(&self) -> &[PointId] {
+        &self.orig_ids
+    }
+
+    /// One coordinate column: dimension `k` of every slot, cell-major.
+    pub fn col(&self, k: usize) -> &[f64] {
+        self.cols.get(k * self.n..(k + 1) * self.n).unwrap_or(&[])
+    }
+
+    /// Copies the coordinates of `slot` into `out` (first `dims`
+    /// entries); a gather across the columns.
+    #[inline]
+    pub fn point_into(&self, slot: usize, out: &mut [f64; MAX_DIMS]) {
+        for (k, o) in out.iter_mut().take(self.dims).enumerate() {
+            *o = self.cols.get(k * self.n + slot).copied().unwrap_or(0.0);
+        }
+    }
+
+    /// Squared minimum distance from `q` to the tight bounding box of
+    /// cell `idx` (0 when `q` lies inside). Lower-bounds the distance
+    /// from `q` to every point of the cell — the per-point prune.
+    #[inline]
+    pub fn min_sq_dist_to_bbox(&self, q: &[f64], idx: usize) -> f64 {
+        let base = idx * self.dims;
+        let mut acc = 0.0;
+        for (k, &x) in q.iter().enumerate().take(self.dims) {
+            let lo = self.bbox_min.get(base + k).copied().unwrap_or(x);
+            let hi = self.bbox_max.get(base + k).copied().unwrap_or(x);
+            let gap = if x < lo {
+                lo - x
+            } else if x > hi {
+                x - hi
+            } else {
+                0.0
+            };
+            acc += gap * gap;
+        }
+        acc
+    }
+
+    /// Squared minimum distance between the tight bounding boxes of
+    /// cells `a` and `b`. Lower-bounds every point pair across the two
+    /// cells — the per-cell prune.
+    #[inline]
+    pub fn min_sq_dist_between_bboxes(&self, a: usize, b: usize) -> f64 {
+        let (ab, bb) = (a * self.dims, b * self.dims);
+        let mut acc = 0.0;
+        for k in 0..self.dims {
+            let alo = self.bbox_min.get(ab + k).copied().unwrap_or(0.0);
+            let ahi = self.bbox_max.get(ab + k).copied().unwrap_or(0.0);
+            let blo = self.bbox_min.get(bb + k).copied().unwrap_or(0.0);
+            let bhi = self.bbox_max.get(bb + k).copied().unwrap_or(0.0);
+            let gap = if ahi < blo {
+                blo - ahi
+            } else if bhi < alo {
+                alo - bhi
+            } else {
+                0.0
+            };
+            acc += gap * gap;
+        }
+        acc
+    }
+
+    /// Resolves the non-empty neighbor cells of cell `idx` into `out`
+    /// (cleared first), as indices into [`Self::cells`]. With
+    /// `prune_eps_sq = Some(ε²)`, neighbor cells whose bounding box lies
+    /// strictly farther than ε from this cell's bounding box are dropped
+    /// — sound because the box distance lower-bounds every point pair.
+    ///
+    /// One hash probe per offset, amortized over every point of the cell
+    /// (the hashed path paid this per *point*).
+    pub fn neighbors_into(
+        &self,
+        idx: usize,
+        offsets: &NeighborOffsets,
+        prune_eps_sq: Option<f64>,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        let Some(rec) = self.cells.get(idx) else {
+            return;
+        };
+        for off in offsets.iter() {
+            let ncoord = NeighborOffsets::apply(&rec.coord, off);
+            let Some(&nidx) = self.index.get(&ncoord) else {
+                continue;
+            };
+            if let Some(eps_sq) = prune_eps_sq {
+                if self.min_sq_dist_between_bboxes(idx, nidx as usize) > eps_sq {
+                    continue;
+                }
+            }
+            out.push(nidx);
+        }
+    }
+
+    /// Counts slots of `range` within `ε` of `q` (closed ball, given
+    /// `eps_sq = ε²`), stopping as soon as the count would reach `limit`.
+    /// Returns `(count, comparisons)`; the comparison tally feeds the
+    /// Lemma 6/8 accounting.
+    #[inline]
+    pub fn count_within(
+        &self,
+        q: &[f64],
+        range: Range<usize>,
+        eps_sq: f64,
+        limit: usize,
+    ) -> (usize, u64) {
+        let mut count = 0usize;
+        let mut comps = 0u64;
+        match self.dims {
+            2 => {
+                let (qx, qy) = (
+                    q.first().copied().unwrap_or(0.0),
+                    q.get(1).copied().unwrap_or(0.0),
+                );
+                let xs = self.col(0).get(range.clone()).unwrap_or(&[]);
+                let ys = self.col(1).get(range).unwrap_or(&[]);
+                for (&x, &y) in xs.iter().zip(ys) {
+                    comps += 1;
+                    let (dx, dy) = (x - qx, y - qy);
+                    if dx * dx + dy * dy <= eps_sq {
+                        count += 1;
+                        if count >= limit {
+                            break;
+                        }
+                    }
+                }
+            }
+            3 => {
+                let (qx, qy, qz) = (
+                    q.first().copied().unwrap_or(0.0),
+                    q.get(1).copied().unwrap_or(0.0),
+                    q.get(2).copied().unwrap_or(0.0),
+                );
+                let xs = self.col(0).get(range.clone()).unwrap_or(&[]);
+                let ys = self.col(1).get(range.clone()).unwrap_or(&[]);
+                let zs = self.col(2).get(range).unwrap_or(&[]);
+                for ((&x, &y), &z) in xs.iter().zip(ys).zip(zs) {
+                    comps += 1;
+                    let (dx, dy, dz) = (x - qx, y - qy, z - qz);
+                    if dx * dx + dy * dy + dz * dz <= eps_sq {
+                        count += 1;
+                        if count >= limit {
+                            break;
+                        }
+                    }
+                }
+            }
+            _ => {
+                for slot in range {
+                    comps += 1;
+                    if self.sq_dist_to_slot(q, slot) <= eps_sq {
+                        count += 1;
+                        if count >= limit {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        (count, comps)
+    }
+
+    /// Whether any *flagged* slot of `range` lies within ε of `q`
+    /// (`flags` is slot-indexed — the phase-5 "is this a core point"
+    /// mask). With `early`, returns at the first hit; otherwise scans the
+    /// whole range (the ablation mode). Returns `(hit, comparisons)`.
+    #[inline]
+    pub fn any_flagged_within(
+        &self,
+        q: &[f64],
+        range: Range<usize>,
+        eps_sq: f64,
+        flags: &[bool],
+        early: bool,
+    ) -> (bool, u64) {
+        let mut hit = false;
+        let mut comps = 0u64;
+        for slot in range {
+            if !flags.get(slot).copied().unwrap_or(false) {
+                continue;
+            }
+            comps += 1;
+            if self.sq_dist_to_slot(q, slot) <= eps_sq {
+                hit = true;
+                if early {
+                    break;
+                }
+            }
+        }
+        (hit, comps)
+    }
+
+    /// Squared distance from `q` to the point in `slot`.
+    #[inline]
+    fn sq_dist_to_slot(&self, q: &[f64], slot: usize) -> f64 {
+        let mut acc = 0.0;
+        for (k, &x) in q.iter().enumerate().take(self.dims) {
+            let c = self.cols.get(k * self.n + slot).copied().unwrap_or(x);
+            let d = c - x;
+            acc += d * d;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::sq_dist;
+
+    fn store_2d(points: &[[f64; 2]]) -> PointStore {
+        PointStore::from_rows(2, points.iter().map(|p| p.to_vec())).unwrap()
+    }
+
+    fn gather_point(cm: &CellMajorStore, slot: usize) -> Vec<f64> {
+        let mut buf = [0.0; MAX_DIMS];
+        cm.point_into(slot, &mut buf);
+        buf[..cm.dims()].to_vec()
+    }
+
+    #[test]
+    fn permutation_is_a_bijection_preserving_coordinates() {
+        let s = store_2d(&[[0.1, 0.1], [5.0, 5.0], [0.9, 0.9], [-3.0, 2.0], [5.1, 5.1]]);
+        let cm = CellMajorStore::build(&s, 2f64.sqrt()).unwrap();
+        assert_eq!(cm.len(), 5);
+        let mut seen = [false; 5];
+        for slot in 0..cm.len() {
+            let id = cm.orig_ids()[slot];
+            assert!(!seen[id as usize], "id {id} mapped twice");
+            seen[id as usize] = true;
+            assert_eq!(gather_point(&cm, slot), s.point(id));
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn cells_are_sorted_and_partition_the_slots() {
+        let s = store_2d(&[[0.2, 0.2], [9.0, 9.0], [0.8, 0.8], [1.1, -0.3], [1.9, -0.9]]);
+        let cm = CellMajorStore::build(&s, 2f64.sqrt()).unwrap();
+        let mut next = 0u32;
+        for w in cm.cells().windows(2) {
+            assert!(w[0].coord < w[1].coord, "cells out of order");
+        }
+        for rec in cm.cells() {
+            assert_eq!(rec.start, next, "gap before {:?}", rec.coord);
+            assert!(rec.end > rec.start);
+            next = rec.end;
+        }
+        assert_eq!(next as usize, cm.len());
+    }
+
+    #[test]
+    fn ids_ascend_within_each_cell() {
+        let s = store_2d(&[[0.3, 0.3], [0.1, 0.1], [0.2, 0.2], [7.0, 7.0]]);
+        let cm = CellMajorStore::build(&s, 2f64.sqrt()).unwrap();
+        for rec in cm.cells() {
+            let ids = &cm.orig_ids()[rec.range()];
+            for w in ids.windows(2) {
+                assert!(w[0] < w[1], "ids not ascending in {:?}", rec.coord);
+            }
+        }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let s = store_2d(&[[0.5, 0.5], [10.0, -3.0]]);
+        let cm = CellMajorStore::build(&s, 1.0).unwrap();
+        for (i, rec) in cm.cells().iter().enumerate() {
+            assert_eq!(cm.cell_index(&rec.coord), Some(i as u32));
+        }
+        assert_eq!(cm.cell_index(&CellCoord::from_slice(&[999, 999])), None);
+    }
+
+    #[test]
+    fn bbox_contains_every_point_of_its_cell() {
+        let s = store_2d(&[
+            [0.11, 0.42],
+            [0.35, 0.02],
+            [0.21, 0.33],
+            [4.0, 4.0],
+            [4.2, 4.1],
+        ]);
+        let cm = CellMajorStore::build(&s, 2f64.sqrt()).unwrap();
+        for (idx, rec) in cm.cells().iter().enumerate() {
+            for slot in rec.range() {
+                let p = gather_point(&cm, slot);
+                assert_eq!(
+                    cm.min_sq_dist_to_bbox(&p, idx),
+                    0.0,
+                    "point {p:?} escapes bbox of {:?}",
+                    rec.coord
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn point_to_bbox_lower_bounds_every_point_distance() {
+        let s = store_2d(&[[0.1, 0.1], [0.4, 0.4], [2.0, 2.0], [2.3, 1.9]]);
+        let cm = CellMajorStore::build(&s, 1.0).unwrap();
+        let q = [5.0, -1.0];
+        for (idx, rec) in cm.cells().iter().enumerate() {
+            let lb = cm.min_sq_dist_to_bbox(&q, idx);
+            for slot in rec.range() {
+                let p = gather_point(&cm, slot);
+                assert!(lb <= sq_dist(&q, &p) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn bbox_to_bbox_lower_bounds_every_point_pair() {
+        let s = store_2d(&[[0.1, 0.1], [0.4, 0.4], [2.0, 2.0], [2.3, 1.9], [-3.0, 0.2]]);
+        let cm = CellMajorStore::build(&s, 1.0).unwrap();
+        for a in 0..cm.num_cells() {
+            for b in 0..cm.num_cells() {
+                let lb = cm.min_sq_dist_between_bboxes(a, b);
+                for sa in cm.cells()[a].range() {
+                    for sb in cm.cells()[b].range() {
+                        let pa = gather_point(&cm, sa);
+                        let pb = gather_point(&cm, sb);
+                        assert!(lb <= sq_dist(&pa, &pb) + 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_neighbors_are_a_subset_losing_nothing_within_eps() {
+        // Points in adjacent cells but far apart inside them: the pruned
+        // list may drop cells, but never one holding a point within eps
+        // of any point of the query cell.
+        let eps = 0.5;
+        let s = store_2d(&[
+            [0.01, 0.01],
+            [0.30, 0.30],
+            [0.34, 0.01], // next cell over, within eps of [0.30, 0.30]
+            [0.69, 0.69], // diagonal cell, corner region
+            [3.0, 3.0],
+        ]);
+        let cm = CellMajorStore::build(&s, eps).unwrap();
+        let offsets = NeighborOffsets::new(2).unwrap();
+        let eps_sq = eps * eps;
+        for idx in 0..cm.num_cells() {
+            let mut all = Vec::new();
+            let mut pruned = Vec::new();
+            cm.neighbors_into(idx, &offsets, None, &mut all);
+            cm.neighbors_into(idx, &offsets, Some(eps_sq), &mut pruned);
+            assert!(pruned.iter().all(|n| all.contains(n)));
+            // Soundness: every dropped neighbor has no point within eps
+            // of any point of the query cell.
+            for dropped in all.iter().filter(|n| !pruned.contains(n)) {
+                for sa in cm.cells()[idx].range() {
+                    let pa = gather_point(&cm, sa);
+                    for sb in cm.cells()[*dropped as usize].range() {
+                        let pb = gather_point(&cm, sb);
+                        assert!(
+                            sq_dist(&pa, &pb) > eps_sq,
+                            "prune dropped a reachable pair {pa:?} {pb:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_within_matches_brute_force_and_respects_limit() {
+        let s = store_2d(&[[0.0, 0.0], [0.1, 0.0], [0.2, 0.0], [0.3, 0.0], [0.9, 0.0]]);
+        let cm = CellMajorStore::build(&s, 10.0).unwrap(); // all one cell
+        assert_eq!(cm.num_cells(), 1);
+        let range = cm.cells()[0].range();
+        let q = [0.0, 0.0];
+        let (count, comps) = cm.count_within(&q, range.clone(), 0.25 * 0.25 + 1e-12, usize::MAX);
+        assert_eq!(count, 3); // 0.0, 0.1, 0.2
+        assert_eq!(comps, 5);
+        let (count, comps) = cm.count_within(&q, range, 1.0, 2);
+        assert_eq!(count, 2);
+        assert!(comps <= 2, "early exit must stop scanning");
+    }
+
+    #[test]
+    fn any_flagged_within_honors_flags_and_early_exit() {
+        let s = store_2d(&[[0.0, 0.0], [0.1, 0.0], [0.2, 0.0]]);
+        let cm = CellMajorStore::build(&s, 10.0).unwrap();
+        let range = cm.cells()[0].range();
+        let q = [0.0, 0.0];
+        // No flags set: never a hit, zero comparisons.
+        let (hit, comps) = cm.any_flagged_within(&q, range.clone(), 1.0, &[false; 3], true);
+        assert!(!hit);
+        assert_eq!(comps, 0);
+        // Only the far slot flagged and out of range.
+        let slot_of_02 = (0..3)
+            .find(|&s| {
+                let p = gather_point(&cm, s);
+                (p[0] - 0.2).abs() < 1e-12
+            })
+            .unwrap();
+        let mut flags = vec![false; 3];
+        flags[slot_of_02] = true;
+        let (hit, _) = cm.any_flagged_within(&q, range.clone(), 0.01, &flags, true);
+        assert!(!hit);
+        let (hit, _) = cm.any_flagged_within(&q, range, 0.05, &flags, true);
+        assert!(hit);
+    }
+
+    #[test]
+    fn three_d_and_generic_kernels_agree() {
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                vec![
+                    (i % 4) as f64 * 0.3,
+                    (i % 5) as f64 * 0.2,
+                    (i % 3) as f64 * 0.4,
+                ]
+            })
+            .collect();
+        let s = PointStore::from_rows(3, rows).unwrap();
+        let cm = CellMajorStore::build(&s, 10.0).unwrap();
+        let range = cm.cells()[0].range();
+        let q = [0.3, 0.2, 0.4];
+        let (fast, _) = cm.count_within(&q, range.clone(), 0.3, usize::MAX);
+        // Brute-force recount through the gathered rows.
+        let slow = range
+            .clone()
+            .filter(|&slot| sq_dist(&gather_point(&cm, slot), &q) <= 0.3)
+            .count();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn empty_store_builds_empty_layout() {
+        let s = PointStore::new(2).unwrap();
+        let cm = CellMajorStore::build(&s, 1.0).unwrap();
+        assert!(cm.is_empty());
+        assert_eq!(cm.num_cells(), 0);
+        assert!(cm.cells().is_empty());
+        assert!(cm.orig_ids().is_empty());
+    }
+
+    #[test]
+    fn invalid_eps_rejected() {
+        let s = store_2d(&[[0.0, 0.0]]);
+        for eps in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                CellMajorStore::build(&s, eps),
+                Err(SpatialError::InvalidEpsilon { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn layout_agrees_with_grid() {
+        // Same cells, same per-cell id sets as the hashed grid.
+        let pts: Vec<[f64; 2]> = (0..60)
+            .map(|i| [((i * 37) % 50) as f64 * 0.3, ((i * 53) % 40) as f64 * 0.3])
+            .collect();
+        let s = store_2d(&pts);
+        let eps = 1.5;
+        let grid = crate::Grid::build(&s, eps).unwrap();
+        let cm = CellMajorStore::build(&s, eps).unwrap();
+        assert_eq!(cm.num_cells(), grid.num_cells());
+        for rec in cm.cells() {
+            let ids = &cm.orig_ids()[rec.range()];
+            assert_eq!(grid.points_in(&rec.coord), Some(ids));
+        }
+    }
+}

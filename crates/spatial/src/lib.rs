@@ -30,6 +30,7 @@
     )
 )]
 pub mod cell;
+pub mod cell_major;
 pub mod distance;
 pub mod error;
 pub mod grid;
@@ -38,6 +39,7 @@ pub mod neighbors;
 pub mod points;
 
 pub use cell::{CellCoord, MAX_DIMS};
+pub use cell_major::{CellMajorStore, CellRecord};
 pub use error::SpatialError;
 pub use grid::Grid;
 pub use kdtree::KdTree;

@@ -1,0 +1,105 @@
+//! Guard that the cell-major layout stays the engine default.
+//!
+//! Release builds must run the columnar, bbox-pruned path unless a
+//! caller explicitly opts out; that promise lives in a single
+//! `#[default]` attribute inside the `ExecutionLayout` enum in
+//! `crates/core/src/native.rs`. A refactor that moves the attribute (or
+//! renames the variant) would silently revert every default-constructed
+//! detector to the hashed path, so `cargo xtask check-layout` pins it
+//! at the source level, where review diffs can't miss it.
+
+/// Checks that `source` (the text of `native.rs`) declares
+/// `ExecutionLayout` with `#[default]` on the `CellMajor` variant.
+/// Returns a list of human-readable violations; empty means compliant.
+pub fn check_layout_source(source: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    let Some(body) = enum_body(source, "ExecutionLayout") else {
+        errors.push("enum ExecutionLayout not found".to_string());
+        return errors;
+    };
+    if !body.contains("CellMajor") {
+        errors.push("ExecutionLayout has no CellMajor variant".to_string());
+        return errors;
+    }
+    match default_variant(&body) {
+        Some(v) if v == "CellMajor" => {}
+        Some(v) => errors.push(format!(
+            "ExecutionLayout defaults to {v}, expected CellMajor"
+        )),
+        None => errors.push("ExecutionLayout has no #[default] variant".to_string()),
+    }
+    errors
+}
+
+/// Extracts the `{ ... }` body of `pub enum <name>`, if present.
+fn enum_body(source: &str, name: &str) -> Option<String> {
+    let decl = format!("enum {name}");
+    let start = source.find(&decl)?;
+    let rest = source.get(start..)?;
+    let open = rest.find('{')?;
+    let mut depth = 0usize;
+    for (i, ch) in rest.char_indices().skip(open) {
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return rest.get(open + 1..i).map(str::to_string);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The identifier of the variant that directly follows `#[default]`.
+fn default_variant(body: &str) -> Option<String> {
+    let idx = body.find("#[default]")?;
+    let after = body.get(idx + "#[default]".len()..)?;
+    let ident: String = after
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!ident.is_empty()).then_some(ident)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_cell_major_default() {
+        let src = "pub enum ExecutionLayout {\n    Hashed,\n    #[default]\n    CellMajor,\n}";
+        assert!(check_layout_source(src).is_empty());
+    }
+
+    #[test]
+    fn rejects_hashed_default() {
+        let src = "pub enum ExecutionLayout {\n    #[default]\n    Hashed,\n    CellMajor,\n}";
+        let errs = check_layout_source(src);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("defaults to Hashed"), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_missing_default_attribute() {
+        let src = "pub enum ExecutionLayout { Hashed, CellMajor }";
+        assert!(check_layout_source(src)[0].contains("no #[default]"));
+    }
+
+    #[test]
+    fn rejects_missing_enum_or_variant() {
+        assert!(check_layout_source("fn main() {}")[0].contains("not found"));
+        let src = "pub enum ExecutionLayout { #[default] Hashed }";
+        assert!(check_layout_source(src)[0].contains("no CellMajor"));
+    }
+
+    #[test]
+    fn the_real_native_rs_passes() {
+        // Anchors the check to the actual engine source in-tree.
+        let src = include_str!("../../core/src/native.rs");
+        assert!(check_layout_source(src).is_empty());
+    }
+}

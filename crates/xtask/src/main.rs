@@ -13,7 +13,11 @@ fn usage() -> &'static str {
      \x20                              non-zero when findings exist\n\
      \x20 check-report <file>          validate a `dbscout detect\n\
      \x20                              --report-json` document against the\n\
-     \x20                              run-report schema\n\n\
+     \x20                              run-report schema\n\
+     \x20 check-layout [--root DIR]    assert the cell-major layout is the\n\
+     \x20                              native engine's `#[default]` (release\n\
+     \x20                              builds must not silently fall back to\n\
+     \x20                              the hashed path)\n\n\
      lint options:\n\
      \x20 --json      emit findings as one JSON document\n\
      \x20 --root DIR  workspace root to lint (default: CARGO_WORKSPACE_DIR\n\
@@ -33,6 +37,7 @@ fn main() -> ExitCode {
         }
         "lint" => lint(args),
         "check-report" => check_report(args),
+        "check-layout" => check_layout(args),
         _ => {
             eprintln!("error: unknown command {cmd:?}\n\n{}", usage());
             ExitCode::FAILURE
@@ -68,6 +73,54 @@ fn check_report(mut args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+// Under the `cargo xtask` alias the process runs from wherever the
+// user invoked cargo; resolve the workspace root from the manifest
+// location cargo gives us.
+fn workspace_root() -> PathBuf {
+    std::env::var("CARGO_MANIFEST_DIR")
+        .map(|m| PathBuf::from(m).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn check_layout(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag {other:?}\n\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+    let native = root.join("crates/core/src/native.rs");
+    let source = match std::fs::read_to_string(&native) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: failed to read {}: {e}", native.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let errors = xtask::layout_check::check_layout_source(&source);
+    if errors.is_empty() {
+        println!("xtask check-layout: ExecutionLayout defaults to CellMajor");
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("{}: {e}", native.display());
+        }
+        eprintln!("xtask check-layout: {} violation(s)", errors.len());
+        ExitCode::FAILURE
+    }
+}
+
 fn lint(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut json = false;
     let mut root: Option<PathBuf> = None;
@@ -88,14 +141,7 @@ fn lint(mut args: impl Iterator<Item = String>) -> ExitCode {
         }
     }
 
-    // Under the `cargo xtask` alias the process runs from wherever the
-    // user invoked cargo; resolve the workspace root from the manifest
-    // location cargo gives us.
-    let root = root.unwrap_or_else(|| {
-        std::env::var("CARGO_MANIFEST_DIR")
-            .map(|m| PathBuf::from(m).join("../.."))
-            .unwrap_or_else(|_| PathBuf::from("."))
-    });
+    let root = root.unwrap_or_else(workspace_root);
 
     let findings = match xtask::lint_workspace(&root) {
         Ok(f) => f,
