@@ -10,14 +10,16 @@ use crate::commands;
 /// Usage text printed on errors.
 pub const USAGE: &str = "\
 usage:
-  dbscout detect   --input <csv> --eps <f64> --min-pts <usize>
+  dbscout detect   --input <csv|bin> --eps <f64> --min-pts <usize>
                    [--engine native|distributed] [--labeled]
                    [--output <csv>] [--threads <usize>]
                    [--layout cell-major|hashed]
+                   [--from-binary] [--batch-size <usize>]
                    [--max-task-retries <usize>] [--permissive-ingest]
                    [--trace-out <json>] [--report-json <json>]
   dbscout generate --dataset blobs|circles|moons|cluto-t4|cluto-t5|cluto-t7|cluto-t8|cure-t2|geolife|osm
-                   --output <csv> [--n <usize>] [--seed <u64>] [--labeled]
+                   --output <path> [--n <usize>] [--seed <u64>] [--labeled]
+                   [--format csv|binary]
   dbscout kdist    --input <csv> [--k <usize>]
   dbscout info     --input <csv> [--eps <f64>]
   dbscout sweep    --input <csv> [--min-pts <usize>] [--from <f64> --to <f64>]

@@ -6,12 +6,13 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dbscout_core::{
-    build_run_report, DbscoutParams, DetectorBuilder, ExecutionLayout, PhaseTimings, RunInfo,
-    PHASE_NAMES,
+    build_run_report, DbscoutError, DbscoutParams, DetectorBuilder, ExecutionLayout, PhaseTimings,
+    RunInfo, PHASE_NAMES,
 };
 use dbscout_data::generators as gen;
-use dbscout_data::io::{read_csv, read_csv_with, write_csv, IngestMode, QuarantineReport};
+use dbscout_data::io::{read_csv_with, write_binary, write_csv, IngestMode, QuarantineReport};
 use dbscout_data::kdist::{elbow_eps, kdist_graph};
+use dbscout_data::{materialize, BinarySource, CsvIngest, PointSource, DEFAULT_BATCH_SIZE};
 use dbscout_dataflow::{ExecutionContext, FaultPlan, MetricsSnapshot, StageRecord};
 use dbscout_spatial::{Grid, PointStore};
 use dbscout_telemetry::{Recorder, Span, SpanKind, TraceCollector};
@@ -26,6 +27,25 @@ fn data_err(e: impl std::fmt::Display) -> CliError {
 /// A failure inside a detection engine (exit code 3).
 fn engine_err(e: impl std::fmt::Display) -> CliError {
     CliError::engine(e.to_string())
+}
+
+/// Classifies a `detect_source` failure: ingest errors surfaced through
+/// the streaming source are data failures (exit code 2, same as the
+/// materialized read path); everything else is an engine fault.
+fn detect_err(e: DbscoutError) -> CliError {
+    match e {
+        DbscoutError::Ingest(_) => CliError::data(e.to_string()),
+        other => CliError::engine(other.to_string()),
+    }
+}
+
+/// Reads the CSV dataset a subcommand operates on, mapping failures to
+/// the data exit class (exit code 2). Every subcommand that
+/// materializes a CSV goes through here, so label/ingest-mode plumbing
+/// and error mapping live in one place — and all of them ride the same
+/// streaming [`dbscout_data::CsvSource`] underneath.
+fn load_dataset(path: &str, labeled: bool, mode: IngestMode) -> Result<CsvIngest, CliError> {
+    read_csv_with(path, labeled, mode).map_err(data_err)
 }
 
 /// Parses the `--layout` flag for the native engine.
@@ -82,6 +102,21 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
     let min_pts: usize = flags.require("min-pts")?;
     let engine: String = flags.get("engine", "native".to_string())?;
     let labeled = flags.has("labeled");
+    let from_binary = flags.has("from-binary");
+    let batch_size: usize = flags.get("batch-size", DEFAULT_BATCH_SIZE)?;
+    if batch_size == 0 {
+        return Err(CliError::new("--batch-size must be at least 1"));
+    }
+    if from_binary && labeled {
+        return Err(CliError::new(
+            "--from-binary input carries no label column; drop --labeled",
+        ));
+    }
+    if from_binary && flags.has("permissive-ingest") {
+        return Err(CliError::new(
+            "--permissive-ingest applies to CSV input only",
+        ));
+    }
     let mode = if flags.has("permissive-ingest") {
         IngestMode::Permissive
     } else {
@@ -91,6 +126,7 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
         "max-task-retries",
         dbscout_dataflow::context::DEFAULT_TASK_RETRIES,
     )?;
+    let output_path = flags.require::<String>("output").ok();
     let trace_out = flags.require::<String>("trace-out").ok();
     let report_out = flags.require::<String>("report-json").ok();
     // A single collector feeds both outputs; it is only constructed (and
@@ -101,9 +137,32 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
         .ok()
         .and_then(|s| s.parse().ok());
 
-    let ingest = read_csv_with(&input, labeled, mode).map_err(data_err)?;
-    let store = ingest.store;
-    let truth = ingest.labels;
+    // The streaming path never materializes the dataset. It needs the
+    // native engine (the distributed one partitions an in-memory store)
+    // and no `--output` (writing flagged rows needs the coordinates).
+    let streaming = from_binary && engine == "native" && output_path.is_none();
+    let mut quarantine = QuarantineReport::default();
+    let mut truth: Option<Vec<bool>> = None;
+    let mut source = if from_binary {
+        Some(BinarySource::open(&input, batch_size).map_err(data_err)?)
+    } else {
+        None
+    };
+    let store: Option<PointStore> = match (&mut source, streaming) {
+        (Some(_), true) => None,
+        (Some(src), false) => Some(materialize(src).map_err(data_err)?),
+        (None, _) => {
+            let ingest = load_dataset(&input, labeled, mode)?;
+            quarantine = ingest.quarantine;
+            truth = ingest.labels;
+            Some(ingest.store)
+        }
+    };
+    let dims: u64 = match (&store, &source) {
+        (Some(s), _) => s.dims() as u64,
+        (None, Some(src)) => src.dims().unwrap_or(0) as u64,
+        (None, None) => 0,
+    };
     let params = DbscoutParams::new(eps, min_pts).map_err(|e| CliError::new(e.to_string()))?;
 
     let t = Instant::now();
@@ -117,12 +176,12 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
             let threads: usize = flags.get("threads", 0)?;
             let layout = parse_layout(&flags.get("layout", "cell-major".to_string())?)?;
             run_workers = threads as u64;
-            DetectorBuilder::new(params)
-                .threads(threads)
-                .layout(layout)
-                .build_native()
-                .detect(&store)
-                .map_err(engine_err)?
+            let builder = DetectorBuilder::new(params).threads(threads).layout(layout);
+            match (&store, &mut source) {
+                (Some(st), _) => builder.build_native().detect(st).map_err(engine_err)?,
+                (None, Some(src)) => builder.detect_source(src).map_err(detect_err)?,
+                (None, None) => return Err(CliError::new("internal: no dataset loaded")),
+            }
         }
         "distributed" => {
             let mut builder = ExecutionContext::builder().max_task_retries(max_task_retries);
@@ -139,11 +198,14 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
             let ctx = builder.build();
             run_workers = ctx.workers() as u64;
             run_partitions = ctx.default_partitions() as u64;
+            let st = store
+                .as_ref()
+                .ok_or_else(|| CliError::new("internal: no dataset loaded"))?;
             let detector = DetectorBuilder::new(params)
                 .distributed(ctx)
                 .build_distributed();
             let before = detector.ctx().metrics().snapshot();
-            let result = detector.detect(&store).map_err(engine_err)?;
+            let result = detector.detect(st).map_err(engine_err)?;
             fault_tolerance = Some(detector.ctx().metrics().snapshot().since(&before));
             stage_records = detector.ctx().metrics().stage_records();
             if let Some(c) = &collector {
@@ -160,12 +222,20 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
         }
     }
 
+    let points: u64 = match &store {
+        Some(s) => u64::from(s.len()),
+        None => result.labels.len() as u64,
+    };
     let mut out = String::new();
     // `write!` into a String is infallible; the results are discarded.
     let _ = writeln!(
         out,
-        "{} points, eps = {eps}, minPts = {min_pts}, engine = {engine}",
-        store.len()
+        "{points} points, eps = {eps}, minPts = {min_pts}, engine = {engine}{}",
+        if streaming {
+            format!(" (streamed, batch size {batch_size})")
+        } else {
+            String::new()
+        }
     );
     let _ = writeln!(
         out,
@@ -176,7 +246,7 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
         result.stats.dense_cells,
         result.stats.core_cells,
     );
-    quarantine_summary(&mut out, &ingest.quarantine);
+    quarantine_summary(&mut out, &quarantine);
     if let Some(m) = fault_tolerance {
         if m.task_retries > 0 || m.speculative_launches > 0 || m.injected_faults > 0 {
             let _ = writeln!(
@@ -203,9 +273,9 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
         );
     }
 
-    if let Ok(path) = flags.require::<String>("output") {
+    if let (Some(path), Some(st)) = (&output_path, &store) {
         let mask = result.outlier_mask();
-        write_csv(&path, &store, Some(&mask)).map_err(data_err)?;
+        write_csv(path, st, Some(&mask)).map_err(data_err)?;
         let _ = writeln!(out, "wrote labelled output to {path}");
     }
 
@@ -216,12 +286,13 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
     if let Some(path) = &report_out {
         let info = RunInfo {
             source: input.clone(),
-            points: u64::from(store.len()),
-            dimensions: store.dims() as u64,
+            points,
+            dimensions: dims,
             engine: engine.clone(),
             partitions: run_partitions,
             workers: run_workers,
             chaos_seed,
+            peak_rss_bytes: dbscout_telemetry::peak_rss_bytes(),
         };
         let report = build_run_report(
             &info,
@@ -244,6 +315,7 @@ pub fn generate(flags: &Flags) -> Result<String, CliError> {
     let n: usize = flags.get("n", 10_000)?;
     let seed: u64 = flags.get("seed", 1)?;
     let labeled = flags.has("labeled");
+    let format: String = flags.get("format", "csv".to_string())?;
 
     let n_out = (n / 100).max(1);
     let n_in = n.saturating_sub(n_out).max(1);
@@ -261,7 +333,22 @@ pub fn generate(flags: &Flags) -> Result<String, CliError> {
         other => return Err(CliError::new(format!("unknown dataset {other:?}"))),
     };
     let labels = if labeled { labels } else { None };
-    write_csv(&output, &store, labels.as_deref()).map_err(data_err)?;
+    match format.as_str() {
+        "csv" => write_csv(&output, &store, labels.as_deref()).map_err(data_err)?,
+        "binary" => {
+            if labels.is_some() {
+                return Err(CliError::new(
+                    "--labeled requires --format csv (the binary format carries no labels)",
+                ));
+            }
+            write_binary(&output, &store).map_err(data_err)?;
+        }
+        other => {
+            return Err(CliError::new(format!(
+                "unknown format {other:?} (expected csv or binary)"
+            )))
+        }
+    }
     Ok(format!(
         "wrote {} {}-dimensional points to {output}{}\n",
         store.len(),
@@ -282,7 +369,7 @@ fn labeled_parts(ds: dbscout_data::LabeledDataset) -> (PointStore, Option<Vec<bo
 pub fn kdist(flags: &Flags) -> Result<String, CliError> {
     let input: String = flags.require("input")?;
     let k: usize = flags.get("k", 5)?;
-    let (store, _) = read_csv(&input, flags.has("labeled")).map_err(data_err)?;
+    let store = load_dataset(&input, flags.has("labeled"), IngestMode::Strict)?.store;
     if store.len() < 3 {
         return Err(CliError::new("need at least 3 points for a k-dist graph"));
     }
@@ -317,7 +404,8 @@ pub fn sweep(flags: &Flags) -> Result<String, CliError> {
         return Err(CliError::new("--steps must be at least 2"));
     }
     let labeled = flags.has("labeled");
-    let (store, truth) = read_csv(&input, labeled).map_err(data_err)?;
+    let ingest = load_dataset(&input, labeled, IngestMode::Strict)?;
+    let (store, truth) = (ingest.store, ingest.labels);
 
     let (from, to) = match (flags.require::<f64>("from"), flags.require::<f64>("to")) {
         (Ok(a), Ok(b)) if a > 0.0 && b > a => (a, b),
@@ -363,7 +451,8 @@ pub fn compare(flags: &Flags) -> Result<String, CliError> {
     let input: String = flags.require("input")?;
     let min_pts: usize = flags.get("min-pts", 5)?;
     let k: usize = flags.get("k", 20)?;
-    let (store, truth) = read_csv(&input, true).map_err(data_err)?;
+    let ingest = load_dataset(&input, true, IngestMode::Strict)?;
+    let (store, truth) = (ingest.store, ingest.labels);
     let truth = truth.ok_or_else(|| CliError::new("input has no label column"))?;
     let nu = truth.iter().filter(|&&t| t).count() as f64 / truth.len().max(1) as f64;
     if nu == 0.0 {
@@ -419,7 +508,7 @@ pub fn compare(flags: &Flags) -> Result<String, CliError> {
 /// `dbscout info`: dataset statistics (and grid stats at a given ε).
 pub fn info(flags: &Flags) -> Result<String, CliError> {
     let input: String = flags.require("input")?;
-    let (store, _) = read_csv(&input, flags.has("labeled")).map_err(data_err)?;
+    let store = load_dataset(&input, flags.has("labeled"), IngestMode::Strict)?.store;
     let mut out = format!("{} points, {} dimensions\n", store.len(), store.dims());
     if let Some((min, max)) = store.bounding_box() {
         let _ = writeln!(out, "bounding box: min {min:?}, max {max:?}");
@@ -779,7 +868,10 @@ mod tests {
 
         // The report is schema-versioned and echoes the run shape.
         let doc = parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
-        assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            doc.get("schema_version").unwrap().as_u64(),
+            Some(dbscout_telemetry::REPORT_SCHEMA_VERSION)
+        );
         assert_eq!(
             doc.get("dataset").unwrap().get("points").unwrap().as_u64(),
             Some(800)
@@ -793,6 +885,18 @@ mod tests {
             dbscout_core::PHASE_NAMES.len()
         );
         assert!(!doc.get("stages").unwrap().as_array().unwrap().is_empty());
+        // Peak RSS is populated from /proc on Linux (0 elsewhere means
+        // "unknown", which the report schema also allows).
+        let rss = doc
+            .get("totals")
+            .unwrap()
+            .get("peak_rss_bytes")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0);
+        }
     }
 
     #[test]
@@ -836,6 +940,199 @@ mod tests {
             Some("native")
         );
         assert!(doc.get("stages").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn binary_streaming_detect_agrees_with_materialized_csv() {
+        use dbscout_telemetry::json::parse;
+
+        let csv = tmp("stream.csv");
+        let bin = tmp("stream.bin");
+        for (path, format) in [(&csv, "csv"), (&bin, "binary")] {
+            run(&argv(&[
+                "generate",
+                "--dataset",
+                "blobs",
+                "--n",
+                "1200",
+                "--seed",
+                "3",
+                "--output",
+                path,
+                "--format",
+                format,
+            ]))
+            .unwrap();
+        }
+
+        let materialized = run(&argv(&[
+            "detect",
+            "--input",
+            &csv,
+            "--eps",
+            "0.6",
+            "--min-pts",
+            "5",
+        ]))
+        .unwrap();
+        let report = tmp("stream-report.json");
+        let streamed = run(&argv(&[
+            "detect",
+            "--input",
+            &bin,
+            "--from-binary",
+            "--batch-size",
+            "97",
+            "--eps",
+            "0.6",
+            "--min-pts",
+            "5",
+            "--report-json",
+            &report,
+        ]))
+        .unwrap();
+        assert!(streamed.contains("(streamed, batch size 97)"), "{streamed}");
+
+        // Same outliers/core/cell counts; only the elapsed time differs.
+        let counts = |r: &str| {
+            r.lines()
+                .nth(1)
+                .unwrap()
+                .split(" in ")
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(counts(&materialized), counts(&streamed));
+
+        // The run report reflects the streamed dataset's true shape.
+        let doc = parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        let dataset = doc.get("dataset").unwrap();
+        assert_eq!(dataset.get("points").unwrap().as_u64(), Some(1200));
+        assert_eq!(dataset.get("dimensions").unwrap().as_u64(), Some(2));
+
+        // `--output` forces materialization but still accepts binary input.
+        let flagged = tmp("stream-flagged.csv");
+        let with_output = run(&argv(&[
+            "detect",
+            "--input",
+            &bin,
+            "--from-binary",
+            "--eps",
+            "0.6",
+            "--min-pts",
+            "5",
+            "--output",
+            &flagged,
+        ]))
+        .unwrap();
+        assert!(!with_output.contains("streamed"), "{with_output}");
+        assert_eq!(counts(&materialized), counts(&with_output));
+        assert!(std::path::Path::new(&flagged).exists());
+
+        // The distributed engine consumes binary input via the
+        // materializing adapter and agrees too.
+        let dist = run(&argv(&[
+            "detect",
+            "--input",
+            &bin,
+            "--from-binary",
+            "--eps",
+            "0.6",
+            "--min-pts",
+            "5",
+            "--engine",
+            "distributed",
+        ]))
+        .unwrap();
+        let outliers = |r: &str| {
+            r.lines()
+                .nth(1)
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(outliers(&materialized), outliers(&dist));
+    }
+
+    #[test]
+    fn streaming_flag_validation() {
+        let bin = tmp("validate.bin");
+        run(&argv(&[
+            "generate",
+            "--dataset",
+            "blobs",
+            "--n",
+            "300",
+            "--output",
+            &bin,
+            "--format",
+            "binary",
+        ]))
+        .unwrap();
+        let base = ["detect", "--input", &bin, "--eps", "0.6", "--min-pts", "5"];
+        for extra in [
+            &["--batch-size", "0"][..],
+            &["--from-binary", "--labeled"][..],
+            &["--from-binary", "--permissive-ingest"][..],
+        ] {
+            let mut args = base.to_vec();
+            args.extend_from_slice(extra);
+            let err = run(&argv(&args)).unwrap_err();
+            assert_eq!(err.kind, crate::cli::ErrorKind::Usage, "{extra:?}: {err}");
+        }
+        // A CSV fed to --from-binary is a data error (bad header), not a crash.
+        let csv = tmp("validate.csv");
+        run(&argv(&[
+            "generate",
+            "--dataset",
+            "blobs",
+            "--n",
+            "300",
+            "--output",
+            &csv,
+        ]))
+        .unwrap();
+        let err = run(&argv(&[
+            "detect",
+            "--input",
+            &csv,
+            "--from-binary",
+            "--eps",
+            "0.6",
+            "--min-pts",
+            "5",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.kind, crate::cli::ErrorKind::Data);
+        // Labels require the CSV format, and unknown formats are rejected.
+        assert!(run(&argv(&[
+            "generate",
+            "--dataset",
+            "blobs",
+            "--n",
+            "100",
+            "--output",
+            &bin,
+            "--format",
+            "binary",
+            "--labeled",
+        ]))
+        .is_err());
+        assert!(run(&argv(&[
+            "generate",
+            "--dataset",
+            "blobs",
+            "--n",
+            "100",
+            "--output",
+            &bin,
+            "--format",
+            "parquet",
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 use std::sync::Arc;
 
+use dbscout_data::{materialize, PointSource};
 use dbscout_dataflow::ExecutionContext;
 use dbscout_spatial::PointStore;
 
@@ -40,6 +41,18 @@ pub trait OutlierDetector {
     /// Detects all outliers of `store` (Definition 3), exactly.
     fn detect(&self, store: &PointStore) -> Result<OutlierResult>;
 
+    /// Detects all outliers of a streaming [`PointSource`], exactly.
+    ///
+    /// The default implementation is the materializing adapter: read the
+    /// whole source into a [`PointStore`] and run [`Self::detect`] — the
+    /// route the distributed and incremental engines take. The native
+    /// engine overrides it with a genuinely out-of-core path whose peak
+    /// memory is the grid layout plus one batch.
+    fn detect_source(&self, source: &mut dyn PointSource) -> Result<OutlierResult> {
+        let store = materialize(source).map_err(crate::DbscoutError::from)?;
+        self.detect(&store)
+    }
+
     /// The (ε, minPts) parameters this detector runs with.
     fn params(&self) -> DbscoutParams;
 }
@@ -47,6 +60,10 @@ pub trait OutlierDetector {
 impl OutlierDetector for Dbscout {
     fn detect(&self, store: &PointStore) -> Result<OutlierResult> {
         Dbscout::detect(self, store)
+    }
+
+    fn detect_source(&self, source: &mut dyn PointSource) -> Result<OutlierResult> {
+        Dbscout::detect_source(self, source)
     }
 
     fn params(&self) -> DbscoutParams {
@@ -207,6 +224,13 @@ impl DetectorBuilder {
             d = d.with_partitions(p);
         }
         d
+    }
+
+    /// One-shot streaming detection: builds the selected engine and runs
+    /// it over `source`. On the native engine with the cell-major layout
+    /// (the default) this is out-of-core end to end.
+    pub fn detect_source(&self, source: &mut dyn PointSource) -> Result<OutlierResult> {
+        self.build().detect_source(source)
     }
 
     /// Builds whichever engine was selected, behind the trait.

@@ -48,6 +48,11 @@ pub const PHASE_CORE_MAP: &str = "core-map pass";
 /// Phase label for Algorithm 5 (`FIND-OUTLIERS`).
 pub const PHASE_OUTLIERS: &str = "outlier pass";
 
+/// Points per stage-0 ingest batch: the distributed grid phase feeds
+/// `parallelize_batches` in chunks of this size instead of one n-sized
+/// `Vec` (matches [`dbscout_data::DEFAULT_BATCH_SIZE`]).
+const INGEST_BATCH: usize = 8192;
+
 /// The five phase labels in execution order, as used for stage prefixes,
 /// phase spans, and run-report phase names.
 pub const PHASE_NAMES: [&str; 5] = [
@@ -190,12 +195,22 @@ impl DistributedDbscout {
         let mut timings = PhaseTimings::default();
 
         // ───────────── Phase 1: CREATE-GRID (Algorithm 1) ─────────────
+        // Stage-0 ingest is chunked: points enter the dataflow in
+        // fixed-size batches instead of one n-sized Vec, so the largest
+        // transient is the partitions under construction plus one batch.
+        // `parallelize_batches` reproduces `parallelize`'s contiguous
+        // layout exactly, so per-partition stats are unchanged.
         self.ctx.set_stage(PHASE_GRID);
         let t = Instant::now();
-        let recs: Vec<PointRec> = store.iter().map(|(id, p)| PointRec::new(id, p)).collect();
+        let batches = (0..n).step_by(INGEST_BATCH).map(|start| {
+            let end = (start + INGEST_BATCH).min(n);
+            (start..end)
+                .map(|i| PointRec::new(i as u32, store.point(i as u32)))
+                .collect::<Vec<_>>()
+        });
         let grid: Dataset<(CellCoord, PointRec)> = self
             .ctx
-            .parallelize(recs, self.num_partitions)
+            .parallelize_batches(n, batches, self.num_partitions)
             .map(|rec| (cell_of(rec.coords(), side), *rec))?;
         timings.grid = self.finish_phase(PHASE_GRID, t);
 

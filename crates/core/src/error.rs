@@ -11,6 +11,7 @@
 
 use std::fmt;
 
+use dbscout_data::DataIoError;
 use dbscout_dataflow::EngineError;
 use dbscout_spatial::SpatialError;
 
@@ -36,6 +37,12 @@ pub enum DbscoutError {
     /// The execution substrate failed (a task panicked, exhausted its
     /// retry budget, bad partitioning, …).
     Execution(EngineError),
+    /// A streaming [`dbscout_data::PointSource`] failed mid-detection
+    /// (IO error, malformed row in strict mode, corrupt binary payload).
+    /// Carries the rendered message so this enum stays `Clone +
+    /// PartialEq` (the underlying [`DataIoError`] holds an
+    /// [`std::io::Error`], which is neither).
+    Ingest(String),
 }
 
 impl fmt::Display for DbscoutError {
@@ -49,6 +56,7 @@ impl fmt::Display for DbscoutError {
             }
             DbscoutError::InvalidInput(e) => write!(f, "invalid input: {e}"),
             DbscoutError::Execution(e) => write!(f, "execution error: {e}"),
+            DbscoutError::Ingest(message) => write!(f, "ingest error: {message}"),
         }
     }
 }
@@ -58,7 +66,9 @@ impl std::error::Error for DbscoutError {
         match self {
             DbscoutError::InvalidInput(e) => Some(e),
             DbscoutError::Execution(e) => Some(e),
-            DbscoutError::InvalidEpsilon { .. } | DbscoutError::InvalidMinPts { .. } => None,
+            DbscoutError::InvalidEpsilon { .. }
+            | DbscoutError::InvalidMinPts { .. }
+            | DbscoutError::Ingest(_) => None,
         }
     }
 }
@@ -80,6 +90,19 @@ impl From<SpatialError> for DbscoutError {
 impl From<EngineError> for DbscoutError {
     fn from(e: EngineError) -> Self {
         DbscoutError::Execution(e)
+    }
+}
+
+impl From<DataIoError> for DbscoutError {
+    /// Structural point problems detected during decoding re-enter the
+    /// [`SpatialError`] normalization (so e.g. a non-finite coordinate in
+    /// a binary file surfaces exactly like one in a materialized store);
+    /// everything else is an ingest failure.
+    fn from(e: DataIoError) -> Self {
+        match e {
+            DataIoError::Spatial(s) => s.into(),
+            other => DbscoutError::Ingest(other.to_string()),
+        }
     }
 }
 
@@ -119,5 +142,21 @@ mod tests {
         let e = DbscoutError::InvalidEpsilon { value: f64::NAN };
         assert!(e.to_string().contains("eps"));
         assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn ingest_errors_fold_in_but_spatial_causes_normalize() {
+        let e: DbscoutError = DataIoError::Truncated.into();
+        assert!(matches!(e, DbscoutError::Ingest(_)));
+        assert!(e.to_string().contains("truncated"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        // A structurally-bad point inside a decoded payload surfaces the
+        // same way as one in a materialized store.
+        let e: DbscoutError =
+            DataIoError::Spatial(SpatialError::InvalidEpsilon { value: -2.0 }).into();
+        assert_eq!(e, DbscoutError::InvalidEpsilon { value: -2.0 });
+        let e: DbscoutError = DataIoError::Spatial(SpatialError::ZeroDims).into();
+        assert!(matches!(e, DbscoutError::InvalidInput(_)));
     }
 }

@@ -19,12 +19,15 @@
 //!    of a core point in a neighboring core cell; cells with no core
 //!    neighbor are all outliers outright.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use dbscout_data::{materialize, PointSource};
 use dbscout_dataflow::executor::{run_tasks, run_tasks_with};
 use dbscout_spatial::distance::within;
 use dbscout_spatial::points::PointId;
-use dbscout_spatial::{CellCoord, CellMajorStore, Grid, NeighborOffsets, PointStore, MAX_DIMS};
+use dbscout_spatial::{
+    CellCoord, CellMajorBuilder, CellMajorStore, Grid, NeighborOffsets, PointStore, MAX_DIMS,
+};
 
 use crate::cellmap::{CellFlags, CellMap};
 use crate::error::Result;
@@ -333,18 +336,89 @@ impl Dbscout {
     /// cells provably outside ε, and the counted kernels stream
     /// contiguous columns with early exit.
     fn detect_cell_major(&self, store: &PointStore) -> Result<OutlierResult> {
-        let eps_sq = self.params.eps_sq();
-        let min_pts = self.params.min_pts;
-        let options = self.options;
-        let mut timings = PhaseTimings::default();
-
         // Phase 1: grid partitioning (Algorithm 1) fused with the
-        // cell-major permutation: one sorted pass yields the cell runs,
-        // the columnar buffer, and the per-cell bounding boxes.
+        // cell-major permutation: one pass yields the cell runs, the
+        // columnar buffer, and the per-cell bounding boxes.
         let t = Instant::now();
         let cm = CellMajorStore::build(store, self.params.eps)?;
         let offsets = NeighborOffsets::new(store.dims())?;
-        timings.grid = t.elapsed();
+        let grid_elapsed = t.elapsed();
+        self.run_cell_major_phases(&cm, &offsets, grid_elapsed)
+    }
+
+    /// Detects all outliers of a streaming [`PointSource`], exactly, with
+    /// peak memory bounded by the finished cell-major layout plus one
+    /// batch — never the raw input file.
+    ///
+    /// On the cell-major layout (the default) the grid is built by the
+    /// two-pass streaming [`CellMajorBuilder`]: pass 1 counts points per
+    /// ε-cell, the source is [`PointSource::reset`] and pass 2 scatters
+    /// the replayed batches straight into the cell-contiguous columns.
+    /// The result is identical to materializing the source and calling
+    /// [`Self::detect`] — the equivalence suite pins labels *and* stats.
+    /// The hashed layout has no streaming grid; it materializes the
+    /// source and runs the grid-walking path.
+    pub fn detect_source(&self, source: &mut dyn PointSource) -> Result<OutlierResult> {
+        match self.layout {
+            ExecutionLayout::Hashed => {
+                let store = materialize(source)?;
+                self.detect_hashed(&store)
+            }
+            ExecutionLayout::CellMajor => self.detect_source_cell_major(source),
+        }
+    }
+
+    /// The streaming phase 1: two passes over the source through the
+    /// counting builder, then the shared phases 2–5.
+    fn detect_source_cell_major(&self, source: &mut dyn PointSource) -> Result<OutlierResult> {
+        let t = Instant::now();
+        let mut builder = match source.dims() {
+            Some(dims) => Some(CellMajorBuilder::new(dims, self.params.eps)?),
+            None => None,
+        };
+        while let Some(batch) = source.next_batch()? {
+            let b = match &mut builder {
+                Some(b) => b,
+                None => builder.insert(CellMajorBuilder::new(batch.dims(), self.params.eps)?),
+            };
+            b.count_batch(batch.coords())?;
+        }
+        let Some(builder) = builder else {
+            // The source produced no batches and never declared a
+            // dimensionality — an empty dataset.
+            return Ok(OutlierResult::from_labels(
+                Vec::new(),
+                RunStats::default(),
+                PhaseTimings::default(),
+            ));
+        };
+        source.reset()?;
+        let mut scatter = builder.begin_scatter();
+        while let Some(batch) = source.next_batch()? {
+            scatter.scatter_batch(batch.coords())?;
+        }
+        let cm = scatter.finish()?;
+        let offsets = NeighborOffsets::new(cm.dims())?;
+        let grid_elapsed = t.elapsed();
+        self.run_cell_major_phases(&cm, &offsets, grid_elapsed)
+    }
+
+    /// Phases 2–5 over a built cell-major layout — shared verbatim by the
+    /// materialized and streaming entry points, which is what makes their
+    /// equivalence structural rather than coincidental.
+    fn run_cell_major_phases(
+        &self,
+        cm: &CellMajorStore,
+        offsets: &NeighborOffsets,
+        grid_elapsed: Duration,
+    ) -> Result<OutlierResult> {
+        let eps_sq = self.params.eps_sq();
+        let min_pts = self.params.min_pts;
+        let options = self.options;
+        let mut timings = PhaseTimings {
+            grid: grid_elapsed,
+            ..PhaseTimings::default()
+        };
 
         // Phase 2: dense cell map (Algorithm 2), keyed by cell index.
         let t = Instant::now();

@@ -32,6 +32,11 @@ pub struct RunInfo {
     pub workers: u64,
     /// The `DBSCOUT_CHAOS_SEED` in effect, if any.
     pub chaos_seed: Option<u64>,
+    /// Peak resident set size observed for the process, in bytes.
+    ///
+    /// Environment-derived (callers typically pass
+    /// `dbscout_telemetry::peak_rss_bytes()`); 0 means "unknown".
+    pub peak_rss_bytes: u64,
 }
 
 fn micros(d: Duration) -> u64 {
@@ -120,6 +125,7 @@ pub fn build_run_report(
             speculative_wins: metrics.speculative_wins,
             injected_faults: metrics.injected_faults,
             outliers: result.num_outliers() as u64,
+            peak_rss_bytes: info.peak_rss_bytes,
             wall_clock_us: micros(wall_clock),
         },
     }
@@ -162,6 +168,7 @@ mod tests {
             partitions: 4,
             workers: 2,
             chaos_seed: None,
+            peak_rss_bytes: 0,
         };
         let report = build_run_report(
             &info,
@@ -203,6 +210,7 @@ mod tests {
             partitions: 4,
             workers: 2,
             chaos_seed: Some(7),
+            peak_rss_bytes: 4096,
         };
         let report = build_run_report(
             &info,
@@ -228,6 +236,14 @@ mod tests {
                 .unwrap()
                 .as_u64(),
             Some(12_000)
+        );
+        assert_eq!(
+            doc.get("totals")
+                .unwrap()
+                .get("peak_rss_bytes")
+                .unwrap()
+                .as_u64(),
+            Some(4096)
         );
     }
 

@@ -5,10 +5,12 @@
 
 use std::fmt;
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{BufWriter, Write};
 use std::path::Path;
 
 use dbscout_spatial::PointStore;
+
+use crate::source::{materialize, BinarySource, CsvSource, DEFAULT_BATCH_SIZE};
 
 /// A bounds-checked little-endian reader over a byte slice.
 ///
@@ -49,9 +51,12 @@ impl<'a> ByteReader<'a> {
 }
 
 /// Magic bytes of the binary point format.
-const MAGIC: &[u8; 4] = b"DBSC";
+pub(crate) const MAGIC: &[u8; 4] = b"DBSC";
 /// Current binary format version.
-const VERSION: u8 = 1;
+pub(crate) const VERSION: u8 = 1;
+/// Size of the binary header: magic, version byte, dims byte, point
+/// count as little-endian `u64`.
+pub(crate) const BINARY_HEADER_LEN: usize = MAGIC.len() + 1 + 1 + 8;
 
 /// IO and decoding errors.
 #[derive(Debug)]
@@ -69,6 +74,12 @@ pub enum DataIoError {
     BadHeader,
     /// The binary payload was truncated.
     Truncated,
+    /// The binary payload has bytes past the declared `n * dims`
+    /// coordinates — a corrupt or mislabeled file, not ours.
+    TrailingBytes {
+        /// How many unexpected bytes follow the declared payload.
+        extra: u64,
+    },
     /// The decoded points were structurally invalid.
     Spatial(dbscout_spatial::SpatialError),
 }
@@ -82,6 +93,10 @@ impl fmt::Display for DataIoError {
             }
             DataIoError::BadHeader => write!(f, "not a DBSC binary file (bad magic/version)"),
             DataIoError::Truncated => write!(f, "binary payload truncated"),
+            DataIoError::TrailingBytes { extra } => write!(
+                f,
+                "binary payload has {extra} trailing byte(s) after the declared points"
+            ),
             DataIoError::Spatial(e) => write!(f, "invalid point data: {e}"),
         }
     }
@@ -173,7 +188,7 @@ impl QuarantineReport {
         self.quarantined == 0
     }
 
-    fn record(&mut self, line: usize, reason: String) {
+    pub(crate) fn record(&mut self, line: usize, reason: String) {
         self.quarantined += 1;
         if self.samples.len() < QUARANTINE_SAMPLE_LIMIT {
             self.samples.push(QuarantinedRow { line, reason });
@@ -197,7 +212,7 @@ pub struct CsvIngest {
 /// `dims`, when known, is the dimensionality established by the first
 /// accepted row. Errors are rendered with the 1-based `line` number and
 /// the 1-based coordinate column so dirty rows are findable in the file.
-fn parse_row(
+pub(crate) fn parse_row(
     row: &str,
     line: usize,
     labeled: bool,
@@ -248,63 +263,21 @@ fn parse_row(
 /// label; otherwise every column is a coordinate. Dimensionality is
 /// inferred from the first accepted row; files with no usable rows yield
 /// an error in either mode.
+///
+/// This is the materializing wrapper over [`CsvSource`]; streaming
+/// consumers should take the source directly.
 pub fn read_csv_with(
     path: impl AsRef<Path>,
     labeled: bool,
     mode: IngestMode,
 ) -> Result<CsvIngest, DataIoError> {
-    let r = BufReader::new(File::open(path)?);
-    let mut store: Option<PointStore> = None;
-    let mut labels = Vec::new();
-    let mut quarantine = QuarantineReport::default();
-    for (i, line) in r.lines().enumerate() {
-        let line = line?;
-        let row = line.trim();
-        if row.is_empty() {
-            continue;
-        }
-        let line_no = i + 1;
-        let dims = store.as_ref().map(PointStore::dims);
-        match parse_row(row, line_no, labeled, dims) {
-            Ok((coords, label)) => {
-                let store = match &mut store {
-                    Some(s) => s,
-                    None => store.insert(PointStore::new(coords.len())?),
-                };
-                store.push(&coords).map_err(|e| DataIoError::Parse {
-                    line: line_no,
-                    message: e.to_string(),
-                })?;
-                if labeled {
-                    labels.push(label);
-                }
-            }
-            Err(reason) => match mode {
-                IngestMode::Strict => {
-                    return Err(DataIoError::Parse {
-                        line: line_no,
-                        message: reason,
-                    })
-                }
-                IngestMode::Permissive => quarantine.record(line_no, reason),
-            },
-        }
-    }
-    let store = store.ok_or_else(|| DataIoError::Parse {
-        line: 0,
-        message: if quarantine.is_clean() {
-            "empty file".to_owned()
-        } else {
-            format!(
-                "no usable rows ({} quarantined, all malformed)",
-                quarantine.quarantined
-            )
-        },
-    })?;
+    let mut source = CsvSource::open(path, labeled, mode, DEFAULT_BATCH_SIZE)?;
+    let store = materialize(&mut source)?;
+    let labels = source.take_labels();
     Ok(CsvIngest {
         store,
-        labels: labeled.then_some(labels),
-        quarantine,
+        labels,
+        quarantine: source.quarantine().clone(),
     })
 }
 
@@ -355,6 +328,11 @@ pub fn decode_binary(data: &[u8]) -> Result<PointStore, DataIoError> {
     for _ in 0..n * dims {
         coords.push(r.f64_le().ok_or(DataIoError::Truncated)?);
     }
+    if r.remaining() > 0 {
+        return Err(DataIoError::TrailingBytes {
+            extra: r.remaining() as u64,
+        });
+    }
     Ok(PointStore::from_flat(dims, coords)?)
 }
 
@@ -366,11 +344,11 @@ pub fn write_binary(path: impl AsRef<Path>, store: &PointStore) -> Result<(), Da
     Ok(())
 }
 
-/// Reads the binary format from a file.
+/// Reads the binary format from a file in batch-sized chunks (the
+/// materializing wrapper over [`BinarySource`]).
 pub fn read_binary(path: impl AsRef<Path>) -> Result<PointStore, DataIoError> {
-    let mut data = Vec::new();
-    File::open(path)?.read_to_end(&mut data)?;
-    decode_binary(&data)
+    let mut source = BinarySource::open(path, DEFAULT_BATCH_SIZE)?;
+    materialize(&mut source)
 }
 
 #[cfg(test)]
@@ -547,6 +525,31 @@ mod tests {
         ));
         buf[0] = b'X';
         assert!(matches!(decode_binary(&buf), Err(DataIoError::BadHeader)));
+    }
+
+    #[test]
+    fn binary_rejects_bad_version() {
+        let mut buf = encode_binary(&sample_store());
+        buf[4] = VERSION + 1;
+        assert!(matches!(decode_binary(&buf), Err(DataIoError::BadHeader)));
+    }
+
+    #[test]
+    fn binary_rejects_trailing_bytes() {
+        let mut buf = encode_binary(&sample_store());
+        buf.extend_from_slice(&[0xAA, 0xBB]);
+        assert!(matches!(
+            decode_binary(&buf),
+            Err(DataIoError::TrailingBytes { extra: 2 })
+        ));
+        let dir = std::env::temp_dir().join("dbscout-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trailing.dbsc");
+        std::fs::write(&path, &buf).unwrap();
+        assert!(matches!(
+            read_binary(&path),
+            Err(DataIoError::TrailingBytes { extra: 2 })
+        ));
     }
 
     #[test]

@@ -32,7 +32,11 @@ pub mod kdist;
 pub mod labeled;
 pub mod rng;
 pub mod sampling;
+pub mod source;
 pub mod transform;
 
-pub use io::{CsvIngest, IngestMode, QuarantineReport, QuarantinedRow};
+pub use io::{CsvIngest, DataIoError, IngestMode, QuarantineReport, QuarantinedRow};
 pub use labeled::LabeledDataset;
+pub use source::{
+    materialize, BinarySource, CsvSource, PointBatch, PointSource, StoreSource, DEFAULT_BATCH_SIZE,
+};

@@ -197,6 +197,61 @@ impl ExecutionContext {
         }
         Dataset::from_partitions(Arc::clone(self), partitions)
     }
+
+    /// Distributes a *batched* stream of `total` items into
+    /// `num_partitions` contiguous chunks — the out-of-core counterpart
+    /// of [`Self::parallelize`].
+    ///
+    /// Partition boundaries are computed from `total` exactly as
+    /// `parallelize` computes them, then batches are drained in order
+    /// across those boundaries, so the resulting [`Dataset`] is
+    /// element-identical to `parallelize(flattened, num_partitions)` for
+    /// any batch shape — without ever holding more than the partitions
+    /// being filled plus one batch. Items beyond `total` land in the last
+    /// partition; a short stream simply yields short partitions (callers
+    /// that know `total` exactly get the canonical layout).
+    pub fn parallelize_batches<T: Send + Sync>(
+        self: &Arc<Self>,
+        total: usize,
+        batches: impl IntoIterator<Item = Vec<T>>,
+        num_partitions: usize,
+    ) -> Dataset<T> {
+        let num_partitions = num_partitions.max(1);
+        let base = total / num_partitions;
+        let extra = total % num_partitions;
+        let mut partitions: Vec<Vec<T>> = Vec::with_capacity(num_partitions);
+        let mut sizes = (0..num_partitions).map(|p| base + usize::from(p < extra));
+        let mut capacity = sizes.next().unwrap_or(0);
+        partitions.push(Vec::with_capacity(capacity));
+        for batch in batches {
+            for item in batch {
+                while let Some(current) = partitions.last_mut() {
+                    if current.len() < capacity {
+                        current.push(item);
+                        break;
+                    }
+                    match sizes.next() {
+                        Some(next) => {
+                            capacity = next;
+                            partitions.push(Vec::with_capacity(next));
+                        }
+                        None => {
+                            // Stream ran past `total`: overflow into the
+                            // last partition rather than dropping data.
+                            current.push(item);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // A short stream leaves sizes unconsumed; emit the remaining
+        // partitions empty so the partition count always matches.
+        for size in sizes {
+            partitions.push(Vec::with_capacity(size));
+        }
+        Dataset::from_partitions(Arc::clone(self), partitions)
+    }
 }
 
 /// Builder for [`ExecutionContext`].
@@ -389,5 +444,42 @@ mod tests {
         let ctx = ExecutionContext::builder().workers(2).build();
         let ds = ctx.parallelize(vec![1, 2, 3], 0);
         assert_eq!(ds.num_partitions(), 1);
+    }
+
+    #[test]
+    fn parallelize_batches_matches_parallelize_for_any_batch_shape() {
+        let ctx = ExecutionContext::builder().workers(2).build();
+        let items: Vec<i32> = (0..23).collect();
+        for parts in [1usize, 3, 5, 23, 40] {
+            let reference = ctx.parallelize(items.clone(), parts);
+            for batch in [1usize, 4, 7, 23, 100] {
+                let batches: Vec<Vec<i32>> = items.chunks(batch).map(|c| c.to_vec()).collect();
+                let ds = ctx.parallelize_batches(items.len(), batches, parts);
+                assert_eq!(
+                    ds.partition_sizes(),
+                    reference.partition_sizes(),
+                    "parts {parts} batch {batch}"
+                );
+                assert_eq!(ds.collect().unwrap(), items, "parts {parts} batch {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallelize_batches_handles_empty_and_overflow() {
+        let ctx = ExecutionContext::builder().workers(2).build();
+        // Empty stream: all partitions present, all empty.
+        let ds = ctx.parallelize_batches(0, Vec::<Vec<i32>>::new(), 4);
+        assert_eq!(ds.num_partitions(), 4);
+        assert_eq!(ds.count(), 0);
+        // Understated total: surplus lands in the last partition, nothing
+        // is dropped.
+        let ds = ctx.parallelize_batches(2, vec![vec![1, 2], vec![3, 4]], 2);
+        assert_eq!(ds.num_partitions(), 2);
+        assert_eq!(ds.collect().unwrap(), vec![1, 2, 3, 4]);
+        // Short stream: trailing partitions stay empty.
+        let ds = ctx.parallelize_batches(10, vec![vec![1, 2]], 5);
+        assert_eq!(ds.num_partitions(), 5);
+        assert_eq!(ds.count(), 2);
     }
 }

@@ -99,91 +99,279 @@ pub struct CellMajorStore {
     bbox_max: Vec<f64>,
 }
 
-impl CellMajorStore {
-    /// Permutes `store` into cell-major layout for radius `eps`
-    /// (paper Algorithm 1 plus the physical reorder).
-    ///
-    /// O(n log n) for the sort; the result is identical for any thread
-    /// count because the order is fully determined by `(cell, id)`.
+/// Pass 1 of the two-pass streaming build: tallies how many points fall
+/// in each ε-cell. Feed every batch of the stream through
+/// [`CellMajorBuilder::count_batch`], then call
+/// [`CellMajorBuilder::begin_scatter`] and replay the stream into the
+/// resulting [`CellMajorScatter`].
+///
+/// The two passes are a counting sort by cell: pass 1 sizes the
+/// cell-contiguous runs, pass 2 places each point directly into its
+/// final slot. Because points are replayed in id order and each cell's
+/// cursor advances monotonically, slots within a cell ascend in original
+/// id — the exact canonical layout [`CellMajorStore::build`] defines —
+/// while peak memory is the finished layout plus one batch, never the
+/// whole raw input plus a sort buffer.
+#[derive(Debug)]
+pub struct CellMajorBuilder {
+    dims: usize,
+    eps: f64,
+    side: f64,
+    n: usize,
+    counts: HashMap<CellCoord, u32, DetState>,
+}
+
+impl CellMajorBuilder {
+    /// Starts a streaming build for `dims`-dimensional points at radius
+    /// `eps`.
     ///
     /// # Errors
     ///
-    /// Fails if `eps` is not finite and positive.
-    pub fn build(store: &PointStore, eps: f64) -> Result<Self, SpatialError> {
+    /// Fails if `eps` is not finite and positive, `dims` is zero, or
+    /// `dims` exceeds [`MAX_DIMS`].
+    pub fn new(dims: usize, eps: f64) -> Result<Self, SpatialError> {
         if !eps.is_finite() || eps <= 0.0 {
             return Err(SpatialError::InvalidEpsilon { value: eps });
         }
-        let dims = store.dims();
-        let side = cell_side(eps, dims);
-        let n = store.len() as usize;
-
-        // Assign and sort: (cell, id) pairs; ids ascend within a cell
-        // because the assignment pass emits them in order and the sort is
-        // on the full pair.
-        let mut order: Vec<(CellCoord, PointId)> =
-            store.iter().map(|(id, p)| (cell_of(p, side), id)).collect();
-        order.sort_unstable();
-
-        // Fill the columnar buffer, the permutation, the cell records and
-        // the per-cell bounding boxes in one pass over the sorted order.
-        let mut cols = vec![0.0f64; n * dims];
-        let mut orig_ids = Vec::with_capacity(n);
-        let mut cells: Vec<CellRecord> = Vec::new();
-        let mut bbox_min: Vec<f64> = Vec::new();
-        let mut bbox_max: Vec<f64> = Vec::new();
-        for (slot, &(coord, id)) in order.iter().enumerate() {
-            let p = store.point(id);
-            for (k, &x) in p.iter().enumerate() {
-                if let Some(out) = cols.get_mut(k * n + slot) {
-                    *out = x;
-                }
-            }
-            orig_ids.push(id);
-            let open_new = match cells.last() {
-                Some(last) => last.coord != coord,
-                None => true,
-            };
-            if open_new {
-                cells.push(CellRecord {
-                    coord,
-                    start: slot as u32,
-                    end: slot as u32,
-                });
-                bbox_min.extend_from_slice(p);
-                bbox_max.extend_from_slice(p);
-            } else {
-                let base = (cells.len() - 1) * dims;
-                for (k, &x) in p.iter().enumerate() {
-                    if let Some(mn) = bbox_min.get_mut(base + k) {
-                        *mn = mn.min(x);
-                    }
-                    if let Some(mx) = bbox_max.get_mut(base + k) {
-                        *mx = mx.max(x);
-                    }
-                }
-            }
-            if let Some(last) = cells.last_mut() {
-                last.end = slot as u32 + 1;
-            }
+        if dims == 0 {
+            return Err(SpatialError::ZeroDims);
         }
+        if dims > MAX_DIMS {
+            return Err(SpatialError::TooManyDims { requested: dims });
+        }
+        Ok(Self {
+            dims,
+            eps,
+            side: cell_side(eps, dims),
+            n: 0,
+            counts: HashMap::default(),
+        })
+    }
 
+    /// Number of points counted so far.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether no points have been counted yet.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Tallies one flat row-major batch (`len * dims` coordinates) into
+    /// the per-cell counts. Coordinates are validated here — the batch
+    /// must be a whole number of points and every value finite — so the
+    /// scatter pass can trust the replayed stream.
+    pub fn count_batch(&mut self, coords: &[f64]) -> Result<(), SpatialError> {
+        if !coords.len().is_multiple_of(self.dims) {
+            return Err(SpatialError::DimensionMismatch {
+                expected: self.dims,
+                got: coords.len() % self.dims,
+            });
+        }
+        for (i, p) in coords.chunks_exact(self.dims).enumerate() {
+            for (k, &x) in p.iter().enumerate() {
+                if !x.is_finite() {
+                    return Err(SpatialError::NonFiniteCoordinate {
+                        point: self.n + i,
+                        dim: k,
+                    });
+                }
+            }
+            *self.counts.entry(cell_of(p, self.side)).or_insert(0) += 1;
+        }
+        self.n += coords.len() / self.dims;
+        Ok(())
+    }
+
+    /// Finishes pass 1: lays out the cell table (records ascending by
+    /// coordinate, prefix-summed slot ranges) and allocates the columnar
+    /// buffers at their final size, returning the pass-2 scatter state.
+    pub fn begin_scatter(self) -> CellMajorScatter {
+        let Self {
+            dims,
+            eps,
+            side,
+            n,
+            counts,
+        } = self;
+        let mut keyed: Vec<(CellCoord, u32)> = counts.into_iter().collect();
+        keyed.sort_unstable_by_key(|&(coord, _)| coord);
+        let mut cells = Vec::with_capacity(keyed.len());
+        let mut cursors = Vec::with_capacity(keyed.len());
+        let mut next = 0u32;
+        for (coord, count) in keyed {
+            cells.push(CellRecord {
+                coord,
+                start: next,
+                end: next + count,
+            });
+            cursors.push(next);
+            next += count;
+        }
         let index = cells
             .iter()
             .enumerate()
             .map(|(i, c)| (c.coord, i as u32))
             .collect();
-        Ok(Self {
+        CellMajorScatter {
             dims,
             eps,
             side,
             n,
-            cols,
-            orig_ids,
+            cols: vec![0.0f64; n * dims],
+            orig_ids: vec![0; n],
             cells,
             index,
-            bbox_min,
-            bbox_max,
+            bbox_min: Vec::new(),
+            bbox_max: Vec::new(),
+            cursors,
+            filled: 0,
+        }
+    }
+}
+
+/// Pass 2 of the two-pass streaming build: scatters the replayed stream
+/// into the cell-contiguous columns sized by [`CellMajorBuilder`].
+///
+/// Any disagreement with pass 1 — a point landing in a cell that was
+/// never counted, a cell receiving more points than counted, or the
+/// stream ending short — yields [`SpatialError::StreamMismatch`] instead
+/// of a corrupt layout.
+#[derive(Debug)]
+pub struct CellMajorScatter {
+    dims: usize,
+    eps: f64,
+    side: f64,
+    n: usize,
+    cols: Vec<f64>,
+    orig_ids: Vec<PointId>,
+    cells: Vec<CellRecord>,
+    index: HashMap<CellCoord, u32, DetState>,
+    bbox_min: Vec<f64>,
+    bbox_max: Vec<f64>,
+    cursors: Vec<u32>,
+    filled: usize,
+}
+
+impl CellMajorScatter {
+    /// Places one flat row-major batch into the layout. Points are
+    /// assigned ids by arrival order across the whole pass, so the
+    /// stream must replay in the same order as the counting pass.
+    pub fn scatter_batch(&mut self, coords: &[f64]) -> Result<(), SpatialError> {
+        if !coords.len().is_multiple_of(self.dims) {
+            return Err(SpatialError::DimensionMismatch {
+                expected: self.dims,
+                got: coords.len() % self.dims,
+            });
+        }
+        if self.bbox_min.is_empty() && !self.cells.is_empty() {
+            // Deferred so a mismatching replay fails before the big
+            // bbox allocation, not after.
+            self.bbox_min = vec![0.0f64; self.cells.len() * self.dims];
+            self.bbox_max = vec![0.0f64; self.cells.len() * self.dims];
+        }
+        for p in coords.chunks_exact(self.dims) {
+            for (k, &x) in p.iter().enumerate() {
+                if !x.is_finite() {
+                    return Err(SpatialError::NonFiniteCoordinate {
+                        point: self.filled,
+                        dim: k,
+                    });
+                }
+            }
+            let coord = cell_of(p, self.side);
+            let ci = *self.index.get(&coord).ok_or(SpatialError::StreamMismatch)? as usize;
+            let rec = *self.cells.get(ci).ok_or(SpatialError::StreamMismatch)?;
+            let cursor = self
+                .cursors
+                .get_mut(ci)
+                .ok_or(SpatialError::StreamMismatch)?;
+            if *cursor >= rec.end {
+                return Err(SpatialError::StreamMismatch);
+            }
+            let slot = *cursor as usize;
+            *cursor += 1;
+            for (k, &x) in p.iter().enumerate() {
+                if let Some(out) = self.cols.get_mut(k * self.n + slot) {
+                    *out = x;
+                }
+            }
+            if let Some(id) = self.orig_ids.get_mut(slot) {
+                *id = self.filled as PointId;
+            }
+            let base = ci * self.dims;
+            if slot == rec.start as usize {
+                for (k, &x) in p.iter().enumerate() {
+                    if let Some(mn) = self.bbox_min.get_mut(base + k) {
+                        *mn = x;
+                    }
+                    if let Some(mx) = self.bbox_max.get_mut(base + k) {
+                        *mx = x;
+                    }
+                }
+            } else {
+                for (k, &x) in p.iter().enumerate() {
+                    if let Some(mn) = self.bbox_min.get_mut(base + k) {
+                        *mn = mn.min(x);
+                    }
+                    if let Some(mx) = self.bbox_max.get_mut(base + k) {
+                        *mx = mx.max(x);
+                    }
+                }
+            }
+            self.filled += 1;
+        }
+        Ok(())
+    }
+
+    /// Number of points scattered so far.
+    pub fn filled(&self) -> usize {
+        self.filled
+    }
+
+    /// Completes the build. Fails with [`SpatialError::StreamMismatch`]
+    /// when the replay delivered fewer points than the counting pass.
+    pub fn finish(self) -> Result<CellMajorStore, SpatialError> {
+        if self.filled != self.n {
+            return Err(SpatialError::StreamMismatch);
+        }
+        Ok(CellMajorStore {
+            dims: self.dims,
+            eps: self.eps,
+            side: self.side,
+            n: self.n,
+            cols: self.cols,
+            orig_ids: self.orig_ids,
+            cells: self.cells,
+            index: self.index,
+            bbox_min: self.bbox_min,
+            bbox_max: self.bbox_max,
         })
+    }
+}
+
+impl CellMajorStore {
+    /// Permutes `store` into cell-major layout for radius `eps`
+    /// (paper Algorithm 1 plus the physical reorder).
+    ///
+    /// This is the materialized entry point over the two-pass streaming
+    /// builder ([`CellMajorBuilder`] → [`CellMajorScatter`]) with the
+    /// whole store as one batch, so the streaming and in-memory paths
+    /// produce identical layouts by construction. The layout is fully
+    /// determined by `(cell, id)` and therefore identical for any thread
+    /// count: cells ascend by coordinate, slots within a cell ascend by
+    /// original id.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `eps` is not finite and positive.
+    pub fn build(store: &PointStore, eps: f64) -> Result<Self, SpatialError> {
+        let mut builder = CellMajorBuilder::new(store.dims(), eps)?;
+        builder.count_batch(store.flat())?;
+        let mut scatter = builder.begin_scatter();
+        scatter.scatter_batch(store.flat())?;
+        scatter.finish()
     }
 
     /// Dimensionality of the stored points.
@@ -685,6 +873,108 @@ mod tests {
                 Err(SpatialError::InvalidEpsilon { .. })
             ));
         }
+    }
+
+    fn assert_layout_identical(a: &CellMajorStore, b: &CellMajorStore) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.dims(), b.dims());
+        assert_eq!(a.cells(), b.cells());
+        assert_eq!(a.orig_ids(), b.orig_ids());
+        for k in 0..a.dims() {
+            assert_eq!(a.col(k), b.col(k), "column {k}");
+        }
+        assert_eq!(a.bbox_min, b.bbox_min);
+        assert_eq!(a.bbox_max, b.bbox_max);
+    }
+
+    #[test]
+    fn streaming_build_is_byte_identical_to_materialized_for_any_batching() {
+        let pts: Vec<[f64; 2]> = (0..97)
+            .map(|i| [((i * 37) % 50) as f64 * 0.3, ((i * 53) % 40) as f64 * 0.3])
+            .collect();
+        let s = store_2d(&pts);
+        let eps = 1.5;
+        let whole = CellMajorStore::build(&s, eps).unwrap();
+        for batch in [1usize, 7, 16, 97, 1000] {
+            let mut b = CellMajorBuilder::new(2, eps).unwrap();
+            for chunk in s.flat().chunks(batch * 2) {
+                b.count_batch(chunk).unwrap();
+            }
+            assert_eq!(b.len(), 97);
+            let mut sc = b.begin_scatter();
+            for chunk in s.flat().chunks(batch * 2) {
+                sc.scatter_batch(chunk).unwrap();
+            }
+            assert_eq!(sc.filled(), 97);
+            let streamed = sc.finish().unwrap();
+            assert_layout_identical(&whole, &streamed);
+        }
+    }
+
+    #[test]
+    fn builder_validates_inputs() {
+        assert!(matches!(
+            CellMajorBuilder::new(0, 1.0),
+            Err(SpatialError::ZeroDims)
+        ));
+        assert!(matches!(
+            CellMajorBuilder::new(MAX_DIMS + 1, 1.0),
+            Err(SpatialError::TooManyDims { .. })
+        ));
+        for eps in [0.0, -1.0, f64::NAN] {
+            assert!(matches!(
+                CellMajorBuilder::new(2, eps),
+                Err(SpatialError::InvalidEpsilon { .. })
+            ));
+        }
+        let mut b = CellMajorBuilder::new(2, 1.0).unwrap();
+        assert!(matches!(
+            b.count_batch(&[1.0, 2.0, 3.0]),
+            Err(SpatialError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            b.count_batch(&[1.0, f64::NAN]),
+            Err(SpatialError::NonFiniteCoordinate { point: 0, dim: 1 })
+        ));
+    }
+
+    #[test]
+    fn scatter_detects_replay_divergence() {
+        // A point moving to a never-counted cell.
+        let mut b = CellMajorBuilder::new(2, 1.0).unwrap();
+        b.count_batch(&[0.1, 0.1, 0.2, 0.2]).unwrap();
+        let mut sc = b.begin_scatter();
+        assert!(matches!(
+            sc.scatter_batch(&[50.0, 50.0]),
+            Err(SpatialError::StreamMismatch)
+        ));
+
+        // A cell receiving more points than were counted.
+        let mut b = CellMajorBuilder::new(2, 1.0).unwrap();
+        b.count_batch(&[0.1, 0.1]).unwrap();
+        let mut sc = b.begin_scatter();
+        sc.scatter_batch(&[0.1, 0.1]).unwrap();
+        assert!(matches!(
+            sc.scatter_batch(&[0.15, 0.15]),
+            Err(SpatialError::StreamMismatch)
+        ));
+
+        // The replay ending short.
+        let mut b = CellMajorBuilder::new(2, 1.0).unwrap();
+        b.count_batch(&[0.1, 0.1, 0.2, 0.2]).unwrap();
+        let mut sc = b.begin_scatter();
+        sc.scatter_batch(&[0.1, 0.1]).unwrap();
+        assert!(matches!(sc.finish(), Err(SpatialError::StreamMismatch)));
+    }
+
+    #[test]
+    fn empty_builder_finishes_into_an_empty_store() {
+        let b = CellMajorBuilder::new(3, 1.0).unwrap();
+        assert!(b.is_empty());
+        let cm = b.begin_scatter().finish().unwrap();
+        assert!(cm.is_empty());
+        assert_eq!(cm.num_cells(), 0);
+        assert_eq!(cm.dims(), 3);
     }
 
     #[test]

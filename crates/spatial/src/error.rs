@@ -33,6 +33,10 @@ pub enum SpatialError {
         /// Offending dimension.
         dim: usize,
     },
+    /// A streaming source replayed different points on its second pass
+    /// than it produced on the first (the two-pass cell-major builder
+    /// requires byte-identical replay).
+    StreamMismatch,
 }
 
 impl fmt::Display for SpatialError {
@@ -56,6 +60,10 @@ impl fmt::Display for SpatialError {
             SpatialError::NonFiniteCoordinate { point, dim } => {
                 write!(f, "point {point} has a non-finite coordinate in dim {dim}")
             }
+            SpatialError::StreamMismatch => write!(
+                f,
+                "streaming source did not replay the same points on its second pass"
+            ),
         }
     }
 }

@@ -42,6 +42,7 @@
 pub mod histogram;
 pub mod json;
 pub mod report;
+pub mod rss;
 pub mod span;
 pub mod trace;
 
@@ -50,5 +51,6 @@ pub use report::{
     strip_timing_lines, DatasetEcho, ParamsEcho, PhaseReport, RunReport, StageReport, TotalsReport,
     REPORT_SCHEMA_VERSION,
 };
+pub use rss::peak_rss_bytes;
 pub use span::{ArgValue, Recorder, Span, SpanKind};
 pub use trace::TraceCollector;

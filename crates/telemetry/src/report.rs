@@ -4,16 +4,20 @@
 //! The report is plain data: the detector layers assemble it from their
 //! own state (params, dataset shape, phase timings, per-stage engine
 //! records) and [`RunReport::to_json`] renders it with a fixed field
-//! order. Every wall-clock-derived field carries a `_us` key suffix and
-//! nothing else does, so [`strip_timing_lines`] can reduce the document
-//! to its deterministic skeleton — that is what the chaos-seeded
-//! determinism tests byte-compare.
+//! order. Every wall-clock-derived field carries a `_us` key suffix, and
+//! the only other environment-derived field is `peak_rss_bytes`; both are
+//! dropped by [`strip_timing_lines`], which reduces the document to its
+//! deterministic skeleton — that is what the chaos-seeded determinism
+//! tests byte-compare.
 
 use crate::json::JsonWriter;
 
 /// Version stamped into every report as `schema_version`. Bump when the
 /// field set changes; `cargo xtask check-report` validates against it.
-pub const REPORT_SCHEMA_VERSION: u64 = 1;
+///
+/// History: v1 — initial field set; v2 — `totals.peak_rss_bytes`
+/// (process peak resident set, for the out-of-core ingest experiments).
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// Echo of the input dataset, so a report is self-describing.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -115,6 +119,11 @@ pub struct TotalsReport {
     pub injected_faults: u64,
     /// Outliers reported by the detector.
     pub outliers: u64,
+    /// Peak resident set size of the process in bytes (`VmHWM`), 0 when
+    /// the platform does not expose it. Environment-derived — varies run
+    /// to run — so [`strip_timing_lines`] removes it alongside the
+    /// `_us` timing fields.
+    pub peak_rss_bytes: u64,
     /// End-to-end detection wall-clock, microseconds.
     pub wall_clock_us: u64,
 }
@@ -199,6 +208,7 @@ impl RunReport {
         w.field_u64("speculative_wins", self.totals.speculative_wins);
         w.field_u64("injected_faults", self.totals.injected_faults);
         w.field_u64("outliers", self.totals.outliers);
+        w.field_u64("peak_rss_bytes", self.totals.peak_rss_bytes);
         w.field_u64("wall_clock_us", self.totals.wall_clock_us);
         w.end_object();
         w.end_object();
@@ -206,13 +216,17 @@ impl RunReport {
     }
 }
 
-/// Drops every line carrying a wall-clock-derived field (key suffix
-/// `_us`) from a rendered report, leaving the deterministic skeleton.
-/// Chaos-seeded determinism tests byte-compare the result of two runs.
+/// Drops every line carrying an environment-derived field — the
+/// wall-clock fields (key suffix `_us`) and `peak_rss_bytes` — from a
+/// rendered report, leaving the deterministic skeleton. Chaos-seeded
+/// determinism tests byte-compare the result of two runs.
 pub fn strip_timing_lines(report_json: &str) -> String {
     report_json
         .lines()
-        .filter(|line| !line.trim_start().starts_with('"') || !line.contains("_us\":"))
+        .filter(|line| {
+            !line.trim_start().starts_with('"')
+                || !(line.contains("_us\":") || line.contains("\"peak_rss_bytes\":"))
+        })
         .map(|line| format!("{line}\n"))
         .collect()
 }
@@ -263,6 +277,7 @@ mod tests {
                 records_in: 1000,
                 records_out: 900,
                 outliers: 17,
+                peak_rss_bytes: wall * 1024,
                 wall_clock_us: wall * 3,
                 ..TotalsReport::default()
             },
@@ -329,6 +344,9 @@ mod tests {
         assert!(skeleton.contains("grid partitioning"));
         assert!(!skeleton.contains("wall_clock_us"));
         assert!(!skeleton.contains("task_duration_p50_us"));
+        // peak_rss_bytes varies run to run like the timings do — it must
+        // not survive into the comparable skeleton.
+        assert!(!skeleton.contains("peak_rss_bytes"));
     }
 
     #[test]

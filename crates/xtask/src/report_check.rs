@@ -29,7 +29,7 @@ const STAGE_COUNTERS: [&str; 13] = [
 ];
 
 /// Keys the `totals` object must carry.
-const TOTALS_COUNTERS: [&str; 14] = [
+const TOTALS_COUNTERS: [&str; 15] = [
     "stages",
     "tasks",
     "records_in",
@@ -43,6 +43,7 @@ const TOTALS_COUNTERS: [&str; 14] = [
     "speculative_wins",
     "injected_faults",
     "outliers",
+    "peak_rss_bytes",
     "wall_clock_us",
 ];
 
@@ -218,7 +219,7 @@ mod tests {
 
     #[test]
     fn missing_sections_are_each_reported() {
-        let errors = check_report("{\"schema_version\": 1}");
+        let errors = check_report(&format!("{{\"schema_version\": {REPORT_SCHEMA_VERSION}}}"));
         for section in ["dataset", "params", "phases", "stages", "totals"] {
             assert!(
                 errors.iter().any(|e| e.starts_with(section)),
@@ -229,10 +230,11 @@ mod tests {
 
     #[test]
     fn wrong_schema_version_is_rejected() {
-        let json =
-            valid_report()
-                .to_json()
-                .replacen("\"schema_version\": 1", "\"schema_version\": 99", 1);
+        let json = valid_report().to_json().replacen(
+            &format!("\"schema_version\": {REPORT_SCHEMA_VERSION}"),
+            "\"schema_version\": 99",
+            1,
+        );
         let errors = check_report(&json);
         assert!(
             errors.iter().any(|e| e.contains("schema_version")),
