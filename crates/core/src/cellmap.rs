@@ -132,13 +132,16 @@ impl CellMap {
         self.core_neighbors(cell).next().is_some()
     }
 
-    /// Iterates over all `(cell, type)` entries.
+    /// Iterates over all `(cell, type)` entries, in unspecified order.
+    /// Order-sensitive callers must canonicalize.
     pub fn iter(&self) -> impl Iterator<Item = (&CellCoord, CellType)> + '_ {
+        // xlint: ordered -- documented order-free; consumers count or probe by key
         self.types.iter().map(|(c, t)| (c, *t))
     }
 
     /// Number of dense cells.
     pub fn dense_cells(&self) -> usize {
+        // xlint: ordered -- counting matches is order-insensitive
         self.types
             .values()
             .filter(|t| matches!(t, CellType::Dense))
@@ -147,6 +150,7 @@ impl CellMap {
 
     /// Number of core cells (dense included).
     pub fn core_cells(&self) -> usize {
+        // xlint: ordered -- counting matches is order-insensitive
         self.types.values().filter(|t| t.is_core()).count()
     }
 

@@ -436,6 +436,7 @@ impl DistributedDbscout {
             num_cells,
             dense_cells,
             core_cells,
+            // xtask-lint: allow(XL009) -- tally read strictly after scope joins
             distance_computations: dist_comps.load(Ordering::Relaxed),
         };
         Ok(OutlierResult::from_labels(labels, stats, timings))

@@ -162,21 +162,20 @@ impl IncrementalDbscout {
             .map(|(&l, &alive)| if alive { l } else { PointLabel::Covered })
             .collect();
         let min_pts = self.params.min_pts;
+        let mut dense_cells = 0;
+        let mut core_cells = 0;
+        // xlint: ordered -- counting matches is order-insensitive
+        for ids in self.cells.values() {
+            dense_cells += usize::from(ids.len() >= min_pts);
+            let has_core = ids
+                .iter()
+                .any(|&id| self.labels.get(id as usize) == Some(&PointLabel::Core));
+            core_cells += usize::from(has_core);
+        }
         let stats = RunStats {
             num_cells: self.cells.len(),
-            dense_cells: self
-                .cells
-                .values()
-                .filter(|ids| ids.len() >= min_pts)
-                .count(),
-            core_cells: self
-                .cells
-                .values()
-                .filter(|ids| {
-                    ids.iter()
-                        .any(|&id| self.labels.get(id as usize) == Some(&PointLabel::Core))
-                })
-                .count(),
+            dense_cells,
+            core_cells,
             distance_computations: 0,
         };
         OutlierResult::from_labels(labels, stats, PhaseTimings::default())

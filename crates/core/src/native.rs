@@ -176,7 +176,10 @@ impl Dbscout {
 
         // Phase 3: core points identification (Algorithm 3).
         let t = Instant::now();
-        let cells: Vec<(&CellCoord, &[PointId])> = grid.cells().collect();
+        // Canonicalize the hash-ordered cell iteration so chunk assignment
+        // (and with it per-chunk telemetry) is a pure function of the grid.
+        let mut cells: Vec<(&CellCoord, &[PointId])> = grid.cells().collect();
+        cells.sort_unstable_by_key(|&(coord, _)| coord);
         let chunks = chunk_ranges(cells.len(), self.threads * 4);
         let tasks: Vec<_> = chunks
             .iter()

@@ -1,0 +1,84 @@
+//! Schedule-exploration at the algorithm level: the distributed DBSCOUT
+//! engine must label every point identically no matter how the executor
+//! interleaves its tasks. Each run perturbs work-queue pop order with a
+//! seeded rng ([`ExecutionContextBuilder::schedule_chaos`]) and sweeps
+//! worker counts; the outlier labels — the paper's observable output —
+//! must be byte-identical to the sequential FIFO baseline every time.
+
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
+use dbscout_core::{DbscoutParams, DistributedDbscout};
+use dbscout_dataflow::ExecutionContext;
+use dbscout_rng::Rng;
+use dbscout_spatial::PointStore;
+
+/// A clustered 2-D dataset with dense blobs and isolated noise, seeded.
+fn dataset(seed: u64, n: usize) -> PointStore {
+    let mut rng = Rng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            if rng.gen_range(0usize..10) == 0 {
+                vec![rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0)]
+            } else {
+                let cx = f64::from(rng.gen_range(0u32..3)) * 10.0;
+                vec![cx + rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)]
+            }
+        })
+        .collect();
+    PointStore::from_rows(2, rows).expect("generated rows are valid")
+}
+
+/// 32 schedule seeds, spread by a golden-ratio stride from a base the CI
+/// matrix can vary via `DBSCOUT_CHAOS_SEED`.
+fn schedule_seeds() -> Vec<u64> {
+    let base = std::env::var("DBSCOUT_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(0xDBC0);
+    (0..32u64)
+        .map(|i| base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        .collect()
+}
+
+#[test]
+fn labels_are_identical_across_32_schedules_and_worker_counts() {
+    let store = dataset(0x5EED, 300);
+    let params = DbscoutParams::new(0.8, 5).unwrap();
+
+    // Baseline: sequential FIFO execution, partition count pinned so the
+    // job shape never varies with the worker count.
+    let baseline = DistributedDbscout::new(
+        ExecutionContext::builder()
+            .workers(1)
+            .default_partitions(8)
+            .build(),
+        params,
+    )
+    .with_partitions(8)
+    .detect(&store)
+    .expect("baseline detection succeeds");
+
+    for workers in [1usize, 2, 4, 8] {
+        for seed in schedule_seeds() {
+            let ctx = ExecutionContext::builder()
+                .workers(workers)
+                .default_partitions(8)
+                .schedule_chaos(seed)
+                .build();
+            let result = DistributedDbscout::new(ctx, params)
+                .with_partitions(8)
+                .detect(&store)
+                .expect("chaos-scheduled detection succeeds");
+            assert_eq!(
+                result.outlier_mask(),
+                baseline.outlier_mask(),
+                "schedule-dependent labels at workers={workers} seed={seed:#x}"
+            );
+        }
+    }
+}

@@ -54,6 +54,9 @@ pub struct ExecutionContext {
     max_task_retries: usize,
     speculation: Option<SpeculationConfig>,
     fault_plan: Option<FaultPlan>,
+    /// Seed perturbing work-queue pop order in every stage (schedule
+    /// exploration); `None` = FIFO.
+    schedule_seed: Option<u64>,
     /// Caller-visible phase label (e.g. `"core-point pass"`) prefixed onto
     /// every stage name while set.
     stage: Mutex<Option<String>>,
@@ -71,6 +74,7 @@ impl fmt::Debug for ExecutionContext {
             .field("max_task_retries", &self.max_task_retries)
             .field("speculation", &self.speculation)
             .field("fault_plan", &self.fault_plan)
+            .field("schedule_seed", &self.schedule_seed)
             .field("recorder", &self.recorder.is_some())
             .finish_non_exhaustive()
     }
@@ -159,6 +163,7 @@ impl ExecutionContext {
             fault_plan: self.fault_plan.as_ref(),
             metrics: Some(&self.metrics),
             recorder: self.recorder.as_deref(),
+            schedule_seed: self.schedule_seed,
             stage: &label,
         };
         executor::run_stage(&opts, tasks)
@@ -262,6 +267,7 @@ pub struct ExecutionContextBuilder {
     max_task_retries: Option<usize>,
     speculation: Option<SpeculationConfig>,
     fault_plan: Option<FaultPlan>,
+    schedule_seed: Option<u64>,
     recorder: Option<Arc<dyn Recorder>>,
 }
 
@@ -273,6 +279,7 @@ impl fmt::Debug for ExecutionContextBuilder {
             .field("max_task_retries", &self.max_task_retries)
             .field("speculation", &self.speculation)
             .field("fault_plan", &self.fault_plan)
+            .field("schedule_seed", &self.schedule_seed)
             .field("recorder", &self.recorder.is_some())
             .finish()
     }
@@ -312,6 +319,17 @@ impl ExecutionContextBuilder {
         self
     }
 
+    /// Perturbs work-queue pop order in every stage with a seeded rng
+    /// (schedule exploration). Off by default — production pops FIFO.
+    ///
+    /// The engine's results are schedule-independent by construction;
+    /// this hook lets tests *prove* it by running the same job under
+    /// many seeds and asserting byte-identical output.
+    pub fn schedule_chaos(mut self, seed: u64) -> Self {
+        self.schedule_seed = Some(seed);
+        self
+    }
+
     /// Installs a span sink (e.g. a
     /// [`TraceCollector`](dbscout_telemetry::TraceCollector)): every task
     /// attempt emits a span into it, and detectors running on the context
@@ -335,6 +353,7 @@ impl ExecutionContextBuilder {
             max_task_retries: self.max_task_retries.unwrap_or(DEFAULT_TASK_RETRIES),
             speculation: self.speculation,
             fault_plan: self.fault_plan,
+            schedule_seed: self.schedule_seed,
             stage: Mutex::new(None),
             metrics: EngineMetrics::new(),
             recorder: self.recorder,

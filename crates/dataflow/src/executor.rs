@@ -94,6 +94,11 @@ pub struct StageOptions<'a> {
     /// Span sink for per-attempt task spans; `None` (the default) keeps
     /// the hot path span-free — no allocation, no locking.
     pub recorder: Option<&'a dyn Recorder>,
+    /// Seed for schedule-exploration tests: perturbs work-queue pop
+    /// order (see [`WorkQueue`]). `None` (the default) pops FIFO.
+    /// Results must be byte-identical for every seed — that invariant is
+    /// what the schedule-chaos suite asserts.
+    pub schedule_seed: Option<u64>,
     /// Stage name used in errors and fault decisions.
     pub stage: &'a str,
 }
@@ -107,6 +112,7 @@ impl std::fmt::Debug for StageOptions<'_> {
             .field("fault_plan", &self.fault_plan)
             .field("metrics", &self.metrics.is_some())
             .field("recorder", &self.recorder.is_some())
+            .field("schedule_seed", &self.schedule_seed)
             .field("stage", &self.stage)
             .finish()
     }
@@ -122,6 +128,7 @@ impl<'a> StageOptions<'a> {
             fault_plan: None,
             metrics: None,
             recorder: None,
+            schedule_seed: None,
             stage: "task",
         }
     }
@@ -235,11 +242,55 @@ impl<T> PartitionState<T> {
 }
 
 /// Everything the worker threads share for one stage.
+/// The stage's shared work queue, with an optional seeded perturbation
+/// of pop order for schedule-exploration tests.
+///
+/// Production pops FIFO. With a seed set ([`StageOptions::schedule_seed`])
+/// each pop draws from an xorshift64 stream and removes a pseudo-random
+/// element instead, exploring task interleavings no FIFO run would
+/// produce while staying reproducible for a given seed. The rng state
+/// lives inside the queue's mutex, so perturbation adds no new shared
+/// state and no extra synchronization.
+struct WorkQueue {
+    items: VecDeque<WorkItem>,
+    /// xorshift64 state; `None` = FIFO (production).
+    rng: Option<u64>,
+}
+
+impl WorkQueue {
+    fn new(items: VecDeque<WorkItem>, seed: Option<u64>) -> Self {
+        WorkQueue {
+            items,
+            // xorshift64 has a fixed point at 0; nudge a zero seed off it.
+            rng: seed.map(|s| s.max(1)),
+        }
+    }
+
+    fn pop(&mut self) -> Option<WorkItem> {
+        match self.rng {
+            Some(ref mut state) if self.items.len() > 1 => {
+                let mut x = *state;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                *state = x;
+                let idx = (x % self.items.len() as u64) as usize;
+                self.items.remove(idx)
+            }
+            _ => self.items.pop_front(),
+        }
+    }
+
+    fn push_back(&mut self, item: WorkItem) {
+        self.items.push_back(item);
+    }
+}
+
 struct StageShared<'a, T, F> {
     opts: &'a StageOptions<'a>,
     tasks: &'a [F],
     states: Vec<Mutex<PartitionState<T>>>,
-    queue: Mutex<VecDeque<WorkItem>>,
+    queue: Mutex<WorkQueue>,
     /// Partitions that reached a terminal state (result or exhausted).
     settled: AtomicUsize,
     /// Durations of successful attempts (feeds the speculation quantile).
@@ -299,7 +350,7 @@ where
             opts,
             tasks: &tasks,
             states: (0..n).map(|_| Mutex::new(PartitionState::new())).collect(),
-            queue: Mutex::new(
+            queue: Mutex::new(WorkQueue::new(
                 (0..n)
                     .map(|partition| WorkItem {
                         partition,
@@ -307,7 +358,8 @@ where
                         speculative: false,
                     })
                     .collect(),
-            ),
+                opts.schedule_seed,
+            )),
             settled: AtomicUsize::new(0),
             durations: Mutex::new(Vec::with_capacity(n)),
             counters: &counters,
@@ -348,7 +400,7 @@ fn worker_loop<S, T: Send, F: Fn(&mut S) -> T>(
         if shared.settled.load(Ordering::Acquire) >= n {
             break;
         }
-        let item = lock_unpoisoned(&shared.queue).pop_front();
+        let item = lock_unpoisoned(&shared.queue).pop();
         let Some(item) = item.or_else(|| pick_speculative(shared)) else {
             // Nothing to run right now: another worker may still fail and
             // re-queue, so poll until every partition settles.
@@ -722,6 +774,50 @@ mod tests {
     use super::*;
 
     type BoxedTask<T> = Box<dyn Fn() -> T + Send + Sync>;
+
+    fn items(n: usize) -> VecDeque<WorkItem> {
+        (0..n)
+            .map(|partition| WorkItem {
+                partition,
+                attempt: 0,
+                speculative: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fifo_queue_pops_in_order() {
+        let mut q = WorkQueue::new(items(5), None);
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|i| i.partition)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn seeded_queue_pops_every_item_exactly_once() {
+        let mut q = WorkQueue::new(items(16), Some(42));
+        let mut order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|i| i.partition)
+            .collect();
+        assert_ne!(order, (0..16).collect::<Vec<_>>(), "seed 42 must shuffle");
+        order.sort_unstable();
+        assert_eq!(order, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seeded_queue_is_reproducible_and_seed_sensitive() {
+        let drain = |seed: u64| -> Vec<usize> {
+            let mut q = WorkQueue::new(items(16), Some(seed));
+            std::iter::from_fn(|| q.pop())
+                .map(|i| i.partition)
+                .collect()
+        };
+        assert_eq!(drain(7), drain(7));
+        assert_ne!(drain(7), drain(8));
+        // Seed 0 sits on xorshift's fixed point and must still shuffle.
+        assert_ne!(drain(0), (0..16).collect::<Vec<_>>());
+    }
 
     #[test]
     fn runs_all_tasks_in_order() {

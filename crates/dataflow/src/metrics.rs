@@ -15,7 +15,7 @@
 //! methods rely on.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use dbscout_telemetry::{DurationHistogram, Recorder, Span, SpanKind};
@@ -93,7 +93,7 @@ impl EngineMetrics {
     }
 
     fn records_locked(&self) -> std::sync::MutexGuard<'_, Vec<StageRecord>> {
-        self.records.lock().unwrap_or_else(PoisonError::into_inner)
+        crate::executor::lock_unpoisoned(&self.records)
     }
 
     /// Appends one completed stage's record (called by the executor once
@@ -184,7 +184,7 @@ impl EngineMetrics {
         let records = self.records_locked();
         let mut s = MetricsSnapshot {
             stages: records.len() as u64,
-            broadcasts: self.broadcasts.load(Ordering::Relaxed),
+            broadcasts: self.broadcasts.load(Ordering::Acquire),
             ..MetricsSnapshot::default()
         };
         for r in records.iter() {
@@ -207,7 +207,7 @@ impl EngineMetrics {
     /// Clears the log and counters (between experiment repetitions).
     pub fn reset(&self) {
         self.records_locked().clear();
-        self.broadcasts.store(0, Ordering::Relaxed);
+        self.broadcasts.store(0, Ordering::Release);
     }
 }
 

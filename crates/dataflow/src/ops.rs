@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use crate::dataset::Dataset;
 use crate::error::Result;
-use crate::shuffle::{gather, scatter, DetHashMap};
+use crate::shuffle::{drain_by_key_hash, gather, scatter, DetHashMap};
 
 impl<T: Send + Sync> Dataset<T> {
     /// Removes duplicate records via a combining shuffle (`DISTINCT`).
@@ -29,7 +29,7 @@ impl<T: Send + Sync> Dataset<T> {
                     for r in part.iter() {
                         seen.entry(r.clone()).or_insert(());
                     }
-                    scatter(seen.into_keys().map(|k| (k, ())), num_partitions)
+                    scatter(drain_by_key_hash(seen), num_partitions)
                 }
             })
             .collect();
@@ -49,7 +49,10 @@ impl<T: Send + Sync> Dataset<T> {
                     for (k, ()) in records.iter().cloned() {
                         seen.entry(k).or_insert(());
                     }
-                    seen.into_keys().collect::<Vec<_>>()
+                    drain_by_key_hash(seen)
+                        .into_iter()
+                        .map(|(k, ())| k)
+                        .collect::<Vec<_>>()
                 }
             })
             .collect();

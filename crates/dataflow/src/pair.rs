@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use crate::dataset::Dataset;
 use crate::error::Result;
-use crate::shuffle::{gather, scatter, DetHashMap};
+use crate::shuffle::{drain_by_key_hash, gather, scatter, DetHashMap};
 
 /// One cogrouped record: a key with all its left values and all its right
 /// values.
@@ -65,7 +65,7 @@ where
                             }
                         }
                     }
-                    scatter(combined, num_partitions)
+                    scatter(drain_by_key_hash(combined), num_partitions)
                 }
             })
             .collect();
@@ -98,7 +98,7 @@ where
                             }
                         }
                     }
-                    combined.into_iter().collect::<Vec<_>>()
+                    drain_by_key_hash(combined)
                 }
             })
             .collect();
@@ -141,7 +141,7 @@ where
                     for (k, v) in records.iter().cloned() {
                         groups.entry(k).or_default().push(v);
                     }
-                    groups.into_iter().collect::<Vec<_>>()
+                    drain_by_key_hash(groups)
                 }
             })
             .collect();
@@ -244,7 +244,7 @@ where
                     for (k, w) in rhs.iter().cloned() {
                         table.entry(k).or_default().1.push(w);
                     }
-                    table.into_iter().collect::<Vec<_>>()
+                    drain_by_key_hash(table)
                 }
             })
             .collect();
@@ -284,11 +284,11 @@ where
     /// With duplicate keys the last record (in partition order) wins, as
     /// with `collectAsMap` in Spark.
     pub fn collect_as_map(&self) -> Result<DetHashMap<K, V>> {
-        let mut out = DetHashMap::default();
+        let mut merged = DetHashMap::default();
         for (k, v) in self.collect()? {
-            out.insert(k, v);
+            merged.insert(k, v);
         }
-        Ok(out)
+        Ok(merged)
     }
 }
 

@@ -66,6 +66,24 @@ pub fn gather<T>(mut per_task_buckets: Vec<Vec<Vec<T>>>, num_partitions: usize) 
     out
 }
 
+/// Drains a deterministic hash map into a `Vec` in a canonical order:
+/// ascending key hash, ties broken by the map's (deterministic) drain
+/// order.
+///
+/// Hash maps iterate in hash-bucket layout order, which depends on
+/// insertion history. Reduce-side operators drain their per-partition
+/// maps through this helper so partition contents are a pure function of
+/// the record multiset — independent of task schedule or insertion order
+/// — keeping the engine's byte-identical-output guarantee (and the lint
+/// suite's XL007 determinism rule) honest. Keys need only be `Hash`, not
+/// `Ord`, which is exactly the bound shuffle keys already carry.
+pub fn drain_by_key_hash<K: Hash, V>(map: DetHashMap<K, V>) -> Vec<(K, V)> {
+    // xlint: ordered -- this is the canonicalizer: sorted on the next line
+    let mut entries: Vec<(K, V)> = map.into_iter().collect();
+    entries.sort_by_key(|(k, _)| hash_key(k));
+    entries
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +124,21 @@ mod tests {
         let non_empty: Vec<_> = buckets.iter().filter(|b| !b.is_empty()).collect();
         assert_eq!(non_empty.len(), 1);
         assert_eq!(non_empty[0].len(), 3);
+    }
+
+    #[test]
+    fn drain_by_key_hash_is_insertion_order_independent() {
+        let mut forward = DetHashMap::default();
+        let mut reverse = DetHashMap::default();
+        for i in 0..1000u64 {
+            forward.insert(i, i * 3);
+        }
+        for i in (0..1000u64).rev() {
+            reverse.insert(i, i * 3);
+        }
+        // Different insertion histories (and hence potentially different
+        // bucket layouts) must drain identically.
+        assert_eq!(drain_by_key_hash(forward), drain_by_key_hash(reverse));
     }
 
     #[test]

@@ -195,6 +195,7 @@ impl CellMajorBuilder {
             n,
             counts,
         } = self;
+        // xlint: ordered -- drained entries are sorted by coordinate just below
         let mut keyed: Vec<(CellCoord, u32)> = counts.into_iter().collect();
         keyed.sort_unstable_by_key(|&(coord, _)| coord);
         let mut cells = Vec::with_capacity(keyed.len());

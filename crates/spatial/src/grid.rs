@@ -140,6 +140,7 @@ impl Grid {
 
     /// Total number of points across all cells.
     pub fn num_points(&self) -> usize {
+        // xlint: ordered -- summing lengths is order-insensitive
         self.cells.values().map(Vec::len).sum()
     }
 
@@ -153,14 +154,19 @@ impl Grid {
         self.cells.get(cell).map(Vec::as_slice)
     }
 
-    /// Iterates over `(cell, point ids)` for every non-empty cell.
+    /// Iterates over `(cell, point ids)` for every non-empty cell, in
+    /// unspecified order. Callers whose output depends on order must
+    /// canonicalize (the native engine sorts by coordinate; the
+    /// cell-major builder sorts its scatter plan).
     pub fn cells(&self) -> impl Iterator<Item = (&CellCoord, &[PointId])> + '_ {
+        // xlint: ordered -- documented order-free; order-sensitive callers sort
         self.cells.iter().map(|(c, v)| (c, v.as_slice()))
     }
 
     /// Population of the most populous cell (the skew measure the paper
     /// discusses for Geolife, §IV-B2).
     pub fn max_cell_population(&self) -> usize {
+        // xlint: ordered -- max over lengths is order-insensitive
         self.cells.values().map(Vec::len).max().unwrap_or(0)
     }
 

@@ -6,10 +6,15 @@
 //! byte-for-byte aligned text where token scanning cannot be fooled by
 //! `"panic!"` inside a string or `.unwrap()` inside a doc comment.
 //!
-//! The pass also extracts `// xtask-lint: allow(XL001) -- reason` escape
-//! hatches, which suppress findings on their own line and the following
-//! line. A hatch without a non-empty `-- reason` is itself reported
-//! (rule `XL000`).
+//! The pass also extracts two escape-hatch directives, each suppressing
+//! findings on its own line and the following line, and each requiring a
+//! non-empty `-- reason` (a hatch without one is itself reported as
+//! `XL000`):
+//!
+//! * `// xtask-lint: allow(XL001) -- reason` — suppress specific rules;
+//! * `// xlint: ordered -- reason` — assert a hash-ordered iteration
+//!   site is order-insensitive (consumed by the `XL007` determinism
+//!   rule).
 
 /// One parsed escape-hatch directive.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,7 +31,9 @@ pub struct Cleaned {
     pub text: Vec<u8>,
     /// Escape hatches found in comments.
     pub allows: Vec<Allow>,
-    /// 1-based lines holding a malformed `xtask-lint` comment.
+    /// 1-based lines carrying an ordered-iteration determinism waiver.
+    pub ordered: Vec<usize>,
+    /// 1-based lines holding a malformed lint directive.
     pub malformed: Vec<usize>,
 }
 
@@ -36,6 +43,11 @@ impl Cleaned {
         self.allows
             .iter()
             .any(|a| (a.line == line || a.line + 1 == line) && a.rules.iter().any(|r| r == rule))
+    }
+
+    /// True when an ordered-iteration waiver covers 1-based `line`.
+    pub fn ordered_at(&self, line: usize) -> bool {
+        self.ordered.iter().any(|&l| l == line || l + 1 == line)
     }
 
     /// 1-based line number of byte offset `pos`.
@@ -68,6 +80,7 @@ pub fn clean(source: &str) -> Cleaned {
     let src = source.as_bytes();
     let mut out = src.to_vec();
     let mut allows = Vec::new();
+    let mut ordered = Vec::new();
     let mut malformed = Vec::new();
     let mut i = 0usize;
 
@@ -92,7 +105,11 @@ pub fn clean(source: &str) -> Cleaned {
                 .map_or(src.len(), |p| i + p);
             if let Some(text) = source.get(i..end) {
                 match parse_directive(text) {
-                    DirectiveParse::None => {}
+                    DirectiveParse::None => match parse_ordered(text) {
+                        Some(true) => ordered.push(line_of(src, i)),
+                        Some(false) => malformed.push(line_of(src, i)),
+                        None => {}
+                    },
                     DirectiveParse::Ok(rules) => {
                         allows.push(Allow {
                             line: line_of(src, i),
@@ -173,6 +190,30 @@ pub fn clean(source: &str) -> Cleaned {
             blank(&mut out, start, i);
             continue;
         }
+        // Byte-char literal: b'[' / b'\n'. The char branch below cannot
+        // catch these — its `!is_ident_byte(prev)` guard sees the `b` —
+        // and an unblanked `[` would fake a slice-indexing finding.
+        if c == b'b' && at(src, i + 1) == b'\'' && !is_ident_byte(at(src, i.wrapping_sub(1))) {
+            let start = i;
+            i += 2; // past `b'`
+            if at(src, i) == b'\\' {
+                i += 2;
+                while i < src.len() && at(src, i) != b'\'' {
+                    i += 1;
+                }
+                i += 1;
+                blank(&mut out, start, i);
+                continue;
+            }
+            if at(src, i + 1) == b'\'' {
+                i += 2;
+                blank(&mut out, start, i);
+                continue;
+            }
+            // Not a byte char after all; re-scan from the quote.
+            i = start + 1;
+            continue;
+        }
         // Char literal vs lifetime.
         if c == b'\'' && !is_ident_byte(at(src, i.wrapping_sub(1))) {
             if at(src, i + 1) == b'\\' {
@@ -204,6 +245,7 @@ pub fn clean(source: &str) -> Cleaned {
     Cleaned {
         text: out,
         allows,
+        ordered,
         malformed,
     }
 }
@@ -218,7 +260,7 @@ enum DirectiveParse {
     Malformed,
 }
 
-/// Parses `xtask-lint: allow(XL001[, XL002]) -- reason` out of one `//`
+/// Parses `xtask-lint: allow(XL001, XL002) -- reason` out of one `//`
 /// comment. The reason after `--` is mandatory and must be non-empty.
 fn parse_directive(comment: &str) -> DirectiveParse {
     let Some(pos) = comment.find("xtask-lint:") else {
@@ -256,6 +298,25 @@ fn parse_directive(comment: &str) -> DirectiveParse {
         return DirectiveParse::Malformed;
     }
     DirectiveParse::Ok(rules)
+}
+
+/// Parses `xlint: ordered -- reason` out of one `//` comment. Returns
+/// `None` when the comment is not an `xlint` directive, `Some(true)` for
+/// a well-formed waiver and `Some(false)` for a malformed one (unknown
+/// verb or missing reason).
+fn parse_ordered(comment: &str) -> Option<bool> {
+    let pos = comment.find("xlint:")?;
+    let rest = comment
+        .get(pos + "xlint:".len()..)
+        .unwrap_or("")
+        .trim_start();
+    let Some(rest) = rest.strip_prefix("ordered") else {
+        return Some(false);
+    };
+    let Some(reason) = rest.trim_start().strip_prefix("--") else {
+        return Some(false);
+    };
+    Some(!reason.trim().is_empty())
 }
 
 #[cfg(test)]
@@ -337,6 +398,79 @@ mod tests {
         let c = clean("// xtask-lint: allow(XL001, XL002) -- both fine here\nx;");
         assert!(c.allowed("XL001", 2));
         assert!(c.allowed("XL002", 2));
+    }
+
+    #[test]
+    fn byte_char_literals_are_blanked() {
+        // Regression: `b'['` used to be mistaken for a lifetime, leaving
+        // the `[` visible to the slice-indexing scan.
+        let src = "let open = b'['; let nl = b'\\n'; let q = b'\\''; let z = b'x';";
+        let got = cleaned_str(src);
+        assert!(!got.contains('['), "byte-char content leaked: {got}");
+        assert!(!got.contains('x'), "byte-char content leaked: {got}");
+        assert_eq!(got.len(), src.len());
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_newlines() {
+        let src = "let s = r##\"a.unwrap() \"# still[0] \"##; let t = br#\"panic!\"#; done";
+        let got = cleaned_str(src);
+        assert!(!got.contains("unwrap"), "{got}");
+        assert!(!got.contains("still"), "{got}");
+        assert!(!got.contains("panic"), "{got}");
+        assert!(got.contains("done"));
+
+        let multi = "r#\"line1.expect(\nline2[1]\"#; tail";
+        let got = cleaned_str(multi);
+        assert!(!got.contains("expect"), "{got}");
+        assert!(!got.contains('['), "{got}");
+        assert!(got.contains("tail"));
+        assert_eq!(got.matches('\n').count(), multi.matches('\n').count());
+    }
+
+    #[test]
+    fn nested_block_comment_hides_string_openers() {
+        // An unbalanced quote inside a nested comment must not derail the
+        // scan past the comment's end.
+        let src = "/* outer /* \" r#\" */ .unwrap() */ let ok = 1;";
+        let got = cleaned_str(src);
+        assert!(!got.contains("unwrap"), "{got}");
+        assert!(got.contains("let ok = 1;"));
+    }
+
+    #[test]
+    fn ordered_directive_parses() {
+        let c = clean("for v in m.values() {} // xlint: ordered -- summed, order-free\nnext;");
+        assert_eq!(c.ordered, vec![1]);
+        assert!(c.ordered_at(1));
+        assert!(c.ordered_at(2));
+        assert!(!c.ordered_at(3));
+        assert!(c.malformed.is_empty());
+
+        // The waiver also covers the following line, like `allow`.
+        let c = clean("// xlint: ordered -- counts only\nfor v in m.values() {}");
+        assert!(c.ordered_at(2));
+    }
+
+    #[test]
+    fn ordered_directive_without_reason_is_malformed() {
+        for bad in [
+            "// xlint: ordered",
+            "// xlint: ordered --",
+            "// xlint: ordered --   ",
+            "// xlint: sorted -- wrong verb",
+        ] {
+            let c = clean(bad);
+            assert_eq!(c.malformed, vec![1], "{bad}");
+            assert!(c.ordered.is_empty(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn directives_inside_strings_are_ignored() {
+        let c = clean("let s = \"// xlint: ordered -- nope\";\n");
+        assert!(c.ordered.is_empty());
+        assert!(c.malformed.is_empty());
     }
 
     #[test]

@@ -27,6 +27,17 @@
 //!   `dataflow`, `data`, `telemetry`); a library that prints corrupts
 //!   machine-readable output and cannot be silenced, so diagnostics go
 //!   through the `dbscout-telemetry` recorder or returned values.
+//! * **XL007 determinism** — no iteration over hash-ordered containers
+//!   (`HashMap`/`HashSet`/`DetHashMap`) in the result-affecting crates
+//!   (`core`, `spatial`, `dataflow`); the byte-identical-labels
+//!   guarantee must not depend on hash-bucket layout. Order-insensitive
+//!   sites are waived per site with `// xlint: ordered -- <reason>`.
+//! * **XL008 lock discipline** — inside `dbscout-dataflow` every
+//!   `lock()`/`try_lock()` goes through `executor::lock_unpoisoned`, and
+//!   no guard is held across a task-boundary call.
+//! * **XL009 atomic-ordering discipline** — no `Ordering::Relaxed` on
+//!   atomic loads/stores in `core`/`spatial`/`dataflow`; values that
+//!   gate cross-thread visibility need Acquire/Release edges.
 //!
 //! The binary also hosts `cargo xtask check-report <file>`, which
 //! validates a `dbscout detect --report-json` document against the
@@ -91,6 +102,12 @@ pub fn scope_for(rel_path: &str) -> Scope {
         // name the token to hunt for it.
         catch_unwind: rel_path != "crates/dataflow/src/executor.rs" && !in_crate("xtask"),
         no_stdout: STDOUT_FREE_CRATES.iter().any(|c| in_crate(c)),
+        // Determinism and atomic-ordering discipline cover the crates
+        // whose output reaches labels; lock discipline is about the
+        // executor's mutexes, all of which live in the dataflow crate.
+        determinism: panic_freedom,
+        lock_discipline: in_crate("dataflow"),
+        atomic_ordering: panic_freedom,
     }
 }
 
@@ -106,8 +123,9 @@ pub fn lint_source(rel_path: &str, source: &str, scope: Scope) -> Vec<Diagnostic
             file: rel_path.to_string(),
             line,
             col: 1,
-            message: "malformed `xtask-lint` comment".to_string(),
-            help: "the form is `// xtask-lint: allow(XL00n) -- <non-empty justification>`"
+            message: "malformed lint directive comment".to_string(),
+            help: "the forms are `// xtask-lint: allow(XL00n) -- <justification>` and \
+                   `// xlint: ordered -- <justification>`; the justification is mandatory"
                 .to_string(),
         });
     }
@@ -128,6 +146,15 @@ pub fn lint_source(rel_path: &str, source: &str, scope: Scope) -> Vec<Diagnostic
     }
     if scope.no_stdout {
         rules::stdout_discipline(&cleaned, rel_path, &spans, &mut out);
+    }
+    if scope.determinism {
+        rules::determinism(&cleaned, rel_path, &spans, &mut out);
+    }
+    if scope.lock_discipline {
+        rules::lock_discipline(&cleaned, rel_path, &spans, &mut out);
+    }
+    if scope.atomic_ordering {
+        rules::atomic_ordering(&cleaned, rel_path, &spans, &mut out);
     }
     out.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
     out
@@ -202,6 +229,15 @@ mod tests {
         assert!(scope_for("crates/telemetry/src/trace.rs").no_stdout);
         assert!(!scope_for("crates/cli/src/commands.rs").no_stdout);
         assert!(!scope_for("crates/xtask/src/main.rs").no_stdout);
+
+        // Concurrency-correctness rules: determinism and atomic ordering
+        // cover the result-affecting crates; lock discipline covers the
+        // crate holding the executor's mutexes.
+        assert!(core.determinism && core.atomic_ordering && !core.lock_discipline);
+        let exec = scope_for("crates/dataflow/src/executor.rs");
+        assert!(exec.determinism && exec.lock_discipline && exec.atomic_ordering);
+        assert!(scope_for("crates/spatial/src/grid.rs").determinism);
+        assert!(!data.determinism && !data.lock_discipline && !data.atomic_ordering);
     }
 
     #[test]

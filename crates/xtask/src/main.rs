@@ -8,9 +8,11 @@ fn usage() -> &'static str {
     "usage: cargo xtask <command>\n\n\
      commands:\n\
      \x20 lint [--json] [--root DIR]   run the DBSCOUT custom lint suite\n\
-     \x20                              (rules XL000-XL006) over every\n\
+     \x20                              (rules XL000-XL009) over every\n\
      \x20                              crates/*/src/**/*.rs file; exits\n\
      \x20                              non-zero when findings exist\n\
+     \x20 lint --explain XLNNN         print a rule's rationale and waiver\n\
+     \x20                              syntax\n\
      \x20 check-report <file>          validate a `dbscout detect\n\
      \x20                              --report-json` document against the\n\
      \x20                              run-report schema\n\
@@ -127,6 +129,25 @@ fn lint(mut args: impl Iterator<Item = String>) -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--explain" => {
+                let Some(rule) = args.next() else {
+                    eprintln!("error: --explain needs a rule id (e.g. XL007)");
+                    return ExitCode::FAILURE;
+                };
+                return match xtask::diag::explain(&rule) {
+                    Some(text) => {
+                        println!("{text}");
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        eprintln!(
+                            "error: unknown rule {rule:?}; shipped rules: {}",
+                            xtask::diag::ALL_RULES.join(", ")
+                        );
+                        ExitCode::FAILURE
+                    }
+                };
+            }
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -158,7 +179,7 @@ fn lint(mut args: impl Iterator<Item = String>) -> ExitCode {
             print!("{}", d.render_human());
         }
         if findings.is_empty() {
-            println!("xtask lint: clean (rules XL000-XL006)");
+            println!("xtask lint: clean (rules XL000-XL009)");
         } else {
             println!("xtask lint: {} finding(s)", findings.len());
         }

@@ -26,6 +26,15 @@ pub struct Scope {
     /// go through the telemetry recorder or returned values, never
     /// straight to the process streams.
     pub no_stdout: bool,
+    /// XL007: no hash-ordered iteration in result-affecting paths
+    /// (core, spatial, dataflow library code).
+    pub determinism: bool,
+    /// XL008: all locking through `lock_unpoisoned`, no guard held
+    /// across a task boundary (the dataflow crate).
+    pub lock_discipline: bool,
+    /// XL009: no `Ordering::Relaxed` on atomic loads/stores (core,
+    /// spatial, dataflow library code).
+    pub atomic_ordering: bool,
 }
 
 fn at(b: &[u8], i: usize) -> u8 {
@@ -36,15 +45,20 @@ fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
-fn prev_non_ws(b: &[u8], mut i: usize) -> u8 {
+fn prev_non_ws(b: &[u8], i: usize) -> u8 {
+    prev_non_ws_pos(b, i).0
+}
+
+/// The previous non-whitespace byte before `i` and its position.
+fn prev_non_ws_pos(b: &[u8], mut i: usize) -> (u8, usize) {
     while i > 0 {
         i -= 1;
         let c = at(b, i);
         if !c.is_ascii_whitespace() {
-            return c;
+            return (c, i);
         }
     }
-    0
+    (0, 0)
 }
 
 /// The identifier run whose last byte is the previous non-whitespace
@@ -626,6 +640,381 @@ pub fn stdout_discipline(
     }
 }
 
+/// The hash-ordered container types whose iteration order depends on
+/// hash-bucket layout rather than on anything the algorithm controls.
+const HASH_TYPES: [&[u8]; 3] = [b"HashMap", b"HashSet", b"DetHashMap"];
+
+/// Methods that observe a container's iteration order.
+const ITER_METHODS: [&[u8]; 10] = [
+    b"iter",
+    b"iter_mut",
+    b"keys",
+    b"values",
+    b"values_mut",
+    b"into_iter",
+    b"into_keys",
+    b"into_values",
+    b"drain",
+    b"retain",
+];
+
+/// If the hash-type name starting at `s` sits in type position
+/// (`name: [&][mut] [path::]HashMap<..>`), returns the binding ident.
+fn binding_for_type(b: &[u8], s: usize) -> Option<Vec<u8>> {
+    let mut j = s;
+    loop {
+        let (p, pp) = prev_non_ws_pos(b, j);
+        if p == b':' && pp > 0 && at(b, pp - 1) == b':' {
+            // `seg::Type` — hop backwards over the path segment.
+            let seg = ident_ending_before(b, pp - 1);
+            if seg.is_empty() {
+                return None;
+            }
+            j = pp - 1 - seg.len();
+        } else if p == b'&' {
+            j = pp;
+        } else if is_ident_byte(p) {
+            let word = ident_ending_before(b, j);
+            if word == b"mut" {
+                j = pp + 1 - word.len();
+            } else {
+                return None;
+            }
+        } else if p == b':' {
+            let name = ident_ending_before(b, pp);
+            return (!name.is_empty()).then(|| name.to_vec());
+        } else {
+            return None;
+        }
+    }
+}
+
+/// If the hash-type name ending at `e` heads a constructor call
+/// (`let [mut] name = HashMap::new()`), returns the binding ident.
+fn binding_for_ctor(b: &[u8], s: usize, e: usize) -> Option<Vec<u8>> {
+    let (n, np) = next_non_ws(b, e);
+    if n != b':' || at(b, np + 1) != b':' {
+        return None;
+    }
+    let (p, pp) = prev_non_ws_pos(b, s);
+    if p != b'=' {
+        return None;
+    }
+    let name = ident_ending_before(b, pp);
+    (!name.is_empty() && name != b"mut").then(|| name.to_vec())
+}
+
+/// XL007 — determinism: iterating a `HashMap`/`HashSet`/`DetHashMap`
+/// yields entries in hash-bucket order. Where that order can reach
+/// results or shuffle payloads it threatens the byte-identical-labels
+/// guarantee, so iteration over hash-typed bindings is flagged. Sites
+/// proven order-insensitive carry a per-site
+/// `// xlint: ordered -- reason` waiver.
+///
+/// Binding tracking is per file and purely lexical: a name counts as
+/// hash-typed when it is declared with a hash container as the *head* of
+/// its type (`cells: HashMap<..>`, not `partials: Vec<HashMap<..>>`) or
+/// assigned from a hash-container constructor path.
+pub fn determinism(c: &Cleaned, file: &str, spans: &[(usize, usize)], out: &mut Vec<Diagnostic>) {
+    const HELP: &str = "drain through a canonical order (sort, or \
+                        `shuffle::drain_by_key_hash`); if the site is provably \
+                        order-insensitive, waive it with \
+                        `// xlint: ordered -- <reason>`";
+    let b = &c.text;
+    let ids = idents(b);
+    let mut tracked: Vec<Vec<u8>> = Vec::new();
+    for &(s, e) in &ids {
+        let word = b.get(s..e).unwrap_or_default();
+        if !HASH_TYPES.contains(&word) {
+            continue;
+        }
+        let binding = binding_for_type(b, s).or_else(|| binding_for_ctor(b, s, e));
+        if let Some(name) = binding {
+            if !tracked.contains(&name) {
+                tracked.push(name);
+            }
+        }
+    }
+    if tracked.is_empty() {
+        return;
+    }
+    let flag = |pos: usize, name: &[u8], how: &str, out: &mut Vec<Diagnostic>| {
+        if c.ordered_at(c.line_of(pos)) {
+            return;
+        }
+        emit(
+            out,
+            c,
+            file,
+            "XL007",
+            pos,
+            format!(
+                "hash-ordered iteration over `{}` ({how}) can leak nondeterministic order",
+                String::from_utf8_lossy(name)
+            ),
+            HELP,
+        );
+    };
+    for &(s, e) in &ids {
+        if in_spans(spans, s) {
+            continue;
+        }
+        let word = b.get(s..e).unwrap_or_default();
+        // `for .. in <tracked> {` — the loop desugars to `into_iter()`.
+        if word == b"in" {
+            let (mut n, mut np) = next_non_ws(b, e);
+            while n == b'&' {
+                (n, np) = next_non_ws(b, np + 1);
+            }
+            if !is_ident_byte(n) {
+                continue;
+            }
+            let mut k = np;
+            while k < b.len() && is_ident_byte(at(b, k)) {
+                k += 1;
+            }
+            let name = b.get(np..k).unwrap_or_default();
+            let name = if name == b"mut" {
+                let (_, mp) = next_non_ws(b, k);
+                let mut m = mp;
+                while m < b.len() && is_ident_byte(at(b, m)) {
+                    m += 1;
+                }
+                k = m;
+                b.get(mp..m).unwrap_or_default()
+            } else {
+                name
+            };
+            let (after, _) = next_non_ws(b, k);
+            if after == b'{' && tracked.iter().any(|t| t == name) {
+                flag(np, name, "for-loop", out);
+            }
+            continue;
+        }
+        // `<tracked>.iter()` and friends.
+        if !tracked.iter().any(|t| t == word) {
+            continue;
+        }
+        let (dot, dp) = next_non_ws(b, e);
+        if dot != b'.' {
+            continue;
+        }
+        let (m, mp) = next_non_ws(b, dp + 1);
+        if !is_ident_byte(m) {
+            continue;
+        }
+        let mut k = mp;
+        while k < b.len() && is_ident_byte(at(b, k)) {
+            k += 1;
+        }
+        let method = b.get(mp..k).unwrap_or_default();
+        let (open, _) = next_non_ws(b, k);
+        if open == b'(' && ITER_METHODS.contains(&method) {
+            flag(
+                s,
+                word,
+                &format!(".{}()", String::from_utf8_lossy(method)),
+                out,
+            );
+        }
+    }
+}
+
+/// XL008 — lock discipline, scoped to the dataflow crate: (a) every
+/// `lock()`/`try_lock()` call goes through `executor::lock_unpoisoned`
+/// (so a panicking task cannot wedge a stage behind a poisoned mutex);
+/// (b) a guard bound from `lock_unpoisoned` must be dropped before any
+/// task-boundary call — holding it across `spawn`/`scope`/`join`/
+/// `catch_unwind`/`sleep` invites deadlock and serializes the stage.
+pub fn lock_discipline(
+    c: &Cleaned,
+    file: &str,
+    spans: &[(usize, usize)],
+    out: &mut Vec<Diagnostic>,
+) {
+    const BOUNDARIES: [&[u8]; 5] = [b"spawn", b"scope", b"join", b"catch_unwind", b"sleep"];
+    let b = &c.text;
+    // The sanctioned wrapper's own body is the one place allowed to call
+    // `.lock()` directly.
+    let wrapper = find(b, b"fn lock_unpoisoned", 0).map(|p| {
+        let mut i = p;
+        while i < b.len() && at(b, i) != b'{' {
+            i += 1;
+        }
+        (p, matching_brace(b, i))
+    });
+    for &(s, e) in &idents(b) {
+        if in_spans(spans, s) {
+            continue;
+        }
+        let word = b.get(s..e).unwrap_or_default();
+        if (word == b"lock" || word == b"try_lock") && prev_non_ws(b, s) == b'.' {
+            let (open, _) = next_non_ws(b, e);
+            if open != b'(' {
+                continue;
+            }
+            if wrapper.is_some_and(|(a, z)| a <= s && s < z) {
+                continue;
+            }
+            emit(
+                out,
+                c,
+                file,
+                "XL008",
+                s,
+                format!("raw `.{}()` call", String::from_utf8_lossy(word)),
+                "route all executor locking through `executor::lock_unpoisoned` so \
+                 poisoned mutexes are recovered in one audited place",
+            );
+            continue;
+        }
+        if word != b"lock_unpoisoned" {
+            continue;
+        }
+        // Guard binding: `let [mut] g = [path::]lock_unpoisoned(..);`
+        // (a call used as a temporary dies at the end of its statement
+        // and cannot be held across anything).
+        let (open, op) = next_non_ws(b, e);
+        if open != b'(' {
+            continue;
+        }
+        let close = matching_paren(b, op);
+        let (semi, sp) = next_non_ws(b, close);
+        if semi != b';' {
+            continue;
+        }
+        let mut j = s;
+        let name = loop {
+            let (p, pp) = prev_non_ws_pos(b, j);
+            if p == b':' && pp > 0 && at(b, pp - 1) == b':' {
+                let seg = ident_ending_before(b, pp - 1);
+                if seg.is_empty() {
+                    break None;
+                }
+                j = pp - 1 - seg.len();
+            } else if p == b'=' {
+                let n = ident_ending_before(b, pp);
+                break (!n.is_empty() && n != b"mut").then(|| n.to_vec());
+            } else {
+                break None;
+            }
+        };
+        let Some(name) = name else {
+            continue;
+        };
+        // Scan the guard's live range: from the `;` to `drop(name)` or
+        // the end of the enclosing block.
+        let mut depth = 0i32;
+        let mut i = sp + 1;
+        while i < b.len() {
+            let cb = at(b, i);
+            if cb == b'{' {
+                depth += 1;
+            } else if cb == b'}' {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            }
+            if is_ident_byte(cb) && !is_ident_byte(at(b, i.wrapping_sub(1))) {
+                let start = i;
+                while i < b.len() && is_ident_byte(at(b, i)) {
+                    i += 1;
+                }
+                let w = b.get(start..i).unwrap_or_default();
+                if w == b"drop" {
+                    let (o2, op2) = next_non_ws(b, i);
+                    if o2 == b'(' {
+                        let c2 = matching_paren(b, op2);
+                        let inner: Vec<u8> = b
+                            .get(op2 + 1..c2.saturating_sub(1))
+                            .unwrap_or_default()
+                            .iter()
+                            .copied()
+                            .filter(|bb| !bb.is_ascii_whitespace())
+                            .collect();
+                        if inner == name {
+                            break;
+                        }
+                    }
+                } else if BOUNDARIES.contains(&w) {
+                    emit(
+                        out,
+                        c,
+                        file,
+                        "XL008",
+                        s,
+                        format!(
+                            "mutex guard `{}` is live across `{}`",
+                            String::from_utf8_lossy(&name),
+                            String::from_utf8_lossy(w)
+                        ),
+                        "drop the guard (or scope it in a block) before crossing a \
+                         task boundary",
+                    );
+                    break;
+                }
+                continue;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// XL009 — atomic-ordering discipline: `Ordering::Relaxed` on an atomic
+/// `load`/`store` gives no happens-before edge, so a Relaxed flag or
+/// counter read can observe stale state across threads. Loads that gate
+/// cross-thread visibility need Acquire, matching stores need Release
+/// (the executor's `settled` counter is the model). Read-modify-write
+/// tallies (`fetch_add`) folded after a join are not flagged.
+pub fn atomic_ordering(
+    c: &Cleaned,
+    file: &str,
+    spans: &[(usize, usize)],
+    out: &mut Vec<Diagnostic>,
+) {
+    let b = &c.text;
+    for &(s, e) in &idents(b) {
+        if in_spans(spans, s) {
+            continue;
+        }
+        let word = b.get(s..e).unwrap_or_default();
+        if (word != b"load" && word != b"store") || prev_non_ws(b, s) != b'.' {
+            continue;
+        }
+        let (open, op) = next_non_ws(b, e);
+        if open != b'(' {
+            continue;
+        }
+        let close = matching_paren(b, op);
+        let mut from = op;
+        while let Some(p) = find(b, b"Relaxed", from) {
+            if p >= close {
+                break;
+            }
+            from = p + 1;
+            if is_ident_byte(at(b, p.wrapping_sub(1))) || is_ident_byte(at(b, p + 7)) {
+                continue;
+            }
+            emit(
+                out,
+                c,
+                file,
+                "XL009",
+                p,
+                format!(
+                    "`Ordering::Relaxed` on an atomic `.{}()`",
+                    String::from_utf8_lossy(word)
+                ),
+                "use Acquire (loads) / Release (stores) when the value gates \
+                 cross-thread visibility; a tally folded strictly after a join may \
+                 keep Relaxed with `// xtask-lint: allow(XL009) -- <reason>`",
+            );
+            break;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -804,6 +1193,138 @@ mod tests {
         let mut out = Vec::new();
         stdout_discipline(&c, "t.rs", &spans, &mut out);
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    fn run_determinism(src: &str) -> Vec<Diagnostic> {
+        let c = clean(src);
+        let spans = test_spans(&c);
+        let mut out = Vec::new();
+        determinism(&c, "t.rs", &spans, &mut out);
+        out
+    }
+
+    #[test]
+    fn hash_map_iteration_is_flagged() {
+        let src = "struct S { cells: HashMap<C, V> }\n\
+                   fn f(s: &S) -> usize { s.cells.iter().count() }";
+        let d = run_determinism(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d.first().map(|d| (d.rule, d.line)), Some(("XL007", 2)));
+    }
+
+    #[test]
+    fn det_hash_map_ctor_binding_and_for_loop_flagged() {
+        let src = "fn f() {\n    let mut seen = DetHashMap::default();\n\
+                   for k in &seen {\n        use_it(k);\n    }\n}";
+        let d = run_determinism(src);
+        assert_eq!(d.first().map(|d| (d.rule, d.line)), Some(("XL007", 3)));
+    }
+
+    #[test]
+    fn ordered_waiver_suppresses_determinism() {
+        let src = "struct S { cells: HashMap<C, V> }\n\
+                   fn f(s: &S) -> usize {\n\
+                   // xlint: ordered -- summing lengths is order-free\n\
+                   s.cells.values().map(Vec::len).sum() }";
+        assert!(run_determinism(src).is_empty());
+    }
+
+    #[test]
+    fn vec_of_hash_maps_is_not_tracked() {
+        // Only bindings whose type *head* is a hash container count:
+        // iterating the outer Vec is ordered.
+        let src = "fn f(partials: Vec<HashMap<C, V>>) {\n\
+                   for partial in partials {\n        merge(partial);\n    }\n}";
+        assert!(run_determinism(src).is_empty());
+    }
+
+    #[test]
+    fn point_lookups_are_not_iteration() {
+        let src = "struct S { cells: HashMap<C, V> }\n\
+                   fn f(s: &mut S, c: C) { s.cells.entry(c); s.cells.get(&c); \
+                   let n = s.cells.len(); }";
+        assert!(run_determinism(src).is_empty());
+    }
+
+    fn run_locks(src: &str) -> Vec<Diagnostic> {
+        let c = clean(src);
+        let spans = test_spans(&c);
+        let mut out = Vec::new();
+        lock_discipline(&c, "t.rs", &spans, &mut out);
+        out
+    }
+
+    #[test]
+    fn raw_lock_calls_flagged_outside_the_wrapper() {
+        let src = "fn f(m: &Mutex<u32>) { let g = m.lock().unwrap(); }";
+        let d = run_locks(src);
+        assert_eq!(d.first().map(|d| d.rule), Some("XL008"));
+        assert_eq!(
+            run_locks("fn g(m: &Mutex<u32>) { m.try_lock().ok(); }").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn the_wrapper_itself_is_sanctioned() {
+        let src = "pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {\n\
+                   match m.lock() {\n        Ok(g) => g,\n        Err(p) => p.into_inner(),\n    }\n}";
+        assert!(run_locks(src).is_empty());
+    }
+
+    #[test]
+    fn guard_live_across_boundary_flagged() {
+        let src = "fn f() {\n    let mut g = lock_unpoisoned(&m);\n\
+                   g.push(1);\n    thread::sleep(D);\n}";
+        let d = run_locks(src);
+        assert_eq!(d.first().map(|d| (d.rule, d.line)), Some(("XL008", 2)));
+        assert!(d
+            .first()
+            .map(|d| d.message.contains("sleep"))
+            .unwrap_or(false));
+    }
+
+    #[test]
+    fn dropped_guard_is_fine() {
+        let src = "fn f() {\n    let g = lock_unpoisoned(&m);\n    let n = g.len();\n\
+                   drop(g);\n    thread::sleep(D);\n}";
+        assert!(run_locks(src).is_empty());
+        // A scoped guard dies at its block's end, before the boundary.
+        let scoped = "fn f() {\n    {\n        let g = lock_unpoisoned(&m);\n\
+                      g.push(1);\n    }\n    thread::sleep(D);\n}";
+        assert!(run_locks(scoped).is_empty());
+        // A temporary guard dies at the end of its statement.
+        let temp = "fn f() {\n    let item = lock_unpoisoned(&q).pop_front();\n\
+                    thread::sleep(D);\n}";
+        assert!(run_locks(temp).is_empty());
+    }
+
+    fn run_atomics(src: &str) -> Vec<Diagnostic> {
+        let c = clean(src);
+        let spans = test_spans(&c);
+        let mut out = Vec::new();
+        atomic_ordering(&c, "t.rs", &spans, &mut out);
+        out
+    }
+
+    #[test]
+    fn relaxed_load_and_store_flagged() {
+        let d = run_atomics("fn f(a: &AtomicUsize) -> usize { a.load(Ordering::Relaxed) }");
+        assert_eq!(d.first().map(|d| d.rule), Some("XL009"));
+        let d = run_atomics("fn f(a: &AtomicUsize) { a.store(0, Ordering::Relaxed); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn acquire_release_and_rmw_tallies_pass() {
+        assert!(
+            run_atomics("fn f(a: &AtomicUsize) -> usize { a.load(Ordering::Acquire) }").is_empty()
+        );
+        assert!(run_atomics("fn f(a: &AtomicUsize) { a.store(1, Ordering::Release); }").is_empty());
+        // fetch_add is a read-modify-write tally, not a gate.
+        assert!(
+            run_atomics("fn f(a: &AtomicUsize) { a.fetch_add(1, Ordering::Relaxed); }").is_empty()
+        );
     }
 
     #[test]

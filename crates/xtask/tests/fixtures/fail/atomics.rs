@@ -1,0 +1,18 @@
+//! Fixture: Relaxed orderings on visibility-gating atomics.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicU64) {
+    flag.store(1, Ordering::Relaxed);
+}
+
+pub fn observe(flag: &AtomicU64) -> u64 {
+    flag.load(Ordering::Relaxed)
+}
+
+pub fn tally(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn synced(flag: &AtomicU64) -> u64 {
+    flag.load(Ordering::Acquire)
+}

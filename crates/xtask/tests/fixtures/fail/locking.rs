@@ -1,0 +1,28 @@
+//! Fixture: raw locks and guards held across task boundaries.
+use std::sync::{Mutex, MutexGuard};
+
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+pub fn raw_lock(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+pub fn racy(m: &Mutex<u32>) -> bool {
+    m.try_lock().is_ok()
+}
+
+pub fn held_across_join(m: &Mutex<u32>, h: std::thread::JoinHandle<()>) {
+    let guard = lock_unpoisoned(m);
+    let _ = h.join();
+    let _ = *guard;
+}
+
+pub fn dropped_before_sleep(m: &Mutex<u32>) -> u32 {
+    let guard = lock_unpoisoned(m);
+    let v = *guard;
+    drop(guard);
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    v
+}

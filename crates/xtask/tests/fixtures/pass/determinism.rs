@@ -1,0 +1,18 @@
+//! Fixture: canonicalized or waived hash iteration is clean.
+use std::collections::HashMap;
+
+pub fn sorted(cells: HashMap<u64, u32>) -> Vec<(u64, u32)> {
+    // xlint: ordered -- sorted into canonical order immediately below
+    let mut v: Vec<(u64, u32)> = cells.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+pub fn count(cells: &HashMap<u64, u32>) -> usize {
+    // xlint: ordered -- counting matches is order-insensitive
+    cells.values().filter(|v| **v > 0).count()
+}
+
+pub fn probe(cells: &HashMap<u64, u32>) -> Option<u32> {
+    cells.get(&7).copied()
+}

@@ -1,0 +1,9 @@
+//! Fixture: lexer edge cases must not open phantom strings.
+
+/* outer /* nested */ if nesting broke, this leaks: x.unwrap() */
+pub fn edges() -> (usize, u8) {
+    let raw = r#"raw with ".unwrap()" inside"#;
+    let byte = b'"';
+    // if the byte char broke: ".unwrap() would leak here"
+    (raw.len(), byte)
+}

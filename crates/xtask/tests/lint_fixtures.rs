@@ -123,6 +123,58 @@ fn xl006_prints_flagged_in_library_crates_only() {
 }
 
 #[test]
+fn xl007_hash_iteration_flagged_at_exact_lines() {
+    assert_eq!(
+        lint_fixture("crates/core/src/determinism.rs", "fail/determinism.rs"),
+        vec![
+            ("XL007", 6),  // for .. in cells.values()
+            ("XL007", 13), // seen.into_iter()
+            ("XL007", 19), // for .. in &counts (ctor-tracked binding)
+        ]
+    );
+}
+
+#[test]
+fn xl007_is_scoped_to_result_affecting_crates() {
+    // The CLI renders results; it never produces them.
+    assert_eq!(
+        lint_fixture("crates/cli/src/determinism.rs", "fail/determinism.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn xl008_raw_locks_and_held_guards_flagged() {
+    assert_eq!(
+        lint_fixture("crates/dataflow/src/locking.rs", "fail/locking.rs"),
+        vec![
+            ("XL008", 9),  // raw .lock() outside the wrapper
+            ("XL008", 13), // raw .try_lock()
+            ("XL008", 17), // guard live across .join()
+        ]
+    );
+}
+
+#[test]
+fn xl008_is_scoped_to_the_dataflow_crate() {
+    assert_eq!(
+        lint_fixture("crates/core/src/locking.rs", "fail/locking.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn xl009_relaxed_load_store_flagged_rmw_exempt() {
+    assert_eq!(
+        lint_fixture("crates/core/src/atomics.rs", "fail/atomics.rs"),
+        vec![
+            ("XL009", 5), // Relaxed store
+            ("XL009", 9), // Relaxed load
+        ]
+    );
+}
+
+#[test]
 fn xl000_malformed_directive_flagged() {
     assert_eq!(
         lint_fixture("crates/data/src/malformed.rs", "fail/malformed.rs"),
@@ -138,6 +190,22 @@ fn pass_fixtures_are_clean_under_the_strictest_scope() {
     );
     assert_eq!(
         lint_fixture("crates/core/src/error.rs", "pass/error.rs"),
+        vec![]
+    );
+    // Waived / canonicalized hash iteration passes XL007.
+    assert_eq!(
+        lint_fixture("crates/core/src/determinism.rs", "pass/determinism.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn lexer_edge_cases_do_not_leak_phantom_findings() {
+    // Raw strings, nested block comments, and byte-char quotes must all
+    // be blanked; a regression in any of them would surface the decoy
+    // `.unwrap()` texts in this fixture as XL001 findings.
+    assert_eq!(
+        lint_fixture("crates/core/src/lexer_edges.rs", "pass/lexer_edges.rs"),
         vec![]
     );
 }
@@ -277,6 +345,14 @@ mod binary {
         let (ok, stdout) = run_lint(root.path(), true);
         assert!(!ok, "findings must fail the run");
         assert!(
+            stdout.contains("\"rules\":["),
+            "JSON missing the advertised rule set: {stdout}"
+        );
+        assert!(
+            stdout.contains("\"XL007\"") && stdout.contains("\"XL009\""),
+            "rule set must cover the concurrency lints: {stdout}"
+        );
+        assert!(
             stdout.contains("\"rule\":\"XL001\""),
             "JSON missing rule: {stdout}"
         );
@@ -284,6 +360,34 @@ mod binary {
         assert!(
             stdout.contains("\"count\":1"),
             "JSON missing count: {stdout}"
+        );
+    }
+
+    #[test]
+    fn explain_prints_rationale_for_known_rules() {
+        let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+            .args(["lint", "--explain", "XL007"])
+            .output()
+            .expect("spawn xtask");
+        assert!(out.status.success(), "known rule must exit 0");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            text.contains("XL007") && text.contains("xlint: ordered"),
+            "explanation must name the rule and its waiver: {text}"
+        );
+    }
+
+    #[test]
+    fn explain_rejects_unknown_rules() {
+        let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+            .args(["lint", "--explain", "XL999"])
+            .output()
+            .expect("spawn xtask");
+        assert!(!out.status.success(), "unknown rule must exit nonzero");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("XL999") && err.contains("XL007"),
+            "error must echo the rule and list the shipped set: {err}"
         );
     }
 }
