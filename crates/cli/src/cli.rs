@@ -14,6 +14,8 @@ usage:
                    [--engine native|distributed] [--labeled]
                    [--output <csv>] [--threads <usize>]
                    [--layout cell-major|hashed]
+                   [--backend in-process|process] [--workers <usize>]
+                   [--respawn-budget <usize>]
                    [--from-binary] [--batch-size <usize>]
                    [--max-task-retries <usize>] [--permissive-ingest]
                    [--trace-out <json>] [--report-json <json>]
@@ -155,6 +157,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "info" => commands::info(&flags),
         "sweep" => commands::sweep(&flags),
         "compare" => commands::compare(&flags),
+        // Hidden: how `--backend process` re-invokes this binary as a
+        // worker. Never typed by hand, so it stays out of the usage text.
+        "worker" => commands::worker(&flags),
         other => Err(CliError::new(format!("unknown subcommand {other:?}"))),
     }
 }

@@ -6,14 +6,17 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dbscout_core::{
-    build_run_report, DbscoutError, DbscoutParams, DetectorBuilder, ExecutionLayout, PhaseTimings,
-    RunInfo, PHASE_NAMES,
+    build_run_report, DbscoutError, DbscoutParams, DetectorBuilder, ExecutionLayout, NativeOptions,
+    PhaseTimings, RunInfo, PHASE_NAMES,
 };
 use dbscout_data::generators as gen;
 use dbscout_data::io::{read_csv_with, write_binary, write_csv, IngestMode, QuarantineReport};
 use dbscout_data::kdist::{elbow_eps, kdist_graph};
 use dbscout_data::{materialize, BinarySource, CsvIngest, PointSource, DEFAULT_BATCH_SIZE};
-use dbscout_dataflow::{ExecutionContext, FaultPlan, MetricsSnapshot, StageRecord};
+use dbscout_dataflow::{
+    ExecutionBackend, ExecutionContext, FaultPlan, MetricsSnapshot, ProcessPoolStats, StageRecord,
+    WorkerSpec, DEFAULT_RESPAWN_BUDGET,
+};
 use dbscout_spatial::{Grid, PointStore};
 use dbscout_telemetry::{Recorder, Span, SpanKind, TraceCollector};
 
@@ -95,12 +98,100 @@ fn synthesize_phase_spans(recorder: &dyn Recorder, started: Instant, timings: &P
     }
 }
 
+/// Hidden `dbscout worker`: serve this process as a shard worker over
+/// stdin/stdout until the driver hangs up. Spawned by `--backend
+/// process`, never typed by hand; its stdout carries IPC frames, so the
+/// report it returns is empty.
+pub fn worker(_flags: &Flags) -> Result<String, CliError> {
+    dbscout_core::run_worker(dbscout_telemetry::peak_rss_bytes).map_err(engine_err)?;
+    Ok(String::new())
+}
+
+/// Builds the worker-kill fault plan for `--backend process`, if any
+/// chaos knobs are set: `DBSCOUT_CHAOS_SEED` draws one seeded
+/// mid-dispatch SIGKILL per stage; `DBSCOUT_WORKER_KILL`
+/// (`<stage>:<task>:<times>`, empty stage = every stage) scripts kills
+/// on a task's first `times` dispatches; `DBSCOUT_WORKER_KILL_AT_END`
+/// (`<stage>:<slot>`) SIGKILLs an idle worker after a stage completes.
+fn worker_fault_plan(chaos_seed: Option<u64>) -> Result<Option<FaultPlan>, CliError> {
+    let on_dispatch = std::env::var("DBSCOUT_WORKER_KILL").ok();
+    let at_end = std::env::var("DBSCOUT_WORKER_KILL_AT_END").ok();
+    if chaos_seed.is_none() && on_dispatch.is_none() && at_end.is_none() {
+        return Ok(None);
+    }
+    let stage_of = |s: &str| (!s.is_empty()).then(|| s.to_string());
+    let mut builder = FaultPlan::builder(chaos_seed.unwrap_or(0));
+    if chaos_seed.is_some() {
+        builder = builder.max_worker_kills_per_stage(1);
+    }
+    if let Some(spec) = on_dispatch {
+        // Split from the right: stage names may themselves contain ':'.
+        let mut parts = spec.rsplitn(3, ':');
+        let (times, task, stage) = (parts.next(), parts.next(), parts.next());
+        match (
+            stage,
+            task.and_then(|t| t.parse().ok()),
+            times.and_then(|t| t.parse().ok()),
+        ) {
+            (Some(stage), Some(task), Some(times)) => {
+                builder = builder.kill_worker_on_dispatch(stage_of(stage), task, times);
+            }
+            _ => {
+                return Err(CliError::new(format!(
+                    "invalid DBSCOUT_WORKER_KILL {spec:?} (expected <stage>:<task>:<times>)"
+                )))
+            }
+        }
+    }
+    if let Some(spec) = at_end {
+        let mut parts = spec.rsplitn(2, ':');
+        let (slot, stage) = (parts.next(), parts.next());
+        match (stage, slot.and_then(|s| s.parse().ok())) {
+            (Some(stage), Some(slot)) => {
+                builder = builder.kill_worker_at_stage_end(stage_of(stage), slot);
+            }
+            _ => {
+                return Err(CliError::new(format!(
+                    "invalid DBSCOUT_WORKER_KILL_AT_END {spec:?} (expected <stage>:<slot>)"
+                )))
+            }
+        }
+    }
+    Ok(Some(builder.build()))
+}
+
+/// Names the next CSV-input spill file for the process backend (workers
+/// read the shared input from disk, so non-binary input is re-encoded
+/// as a temporary `DBSC` file for the run).
+fn spill_path() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SPILL_SEQ.fetch_add(1, Ordering::SeqCst);
+    std::env::temp_dir().join(format!("dbscout-spill-{}-{seq}.dbsc", std::process::id()))
+}
+
 /// `dbscout detect`: read points, run DBSCOUT, report / write outliers.
 pub fn detect(flags: &Flags) -> Result<String, CliError> {
     let input: String = flags.require("input")?;
     let eps: f64 = flags.require("eps")?;
     let min_pts: usize = flags.require("min-pts")?;
     let engine: String = flags.get("engine", "native".to_string())?;
+    let backend: String = flags.get("backend", "in-process".to_string())?;
+    let workers: usize = flags.get("workers", 4)?;
+    let respawn_budget: usize = flags.get("respawn-budget", DEFAULT_RESPAWN_BUDGET)?;
+    match backend.as_str() {
+        "in-process" | "process" => {}
+        other => {
+            return Err(CliError::new(format!(
+                "unknown backend {other:?} (expected in-process or process)"
+            )))
+        }
+    }
+    if backend == "process" && engine != "native" {
+        return Err(CliError::new(
+            "--backend process drives the native engine only; drop --engine distributed",
+        ));
+    }
     let labeled = flags.has("labeled");
     let from_binary = flags.has("from-binary");
     let batch_size: usize = flags.get("batch-size", DEFAULT_BATCH_SIZE)?;
@@ -168,10 +259,65 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
     let t = Instant::now();
     let mut fault_tolerance: Option<MetricsSnapshot> = None;
     let mut stage_records: Vec<StageRecord> = Vec::new();
+    let mut process_stats: Option<ProcessPoolStats> = None;
     // 0 = "auto" for the native engine's thread count.
     let run_workers;
     let mut run_partitions = 0u64;
     let result = match engine.as_str() {
+        "native" if backend == "process" => {
+            let layout = parse_layout(&flags.get("layout", "cell-major".to_string())?)?;
+            if layout != ExecutionLayout::CellMajor {
+                return Err(CliError::new(
+                    "--backend process shards the cell-major layout only",
+                ));
+            }
+            run_workers = workers as u64;
+            let exe = std::env::current_exe()
+                .map_err(|e| CliError::engine(format!("cannot locate own executable: {e}")))?;
+            let mut builder = ExecutionContext::builder()
+                .backend(ExecutionBackend::Process { workers })
+                .worker_spec(WorkerSpec::new(exe).arg("worker"))
+                .respawn_budget(respawn_budget)
+                .max_task_retries(max_task_retries);
+            if let Some(plan) = worker_fault_plan(chaos_seed)? {
+                builder = builder.fault_plan(plan);
+            }
+            if let Some(c) = &collector {
+                builder = builder.recorder(Arc::clone(c) as Arc<dyn Recorder>);
+            }
+            let ctx = builder.build();
+            let before = ctx.metrics().snapshot();
+            // Workers read the shared input from disk, so CSV (or any
+            // materialized) input is spilled to a temporary DBSC file.
+            let (bin_path, spill) = if from_binary {
+                (std::path::PathBuf::from(&input), false)
+            } else {
+                let st = store
+                    .as_ref()
+                    .ok_or_else(|| CliError::new("internal: no dataset loaded"))?;
+                let path = spill_path();
+                write_binary(&path, st).map_err(data_err)?;
+                (path, true)
+            };
+            let detection = dbscout_core::detect_with_process_workers(
+                &ctx,
+                &bin_path,
+                batch_size,
+                params,
+                NativeOptions::default(),
+            );
+            if spill {
+                std::fs::remove_file(&bin_path).ok();
+            }
+            fault_tolerance = Some(ctx.metrics().snapshot().since(&before));
+            stage_records = ctx.metrics().stage_records();
+            process_stats = ctx.process_stats();
+            if let Some(c) = &collector {
+                ctx.metrics().emit_stage_spans(c.as_ref());
+            }
+            ctx.shutdown_process_pool();
+            detection.map_err(detect_err)?
+        }
         "native" => {
             let threads: usize = flags.get("threads", 0)?;
             let layout = parse_layout(&flags.get("layout", "cell-major".to_string())?)?;
@@ -230,7 +376,12 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
     // `write!` into a String is infallible; the results are discarded.
     let _ = writeln!(
         out,
-        "{points} points, eps = {eps}, minPts = {min_pts}, engine = {engine}{}",
+        "{points} points, eps = {eps}, minPts = {min_pts}, engine = {engine}{}{}",
+        if backend == "process" {
+            format!(", backend = process ({workers} workers)")
+        } else {
+            String::new()
+        },
         if streaming {
             format!(" (streamed, batch size {batch_size})")
         } else {
@@ -247,6 +398,16 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
         result.stats.core_cells,
     );
     quarantine_summary(&mut out, &quarantine);
+    if let Some(ps) = &process_stats {
+        if ps.worker_kills > 0 || ps.worker_respawns > 0 || ps.poisoned_tasks > 0 {
+            let _ = writeln!(
+                out,
+                "worker failures: {} kill(s), {} respawn(s) (budget {respawn_budget}), \
+                 {} task reassignment(s), {} poisoned task(s)",
+                ps.worker_kills, ps.worker_respawns, ps.task_reassignments, ps.poisoned_tasks,
+            );
+        }
+    }
     if let Some(m) = fault_tolerance {
         if m.task_retries > 0 || m.speculative_launches > 0 || m.injected_faults > 0 {
             let _ = writeln!(
@@ -300,6 +461,7 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
             &result,
             &fault_tolerance.unwrap_or_default(),
             &stage_records,
+            process_stats.as_ref(),
             elapsed,
         );
         std::fs::write(path, report.to_json()).map_err(data_err)?;

@@ -444,53 +444,16 @@ impl Dbscout {
                 let offsets = &offsets;
                 let range = range.clone();
                 move |scratch: &mut CellScratch| {
-                    let mut core: Vec<u32> = Vec::new();
-                    let mut promoted: Vec<u32> = Vec::new();
-                    let mut dist_comps = 0u64;
-                    for idx in range.clone() {
-                        let Some(rec) = cm.cell(idx) else { continue };
-                        if options.dense_cell_shortcut && flags.is_dense(idx) {
-                            // Lemma 1: every point of a dense cell is core.
-                            core.extend(rec.start..rec.end);
-                            continue;
-                        }
-                        cm.neighbors_into(idx, offsets, Some(eps_sq), &mut scratch.neighbors);
-                        let mut any_core = false;
-                        for slot in rec.range() {
-                            cm.point_into(slot, &mut scratch.q);
-                            // dims ≤ MAX_DIMS is validated at store build.
-                            let Some(q) = scratch.q.get(..cm.dims()) else {
-                                continue;
-                            };
-                            let mut count = 0usize;
-                            for &nidx in &scratch.neighbors {
-                                let nidx = nidx as usize;
-                                if cm.min_sq_dist_to_bbox(q, nidx) > eps_sq {
-                                    continue; // no point of that cell can be within eps
-                                }
-                                let Some(nrec) = cm.cell(nidx) else { continue };
-                                let limit = if options.early_exit {
-                                    min_pts - count
-                                } else {
-                                    usize::MAX
-                                };
-                                let (c, comps) = cm.count_within(q, nrec.range(), eps_sq, limit);
-                                count += c;
-                                dist_comps += comps;
-                                if options.early_exit && count >= min_pts {
-                                    break;
-                                }
-                            }
-                            if count >= min_pts {
-                                core.push(slot as u32);
-                                any_core = true;
-                            }
-                        }
-                        if any_core {
-                            promoted.push(idx as u32);
-                        }
-                    }
-                    (core, promoted, dist_comps)
+                    core_points_in_range(
+                        cm,
+                        flags,
+                        offsets,
+                        eps_sq,
+                        min_pts,
+                        options,
+                        range.clone(),
+                        scratch,
+                    )
                 }
             })
             .collect();
@@ -529,57 +492,16 @@ impl Dbscout {
                 let core_slot = &core_slot;
                 let range = range.clone();
                 move |scratch: &mut CellScratch| {
-                    let mut outliers: Vec<u32> = Vec::new();
-                    let mut dist_comps = 0u64;
-                    for idx in range.clone() {
-                        if flags.is_core(idx) {
-                            // Lemma 2: core cells contain no outliers.
-                            continue;
-                        }
-                        let Some(rec) = cm.cell(idx) else { continue };
-                        cm.neighbors_into(idx, offsets, Some(eps_sq), &mut scratch.neighbors);
-                        scratch
-                            .neighbors
-                            .retain(|&nidx| flags.is_core(nidx as usize));
-                        if scratch.neighbors.is_empty() {
-                            // O_ncn: no core cell in reach — all outliers.
-                            outliers.extend(rec.start..rec.end);
-                            continue;
-                        }
-                        for slot in rec.range() {
-                            cm.point_into(slot, &mut scratch.q);
-                            // dims ≤ MAX_DIMS is validated at store build.
-                            let Some(q) = scratch.q.get(..cm.dims()) else {
-                                continue;
-                            };
-                            let mut covered = false;
-                            for &nidx in &scratch.neighbors {
-                                let nidx = nidx as usize;
-                                if cm.min_sq_dist_to_bbox(q, nidx) > eps_sq {
-                                    continue;
-                                }
-                                let Some(nrec) = cm.cell(nidx) else { continue };
-                                let (hit, comps) = cm.any_flagged_within(
-                                    q,
-                                    nrec.range(),
-                                    eps_sq,
-                                    core_slot,
-                                    options.early_exit,
-                                );
-                                dist_comps += comps;
-                                if hit {
-                                    covered = true;
-                                    if options.early_exit {
-                                        break;
-                                    }
-                                }
-                            }
-                            if !covered {
-                                outliers.push(slot as u32);
-                            }
-                        }
-                    }
-                    (outliers, dist_comps)
+                    outliers_in_range(
+                        cm,
+                        flags,
+                        offsets,
+                        eps_sq,
+                        options,
+                        core_slot,
+                        range.clone(),
+                        scratch,
+                    )
                 }
             })
             .collect();
@@ -619,16 +541,151 @@ impl Dbscout {
     }
 }
 
+/// The phase-3 kernel over one contiguous cell range: classifies every
+/// point of cells `range` as core or not (Algorithm 3), returning the
+/// core *slots*, the indices of cells promoted by a non-dense core
+/// point, and the distance computations spent.
+///
+/// Shared verbatim by the threaded chunks of
+/// [`Dbscout::detect`] and the process-worker shards of
+/// [`crate::process`] — which is what makes the two backends' labels
+/// *and* distance counts identical by construction: a cell's work is a
+/// pure function of the layout, so any partition of `0..num_cells` into
+/// ranges sums to the same totals.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn core_points_in_range(
+    cm: &CellMajorStore,
+    flags: &CellFlags,
+    offsets: &NeighborOffsets,
+    eps_sq: f64,
+    min_pts: usize,
+    options: NativeOptions,
+    range: std::ops::Range<usize>,
+    scratch: &mut CellScratch,
+) -> (Vec<u32>, Vec<u32>, u64) {
+    let mut core: Vec<u32> = Vec::new();
+    let mut promoted: Vec<u32> = Vec::new();
+    let mut dist_comps = 0u64;
+    for idx in range {
+        let Some(rec) = cm.cell(idx) else { continue };
+        if options.dense_cell_shortcut && flags.is_dense(idx) {
+            // Lemma 1: every point of a dense cell is core.
+            core.extend(rec.start..rec.end);
+            continue;
+        }
+        cm.neighbors_into(idx, offsets, Some(eps_sq), &mut scratch.neighbors);
+        let mut any_core = false;
+        for slot in rec.range() {
+            cm.point_into(slot, &mut scratch.q);
+            // dims ≤ MAX_DIMS is validated at store build.
+            let Some(q) = scratch.q.get(..cm.dims()) else {
+                continue;
+            };
+            let mut count = 0usize;
+            for &nidx in &scratch.neighbors {
+                let nidx = nidx as usize;
+                if cm.min_sq_dist_to_bbox(q, nidx) > eps_sq {
+                    continue; // no point of that cell can be within eps
+                }
+                let Some(nrec) = cm.cell(nidx) else { continue };
+                let limit = if options.early_exit {
+                    min_pts - count
+                } else {
+                    usize::MAX
+                };
+                let (c, comps) = cm.count_within(q, nrec.range(), eps_sq, limit);
+                count += c;
+                dist_comps += comps;
+                if options.early_exit && count >= min_pts {
+                    break;
+                }
+            }
+            if count >= min_pts {
+                core.push(slot as u32);
+                any_core = true;
+            }
+        }
+        if any_core {
+            promoted.push(idx as u32);
+        }
+    }
+    (core, promoted, dist_comps)
+}
+
+/// The phase-5 kernel over one contiguous cell range: finds the outlier
+/// *slots* among points of non-core cells in `range` (Algorithm 5),
+/// given the global core-slot bitmap, plus the distance computations
+/// spent. Shared by both backends exactly like
+/// [`core_points_in_range`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn outliers_in_range(
+    cm: &CellMajorStore,
+    flags: &CellFlags,
+    offsets: &NeighborOffsets,
+    eps_sq: f64,
+    options: NativeOptions,
+    core_slot: &[bool],
+    range: std::ops::Range<usize>,
+    scratch: &mut CellScratch,
+) -> (Vec<u32>, u64) {
+    let mut outliers: Vec<u32> = Vec::new();
+    let mut dist_comps = 0u64;
+    for idx in range {
+        if flags.is_core(idx) {
+            // Lemma 2: core cells contain no outliers.
+            continue;
+        }
+        let Some(rec) = cm.cell(idx) else { continue };
+        cm.neighbors_into(idx, offsets, Some(eps_sq), &mut scratch.neighbors);
+        scratch
+            .neighbors
+            .retain(|&nidx| flags.is_core(nidx as usize));
+        if scratch.neighbors.is_empty() {
+            // O_ncn: no core cell in reach — all outliers.
+            outliers.extend(rec.start..rec.end);
+            continue;
+        }
+        for slot in rec.range() {
+            cm.point_into(slot, &mut scratch.q);
+            // dims ≤ MAX_DIMS is validated at store build.
+            let Some(q) = scratch.q.get(..cm.dims()) else {
+                continue;
+            };
+            let mut covered = false;
+            for &nidx in &scratch.neighbors {
+                let nidx = nidx as usize;
+                if cm.min_sq_dist_to_bbox(q, nidx) > eps_sq {
+                    continue;
+                }
+                let Some(nrec) = cm.cell(nidx) else { continue };
+                let (hit, comps) =
+                    cm.any_flagged_within(q, nrec.range(), eps_sq, core_slot, options.early_exit);
+                dist_comps += comps;
+                if hit {
+                    covered = true;
+                    if options.early_exit {
+                        break;
+                    }
+                }
+            }
+            if !covered {
+                outliers.push(slot as u32);
+            }
+        }
+    }
+    (outliers, dist_comps)
+}
+
 /// Per-worker reusable scratch of the cell-major phases: the resolved
 /// neighbor-cell list and the gathered query point. Built once per worker
 /// by [`run_tasks_with`]; cleared by the kernels on use.
-struct CellScratch {
+pub(crate) struct CellScratch {
     neighbors: Vec<u32>,
     q: [f64; MAX_DIMS],
 }
 
 impl CellScratch {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             // k_d is at most 609 for the supported dims; one neighbor
             // list never reallocates after this.
@@ -640,7 +697,7 @@ impl CellScratch {
 
 /// Splits `len` items into at most `parts` contiguous ranges of nearly
 /// equal size.
-fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+pub(crate) fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
     if len == 0 {
         return Vec::new();
     }

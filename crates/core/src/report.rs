@@ -5,9 +5,10 @@
 
 use std::time::Duration;
 
-use dbscout_dataflow::{MetricsSnapshot, StageRecord};
+use dbscout_dataflow::{MetricsSnapshot, ProcessPoolStats, StageRecord};
 use dbscout_telemetry::{
-    DatasetEcho, ParamsEcho, PhaseReport, RunReport, StageReport, TotalsReport,
+    DatasetEcho, ParamsEcho, PhaseReport, ProcessReport, RunReport, StageReport, TotalsReport,
+    WorkerReport,
 };
 
 use crate::distributed::PHASE_NAMES;
@@ -58,9 +59,37 @@ pub fn stage_report(record: &StageRecord) -> StageReport {
         speculative_launches: record.speculative_launches,
         speculative_wins: record.speculative_wins,
         injected_faults: record.injected_faults,
+        worker_kills: record.worker_kills,
+        worker_respawns: record.worker_respawns,
+        task_reassignments: record.task_reassignments,
         task_duration_p50_us: micros(record.task_durations.p50()),
         task_duration_p95_us: micros(record.task_durations.p95()),
         task_duration_max_us: micros(record.task_durations.max()),
+    }
+}
+
+/// Converts the process pool's run summary into its report form.
+pub fn process_report(stats: &ProcessPoolStats) -> ProcessReport {
+    ProcessReport {
+        workers: stats.workers as u64,
+        workers_spawned: stats.workers_spawned,
+        worker_kills: stats.worker_kills,
+        worker_respawns: stats.worker_respawns,
+        task_reassignments: stats.task_reassignments,
+        poisoned_tasks: stats.poisoned_tasks,
+        child_peak_rss_bytes: stats.child_peak_rss_bytes,
+        per_worker: stats
+            .per_worker
+            .iter()
+            .map(|w| WorkerReport {
+                slot: w.slot as u64,
+                spawns: w.spawns,
+                kills: w.kills,
+                respawns: w.respawns,
+                tasks_completed: w.tasks_completed,
+                peak_rss_bytes: w.peak_rss_bytes,
+            })
+            .collect(),
     }
 }
 
@@ -69,14 +98,16 @@ pub fn stage_report(record: &StageRecord) -> StageReport {
 /// `metrics` supplies the whole-run aggregates (pass
 /// `ctx.metrics().snapshot()` for the distributed engine, or
 /// [`MetricsSnapshot::default`] for the native one), `stage_records` the
-/// per-stage detail (`ctx.metrics().stage_records()`), and `wall_clock`
-/// the end-to-end detection time.
+/// per-stage detail (`ctx.metrics().stage_records()`), `process` the
+/// pool summary when the process backend ran (`ctx.process_stats()`),
+/// and `wall_clock` the end-to-end detection time.
 pub fn build_run_report(
     info: &RunInfo,
     params: DbscoutParams,
     result: &OutlierResult,
     metrics: &MetricsSnapshot,
     stage_records: &[StageRecord],
+    process: Option<&ProcessPoolStats>,
     wall_clock: Duration,
 ) -> RunReport {
     let timings = result.timings;
@@ -111,6 +142,7 @@ pub fn build_run_report(
         },
         phases,
         stages: stage_records.iter().map(stage_report).collect(),
+        process: process.map(process_report),
         totals: TotalsReport {
             stages: metrics.stages,
             tasks: metrics.tasks,
@@ -124,8 +156,12 @@ pub fn build_run_report(
             speculative_launches: metrics.speculative_launches,
             speculative_wins: metrics.speculative_wins,
             injected_faults: metrics.injected_faults,
+            worker_kills: metrics.worker_kills,
+            worker_respawns: metrics.worker_respawns,
+            task_reassignments: metrics.task_reassignments,
             outliers: result.num_outliers() as u64,
             peak_rss_bytes: info.peak_rss_bytes,
+            child_peak_rss_bytes: process.map_or(0, |p| p.child_peak_rss_bytes),
             wall_clock_us: micros(wall_clock),
         },
     }
@@ -176,6 +212,7 @@ mod tests {
             &result,
             &ctx.metrics().snapshot(),
             &ctx.metrics().stage_records(),
+            None,
             started.elapsed(),
         );
 
@@ -218,6 +255,7 @@ mod tests {
             &result,
             &ctx.metrics().snapshot(),
             &ctx.metrics().stage_records(),
+            None,
             Duration::from_millis(12),
         );
         let doc = parse(&report.to_json()).unwrap();
@@ -264,6 +302,7 @@ mod tests {
             &result,
             &MetricsSnapshot::default(),
             &[],
+            None,
             Duration::from_millis(1),
         );
         assert!(report.stages.is_empty());

@@ -70,8 +70,16 @@ pub enum DataIoError {
         /// What went wrong.
         message: String,
     },
-    /// The binary header is not a DBSC file or has a wrong version.
-    BadHeader,
+    /// The file does not start with the `DBSC` magic bytes — it is not a
+    /// DBSC binary file at all.
+    BadMagic,
+    /// The magic matched but the version byte is one this build does not
+    /// read — the diagnostic that makes format/frame version skew
+    /// debuggable across processes.
+    UnsupportedVersion {
+        /// The version byte found in the header.
+        found: u8,
+    },
     /// The binary payload was truncated.
     Truncated,
     /// The binary payload has bytes past the declared `n * dims`
@@ -91,7 +99,11 @@ impl fmt::Display for DataIoError {
             DataIoError::Parse { line, message } => {
                 write!(f, "csv parse error at line {line}: {message}")
             }
-            DataIoError::BadHeader => write!(f, "not a DBSC binary file (bad magic/version)"),
+            DataIoError::BadMagic => write!(f, "not a DBSC binary file (bad magic)"),
+            DataIoError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported DBSC binary version {found} (this build reads version {VERSION})"
+            ),
             DataIoError::Truncated => write!(f, "binary payload truncated"),
             DataIoError::TrailingBytes { extra } => write!(
                 f,
@@ -307,16 +319,31 @@ pub fn encode_binary(store: &PointStore) -> Vec<u8> {
     buf
 }
 
+/// Parses the 14-byte binary header, distinguishing the three failure
+/// modes: not a DBSC file at all ([`DataIoError::BadMagic`]), a DBSC file
+/// from an incompatible format revision
+/// ([`DataIoError::UnsupportedVersion`]), and a header cut short
+/// ([`DataIoError::Truncated`]). Returns `(dims, point count)`.
+pub(crate) fn parse_binary_header(data: &[u8]) -> Result<(usize, u64), DataIoError> {
+    let mut r = ByteReader::new(data);
+    let magic = r.take::<4>().ok_or(DataIoError::BadMagic)?;
+    if &magic != MAGIC {
+        return Err(DataIoError::BadMagic);
+    }
+    let version = r.u8().ok_or(DataIoError::Truncated)?;
+    if version != VERSION {
+        return Err(DataIoError::UnsupportedVersion { found: version });
+    }
+    let dims = r.u8().ok_or(DataIoError::Truncated)? as usize;
+    let n = r.u64_le().ok_or(DataIoError::Truncated)?;
+    Ok((dims, n))
+}
+
 /// Decodes the compact binary format.
 pub fn decode_binary(data: &[u8]) -> Result<PointStore, DataIoError> {
-    let mut r = ByteReader::new(data);
-    let magic = r.take::<4>().ok_or(DataIoError::BadHeader)?;
-    let version = r.u8().ok_or(DataIoError::BadHeader)?;
-    if &magic != MAGIC || version != VERSION {
-        return Err(DataIoError::BadHeader);
-    }
-    let dims = r.u8().ok_or(DataIoError::BadHeader)? as usize;
-    let n = r.u64_le().ok_or(DataIoError::BadHeader)? as usize;
+    let (dims, n) = parse_binary_header(data)?;
+    let n = n as usize;
+    let mut r = ByteReader::new(data.get(BINARY_HEADER_LEN..).unwrap_or(&[]));
     let want = n
         .checked_mul(dims)
         .and_then(|x| x.checked_mul(8))
@@ -515,23 +542,47 @@ mod tests {
     fn binary_rejects_bad_magic_and_truncation() {
         let store = sample_store();
         let mut buf = encode_binary(&store);
+        // 10 bytes: valid magic+version, but the count field is cut short.
         assert!(matches!(
             decode_binary(&buf[..10]),
-            Err(DataIoError::BadHeader)
+            Err(DataIoError::Truncated)
         ));
         assert!(matches!(
             decode_binary(&buf[..20]),
             Err(DataIoError::Truncated)
         ));
+        assert!(matches!(
+            decode_binary(&buf[..3]),
+            Err(DataIoError::BadMagic)
+        ));
         buf[0] = b'X';
-        assert!(matches!(decode_binary(&buf), Err(DataIoError::BadHeader)));
+        assert!(matches!(decode_binary(&buf), Err(DataIoError::BadMagic)));
     }
 
     #[test]
     fn binary_rejects_bad_version() {
         let mut buf = encode_binary(&sample_store());
         buf[4] = VERSION + 1;
-        assert!(matches!(decode_binary(&buf), Err(DataIoError::BadHeader)));
+        assert!(matches!(
+            decode_binary(&buf),
+            Err(DataIoError::UnsupportedVersion { found }) if found == VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn header_diagnostics_name_the_cause() {
+        // Bad magic and version skew must be distinguishable from the
+        // Display text alone — the property IPC debugging leans on.
+        assert_eq!(
+            DataIoError::BadMagic.to_string(),
+            "not a DBSC binary file (bad magic)"
+        );
+        let skew = DataIoError::UnsupportedVersion { found: 9 };
+        assert!(skew.to_string().contains("version 9"), "{skew}");
+        assert!(
+            skew.to_string().contains(&format!("version {VERSION}")),
+            "{skew}"
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ use std::path::{Path, PathBuf};
 use dbscout_spatial::PointStore;
 
 use crate::io::{
-    parse_row, DataIoError, IngestMode, QuarantineReport, BINARY_HEADER_LEN, MAGIC, VERSION,
+    parse_binary_header, parse_row, DataIoError, IngestMode, QuarantineReport, BINARY_HEADER_LEN,
 };
 
 /// Default number of points per [`PointBatch`]. At 8192 points a 9-D
@@ -312,25 +312,22 @@ impl BinarySource {
     pub fn open(path: impl AsRef<Path>, batch_size: usize) -> Result<Self, DataIoError> {
         let file = File::open(path)?;
         let mut reader = BufReader::new(file);
+        // Read as much of the header as the file holds, then let the
+        // shared parser classify short/bad/skewed headers consistently
+        // with `decode_binary`.
         let mut header = [0u8; BINARY_HEADER_LEN];
-        reader
-            .read_exact(&mut header)
-            .map_err(|_| DataIoError::BadHeader)?;
-        let (magic, rest) = header.split_at(MAGIC.len());
-        if magic != MAGIC {
-            return Err(DataIoError::BadHeader);
+        let mut filled = 0usize;
+        while filled < BINARY_HEADER_LEN {
+            let Some(dst) = header.get_mut(filled..) else {
+                break;
+            };
+            let k = reader.read(dst)?;
+            if k == 0 {
+                break;
+            }
+            filled += k;
         }
-        let mut rest = rest.iter();
-        let version = rest.next().copied().unwrap_or(0);
-        if version != VERSION {
-            return Err(DataIoError::BadHeader);
-        }
-        let dims = rest.next().copied().unwrap_or(0) as usize;
-        let mut n_bytes = [0u8; 8];
-        for b in &mut n_bytes {
-            *b = rest.next().copied().unwrap_or(0);
-        }
-        let total = u64::from_le_bytes(n_bytes);
+        let (dims, total) = parse_binary_header(header.get(..filled).unwrap_or(&header))?;
         if dims == 0 {
             return Err(DataIoError::Spatial(
                 dbscout_spatial::SpatialError::ZeroDims,
@@ -613,7 +610,7 @@ mod tests {
         std::fs::write(&bad_magic, &buf).unwrap();
         assert!(matches!(
             BinarySource::open(&bad_magic, 8),
-            Err(DataIoError::BadHeader)
+            Err(DataIoError::BadMagic)
         ));
 
         let bad_version = tmp("bad-version.dbsc");
@@ -622,7 +619,7 @@ mod tests {
         std::fs::write(&bad_version, &buf).unwrap();
         assert!(matches!(
             BinarySource::open(&bad_version, 8),
-            Err(DataIoError::BadHeader)
+            Err(DataIoError::UnsupportedVersion { found: 99 })
         ));
 
         let truncated = tmp("truncated.dbsc");
@@ -641,11 +638,21 @@ mod tests {
             Err(DataIoError::TrailingBytes { extra: 3 })
         ));
 
+        // 9 bytes: valid magic+version, count cut short → truncated, not
+        // "not a DBSC file".
         let short_header = tmp("short-header.dbsc");
         std::fs::write(&short_header, &good[..9]).unwrap();
         assert!(matches!(
             BinarySource::open(&short_header, 8),
-            Err(DataIoError::BadHeader)
+            Err(DataIoError::Truncated)
+        ));
+
+        // 3 bytes: not even the magic fits.
+        let no_magic = tmp("no-magic.dbsc");
+        std::fs::write(&no_magic, &good[..3]).unwrap();
+        assert!(matches!(
+            BinarySource::open(&no_magic, 8),
+            Err(DataIoError::BadMagic)
         ));
     }
 

@@ -1,0 +1,518 @@
+//! Wire protocol of the process-worker backend: length-prefixed,
+//! versioned binary frames over a child process's stdin/stdout pipe
+//! pair.
+//!
+//! The framing follows the same discipline as the `DBSC` dataset format
+//! in `dbscout-data`: a fixed magic, an explicit version byte (so a
+//! parent and child built from different revisions fail with a precise
+//! [`IpcError::UnsupportedVersion`] instead of desynchronising), and
+//! bounds-checked little-endian decoding that returns errors, never
+//! panics. Each frame is self-delimiting — `magic, version, kind,
+//! payload length (u32 LE), payload` — so a reader can stop cleanly at
+//! a pipe EOF between frames (a dead worker) and distinguish it from a
+//! frame cut off mid-payload (a worker killed mid-write).
+//!
+//! Task payloads are opaque byte blobs at this layer: the engine ships
+//! work descriptors between processes without knowing what they mean,
+//! which keeps the dataflow crate algorithm-agnostic (closures cannot
+//! cross a process boundary, so the process backend trades `Fn` tasks
+//! for serialized descriptors).
+
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Magic bytes that open every frame.
+pub(crate) const FRAME_MAGIC: &[u8; 4] = b"DBIP";
+/// Current frame protocol version.
+pub(crate) const FRAME_VERSION: u8 = 1;
+/// Hard cap on a frame payload (1 GiB) — a corrupt length prefix must
+/// not translate into an unbounded allocation.
+const MAX_PAYLOAD: usize = 1 << 30;
+
+/// Length of the fixed frame header: magic, version, kind, payload
+/// length as little-endian `u32`.
+const FRAME_HEADER_LEN: usize = FRAME_MAGIC.len() + 1 + 1 + 4;
+
+/// Errors of the frame codec.
+#[derive(Debug)]
+pub enum IpcError {
+    /// Underlying pipe error.
+    Io(std::io::Error),
+    /// The stream does not start with the frame magic — the peer is not
+    /// speaking this protocol at all.
+    BadMagic,
+    /// The magic matched but the version byte is one this build does not
+    /// speak — parent/child built from different revisions.
+    UnsupportedVersion {
+        /// The version byte found on the wire.
+        found: u8,
+    },
+    /// The frame kind byte is not one this build knows.
+    UnknownKind {
+        /// The kind byte found on the wire.
+        found: u8,
+    },
+    /// A frame was cut off mid-header or mid-payload — the peer died
+    /// while writing.
+    Truncated,
+    /// The frame decoded structurally but its payload is invalid.
+    Malformed {
+        /// What was wrong with the payload.
+        message: String,
+    },
+}
+
+impl fmt::Display for IpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpcError::Io(e) => write!(f, "ipc pipe error: {e}"),
+            IpcError::BadMagic => write!(f, "not a worker-protocol frame (bad magic)"),
+            IpcError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported worker-protocol version {found} (this build speaks version \
+                 {FRAME_VERSION})"
+            ),
+            IpcError::UnknownKind { found } => {
+                write!(f, "unknown worker-protocol frame kind {found}")
+            }
+            IpcError::Truncated => write!(f, "worker-protocol frame truncated mid-write"),
+            IpcError::Malformed { message } => {
+                write!(f, "malformed worker-protocol frame: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IpcError {}
+
+impl From<std::io::Error> for IpcError {
+    fn from(e: std::io::Error) -> Self {
+        IpcError::Io(e)
+    }
+}
+
+// Compile-time proof of the XL004 contract: the error type is
+// `Display + std::error::Error + Send + Sync`.
+const fn _assert_error_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+const _: () = _assert_error_bounds::<IpcError>();
+
+/// One protocol message. Parent → child: [`Frame::Task`],
+/// [`Frame::Shutdown`]. Child → parent: everything else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// First frame a worker sends after starting: which slot it serves
+    /// and its OS pid.
+    Hello {
+        /// Worker slot index assigned by the parent.
+        slot: u64,
+        /// The worker process's pid.
+        pid: u64,
+    },
+    /// Run one task. The payload is an opaque descriptor the worker-side
+    /// handler decodes.
+    Task {
+        /// Task id assigned by the parent (unique per pool lifetime).
+        task: u64,
+        /// Opaque task descriptor.
+        payload: Vec<u8>,
+    },
+    /// A task completed; the payload is the opaque result blob.
+    TaskOk {
+        /// Id of the completed task.
+        task: u64,
+        /// The worker's peak RSS (`VmHWM`) in bytes at completion time.
+        vm_hwm_bytes: u64,
+        /// Opaque task result.
+        payload: Vec<u8>,
+    },
+    /// A task's handler failed (retryable at the parent — the worker
+    /// itself is still healthy).
+    TaskErr {
+        /// Id of the failed task.
+        task: u64,
+        /// The handler's error message.
+        message: String,
+    },
+    /// Periodic liveness signal carrying the worker's peak RSS.
+    Heartbeat {
+        /// Monotonic heartbeat sequence number.
+        seq: u64,
+        /// The worker's peak RSS (`VmHWM`) in bytes.
+        vm_hwm_bytes: u64,
+    },
+    /// Ask the worker to exit cleanly.
+    Shutdown,
+}
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 1,
+            Frame::Task { .. } => 2,
+            Frame::TaskOk { .. } => 3,
+            Frame::TaskErr { .. } => 4,
+            Frame::Heartbeat { .. } => 5,
+            Frame::Shutdown => 6,
+        }
+    }
+}
+
+/// Bounds-checked little-endian reader over a frame payload (the same
+/// pattern as the `DBSC` decoder: every read returns an error past the
+/// end instead of panicking).
+struct PayloadReader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> PayloadReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], IpcError> {
+        let head = self.data.get(..n).ok_or(IpcError::Truncated)?;
+        self.data = self.data.get(n..).ok_or(IpcError::Truncated)?;
+        Ok(head)
+    }
+
+    fn u64_le(&mut self) -> Result<u64, IpcError> {
+        let bytes = self.take(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn rest(self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+
+    fn finish(self) -> Result<(), IpcError> {
+        if self.data.is_empty() {
+            Ok(())
+        } else {
+            Err(IpcError::Malformed {
+                message: format!("{} unexpected trailing byte(s)", self.data.len()),
+            })
+        }
+    }
+}
+
+/// Encodes and writes one frame, flushing the writer so heartbeats and
+/// results reach the peer immediately (pipes are the transport; a frame
+/// parked in a `BufWriter` is a frame the deadline checker never sees).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), IpcError> {
+    let mut payload = Vec::new();
+    match frame {
+        Frame::Hello { slot, pid } => {
+            payload.extend_from_slice(&slot.to_le_bytes());
+            payload.extend_from_slice(&pid.to_le_bytes());
+        }
+        Frame::Task { task, payload: p } => {
+            payload.extend_from_slice(&task.to_le_bytes());
+            payload.extend_from_slice(p);
+        }
+        Frame::TaskOk {
+            task,
+            vm_hwm_bytes,
+            payload: p,
+        } => {
+            payload.extend_from_slice(&task.to_le_bytes());
+            payload.extend_from_slice(&vm_hwm_bytes.to_le_bytes());
+            payload.extend_from_slice(p);
+        }
+        Frame::TaskErr { task, message } => {
+            payload.extend_from_slice(&task.to_le_bytes());
+            payload.extend_from_slice(message.as_bytes());
+        }
+        Frame::Heartbeat { seq, vm_hwm_bytes } => {
+            payload.extend_from_slice(&seq.to_le_bytes());
+            payload.extend_from_slice(&vm_hwm_bytes.to_le_bytes());
+        }
+        Frame::Shutdown => {}
+    }
+    if payload.len() > MAX_PAYLOAD {
+        return Err(IpcError::Malformed {
+            message: format!("payload of {} bytes exceeds the frame cap", payload.len()),
+        });
+    }
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    let (magic_dst, rest) = header.split_at_mut(FRAME_MAGIC.len());
+    magic_dst.copy_from_slice(FRAME_MAGIC);
+    if let [version, kind, len @ ..] = rest {
+        *version = FRAME_VERSION;
+        *kind = frame.kind();
+        len.copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    }
+    w.write_all(&header)?;
+    w.write_all(&payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads exactly `buf.len()` bytes. Returns `Ok(false)` when the stream
+/// is already at EOF (no bytes read), `Err(Truncated)` when it ends
+/// mid-buffer.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, IpcError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        let Some(dst) = buf.get_mut(filled..) else {
+            break;
+        };
+        match r.read(dst) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(false)
+                } else {
+                    Err(IpcError::Truncated)
+                };
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(IpcError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads and decodes the next frame. `Ok(None)` is a clean EOF at a
+/// frame boundary — the peer closed the pipe between frames (a worker
+/// that exited, or a parent that hung up).
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, IpcError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    if !read_exact_or_eof(r, &mut header)? {
+        return Ok(None);
+    }
+    let (magic, rest) = header.split_at(FRAME_MAGIC.len());
+    if magic != FRAME_MAGIC {
+        return Err(IpcError::BadMagic);
+    }
+    let [version, kind, len @ ..] = rest else {
+        return Err(IpcError::Truncated);
+    };
+    if *version != FRAME_VERSION {
+        return Err(IpcError::UnsupportedVersion { found: *version });
+    }
+    let mut len_buf = [0u8; 4];
+    len_buf.copy_from_slice(len);
+    let payload_len = u32::from_le_bytes(len_buf) as usize;
+    if payload_len > MAX_PAYLOAD {
+        return Err(IpcError::Malformed {
+            message: format!("payload length {payload_len} exceeds the frame cap"),
+        });
+    }
+    let mut payload = vec![0u8; payload_len];
+    if !read_exact_or_eof(r, &mut payload)? && payload_len > 0 {
+        return Err(IpcError::Truncated);
+    }
+    decode_payload(*kind, &payload).map(Some)
+}
+
+fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, IpcError> {
+    let mut r = PayloadReader::new(payload);
+    match kind {
+        1 => {
+            let slot = r.u64_le()?;
+            let pid = r.u64_le()?;
+            r.finish()?;
+            Ok(Frame::Hello { slot, pid })
+        }
+        2 => {
+            let task = r.u64_le()?;
+            Ok(Frame::Task {
+                task,
+                payload: r.rest(),
+            })
+        }
+        3 => {
+            let task = r.u64_le()?;
+            let vm_hwm_bytes = r.u64_le()?;
+            Ok(Frame::TaskOk {
+                task,
+                vm_hwm_bytes,
+                payload: r.rest(),
+            })
+        }
+        4 => {
+            let task = r.u64_le()?;
+            let message = String::from_utf8(r.rest()).map_err(|_| IpcError::Malformed {
+                message: "task error message is not valid UTF-8".to_owned(),
+            })?;
+            Ok(Frame::TaskErr { task, message })
+        }
+        5 => {
+            let seq = r.u64_le()?;
+            let vm_hwm_bytes = r.u64_le()?;
+            r.finish()?;
+            Ok(Frame::Heartbeat { seq, vm_hwm_bytes })
+        }
+        6 => {
+            r.finish()?;
+            Ok(Frame::Shutdown)
+        }
+        found => Err(IpcError::UnknownKind { found }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn round_trip(frame: &Frame) -> Frame {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, frame).unwrap();
+        let mut cursor = Cursor::new(buf);
+        let got = read_frame(&mut cursor).unwrap().unwrap();
+        // The stream must be exactly one frame long.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+        got
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        let frames = vec![
+            Frame::Hello { slot: 3, pid: 4242 },
+            Frame::Task {
+                task: 7,
+                payload: vec![1, 2, 3, 255],
+            },
+            Frame::Task {
+                task: 8,
+                payload: Vec::new(),
+            },
+            Frame::TaskOk {
+                task: 7,
+                vm_hwm_bytes: 123_456,
+                payload: vec![9; 1000],
+            },
+            Frame::TaskErr {
+                task: 7,
+                message: "cell range out of bounds".to_owned(),
+            },
+            Frame::Heartbeat {
+                seq: 99,
+                vm_hwm_bytes: 1 << 20,
+            },
+            Frame::Shutdown,
+        ];
+        for frame in frames {
+            assert_eq!(round_trip(&frame), frame, "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn frames_concatenate_into_a_stream() {
+        let mut buf = Vec::new();
+        let a = Frame::Hello { slot: 0, pid: 1 };
+        let b = Frame::Heartbeat {
+            seq: 1,
+            vm_hwm_bytes: 10,
+        };
+        let c = Frame::Shutdown;
+        for f in [&a, &b, &c] {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(a));
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(b));
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(c));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Shutdown).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(IpcError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn version_skew_reports_the_found_byte() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Shutdown).unwrap();
+        buf[4] = FRAME_VERSION + 1;
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert!(
+            matches!(err, IpcError::UnsupportedVersion { found } if found == FRAME_VERSION + 1),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("version 2"), "{err}");
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Shutdown).unwrap();
+        buf[5] = 250;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(IpcError::UnknownKind { found: 250 })
+        ));
+    }
+
+    #[test]
+    fn truncation_mid_header_and_mid_payload_is_detected() {
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &Frame::Task {
+                task: 1,
+                payload: vec![1, 2, 3, 4],
+            },
+        )
+        .unwrap();
+        // Mid-header.
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf[..5])),
+            Err(IpcError::Truncated)
+        ));
+        // Mid-payload.
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf[..buf.len() - 2])),
+            Err(IpcError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn clean_eof_is_not_an_error() {
+        assert_eq!(read_frame(&mut Cursor::new(Vec::new())).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocating() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Shutdown).unwrap();
+        let len_at = FRAME_MAGIC.len() + 2;
+        buf[len_at..len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(IpcError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_malformed() {
+        // A Heartbeat with extra bytes past its two fields.
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &Frame::Heartbeat {
+                seq: 0,
+                vm_hwm_bytes: 0,
+            },
+        )
+        .unwrap();
+        // Patch the length up and append a byte.
+        let len_at = FRAME_MAGIC.len() + 2;
+        buf[len_at..len_at + 4].copy_from_slice(&17u32.to_le_bytes());
+        buf.push(0xEE);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(IpcError::Malformed { .. })
+        ));
+    }
+}

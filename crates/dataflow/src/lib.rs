@@ -63,15 +63,22 @@ pub mod dataset;
 pub mod error;
 pub mod executor;
 pub mod fault;
+pub mod ipc;
 pub mod metrics;
 pub mod ops;
 pub mod pair;
 pub mod shuffle;
+pub mod worker;
 
 pub use broadcast::Broadcast;
-pub use context::{ContextConfig, ExecutionContext, ExecutionContextBuilder};
+pub use context::{ContextConfig, ExecutionBackend, ExecutionContext, ExecutionContextBuilder};
 pub use dataset::Dataset;
 pub use error::{EngineError, Result};
 pub use executor::{SpeculationConfig, StageOptions};
 pub use fault::{FaultKind, FaultPlan, FaultPlanBuilder};
+pub use ipc::IpcError;
 pub use metrics::{EngineMetrics, MetricsSnapshot, StageRecord};
+pub use worker::{
+    serve_worker, ProcessPool, ProcessPoolConfig, ProcessPoolStats, StageOutcome, WorkerSpec,
+    WorkerStats, DEFAULT_RESPAWN_BUDGET, ENV_WORKER_SLOT,
+};

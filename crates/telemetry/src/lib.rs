@@ -48,8 +48,8 @@ pub mod trace;
 
 pub use histogram::DurationHistogram;
 pub use report::{
-    strip_timing_lines, DatasetEcho, ParamsEcho, PhaseReport, RunReport, StageReport, TotalsReport,
-    REPORT_SCHEMA_VERSION,
+    strip_timing_lines, DatasetEcho, ParamsEcho, PhaseReport, ProcessReport, RunReport,
+    StageReport, TotalsReport, WorkerReport, REPORT_SCHEMA_VERSION,
 };
 pub use rss::peak_rss_bytes;
 pub use span::{ArgValue, Recorder, Span, SpanKind};

@@ -238,6 +238,16 @@ mod tests {
         assert!(exec.determinism && exec.lock_discipline && exec.atomic_ordering);
         assert!(scope_for("crates/spatial/src/grid.rs").determinism);
         assert!(!data.determinism && !data.lock_discipline && !data.atomic_ordering);
+
+        // The process-worker plumbing (wire framing and pool) lives in
+        // dataflow, so the full concurrency regime applies — notably
+        // XL008 lock discipline over the pool's shared dispatch state —
+        // and both modules are inside the panic-freedom/no-stdout walls.
+        let ipc = scope_for("crates/dataflow/src/ipc.rs");
+        assert!(ipc.lock_discipline && ipc.determinism && ipc.atomic_ordering);
+        assert!(ipc.panic_freedom && ipc.no_stdout && ipc.catch_unwind);
+        let pool = scope_for("crates/dataflow/src/worker.rs");
+        assert!(pool.lock_discipline && pool.panic_freedom && pool.no_stdout);
     }
 
     #[test]

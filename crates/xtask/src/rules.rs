@@ -237,11 +237,12 @@ pub fn panic_freedom(c: &Cleaned, file: &str, spans: &[(usize, usize)], out: &mu
         }
     }
     // Slice/array indexing `x[i]`. A `[` after a keyword (`&mut [T]`,
-    // `as [u8; 4]`, `return [..]`) opens a type or an array literal, not
-    // an index expression.
+    // `as [u8; 4]`, `return [..]`, `let [a, b @ ..] = ...` slice
+    // patterns) opens a type, array literal, or pattern — not an index
+    // expression.
     const KEYWORDS_BEFORE_BRACKET: &[&[u8]] = &[
         b"mut", b"dyn", b"as", b"in", b"return", b"break", b"if", b"else", b"match", b"impl",
-        b"where", b"move", b"ref", b"const", b"static",
+        b"where", b"move", b"ref", b"const", b"static", b"let",
     ];
     let mut i = 0usize;
     while i < b.len() {
@@ -1058,6 +1059,17 @@ mod tests {
     fn lifetime_slice_types_are_not_indexing() {
         assert!(run_panic("struct S<'a, F> { tasks: &'a [F] }").is_empty());
         assert!(run_panic("fn f<'a>(xs: &'a [u8]) -> &'a [u8] { xs }").is_empty());
+    }
+
+    #[test]
+    fn slice_patterns_are_not_indexing() {
+        // `let`/`if let` slice patterns destructure; they cannot panic
+        // (refutable forms don't compile without an `else`/`if let`).
+        let src = "fn f(rest: &mut [u8]) {\n    if let [version, kind, len @ ..] = rest {}\n}";
+        assert!(run_panic(src).is_empty());
+        let src =
+            "fn g(rest: &[u8]) -> u8 {\n    let [a, _b @ ..] = rest else { return 0 };\n    *a\n}";
+        assert!(run_panic(src).is_empty());
     }
 
     #[test]

@@ -298,6 +298,7 @@ mod binary {
                 tasks: 8,
                 ..StageReport::default()
             }],
+            process: None,
             totals: TotalsReport {
                 stages: 1,
                 tasks: 8,
