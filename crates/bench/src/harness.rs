@@ -134,8 +134,13 @@ fn report(label: &str, durations: &[Duration]) {
     let mean = total / n;
     let min = durations.iter().min().copied().unwrap_or_default();
     let max = durations.iter().max().copied().unwrap_or_default();
+    let stats = dbscout_metrics::TimingStats::new(durations.to_vec());
     println!(
-        "  {label}: mean {mean:?}  min {min:?}  max {max:?}  ({} samples)",
+        "  {label}: mean {mean:?}  min {min:?}  max {max:?}  \
+         p50 {:.4}s  p95 {:.4}s  p99 {:.4}s  ({} samples)",
+        stats.p50_secs(),
+        stats.p95_secs(),
+        stats.p99_secs(),
         durations.len()
     );
 }

@@ -18,7 +18,7 @@ usage:
                    [--respawn-budget <usize>]
                    [--from-binary] [--batch-size <usize>]
                    [--max-task-retries <usize>] [--permissive-ingest]
-                   [--trace-out <json>] [--report-json <json>]
+                   [--trace-out <json>] [--report-json <json>] [--progress]
   dbscout generate --dataset blobs|circles|moons|cluto-t4|cluto-t5|cluto-t7|cluto-t8|cure-t2|geolife|osm
                    --output <path> [--n <usize>] [--seed <u64>] [--labeled]
                    [--format csv|binary]

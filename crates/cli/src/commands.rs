@@ -21,6 +21,7 @@ use dbscout_spatial::{Grid, PointStore};
 use dbscout_telemetry::{Recorder, Span, SpanKind, TraceCollector};
 
 use crate::cli::{CliError, Flags};
+use crate::progress::{ProgressReporter, TeeRecorder};
 
 /// A failure while reading or writing the dataset (exit code 2).
 fn data_err(e: impl std::fmt::Display) -> CliError {
@@ -103,7 +104,11 @@ fn synthesize_phase_spans(recorder: &dyn Recorder, started: Instant, timings: &P
 /// process`, never typed by hand; its stdout carries IPC frames, so the
 /// report it returns is empty.
 pub fn worker(_flags: &Flags) -> Result<String, CliError> {
-    dbscout_core::run_worker(dbscout_telemetry::peak_rss_bytes).map_err(engine_err)?;
+    dbscout_core::run_worker(
+        dbscout_telemetry::peak_rss_bytes,
+        dbscout_telemetry::cpu_time_us,
+    )
+    .map_err(engine_err)?;
     Ok(String::new())
 }
 
@@ -224,6 +229,20 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
     // the engine only records spans) when one of the flags asks for it.
     let collector =
         (trace_out.is_some() || report_out.is_some()).then(|| Arc::new(TraceCollector::new()));
+    // `--progress` streams rate-limited status lines to stderr; when it
+    // rides alongside trace collection, a tee fans the events out.
+    let progress = flags
+        .has("progress")
+        .then(|| Arc::new(ProgressReporter::new()));
+    let recorder: Option<Arc<dyn Recorder>> = match (&collector, &progress) {
+        (Some(c), Some(p)) => Some(Arc::new(TeeRecorder::new(vec![
+            Arc::clone(c) as Arc<dyn Recorder>,
+            Arc::clone(p) as Arc<dyn Recorder>,
+        ]))),
+        (Some(c), None) => Some(Arc::clone(c) as Arc<dyn Recorder>),
+        (None, Some(p)) => Some(Arc::clone(p) as Arc<dyn Recorder>),
+        (None, None) => None,
+    };
     let chaos_seed: Option<u64> = std::env::var("DBSCOUT_CHAOS_SEED")
         .ok()
         .and_then(|s| s.parse().ok());
@@ -282,8 +301,8 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
             if let Some(plan) = worker_fault_plan(chaos_seed)? {
                 builder = builder.fault_plan(plan);
             }
-            if let Some(c) = &collector {
-                builder = builder.recorder(Arc::clone(c) as Arc<dyn Recorder>);
+            if let Some(r) = &recorder {
+                builder = builder.recorder(Arc::clone(r));
             }
             let ctx = builder.build();
             let before = ctx.metrics().snapshot();
@@ -338,8 +357,8 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
                 builder =
                     builder.fault_plan(FaultPlan::builder(seed).max_faults_per_task(1).build());
             }
-            if let Some(c) = &collector {
-                builder = builder.recorder(Arc::clone(c) as Arc<dyn Recorder>);
+            if let Some(r) = &recorder {
+                builder = builder.recorder(Arc::clone(r));
             }
             let ctx = builder.build();
             run_workers = ctx.workers() as u64;
@@ -365,6 +384,16 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
     if engine == "native" {
         if let Some(c) = &collector {
             synthesize_phase_spans(c.as_ref(), t, &result.timings);
+            // Kernel work totals as Chrome Trace counter events. The
+            // process backend already emitted cumulative per-stage
+            // points via `emit_stage_spans`; for in-process runs the
+            // run total is the only sample.
+            if backend != "process" {
+                let end = t + result.timings.total();
+                for (name, value) in result.stats.kernel.named() {
+                    c.record_counter_point(name, end, value);
+                }
+            }
         }
     }
 
@@ -1094,14 +1123,57 @@ mod tests {
         .unwrap();
         let doc = parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
         let events = doc.as_array().unwrap();
-        // The native engine has no stages or tasks: phases only.
-        assert_eq!(events.len(), dbscout_core::PHASE_NAMES.len());
+        // The native engine has no stages or tasks: phase spans plus one
+        // counter sample per kernel counter.
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), dbscout_core::PHASE_NAMES.len());
+        let mut counters: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        counters.sort_unstable();
+        let mut expected = dbscout_telemetry::KERNEL_COUNTER_NAMES.to_vec();
+        expected.sort_unstable();
+        assert_eq!(counters, expected);
         let doc = parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
         assert_eq!(
             doc.get("params").unwrap().get("engine").unwrap().as_str(),
             Some("native")
         );
         assert!(doc.get("stages").unwrap().as_array().unwrap().is_empty());
+        // Kernel totals land in the deterministic section of the totals.
+        let totals = doc.get("totals").unwrap();
+        assert!(totals.get("cells_visited").unwrap().as_u64().unwrap() > 0);
+        assert!(totals.get("distance_evals").unwrap().as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn progress_flag_is_accepted_on_every_engine() {
+        let data = tmp("progress.csv");
+        run(&argv(&[
+            "generate",
+            "--dataset",
+            "blobs",
+            "--n",
+            "400",
+            "--output",
+            &data,
+        ]))
+        .unwrap();
+        let base = ["detect", "--input", &data, "--eps", "0.6", "--min-pts", "5"];
+        for extra in [
+            &["--progress"][..],
+            &["--progress", "--engine", "distributed"][..],
+        ] {
+            let mut args = base.to_vec();
+            args.extend_from_slice(extra);
+            let report = run(&argv(&args)).unwrap();
+            assert!(report.contains("outliers"), "{extra:?}: {report}");
+        }
     }
 
     #[test]

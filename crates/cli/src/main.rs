@@ -26,6 +26,7 @@ use std::process::ExitCode;
 
 mod cli;
 mod commands;
+mod progress;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -306,7 +306,7 @@ fn respawn_budget_exhaustion_is_a_clean_worker_lost_error() {
 }
 
 #[test]
-fn seeded_worker_kills_record_v3_report_and_deterministic_skeleton() {
+fn seeded_worker_kills_record_v4_report_and_deterministic_skeleton() {
     let data = dataset();
     let mut reports = Vec::new();
     for run in 0..2 {
@@ -340,7 +340,7 @@ fn seeded_worker_kills_record_v3_report_and_deterministic_skeleton() {
     );
 
     let doc = parse(&reports[0]).unwrap();
-    assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(3));
+    assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(4));
     assert_eq!(
         doc.get("params")
             .unwrap()
@@ -441,4 +441,159 @@ fn backend_flag_validation() {
         String::from_utf8_lossy(&out.stderr).contains("DBSCOUT_WORKER_KILL"),
         "malformed kill spec must be named in the error"
     );
+}
+
+/// Runs a detection with `--trace-out`/`--report-json` plus
+/// `backend_args`, returning (trace JSON, report JSON, stdout, stderr).
+fn detect_traced(
+    data: &Path,
+    tag: &str,
+    backend_args: &[&str],
+) -> (String, String, String, String) {
+    let trace = tmp(&format!("trace-{tag}.json"));
+    let report = tmp(&format!("report-{tag}.json"));
+    let mut args = vec![
+        "detect",
+        "--input",
+        data.to_str().unwrap(),
+        "--from-binary",
+        "--eps",
+        EPS,
+        "--min-pts",
+        MIN_PTS,
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--report-json",
+        report.to_str().unwrap(),
+    ];
+    args.extend_from_slice(backend_args);
+    let out = dbscout_raw(&args, &[]);
+    assert!(
+        out.status.success(),
+        "dbscout {args:?} failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        std::fs::read_to_string(&trace).unwrap(),
+        std::fs::read_to_string(&report).unwrap(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Validates Chrome Trace shape: parses as an array, every event is a
+/// complete (`X`) or counter (`C`) event, span timestamps are monotone
+/// within each (pid, tid) lane, and counter events reference declared
+/// kernel counters with numeric values.
+fn assert_valid_chrome_trace(trace: &str) {
+    use std::collections::BTreeMap;
+    let doc = parse(trace).unwrap();
+    let events = doc.as_array().expect("trace must be a JSON array");
+    assert!(!events.is_empty(), "trace must not be empty");
+    let mut last_ts: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    for e in events {
+        let ts = e.get("ts").unwrap().as_u64().unwrap();
+        match e.get("ph").unwrap().as_str().unwrap() {
+            "X" => {
+                assert!(e.get("dur").unwrap().as_u64().is_some());
+                let pid = e.get("pid").unwrap().as_u64().unwrap();
+                let tid = e.get("tid").unwrap().as_u64().unwrap();
+                let prev = last_ts.entry((pid, tid)).or_insert(0);
+                assert!(
+                    ts >= *prev,
+                    "span timestamps must be monotone per lane: {ts} < {prev} in ({pid}, {tid})"
+                );
+                *prev = ts;
+            }
+            "C" => {
+                let name = e.get("name").unwrap().as_str().unwrap();
+                assert!(
+                    dbscout_telemetry::KERNEL_COUNTER_NAMES.contains(&name),
+                    "undeclared counter {name:?}"
+                );
+                let args = e.get("args").unwrap();
+                assert!(args.get("value").unwrap().as_u64().is_some());
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn process_trace_merges_every_worker_lane_without_warnings() {
+    let data = dataset();
+    let (trace, _report, stdout, stderr) =
+        detect_traced(&data, "merged", &["--backend", "process", "--workers", "3"]);
+    // Satellite of the distributed-tracing work: the trace now covers
+    // the workers too, so the CLI must not warn that it is parent-only.
+    assert!(!stdout.to_lowercase().contains("warning"), "{stdout}");
+    assert!(!stderr.to_lowercase().contains("warning"), "{stderr}");
+
+    let doc = parse(&trace).unwrap();
+    let events = doc.as_array().unwrap();
+    let mut worker_pids = std::collections::BTreeSet::new();
+    let mut driver_spans = 0usize;
+    for e in events {
+        if e.get("ph").unwrap().as_str() != Some("X") {
+            continue;
+        }
+        let pid = e.get("pid").unwrap().as_u64().unwrap();
+        if pid == 1 {
+            driver_spans += 1;
+        } else {
+            worker_pids.insert(pid);
+        }
+    }
+    assert!(driver_spans > 0, "driver lane must keep its spans");
+    assert_eq!(
+        worker_pids.len(),
+        3,
+        "every worker pid must have a distinct lane: {worker_pids:?}"
+    );
+}
+
+#[test]
+fn chrome_traces_are_valid_on_both_backends() {
+    let data = dataset();
+    let (in_process, _, _, _) = detect_traced(&data, "valid-inproc", &[]);
+    assert_valid_chrome_trace(&in_process);
+    let (process, _, _, _) = detect_traced(
+        &data,
+        "valid-process",
+        &["--backend", "process", "--workers", "2"],
+    );
+    assert_valid_chrome_trace(&process);
+}
+
+/// The acceptance pin for the kernel-counter taxonomy: totals are sums
+/// over a disjoint partition of the cell range, so they are identical
+/// across thread counts and across the in-process / process backends.
+#[test]
+fn kernel_counters_identical_across_backends_and_thread_counts() {
+    let data = dataset();
+    let kernel_totals = |report: &str| -> Vec<u64> {
+        let doc = parse(report).unwrap();
+        let totals = doc.get("totals").unwrap();
+        [
+            "cells_visited",
+            "bbox_prunes",
+            "early_exit_hits",
+            "distance_evals",
+        ]
+        .iter()
+        .map(|k| totals.get(k).unwrap().as_u64().unwrap())
+        .collect()
+    };
+    let (_, one_thread, _, _) = detect_traced(&data, "eq-t1", &["--threads", "1"]);
+    let (_, four_threads, _, _) = detect_traced(&data, "eq-t4", &["--threads", "4"]);
+    let (_, process, _, _) = detect_traced(
+        &data,
+        "eq-proc",
+        &["--backend", "process", "--workers", "3"],
+    );
+    let reference = kernel_totals(&one_thread);
+    assert!(reference.iter().sum::<u64>() > 0, "counters must be live");
+    assert_eq!(reference, kernel_totals(&four_threads));
+    assert_eq!(reference, kernel_totals(&process));
 }

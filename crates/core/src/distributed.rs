@@ -30,7 +30,7 @@ use dbscout_spatial::distance::within;
 use dbscout_spatial::points::PointId;
 use dbscout_spatial::CellCoord;
 use dbscout_spatial::PointStore;
-use dbscout_telemetry::{Span, SpanKind};
+use dbscout_telemetry::{KernelCounters, Span, SpanKind};
 
 use crate::cellmap::CellMap;
 use crate::error::Result;
@@ -432,12 +432,17 @@ impl DistributedDbscout {
             }
         }
 
+        // xtask-lint: allow(XL009) -- tally read strictly after scope joins
+        let distance_evals = dist_comps.load(Ordering::Relaxed);
         let stats = RunStats {
             num_cells,
             dense_cells,
             core_cells,
-            // xtask-lint: allow(XL009) -- tally read strictly after scope joins
-            distance_computations: dist_comps.load(Ordering::Relaxed),
+            distance_computations: distance_evals,
+            kernel: KernelCounters {
+                distance_evals,
+                ..KernelCounters::new()
+            },
         };
         Ok(OutlierResult::from_labels(labels, stats, timings))
     }

@@ -176,7 +176,7 @@ impl IncrementalDbscout {
             num_cells: self.cells.len(),
             dense_cells,
             core_cells,
-            distance_computations: 0,
+            ..RunStats::default()
         };
         OutlierResult::from_labels(labels, stats, PhaseTimings::default())
     }

@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use dbscout_spatial::points::PointId;
+use dbscout_telemetry::KernelCounters;
 
 /// The exhaustive classification of a point under Definitions 2–3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,7 +58,13 @@ pub struct RunStats {
     pub core_cells: usize,
     /// Point-to-point distance computations performed (the quantity the
     /// linearity proof of Lemma 6/8 bounds by `n · minPts · k_d`).
+    /// Always equals `kernel.distance_evals`; kept as its own field for
+    /// callers that predate the counter taxonomy.
     pub distance_computations: u64,
+    /// Kernel work counters summed over the core-point and outlier
+    /// passes. Sums over a disjoint partition of the cell range, so
+    /// identical across thread counts, schedules, and backends.
+    pub kernel: KernelCounters,
 }
 
 /// The output of a DBSCOUT run.

@@ -28,6 +28,7 @@ use dbscout_spatial::points::PointId;
 use dbscout_spatial::{
     CellCoord, CellMajorBuilder, CellMajorStore, Grid, NeighborOffsets, PointStore, MAX_DIMS,
 };
+use dbscout_telemetry::KernelCounters;
 
 use crate::cellmap::{CellFlags, CellMap};
 use crate::error::Result;
@@ -191,8 +192,9 @@ impl Dbscout {
                 move || {
                     let mut core: Vec<PointId> = Vec::new();
                     let mut promoted: Vec<CellCoord> = Vec::new();
-                    let mut dist_comps = 0u64;
+                    let mut counters = KernelCounters::new();
                     for &(cell, ids) in cells.get(range.clone()).into_iter().flatten() {
+                        counters.cells_visited += 1;
                         if options.dense_cell_shortcut && cell_map.is_dense(cell) {
                             // Lemma 1: every point of a dense cell is core.
                             core.extend_from_slice(ids);
@@ -207,10 +209,11 @@ impl Dbscout {
                                     continue;
                                 };
                                 for &q in qs {
-                                    dist_comps += 1;
+                                    counters.distance_evals += 1;
                                     if within(pc, store.point(q), eps_sq) {
                                         count += 1;
                                         if options.early_exit && count >= min_pts {
+                                            counters.early_exit_hits += 1;
                                             break 'offsets;
                                         }
                                     }
@@ -225,22 +228,22 @@ impl Dbscout {
                             promoted.push(*cell);
                         }
                     }
-                    (core, promoted, dist_comps)
+                    (core, promoted, counters)
                 }
             })
             .collect();
         let phase3 = run_tasks(self.threads, tasks)?;
         let mut is_core = vec![false; store.len() as usize];
-        let mut dist_comps = 0u64;
+        let mut kernel = KernelCounters::new();
         let mut promotions: Vec<CellCoord> = Vec::new();
-        for (core, promoted, dc) in phase3 {
+        for (core, promoted, kc) in phase3 {
             for p in core {
                 if let Some(slot) = is_core.get_mut(p as usize) {
                     *slot = true;
                 }
             }
             promotions.extend(promoted);
-            dist_comps += dc;
+            kernel.merge(&kc);
         }
         timings.core_points = t.elapsed();
 
@@ -263,12 +266,13 @@ impl Dbscout {
                 let range = range.clone();
                 move || {
                     let mut outliers: Vec<PointId> = Vec::new();
-                    let mut dist_comps = 0u64;
+                    let mut counters = KernelCounters::new();
                     for &(cell, ids) in cells.get(range.clone()).into_iter().flatten() {
                         if cell_map.is_core(cell) {
                             // Lemma 2: core cells contain no outliers.
                             continue;
                         }
+                        counters.cells_visited += 1;
                         if !cell_map.has_core_neighbor(cell) {
                             // O_ncn: no core cell in reach — all outliers.
                             outliers.extend_from_slice(ids);
@@ -285,10 +289,11 @@ impl Dbscout {
                                     if !is_core.get(q as usize).copied().unwrap_or(false) {
                                         continue;
                                     }
-                                    dist_comps += 1;
+                                    counters.distance_evals += 1;
                                     if within(pc, store.point(q), eps_sq) {
                                         covered = true;
                                         if options.early_exit {
+                                            counters.early_exit_hits += 1;
                                             break 'offsets;
                                         }
                                     }
@@ -299,7 +304,7 @@ impl Dbscout {
                             }
                         }
                     }
-                    (outliers, dist_comps)
+                    (outliers, counters)
                 }
             })
             .collect();
@@ -314,13 +319,13 @@ impl Dbscout {
                 }
             })
             .collect();
-        for (outliers, dc) in phase5 {
+        for (outliers, kc) in phase5 {
             for p in outliers {
                 if let Some(l) = labels.get_mut(p as usize) {
                     *l = PointLabel::Outlier;
                 }
             }
-            dist_comps += dc;
+            kernel.merge(&kc);
         }
         timings.outliers = t.elapsed();
 
@@ -328,7 +333,8 @@ impl Dbscout {
             num_cells: grid.num_cells(),
             dense_cells: cell_map.dense_cells(),
             core_cells: cell_map.core_cells(),
-            distance_computations: dist_comps,
+            distance_computations: kernel.distance_evals,
+            kernel,
         };
         Ok(OutlierResult::from_labels(labels, stats, timings))
     }
@@ -459,16 +465,16 @@ impl Dbscout {
             .collect();
         let phase3 = run_tasks_with(self.threads, CellScratch::new, tasks)?;
         let mut core_slot = vec![false; n];
-        let mut dist_comps = 0u64;
+        let mut kernel = KernelCounters::new();
         let mut promotions: Vec<u32> = Vec::new();
-        for (core, promoted, dc) in phase3 {
+        for (core, promoted, kc) in phase3 {
             for slot in core {
                 if let Some(s) = core_slot.get_mut(slot as usize) {
                     *s = true;
                 }
             }
             promotions.extend(promoted);
-            dist_comps += dc;
+            kernel.merge(&kc);
         }
         timings.core_points = t.elapsed();
 
@@ -518,7 +524,7 @@ impl Dbscout {
                 }
             }
         }
-        for (outliers, dc) in phase5 {
+        for (outliers, kc) in phase5 {
             for slot in outliers {
                 if let Some(l) = ids
                     .get(slot as usize)
@@ -527,7 +533,7 @@ impl Dbscout {
                     *l = PointLabel::Outlier;
                 }
             }
-            dist_comps += dc;
+            kernel.merge(&kc);
         }
         timings.outliers = t.elapsed();
 
@@ -535,7 +541,8 @@ impl Dbscout {
             num_cells: cm.num_cells(),
             dense_cells: flags.dense_cells(),
             core_cells: flags.core_cells(),
-            distance_computations: dist_comps,
+            distance_computations: kernel.distance_evals,
+            kernel,
         };
         Ok(OutlierResult::from_labels(labels, stats, timings))
     }
@@ -544,12 +551,12 @@ impl Dbscout {
 /// The phase-3 kernel over one contiguous cell range: classifies every
 /// point of cells `range` as core or not (Algorithm 3), returning the
 /// core *slots*, the indices of cells promoted by a non-dense core
-/// point, and the distance computations spent.
+/// point, and the kernel work counters spent.
 ///
 /// Shared verbatim by the threaded chunks of
 /// [`Dbscout::detect`] and the process-worker shards of
 /// [`crate::process`] — which is what makes the two backends' labels
-/// *and* distance counts identical by construction: a cell's work is a
+/// *and* work counters identical by construction: a cell's work is a
 /// pure function of the layout, so any partition of `0..num_cells` into
 /// ranges sums to the same totals.
 #[allow(clippy::too_many_arguments)]
@@ -562,12 +569,13 @@ pub(crate) fn core_points_in_range(
     options: NativeOptions,
     range: std::ops::Range<usize>,
     scratch: &mut CellScratch,
-) -> (Vec<u32>, Vec<u32>, u64) {
+) -> (Vec<u32>, Vec<u32>, KernelCounters) {
     let mut core: Vec<u32> = Vec::new();
     let mut promoted: Vec<u32> = Vec::new();
-    let mut dist_comps = 0u64;
+    let mut counters = KernelCounters::new();
     for idx in range {
         let Some(rec) = cm.cell(idx) else { continue };
+        counters.cells_visited += 1;
         if options.dense_cell_shortcut && flags.is_dense(idx) {
             // Lemma 1: every point of a dense cell is core.
             core.extend(rec.start..rec.end);
@@ -585,6 +593,7 @@ pub(crate) fn core_points_in_range(
             for &nidx in &scratch.neighbors {
                 let nidx = nidx as usize;
                 if cm.min_sq_dist_to_bbox(q, nidx) > eps_sq {
+                    counters.bbox_prunes += 1;
                     continue; // no point of that cell can be within eps
                 }
                 let Some(nrec) = cm.cell(nidx) else { continue };
@@ -595,8 +604,9 @@ pub(crate) fn core_points_in_range(
                 };
                 let (c, comps) = cm.count_within(q, nrec.range(), eps_sq, limit);
                 count += c;
-                dist_comps += comps;
+                counters.distance_evals += comps;
                 if options.early_exit && count >= min_pts {
+                    counters.early_exit_hits += 1;
                     break;
                 }
             }
@@ -609,12 +619,12 @@ pub(crate) fn core_points_in_range(
             promoted.push(idx as u32);
         }
     }
-    (core, promoted, dist_comps)
+    (core, promoted, counters)
 }
 
 /// The phase-5 kernel over one contiguous cell range: finds the outlier
 /// *slots* among points of non-core cells in `range` (Algorithm 5),
-/// given the global core-slot bitmap, plus the distance computations
+/// given the global core-slot bitmap, plus the kernel work counters
 /// spent. Shared by both backends exactly like
 /// [`core_points_in_range`].
 #[allow(clippy::too_many_arguments)]
@@ -627,15 +637,16 @@ pub(crate) fn outliers_in_range(
     core_slot: &[bool],
     range: std::ops::Range<usize>,
     scratch: &mut CellScratch,
-) -> (Vec<u32>, u64) {
+) -> (Vec<u32>, KernelCounters) {
     let mut outliers: Vec<u32> = Vec::new();
-    let mut dist_comps = 0u64;
+    let mut counters = KernelCounters::new();
     for idx in range {
         if flags.is_core(idx) {
             // Lemma 2: core cells contain no outliers.
             continue;
         }
         let Some(rec) = cm.cell(idx) else { continue };
+        counters.cells_visited += 1;
         cm.neighbors_into(idx, offsets, Some(eps_sq), &mut scratch.neighbors);
         scratch
             .neighbors
@@ -655,15 +666,17 @@ pub(crate) fn outliers_in_range(
             for &nidx in &scratch.neighbors {
                 let nidx = nidx as usize;
                 if cm.min_sq_dist_to_bbox(q, nidx) > eps_sq {
+                    counters.bbox_prunes += 1;
                     continue;
                 }
                 let Some(nrec) = cm.cell(nidx) else { continue };
                 let (hit, comps) =
                     cm.any_flagged_within(q, nrec.range(), eps_sq, core_slot, options.early_exit);
-                dist_comps += comps;
+                counters.distance_evals += comps;
                 if hit {
                     covered = true;
                     if options.early_exit {
+                        counters.early_exit_hits += 1;
                         break;
                     }
                 }
@@ -673,7 +686,7 @@ pub(crate) fn outliers_in_range(
             }
         }
     }
-    (outliers, dist_comps)
+    (outliers, counters)
 }
 
 /// Per-worker reusable scratch of the cell-major phases: the resolved
@@ -937,6 +950,43 @@ mod tests {
             prev_work > full.stats.distance_computations,
             "disabling every optimization must cost extra distance work"
         );
+    }
+
+    #[test]
+    fn kernel_counters_are_thread_invariant_and_mirror_distance_count() {
+        let mut pts = Vec::new();
+        for i in 0..60 {
+            pts.push([
+                (i % 10) as f64 * 0.35 + (i as f64 * 0.618).fract() * 0.05,
+                (i / 10) as f64 * 0.35,
+            ]);
+        }
+        pts.push([40.0, 40.0]);
+        let store = store_2d(&pts);
+        let params = DbscoutParams::new(1.0, 5).unwrap();
+        for layout in [ExecutionLayout::CellMajor, ExecutionLayout::Hashed] {
+            let single = Dbscout::new(params)
+                .with_layout(layout)
+                .with_threads(1)
+                .detect(&store)
+                .unwrap();
+            assert_eq!(
+                single.stats.distance_computations, single.stats.kernel.distance_evals,
+                "{layout:?}"
+            );
+            assert!(single.stats.kernel.cells_visited > 0, "{layout:?}");
+            for threads in [2, 4, 8] {
+                let multi = Dbscout::new(params)
+                    .with_layout(layout)
+                    .with_threads(threads)
+                    .detect(&store)
+                    .unwrap();
+                assert_eq!(
+                    single.stats.kernel, multi.stats.kernel,
+                    "{layout:?} threads {threads}"
+                );
+            }
+        }
     }
 
     #[test]

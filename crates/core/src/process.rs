@@ -34,8 +34,9 @@ use std::path::Path;
 use std::time::Instant;
 
 use dbscout_data::{BinarySource, PointSource};
-use dbscout_dataflow::{serve_worker, ExecutionBackend, ExecutionContext, IpcError};
+use dbscout_dataflow::{serve_worker, ExecutionBackend, ExecutionContext, IpcError, TaskSpans};
 use dbscout_spatial::{CellMajorBuilder, CellMajorStore, NeighborOffsets};
+use dbscout_telemetry::{KernelCounters, SpanKind};
 
 use crate::cellmap::CellFlags;
 use crate::error::{DbscoutError, Result};
@@ -48,7 +49,11 @@ use crate::params::DbscoutParams;
 /// worker built from different revisions fail loudly instead of
 /// misinterpreting each other's payloads (the same discipline as the
 /// `DBSC` and `DBIP` framings).
-const DESC_VERSION: u8 = 1;
+///
+/// History: v1 shipped a single distance-computation count per result;
+/// v2 replaced it with the full four-counter kernel block
+/// ([`KernelCounters`]).
+const DESC_VERSION: u8 = 2;
 
 /// Descriptor kinds.
 const KIND_CORE_TASK: u8 = 1;
@@ -140,6 +145,22 @@ fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
     out.extend_from_slice(bytes);
 }
 
+/// Serializes a kernel-counter block in canonical field order.
+fn put_counters(out: &mut Vec<u8>, counters: &KernelCounters) {
+    for (_, value) in counters.named() {
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+}
+
+fn take_counters(dec: &mut Dec<'_>) -> std::result::Result<KernelCounters, String> {
+    Ok(KernelCounters {
+        cells_visited: dec.u64_le()?,
+        bbox_prunes: dec.u64_le()?,
+        early_exit_hits: dec.u64_le()?,
+        distance_evals: dec.u64_le()?,
+    })
+}
+
 /// Packs a bool slice into bytes, LSB-first within each byte.
 fn pack_bits(bits: &[bool]) -> Vec<u8> {
     let mut out = vec![0u8; bits.len().div_ceil(8)];
@@ -220,28 +241,30 @@ fn encode_outlier_task(spec: &ShardSpec, promoted: &[u32], core_slots: &[bool]) 
     out
 }
 
-/// Core-stage result: `(core_slots, promoted_cells, dist_comps)`.
-fn encode_core_result(core: &[u32], promoted: &[u32], dist_comps: u64) -> Vec<u8> {
+/// Core-stage result: `(core_slots, promoted_cells, kernel_counters)`.
+fn encode_core_result(core: &[u32], promoted: &[u32], counters: &KernelCounters) -> Vec<u8> {
     let mut out = Vec::new();
-    out.extend_from_slice(&dist_comps.to_le_bytes());
+    put_counters(&mut out, counters);
     put_u32_vec(&mut out, core);
     put_u32_vec(&mut out, promoted);
     out
 }
 
-fn decode_core_result(data: &[u8]) -> std::result::Result<(Vec<u32>, Vec<u32>, u64), String> {
+fn decode_core_result(
+    data: &[u8],
+) -> std::result::Result<(Vec<u32>, Vec<u32>, KernelCounters), String> {
     let mut dec = Dec::new(data);
-    let dist_comps = dec.u64_le()?;
+    let counters = take_counters(&mut dec)?;
     let core = dec.u32_vec()?;
     let promoted = dec.u32_vec()?;
-    Ok((core, promoted, dist_comps))
+    Ok((core, promoted, counters))
 }
 
 /// Outlier-stage result: one `(orig_id, label)` pair per point of the
-/// shard's cells, plus the distance computations spent.
-fn encode_outlier_result(pairs: &[(u32, u8)], dist_comps: u64) -> Vec<u8> {
+/// shard's cells, plus the kernel counters spent.
+fn encode_outlier_result(pairs: &[(u32, u8)], counters: &KernelCounters) -> Vec<u8> {
     let mut out = Vec::new();
-    out.extend_from_slice(&dist_comps.to_le_bytes());
+    put_counters(&mut out, counters);
     out.extend_from_slice(&(pairs.len() as u64).to_le_bytes());
     for &(id, label) in pairs {
         out.extend_from_slice(&id.to_le_bytes());
@@ -250,9 +273,11 @@ fn encode_outlier_result(pairs: &[(u32, u8)], dist_comps: u64) -> Vec<u8> {
     out
 }
 
-fn decode_outlier_result(data: &[u8]) -> std::result::Result<(Vec<(u32, u8)>, u64), String> {
+fn decode_outlier_result(
+    data: &[u8],
+) -> std::result::Result<(Vec<(u32, u8)>, KernelCounters), String> {
     let mut dec = Dec::new(data);
-    let dist_comps = dec.u64_le()?;
+    let counters = take_counters(&mut dec)?;
     let len = dec.u64_le()? as usize;
     let bytes = dec.take(len.checked_mul(5).ok_or("pair list length overflow")?)?;
     let pairs = bytes
@@ -263,7 +288,7 @@ fn decode_outlier_result(data: &[u8]) -> std::result::Result<(Vec<(u32, u8)>, u6
             (u32::from_le_bytes(buf), c.get(4).copied().unwrap_or(0))
         })
         .collect();
-    Ok((pairs, dist_comps))
+    Ok((pairs, counters))
 }
 
 const LABEL_CORE: u8 = 0;
@@ -334,14 +359,20 @@ impl WorkerHandler {
         Self { cache: None }
     }
 
-    fn layout(&mut self, spec: &ShardSpec) -> std::result::Result<&CachedLayout, String> {
+    fn layout(
+        &mut self,
+        spec: &ShardSpec,
+        spans: &mut TaskSpans,
+    ) -> std::result::Result<&CachedLayout, String> {
         let stale = !self.cache.as_ref().is_some_and(|c| {
             c.path == spec.path
                 && c.eps_bits == spec.eps.to_bits()
                 && c.batch_size == spec.batch_size
         });
         if stale {
+            let started = Instant::now();
             let (cm, offsets) = build_layout(&spec.path, spec.batch_size as usize, spec.eps)?;
+            spans.record("layout build", SpanKind::Stage, started, started.elapsed());
             self.cache = Some(CachedLayout {
                 path: spec.path.clone(),
                 eps_bits: spec.eps.to_bits(),
@@ -356,8 +387,14 @@ impl WorkerHandler {
     }
 
     /// Decodes and executes one task payload, returning the encoded
-    /// result. Errors are retryable at the driver.
-    pub fn handle(&mut self, payload: &[u8]) -> std::result::Result<Vec<u8>, String> {
+    /// result. Worker-local spans (layout builds, kernel time) are
+    /// recorded into `spans` for the driver to merge into its trace.
+    /// Errors are retryable at the driver.
+    pub fn handle(
+        &mut self,
+        payload: &[u8],
+        spans: &mut TaskSpans,
+    ) -> std::result::Result<Vec<u8>, String> {
         let mut dec = Dec::new(payload);
         let version = dec.u8()?;
         if version != DESC_VERSION {
@@ -368,27 +405,32 @@ impl WorkerHandler {
         let kind = dec.u8()?;
         let spec = ShardSpec::decode(&mut dec)?;
         match kind {
-            KIND_CORE_TASK => self.run_core_shard(&spec),
+            KIND_CORE_TASK => self.run_core_shard(&spec, spans),
             KIND_OUTLIER_TASK => {
                 let promoted = dec.u32_vec()?;
                 let n = dec.u64_le()? as usize;
                 let bitmap = dec.bytes()?;
                 let core_slots = unpack_bits(bitmap, n);
-                self.run_outlier_shard(&spec, &promoted, &core_slots)
+                self.run_outlier_shard(&spec, &promoted, &core_slots, spans)
             }
             other => Err(format!("unknown task descriptor kind {other}")),
         }
     }
 
-    fn run_core_shard(&mut self, spec: &ShardSpec) -> std::result::Result<Vec<u8>, String> {
+    fn run_core_shard(
+        &mut self,
+        spec: &ShardSpec,
+        spans: &mut TaskSpans,
+    ) -> std::result::Result<Vec<u8>, String> {
         let min_pts = spec.min_pts as usize;
         let eps_sq = spec.eps * spec.eps;
         let options = spec.options();
         let range = spec.start as usize..spec.end as usize;
-        let layout = self.layout(spec)?;
+        let layout = self.layout(spec, spans)?;
         let flags = CellFlags::from_counts(layout.cm.cells().iter().map(|r| r.len()), min_pts)
             .map_err(|e| e.to_string())?;
-        let (core, promoted, dist_comps) = core_points_in_range(
+        let started = Instant::now();
+        let (core, promoted, counters) = core_points_in_range(
             &layout.cm,
             &flags,
             &layout.offsets,
@@ -398,7 +440,13 @@ impl WorkerHandler {
             range,
             &mut CellScratch::new(),
         );
-        Ok(encode_core_result(&core, &promoted, dist_comps))
+        spans.record(
+            "core shard kernel",
+            SpanKind::Task,
+            started,
+            started.elapsed(),
+        );
+        Ok(encode_core_result(&core, &promoted, &counters))
     }
 
     fn run_outlier_shard(
@@ -406,18 +454,20 @@ impl WorkerHandler {
         spec: &ShardSpec,
         promoted: &[u32],
         core_slots: &[bool],
+        spans: &mut TaskSpans,
     ) -> std::result::Result<Vec<u8>, String> {
         let min_pts = spec.min_pts as usize;
         let eps_sq = spec.eps * spec.eps;
         let options = spec.options();
         let range = spec.start as usize..spec.end as usize;
-        let layout = self.layout(spec)?;
+        let layout = self.layout(spec, spans)?;
         let mut flags = CellFlags::from_counts(layout.cm.cells().iter().map(|r| r.len()), min_pts)
             .map_err(|e| e.to_string())?;
         for &idx in promoted {
             flags.promote_to_core(idx as usize);
         }
-        let (outlier_slots, dist_comps) = outliers_in_range(
+        let started = Instant::now();
+        let (outlier_slots, counters) = outliers_in_range(
             &layout.cm,
             &flags,
             &layout.offsets,
@@ -426,6 +476,12 @@ impl WorkerHandler {
             core_slots,
             range.clone(),
             &mut CellScratch::new(),
+        );
+        spans.record(
+            "outlier shard kernel",
+            SpanKind::Task,
+            started,
+            started.elapsed(),
         );
         // Label every point of the shard's cells: core from the global
         // bitmap, outliers from the kernel, covered otherwise — keyed
@@ -454,16 +510,24 @@ impl WorkerHandler {
             .enumerate()
             .filter_map(|(off, &label)| ids.get(base + off).map(|&id| (id, label)))
             .collect();
-        Ok(encode_outlier_result(&pairs, dist_comps))
+        Ok(encode_outlier_result(&pairs, &counters))
     }
 }
 
 /// Serves this process as a worker over stdin/stdout until the driver
-/// hangs up. `rss_probe` supplies the process's peak RSS (`VmHWM`) for
-/// heartbeats; pass `|| 0` where unavailable.
-pub fn run_worker(rss_probe: fn() -> u64) -> std::result::Result<(), IpcError> {
+/// hangs up. `rss_probe` supplies the process's peak RSS (`VmHWM`) and
+/// `cpu_probe` its cumulative CPU time for heartbeats; pass `|| 0`
+/// where unavailable.
+pub fn run_worker(
+    rss_probe: fn() -> u64,
+    cpu_probe: fn() -> u64,
+) -> std::result::Result<(), IpcError> {
     let mut handler = WorkerHandler::new();
-    serve_worker(move |payload| handler.handle(payload), rss_probe)
+    serve_worker(
+        move |payload, spans| handler.handle(payload, spans),
+        rss_probe,
+        cpu_probe,
+    )
 }
 
 fn internal(message: String) -> DbscoutError {
@@ -556,17 +620,20 @@ pub fn detect_with_process_workers(
     ctx.clear_stage();
     let mut core_slots = vec![false; n];
     let mut promotions: Vec<u32> = Vec::new();
-    let mut dist_comps = 0u64;
+    let mut kernel = KernelCounters::new();
+    let mut stage_kernel = KernelCounters::new();
     for blob in round? {
-        let (core, promoted, dc) = decode_core_result(&blob).map_err(internal)?;
+        let (core, promoted, kc) = decode_core_result(&blob).map_err(internal)?;
         for slot in core {
             if let Some(s) = core_slots.get_mut(slot as usize) {
                 *s = true;
             }
         }
         promotions.extend(promoted);
-        dist_comps += dc;
+        stage_kernel.merge(&kc);
     }
+    ctx.metrics().attach_kernel_counters(stage_kernel);
+    kernel.merge(&stage_kernel);
     timings.core_points = t.elapsed();
 
     // Phase 4 (driver side): promote cells that gained a core point.
@@ -587,22 +654,26 @@ pub fn detect_with_process_workers(
     let round = ctx.run_process_stage("shard", tasks);
     ctx.clear_stage();
     let mut labels = vec![PointLabel::Covered; n];
+    let mut stage_kernel = KernelCounters::new();
     for blob in round? {
-        let (pairs, dc) = decode_outlier_result(&blob).map_err(internal)?;
+        let (pairs, kc) = decode_outlier_result(&blob).map_err(internal)?;
         for (id, label) in pairs {
             if let Some(l) = labels.get_mut(id as usize) {
                 *l = label_from_byte(label);
             }
         }
-        dist_comps += dc;
+        stage_kernel.merge(&kc);
     }
+    ctx.metrics().attach_kernel_counters(stage_kernel);
+    kernel.merge(&stage_kernel);
     timings.outliers = t.elapsed();
 
     let stats = RunStats {
         num_cells,
         dense_cells: flags.dense_cells(),
         core_cells: flags.core_cells(),
-        distance_computations: dist_comps,
+        distance_computations: kernel.distance_evals,
+        kernel,
     };
     Ok(OutlierResult::from_labels(labels, stats, timings))
 }
@@ -668,14 +739,24 @@ mod tests {
 
     #[test]
     fn result_codecs_round_trip() {
-        let encoded = encode_core_result(&[3, 9, 200], &[1, 7], 555);
+        let counters = KernelCounters {
+            cells_visited: 12,
+            bbox_prunes: 3,
+            early_exit_hits: 4,
+            distance_evals: 555,
+        };
+        let encoded = encode_core_result(&[3, 9, 200], &[1, 7], &counters);
         assert_eq!(
             decode_core_result(&encoded).unwrap(),
-            (vec![3, 9, 200], vec![1, 7], 555)
+            (vec![3, 9, 200], vec![1, 7], counters)
         );
         let pairs = vec![(0u32, LABEL_CORE), (5, LABEL_OUTLIER), (9, LABEL_COVERED)];
-        let encoded = encode_outlier_result(&pairs, 77);
-        assert_eq!(decode_outlier_result(&encoded).unwrap(), (pairs, 77));
+        let counters = KernelCounters {
+            distance_evals: 77,
+            ..KernelCounters::new()
+        };
+        let encoded = encode_outlier_result(&pairs, &counters);
+        assert_eq!(decode_outlier_result(&encoded).unwrap(), (pairs, counters));
     }
 
     #[test]
@@ -704,8 +785,9 @@ mod tests {
     #[test]
     fn handler_rejects_version_skew_and_unknown_kinds() {
         let mut handler = WorkerHandler::new();
+        let mut spans = TaskSpans::new(0);
         let err = handler
-            .handle(&[DESC_VERSION + 1, KIND_CORE_TASK])
+            .handle(&[DESC_VERSION + 1, KIND_CORE_TASK], &mut spans)
             .unwrap_err();
         assert!(err.contains("version"), "{err}");
         let mut bogus = vec![DESC_VERSION, 99];
@@ -720,7 +802,7 @@ mod tests {
             end: 0,
         }
         .encode_into(&mut bogus);
-        let err = handler.handle(&bogus).unwrap_err();
+        let err = handler.handle(&bogus, &mut spans).unwrap_err();
         assert!(err.contains("unknown task descriptor kind 99"), "{err}");
     }
 
@@ -786,33 +868,43 @@ mod tests {
         };
         let mut core_slots = vec![false; n];
         let mut promotions: Vec<u32> = Vec::new();
-        let mut dist_comps = 0u64;
+        let mut kernel = KernelCounters::new();
+        let mut spans = TaskSpans::new(1);
         for r in &shards {
-            let blob = handler.handle(&encode_core_task(&spec_for(r))).unwrap();
-            let (core, promoted, dc) = decode_core_result(&blob).unwrap();
+            let blob = handler
+                .handle(&encode_core_task(&spec_for(r)), &mut spans)
+                .unwrap();
+            let (core, promoted, kc) = decode_core_result(&blob).unwrap();
             for slot in core {
                 core_slots[slot as usize] = true;
             }
             promotions.extend(promoted);
-            dist_comps += dc;
+            kernel.merge(&kc);
         }
+        // The first core task rebuilt the layout, so the sink holds at
+        // least the "layout build" span plus one kernel span per shard.
+        assert!(spans.len() > shards.len(), "worker spans were not recorded");
         for &idx in &promotions {
             flags.promote_to_core(idx as usize);
         }
         let mut labels = vec![PointLabel::Covered; n];
         for r in &shards {
             let blob = handler
-                .handle(&encode_outlier_task(&spec_for(r), &promotions, &core_slots))
+                .handle(
+                    &encode_outlier_task(&spec_for(r), &promotions, &core_slots),
+                    &mut spans,
+                )
                 .unwrap();
-            let (pairs, dc) = decode_outlier_result(&blob).unwrap();
+            let (pairs, kc) = decode_outlier_result(&blob).unwrap();
             for (id, label) in pairs {
                 labels[id as usize] = label_from_byte(label);
             }
-            dist_comps += dc;
+            kernel.merge(&kc);
         }
 
         assert_eq!(labels, expected.labels);
-        assert_eq!(dist_comps, expected.stats.distance_computations);
+        assert_eq!(kernel, expected.stats.kernel);
+        assert_eq!(kernel.distance_evals, expected.stats.distance_computations);
         assert_eq!(flags.dense_cells(), expected.stats.dense_cells);
         assert_eq!(flags.core_cells(), expected.stats.core_cells);
         assert_eq!(num_cells, expected.stats.num_cells);

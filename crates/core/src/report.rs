@@ -65,6 +65,10 @@ pub fn stage_report(record: &StageRecord) -> StageReport {
         task_duration_p50_us: micros(record.task_durations.p50()),
         task_duration_p95_us: micros(record.task_durations.p95()),
         task_duration_max_us: micros(record.task_durations.max()),
+        cells_visited: record.kernel.cells_visited,
+        bbox_prunes: record.kernel.bbox_prunes,
+        early_exit_hits: record.kernel.early_exit_hits,
+        distance_evals: record.kernel.distance_evals,
     }
 }
 
@@ -78,6 +82,7 @@ pub fn process_report(stats: &ProcessPoolStats) -> ProcessReport {
         task_reassignments: stats.task_reassignments,
         poisoned_tasks: stats.poisoned_tasks,
         child_peak_rss_bytes: stats.child_peak_rss_bytes,
+        child_cpu_time_us: stats.child_cpu_time_us,
         per_worker: stats
             .per_worker
             .iter()
@@ -88,6 +93,7 @@ pub fn process_report(stats: &ProcessPoolStats) -> ProcessReport {
                 respawns: w.respawns,
                 tasks_completed: w.tasks_completed,
                 peak_rss_bytes: w.peak_rss_bytes,
+                cpu_time_us: w.cpu_time_us,
             })
             .collect(),
     }
@@ -160,8 +166,16 @@ pub fn build_run_report(
             worker_respawns: metrics.worker_respawns,
             task_reassignments: metrics.task_reassignments,
             outliers: result.num_outliers() as u64,
+            // Kernel totals come from the result's own counters (not the
+            // engine metrics) so native in-process runs and the process
+            // backend report byte-identical values.
+            cells_visited: result.stats.kernel.cells_visited,
+            bbox_prunes: result.stats.kernel.bbox_prunes,
+            early_exit_hits: result.stats.kernel.early_exit_hits,
+            distance_evals: result.stats.kernel.distance_evals,
             peak_rss_bytes: info.peak_rss_bytes,
             child_peak_rss_bytes: process.map_or(0, |p| p.child_peak_rss_bytes),
+            child_cpu_time_us: process.map_or(0, |p| p.child_cpu_time_us),
             wall_clock_us: micros(wall_clock),
         },
     }

@@ -257,7 +257,7 @@ impl ExecutionContext {
         // they are derived from the pool's lifetime counters rather than
         // the (success-only) stage outcome.
         let before = pool.stats();
-        let outcome = pool.run_stage(&label, tasks);
+        let outcome = pool.run_stage(&label, tasks, self.recorder.as_deref());
         record.duration = record.started.elapsed();
         let after = pool.stats();
         record.worker_kills = after.worker_kills.saturating_sub(before.worker_kills);

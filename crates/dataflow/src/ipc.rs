@@ -23,8 +23,10 @@ use std::io::{Read, Write};
 
 /// Magic bytes that open every frame.
 pub(crate) const FRAME_MAGIC: &[u8; 4] = b"DBIP";
-/// Current frame protocol version.
-pub(crate) const FRAME_VERSION: u8 = 1;
+/// Current frame protocol version. v1 — initial six frame kinds; v2 —
+/// `cpu_time_us` in heartbeats and the [`Frame::Telemetry`] frame
+/// (per-task child spans for the merged distributed trace).
+pub(crate) const FRAME_VERSION: u8 = 2;
 /// Hard cap on a frame payload (1 GiB) — a corrupt length prefix must
 /// not translate into an unbounded allocation.
 const MAX_PAYLOAD: usize = 1 << 30;
@@ -133,15 +135,45 @@ pub enum Frame {
         /// The handler's error message.
         message: String,
     },
-    /// Periodic liveness signal carrying the worker's peak RSS.
+    /// Periodic liveness signal carrying the worker's peak RSS and
+    /// consumed CPU time.
     Heartbeat {
         /// Monotonic heartbeat sequence number.
         seq: u64,
         /// The worker's peak RSS (`VmHWM`) in bytes.
         vm_hwm_bytes: u64,
+        /// The worker's CPU time (utime + stime) in microseconds.
+        cpu_time_us: u64,
     },
     /// Ask the worker to exit cleanly.
     Shutdown,
+    /// Spans a worker recorded while handling one task, sent immediately
+    /// before the task's [`Frame::TaskOk`] so the parent can rebase them
+    /// onto its own clock (`Instant`s do not cross process boundaries,
+    /// so span times are µs offsets from the start of task handling).
+    Telemetry {
+        /// Id of the task the spans belong to.
+        task: u64,
+        /// The worker's CPU time (utime + stime) in microseconds.
+        cpu_time_us: u64,
+        /// The spans, offsets relative to task-handling start.
+        spans: Vec<WireSpan>,
+    },
+}
+
+/// One serialized child-side span inside a [`Frame::Telemetry`] frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSpan {
+    /// Span name (stage label, kernel step, …).
+    pub name: String,
+    /// Span kind: 0 = phase, 1 = stage, 2 = task.
+    pub kind: u8,
+    /// Start offset from the beginning of task handling, microseconds.
+    pub start_us: u64,
+    /// Span duration, microseconds.
+    pub dur_us: u64,
+    /// Rendering lane within the worker process.
+    pub lane: u64,
 }
 
 impl Frame {
@@ -153,6 +185,7 @@ impl Frame {
             Frame::TaskErr { .. } => 4,
             Frame::Heartbeat { .. } => 5,
             Frame::Shutdown => 6,
+            Frame::Telemetry { .. } => 7,
         }
     }
 }
@@ -180,6 +213,18 @@ impl<'a> PayloadReader<'a> {
         let mut buf = [0u8; 8];
         buf.copy_from_slice(bytes);
         Ok(u64::from_le_bytes(buf))
+    }
+
+    fn u8(&mut self) -> Result<u8, IpcError> {
+        Ok(self.take(1)?.first().copied().unwrap_or(0))
+    }
+
+    fn string(&mut self) -> Result<String, IpcError> {
+        let len = self.u64_le()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| IpcError::Malformed {
+            message: "span name is not valid UTF-8".to_owned(),
+        })
     }
 
     fn rest(self) -> Vec<u8> {
@@ -224,11 +269,33 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), IpcError> {
             payload.extend_from_slice(&task.to_le_bytes());
             payload.extend_from_slice(message.as_bytes());
         }
-        Frame::Heartbeat { seq, vm_hwm_bytes } => {
+        Frame::Heartbeat {
+            seq,
+            vm_hwm_bytes,
+            cpu_time_us,
+        } => {
             payload.extend_from_slice(&seq.to_le_bytes());
             payload.extend_from_slice(&vm_hwm_bytes.to_le_bytes());
+            payload.extend_from_slice(&cpu_time_us.to_le_bytes());
         }
         Frame::Shutdown => {}
+        Frame::Telemetry {
+            task,
+            cpu_time_us,
+            spans,
+        } => {
+            payload.extend_from_slice(&task.to_le_bytes());
+            payload.extend_from_slice(&cpu_time_us.to_le_bytes());
+            payload.extend_from_slice(&(spans.len() as u64).to_le_bytes());
+            for span in spans {
+                payload.extend_from_slice(&(span.name.len() as u64).to_le_bytes());
+                payload.extend_from_slice(span.name.as_bytes());
+                payload.push(span.kind);
+                payload.extend_from_slice(&span.start_us.to_le_bytes());
+                payload.extend_from_slice(&span.dur_us.to_le_bytes());
+                payload.extend_from_slice(&span.lane.to_le_bytes());
+            }
+        }
     }
     if payload.len() > MAX_PAYLOAD {
         return Err(IpcError::Malformed {
@@ -342,12 +409,46 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, IpcError> {
         5 => {
             let seq = r.u64_le()?;
             let vm_hwm_bytes = r.u64_le()?;
+            let cpu_time_us = r.u64_le()?;
             r.finish()?;
-            Ok(Frame::Heartbeat { seq, vm_hwm_bytes })
+            Ok(Frame::Heartbeat {
+                seq,
+                vm_hwm_bytes,
+                cpu_time_us,
+            })
         }
         6 => {
             r.finish()?;
             Ok(Frame::Shutdown)
+        }
+        7 => {
+            let task = r.u64_le()?;
+            let cpu_time_us = r.u64_le()?;
+            let count = r.u64_le()? as usize;
+            // The count is bounded by the already-validated payload
+            // length; each span needs ≥ 33 bytes, so a lying count
+            // fails on the first short read, never on allocation.
+            let mut spans = Vec::new();
+            for _ in 0..count {
+                let name = r.string()?;
+                let kind = r.u8()?;
+                let start_us = r.u64_le()?;
+                let dur_us = r.u64_le()?;
+                let lane = r.u64_le()?;
+                spans.push(WireSpan {
+                    name,
+                    kind,
+                    start_us,
+                    dur_us,
+                    lane,
+                });
+            }
+            r.finish()?;
+            Ok(Frame::Telemetry {
+                task,
+                cpu_time_us,
+                spans,
+            })
         }
         found => Err(IpcError::UnknownKind { found }),
     }
@@ -392,8 +493,34 @@ mod tests {
             Frame::Heartbeat {
                 seq: 99,
                 vm_hwm_bytes: 1 << 20,
+                cpu_time_us: 250_000,
             },
             Frame::Shutdown,
+            Frame::Telemetry {
+                task: 7,
+                cpu_time_us: 123_456,
+                spans: vec![
+                    WireSpan {
+                        name: "layout build".to_owned(),
+                        kind: 1,
+                        start_us: 0,
+                        dur_us: 1500,
+                        lane: 0,
+                    },
+                    WireSpan {
+                        name: "shard kernel".to_owned(),
+                        kind: 2,
+                        start_us: 1500,
+                        dur_us: 900,
+                        lane: 1,
+                    },
+                ],
+            },
+            Frame::Telemetry {
+                task: 8,
+                cpu_time_us: 0,
+                spans: Vec::new(),
+            },
         ];
         for frame in frames {
             assert_eq!(round_trip(&frame), frame, "{frame:?}");
@@ -407,6 +534,7 @@ mod tests {
         let b = Frame::Heartbeat {
             seq: 1,
             vm_hwm_bytes: 10,
+            cpu_time_us: 20,
         };
         let c = Frame::Shutdown;
         for f in [&a, &b, &c] {
@@ -440,7 +568,15 @@ mod tests {
             matches!(err, IpcError::UnsupportedVersion { found } if found == FRAME_VERSION + 1),
             "{err:?}"
         );
-        assert!(err.to_string().contains("version 2"), "{err}");
+        let message = err.to_string();
+        assert!(
+            message.contains(&format!("version {}", FRAME_VERSION + 1)),
+            "{message}"
+        );
+        assert!(
+            message.contains(&format!("speaks version {FRAME_VERSION}")),
+            "{message}"
+        );
     }
 
     #[test]
@@ -496,23 +632,51 @@ mod tests {
 
     #[test]
     fn trailing_payload_bytes_are_malformed() {
-        // A Heartbeat with extra bytes past its two fields.
+        // A Heartbeat with extra bytes past its three fields.
         let mut buf = Vec::new();
         write_frame(
             &mut buf,
             &Frame::Heartbeat {
                 seq: 0,
                 vm_hwm_bytes: 0,
+                cpu_time_us: 0,
             },
         )
         .unwrap();
         // Patch the length up and append a byte.
         let len_at = FRAME_MAGIC.len() + 2;
-        buf[len_at..len_at + 4].copy_from_slice(&17u32.to_le_bytes());
+        buf[len_at..len_at + 4].copy_from_slice(&25u32.to_le_bytes());
         buf.push(0xEE);
         assert!(matches!(
             read_frame(&mut Cursor::new(buf)),
             Err(IpcError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn telemetry_with_a_lying_span_count_is_truncated_not_a_hang() {
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &Frame::Telemetry {
+                task: 1,
+                cpu_time_us: 0,
+                spans: vec![WireSpan {
+                    name: "k".to_owned(),
+                    kind: 2,
+                    start_us: 0,
+                    dur_us: 1,
+                    lane: 0,
+                }],
+            },
+        )
+        .unwrap();
+        // Inflate the span count (first u64 after task + cpu fields).
+        let count_at = FRAME_HEADER_LEN + 16;
+        buf[count_at..count_at + 8].copy_from_slice(&1_000_000u64.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(IpcError::Truncated)
         ));
     }
 }

@@ -76,9 +76,9 @@ pub use dataset::Dataset;
 pub use error::{EngineError, Result};
 pub use executor::{SpeculationConfig, StageOptions};
 pub use fault::{FaultKind, FaultPlan, FaultPlanBuilder};
-pub use ipc::IpcError;
+pub use ipc::{IpcError, WireSpan};
 pub use metrics::{EngineMetrics, MetricsSnapshot, StageRecord};
 pub use worker::{
-    serve_worker, ProcessPool, ProcessPoolConfig, ProcessPoolStats, StageOutcome, WorkerSpec,
-    WorkerStats, DEFAULT_RESPAWN_BUDGET, ENV_WORKER_SLOT,
+    serve_worker, ProcessPool, ProcessPoolConfig, ProcessPoolStats, StageOutcome, TaskSpans,
+    WorkerSpec, WorkerStats, DEFAULT_RESPAWN_BUDGET, ENV_WORKER_SLOT,
 };

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use dbscout_telemetry::{DurationHistogram, Recorder, Span, SpanKind};
+use dbscout_telemetry::{DurationHistogram, KernelCounters, Recorder, Span, SpanKind};
 
 /// One executed stage's full accounting.
 #[derive(Debug, Clone)]
@@ -59,6 +59,11 @@ pub struct StageRecord {
     /// Tasks re-dispatched to a surviving worker after their host died
     /// (process backend).
     pub task_reassignments: u64,
+    /// Kernel work counters summed over the stage's tasks. Totals are
+    /// sums over a disjoint partition of the cell range, so they are
+    /// invariant across thread counts, schedules, and backends —
+    /// deterministic, unlike every timing field here.
+    pub kernel: KernelCounters,
     /// Durations of the winning attempt of each completed task.
     pub task_durations: DurationHistogram,
 }
@@ -83,6 +88,7 @@ impl StageRecord {
             worker_kills: 0,
             worker_respawns: 0,
             task_reassignments: 0,
+            kernel: KernelCounters::new(),
             task_durations: DurationHistogram::new(),
         }
     }
@@ -150,6 +156,16 @@ impl EngineMetrics {
         });
     }
 
+    /// Attaches kernel work counters to the most recently pushed stage
+    /// record. Detectors call this right after a kernel-bearing stage
+    /// completes, having summed the counters over the stage's tasks in
+    /// task-index order.
+    pub fn attach_kernel_counters(&self, counters: KernelCounters) {
+        self.with_last("driver", |r| {
+            r.kernel.merge(&counters);
+        });
+    }
+
     /// Records a driver-only stage (no worker tasks), e.g. `repartition`,
     /// which moves every record without running on the pool.
     pub(crate) fn push_driver_stage(&self, record: StageRecord) {
@@ -172,6 +188,9 @@ impl EngineMetrics {
     /// arguments. Called once at the end of a traced run, after
     /// operations have attached their volumes.
     pub fn emit_stage_spans(&self, recorder: &dyn Recorder) {
+        // Running totals feed the trace's counter track: one cumulative
+        // sample per kernel counter at each stage's end instant.
+        let mut running = KernelCounters::new();
         for r in self.records_locked().iter() {
             recorder.record_span(
                 Span::new(r.label.clone(), SpanKind::Stage, r.started, r.duration)
@@ -187,8 +206,19 @@ impl EngineMetrics {
                     .arg("injected_faults", r.injected_faults)
                     .arg("worker_kills", r.worker_kills)
                     .arg("worker_respawns", r.worker_respawns)
-                    .arg("task_reassignments", r.task_reassignments),
+                    .arg("task_reassignments", r.task_reassignments)
+                    .arg("cells_visited", r.kernel.cells_visited)
+                    .arg("bbox_prunes", r.kernel.bbox_prunes)
+                    .arg("early_exit_hits", r.kernel.early_exit_hits)
+                    .arg("distance_evals", r.kernel.distance_evals),
             );
+            if r.kernel != KernelCounters::new() {
+                running.merge(&r.kernel);
+                let at = r.started + r.duration;
+                for (name, value) in running.named() {
+                    recorder.record_counter_point(name, at, value);
+                }
+            }
         }
     }
 
@@ -422,6 +452,46 @@ mod tests {
             .args
             .iter()
             .any(|(k, v)| *k == "shuffle_records" && *v == dbscout_telemetry::ArgValue::U64(12)));
+        // Zeroed kernel counters emit no counter samples.
+        assert!(collector.counter_points().is_empty());
+    }
+
+    #[test]
+    fn attached_kernel_counters_reach_spans_and_counter_points() {
+        let m = EngineMetrics::new();
+        m.push_stage(record("core-point pass:shard"));
+        m.attach_kernel_counters(KernelCounters {
+            cells_visited: 10,
+            bbox_prunes: 2,
+            early_exit_hits: 1,
+            distance_evals: 500,
+        });
+        m.push_stage(record("outlier pass:shard"));
+        m.attach_kernel_counters(KernelCounters {
+            cells_visited: 5,
+            bbox_prunes: 0,
+            early_exit_hits: 0,
+            distance_evals: 300,
+        });
+        let records = m.stage_records();
+        assert_eq!(records[0].kernel.distance_evals, 500);
+        assert_eq!(records[1].kernel.cells_visited, 5);
+        let collector = TraceCollector::new();
+        m.emit_stage_spans(&collector);
+        let spans = collector.spans();
+        assert!(spans[0]
+            .args
+            .iter()
+            .any(|(k, v)| *k == "distance_evals" && *v == dbscout_telemetry::ArgValue::U64(500)));
+        // Counter points are cumulative: the second sample of each name
+        // carries the running total, and the totals map holds the max.
+        let points = collector.counter_points();
+        assert_eq!(points.len(), 8);
+        assert!(points.contains(&("distance_evals".to_owned(), 500)));
+        assert!(points.contains(&("distance_evals".to_owned(), 800)));
+        assert!(collector
+            .counters()
+            .contains(&("distance_evals".to_owned(), 800)));
     }
 
     #[test]

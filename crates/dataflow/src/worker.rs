@@ -50,10 +50,12 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use dbscout_telemetry::{Recorder, Span, SpanKind};
+
 use crate::error::{EngineError, Result};
 use crate::executor::lock_unpoisoned;
 use crate::fault::FaultPlan;
-use crate::ipc::{read_frame, write_frame, Frame, IpcError};
+use crate::ipc::{read_frame, write_frame, Frame, IpcError, WireSpan};
 
 /// Environment variable through which the parent assigns a worker its
 /// slot index.
@@ -179,6 +181,12 @@ pub struct WorkerStats {
     pub tasks_completed: u64,
     /// Max `VmHWM` reported by any incarnation of this slot, in bytes.
     pub peak_rss_bytes: u64,
+    /// OS pid of the slot's current (most recent) incarnation, from its
+    /// hello frame; 0 until the first hello arrives.
+    pub pid: u64,
+    /// Max CPU time (utime + stime) reported by any incarnation of this
+    /// slot, in microseconds.
+    pub cpu_time_us: u64,
 }
 
 /// Pool-lifetime accounting, aggregated across slots.
@@ -199,6 +207,9 @@ pub struct ProcessPoolStats {
     /// Sum over slots of the max `VmHWM` any incarnation reported — the
     /// child-side counterpart of the parent's `peak_rss_bytes`.
     pub child_peak_rss_bytes: u64,
+    /// Sum over slots of the max CPU time any incarnation reported, in
+    /// microseconds.
+    pub child_cpu_time_us: u64,
     /// Per-slot breakdown, in slot order.
     pub per_worker: Vec<WorkerStats>,
 }
@@ -246,6 +257,10 @@ struct Slot {
     last_seen: Instant,
     /// Task index currently dispatched to this slot, if any.
     in_flight: Option<usize>,
+    /// When the in-flight task was written to the worker; the base the
+    /// worker's span offsets are rebased onto (worker `Instant`s cannot
+    /// cross the process boundary).
+    dispatched_at: Instant,
     /// When a scheduled respawn may fire; `None` while live or when the
     /// budget is exhausted.
     respawn_at: Option<Instant>,
@@ -263,6 +278,7 @@ impl Slot {
             incarnation: 0,
             last_seen: Instant::now(),
             in_flight: None,
+            dispatched_at: Instant::now(),
             respawn_at: None,
             consecutive_deaths: 0,
             stats: WorkerStats {
@@ -278,7 +294,7 @@ impl Slot {
 }
 
 /// Per-stage bookkeeping, reset for every [`ProcessPool::run_stage`].
-struct StageState {
+struct StageState<'a> {
     label: String,
     epoch: u64,
     tasks: Vec<Vec<u8>>,
@@ -295,10 +311,20 @@ struct StageState {
     retries: u64,
     reassignments: u64,
     last_death: Option<(usize, String)>,
+    /// Sink for parent-observed task spans, worker spans merged from
+    /// [`Frame::Telemetry`], and worker-kill counters. `None` keeps the
+    /// stage loop allocation- and lock-free.
+    recorder: Option<&'a dyn Recorder>,
 }
 
-impl StageState {
-    fn new(label: &str, epoch: u64, tasks: Vec<Vec<u8>>, plan: Option<&FaultPlan>) -> Self {
+impl<'a> StageState<'a> {
+    fn new(
+        label: &str,
+        epoch: u64,
+        tasks: Vec<Vec<u8>>,
+        plan: Option<&FaultPlan>,
+        recorder: Option<&'a dyn Recorder>,
+    ) -> Self {
         let n = tasks.len();
         let mut dispatch_kills = vec![0usize; n];
         if let Some(plan) = plan {
@@ -322,6 +348,7 @@ impl StageState {
             retries: 0,
             reassignments: 0,
             last_death: None,
+            recorder,
         }
     }
 
@@ -419,6 +446,7 @@ impl ProcessPool {
     pub fn stats(&self) -> ProcessPoolStats {
         let per_worker: Vec<WorkerStats> = self.slots.iter().map(|s| s.stats.clone()).collect();
         let child_peak_rss_bytes = per_worker.iter().map(|w| w.peak_rss_bytes).sum();
+        let child_cpu_time_us = per_worker.iter().map(|w| w.cpu_time_us).sum();
         ProcessPoolStats {
             workers: self.config.workers,
             workers_spawned: self.workers_spawned,
@@ -427,6 +455,7 @@ impl ProcessPool {
             task_reassignments: self.task_reassignments,
             poisoned_tasks: self.poisoned_tasks,
             child_peak_rss_bytes,
+            child_cpu_time_us,
             per_worker,
         }
     }
@@ -435,7 +464,19 @@ impl ProcessPool {
     /// by some live worker (re-dispatched across deaths), and results
     /// come back in task order. See the module docs for the failure
     /// model.
-    pub fn run_stage(&mut self, label: &str, tasks: Vec<Vec<u8>>) -> Result<StageOutcome> {
+    ///
+    /// When a `recorder` is supplied the stage emits telemetry into it:
+    /// a parent-observed task span per completion (dispatch to result,
+    /// IPC latency included), the worker-side spans shipped back over
+    /// [`Frame::Telemetry`] rebased onto the parent clock and tagged
+    /// with the worker's OS pid, and a `worker_kills` counter increment
+    /// per death.
+    pub fn run_stage(
+        &mut self,
+        label: &str,
+        tasks: Vec<Vec<u8>>,
+        recorder: Option<&dyn Recorder>,
+    ) -> Result<StageOutcome> {
         self.epoch += 1;
         if tasks.len() >= u32::MAX as usize {
             return Err(EngineError::Internal {
@@ -444,7 +485,13 @@ impl ProcessPool {
         }
         let kills_before = self.worker_kills;
         let respawns_before = self.worker_respawns;
-        let mut st = StageState::new(label, self.epoch, tasks, self.config.fault_plan.as_ref());
+        let mut st = StageState::new(
+            label,
+            self.epoch,
+            tasks,
+            self.config.fault_plan.as_ref(),
+            recorder,
+        );
         let total = st.tasks.len();
 
         while st.completed < total {
@@ -610,7 +657,7 @@ impl ProcessPool {
 
     /// Hands pending tasks to idle live workers, applying injected
     /// dispatch kills synchronously.
-    fn dispatch_pending(&mut self, st: &mut StageState) -> Result<()> {
+    fn dispatch_pending(&mut self, st: &mut StageState<'_>) -> Result<()> {
         for index in 0..self.slots.len() {
             if st.pending.is_empty() {
                 break;
@@ -631,6 +678,7 @@ impl ProcessPool {
             };
             let write_result = match self.slots.get_mut(index).and_then(|s| {
                 s.in_flight = Some(task_index);
+                s.dispatched_at = Instant::now();
                 s.stdin.as_mut()
             }) {
                 Some(stdin) => write_frame(stdin, &frame),
@@ -657,7 +705,7 @@ impl ProcessPool {
         Ok(())
     }
 
-    fn handle_event(&mut self, event: Event, st: &mut StageState) -> Result<()> {
+    fn handle_event(&mut self, event: Event, st: &mut StageState<'_>) -> Result<()> {
         match event {
             Event::Frame {
                 slot,
@@ -694,15 +742,58 @@ impl ProcessPool {
         }
     }
 
-    fn handle_frame(&mut self, slot_index: usize, frame: Frame, st: &mut StageState) -> Result<()> {
+    fn handle_frame(
+        &mut self,
+        slot_index: usize,
+        frame: Frame,
+        st: &mut StageState<'_>,
+    ) -> Result<()> {
         let Some(slot) = self.slots.get_mut(slot_index) else {
             return Ok(());
         };
         slot.last_seen = Instant::now();
         match frame {
-            Frame::Hello { .. } => {}
-            Frame::Heartbeat { vm_hwm_bytes, .. } => {
+            Frame::Hello { pid, .. } => {
+                slot.stats.pid = pid;
+            }
+            Frame::Heartbeat {
+                vm_hwm_bytes,
+                cpu_time_us,
+                ..
+            } => {
                 slot.stats.peak_rss_bytes = slot.stats.peak_rss_bytes.max(vm_hwm_bytes);
+                slot.stats.cpu_time_us = slot.stats.cpu_time_us.max(cpu_time_us);
+            }
+            Frame::Telemetry {
+                task,
+                cpu_time_us,
+                spans,
+            } => {
+                slot.stats.cpu_time_us = slot.stats.cpu_time_us.max(cpu_time_us);
+                let (epoch, index) = StageState::split_task_id(task);
+                if epoch != st.epoch || slot.in_flight != Some(index) {
+                    return Ok(()); // stale attempt: its spans stay out of the trace
+                }
+                if let Some(recorder) = st.recorder {
+                    // Worker span offsets are relative to the moment the
+                    // worker picked up the task; the closest parent-side
+                    // anchor is the dispatch instant, so rebase there
+                    // (the pipe transit skew is well under a tick).
+                    let base = slot.dispatched_at;
+                    for w in spans {
+                        recorder.record_span(
+                            Span::new(
+                                w.name,
+                                span_kind_from_wire(w.kind),
+                                base + Duration::from_micros(w.start_us),
+                                Duration::from_micros(w.dur_us),
+                            )
+                            .lane(w.lane)
+                            .pid(slot.stats.pid)
+                            .arg("partition", index),
+                        );
+                    }
+                }
             }
             Frame::TaskOk {
                 task,
@@ -717,6 +808,23 @@ impl ProcessPool {
                 slot.in_flight = None;
                 slot.consecutive_deaths = 0;
                 slot.stats.tasks_completed += 1;
+                if let Some(recorder) = st.recorder {
+                    // The parent-observed task span: dispatch write to
+                    // result receipt, IPC latency included. It sits in
+                    // the driver's pid lane; the worker's own view of
+                    // the same task arrives via `Frame::Telemetry`.
+                    recorder.record_span(
+                        Span::new(
+                            st.label.clone(),
+                            SpanKind::Task,
+                            slot.dispatched_at,
+                            slot.dispatched_at.elapsed(),
+                        )
+                        .lane(slot_index as u64 + 1)
+                        .arg("partition", index)
+                        .arg("slot", slot_index),
+                    );
+                }
                 if let Some(result) = st.results.get_mut(index) {
                     if result.is_none() {
                         *result = Some(payload);
@@ -759,7 +867,7 @@ impl ProcessPool {
 
     /// Declares every live worker silent past [`HEARTBEAT_DEADLINE`]
     /// dead — the recovery path for wedged (not crashed) workers.
-    fn check_deadlines(&mut self, st: &mut StageState) -> Result<()> {
+    fn check_deadlines(&mut self, st: &mut StageState<'_>) -> Result<()> {
         let now = Instant::now();
         for index in 0..self.slots.len() {
             let expired = self.slots.get(index).is_some_and(|s| {
@@ -776,7 +884,12 @@ impl ProcessPool {
     /// incarnation (staling any queued events), requeues the in-flight
     /// task, applies the poison rule, and schedules a respawn if budget
     /// remains.
-    fn mark_dead(&mut self, index: usize, reason: &str, st: Option<&mut StageState>) -> Result<()> {
+    fn mark_dead(
+        &mut self,
+        index: usize,
+        reason: &str,
+        st: Option<&mut StageState<'_>>,
+    ) -> Result<()> {
         let Some(slot) = self.slots.get_mut(index) else {
             return Ok(());
         };
@@ -802,6 +915,9 @@ impl ProcessPool {
             return Ok(());
         };
         st.last_death = Some((index, reason.to_owned()));
+        if let Some(recorder) = st.recorder {
+            recorder.record_counter("worker_kills", 1);
+        }
         let Some(task_index) = in_flight else {
             return Ok(());
         };
@@ -841,6 +957,75 @@ impl ProcessPool {
 impl Drop for ProcessPool {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Wire encoding of a [`SpanKind`] for [`WireSpan::kind`].
+pub fn span_kind_to_wire(kind: SpanKind) -> u8 {
+    match kind {
+        SpanKind::Phase => 0,
+        SpanKind::Stage => 1,
+        SpanKind::Task => 2,
+    }
+}
+
+/// Inverse of [`span_kind_to_wire`]; unknown bytes (a newer worker
+/// speaking a richer taxonomy) degrade to [`SpanKind::Task`].
+pub fn span_kind_from_wire(byte: u8) -> SpanKind {
+    match byte {
+        0 => SpanKind::Phase,
+        1 => SpanKind::Stage,
+        _ => SpanKind::Task,
+    }
+}
+
+/// Worker-side span sink for one task execution, handed to the
+/// [`serve_worker`] handler. `Instant`s cannot cross the process
+/// boundary, so spans are stored as microsecond offsets from the sink's
+/// creation (the moment the worker picked the task up); the parent
+/// rebases them onto its own dispatch instant when merging.
+#[derive(Debug)]
+pub struct TaskSpans {
+    base: Instant,
+    lane: u64,
+    spans: Vec<WireSpan>,
+}
+
+impl TaskSpans {
+    /// A fresh sink whose offset origin is "now" and whose spans render
+    /// in `lane` (the worker's slot index, typically).
+    pub fn new(lane: u64) -> Self {
+        Self {
+            base: Instant::now(),
+            lane,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Records one completed span. `start` earlier than the sink's
+    /// creation clamps to offset zero.
+    pub fn record(&mut self, name: &str, kind: SpanKind, start: Instant, duration: Duration) {
+        self.spans.push(WireSpan {
+            name: name.to_owned(),
+            kind: span_kind_to_wire(kind),
+            start_us: start.saturating_duration_since(self.base).as_micros() as u64,
+            dur_us: duration.as_micros() as u64,
+            lane: self.lane,
+        });
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    fn take(&mut self) -> Vec<WireSpan> {
+        std::mem::take(&mut self.spans)
     }
 }
 
@@ -886,14 +1071,22 @@ fn reader_loop(slot: usize, incarnation: u64, mut stdout: ChildStdout, tx: Sende
 /// execute each task payload through `handler`, exit on shutdown or
 /// parent hang-up.
 ///
-/// `rss_probe` supplies the process's peak RSS (`VmHWM`) in bytes for
-/// heartbeats and results; pass `|| 0` where RSS is unavailable. A
+/// `rss_probe` supplies the process's peak RSS (`VmHWM`) in bytes and
+/// `cpu_probe` its cumulative CPU time (utime + stime) in microseconds,
+/// for heartbeats and telemetry; pass `|| 0` where a probe is
+/// unavailable. Each successful task is answered with a
+/// [`Frame::Telemetry`] (the handler's recorded [`TaskSpans`] plus a
+/// CPU sample) immediately followed by the [`Frame::TaskOk`] result. A
 /// panicking handler aborts the whole process — by design: the process
 /// backend's failure domain is the whole worker, and the parent
 /// recovers by respawning it.
-pub fn serve_worker<H>(mut handler: H, rss_probe: fn() -> u64) -> std::result::Result<(), IpcError>
+pub fn serve_worker<H>(
+    mut handler: H,
+    rss_probe: fn() -> u64,
+    cpu_probe: fn() -> u64,
+) -> std::result::Result<(), IpcError>
 where
-    H: FnMut(&[u8]) -> std::result::Result<Vec<u8>, String>,
+    H: FnMut(&[u8], &mut TaskSpans) -> std::result::Result<Vec<u8>, String>,
 {
     let slot: u64 = std::env::var(ENV_WORKER_SLOT)
         .ok()
@@ -924,6 +1117,7 @@ where
                 let frame = Frame::Heartbeat {
                     seq,
                     vm_hwm_bytes: rss_probe(),
+                    cpu_time_us: cpu_probe(),
                 };
                 if write_frame(&mut *lock_unpoisoned(&hb_out), &frame).is_err() {
                     return; // parent hung up; the main loop will see EOF
@@ -935,15 +1129,39 @@ where
     let served = loop {
         match read_frame(&mut stdin) {
             Ok(Some(Frame::Task { task, payload })) => {
-                let reply = match handler(&payload) {
-                    Ok(out) => Frame::TaskOk {
-                        task,
-                        vm_hwm_bytes: rss_probe(),
-                        payload: out,
-                    },
-                    Err(message) => Frame::TaskErr { task, message },
+                let mut spans = TaskSpans::new(slot);
+                let write_result = match handler(&payload, &mut spans) {
+                    Ok(out) => {
+                        // Telemetry rides immediately ahead of the
+                        // result, under one lock acquisition, so the
+                        // parent can validate both against the same
+                        // still-in-flight task.
+                        let mut out_handle = lock_unpoisoned(&stdout);
+                        write_frame(
+                            &mut *out_handle,
+                            &Frame::Telemetry {
+                                task,
+                                cpu_time_us: cpu_probe(),
+                                spans: spans.take(),
+                            },
+                        )
+                        .and_then(|()| {
+                            write_frame(
+                                &mut *out_handle,
+                                &Frame::TaskOk {
+                                    task,
+                                    vm_hwm_bytes: rss_probe(),
+                                    payload: out,
+                                },
+                            )
+                        })
+                    }
+                    Err(message) => write_frame(
+                        &mut *lock_unpoisoned(&stdout),
+                        &Frame::TaskErr { task, message },
+                    ),
                 };
-                if let Err(e) = write_frame(&mut *lock_unpoisoned(&stdout), &reply) {
+                if let Err(e) = write_result {
                     break Err(e);
                 }
             }
@@ -980,7 +1198,7 @@ mod tests {
 
     #[test]
     fn task_ids_pack_epoch_and_index() {
-        let st = StageState::new("s", 7, vec![Vec::new(); 3], None);
+        let st = StageState::new("s", 7, vec![Vec::new(); 3], None, None);
         let id = st.task_id(2);
         assert_eq!(StageState::split_task_id(id), (7, 2));
         assert_eq!(
@@ -995,7 +1213,13 @@ mod tests {
             .kill_worker_on_dispatch(Some("pass"), 1, 2)
             .kill_worker_on_dispatch(Some("other"), 0, 1)
             .build();
-        let st = StageState::new("core-point pass:join", 1, vec![Vec::new(); 3], Some(&plan));
+        let st = StageState::new(
+            "core-point pass:join",
+            1,
+            vec![Vec::new(); 3],
+            Some(&plan),
+            None,
+        );
         assert_eq!(st.dispatch_kills, vec![0, 2, 0]);
     }
 
@@ -1046,6 +1270,49 @@ mod tests {
         assert_eq!(stats.per_worker.len(), 2);
         pool.shutdown();
         assert_eq!(pool.live_workers(), 0);
+    }
+
+    #[test]
+    fn span_kind_wire_encoding_round_trips() {
+        for kind in [SpanKind::Phase, SpanKind::Stage, SpanKind::Task] {
+            assert_eq!(span_kind_from_wire(span_kind_to_wire(kind)), kind);
+        }
+        // Unknown future kinds degrade to Task instead of failing.
+        assert_eq!(span_kind_from_wire(200), SpanKind::Task);
+    }
+
+    #[test]
+    fn task_spans_store_offsets_from_the_sink_origin() {
+        let mut sink = TaskSpans::new(3);
+        assert!(sink.is_empty());
+        let base = sink.base;
+        sink.record(
+            "shard kernel",
+            SpanKind::Task,
+            base + Duration::from_micros(40),
+            Duration::from_micros(700),
+        );
+        // A start before the origin clamps to zero instead of wrapping.
+        sink.record(
+            "pre-dispatch",
+            SpanKind::Stage,
+            base - Duration::from_micros(5),
+            Duration::from_micros(1),
+        );
+        assert_eq!(sink.len(), 2);
+        let spans = sink.take();
+        assert_eq!(
+            spans[0],
+            WireSpan {
+                name: "shard kernel".to_owned(),
+                kind: span_kind_to_wire(SpanKind::Task),
+                start_us: 40,
+                dur_us: 700,
+                lane: 3,
+            }
+        );
+        assert_eq!(spans[1].start_us, 0);
+        assert!(sink.is_empty());
     }
 
     #[test]

@@ -39,6 +39,8 @@
     )
 )]
 
+pub mod counters;
+pub mod cpu;
 pub mod histogram;
 pub mod json;
 pub mod report;
@@ -46,6 +48,8 @@ pub mod rss;
 pub mod span;
 pub mod trace;
 
+pub use counters::{KernelCounters, KERNEL_COUNTER_NAMES};
+pub use cpu::cpu_time_us;
 pub use histogram::DurationHistogram;
 pub use report::{
     strip_timing_lines, DatasetEcho, ParamsEcho, PhaseReport, ProcessReport, RunReport,

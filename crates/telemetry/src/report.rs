@@ -21,8 +21,13 @@ use crate::json::JsonWriter;
 /// `task_reassignments` per stage and in totals), the optional
 /// `process` section with per-worker attribution, and
 /// `totals.child_peak_rss_bytes` (sum of worker `VmHWM`), for the
-/// process-worker backend.
-pub const REPORT_SCHEMA_VERSION: u64 = 3;
+/// process-worker backend; v4 — kernel work counters (`cells_visited`,
+/// `bbox_prunes`, `early_exit_hits`, `distance_evals` per stage and in
+/// totals — schedule/thread/backend-invariant, so they live in the
+/// deterministic skeleton) and per-worker CPU-time attribution
+/// (`cpu_time_us` per worker, `child_cpu_time_us` in `process` and
+/// `totals`).
+pub const REPORT_SCHEMA_VERSION: u64 = 4;
 
 /// Echo of the input dataset, so a report is self-describing.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -93,6 +98,17 @@ pub struct StageReport {
     pub worker_respawns: u64,
     /// Tasks re-dispatched to a surviving worker after their host died.
     pub task_reassignments: u64,
+    /// Cells the stage's kernels iterated over. Like the other three
+    /// kernel counters this is a sum over a disjoint partition of the
+    /// cell range, hence schedule/thread/backend-invariant.
+    pub cells_visited: u64,
+    /// Neighbor cells skipped by the bounding-box minimum-distance test.
+    pub bbox_prunes: u64,
+    /// Early kernel terminations (count reached `minPts`, or a core
+    /// neighbor was found).
+    pub early_exit_hits: u64,
+    /// Point-to-point squared-distance evaluations.
+    pub distance_evals: u64,
     /// Median task duration (bucketed estimate), microseconds.
     pub task_duration_p50_us: u64,
     /// 95th-percentile task duration (bucketed estimate), microseconds.
@@ -134,6 +150,15 @@ pub struct TotalsReport {
     pub worker_respawns: u64,
     /// Total task reassignments to surviving workers.
     pub task_reassignments: u64,
+    /// Total cells visited by the detection kernels (deterministic; see
+    /// [`StageReport::cells_visited`]).
+    pub cells_visited: u64,
+    /// Total bounding-box prunes.
+    pub bbox_prunes: u64,
+    /// Total early kernel terminations.
+    pub early_exit_hits: u64,
+    /// Total squared-distance evaluations.
+    pub distance_evals: u64,
     /// Outliers reported by the detector.
     pub outliers: u64,
     /// Peak resident set size of the process in bytes (`VmHWM`), 0 when
@@ -145,6 +170,10 @@ pub struct TotalsReport {
     /// `VmHWM`, self-reported over IPC), 0 for in-process runs.
     /// Environment-derived, so stripped like `peak_rss_bytes`.
     pub child_peak_rss_bytes: u64,
+    /// Sum of the worker processes' CPU time (utime + stime,
+    /// self-reported over IPC), microseconds; 0 for in-process runs.
+    /// The `_us` suffix keeps it out of the deterministic skeleton.
+    pub child_cpu_time_us: u64,
     /// End-to-end detection wall-clock, microseconds.
     pub wall_clock_us: u64,
 }
@@ -164,6 +193,9 @@ pub struct WorkerReport {
     pub tasks_completed: u64,
     /// Largest `VmHWM` self-reported by any process of the slot, bytes.
     pub peak_rss_bytes: u64,
+    /// Largest CPU time (utime + stime) self-reported by any process of
+    /// the slot, microseconds.
+    pub cpu_time_us: u64,
 }
 
 /// The process-worker pool's run summary (`--backend process` only).
@@ -189,6 +221,8 @@ pub struct ProcessReport {
     pub poisoned_tasks: u64,
     /// Sum of per-slot peak resident sets, bytes.
     pub child_peak_rss_bytes: u64,
+    /// Sum of per-slot CPU time, microseconds.
+    pub child_cpu_time_us: u64,
     /// Per-slot attribution.
     pub per_worker: Vec<WorkerReport>,
 }
@@ -259,6 +293,10 @@ impl RunReport {
             w.field_u64("worker_kills", stage.worker_kills);
             w.field_u64("worker_respawns", stage.worker_respawns);
             w.field_u64("task_reassignments", stage.task_reassignments);
+            w.field_u64("cells_visited", stage.cells_visited);
+            w.field_u64("bbox_prunes", stage.bbox_prunes);
+            w.field_u64("early_exit_hits", stage.early_exit_hits);
+            w.field_u64("distance_evals", stage.distance_evals);
             w.field_u64("task_duration_p50_us", stage.task_duration_p50_us);
             w.field_u64("task_duration_p95_us", stage.task_duration_p95_us);
             w.field_u64("task_duration_max_us", stage.task_duration_max_us);
@@ -274,6 +312,7 @@ impl RunReport {
             w.field_u64("task_reassignments", process.task_reassignments);
             w.field_u64("poisoned_tasks", process.poisoned_tasks);
             w.field_u64("child_peak_rss_bytes", process.child_peak_rss_bytes);
+            w.field_u64("child_cpu_time_us", process.child_cpu_time_us);
             w.begin_array_field("per_worker");
             for worker in &process.per_worker {
                 w.begin_object();
@@ -283,6 +322,7 @@ impl RunReport {
                 w.field_u64("respawns", worker.respawns);
                 w.field_u64("tasks_completed", worker.tasks_completed);
                 w.field_u64("peak_rss_bytes", worker.peak_rss_bytes);
+                w.field_u64("cpu_time_us", worker.cpu_time_us);
                 w.end_object();
             }
             w.end_array();
@@ -304,9 +344,14 @@ impl RunReport {
         w.field_u64("worker_kills", self.totals.worker_kills);
         w.field_u64("worker_respawns", self.totals.worker_respawns);
         w.field_u64("task_reassignments", self.totals.task_reassignments);
+        w.field_u64("cells_visited", self.totals.cells_visited);
+        w.field_u64("bbox_prunes", self.totals.bbox_prunes);
+        w.field_u64("early_exit_hits", self.totals.early_exit_hits);
+        w.field_u64("distance_evals", self.totals.distance_evals);
         w.field_u64("outliers", self.totals.outliers);
         w.field_u64("peak_rss_bytes", self.totals.peak_rss_bytes);
         w.field_u64("child_peak_rss_bytes", self.totals.child_peak_rss_bytes);
+        w.field_u64("child_cpu_time_us", self.totals.child_cpu_time_us);
         w.field_u64("wall_clock_us", self.totals.wall_clock_us);
         w.end_object();
         w.end_object();
@@ -391,6 +436,10 @@ mod tests {
                 worker_kills: 1,
                 worker_respawns: 1,
                 task_reassignments: 1,
+                cells_visited: 64,
+                bbox_prunes: 12,
+                early_exit_hits: 3,
+                distance_evals: 4096,
                 task_duration_p50_us: wall,
                 task_duration_p95_us: wall,
                 task_duration_max_us: wall,
@@ -406,6 +455,7 @@ mod tests {
                 task_reassignments: 1,
                 poisoned_tasks: 0,
                 child_peak_rss_bytes: wall * 4096,
+                child_cpu_time_us: wall * 7,
                 per_worker: vec![WorkerReport {
                     slot: wall % 4,
                     spawns: 2,
@@ -413,6 +463,7 @@ mod tests {
                     respawns: 1,
                     tasks_completed: 3,
                     peak_rss_bytes: wall * 1024,
+                    cpu_time_us: wall * 7,
                 }],
             }),
             totals: TotalsReport {
@@ -423,9 +474,14 @@ mod tests {
                 worker_kills: 1,
                 worker_respawns: 1,
                 task_reassignments: 1,
+                cells_visited: 64,
+                bbox_prunes: 12,
+                early_exit_hits: 3,
+                distance_evals: 4096,
                 outliers: 17,
                 peak_rss_bytes: wall * 1024,
                 child_peak_rss_bytes: wall * 4096,
+                child_cpu_time_us: wall * 7,
                 wall_clock_us: wall * 3,
                 ..TotalsReport::default()
             },
@@ -502,6 +558,11 @@ mod tests {
         assert!(!skeleton.contains("worker_respawns"));
         assert!(skeleton.contains("\"worker_kills\": 1"));
         assert!(skeleton.contains("\"task_reassignments\": 1"));
+        // Kernel work counters are schedule-invariant and survive; the
+        // environment-derived CPU attribution does not (`_us` suffix).
+        assert!(skeleton.contains("\"cells_visited\": 64"));
+        assert!(skeleton.contains("\"distance_evals\": 4096"));
+        assert!(!skeleton.contains("cpu_time_us"));
     }
 
     #[test]

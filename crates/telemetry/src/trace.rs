@@ -18,6 +18,7 @@ pub struct TraceCollector {
     epoch: Instant,
     spans: Mutex<Vec<Span>>,
     counters: Mutex<BTreeMap<String, u64>>,
+    counter_points: Mutex<Vec<(String, Instant, u64)>>,
 }
 
 impl Default for TraceCollector {
@@ -33,6 +34,7 @@ impl TraceCollector {
             epoch: Instant::now(),
             spans: Mutex::new(Vec::new()),
             counters: Mutex::new(BTreeMap::new()),
+            counter_points: Mutex::new(Vec::new()),
         }
     }
 
@@ -63,18 +65,33 @@ impl TraceCollector {
             .collect()
     }
 
+    /// Timestamped counter samples recorded via
+    /// [`record_counter_point`](Recorder::record_counter_point), in
+    /// recording order.
+    pub fn counter_points(&self) -> Vec<(String, u64)> {
+        self.counter_points
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(name, _, value)| (name.clone(), *value))
+            .collect()
+    }
+
     /// Renders the buffered spans as a Chrome Trace Event Format
     /// document: a JSON array of complete (`"ph": "X"`) events with
-    /// microsecond `ts`/`dur`, the span kind as `cat`, and the span's
-    /// key-value arguments under `args`. Events are ordered by start
-    /// time (ties broken by name) so concurrent recording order does not
-    /// leak into the file.
+    /// microsecond `ts`/`dur`, the span kind as `cat`, the owning
+    /// process as `pid`, and the span's key-value arguments under
+    /// `args` — followed by one counter (`"ph": "C"`) event per
+    /// recorded counter sample. Events are ordered by start time (ties
+    /// broken by name) so concurrent recording order does not leak into
+    /// the file.
     pub fn to_chrome_trace(&self) -> String {
         let mut spans = self.spans();
         spans.sort_by(|a, b| {
             a.start
                 .cmp(&b.start)
                 .then_with(|| a.name.cmp(&b.name))
+                .then_with(|| a.pid.cmp(&b.pid))
                 .then_with(|| a.lane.cmp(&b.lane))
         });
         let mut w = JsonWriter::new();
@@ -88,7 +105,7 @@ impl TraceCollector {
             w.field_str("ph", "X");
             w.field_u64("ts", ts);
             w.field_u64("dur", dur);
-            w.field_u64("pid", 1);
+            w.field_u64("pid", span.pid);
             w.field_u64("tid", span.lane);
             w.begin_object_field("args");
             for (key, value) in &span.args {
@@ -98,6 +115,24 @@ impl TraceCollector {
                     ArgValue::Str(v) => w.field_str(key, v),
                 };
             }
+            w.end_object();
+            w.end_object();
+        }
+        let mut points = self
+            .counter_points
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        points.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        for (name, at, value) in &points {
+            let ts = at.saturating_duration_since(self.epoch).as_micros() as u64;
+            w.begin_object();
+            w.field_str("name", name);
+            w.field_str("ph", "C");
+            w.field_u64("ts", ts);
+            w.field_u64("pid", 1);
+            w.begin_object_field("args");
+            w.field_u64("value", *value);
             w.end_object();
             w.end_object();
         }
@@ -118,6 +153,18 @@ impl Recorder for TraceCollector {
         let mut counters = self.counters.lock().unwrap_or_else(PoisonError::into_inner);
         let slot = counters.entry(name.to_owned()).or_insert(0);
         *slot = slot.saturating_add(delta);
+    }
+
+    fn record_counter_point(&self, name: &str, at: Instant, value: u64) {
+        self.counter_points
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push((name.to_owned(), at, value));
+        // The running total also lands in the totals map (cumulative
+        // samples are monotone, so the max across points is the total).
+        let mut counters = self.counters.lock().unwrap_or_else(PoisonError::into_inner);
+        let slot = counters.entry(name.to_owned()).or_insert(0);
+        *slot = (*slot).max(value);
     }
 }
 
@@ -203,6 +250,64 @@ mod tests {
         let events = doc.as_array().unwrap();
         assert_eq!(events[0].get("name").unwrap().as_str(), Some("earlier"));
         assert_eq!(events[1].get("name").unwrap().as_str(), Some("later"));
+    }
+
+    #[test]
+    fn merged_spans_keep_their_worker_pid_lane() {
+        let collector = TraceCollector::new();
+        let t0 = collector.epoch;
+        collector.record_span(Span::new(
+            "driver",
+            SpanKind::Stage,
+            t0,
+            Duration::from_millis(2),
+        ));
+        collector.record_span(
+            Span::new("shard", SpanKind::Task, t0, Duration::from_millis(1)).pid(4242),
+        );
+        let doc = parse(&collector.to_chrome_trace()).unwrap();
+        let events = doc.as_array().unwrap();
+        let pid_of = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").unwrap().as_str() == Some(name))
+                .unwrap()
+                .get("pid")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+        };
+        assert_eq!(pid_of("driver"), 1);
+        assert_eq!(pid_of("shard"), 4242);
+    }
+
+    #[test]
+    fn counter_points_render_as_counter_events() {
+        let collector = TraceCollector::new();
+        let t0 = collector.epoch;
+        collector.record_counter_point("distance_evals", t0 + Duration::from_micros(50), 120);
+        collector.record_counter_point("distance_evals", t0 + Duration::from_micros(10), 40);
+        let doc = parse(&collector.to_chrome_trace()).unwrap();
+        let events = doc.as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        // Counter events are sorted by timestamp and carry args.value.
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(events[0].get("ts").unwrap().as_u64(), Some(10));
+        assert_eq!(
+            events[0]
+                .get("args")
+                .unwrap()
+                .get("value")
+                .unwrap()
+                .as_u64(),
+            Some(40)
+        );
+        assert_eq!(events[1].get("ts").unwrap().as_u64(), Some(50));
+        // The totals map holds the cumulative maximum, not the sum.
+        assert_eq!(
+            collector.counters(),
+            vec![("distance_evals".to_owned(), 120)]
+        );
     }
 
     #[test]

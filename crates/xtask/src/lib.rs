@@ -41,7 +41,9 @@
 //!
 //! The binary also hosts `cargo xtask check-report <file>`, which
 //! validates a `dbscout detect --report-json` document against the
-//! run-report schema (see [`report_check`]).
+//! run-report schema (see [`report_check`]), and `cargo xtask
+//! check-trace <file>`, which validates a `--trace-out` Chrome Trace
+//! (see [`trace_check`]).
 //!
 //! Escape hatch: `// xtask-lint: allow(XL001) -- <justification>` on (or
 //! directly above) the offending line. The justification is mandatory;
@@ -69,6 +71,7 @@ pub mod layout_check;
 pub mod lexer;
 pub mod report_check;
 pub mod rules;
+pub mod trace_check;
 
 use std::path::{Path, PathBuf};
 
@@ -248,6 +251,20 @@ mod tests {
         assert!(ipc.panic_freedom && ipc.no_stdout && ipc.catch_unwind);
         let pool = scope_for("crates/dataflow/src/worker.rs");
         assert!(pool.lock_discipline && pool.panic_freedom && pool.no_stdout);
+
+        // Telemetry-merge paths (cross-process tracing): the parent-side
+        // span/counter merge sits in the worker pool and the stage
+        // metrics module, so hash-order iteration (XL007), raw locking
+        // (XL008) and relaxed atomics (XL009) are all in scope there.
+        assert!(pool.determinism && pool.atomic_ordering);
+        let stage_metrics = scope_for("crates/dataflow/src/metrics.rs");
+        assert!(stage_metrics.determinism && stage_metrics.lock_discipline);
+        assert!(stage_metrics.atomic_ordering && stage_metrics.no_stdout);
+        // The counter taxonomy itself lives in telemetry, which is
+        // print-free but not result-affecting (merged counters feed
+        // reports, not labels).
+        let counters = scope_for("crates/telemetry/src/counters.rs");
+        assert!(counters.no_stdout && !counters.determinism && !counters.lock_discipline);
     }
 
     #[test]

@@ -16,6 +16,11 @@ fn usage() -> &'static str {
      \x20 check-report <file>          validate a `dbscout detect\n\
      \x20                              --report-json` document against the\n\
      \x20                              run-report schema\n\
+     \x20 check-trace <file>           validate a `dbscout detect\n\
+     \x20                              --trace-out` Chrome Trace: spans and\n\
+     \x20                              counter samples only, timestamps\n\
+     \x20                              monotone per lane, counter names in\n\
+     \x20                              the kernel taxonomy\n\
      \x20 check-layout [--root DIR]    assert the cell-major layout is the\n\
      \x20                              native engine's `#[default]` (release\n\
      \x20                              builds must not silently fall back to\n\
@@ -39,6 +44,7 @@ fn main() -> ExitCode {
         }
         "lint" => lint(args),
         "check-report" => check_report(args),
+        "check-trace" => check_trace(args),
         "check-layout" => check_layout(args),
         _ => {
             eprintln!("error: unknown command {cmd:?}\n\n{}", usage());
@@ -71,6 +77,34 @@ fn check_report(mut args: impl Iterator<Item = String>) -> ExitCode {
             eprintln!("{path}: {e}");
         }
         eprintln!("xtask check-report: {} violation(s)", errors.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn check_trace(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!(
+            "error: check-trace takes exactly one file argument\n\n{}",
+            usage()
+        );
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: failed to read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let errors = xtask::trace_check::check_trace(&source);
+    if errors.is_empty() {
+        println!("xtask check-trace: {path} is a well-formed Chrome Trace");
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("{path}: {e}");
+        }
+        eprintln!("xtask check-trace: {} violation(s)", errors.len());
         ExitCode::FAILURE
     }
 }

@@ -12,7 +12,8 @@ use dbscout_telemetry::json::{parse, Value};
 use dbscout_telemetry::REPORT_SCHEMA_VERSION;
 
 /// Keys every `stages[]` entry must carry (besides the string `label`).
-const STAGE_COUNTERS: [&str; 16] = [
+/// The trailing four are the kernel work counters added in schema v4.
+const STAGE_COUNTERS: [&str; 20] = [
     "tasks",
     "records_in",
     "records_out",
@@ -29,10 +30,16 @@ const STAGE_COUNTERS: [&str; 16] = [
     "task_duration_p50_us",
     "task_duration_p95_us",
     "task_duration_max_us",
+    "cells_visited",
+    "bbox_prunes",
+    "early_exit_hits",
+    "distance_evals",
 ];
 
-/// Keys the `totals` object must carry.
-const TOTALS_COUNTERS: [&str; 19] = [
+/// Keys the `totals` object must carry. Schema v4 adds the four kernel
+/// work counters (backend- and thread-invariant) plus the aggregate
+/// child CPU time.
+const TOTALS_COUNTERS: [&str; 24] = [
     "stages",
     "tasks",
     "records_in",
@@ -51,12 +58,17 @@ const TOTALS_COUNTERS: [&str; 19] = [
     "outliers",
     "peak_rss_bytes",
     "child_peak_rss_bytes",
+    "child_cpu_time_us",
     "wall_clock_us",
+    "cells_visited",
+    "bbox_prunes",
+    "early_exit_hits",
+    "distance_evals",
 ];
 
 /// Keys the optional `process` section must carry (process backend
 /// runs only; in-process reports omit the section entirely).
-const PROCESS_COUNTERS: [&str; 7] = [
+const PROCESS_COUNTERS: [&str; 8] = [
     "workers",
     "workers_spawned",
     "worker_kills",
@@ -64,16 +76,18 @@ const PROCESS_COUNTERS: [&str; 7] = [
     "task_reassignments",
     "poisoned_tasks",
     "child_peak_rss_bytes",
+    "child_cpu_time_us",
 ];
 
 /// Keys every `process.per_worker[]` entry must carry.
-const WORKER_COUNTERS: [&str; 6] = [
+const WORKER_COUNTERS: [&str; 7] = [
     "slot",
     "spawns",
     "kills",
     "respawns",
     "tasks_completed",
     "peak_rss_bytes",
+    "cpu_time_us",
 ];
 
 fn expect_u64(errors: &mut Vec<String>, obj: &Value, section: &str, key: &str) {
@@ -303,6 +317,7 @@ mod tests {
             task_reassignments: 1,
             poisoned_tasks: 0,
             child_peak_rss_bytes: 4096,
+            child_cpu_time_us: 1500,
             per_worker: (0..2)
                 .map(|slot| WorkerReport {
                     slot,
@@ -311,6 +326,7 @@ mod tests {
                     respawns: slot,
                     tasks_completed: 4,
                     peak_rss_bytes: 2048,
+                    cpu_time_us: 750,
                 })
                 .collect(),
         });

@@ -1258,6 +1258,25 @@ mod tests {
         assert!(run_determinism(src).is_empty());
     }
 
+    #[test]
+    fn telemetry_merge_over_hash_order_is_flagged() {
+        // The shape of the parent-side span merge: child telemetry keyed
+        // by worker pid. Emitting spans in hash order would make the
+        // merged trace (and anything derived from it) nondeterministic.
+        let src = "struct Merge { spans_by_pid: HashMap<u64, Vec<WireSpan>> }\n\
+                   fn flush(m: &Merge, rec: &dyn Recorder) {\n\
+                   m.spans_by_pid.iter().for_each(|(pid, s)| emit(rec, *pid, s));\n}";
+        let d = run_determinism(src);
+        assert_eq!(d.first().map(|d| (d.rule, d.line)), Some(("XL007", 3)));
+        // The actual implementation merges counters by saturating
+        // addition, which is order-free and carries the waiver.
+        let waived = "struct Merge { counters: HashMap<String, u64> }\n\
+                      fn total(m: &Merge) -> u64 {\n\
+                      // xlint: ordered -- saturating sums commute\n\
+                      m.counters.values().sum() }";
+        assert!(run_determinism(waived).is_empty());
+    }
+
     fn run_locks(src: &str) -> Vec<Diagnostic> {
         let c = clean(src);
         let spans = test_spans(&c);
@@ -1309,6 +1328,23 @@ mod tests {
         let temp = "fn f() {\n    let item = lock_unpoisoned(&q).pop_front();\n\
                     thread::sleep(D);\n}";
         assert!(run_locks(temp).is_empty());
+    }
+
+    #[test]
+    fn telemetry_merge_must_drop_stdout_guard_before_joining() {
+        // The shape of the worker pool's telemetry path: the stdout-frame
+        // lock must not be held across the reader-thread join, or a
+        // blocked writer wedges shutdown.
+        let src = "fn drain(pool: &Pool) {\n\
+                   let mut out = lock_unpoisoned(&pool.stdout);\n\
+                   out.write_frame(f);\n    reader.join();\n}";
+        let d = run_locks(src);
+        assert_eq!(d.first().map(|d| (d.rule, d.line)), Some(("XL008", 2)));
+        // Dropping the guard before the join is the sanctioned shape.
+        let fixed = "fn drain(pool: &Pool) {\n\
+                     {\n        let mut out = lock_unpoisoned(&pool.stdout);\n\
+                     out.write_frame(f);\n    }\n    reader.join();\n}";
+        assert!(run_locks(fixed).is_empty());
     }
 
     fn run_atomics(src: &str) -> Vec<Diagnostic> {
