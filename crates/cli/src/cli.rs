@@ -14,6 +14,7 @@ usage:
                    [--engine native|distributed] [--labeled]
                    [--output <csv>] [--threads <usize>]
                    [--layout cell-major|hashed]
+                   [--kernel scalar|unrolled|auto]
                    [--backend in-process|process] [--workers <usize>]
                    [--respawn-budget <usize>]
                    [--from-binary] [--batch-size <usize>]

@@ -6,8 +6,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dbscout_core::{
-    build_run_report, DbscoutError, DbscoutParams, DetectorBuilder, ExecutionLayout, NativeOptions,
-    PhaseTimings, RunInfo, PHASE_NAMES,
+    build_run_report, DbscoutError, DbscoutParams, DetectorBuilder, ExecutionConfig,
+    ExecutionLayout, KernelKind, NativeOptions, PhaseTimings, RunInfo, PHASE_NAMES,
 };
 use dbscout_data::generators as gen;
 use dbscout_data::io::{read_csv_with, write_binary, write_csv, IngestMode, QuarantineReport};
@@ -61,6 +61,15 @@ fn parse_layout(s: &str) -> Result<ExecutionLayout, CliError> {
             "unknown layout {other:?} (expected cell-major or hashed)"
         ))),
     }
+}
+
+/// Parses the `--kernel` flag for the native engine.
+fn parse_kernel(s: &str) -> Result<KernelKind, CliError> {
+    s.parse().map_err(|_| {
+        CliError::new(format!(
+            "unknown kernel {s:?} (expected scalar, unrolled, or auto)"
+        ))
+    })
 }
 
 /// Renders a permissive-ingest quarantine summary into `out`.
@@ -246,6 +255,15 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
     let chaos_seed: Option<u64> = std::env::var("DBSCOUT_CHAOS_SEED")
         .ok()
         .and_then(|s| s.parse().ok());
+    // Every execution knob funnels through one ExecutionConfig here;
+    // the engine arms below read from it instead of re-parsing flags.
+    let exec = ExecutionConfig::new()
+        .with_threads(flags.get("threads", 0)?)
+        .with_layout(parse_layout(
+            &flags.get("layout", "cell-major".to_string())?,
+        )?)
+        .with_kernel(parse_kernel(&flags.get("kernel", "auto".to_string())?)?)
+        .with_workers(workers);
 
     // The streaming path never materializes the dataset. It needs the
     // native engine (the distributed one partitions an in-memory store)
@@ -284,8 +302,7 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
     let mut run_partitions = 0u64;
     let result = match engine.as_str() {
         "native" if backend == "process" => {
-            let layout = parse_layout(&flags.get("layout", "cell-major".to_string())?)?;
-            if layout != ExecutionLayout::CellMajor {
+            if exec.layout != ExecutionLayout::CellMajor {
                 return Err(CliError::new(
                     "--backend process shards the cell-major layout only",
                 ));
@@ -324,6 +341,7 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
                 batch_size,
                 params,
                 NativeOptions::default(),
+                exec.kernel,
             );
             if spill {
                 std::fs::remove_file(&bin_path).ok();
@@ -338,10 +356,8 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
             detection.map_err(detect_err)?
         }
         "native" => {
-            let threads: usize = flags.get("threads", 0)?;
-            let layout = parse_layout(&flags.get("layout", "cell-major".to_string())?)?;
-            run_workers = threads as u64;
-            let builder = DetectorBuilder::new(params).threads(threads).layout(layout);
+            run_workers = exec.threads as u64;
+            let builder = DetectorBuilder::new(params).execution(exec);
             match (&store, &mut source) {
                 (Some(st), _) => builder.build_native().detect(st).map_err(engine_err)?,
                 (None, Some(src)) => builder.detect_source(src).map_err(detect_err)?,
@@ -381,6 +397,18 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
         other => return Err(CliError::new(format!("unknown engine {other:?}"))),
     };
     let elapsed = t.elapsed();
+    // The resolved execution echo: the concrete kernel the run used
+    // (never "auto"; hashed layouts pin to scalar) and the in-process
+    // thread count. The distributed engine's distance path is scalar
+    // and its parallelism is the worker count echoed above.
+    let (run_kernel, run_threads) = if engine == "native" {
+        (
+            exec.resolved_kernel().as_str().to_owned(),
+            exec.resolved_threads() as u64,
+        )
+    } else {
+        ("scalar".to_owned(), 0u64)
+    };
     if engine == "native" {
         if let Some(c) = &collector {
             synthesize_phase_spans(c.as_ref(), t, &result.timings);
@@ -405,7 +433,12 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
     // `write!` into a String is infallible; the results are discarded.
     let _ = writeln!(
         out,
-        "{points} points, eps = {eps}, minPts = {min_pts}, engine = {engine}{}{}",
+        "{points} points, eps = {eps}, minPts = {min_pts}, engine = {engine}{}{}{}",
+        if engine == "native" {
+            format!(", kernel = {run_kernel}, threads = {run_threads}")
+        } else {
+            String::new()
+        },
         if backend == "process" {
             format!(", backend = process ({workers} workers)")
         } else {
@@ -481,6 +514,8 @@ pub fn detect(flags: &Flags) -> Result<String, CliError> {
             engine: engine.clone(),
             partitions: run_partitions,
             workers: run_workers,
+            kernel: run_kernel.clone(),
+            threads: run_threads,
             chaos_seed,
             peak_rss_bytes: dbscout_telemetry::peak_rss_bytes(),
         };
@@ -846,6 +881,71 @@ mod tests {
         let mut bad = base.to_vec();
         bad.extend(["--layout", "diagonal"]);
         assert!(run(&argv(&bad)).is_err());
+    }
+
+    #[test]
+    fn kernel_flag_is_equivalent_and_echoed() {
+        use dbscout_telemetry::json::parse;
+
+        let data = tmp("kernels.csv");
+        run(&argv(&[
+            "generate",
+            "--dataset",
+            "blobs",
+            "--n",
+            "800",
+            "--output",
+            &data,
+        ]))
+        .unwrap();
+        let base = ["detect", "--input", &data, "--eps", "0.6", "--min-pts", "5"];
+        let count = |r: &str| {
+            r.lines()
+                .nth(1)
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        let mut scalar_args = base.to_vec();
+        scalar_args.extend(["--kernel", "scalar"]);
+        let scalar = run(&argv(&scalar_args)).unwrap();
+        assert!(scalar.contains("kernel = scalar"), "{scalar}");
+        let mut unrolled_args = base.to_vec();
+        unrolled_args.extend(["--kernel", "unrolled"]);
+        let unrolled = run(&argv(&unrolled_args)).unwrap();
+        assert!(unrolled.contains("kernel = unrolled"), "{unrolled}");
+        assert_eq!(count(&scalar), count(&unrolled));
+        // The default (auto) resolves to unrolled on cell-major, and a
+        // hashed layout pins to scalar regardless of the flag.
+        let auto = run(&argv(&base)).unwrap();
+        assert!(auto.contains("kernel = unrolled"), "{auto}");
+        let mut hashed_args = base.to_vec();
+        hashed_args.extend(["--layout", "hashed", "--kernel", "unrolled"]);
+        let hashed = run(&argv(&hashed_args)).unwrap();
+        assert!(hashed.contains("kernel = scalar"), "{hashed}");
+        assert_eq!(count(&scalar), count(&hashed));
+        // Unknown kernels are usage errors.
+        let mut bad = base.to_vec();
+        bad.extend(["--kernel", "fma"]);
+        assert!(run(&argv(&bad)).is_err());
+        // The run report echoes the resolved kernel and thread count.
+        let report = tmp("kernels-report.json");
+        let mut with_report = base.to_vec();
+        with_report.extend([
+            "--kernel",
+            "scalar",
+            "--threads",
+            "2",
+            "--report-json",
+            &report,
+        ]);
+        run(&argv(&with_report)).unwrap();
+        let doc = parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        let params = doc.get("params").unwrap();
+        assert_eq!(params.get("kernel").unwrap().as_str(), Some("scalar"));
+        assert_eq!(params.get("threads").unwrap().as_u64(), Some(2));
     }
 
     #[test]

@@ -306,7 +306,7 @@ fn respawn_budget_exhaustion_is_a_clean_worker_lost_error() {
 }
 
 #[test]
-fn seeded_worker_kills_record_v4_report_and_deterministic_skeleton() {
+fn seeded_worker_kills_record_versioned_report_and_deterministic_skeleton() {
     let data = dataset();
     let mut reports = Vec::new();
     for run in 0..2 {
@@ -340,7 +340,10 @@ fn seeded_worker_kills_record_v4_report_and_deterministic_skeleton() {
     );
 
     let doc = parse(&reports[0]).unwrap();
-    assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(4));
+    assert_eq!(
+        doc.get("schema_version").unwrap().as_u64(),
+        Some(dbscout_telemetry::REPORT_SCHEMA_VERSION)
+    );
     assert_eq!(
         doc.get("params")
             .unwrap()

@@ -25,8 +25,11 @@ use dbscout_data::{materialize, PointSource};
 use dbscout_dataflow::ExecutionContext;
 use dbscout_spatial::PointStore;
 
+use dbscout_spatial::KernelKind;
+
 use crate::distributed::{DistributedDbscout, JoinStrategy};
 use crate::error::Result;
+use crate::execution::ExecutionConfig;
 use crate::incremental::IncrementalDbscout;
 use crate::labels::OutlierResult;
 use crate::native::{Dbscout, ExecutionLayout, NativeOptions};
@@ -135,6 +138,7 @@ pub struct DetectorBuilder {
     threads: Option<usize>,
     options: NativeOptions,
     layout: ExecutionLayout,
+    kernel: KernelKind,
     engine: EngineChoice,
     partitions: Option<usize>,
     strategy: JoinStrategy,
@@ -149,10 +153,21 @@ impl DetectorBuilder {
             threads: None,
             options: NativeOptions::default(),
             layout: ExecutionLayout::default(),
+            kernel: KernelKind::default(),
             engine: EngineChoice::default(),
             partitions: None,
             strategy: JoinStrategy::default(),
         }
+    }
+
+    /// Applies a whole [`ExecutionConfig`] at once — the one documented
+    /// way to set every execution knob together. The per-field methods
+    /// ([`Self::threads`], [`Self::layout`], [`Self::kernel`]) are thin
+    /// shims over the same state, so the two styles compose freely.
+    pub fn execution(self, cfg: ExecutionConfig) -> Self {
+        self.threads(cfg.threads)
+            .layout(cfg.layout)
+            .kernel(cfg.kernel)
     }
 
     /// Overrides the native engine's worker-thread count (≥ 1; `0` means
@@ -171,6 +186,13 @@ impl DetectorBuilder {
     /// Overrides the native engine's execution layout.
     pub fn layout(mut self, layout: ExecutionLayout) -> Self {
         self.layout = layout;
+        self
+    }
+
+    /// Overrides the native engine's distance kernel (results and
+    /// counter totals are unaffected; only the loop shape changes).
+    pub fn kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -205,7 +227,8 @@ impl DetectorBuilder {
     pub fn build_native(&self) -> Dbscout {
         let mut d = Dbscout::new(self.params)
             .with_options(self.options)
-            .with_layout(self.layout);
+            .with_layout(self.layout)
+            .with_kernel(self.kernel);
         if let Some(t) = self.threads {
             d = d.with_threads(t);
         }
@@ -313,6 +336,25 @@ mod tests {
         // threads(0) means "all cores" — must not panic or zero out.
         let d = DetectorBuilder::new(params).threads(0).build_native();
         assert!(d.detect(&sample_store()).is_ok());
+    }
+
+    #[test]
+    fn execution_config_sets_every_native_knob() {
+        let params = DbscoutParams::new(0.5, 3).unwrap();
+        let cfg = ExecutionConfig::new()
+            .with_threads(2)
+            .with_layout(ExecutionLayout::Hashed)
+            .with_kernel(KernelKind::Scalar);
+        let d = DetectorBuilder::new(params).execution(cfg).build_native();
+        assert_eq!(d.threads(), 2);
+        assert_eq!(d.layout(), ExecutionLayout::Hashed);
+        assert_eq!(d.kernel(), KernelKind::Scalar);
+        // threads = 0 in the config keeps the all-cores default.
+        let d = DetectorBuilder::new(params)
+            .execution(ExecutionConfig::new())
+            .build_native();
+        assert!(d.threads() >= 1);
+        assert_eq!(d.kernel(), KernelKind::Auto);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod cellmap;
 pub mod detector;
 pub mod distributed;
 pub mod error;
+pub mod execution;
 pub mod explain;
 pub mod incremental;
 pub mod labels;
@@ -64,9 +65,11 @@ pub mod report;
 pub mod scores;
 
 pub use cellmap::{CellFlags, CellMap, CellType};
+pub use dbscout_spatial::KernelKind;
 pub use detector::{DetectorBuilder, OutlierDetector};
 pub use distributed::{DistributedDbscout, JoinStrategy, PHASE_NAMES};
 pub use error::{DbscoutError, Result};
+pub use execution::ExecutionConfig;
 pub use explain::{consistent, explain, Explanation};
 pub use incremental::IncrementalDbscout;
 pub use labels::{OutlierResult, PhaseTimings, PointLabel, RunStats};

@@ -22,11 +22,12 @@
 use std::time::{Duration, Instant};
 
 use dbscout_data::{materialize, PointSource};
-use dbscout_dataflow::executor::{run_tasks, run_tasks_with};
+use dbscout_dataflow::executor::{run_exclusive_tasks, run_tasks, run_tasks_with};
 use dbscout_spatial::distance::within;
 use dbscout_spatial::points::PointId;
 use dbscout_spatial::{
-    CellCoord, CellMajorBuilder, CellMajorStore, Grid, NeighborOffsets, PointStore, MAX_DIMS,
+    CellCoord, CellMajorBuilder, CellMajorStore, Grid, KernelKind, NeighborOffsets, PointStore,
+    ScatterShard, SpatialError, MAX_DIMS,
 };
 use dbscout_telemetry::KernelCounters;
 
@@ -58,6 +59,7 @@ pub struct Dbscout {
     threads: usize,
     options: NativeOptions,
     layout: ExecutionLayout,
+    kernel: KernelKind,
 }
 
 /// Which physical layout the phase-3/phase-5 scans run on. Both layouts
@@ -109,12 +111,21 @@ impl Dbscout {
             threads,
             options: NativeOptions::default(),
             layout: ExecutionLayout::default(),
+            kernel: KernelKind::default(),
         }
     }
 
     /// Overrides the number of worker threads (≥ 1).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the distance kernel of the cell-major hot loops
+    /// (results and kernel-counter totals are unaffected; only the loop
+    /// shape changes). The hashed layout ignores this and runs scalar.
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -140,6 +151,16 @@ impl Dbscout {
     /// The configured execution layout.
     pub fn layout(&self) -> ExecutionLayout {
         self.layout
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The configured distance kernel (possibly `Auto`).
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
     }
 
     /// Detects all outliers of `store` (Definition 3), exactly.
@@ -349,10 +370,68 @@ impl Dbscout {
         // cell-major permutation: one pass yields the cell runs, the
         // columnar buffer, and the per-cell bounding boxes.
         let t = Instant::now();
-        let cm = CellMajorStore::build(store, self.params.eps)?;
+        let cm = self.build_cell_major(store)?;
         let offsets = NeighborOffsets::new(store.dims())?;
         let grid_elapsed = t.elapsed();
         self.run_cell_major_phases(&cm, &offsets, grid_elapsed)
+    }
+
+    /// Builds the cell-major layout of `store`, in parallel when more
+    /// than one thread is configured. The parallel build is
+    /// byte-identical to [`CellMajorStore::build`] by construction
+    /// (pinned by a test): pass-1 counts are summed per-worker over
+    /// disjoint row chunks and merged (counting is additive, so chunking
+    /// cannot change the totals); the prefix-sum layout step is shared;
+    /// and pass 2 scatters through [`CellMajorScatter::shards`], where
+    /// every shard owns a disjoint cell range and a point's slot is a
+    /// pure function of `(cell, arrival id)` — independent of which
+    /// shard writes it.
+    ///
+    /// [`CellMajorScatter::shards`]: dbscout_spatial::CellMajorScatter::shards
+    fn build_cell_major(&self, store: &PointStore) -> Result<CellMajorStore> {
+        let threads = self.threads;
+        let rows = store.len() as usize;
+        if threads <= 1 || rows < 2 {
+            return Ok(CellMajorStore::build(store, self.params.eps)?);
+        }
+        let dims = store.dims();
+        let eps = self.params.eps;
+        let flat = store.flat();
+
+        // Pass 1: per-worker counting over disjoint row chunks.
+        let chunks = chunk_ranges(rows, threads);
+        let tasks: Vec<_> = chunks
+            .iter()
+            .map(|range| {
+                let range = range.clone();
+                move || -> std::result::Result<CellMajorBuilder, SpatialError> {
+                    let mut sub = CellMajorBuilder::new(dims, eps)?;
+                    let coords = flat
+                        .get(range.start * dims..range.end * dims)
+                        .unwrap_or(&[]);
+                    sub.count_batch(coords)?;
+                    Ok(sub)
+                }
+            })
+            .collect();
+        let mut builder = CellMajorBuilder::new(dims, eps)?;
+        for sub in run_tasks(threads, tasks)? {
+            builder.merge(sub?)?;
+        }
+
+        // Shared prefix-sum layout step, then the partitioned scatter:
+        // each shard replays the whole store and writes only the cells
+        // it owns.
+        let mut scatter = builder.begin_scatter();
+        let tasks: Vec<_> = scatter
+            .shards(threads)
+            .into_iter()
+            .map(|mut shard| move || shard.scatter_batch(flat))
+            .collect();
+        for done in run_exclusive_tasks(tasks) {
+            done?;
+        }
+        Ok(scatter.finish_sharded()?)
     }
 
     /// Detects all outliers of a streaming [`PointSource`], exactly, with
@@ -379,18 +458,68 @@ impl Dbscout {
 
     /// The streaming phase 1: two passes over the source through the
     /// counting builder, then the shared phases 2–5.
+    ///
+    /// With more than one thread configured, both passes run in parallel
+    /// over *batch groups* of up to `threads` batches (peak memory grows
+    /// from one batch to one group): pass 1 counts each batch of a group
+    /// into its own fresh builder and merges (counting is additive), and
+    /// pass 2 replays every group through the partitioned
+    /// [`dbscout_spatial::CellMajorScatter::shards`], each shard owning
+    /// a disjoint cell range. The finished layout is byte-identical to
+    /// the sequential build — a point's slot is a pure function of
+    /// `(cell, arrival id)`, and each shard tracks arrival ids across
+    /// the whole replay.
     fn detect_source_cell_major(&self, source: &mut dyn PointSource) -> Result<OutlierResult> {
         let t = Instant::now();
+        let threads = self.threads;
+        let eps = self.params.eps;
         let mut builder = match source.dims() {
-            Some(dims) => Some(CellMajorBuilder::new(dims, self.params.eps)?),
+            Some(dims) => Some(CellMajorBuilder::new(dims, eps)?),
             None => None,
         };
-        while let Some(batch) = source.next_batch()? {
-            let b = match &mut builder {
-                Some(b) => b,
-                None => builder.insert(CellMajorBuilder::new(batch.dims(), self.params.eps)?),
-            };
-            b.count_batch(batch.coords())?;
+        if threads <= 1 {
+            while let Some(batch) = source.next_batch()? {
+                let b = match &mut builder {
+                    Some(b) => b,
+                    None => builder.insert(CellMajorBuilder::new(batch.dims(), eps)?),
+                };
+                b.count_batch(batch.coords())?;
+            }
+        } else {
+            let mut dims = None;
+            loop {
+                let mut group: Vec<Vec<f64>> = Vec::with_capacity(threads);
+                while group.len() < threads {
+                    let Some(batch) = source.next_batch()? else {
+                        break;
+                    };
+                    if dims.is_none() {
+                        dims = Some(batch.dims());
+                    }
+                    group.push(batch.coords().to_vec());
+                }
+                let (Some(d), false) = (dims, group.is_empty()) else {
+                    break;
+                };
+                let b = match &mut builder {
+                    Some(b) => b,
+                    None => builder.insert(CellMajorBuilder::new(d, eps)?),
+                };
+                let tasks: Vec<_> = group
+                    .iter()
+                    .map(|coords| {
+                        let coords = coords.as_slice();
+                        move || -> std::result::Result<CellMajorBuilder, SpatialError> {
+                            let mut sub = CellMajorBuilder::new(d, eps)?;
+                            sub.count_batch(coords)?;
+                            Ok(sub)
+                        }
+                    })
+                    .collect();
+                for sub in run_tasks(threads, tasks)? {
+                    b.merge(sub?)?;
+                }
+            }
         }
         let Some(builder) = builder else {
             // The source produced no batches and never declared a
@@ -403,10 +532,47 @@ impl Dbscout {
         };
         source.reset()?;
         let mut scatter = builder.begin_scatter();
-        while let Some(batch) = source.next_batch()? {
-            scatter.scatter_batch(batch.coords())?;
-        }
-        let cm = scatter.finish()?;
+        let cm = if threads <= 1 {
+            while let Some(batch) = source.next_batch()? {
+                scatter.scatter_batch(batch.coords())?;
+            }
+            scatter.finish()?
+        } else {
+            // The shards persist across groups: each carries its own
+            // arrival-id cursor through the whole replay, so batch
+            // grouping cannot move a point between slots.
+            let mut shards = scatter.shards(threads);
+            loop {
+                let mut group: Vec<Vec<f64>> = Vec::with_capacity(threads);
+                while group.len() < threads {
+                    let Some(batch) = source.next_batch()? else {
+                        break;
+                    };
+                    group.push(batch.coords().to_vec());
+                }
+                if group.is_empty() {
+                    break;
+                }
+                let group = &group;
+                let tasks: Vec<_> = shards
+                    .into_iter()
+                    .map(|mut shard| {
+                        move || -> std::result::Result<ScatterShard<'_>, SpatialError> {
+                            for coords in group {
+                                shard.scatter_batch(coords)?;
+                            }
+                            Ok(shard)
+                        }
+                    })
+                    .collect();
+                shards = Vec::with_capacity(tasks.len());
+                for shard in run_exclusive_tasks(tasks) {
+                    shards.push(shard?);
+                }
+            }
+            drop(shards);
+            scatter.finish_sharded()?
+        };
         let offsets = NeighborOffsets::new(cm.dims())?;
         let grid_elapsed = t.elapsed();
         self.run_cell_major_phases(&cm, &offsets, grid_elapsed)
@@ -424,6 +590,7 @@ impl Dbscout {
         let eps_sq = self.params.eps_sq();
         let min_pts = self.params.min_pts;
         let options = self.options;
+        let kind = self.kernel;
         let mut timings = PhaseTimings {
             grid: grid_elapsed,
             ..PhaseTimings::default()
@@ -457,6 +624,7 @@ impl Dbscout {
                         eps_sq,
                         min_pts,
                         options,
+                        kind,
                         range.clone(),
                         scratch,
                     )
@@ -504,6 +672,7 @@ impl Dbscout {
                         offsets,
                         eps_sq,
                         options,
+                        kind,
                         core_slot,
                         range.clone(),
                         scratch,
@@ -558,7 +727,9 @@ impl Dbscout {
 /// [`crate::process`] — which is what makes the two backends' labels
 /// *and* work counters identical by construction: a cell's work is a
 /// pure function of the layout, so any partition of `0..num_cells` into
-/// ranges sums to the same totals.
+/// ranges sums to the same totals. The same holds for `kernel`: the
+/// unrolled kernels tally exactly the comparisons the scalar loop
+/// makes, so counter totals are kernel-invariant too.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn core_points_in_range(
     cm: &CellMajorStore,
@@ -567,6 +738,7 @@ pub(crate) fn core_points_in_range(
     eps_sq: f64,
     min_pts: usize,
     options: NativeOptions,
+    kernel: KernelKind,
     range: std::ops::Range<usize>,
     scratch: &mut CellScratch,
 ) -> (Vec<u32>, Vec<u32>, KernelCounters) {
@@ -602,7 +774,7 @@ pub(crate) fn core_points_in_range(
                 } else {
                     usize::MAX
                 };
-                let (c, comps) = cm.count_within(q, nrec.range(), eps_sq, limit);
+                let (c, comps) = cm.count_within_kernel(q, nrec.range(), eps_sq, limit, kernel);
                 count += c;
                 counters.distance_evals += comps;
                 if options.early_exit && count >= min_pts {
@@ -634,6 +806,7 @@ pub(crate) fn outliers_in_range(
     offsets: &NeighborOffsets,
     eps_sq: f64,
     options: NativeOptions,
+    kernel: KernelKind,
     core_slot: &[bool],
     range: std::ops::Range<usize>,
     scratch: &mut CellScratch,
@@ -670,8 +843,14 @@ pub(crate) fn outliers_in_range(
                     continue;
                 }
                 let Some(nrec) = cm.cell(nidx) else { continue };
-                let (hit, comps) =
-                    cm.any_flagged_within(q, nrec.range(), eps_sq, core_slot, options.early_exit);
+                let (hit, comps) = cm.any_flagged_within_kernel(
+                    q,
+                    nrec.range(),
+                    eps_sq,
+                    core_slot,
+                    options.early_exit,
+                    kernel,
+                );
                 counters.distance_evals += comps;
                 if hit {
                     covered = true;

@@ -35,7 +35,7 @@ use std::time::Instant;
 
 use dbscout_data::{BinarySource, PointSource};
 use dbscout_dataflow::{serve_worker, ExecutionBackend, ExecutionContext, IpcError, TaskSpans};
-use dbscout_spatial::{CellMajorBuilder, CellMajorStore, NeighborOffsets};
+use dbscout_spatial::{CellMajorBuilder, CellMajorStore, KernelKind, NeighborOffsets};
 use dbscout_telemetry::{KernelCounters, SpanKind};
 
 use crate::cellmap::CellFlags;
@@ -52,8 +52,9 @@ use crate::params::DbscoutParams;
 ///
 /// History: v1 shipped a single distance-computation count per result;
 /// v2 replaced it with the full four-counter kernel block
-/// ([`KernelCounters`]).
-const DESC_VERSION: u8 = 2;
+/// ([`KernelCounters`]); v3 added the distance-kernel byte
+/// ([`KernelKind`]) to every shard spec.
+const DESC_VERSION: u8 = 3;
 
 /// Descriptor kinds.
 const KIND_CORE_TASK: u8 = 1;
@@ -72,9 +73,29 @@ struct ShardSpec {
     min_pts: u64,
     dense_cell_shortcut: bool,
     early_exit: bool,
+    kernel: KernelKind,
     /// The shard's half-open cell range.
     start: u64,
     end: u64,
+}
+
+/// Wire encoding of [`KernelKind`] — explicit so a reordered enum can
+/// never silently change descriptors.
+fn kernel_to_byte(kernel: KernelKind) -> u8 {
+    match kernel {
+        KernelKind::Scalar => 0,
+        KernelKind::Unrolled => 1,
+        KernelKind::Auto => 2,
+    }
+}
+
+fn kernel_from_byte(byte: u8) -> std::result::Result<KernelKind, String> {
+    match byte {
+        0 => Ok(KernelKind::Scalar),
+        1 => Ok(KernelKind::Unrolled),
+        2 => Ok(KernelKind::Auto),
+        other => Err(format!("unknown kernel byte {other}")),
+    }
 }
 
 /// Bounds-checked little-endian decoder over a descriptor payload.
@@ -191,6 +212,7 @@ impl ShardSpec {
         out.extend_from_slice(&self.min_pts.to_le_bytes());
         out.push(u8::from(self.dense_cell_shortcut));
         out.push(u8::from(self.early_exit));
+        out.push(kernel_to_byte(self.kernel));
         out.extend_from_slice(&self.batch_size.to_le_bytes());
         out.extend_from_slice(&self.start.to_le_bytes());
         out.extend_from_slice(&self.end.to_le_bytes());
@@ -202,6 +224,7 @@ impl ShardSpec {
         let min_pts = dec.u64_le()?;
         let dense_cell_shortcut = dec.u8()? != 0;
         let early_exit = dec.u8()? != 0;
+        let kernel = kernel_from_byte(dec.u8()?)?;
         let batch_size = dec.u64_le()?;
         let start = dec.u64_le()?;
         let end = dec.u64_le()?;
@@ -213,6 +236,7 @@ impl ShardSpec {
             min_pts,
             dense_cell_shortcut,
             early_exit,
+            kernel,
             start,
             end,
         })
@@ -437,6 +461,7 @@ impl WorkerHandler {
             eps_sq,
             min_pts,
             options,
+            spec.kernel,
             range,
             &mut CellScratch::new(),
         );
@@ -473,6 +498,7 @@ impl WorkerHandler {
             &layout.offsets,
             eps_sq,
             options,
+            spec.kernel,
             core_slots,
             range.clone(),
             &mut CellScratch::new(),
@@ -553,6 +579,7 @@ pub fn detect_with_process_workers(
     batch_size: usize,
     params: DbscoutParams,
     options: NativeOptions,
+    kernel: KernelKind,
 ) -> Result<OutlierResult> {
     let ExecutionBackend::Process { workers } = *ctx.backend() else {
         return Err(internal(
@@ -605,6 +632,7 @@ pub fn detect_with_process_workers(
         min_pts: params.min_pts as u64,
         dense_cell_shortcut: options.dense_cell_shortcut,
         early_exit: options.early_exit,
+        kernel,
         start: range.start as u64,
         end: range.end as u64,
     };
@@ -693,6 +721,14 @@ mod tests {
     }
 
     #[test]
+    fn kernel_bytes_round_trip() {
+        for k in [KernelKind::Scalar, KernelKind::Unrolled, KernelKind::Auto] {
+            assert_eq!(kernel_from_byte(kernel_to_byte(k)).unwrap(), k);
+        }
+        assert!(kernel_from_byte(9).is_err());
+    }
+
+    #[test]
     fn core_task_descriptor_round_trips() {
         let spec = ShardSpec {
             path: "/tmp/data.dbsc".to_owned(),
@@ -701,6 +737,7 @@ mod tests {
             min_pts: 7,
             dense_cell_shortcut: true,
             early_exit: false,
+            kernel: KernelKind::Unrolled,
             start: 10,
             end: 42,
         };
@@ -720,6 +757,7 @@ mod tests {
             min_pts: 3,
             dense_cell_shortcut: false,
             early_exit: true,
+            kernel: KernelKind::Scalar,
             start: 0,
             end: 5,
         };
@@ -768,6 +806,7 @@ mod tests {
             min_pts: 1,
             dense_cell_shortcut: true,
             early_exit: true,
+            kernel: KernelKind::Auto,
             start: 0,
             end: 1,
         };
@@ -798,6 +837,7 @@ mod tests {
             min_pts: 1,
             dense_cell_shortcut: true,
             early_exit: true,
+            kernel: KernelKind::Auto,
             start: 0,
             end: 0,
         }
@@ -863,6 +903,7 @@ mod tests {
             min_pts: params.min_pts as u64,
             dense_cell_shortcut: true,
             early_exit: true,
+            kernel: KernelKind::Unrolled,
             start: r.start as u64,
             end: r.end as u64,
         };

@@ -43,6 +43,21 @@ fn dataset(rng: &mut Rng, dims: usize, max_n: usize) -> PointStore {
     PointStore::from_rows(dims, rows).expect("generated rows are valid")
 }
 
+/// Thread counts the equivalence cases run at. The concurrency CI lane
+/// sets `DBSCOUT_TEST_THREADS` (e.g. `8`) to append a wider count.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1usize, 4];
+    if let Some(extra) = std::env::var("DBSCOUT_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        if extra > 0 && !counts.contains(&extra) {
+            counts.push(extra);
+        }
+    }
+    counts
+}
+
 fn detect(
     store: &PointStore,
     params: DbscoutParams,
@@ -71,7 +86,7 @@ fn cell_major_matches_hashed_and_naive_dims_2_to_4() {
         let min_pts = rng.gen_range(1usize..8);
         let params = DbscoutParams::new(eps, min_pts).unwrap();
         let expected = naive_labels(&store, params);
-        for threads in [1usize, 4] {
+        for threads in thread_counts() {
             let hashed = detect(&store, params, ExecutionLayout::Hashed, threads);
             let cell_major = detect(&store, params, ExecutionLayout::CellMajor, threads);
             assert_eq!(
@@ -180,7 +195,7 @@ fn edge_case_all_duplicates() {
         for min_pts in [1usize, n.max(1), n + 1] {
             let params = DbscoutParams::new(0.5, min_pts).unwrap();
             let expected = naive_labels(&store, params);
-            for threads in [1usize, 4] {
+            for threads in thread_counts() {
                 let hashed = detect(&store, params, ExecutionLayout::Hashed, threads);
                 let cell_major = detect(&store, params, ExecutionLayout::CellMajor, threads);
                 assert_eq!(cell_major.labels, expected, "n={n} minPts={min_pts}");
@@ -203,7 +218,7 @@ fn edge_case_single_cell() {
         let store = PointStore::from_rows(2, rows).unwrap();
         let params = DbscoutParams::new(10.0, rng.gen_range(1usize..6)).unwrap();
         let expected = naive_labels(&store, params);
-        for threads in [1usize, 4] {
+        for threads in thread_counts() {
             let hashed = detect(&store, params, ExecutionLayout::Hashed, threads);
             let cell_major = detect(&store, params, ExecutionLayout::CellMajor, threads);
             assert_eq!(cell_major.stats.num_cells, 1);

@@ -39,6 +39,9 @@ use std::hash::BuildHasherDefault;
 use std::ops::Range;
 
 use crate::cell::{cell_of, cell_side, CellCoord, MAX_DIMS};
+use crate::distance::{
+    accumulate_sq_dists_x4, sq_dists_2d_x8, sq_dists_3d_x4, KernelKind, LANES_2D, LANES_ND,
+};
 use crate::error::SpatialError;
 use crate::neighbors::NeighborOffsets;
 use crate::points::{PointId, PointStore};
@@ -202,6 +205,36 @@ impl CellMajorBuilder {
         Ok(())
     }
 
+    /// Folds another pass-1 tally into this one. Cell counts are sums, so
+    /// the merge is order-insensitive: counting batch shards on separate
+    /// workers and merging yields exactly the tally of one sequential
+    /// pass, whatever the shard split — the count half of the parallel
+    /// two-pass build.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SpatialError::DimensionMismatch`] when the builders
+    /// disagree on dimensionality, or [`SpatialError::StreamMismatch`]
+    /// when they were configured with different ε (their cell tilings are
+    /// incompatible).
+    pub fn merge(&mut self, other: CellMajorBuilder) -> Result<(), SpatialError> {
+        if other.dims != self.dims {
+            return Err(SpatialError::DimensionMismatch {
+                expected: self.dims,
+                got: other.dims,
+            });
+        }
+        if other.eps.to_bits() != self.eps.to_bits() {
+            return Err(SpatialError::StreamMismatch);
+        }
+        // xlint: ordered -- additive merge into a map is order-insensitive
+        for (coord, k) in other.counts {
+            *self.counts.entry(coord).or_insert(0) += k;
+        }
+        self.n += other.n;
+        Ok(())
+    }
+
     /// Finishes pass 1: lays out the cell table (records ascending by
     /// coordinate, prefix-summed slot ranges) and allocates the columnar
     /// buffers at their final size, returning the pass-2 scatter state.
@@ -349,6 +382,110 @@ impl CellMajorScatter {
         self.filled
     }
 
+    /// Carves the scatter pass into `parts` independent shards, each
+    /// owning a disjoint contiguous range of cells (and therefore a
+    /// disjoint contiguous slot range of every output buffer). Shard
+    /// boundaries are balanced by slot count, never splitting a cell.
+    ///
+    /// Every shard must replay the *entire* stream, in the same order as
+    /// the counting pass; each shard writes only the points that land in
+    /// its cells and skips the rest (tracking ids with a private replay
+    /// cursor). Because a point's final slot is a pure function of its
+    /// `(cell, arrival id)` — independent of which shard writes it — the
+    /// assembled store is byte-identical to a sequential scatter for any
+    /// `parts`. Finish with [`Self::finish_sharded`] after dropping the
+    /// shards.
+    ///
+    /// Fewer than `parts` shards are returned when the store has fewer
+    /// cells than `parts`; zero shards for an empty layout.
+    pub fn shards(&mut self, parts: usize) -> Vec<ScatterShard<'_>> {
+        if self.bbox_min.is_empty() && !self.cells.is_empty() {
+            self.bbox_min = vec![0.0f64; self.cells.len() * self.dims];
+            self.bbox_max = vec![0.0f64; self.cells.len() * self.dims];
+        }
+        // Greedy slot-balanced cell boundaries: cut after a cell once the
+        // shard holds its fair share of slots.
+        let parts = parts.max(1).min(self.cells.len());
+        let mut cell_bounds: Vec<usize> = Vec::with_capacity(parts.saturating_sub(1));
+        if parts > 1 {
+            let target = (self.n as f64 / parts as f64).max(1.0);
+            let mut next_cut = target;
+            for (ci, rec) in self.cells.iter().enumerate().take(self.cells.len() - 1) {
+                if f64::from(rec.end) >= next_cut && cell_bounds.len() + 1 < parts {
+                    cell_bounds.push(ci + 1);
+                    next_cut = (cell_bounds.len() + 1) as f64 * target;
+                }
+            }
+        }
+        let slot_cuts: Vec<usize> = cell_bounds
+            .iter()
+            .map(|&ci| self.cells.get(ci).map_or(self.n, |r| r.start as usize))
+            .collect();
+
+        let n = self.n;
+        // Split each coordinate column at the slot cuts; regroup the
+        // per-dimension pieces into per-shard column sets below.
+        let mut col_pieces: Vec<Vec<&mut [f64]>> = Vec::with_capacity(self.dims);
+        for col in self.cols.chunks_mut(n.max(1)).take(self.dims) {
+            col_pieces.push(split_at_cuts(col, &slot_cuts));
+        }
+        let id_pieces = split_at_cuts(self.orig_ids.as_mut_slice(), &slot_cuts);
+        let cursor_pieces = split_at_cuts(self.cursors.as_mut_slice(), &cell_bounds);
+        let bbox_cuts: Vec<usize> = cell_bounds.iter().map(|&ci| ci * self.dims).collect();
+        let bbox_min_pieces = split_at_cuts(self.bbox_min.as_mut_slice(), &bbox_cuts);
+        let bbox_max_pieces = split_at_cuts(self.bbox_max.as_mut_slice(), &bbox_cuts);
+
+        let mut shards = Vec::with_capacity(parts);
+        let mut cell_start = 0usize;
+        let mut slot_start = 0usize;
+        let mut cols: Vec<std::vec::IntoIter<&mut [f64]>> =
+            col_pieces.into_iter().map(Vec::into_iter).collect();
+        let zipped = id_pieces
+            .into_iter()
+            .zip(cursor_pieces)
+            .zip(bbox_min_pieces.into_iter().zip(bbox_max_pieces));
+        for (i, ((orig_ids, cursors), (bbox_min, bbox_max))) in zipped.enumerate() {
+            let cell_end = cell_bounds.get(i).copied().unwrap_or(self.cells.len());
+            let slot_end = slot_start + orig_ids.len();
+            if self.cells.is_empty() {
+                break;
+            }
+            shards.push(ScatterShard {
+                dims: self.dims,
+                side: self.side,
+                cell_range: cell_start..cell_end,
+                slot_start,
+                cells: &self.cells,
+                index: &self.index,
+                cols: cols.iter_mut().filter_map(Iterator::next).collect(),
+                orig_ids,
+                bbox_min,
+                bbox_max,
+                cursors,
+                seen: 0,
+                filled: 0,
+            });
+            cell_start = cell_end;
+            slot_start = slot_end;
+        }
+        shards
+    }
+
+    /// Completes a sharded scatter pass. Instead of the sequential
+    /// `filled == n` check (shards tally their own fills), this validates
+    /// that every cell's cursor reached the end of its slot run — the
+    /// cursors are the per-cell proof that each shard placed exactly the
+    /// points pass 1 counted.
+    pub fn finish_sharded(mut self) -> Result<CellMajorStore, SpatialError> {
+        for (cursor, rec) in self.cursors.iter().zip(&self.cells) {
+            if *cursor != rec.end {
+                return Err(SpatialError::StreamMismatch);
+            }
+        }
+        self.filled = self.n;
+        self.finish()
+    }
+
     /// Completes the build. Fails with [`SpatialError::StreamMismatch`]
     /// when the replay delivered fewer points than the counting pass.
     pub fn finish(self) -> Result<CellMajorStore, SpatialError> {
@@ -367,6 +504,135 @@ impl CellMajorScatter {
             bbox_min: self.bbox_min,
             bbox_max: self.bbox_max,
         })
+    }
+}
+
+/// Splits `buf` at the given ascending absolute offsets, yielding
+/// `cuts.len() + 1` contiguous exclusive pieces that cover it. Offsets
+/// are clamped to the buffer, so malformed cuts shift coverage rather
+/// than panic (the callers derive cuts from the cell table, which keeps
+/// them consistent by construction).
+fn split_at_cuts<'a, T>(mut buf: &'a mut [T], cuts: &[usize]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(cuts.len() + 1);
+    let mut prev = 0usize;
+    for &cut in cuts {
+        let mid = cut.saturating_sub(prev).min(buf.len());
+        let (head, tail) = buf.split_at_mut(mid);
+        out.push(head);
+        buf = tail;
+        prev = cut;
+    }
+    out.push(buf);
+    out
+}
+
+/// One worker's slice of a partitioned scatter pass: a contiguous range
+/// of cells plus exclusive `&mut` views of exactly the output buffer
+/// segments those cells own. Produced by [`CellMajorScatter::shards`];
+/// shards are `Send`, so a driver can run one per thread with no locks —
+/// the cell ranges are disjoint, so there is nothing to contend on.
+#[derive(Debug)]
+pub struct ScatterShard<'a> {
+    dims: usize,
+    side: f64,
+    /// The cells this shard owns, as indices into the full table.
+    cell_range: Range<usize>,
+    /// First slot of the shard's buffer segments (`cells[cell_range.start].start`).
+    slot_start: usize,
+    /// The full cell table (shared, read-only).
+    cells: &'a [CellRecord],
+    /// The full coordinate → cell index (shared, read-only).
+    index: &'a HashMap<CellCoord, u32, DetState>,
+    /// Per-dimension column segments covering the shard's slots.
+    cols: Vec<&'a mut [f64]>,
+    orig_ids: &'a mut [PointId],
+    bbox_min: &'a mut [f64],
+    bbox_max: &'a mut [f64],
+    /// Cursors of the owned cells (absolute slot values).
+    cursors: &'a mut [u32],
+    /// Points seen across the replay (the global arrival-id counter).
+    seen: usize,
+    /// Points this shard placed.
+    filled: usize,
+}
+
+impl ScatterShard<'_> {
+    /// The cell indices this shard owns.
+    pub fn cell_range(&self) -> Range<usize> {
+        self.cell_range.clone()
+    }
+
+    /// Number of points this shard has placed so far.
+    pub fn filled(&self) -> usize {
+        self.filled
+    }
+
+    /// Replays one flat row-major batch through this shard. Every shard
+    /// must see every batch, in counting-pass order; points outside the
+    /// shard's cell range only advance the arrival-id cursor.
+    pub fn scatter_batch(&mut self, coords: &[f64]) -> Result<(), SpatialError> {
+        if !coords.len().is_multiple_of(self.dims) {
+            return Err(SpatialError::DimensionMismatch {
+                expected: self.dims,
+                got: coords.len() % self.dims,
+            });
+        }
+        for p in coords.chunks_exact(self.dims) {
+            let id = self.seen;
+            self.seen += 1;
+            for (k, &x) in p.iter().enumerate() {
+                if !x.is_finite() {
+                    return Err(SpatialError::NonFiniteCoordinate { point: id, dim: k });
+                }
+            }
+            let coord = cell_of(p, self.side);
+            let ci = *self.index.get(&coord).ok_or(SpatialError::StreamMismatch)? as usize;
+            if !self.cell_range.contains(&ci) {
+                continue;
+            }
+            let rec = *self.cells.get(ci).ok_or(SpatialError::StreamMismatch)?;
+            let local_cell = ci - self.cell_range.start;
+            let cursor = self
+                .cursors
+                .get_mut(local_cell)
+                .ok_or(SpatialError::StreamMismatch)?;
+            if *cursor >= rec.end {
+                return Err(SpatialError::StreamMismatch);
+            }
+            let slot = *cursor as usize;
+            *cursor += 1;
+            let local_slot = slot - self.slot_start;
+            for (col, &x) in self.cols.iter_mut().zip(p) {
+                if let Some(out) = col.get_mut(local_slot) {
+                    *out = x;
+                }
+            }
+            if let Some(out) = self.orig_ids.get_mut(local_slot) {
+                *out = id as PointId;
+            }
+            let base = local_cell * self.dims;
+            if slot == rec.start as usize {
+                for (k, &x) in p.iter().enumerate() {
+                    if let Some(mn) = self.bbox_min.get_mut(base + k) {
+                        *mn = x;
+                    }
+                    if let Some(mx) = self.bbox_max.get_mut(base + k) {
+                        *mx = x;
+                    }
+                }
+            } else {
+                for (k, &x) in p.iter().enumerate() {
+                    if let Some(mn) = self.bbox_min.get_mut(base + k) {
+                        *mn = mn.min(x);
+                    }
+                    if let Some(mx) = self.bbox_max.get_mut(base + k) {
+                        *mx = mx.max(x);
+                    }
+                }
+            }
+            self.filled += 1;
+        }
+        Ok(())
     }
 }
 
@@ -632,6 +898,294 @@ impl CellMajorStore {
             }
         }
         (hit, comps)
+    }
+
+    /// [`Self::count_within`] routed through the selected kernel.
+    ///
+    /// `Scalar` is the reference loop above; `Unrolled` computes squared
+    /// distances in 8-lane (d = 2) / 4-lane (d ≥ 3) blocks, then *drains
+    /// the block in slot order* when the count could reach `limit` inside
+    /// it — so the `(count, comparisons)` pair is exactly what the scalar
+    /// kernel returns, for every input. `Auto` resolves via
+    /// [`KernelKind::resolve`]. Counter invariance across kernels is what
+    /// keeps [`KernelCounters`]-style tallies comparable between runs.
+    ///
+    /// [`KernelCounters`]: https://docs.rs/dbscout-core
+    #[inline]
+    pub fn count_within_kernel(
+        &self,
+        q: &[f64],
+        range: Range<usize>,
+        eps_sq: f64,
+        limit: usize,
+        kernel: KernelKind,
+    ) -> (usize, u64) {
+        match kernel.resolve() {
+            KernelKind::Unrolled => match self.dims {
+                2 => self.count_within_2d_unrolled(q, range, eps_sq, limit),
+                3 => self.count_within_3d_unrolled(q, range, eps_sq, limit),
+                _ => self.count_within_generic_unrolled(q, range, eps_sq, limit),
+            },
+            _ => self.count_within(q, range, eps_sq, limit),
+        }
+    }
+
+    /// [`Self::any_flagged_within`] routed through the selected kernel.
+    /// The unrolled variant computes 4-lane distance blocks for any
+    /// dimensionality but consults the flags (and tallies comparisons)
+    /// per slot in order, so hits, early exits, and comparison counts
+    /// match the scalar loop exactly.
+    #[inline]
+    pub fn any_flagged_within_kernel(
+        &self,
+        q: &[f64],
+        range: Range<usize>,
+        eps_sq: f64,
+        flags: &[bool],
+        early: bool,
+        kernel: KernelKind,
+    ) -> (bool, u64) {
+        match kernel.resolve() {
+            KernelKind::Unrolled => {
+                self.any_flagged_within_unrolled(q, range, eps_sq, flags, early)
+            }
+            _ => self.any_flagged_within(q, range, eps_sq, flags, early),
+        }
+    }
+
+    /// 8-lane unrolled d = 2 counting kernel. The lane fast path accepts
+    /// a whole block only when the count provably stays below `limit`
+    /// (`count + hits < limit`); otherwise the block is drained in slot
+    /// order so the early exit lands on the same comparison the scalar
+    /// loop stops at.
+    fn count_within_2d_unrolled(
+        &self,
+        q: &[f64],
+        range: Range<usize>,
+        eps_sq: f64,
+        limit: usize,
+    ) -> (usize, u64) {
+        let (qx, qy) = (
+            q.first().copied().unwrap_or(0.0),
+            q.get(1).copied().unwrap_or(0.0),
+        );
+        let xs = self.col(0).get(range.clone()).unwrap_or(&[]);
+        let ys = self.col(1).get(range).unwrap_or(&[]);
+        let mut count = 0usize;
+        let mut comps = 0u64;
+        let mut xit = xs.chunks_exact(LANES_2D);
+        let mut yit = ys.chunks_exact(LANES_2D);
+        for (cx, cy) in xit.by_ref().zip(yit.by_ref()) {
+            let (Ok(ax), Ok(ay)) = (
+                <&[f64; LANES_2D]>::try_from(cx),
+                <&[f64; LANES_2D]>::try_from(cy),
+            ) else {
+                break;
+            };
+            let d = sq_dists_2d_x8(qx, qy, ax, ay);
+            let hits = d.iter().filter(|&&v| v <= eps_sq).count();
+            if count + hits < limit {
+                count += hits;
+                comps += LANES_2D as u64;
+            } else {
+                for &v in &d {
+                    comps += 1;
+                    if v <= eps_sq {
+                        count += 1;
+                        if count >= limit {
+                            return (count, comps);
+                        }
+                    }
+                }
+            }
+        }
+        for (&x, &y) in xit.remainder().iter().zip(yit.remainder()) {
+            comps += 1;
+            let (dx, dy) = (x - qx, y - qy);
+            if dx * dx + dy * dy <= eps_sq {
+                count += 1;
+                if count >= limit {
+                    break;
+                }
+            }
+        }
+        (count, comps)
+    }
+
+    /// 4-lane unrolled d = 3 counting kernel; same block/drain contract
+    /// as the d = 2 kernel.
+    fn count_within_3d_unrolled(
+        &self,
+        q: &[f64],
+        range: Range<usize>,
+        eps_sq: f64,
+        limit: usize,
+    ) -> (usize, u64) {
+        let (qx, qy, qz) = (
+            q.first().copied().unwrap_or(0.0),
+            q.get(1).copied().unwrap_or(0.0),
+            q.get(2).copied().unwrap_or(0.0),
+        );
+        let xs = self.col(0).get(range.clone()).unwrap_or(&[]);
+        let ys = self.col(1).get(range.clone()).unwrap_or(&[]);
+        let zs = self.col(2).get(range).unwrap_or(&[]);
+        let mut count = 0usize;
+        let mut comps = 0u64;
+        let mut xit = xs.chunks_exact(LANES_ND);
+        let mut yit = ys.chunks_exact(LANES_ND);
+        let mut zit = zs.chunks_exact(LANES_ND);
+        for ((cx, cy), cz) in xit.by_ref().zip(yit.by_ref()).zip(zit.by_ref()) {
+            let (Ok(ax), Ok(ay), Ok(az)) = (
+                <&[f64; LANES_ND]>::try_from(cx),
+                <&[f64; LANES_ND]>::try_from(cy),
+                <&[f64; LANES_ND]>::try_from(cz),
+            ) else {
+                break;
+            };
+            let d = sq_dists_3d_x4(qx, qy, qz, ax, ay, az);
+            let hits = d.iter().filter(|&&v| v <= eps_sq).count();
+            if count + hits < limit {
+                count += hits;
+                comps += LANES_ND as u64;
+            } else {
+                for &v in &d {
+                    comps += 1;
+                    if v <= eps_sq {
+                        count += 1;
+                        if count >= limit {
+                            return (count, comps);
+                        }
+                    }
+                }
+            }
+        }
+        for ((&x, &y), &z) in xit
+            .remainder()
+            .iter()
+            .zip(yit.remainder())
+            .zip(zit.remainder())
+        {
+            comps += 1;
+            let (dx, dy, dz) = (x - qx, y - qy, z - qz);
+            if dx * dx + dy * dy + dz * dz <= eps_sq {
+                count += 1;
+                if count >= limit {
+                    break;
+                }
+            }
+        }
+        (count, comps)
+    }
+
+    /// 4-lane unrolled counting kernel for any dimensionality:
+    /// accumulates each dimension into four running lane totals, then
+    /// applies the same block/drain contract as the specialized kernels.
+    fn count_within_generic_unrolled(
+        &self,
+        q: &[f64],
+        range: Range<usize>,
+        eps_sq: f64,
+        limit: usize,
+    ) -> (usize, u64) {
+        let mut count = 0usize;
+        let mut comps = 0u64;
+        let mut slot = range.start;
+        while slot + LANES_ND <= range.end {
+            let acc = self.sq_dists_x4_at(q, slot);
+            let hits = acc.iter().filter(|&&v| v <= eps_sq).count();
+            if count + hits < limit {
+                count += hits;
+                comps += LANES_ND as u64;
+            } else {
+                for &v in &acc {
+                    comps += 1;
+                    if v <= eps_sq {
+                        count += 1;
+                        if count >= limit {
+                            return (count, comps);
+                        }
+                    }
+                }
+            }
+            slot += LANES_ND;
+        }
+        for s in slot..range.end {
+            comps += 1;
+            if self.sq_dist_to_slot(q, s) <= eps_sq {
+                count += 1;
+                if count >= limit {
+                    break;
+                }
+            }
+        }
+        (count, comps)
+    }
+
+    /// 4-lane unrolled flagged-scan kernel. Distances are computed per
+    /// block (cheap, branch-free) but flags gate the per-slot verdicts in
+    /// order, so the comparison tally and the `early` exit point are the
+    /// scalar loop's exactly; blocks with no flagged slot are skipped
+    /// without touching the columns, as the scalar loop skips them.
+    fn any_flagged_within_unrolled(
+        &self,
+        q: &[f64],
+        range: Range<usize>,
+        eps_sq: f64,
+        flags: &[bool],
+        early: bool,
+    ) -> (bool, u64) {
+        let mut hit = false;
+        let mut comps = 0u64;
+        let mut slot = range.start;
+        while slot + LANES_ND <= range.end {
+            let flagged = (0..LANES_ND).any(|i| flags.get(slot + i).copied().unwrap_or(false));
+            if flagged {
+                let d = self.sq_dists_x4_at(q, slot);
+                for (i, &v) in d.iter().enumerate() {
+                    if !flags.get(slot + i).copied().unwrap_or(false) {
+                        continue;
+                    }
+                    comps += 1;
+                    if v <= eps_sq {
+                        hit = true;
+                        if early {
+                            return (true, comps);
+                        }
+                    }
+                }
+            }
+            slot += LANES_ND;
+        }
+        for s in slot..range.end {
+            if !flags.get(s).copied().unwrap_or(false) {
+                continue;
+            }
+            comps += 1;
+            if self.sq_dist_to_slot(q, s) <= eps_sq {
+                hit = true;
+                if early {
+                    break;
+                }
+            }
+        }
+        (hit, comps)
+    }
+
+    /// Squared distances from `q` to the four slots starting at `slot`,
+    /// accumulated dimension-by-dimension in the scalar order (bit-equal
+    /// to four [`Self::sq_dist_to_slot`] calls).
+    #[inline]
+    fn sq_dists_x4_at(&self, q: &[f64], slot: usize) -> [f64; LANES_ND] {
+        let mut acc = [0.0f64; LANES_ND];
+        for (k, &qk) in q.iter().enumerate().take(self.dims) {
+            let base = k * self.n + slot;
+            if let Ok(block) =
+                <&[f64; LANES_ND]>::try_from(self.cols.get(base..base + LANES_ND).unwrap_or(&[]))
+            {
+                accumulate_sq_dists_x4(&mut acc, qk, block);
+            }
+        }
+        acc
     }
 
     /// Squared distance from `q` to the point in `slot`.
@@ -1020,6 +1574,181 @@ mod tests {
         assert!(cm.is_empty());
         assert_eq!(cm.num_cells(), 0);
         assert_eq!(cm.dims(), 3);
+    }
+
+    #[test]
+    fn merged_sharded_counts_build_the_same_layout() {
+        let pts: Vec<[f64; 2]> = (0..61)
+            .map(|i| [((i * 37) % 50) as f64 * 0.3, ((i * 53) % 40) as f64 * 0.3])
+            .collect();
+        let s = store_2d(&pts);
+        let eps = 1.5;
+        let whole = CellMajorStore::build(&s, eps).unwrap();
+        for workers in [1usize, 2, 3, 5] {
+            // Pass 1 on `workers` independent builders over batch shards,
+            // merged in arbitrary (here: reverse) order.
+            let batches: Vec<&[f64]> = s.flat().chunks(14).collect();
+            let mut subs: Vec<CellMajorBuilder> = (0..workers)
+                .map(|_| CellMajorBuilder::new(2, eps).unwrap())
+                .collect();
+            for (i, batch) in batches.iter().enumerate() {
+                subs[i % workers].count_batch(batch).unwrap();
+            }
+            let mut merged = CellMajorBuilder::new(2, eps).unwrap();
+            for sub in subs.into_iter().rev() {
+                merged.merge(sub).unwrap();
+            }
+            assert_eq!(merged.len(), 61);
+            let mut sc = merged.begin_scatter();
+            for batch in &batches {
+                sc.scatter_batch(batch).unwrap();
+            }
+            let streamed = sc.finish().unwrap();
+            assert_layout_identical(&whole, &streamed);
+        }
+    }
+
+    #[test]
+    fn merge_rejects_incompatible_builders() {
+        let mut b = CellMajorBuilder::new(2, 1.0).unwrap();
+        assert!(matches!(
+            b.merge(CellMajorBuilder::new(3, 1.0).unwrap()),
+            Err(SpatialError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            b.merge(CellMajorBuilder::new(2, 2.0).unwrap()),
+            Err(SpatialError::StreamMismatch)
+        ));
+    }
+
+    #[test]
+    fn sharded_scatter_is_byte_identical_to_sequential() {
+        let pts: Vec<[f64; 2]> = (0..61)
+            .map(|i| [((i * 37) % 50) as f64 * 0.3, ((i * 53) % 40) as f64 * 0.3])
+            .collect();
+        let s = store_2d(&pts);
+        let eps = 1.5;
+        let whole = CellMajorStore::build(&s, eps).unwrap();
+        for parts in [1usize, 2, 3, 4, 7] {
+            for batch in [1usize, 7, 61] {
+                let mut b = CellMajorBuilder::new(2, eps).unwrap();
+                for chunk in s.flat().chunks(batch * 2) {
+                    b.count_batch(chunk).unwrap();
+                }
+                let mut sc = b.begin_scatter();
+                let mut shards = sc.shards(parts);
+                assert!(!shards.is_empty() && shards.len() <= parts);
+                // Shards partition the cell table.
+                let mut next = 0usize;
+                for shard in &shards {
+                    assert_eq!(shard.cell_range().start, next);
+                    next = shard.cell_range().end;
+                }
+                // Every shard replays every batch (order per shard is the
+                // stream order; shards themselves could run on threads).
+                let mut placed = 0usize;
+                for shard in &mut shards {
+                    for chunk in s.flat().chunks(batch * 2) {
+                        shard.scatter_batch(chunk).unwrap();
+                    }
+                    placed += shard.filled();
+                }
+                assert_eq!(placed, 61);
+                drop(shards);
+                let sharded = sc.finish_sharded().unwrap();
+                assert_layout_identical(&whole, &sharded);
+            }
+        }
+    }
+
+    #[test]
+    fn finish_sharded_detects_a_short_replay() {
+        let mut b = CellMajorBuilder::new(2, 1.0).unwrap();
+        b.count_batch(&[0.1, 0.1, 5.0, 5.0]).unwrap();
+        let mut sc = b.begin_scatter();
+        let mut shards = sc.shards(2);
+        // Only the first shard replays: its cells fill, the rest don't.
+        if let Some(first) = shards.first_mut() {
+            first.scatter_batch(&[0.1, 0.1, 5.0, 5.0]).unwrap();
+        }
+        drop(shards);
+        assert!(matches!(
+            sc.finish_sharded(),
+            Err(SpatialError::StreamMismatch)
+        ));
+    }
+
+    #[test]
+    fn empty_layout_yields_no_shards() {
+        let b = CellMajorBuilder::new(2, 1.0).unwrap();
+        let mut sc = b.begin_scatter();
+        assert!(sc.shards(4).is_empty());
+        assert!(sc.finish_sharded().unwrap().is_empty());
+    }
+
+    #[test]
+    fn kernel_dispatch_matches_scalar_counts_and_comparisons() {
+        for dims in [2usize, 3, 4] {
+            let rows: Vec<Vec<f64>> = (0..37)
+                .map(|i| {
+                    (0..dims)
+                        .map(|k| ((i * (k + 3)) % 11) as f64 * 0.21)
+                        .collect()
+                })
+                .collect();
+            let s = PointStore::from_rows(dims, rows).unwrap();
+            let cm = CellMajorStore::build(&s, 25.0).unwrap(); // one big cell
+            let range = cm.cells()[0].range();
+            let q: Vec<f64> = (0..dims).map(|k| 0.21 * (k + 1) as f64).collect();
+            for eps_sq in [0.0, 0.4, 1.0, 900.0] {
+                for limit in [1usize, 3, 10, usize::MAX] {
+                    let scalar = cm.count_within(&q, range.clone(), eps_sq, limit);
+                    for kernel in [KernelKind::Scalar, KernelKind::Unrolled, KernelKind::Auto] {
+                        let got = cm.count_within_kernel(&q, range.clone(), eps_sq, limit, kernel);
+                        assert_eq!(got, scalar, "dims {dims} eps² {eps_sq} limit {limit}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flagged_kernel_dispatch_matches_scalar_hits_and_comparisons() {
+        for dims in [2usize, 3, 4] {
+            let rows: Vec<Vec<f64>> = (0..29)
+                .map(|i| {
+                    (0..dims)
+                        .map(|k| ((i * (k + 2)) % 13) as f64 * 0.17)
+                        .collect()
+                })
+                .collect();
+            let s = PointStore::from_rows(dims, rows).unwrap();
+            let cm = CellMajorStore::build(&s, 25.0).unwrap();
+            let range = cm.cells()[0].range();
+            let q: Vec<f64> = (0..dims).map(|_| 0.17).collect();
+            for pattern in 0..4u32 {
+                let flags: Vec<bool> = (0..cm.len())
+                    .map(|slot| (slot as u32).wrapping_mul(pattern + 1).is_multiple_of(3))
+                    .collect();
+                for eps_sq in [0.0, 0.3, 900.0] {
+                    for early in [true, false] {
+                        let scalar =
+                            cm.any_flagged_within(&q, range.clone(), eps_sq, &flags, early);
+                        for kernel in [KernelKind::Scalar, KernelKind::Unrolled, KernelKind::Auto] {
+                            let got = cm.any_flagged_within_kernel(
+                                &q,
+                                range.clone(),
+                                eps_sq,
+                                &flags,
+                                early,
+                                kernel,
+                            );
+                            assert_eq!(got, scalar, "dims {dims} pattern {pattern}");
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub mod neighbors;
 pub mod points;
 
 pub use cell::{CellCoord, MAX_DIMS};
-pub use cell_major::{CellMajorBuilder, CellMajorScatter, CellMajorStore, CellRecord};
+pub use cell_major::{
+    CellMajorBuilder, CellMajorScatter, CellMajorStore, CellRecord, ScatterShard,
+};
+pub use distance::KernelKind;
 pub use error::SpatialError;
 pub use grid::Grid;
 pub use kdtree::KdTree;

@@ -26,8 +26,11 @@ use crate::json::JsonWriter;
 /// totals — schedule/thread/backend-invariant, so they live in the
 /// deterministic skeleton) and per-worker CPU-time attribution
 /// (`cpu_time_us` per worker, `child_cpu_time_us` in `process` and
-/// `totals`).
-pub const REPORT_SCHEMA_VERSION: u64 = 4;
+/// `totals`); v5 — the resolved execution echo in `params`: `kernel`
+/// (the concrete distance kernel the run used — `"scalar"` or
+/// `"unrolled"`, never `"auto"`) and `threads` (the in-process
+/// worker-thread count).
+pub const REPORT_SCHEMA_VERSION: u64 = 5;
 
 /// Echo of the input dataset, so a report is self-describing.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -53,6 +56,12 @@ pub struct ParamsEcho {
     pub partitions: u64,
     /// Number of workers / threads.
     pub workers: u64,
+    /// The resolved distance kernel the run used (`"scalar"` or
+    /// `"unrolled"` — `Auto` is resolved before echoing).
+    pub kernel: String,
+    /// The in-process worker-thread count the run resolved to (0 when
+    /// the engine runs no thread pool, e.g. the process backend driver).
+    pub threads: u64,
     /// The `DBSCOUT_CHAOS_SEED` in effect, if any.
     pub chaos_seed: Option<u64>,
 }
@@ -263,6 +272,8 @@ impl RunReport {
         w.field_u64("min_pts", self.params.min_pts);
         w.field_u64("partitions", self.params.partitions);
         w.field_u64("workers", self.params.workers);
+        w.field_str("kernel", &self.params.kernel);
+        w.field_u64("threads", self.params.threads);
         match self.params.chaos_seed {
             Some(seed) => w.field_u64("chaos_seed", seed),
             None => w.field_str("chaos_seed", "none"),
@@ -416,6 +427,8 @@ mod tests {
                 min_pts: 4,
                 partitions: 8,
                 workers: 4,
+                kernel: "unrolled".to_owned(),
+                threads: 4,
                 chaos_seed: Some(42),
             },
             phases: vec![
@@ -507,6 +520,9 @@ mod tests {
                 .as_u64(),
             Some(42)
         );
+        let params = doc.get("params").unwrap();
+        assert_eq!(params.get("kernel").unwrap().as_str(), Some("unrolled"));
+        assert_eq!(params.get("threads").unwrap().as_u64(), Some(4));
         let phases = doc.get("phases").unwrap().as_array().unwrap();
         assert_eq!(phases.len(), 2);
         assert_eq!(

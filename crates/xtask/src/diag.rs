@@ -24,8 +24,12 @@ use std::fmt::Write as _;
 ///   `lock_unpoisoned`; no guard held across a task boundary)
 /// * `XL009` — atomic-ordering discipline (no `Ordering::Relaxed` on
 ///   atomic loads/stores that gate cross-thread visibility)
-pub const ALL_RULES: [&str; 10] = [
+/// * `XL010` — kernel-lane confinement (unrolled/SIMD distance loops and
+///   architecture intrinsics only in `crates/spatial/src/distance.rs`
+///   and `cell_major.rs`)
+pub const ALL_RULES: [&str; 11] = [
     "XL000", "XL001", "XL002", "XL003", "XL004", "XL005", "XL006", "XL007", "XL008", "XL009",
+    "XL010",
 ];
 
 /// Rationale and waiver syntax for one rule, shown by
@@ -151,6 +155,22 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              \n\
              Waive with:\n\
                // xtask-lint: allow(XL009) -- <the happens-before argument>"
+        }
+        "XL010" => {
+            "XL010 — kernel-lane confinement\n\
+             \n\
+             Explicit lane-unrolled loops and architecture intrinsics are\n\
+             audited against the scalar reference in exactly two places:\n\
+             `crates/spatial/src/distance.rs` (the lane kernels) and\n\
+             `cell_major.rs` (the slot-order dispatch that keeps counters\n\
+             kernel-invariant). Everywhere else, `std::arch`/`core::arch`\n\
+             paths, `target_feature` gates, and functions named `*unrolled*`\n\
+             or `*simd*` are flagged: a stray hand-vectorized loop bypasses\n\
+             the scalar-equivalence suite and threatens the byte-identical\n\
+             labels guarantee. Route through `KernelKind` dispatch instead.\n\
+             \n\
+             Waive with:\n\
+               // xtask-lint: allow(XL010) -- <why this site is pinned>"
         }
         _ => return None,
     };

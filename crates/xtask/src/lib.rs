@@ -38,6 +38,11 @@
 //! * **XL009 atomic-ordering discipline** — no `Ordering::Relaxed` on
 //!   atomic loads/stores in `core`/`spatial`/`dataflow`; values that
 //!   gate cross-thread visibility need Acquire/Release edges.
+//! * **XL010 kernel-lane confinement** — lane-unrolled distance loops
+//!   and architecture intrinsics (`std::arch`, `target_feature`) live
+//!   only in `crates/spatial/src/distance.rs` and `cell_major.rs`,
+//!   where the scalar-equivalence suite pins them; everywhere else they
+//!   bypass the byte-identical-labels audit.
 //!
 //! The binary also hosts `cargo xtask check-report <file>`, which
 //! validates a `dbscout detect --report-json` document against the
@@ -111,6 +116,11 @@ pub fn scope_for(rel_path: &str) -> Scope {
         determinism: panic_freedom,
         lock_discipline: in_crate("dataflow"),
         atomic_ordering: panic_freedom,
+        // Lane kernels are confined to the two audited spatial modules;
+        // xtask itself must name the tokens to hunt for them.
+        kernel_lane: !in_crate("xtask")
+            && rel_path != "crates/spatial/src/distance.rs"
+            && rel_path != "crates/spatial/src/cell_major.rs",
     }
 }
 
@@ -158,6 +168,9 @@ pub fn lint_source(rel_path: &str, source: &str, scope: Scope) -> Vec<Diagnostic
     }
     if scope.atomic_ordering {
         rules::atomic_ordering(&cleaned, rel_path, &spans, &mut out);
+    }
+    if scope.kernel_lane {
+        rules::kernel_lane(&cleaned, rel_path, &spans, &mut out);
     }
     out.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
     out
@@ -265,6 +278,15 @@ mod tests {
         // reports, not labels).
         let counters = scope_for("crates/telemetry/src/counters.rs");
         assert!(counters.no_stdout && !counters.determinism && !counters.lock_discipline);
+
+        // Kernel-lane confinement: only the two audited spatial modules
+        // (and xtask, which names the tokens) escape XL010.
+        assert!(!scope_for("crates/spatial/src/distance.rs").kernel_lane);
+        assert!(!scope_for("crates/spatial/src/cell_major.rs").kernel_lane);
+        assert!(!scope_for("crates/xtask/src/rules.rs").kernel_lane);
+        assert!(scope_for("crates/spatial/src/grid.rs").kernel_lane);
+        assert!(core.kernel_lane);
+        assert!(scope_for("crates/data/src/io.rs").kernel_lane);
     }
 
     #[test]

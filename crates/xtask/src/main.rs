@@ -8,7 +8,7 @@ fn usage() -> &'static str {
     "usage: cargo xtask <command>\n\n\
      commands:\n\
      \x20 lint [--json] [--root DIR]   run the DBSCOUT custom lint suite\n\
-     \x20                              (rules XL000-XL009) over every\n\
+     \x20                              (rules XL000-XL010) over every\n\
      \x20                              crates/*/src/**/*.rs file; exits\n\
      \x20                              non-zero when findings exist\n\
      \x20 lint --explain XLNNN         print a rule's rationale and waiver\n\
@@ -213,7 +213,7 @@ fn lint(mut args: impl Iterator<Item = String>) -> ExitCode {
             print!("{}", d.render_human());
         }
         if findings.is_empty() {
-            println!("xtask lint: clean (rules XL000-XL009)");
+            println!("xtask lint: clean (rules XL000-XL010)");
         } else {
             println!("xtask lint: {} finding(s)", findings.len());
         }

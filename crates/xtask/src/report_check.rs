@@ -146,6 +146,9 @@ pub fn check_report(source: &str) -> Vec<String> {
             expect_u64(&mut errors, params, "params", "min_pts");
             expect_u64(&mut errors, params, "params", "partitions");
             expect_u64(&mut errors, params, "params", "workers");
+            // Schema v5: the resolved execution echo.
+            expect_str(&mut errors, params, "params", "kernel");
+            expect_u64(&mut errors, params, "params", "threads");
             // Either a seed or the literal string "none".
             match params.get("chaos_seed") {
                 Some(v) if v.as_u64().is_some() || v.as_str() == Some("none") => {}
@@ -261,6 +264,8 @@ mod tests {
                 min_pts: 4,
                 partitions: 8,
                 workers: 4,
+                kernel: "unrolled".to_owned(),
+                threads: 4,
                 chaos_seed: None,
             },
             phases: vec![PhaseReport {

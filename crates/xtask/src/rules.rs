@@ -35,6 +35,10 @@ pub struct Scope {
     /// XL009: no `Ordering::Relaxed` on atomic loads/stores (core,
     /// spatial, dataflow library code).
     pub atomic_ordering: bool,
+    /// XL010: kernel-lane confinement — unrolled/SIMD distance loops and
+    /// architecture intrinsics live only in `crates/spatial/src/
+    /// distance.rs` and `cell_major.rs`.
+    pub kernel_lane: bool,
 }
 
 fn at(b: &[u8], i: usize) -> u8 {
@@ -1016,6 +1020,88 @@ pub fn atomic_ordering(
     }
 }
 
+/// XL010 — kernel-lane confinement: explicit lane-unrolled loops and
+/// architecture intrinsics are audited against the scalar reference in
+/// exactly two places — `crates/spatial/src/distance.rs` (the lane
+/// kernels) and `cell_major.rs` (the slot-order dispatch that keeps
+/// counters kernel-invariant). Anywhere else, `std::arch`/`core::arch`
+/// paths, `target_feature` attributes, and functions named `*unrolled*`
+/// or `*simd*` are flagged: a stray hand-vectorized loop bypasses the
+/// equivalence suite and threatens byte-identical labels.
+pub fn kernel_lane(c: &Cleaned, file: &str, spans: &[(usize, usize)], out: &mut Vec<Diagnostic>) {
+    const HELP: &str = "lane-unrolled and intrinsic code belongs in \
+                        `crates/spatial/src/distance.rs` (kernels) or `cell_major.rs` \
+                        (dispatch), where the scalar-equivalence suite pins it; call \
+                        through `KernelKind` instead, or waive a proven site with \
+                        `// xtask-lint: allow(XL010) -- <reason>`";
+    let b = &c.text;
+    let ids = idents(b);
+    for (n, &(s, e)) in ids.iter().enumerate() {
+        if in_spans(spans, s) {
+            continue;
+        }
+        let word = b.get(s..e).unwrap_or_default();
+        match word {
+            // `std::arch` / `core::arch` path segments.
+            b"arch" => {
+                let (p, pp) = prev_non_ws_pos(b, s);
+                if p == b':' && pp > 0 && at(b, pp - 1) == b':' {
+                    let seg = ident_ending_before(b, pp - 1);
+                    if seg == b"std" || seg == b"core" {
+                        emit(
+                            out,
+                            c,
+                            file,
+                            "XL010",
+                            s,
+                            format!(
+                                "`{}::arch` intrinsics outside the kernel modules",
+                                String::from_utf8_lossy(seg)
+                            ),
+                            HELP,
+                        );
+                    }
+                }
+            }
+            // `#[target_feature(..)]` / `cfg(target_feature = ..)`.
+            b"target_feature" => {
+                emit(
+                    out,
+                    c,
+                    file,
+                    "XL010",
+                    s,
+                    "`target_feature` gate outside the kernel modules".to_string(),
+                    HELP,
+                );
+            }
+            // `fn <name>` where the name marks a lane kernel.
+            b"fn" => {
+                let Some(&(ns, ne)) = ids.get(n + 1) else {
+                    continue;
+                };
+                let (nxt, np) = next_non_ws(b, e);
+                if !is_ident_byte(nxt) || np != ns {
+                    continue;
+                }
+                let name = String::from_utf8_lossy(b.get(ns..ne).unwrap_or_default()).into_owned();
+                if name.contains("unrolled") || name.contains("simd") {
+                    emit(
+                        out,
+                        c,
+                        file,
+                        "XL010",
+                        ns,
+                        format!("lane-kernel function `{name}` outside the kernel modules"),
+                        HELP,
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1373,6 +1459,39 @@ mod tests {
         assert!(
             run_atomics("fn f(a: &AtomicUsize) { a.fetch_add(1, Ordering::Relaxed); }").is_empty()
         );
+    }
+
+    fn run_kernel_lane(src: &str) -> Vec<Diagnostic> {
+        let c = clean(src);
+        let spans = test_spans(&c);
+        let mut out = Vec::new();
+        kernel_lane(&c, "t.rs", &spans, &mut out);
+        out
+    }
+
+    #[test]
+    fn arch_paths_and_lane_fn_names_flagged() {
+        let d = run_kernel_lane("fn f() { use std::arch::x86_64::_mm_set1_pd; }");
+        assert_eq!(d.first().map(|d| d.rule), Some("XL010"));
+        assert_eq!(run_kernel_lane("use core::arch::asm;").len(), 1);
+        assert_eq!(
+            run_kernel_lane("fn sq_dists_unrolled(a: &[f64]) -> f64 { 0.0 }").len(),
+            1
+        );
+        assert_eq!(
+            run_kernel_lane("#[target_feature(enable = \"avx2\")]\nunsafe fn g() {}").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn plain_code_and_other_arch_idents_pass() {
+        assert!(run_kernel_lane("fn fast_sum(xs: &[f64]) -> f64 { xs.iter().sum() }").is_empty());
+        // `arch` not rooted at std/core is someone's module name.
+        assert!(run_kernel_lane("use crate::arch::helper;").is_empty());
+        // Test code is exempt, like every other structural rule.
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests { fn check_unrolled() {} }";
+        assert!(run_kernel_lane(src).is_empty());
     }
 
     #[test]

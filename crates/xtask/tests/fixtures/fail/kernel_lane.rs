@@ -1,0 +1,14 @@
+// Decoy kernel-lane tokens outside the sanctioned spatial modules.
+
+fn accumulate_unrolled(acc: &mut f64, xs: &[f64]) {
+    for x in xs {
+        *acc += x;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn simd_sum(xs: &[f64]) -> f64 {
+    use std::arch::x86_64::_mm256_setzero_pd;
+    let _ = xs.len() as f64;
+    0.0
+}

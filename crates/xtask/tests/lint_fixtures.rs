@@ -175,6 +175,37 @@ fn xl009_relaxed_load_store_flagged_rmw_exempt() {
 }
 
 #[test]
+fn xl010_kernel_lane_tokens_flagged_at_exact_lines() {
+    let expected = vec![
+        ("XL010", 3),  // fn accumulate_unrolled
+        ("XL010", 9),  // #[target_feature(..)]
+        ("XL010", 10), // fn simd_sum
+        ("XL010", 11), // use std::arch
+    ];
+    assert_eq!(
+        lint_fixture("crates/core/src/fast.rs", "fail/kernel_lane.rs"),
+        expected
+    );
+    // Confinement is workspace-wide, not just the detection crates.
+    assert_eq!(
+        lint_fixture("crates/data/src/fast.rs", "fail/kernel_lane.rs"),
+        expected
+    );
+}
+
+#[test]
+fn xl010_spatial_kernel_modules_are_sanctioned() {
+    assert_eq!(
+        lint_fixture("crates/spatial/src/distance.rs", "fail/kernel_lane.rs"),
+        vec![]
+    );
+    assert_eq!(
+        lint_fixture("crates/spatial/src/cell_major.rs", "fail/kernel_lane.rs"),
+        vec![]
+    );
+}
+
+#[test]
 fn xl000_malformed_directive_flagged() {
     assert_eq!(
         lint_fixture("crates/data/src/malformed.rs", "fail/malformed.rs"),
@@ -287,6 +318,8 @@ mod binary {
                 min_pts: 5,
                 partitions: 8,
                 workers: 4,
+                kernel: "scalar".to_owned(),
+                threads: 1,
                 chaos_seed: Some(42),
             },
             phases: vec![PhaseReport {
