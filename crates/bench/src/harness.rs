@@ -137,7 +137,7 @@ fn report(label: &str, durations: &[Duration]) {
     let stats = dbscout_metrics::TimingStats::new(durations.to_vec());
     println!(
         "  {label}: mean {mean:?}  min {min:?}  max {max:?}  \
-         p50 {:.4}s  p95 {:.4}s  p99 {:.4}s  ({} samples)",
+         p50 {:.6}s  p95 {:.6}s  p99 {:.6}s  ({} samples)",
         stats.p50_secs(),
         stats.p95_secs(),
         stats.p99_secs(),

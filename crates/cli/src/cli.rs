@@ -27,7 +27,13 @@ usage:
   dbscout info     --input <csv> [--eps <f64>]
   dbscout sweep    --input <csv> [--min-pts <usize>] [--from <f64> --to <f64>]
                    [--steps <usize>] [--labeled]
-  dbscout compare  --input <labeled csv> [--eps <f64>] [--min-pts <usize>] [--k <usize>]";
+  dbscout compare  --input <labeled csv> [--eps <f64>] [--min-pts <usize>] [--k <usize>]
+  dbscout serve    --input <csv|bin> --eps <f64> --min-pts <usize>
+                   [--from-binary] [--labeled] [--batch-size <usize>]
+                   [--layout cell-major|hashed]
+                   [--kernel scalar|unrolled|auto] [--threads <usize>]
+                   [--socket <path>]
+                   [--trace-out <json>] [--report-json <json>]";
 
 /// What went wrong, at the granularity callers (and shell scripts)
 /// care about. Each kind maps to a distinct process exit code so
@@ -158,6 +164,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "info" => commands::info(&flags),
         "sweep" => commands::sweep(&flags),
         "compare" => commands::compare(&flags),
+        "serve" => crate::serve::serve(&flags),
         // Hidden: how `--backend process` re-invokes this binary as a
         // worker. Never typed by hand, so it stays out of the usage text.
         "worker" => commands::worker(&flags),

@@ -48,12 +48,16 @@ fn detect_err(e: DbscoutError) -> CliError {
 /// materializes a CSV goes through here, so label/ingest-mode plumbing
 /// and error mapping live in one place — and all of them ride the same
 /// streaming [`dbscout_data::CsvSource`] underneath.
-fn load_dataset(path: &str, labeled: bool, mode: IngestMode) -> Result<CsvIngest, CliError> {
+pub(crate) fn load_dataset(
+    path: &str,
+    labeled: bool,
+    mode: IngestMode,
+) -> Result<CsvIngest, CliError> {
     read_csv_with(path, labeled, mode).map_err(data_err)
 }
 
 /// Parses the `--layout` flag for the native engine.
-fn parse_layout(s: &str) -> Result<ExecutionLayout, CliError> {
+pub(crate) fn parse_layout(s: &str) -> Result<ExecutionLayout, CliError> {
     match s {
         "cell-major" => Ok(ExecutionLayout::CellMajor),
         "hashed" => Ok(ExecutionLayout::Hashed),
@@ -64,7 +68,7 @@ fn parse_layout(s: &str) -> Result<ExecutionLayout, CliError> {
 }
 
 /// Parses the `--kernel` flag for the native engine.
-fn parse_kernel(s: &str) -> Result<KernelKind, CliError> {
+pub(crate) fn parse_kernel(s: &str) -> Result<KernelKind, CliError> {
     s.parse().map_err(|_| {
         CliError::new(format!(
             "unknown kernel {s:?} (expected scalar, unrolled, or auto)"

@@ -27,6 +27,7 @@ use std::process::ExitCode;
 mod cli;
 mod commands;
 mod progress;
+mod serve;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

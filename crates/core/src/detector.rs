@@ -86,10 +86,12 @@ impl OutlierDetector for DistributedDbscout {
 
 impl OutlierDetector for IncrementalDbscout {
     /// Batch detection through the incremental engine: bulk-load `store`
-    /// into a fresh instance (this detector's own accumulated points are
-    /// not consulted) and snapshot the resulting labels.
+    /// into a fresh instance on this detector's own layout and kernel
+    /// (its accumulated points are not consulted) and snapshot the
+    /// resulting labels.
     fn detect(&self, store: &PointStore) -> Result<OutlierResult> {
-        IncrementalDbscout::from_store(store, self.params()).map(|inc| inc.snapshot())
+        IncrementalDbscout::from_store_with(store, self.params(), self.layout(), self.kernel())
+            .map(|inc| inc.snapshot())
     }
 
     fn params(&self) -> DbscoutParams {
@@ -105,7 +107,7 @@ enum EngineChoice {
     Native,
     /// The Spark-style formulation on a given execution context.
     Distributed(Arc<ExecutionContext>),
-    /// The insert-only incremental engine used in batch mode.
+    /// The insert/delete incremental engine used in batch mode.
     Incremental,
 }
 
@@ -263,21 +265,27 @@ impl DetectorBuilder {
             EngineChoice::Distributed(_) => Box::new(self.build_distributed()),
             EngineChoice::Incremental => Box::new(BatchIncremental {
                 params: self.params,
+                layout: self.layout,
+                kernel: self.kernel,
             }),
         }
     }
 }
 
-/// The incremental engine's batch façade: holds only the parameters and
-/// bulk-loads each `detect` call into a fresh [`IncrementalDbscout`].
+/// The incremental engine's batch façade: holds the parameters and
+/// execution knobs, and bulk-loads each `detect` call into a fresh
+/// [`IncrementalDbscout`] on the configured layout.
 #[derive(Debug, Clone)]
 struct BatchIncremental {
     params: DbscoutParams,
+    layout: ExecutionLayout,
+    kernel: KernelKind,
 }
 
 impl OutlierDetector for BatchIncremental {
     fn detect(&self, store: &PointStore) -> Result<OutlierResult> {
-        IncrementalDbscout::from_store(store, self.params).map(|inc| inc.snapshot())
+        IncrementalDbscout::from_store_with(store, self.params, self.layout, self.kernel)
+            .map(|inc| inc.snapshot())
     }
 
     fn params(&self) -> DbscoutParams {

@@ -1,0 +1,666 @@
+//! Incremental DBSCOUT — exact labels under insert *and* delete, an
+//! extension beyond the paper.
+//!
+//! The batch algorithm answers "which points are outliers *now*"; GPS
+//! workloads, the paper's motivating domain, grow and churn
+//! continuously. This module maintains the Definition 2–3 labels
+//! exactly under both mutation directions, with work localized to the
+//! affected ε-neighborhood (the Ester et al. 1998 delta-evaluation
+//! approach):
+//!
+//! * **Insertion is monotone**: neighbor counts only grow, so points
+//!   only ever move Outlier → Covered → Core, never back. The new
+//!   point's ε-neighbors each gain one neighbor — some cross the
+//!   `minPts` threshold and become core — and every newly-core point
+//!   immediately covers the former outliers in its own ε-ball.
+//! * **Deletion is non-monotone**: ε-neighbors of the removed point
+//!   lose one neighbor each, core points can drop below `minPts` and
+//!   stop vouching for their surroundings, and points they covered may
+//!   revert to outliers. The damage is confined to the 2-hop cell
+//!   neighborhood of the removed point: the demoted cores, plus every
+//!   Covered point within ε of a demoted (or removed) core, are
+//!   re-evaluated against the post-removal core set.
+//!
+//! Each operation touches only the O(k_d) neighboring cells of the
+//! affected points, so maintenance stays constant-time for fixed
+//! parameters (amortized over bounded-density data).
+//!
+//! **The equivalence invariant**, pinned by a randomized property suite
+//! over interleaved insert/delete/probe sequences: after *any* sequence
+//! of operations, the live points carry byte-identical labels to a
+//! from-scratch batch run on the surviving points.
+//!
+//! Two interchangeable engines implement the state, selected by
+//! [`ExecutionLayout`]:
+//!
+//! * [`ExecutionLayout::CellMajor`] (the default) keeps the live points
+//!   in a [`dbscout_spatial::MutableCellMajor`] — slack-slot columnar
+//!   runs with bbox metadata — so neighborhood scans run through the
+//!   same pruned, [`KernelKind`]-dispatched, counter-audited kernels as
+//!   the batch fast path;
+//! * [`ExecutionLayout::Hashed`] keeps per-cell id lists in a hash map
+//!   (the original formulation): simpler, allocation-heavy, always
+//!   scalar distances.
+
+mod cell_major;
+mod hashed;
+
+use dbscout_spatial::points::PointId;
+use dbscout_spatial::{KernelKind, PointStore};
+use dbscout_telemetry::KernelCounters;
+
+use crate::error::Result;
+use crate::labels::{OutlierResult, PointLabel};
+use crate::native::ExecutionLayout;
+use crate::params::DbscoutParams;
+
+use cell_major::CellMajorEngine;
+use hashed::HashedEngine;
+
+/// An exactly-maintained DBSCOUT state under point insertion and
+/// removal.
+///
+/// Ids are issued consecutively from 0 and never recycled; removal
+/// tombstones the id but keeps it addressable. Labels are exact after
+/// every operation — equal to a batch run on the live points.
+///
+/// ```
+/// use dbscout_core::incremental::IncrementalDbscout;
+/// use dbscout_core::{DbscoutParams, PointLabel};
+///
+/// let params = DbscoutParams::new(1.0, 3).unwrap();
+/// let mut inc = IncrementalDbscout::new(2, params).unwrap();
+/// let lone = inc.insert(&[100.0, 100.0]).unwrap();
+/// assert_eq!(inc.label(lone), PointLabel::Outlier);
+/// let mut ids = Vec::new();
+/// for i in 0..3 {
+///     ids.push(inc.insert(&[i as f64 * 0.1, 0.0]).unwrap());
+/// }
+/// // The cluster is dense now; the far point is still the only outlier.
+/// assert_eq!(inc.outliers(), vec![lone]);
+/// // Deleting a cluster member dissolves it again: every survivor
+/// // reverts to outlier, exactly as a batch run would label them.
+/// assert!(inc.remove(ids[1]));
+/// assert_eq!(inc.outliers().len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalDbscout {
+    inner: Inner,
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    // Both engines boxed: they are hundreds of bytes and the facade
+    // moves by value, so the enum stays pointer-sized either way.
+    Hashed(Box<HashedEngine>),
+    CellMajor(Box<CellMajorEngine>),
+}
+
+impl IncrementalDbscout {
+    /// An empty incremental detector for `dims`-dimensional points, on
+    /// the default cell-major layout with the `Auto` kernel.
+    pub fn new(dims: usize, params: DbscoutParams) -> Result<Self> {
+        Self::with_layout(dims, params, ExecutionLayout::CellMajor, KernelKind::Auto)
+    }
+
+    /// An empty incremental detector on an explicit layout and kernel.
+    /// The hashed layout has no lane-unrolled scan; it ignores `kernel`
+    /// and always runs scalar (matching
+    /// [`crate::ExecutionConfig::resolved_kernel`]).
+    pub fn with_layout(
+        dims: usize,
+        params: DbscoutParams,
+        layout: ExecutionLayout,
+        kernel: KernelKind,
+    ) -> Result<Self> {
+        let inner = match layout {
+            ExecutionLayout::Hashed => Inner::Hashed(Box::new(HashedEngine::new(dims, params)?)),
+            ExecutionLayout::CellMajor => {
+                Inner::CellMajor(Box::new(CellMajorEngine::new(dims, params, kernel)?))
+            }
+        };
+        Ok(Self { inner })
+    }
+
+    /// Bulk-loads an initial dataset (equivalent to inserting every point
+    /// in order) on the default layout.
+    pub fn from_store(store: &PointStore, params: DbscoutParams) -> Result<Self> {
+        Self::from_store_with(store, params, ExecutionLayout::CellMajor, KernelKind::Auto)
+    }
+
+    /// Bulk-loads an initial dataset on an explicit layout and kernel.
+    pub fn from_store_with(
+        store: &PointStore,
+        params: DbscoutParams,
+        layout: ExecutionLayout,
+        kernel: KernelKind,
+    ) -> Result<Self> {
+        let mut inc = Self::with_layout(store.dims(), params, layout, kernel)?;
+        for (_, p) in store.iter() {
+            inc.insert(p)?;
+        }
+        Ok(inc)
+    }
+
+    /// The layout this detector runs on.
+    pub fn layout(&self) -> ExecutionLayout {
+        match &self.inner {
+            Inner::Hashed(_) => ExecutionLayout::Hashed,
+            Inner::CellMajor(_) => ExecutionLayout::CellMajor,
+        }
+    }
+
+    /// The resolved distance kernel (always [`KernelKind::Scalar`] on
+    /// the hashed layout).
+    pub fn kernel(&self) -> KernelKind {
+        match &self.inner {
+            Inner::Hashed(_) => KernelKind::Scalar,
+            Inner::CellMajor(e) => e.kernel(),
+        }
+    }
+
+    /// Number of live (non-removed) points.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Inner::Hashed(e) => e.len(),
+            Inner::CellMajor(e) => e.len(),
+        }
+    }
+
+    /// Whether the detector holds no live points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of slots ever allocated (live + removed); ids are always
+    /// `0..total_inserted()`.
+    pub fn total_inserted(&self) -> usize {
+        match &self.inner {
+            Inner::Hashed(e) => e.total_inserted(),
+            Inner::CellMajor(e) => e.total_inserted(),
+        }
+    }
+
+    /// Whether `id` is live (inserted and not removed).
+    pub fn is_alive(&self, id: PointId) -> bool {
+        match &self.inner {
+            Inner::Hashed(e) => e.is_alive(id),
+            Inner::CellMajor(e) => e.is_alive(id),
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> DbscoutParams {
+        match &self.inner {
+            Inner::Hashed(e) => e.params(),
+            Inner::CellMajor(e) => e.params(),
+        }
+    }
+
+    /// The current label of a point. Ids this detector never issued
+    /// report [`PointLabel::Outlier`].
+    pub fn label(&self, id: PointId) -> PointLabel {
+        match &self.inner {
+            Inner::Hashed(e) => e.label(id),
+            Inner::CellMajor(e) => e.label(id),
+        }
+    }
+
+    /// All current labels, indexed by point id.
+    pub fn labels(&self) -> &[PointLabel] {
+        match &self.inner {
+            Inner::Hashed(e) => e.labels(),
+            Inner::CellMajor(e) => e.labels(),
+        }
+    }
+
+    /// Ids of all current live outliers, ascending.
+    pub fn outliers(&self) -> Vec<PointId> {
+        match &self.inner {
+            Inner::Hashed(e) => e.outliers(),
+            Inner::CellMajor(e) => e.outliers(),
+        }
+    }
+
+    /// Every point ever inserted, by id (removed points keep their
+    /// coordinates; ids are never recycled).
+    pub fn store(&self) -> &PointStore {
+        match &self.inner {
+            Inner::Hashed(e) => e.store(),
+            Inner::CellMajor(e) => e.store(),
+        }
+    }
+
+    /// Kernel work counters accumulated over every operation so far
+    /// (inserts, removals, probes). On the cell-major layout these come
+    /// from the counted batch kernels (bbox prunes included); the hashed
+    /// layout tallies its scalar scans.
+    pub fn kernel_counters(&self) -> KernelCounters {
+        match &self.inner {
+            Inner::Hashed(e) => e.kernel_counters(),
+            Inner::CellMajor(e) => e.kernel_counters(),
+        }
+    }
+
+    /// Cell-run relocations the mutable store performed (always 0 on
+    /// the hashed layout).
+    pub fn rebuilds(&self) -> u64 {
+        match &self.inner {
+            Inner::Hashed(_) => 0,
+            Inner::CellMajor(e) => e.rebuilds(),
+        }
+    }
+
+    /// Whole-layout compactions the mutable store performed (always 0
+    /// on the hashed layout).
+    pub fn compactions(&self) -> u64 {
+        match &self.inner {
+            Inner::Hashed(_) => 0,
+            Inner::CellMajor(e) => e.compactions(),
+        }
+    }
+
+    /// The current state as a batch [`OutlierResult`] (one label per
+    /// ever-issued id). Removed points are reported as
+    /// [`PointLabel::Covered`] so they never surface in the outlier list;
+    /// timings and distance counters are zero — the incremental engine
+    /// spreads its work across operations (see [`Self::kernel_counters`]
+    /// for the accumulated totals).
+    pub fn snapshot(&self) -> OutlierResult {
+        match &self.inner {
+            Inner::Hashed(e) => e.snapshot(),
+            Inner::CellMajor(e) => e.snapshot(),
+        }
+    }
+
+    /// Inserts one point and restores all label invariants; returns the
+    /// new point's id.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dimension mismatch or non-finite coordinates
+    /// ([`dbscout_spatial::SpatialError`] via [`crate::DbscoutError`]).
+    pub fn insert(&mut self, point: &[f64]) -> Result<PointId> {
+        match &mut self.inner {
+            Inner::Hashed(e) => e.insert(point),
+            Inner::CellMajor(e) => e.insert(point),
+        }
+    }
+
+    /// Inserts a batch of points; returns the id of the first one (ids
+    /// are consecutive).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first invalid point; earlier points of the batch
+    /// remain inserted.
+    pub fn extend(&mut self, store: &PointStore) -> Result<PointId> {
+        let first = self.total_inserted() as PointId;
+        for (_, p) in store.iter() {
+            self.insert(p)?;
+        }
+        Ok(first)
+    }
+
+    /// Removes a live point and restores all label invariants for the
+    /// remaining points; returns `false` if `id` was already removed (or
+    /// never existed).
+    ///
+    /// Deletion is the non-monotone direction: ε-neighbors of the removed
+    /// point lose one neighbor each, demoted core points stop vouching
+    /// for their surroundings, and points they covered may revert to
+    /// outliers. All effects are confined to the 2-hop cell neighborhood
+    /// of the removed point, so the work stays constant for fixed
+    /// parameters on bounded-density data.
+    pub fn remove(&mut self, id: PointId) -> bool {
+        match &mut self.inner {
+            Inner::Hashed(e) => e.remove(id),
+            Inner::CellMajor(e) => e.remove(id),
+        }
+    }
+
+    /// Classifies `point` as if it were inserted, without inserting it:
+    /// the answer equals "insert, then read the label" (the probe point
+    /// can tip a `minPts − 1` neighbor into core, which would cover it).
+    /// The point set and labels are untouched; only telemetry counters
+    /// advance, hence `&mut self`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dimension mismatch or non-finite coordinates.
+    pub fn probe(&mut self, point: &[f64]) -> Result<PointLabel> {
+        match &mut self.inner {
+            Inner::Hashed(e) => e.probe(point),
+            Inner::CellMajor(e) => e.probe(point),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::detect_outliers;
+
+    fn params(eps: f64, min_pts: usize) -> DbscoutParams {
+        DbscoutParams::new(eps, min_pts).unwrap()
+    }
+
+    /// Both engines, for tests that must hold on each.
+    fn engines(dims: usize, p: DbscoutParams) -> Vec<(&'static str, IncrementalDbscout)> {
+        vec![
+            (
+                "hashed",
+                IncrementalDbscout::with_layout(dims, p, ExecutionLayout::Hashed, KernelKind::Auto)
+                    .unwrap(),
+            ),
+            (
+                "cell-major",
+                IncrementalDbscout::with_layout(
+                    dims,
+                    p,
+                    ExecutionLayout::CellMajor,
+                    KernelKind::Auto,
+                )
+                .unwrap(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn single_point_is_outlier_unless_min_pts_one() {
+        for (name, mut inc) in engines(2, params(1.0, 2)) {
+            let id = inc.insert(&[0.0, 0.0]).unwrap();
+            assert_eq!(inc.label(id), PointLabel::Outlier, "{name}");
+        }
+        for (name, mut inc) in engines(2, params(1.0, 1)) {
+            let id = inc.insert(&[0.0, 0.0]).unwrap();
+            assert_eq!(inc.label(id), PointLabel::Core, "{name}");
+        }
+    }
+
+    #[test]
+    fn labels_upgrade_monotonically_as_cluster_forms() {
+        for (name, mut inc) in engines(2, params(1.0, 4)) {
+            let first = inc.insert(&[0.0, 0.0]).unwrap();
+            assert_eq!(inc.label(first), PointLabel::Outlier, "{name}");
+            inc.insert(&[0.2, 0.0]).unwrap();
+            inc.insert(&[0.0, 0.2]).unwrap();
+            // Still below minPts = 4.
+            assert_eq!(inc.label(first), PointLabel::Outlier, "{name}");
+            inc.insert(&[0.2, 0.2]).unwrap();
+            // Now every point has 4 neighbors: all core.
+            for i in 0..4 {
+                assert_eq!(inc.label(i), PointLabel::Core, "{name} point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn newly_core_point_rescues_distant_outlier() {
+        // A border point beyond the forming cluster becomes covered the
+        // moment its neighbor turns core.
+        for (name, mut inc) in engines(2, params(0.5, 5)) {
+            let border = inc.insert(&[0.9, 0.0]).unwrap();
+            for i in 0..5 {
+                inc.insert(&[i as f64 * 0.1, 0.0]).unwrap();
+            }
+            // The chain 0.0..0.4 is core; 0.9 is within 0.5 of the core
+            // at 0.4 but has only 2 neighbors.
+            assert_eq!(inc.label(border), PointLabel::Covered, "{name}");
+        }
+    }
+
+    #[test]
+    fn matches_batch_after_every_insert() {
+        // The exactness invariant, checked at every prefix, on both
+        // engines.
+        let pts: Vec<[f64; 2]> = vec![
+            [0.0, 0.0],
+            [10.0, 10.0],
+            [0.3, 0.1],
+            [0.1, 0.3],
+            [0.2, 0.2],
+            [1.2, 0.0],
+            [10.1, 10.1],
+            [10.2, 9.9],
+            [0.15, 0.15],
+            [2.0, 0.2],
+            [10.05, 10.05],
+        ];
+        let p = params(1.0, 4);
+        for (name, mut inc) in engines(2, p) {
+            let mut batch_store = PointStore::new(2).unwrap();
+            for pt in &pts {
+                inc.insert(pt).unwrap();
+                batch_store.push(pt).unwrap();
+                let batch = detect_outliers(&batch_store, p).unwrap();
+                assert_eq!(
+                    inc.labels(),
+                    batch.labels.as_slice(),
+                    "{name} diverged after {} inserts",
+                    batch_store.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_store_equals_batch() {
+        let store = PointStore::from_rows(
+            2,
+            (0..60).map(|i| vec![(i % 8) as f64 * 0.4, (i / 8) as f64 * 0.4]),
+        )
+        .unwrap();
+        let p = params(1.0, 5);
+        let batch = detect_outliers(&store, p).unwrap();
+        for layout in [ExecutionLayout::Hashed, ExecutionLayout::CellMajor] {
+            let inc =
+                IncrementalDbscout::from_store_with(&store, p, layout, KernelKind::Auto).unwrap();
+            assert_eq!(inc.labels(), batch.labels.as_slice(), "{layout:?}");
+            assert_eq!(inc.outliers(), batch.outliers, "{layout:?}");
+            assert_eq!(inc.len(), 60);
+            assert_eq!(inc.layout(), layout);
+        }
+    }
+
+    #[test]
+    fn extend_matches_pointwise_inserts() {
+        let store = PointStore::from_rows(
+            2,
+            (0..30).map(|i| vec![(i % 6) as f64 * 0.3, (i / 6) as f64 * 0.3]),
+        )
+        .unwrap();
+        let p = params(1.0, 4);
+        let mut batch = IncrementalDbscout::new(2, p).unwrap();
+        let first = batch.extend(&store).unwrap();
+        assert_eq!(first, 0);
+        let pointwise = IncrementalDbscout::from_store(&store, p).unwrap();
+        assert_eq!(batch.labels(), pointwise.labels());
+        // Extending again starts at the next id.
+        let second = batch.extend(&store).unwrap();
+        assert_eq!(second, 30);
+        assert_eq!(batch.len(), 60);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        for (name, mut inc) in engines(2, params(1.0, 3)) {
+            assert!(inc.insert(&[1.0]).is_err(), "{name}");
+            assert!(inc.insert(&[f64::NAN, 0.0]).is_err(), "{name}");
+            assert!(inc.probe(&[1.0]).is_err(), "{name}");
+            assert!(inc.probe(&[f64::INFINITY, 0.0]).is_err(), "{name}");
+            assert!(inc.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn remove_reverts_labels() {
+        // Build a minimal core configuration, then dismantle it.
+        for (name, mut inc) in engines(2, params(0.5, 3)) {
+            let a = inc.insert(&[0.0, 0.0]).unwrap();
+            let b = inc.insert(&[0.1, 0.0]).unwrap();
+            let c = inc.insert(&[0.2, 0.0]).unwrap();
+            // d reaches only c (dist 0.5 exactly; a and b are too far).
+            let d = inc.insert(&[0.7, 0.0]).unwrap();
+            assert_eq!(inc.label(a), PointLabel::Core, "{name}");
+            assert_eq!(inc.label(c), PointLabel::Core, "{name}");
+            assert_eq!(inc.label(d), PointLabel::Covered, "{name}");
+
+            // Removing the bridge point c demotes a and b (2 neighbors
+            // left) and strands d entirely.
+            assert!(inc.remove(c), "{name}");
+            assert_eq!(inc.label(a), PointLabel::Outlier, "{name}");
+            assert_eq!(inc.label(b), PointLabel::Outlier, "{name}");
+            assert_eq!(inc.label(d), PointLabel::Outlier, "{name}");
+            assert!(!inc.is_alive(c), "{name}");
+            assert_eq!(inc.len(), 3, "{name}");
+        }
+    }
+
+    #[test]
+    fn remove_is_idempotent_and_checked() {
+        for (name, mut inc) in engines(2, params(1.0, 2)) {
+            let id = inc.insert(&[0.0, 0.0]).unwrap();
+            assert!(inc.remove(id), "{name}");
+            assert!(!inc.remove(id), "{name}: double remove must report false");
+            assert!(!inc.remove(99), "{name}: unknown id must report false");
+            assert!(inc.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn insert_after_remove_reuses_nothing_but_works() {
+        for (name, mut inc) in engines(2, params(1.0, 2)) {
+            let a = inc.insert(&[0.0, 0.0]).unwrap();
+            inc.remove(a);
+            let b = inc.insert(&[0.0, 0.0]).unwrap();
+            assert_ne!(a, b, "{name}: ids are never reused");
+            assert_eq!(inc.total_inserted(), 2, "{name}");
+            assert_eq!(inc.len(), 1, "{name}");
+            assert_eq!(inc.outliers(), vec![b], "{name}");
+        }
+    }
+
+    #[test]
+    fn mixed_insert_remove_matches_batch() {
+        // A scripted churn sequence; after every operation the live
+        // points must carry exactly the batch labels.
+        let inserts: Vec<[f64; 2]> = vec![
+            [0.0, 0.0],
+            [0.2, 0.0],
+            [0.0, 0.2],
+            [0.2, 0.2],
+            [1.0, 0.0],
+            [5.0, 5.0],
+            [5.2, 5.0],
+            [5.0, 5.2],
+            [0.1, 0.1],
+            [5.1, 5.1],
+        ];
+        let p = params(0.9, 4);
+        for (name, mut inc) in engines(2, p) {
+            let mut ids = Vec::new();
+            for pt in &inserts {
+                ids.push(inc.insert(pt).unwrap());
+            }
+            for &victim in &[ids[1], ids[6], ids[0], ids[9]] {
+                inc.remove(victim);
+                // Rebuild the live subset and compare against a batch run.
+                let live: Vec<u32> = (0..inc.total_inserted() as u32)
+                    .filter(|&i| inc.is_alive(i))
+                    .collect();
+                let batch_store = inc.store().gather(&live);
+                let batch = detect_outliers(&batch_store, p).unwrap();
+                for (bi, &id) in live.iter().enumerate() {
+                    assert_eq!(
+                        inc.label(id),
+                        batch.labels[bi],
+                        "{name}: label of {id} diverged after removing {victim}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_count_individually() {
+        for (name, mut inc) in engines(2, params(1.0, 3)) {
+            inc.insert(&[5.0, 5.0]).unwrap();
+            inc.insert(&[5.0, 5.0]).unwrap();
+            assert_eq!(inc.outliers().len(), 2, "{name}");
+            inc.insert(&[5.0, 5.0]).unwrap();
+            // Three coincident points with minPts = 3: all core.
+            assert_eq!(inc.outliers().len(), 0, "{name}");
+            assert!(
+                inc.labels().iter().all(|l| *l == PointLabel::Core),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn probe_equals_insert_then_label() {
+        let pts: Vec<[f64; 2]> = vec![
+            [0.0, 0.0],
+            [0.2, 0.0],
+            [0.0, 0.2],
+            [1.0, 1.0],
+            [5.0, 5.0],
+            [0.1, 0.1],
+        ];
+        let probes: Vec<[f64; 2]> = vec![
+            [0.1, 0.0],   // would be core
+            [0.9, 0.15],  // near the cluster edge
+            [5.1, 5.1],   // tips a min_pts-1 neighbor into core
+            [20.0, 20.0], // isolated
+        ];
+        let p = params(0.5, 3);
+        for (name, mut inc) in engines(2, p) {
+            for pt in &pts {
+                inc.insert(pt).unwrap();
+            }
+            for q in &probes {
+                let probed = inc.probe(q).unwrap();
+                let mut clone = inc.clone();
+                let id = clone.insert(q).unwrap();
+                assert_eq!(probed, clone.label(id), "{name} probe of {q:?}");
+                // The probe itself must not have changed any state.
+                assert_eq!(inc.len(), pts.len(), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_and_cell_major_counts_kernel_work() {
+        let p = params(0.7, 3);
+        let pts: Vec<[f64; 2]> = (0..40)
+            .map(|i| [((i * 13) % 17) as f64 * 0.25, ((i * 5) % 11) as f64 * 0.25])
+            .collect();
+        let mut engines = engines(2, p);
+        for (_, inc) in engines.iter_mut() {
+            for pt in &pts {
+                inc.insert(pt).unwrap();
+            }
+            for id in [3u32, 17, 31] {
+                inc.remove(id);
+            }
+        }
+        let (_, hashed) = &engines[0];
+        let (_, cm) = &engines[1];
+        assert_eq!(hashed.labels(), cm.labels());
+        assert_eq!(hashed.outliers(), cm.outliers());
+        let counters = cm.kernel_counters();
+        assert!(counters.distance_evals > 0);
+        assert!(counters.cells_visited > 0);
+        assert_eq!(cm.kernel(), KernelKind::Unrolled);
+        assert_eq!(hashed.kernel(), KernelKind::Scalar);
+        assert_eq!(hashed.rebuilds(), 0);
+        // Snapshot cell statistics agree between the engines.
+        let hs = hashed.snapshot();
+        let cs = cm.snapshot();
+        assert_eq!(hs.stats.num_cells, cs.stats.num_cells);
+        assert_eq!(hs.stats.dense_cells, cs.stats.dense_cells);
+        assert_eq!(hs.stats.core_cells, cs.stats.core_cells);
+        assert_eq!(hs.labels, cs.labels);
+    }
+}

@@ -159,6 +159,7 @@ pub fn build_run_report(
         phases,
         stages: stage_records.iter().map(stage_report).collect(),
         process: process.map(process_report),
+        serve: None,
         totals: TotalsReport {
             stages: metrics.stages,
             tasks: metrics.tasks,

@@ -46,7 +46,7 @@ use crate::error::SpatialError;
 use crate::neighbors::NeighborOffsets;
 use crate::points::{PointId, PointStore};
 
-type DetState = BuildHasherDefault<DefaultHasher>;
+pub(crate) type DetState = BuildHasherDefault<DefaultHasher>;
 
 /// One cell of a [`CellMajorStore`]: its coordinate and the slot range
 /// its points occupy in the columnar buffer.
@@ -81,25 +81,35 @@ impl CellRecord {
 }
 
 /// Cell-contiguous columnar storage for one dataset and one ε.
+///
+/// Fields are `pub(crate)` so [`crate::mutable::MutableCellMajor`] can
+/// maintain a slack-slot variant of the same layout in place; outside
+/// this crate the store is immutable.
 #[derive(Debug, Clone)]
 pub struct CellMajorStore {
-    dims: usize,
-    eps: f64,
-    side: f64,
-    n: usize,
+    pub(crate) dims: usize,
+    pub(crate) eps: f64,
+    pub(crate) side: f64,
+    /// Slot count — the column stride. For a store built by
+    /// [`CellMajorStore::build`] this equals the point count; a mutable
+    /// wrapper may hold spare (non-live) slots, in which case only the
+    /// slots inside some [`CellRecord`] run are meaningful.
+    pub(crate) n: usize,
     /// Column-major coordinates: dimension `k` of slot `j` lives at
     /// `cols[k * n + j]`.
-    cols: Vec<f64>,
-    /// Slot → original [`PointId`] (a permutation of `0..n`).
-    orig_ids: Vec<PointId>,
-    /// Non-empty cells, ascending by coordinate.
-    cells: Vec<CellRecord>,
+    pub(crate) cols: Vec<f64>,
+    /// Slot → original [`PointId`] (a permutation of `0..n` for a batch
+    /// build; spare slots of a mutable layout hold `PointId::MAX`).
+    pub(crate) orig_ids: Vec<PointId>,
+    /// Non-empty cells, ascending by coordinate (batch builds; a mutable
+    /// layout may append cells out of order).
+    pub(crate) cells: Vec<CellRecord>,
     /// Cell coordinate → index into `cells`.
-    index: HashMap<CellCoord, u32, DetState>,
+    pub(crate) index: HashMap<CellCoord, u32, DetState>,
     /// Tight per-cell bounding boxes: cell `c`'s box spans
     /// `bbox_min[c*dims..(c+1)*dims]` .. `bbox_max[..]`.
-    bbox_min: Vec<f64>,
-    bbox_max: Vec<f64>,
+    pub(crate) bbox_min: Vec<f64>,
+    pub(crate) bbox_max: Vec<f64>,
 }
 
 /// Pass 1 of the two-pass streaming build: tallies how many points fall
@@ -953,6 +963,73 @@ impl CellMajorStore {
         }
     }
 
+    /// Appends every slot of `range` within ε of `q` (closed ball, given
+    /// `eps_sq = ε²`) to `out`, in ascending slot order, returning the
+    /// comparison tally. Unlike [`Self::count_within`] this reports the
+    /// neighbor *identities* — what the incremental engine needs to bump
+    /// per-point counts — and therefore never exits early: the tally is
+    /// always `range.len()`, identical across kernels.
+    #[inline]
+    pub fn collect_within_kernel(
+        &self,
+        q: &[f64],
+        range: Range<usize>,
+        eps_sq: f64,
+        kernel: KernelKind,
+        out: &mut Vec<u32>,
+    ) -> u64 {
+        match kernel.resolve() {
+            KernelKind::Unrolled => self.collect_within_unrolled(q, range, eps_sq, out),
+            _ => self.collect_within(q, range, eps_sq, out),
+        }
+    }
+
+    /// Scalar reference loop for [`Self::collect_within_kernel`].
+    fn collect_within(
+        &self,
+        q: &[f64],
+        range: Range<usize>,
+        eps_sq: f64,
+        out: &mut Vec<u32>,
+    ) -> u64 {
+        let comps = range.len() as u64;
+        for slot in range {
+            if self.sq_dist_to_slot(q, slot) <= eps_sq {
+                out.push(slot as u32);
+            }
+        }
+        comps
+    }
+
+    /// 4-lane unrolled collecting kernel: squared distances are computed
+    /// per block, hits are pushed in slot order, so the output and the
+    /// comparison tally are exactly the scalar loop's.
+    fn collect_within_unrolled(
+        &self,
+        q: &[f64],
+        range: Range<usize>,
+        eps_sq: f64,
+        out: &mut Vec<u32>,
+    ) -> u64 {
+        let comps = range.len() as u64;
+        let mut slot = range.start;
+        while slot + LANES_ND <= range.end {
+            let d = self.sq_dists_x4_at(q, slot);
+            for (i, &v) in d.iter().enumerate() {
+                if v <= eps_sq {
+                    out.push((slot + i) as u32);
+                }
+            }
+            slot += LANES_ND;
+        }
+        for s in slot..range.end {
+            if self.sq_dist_to_slot(q, s) <= eps_sq {
+                out.push(s as u32);
+            }
+        }
+        comps
+    }
+
     /// 8-lane unrolled d = 2 counting kernel. The lane fast path accepts
     /// a whole block only when the count provably stays below `limit`
     /// (`count + hits < limit`); otherwise the block is drained in slot
@@ -1376,6 +1453,51 @@ mod tests {
         let (count, comps) = cm.count_within(&q, range, 1.0, 2);
         assert_eq!(count, 2);
         assert!(comps <= 2, "early exit must stop scanning");
+    }
+
+    #[test]
+    fn collect_within_matches_scalar_across_kernels_and_dims() {
+        for dims in 2..=4usize {
+            let rows: Vec<Vec<f64>> = (0..37)
+                .map(|i| {
+                    (0..dims)
+                        .map(|k| ((i * (k + 3)) % 11) as f64 * 0.17)
+                        .collect()
+                })
+                .collect();
+            let s = PointStore::from_rows(dims, rows).unwrap();
+            let cm = CellMajorStore::build(&s, 10.0).unwrap();
+            let q: Vec<f64> = (0..dims).map(|k| 0.2 * k as f64).collect();
+            for rec in cm.cells() {
+                let eps_sq = 0.45;
+                let mut scalar = Vec::new();
+                let cs = cm.collect_within_kernel(
+                    &q,
+                    rec.range(),
+                    eps_sq,
+                    KernelKind::Scalar,
+                    &mut scalar,
+                );
+                let mut unrolled = Vec::new();
+                let cu = cm.collect_within_kernel(
+                    &q,
+                    rec.range(),
+                    eps_sq,
+                    KernelKind::Unrolled,
+                    &mut unrolled,
+                );
+                assert_eq!(scalar, unrolled, "dims {dims} cell {:?}", rec.coord);
+                assert_eq!(cs, cu);
+                assert_eq!(cs, rec.len() as u64);
+                // Hits ascend in slot order and match brute force.
+                let brute: Vec<u32> = rec
+                    .range()
+                    .filter(|&slot| sq_dist(&gather_point(&cm, slot), &q) <= eps_sq)
+                    .map(|slot| slot as u32)
+                    .collect();
+                assert_eq!(scalar, brute);
+            }
+        }
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod distance;
 pub mod error;
 pub mod grid;
 pub mod kdtree;
+pub mod mutable;
 pub mod neighbors;
 pub mod points;
 
@@ -46,5 +47,6 @@ pub use distance::KernelKind;
 pub use error::SpatialError;
 pub use grid::Grid;
 pub use kdtree::KdTree;
+pub use mutable::MutableCellMajor;
 pub use neighbors::NeighborOffsets;
 pub use points::PointStore;

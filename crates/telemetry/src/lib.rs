@@ -53,7 +53,7 @@ pub use cpu::cpu_time_us;
 pub use histogram::DurationHistogram;
 pub use report::{
     strip_timing_lines, DatasetEcho, ParamsEcho, PhaseReport, ProcessReport, RunReport,
-    StageReport, TotalsReport, WorkerReport, REPORT_SCHEMA_VERSION,
+    ServeReport, StageReport, TotalsReport, WorkerReport, REPORT_SCHEMA_VERSION,
 };
 pub use rss::peak_rss_bytes;
 pub use span::{ArgValue, Recorder, Span, SpanKind};

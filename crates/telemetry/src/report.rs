@@ -29,8 +29,10 @@ use crate::json::JsonWriter;
 /// `totals`); v5 — the resolved execution echo in `params`: `kernel`
 /// (the concrete distance kernel the run used — `"scalar"` or
 /// `"unrolled"`, never `"auto"`) and `threads` (the in-process
-/// worker-thread count).
-pub const REPORT_SCHEMA_VERSION: u64 = 5;
+/// worker-thread count); v6 — the optional `serve` section emitted by
+/// `dbscout serve` (per-op query counts, protocol errors, and the warm
+/// mutable-store maintenance counters `rebuilds` / `compactions`).
+pub const REPORT_SCHEMA_VERSION: u64 = 6;
 
 /// Echo of the input dataset, so a report is self-describing.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -236,6 +238,37 @@ pub struct ProcessReport {
     pub per_worker: Vec<WorkerReport>,
 }
 
+/// A serving session's summary (`dbscout serve` only).
+///
+/// Pure operation counts — no wall-clock, no attribution — so the whole
+/// section belongs to the deterministic skeleton: replaying the same
+/// request script against the same dataset reproduces it byte for byte.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServeReport {
+    /// Requests answered over the line protocol (errors included,
+    /// `shutdown` included).
+    pub queries: u64,
+    /// Non-mutating `probe` classifications served.
+    pub probes: u64,
+    /// `insert` operations applied.
+    pub inserts: u64,
+    /// `remove` operations applied (misses — unknown or dead ids —
+    /// count here too; they are answered, not errors).
+    pub removes: u64,
+    /// `outliers` snapshots served.
+    pub outlier_queries: u64,
+    /// `stats` summaries served.
+    pub stats_queries: u64,
+    /// Requests rejected (unparseable line, unknown op, bad payload).
+    pub errors: u64,
+    /// Cell-run relocations the warm mutable store performed while
+    /// absorbing inserts (0 on the hashed layout).
+    pub rebuilds: u64,
+    /// Whole-layout compactions the warm mutable store performed (0 on
+    /// the hashed layout).
+    pub compactions: u64,
+}
+
 /// The complete run report.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunReport {
@@ -250,6 +283,9 @@ pub struct RunReport {
     /// Process-worker pool summary; `None` for in-process runs (the
     /// key is then absent from the JSON).
     pub process: Option<ProcessReport>,
+    /// Serving-session summary; `None` outside `dbscout serve` (the key
+    /// is then absent from the JSON).
+    pub serve: Option<ServeReport>,
     /// Whole-run aggregates.
     pub totals: TotalsReport,
 }
@@ -337,6 +373,19 @@ impl RunReport {
                 w.end_object();
             }
             w.end_array();
+            w.end_object();
+        }
+        if let Some(serve) = &self.serve {
+            w.begin_object_field("serve");
+            w.field_u64("queries", serve.queries);
+            w.field_u64("probes", serve.probes);
+            w.field_u64("inserts", serve.inserts);
+            w.field_u64("removes", serve.removes);
+            w.field_u64("outlier_queries", serve.outlier_queries);
+            w.field_u64("stats_queries", serve.stats_queries);
+            w.field_u64("errors", serve.errors);
+            w.field_u64("rebuilds", serve.rebuilds);
+            w.field_u64("compactions", serve.compactions);
             w.end_object();
         }
         w.begin_object_field("totals");
@@ -479,6 +528,7 @@ mod tests {
                     cpu_time_us: wall * 7,
                 }],
             }),
+            serve: None,
             totals: TotalsReport {
                 stages: 1,
                 tasks: 8,
@@ -607,6 +657,38 @@ mod tests {
                 .as_u64(),
             Some(9 * 4096)
         );
+    }
+
+    #[test]
+    fn serve_section_is_optional_and_round_trips() {
+        // Absent by default: batch reports carry no `serve` key.
+        let json = sample(2).to_json();
+        assert!(!json.contains("\"serve\""), "{json}");
+
+        let mut report = sample(2);
+        report.serve = Some(ServeReport {
+            queries: 12,
+            probes: 4,
+            inserts: 3,
+            removes: 2,
+            outlier_queries: 1,
+            stats_queries: 1,
+            errors: 1,
+            rebuilds: 5,
+            compactions: 1,
+        });
+        let doc = parse(&report.to_json()).unwrap();
+        let serve = doc.get("serve").unwrap();
+        assert_eq!(serve.get("queries").unwrap().as_u64(), Some(12));
+        assert_eq!(serve.get("probes").unwrap().as_u64(), Some(4));
+        assert_eq!(serve.get("removes").unwrap().as_u64(), Some(2));
+        assert_eq!(serve.get("rebuilds").unwrap().as_u64(), Some(5));
+        assert_eq!(serve.get("compactions").unwrap().as_u64(), Some(1));
+        // The section is pure operation counts — it survives into the
+        // deterministic skeleton untouched.
+        let skeleton = strip_timing_lines(&report.to_json());
+        assert!(skeleton.contains("\"serve\""));
+        assert!(skeleton.contains("\"rebuilds\": 5"));
     }
 
     #[test]

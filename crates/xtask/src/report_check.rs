@@ -90,6 +90,20 @@ const WORKER_COUNTERS: [&str; 7] = [
     "cpu_time_us",
 ];
 
+/// Keys the optional `serve` section must carry (schema v6; `dbscout
+/// serve` sessions only — batch reports omit the section entirely).
+const SERVE_COUNTERS: [&str; 9] = [
+    "queries",
+    "probes",
+    "inserts",
+    "removes",
+    "outlier_queries",
+    "stats_queries",
+    "errors",
+    "rebuilds",
+    "compactions",
+];
+
 fn expect_u64(errors: &mut Vec<String>, obj: &Value, section: &str, key: &str) {
     match obj.get(key) {
         Some(v) if v.as_u64().is_some() => {}
@@ -220,6 +234,38 @@ pub fn check_report(source: &str) -> Vec<String> {
         }
     }
 
+    // The serve section is optional (present only for `dbscout serve`
+    // sessions) but fully validated when present. Internal consistency:
+    // `queries` counts every answered request, so it can never be
+    // smaller than the sum of the per-op counts it breaks down into.
+    if let Some(serve) = doc.get("serve") {
+        if serve.as_object().is_some() {
+            for key in SERVE_COUNTERS {
+                expect_u64(&mut errors, serve, "serve", key);
+            }
+            let op_sum: u64 = [
+                "probes",
+                "inserts",
+                "removes",
+                "outlier_queries",
+                "stats_queries",
+                "errors",
+            ]
+            .iter()
+            .filter_map(|k| serve.get(k).and_then(Value::as_u64))
+            .sum();
+            if let Some(queries) = serve.get("queries").and_then(Value::as_u64) {
+                if queries < op_sum {
+                    errors.push(format!(
+                        "serve.queries: {queries} but the per-op counts sum to {op_sum}"
+                    ));
+                }
+            }
+        } else {
+            errors.push("serve: not an object".to_string());
+        }
+    }
+
     match doc.get("totals") {
         Some(totals) if totals.as_object().is_some() => {
             for key in TOTALS_COUNTERS {
@@ -278,6 +324,7 @@ mod tests {
                 ..StageReport::default()
             }],
             process: None,
+            serve: None,
             totals: TotalsReport {
                 stages: 1,
                 tasks: 8,
@@ -356,6 +403,48 @@ mod tests {
             .to_json()
             .lines()
             .filter(|l| !l.contains("\"tasks_completed\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(!check_report(&json).is_empty());
+    }
+
+    #[test]
+    fn serve_section_is_validated_when_present() {
+        use dbscout_telemetry::ServeReport;
+
+        let mut report = valid_report();
+        report.serve = Some(ServeReport {
+            queries: 13,
+            probes: 5,
+            inserts: 3,
+            removes: 2,
+            outlier_queries: 1,
+            stats_queries: 1,
+            errors: 0,
+            rebuilds: 4,
+            compactions: 1,
+        });
+        let errors = check_report(&report.to_json());
+        assert!(errors.is_empty(), "{errors:?}");
+
+        // A query total smaller than its per-op breakdown is a violation.
+        if let Some(s) = &mut report.serve {
+            s.queries = 3;
+        }
+        let errors = check_report(&report.to_json());
+        assert!(
+            errors.iter().any(|e| e.contains("serve.queries")),
+            "{errors:?}"
+        );
+
+        // A serve entry missing a counter is caught.
+        if let Some(s) = &mut report.serve {
+            s.queries = 13;
+        }
+        let json = report
+            .to_json()
+            .lines()
+            .filter(|l| !l.contains("\"compactions\""))
             .collect::<Vec<_>>()
             .join("\n");
         assert!(!check_report(&json).is_empty());

@@ -332,6 +332,7 @@ mod binary {
                 ..StageReport::default()
             }],
             process: None,
+            serve: None,
             totals: TotalsReport {
                 stages: 1,
                 tasks: 8,

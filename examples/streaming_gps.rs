@@ -1,5 +1,5 @@
-//! Streaming outlier detection with the insert-only incremental engine —
-//! an extension beyond the paper, for the growing GPS feeds its
+//! Streaming outlier detection with the incremental engine — an
+//! extension beyond the paper, for the growing GPS feeds its
 //! introduction motivates. Watches how outliers get "rescued" as later
 //! fixes densify their surroundings.
 //!
